@@ -1,0 +1,87 @@
+//===- bench/TableBench.h - Shared Table 2/3 regeneration ------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for bench_table2 and bench_table3: sample a study
+/// population at the paper's per-category counts, execute every
+/// instance's racy program under the detector, verify its fixed variant,
+/// and print the category table with detection statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_BENCH_TABLEBENCH_H
+#define GRS_BENCH_TABLEBENCH_H
+
+#include "corpus/Sampler.h"
+#include "support/Render.h"
+
+#include <iostream>
+#include <map>
+
+namespace grs {
+namespace bench {
+
+struct CategoryStats {
+  unsigned Sampled = 0;
+  unsigned Detected = 0;
+  unsigned FixedClean = 0;
+  unsigned Leaked = 0;
+};
+
+inline void runTableBench(const char *Title,
+                          const std::vector<corpus::CategoryCount> &Rows,
+                          uint64_t Seed, bool CheckFixed) {
+  std::cout << Title << "\nPopulation sampled at the paper's per-category "
+            << "counts; every instance executed under the detector (seed "
+            << Seed << ")\n\n";
+
+  auto Population = corpus::samplePopulation(Seed, Rows);
+  std::map<corpus::Category, CategoryStats> Stats;
+  for (const corpus::StudyInstance &Instance : Population) {
+    corpus::StudyOutcome Outcome = corpus::runInstance(Instance, CheckFixed);
+    CategoryStats &S = Stats[Instance.Cat];
+    ++S.Sampled;
+    S.Detected += Outcome.Detected;
+    S.FixedClean += Outcome.FixedClean;
+    S.Leaked += Outcome.Leaked;
+  }
+
+  support::TextTable Table("Race counts by category (paper -> regenerated)");
+  Table.setHeader({"Obs.", "Description", "Paper count", "Sampled",
+                   "Detected", "Fixed-variant clean"});
+  unsigned TotalPaper = 0, TotalDetected = 0, TotalSampled = 0;
+  for (const corpus::CategoryCount &Row : Rows) {
+    const CategoryStats &S = Stats[Row.Cat];
+    int Obs = corpus::observationNumber(Row.Cat);
+    Table.addRow({Obs ? std::to_string(Obs) : "-",
+                  corpus::categoryName(Row.Cat),
+                  std::to_string(Row.PaperCount), std::to_string(S.Sampled),
+                  std::to_string(S.Detected),
+                  CheckFixed ? std::to_string(S.FixedClean) + "/" +
+                                   std::to_string(S.Sampled)
+                             : "(skipped)"});
+    TotalPaper += Row.PaperCount;
+    TotalDetected += S.Detected;
+    TotalSampled += S.Sampled;
+  }
+  Table.addSeparator();
+  Table.addRow({"", "total", std::to_string(TotalPaper),
+                std::to_string(TotalSampled), std::to_string(TotalDetected),
+                ""});
+  Table.render(std::cout);
+
+  std::cout << "\nDetection rate over the sampled population: "
+            << support::fixed(
+                   100.0 * TotalDetected / std::max(1u, TotalSampled), 1)
+            << "% (schedule-dependent patterns are flaky by design, "
+            << "§3.1 attribute 2).\n";
+}
+
+} // namespace bench
+} // namespace grs
+
+#endif // GRS_BENCH_TABLEBENCH_H

@@ -1,0 +1,84 @@
+//===- bench/bench_ci_counterfactual.cpp - Remark 1 extension --------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Remark 1: "Design algorithms to enable dynamic race detection during
+// Continuous Integration" — and the paper's belief that "the presence of
+// race detection as part of a CI workflow will help address this problem
+// by preventing new races from being introduced."
+//
+// This bench runs the six-month simulation twice — the shipped post-facto
+// deployment vs the CI-blocking counterfactual — and quantifies both the
+// benefit (prevented introductions, lower late-phase outstanding count)
+// and the §3.2 objection (schedule-dependent races leak through a
+// bounded number of CI runs).
+//
+// Usage: bench_ci_counterfactual [seed] [ci-runs-per-change]
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Deployment.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::pipeline;
+using support::fixed;
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+  unsigned CiRuns = Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2])) : 2;
+
+  std::cout << "Remark 1 counterfactual: post-facto vs CI-blocking "
+               "deployment (seed " << Seed << ", " << CiRuns
+            << " detector runs per PR)\n\n";
+
+  DeploymentConfig Base;
+  Base.Seed = Seed;
+
+  DeploymentConfig Ci = Base;
+  Ci.Mode = DeployMode::CiBlocking;
+  Ci.CiRunsPerChange = CiRuns;
+
+  DeploymentOutcome PostFacto = DeploymentSimulator(Base).run();
+  DeploymentOutcome Blocking = DeploymentSimulator(Ci).run();
+
+  support::Series PfOut = PostFacto.Outstanding;
+  PfOut.Name = "post-facto (paper's Option III)";
+  support::Series CiOut = Blocking.Outstanding;
+  CiOut.Name = "CI-blocking (Remark 1)";
+  support::renderSeriesChart(std::cout, "Outstanding races vs time",
+                             {PfOut, CiOut});
+
+  support::TextTable Table("\nSix-month comparison");
+  Table.setHeader({"Metric", "post-facto", "CI-blocking"});
+  Table.addRow({"tasks filed", std::to_string(PostFacto.TotalDetectedRaces),
+                std::to_string(Blocking.TotalDetectedRaces)});
+  Table.addRow({"tasks fixed", std::to_string(PostFacto.TotalFixedTasks),
+                std::to_string(Blocking.TotalFixedTasks)});
+  Table.addRow({"new races prevented at PR time", "0 (not run at PRs)",
+                std::to_string(Blocking.PreventedAtCi)});
+  Table.addRow({"new races leaking past the CI gate", "(all land)",
+                std::to_string(Blocking.LeakedPastCi)});
+  Table.addRow({"outstanding at day 183",
+                fixed(PostFacto.Outstanding.back(), 0),
+                fixed(Blocking.Outstanding.back(), 0)});
+  Table.addRow({"new reports/day (steady state)",
+                fixed(PostFacto.AvgNewReportsPerDayLate, 1),
+                fixed(Blocking.AvgNewReportsPerDayLate, 1)});
+  Table.render(std::cout);
+
+  double Prevented = static_cast<double>(Blocking.PreventedAtCi);
+  double Total = Prevented + static_cast<double>(Blocking.LeakedPastCi);
+  std::cout << "\nCI gate effectiveness: "
+            << fixed(Total ? 100.0 * Prevented / Total : 0.0, 1)
+            << "% of newly introduced races blocked before merge.\n"
+            << "The remainder are schedule-dependent races that stayed\n"
+            << "dormant across " << CiRuns
+            << " CI run(s) — the §3.2 non-determinism objection — and\n"
+            << "still require the post-facto pipeline to mop up.\n";
+  return 0;
+}

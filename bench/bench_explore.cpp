@@ -1,0 +1,165 @@
+//===- bench/bench_explore.cpp - Random sweep vs systematic exploration ----===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// The §5 related-work trade-off, measured: "RaceFuzzer fuzzes the thread
+// schedules ... In contrast, Chess systematically explores various thread
+// interleavings by performing a tree traversal on the interleaving tree.
+// ... the problem of non-determinism with the detected races and the
+// scale of the overall state space poses its own challenges."
+//
+// For each schedule-dependent corpus bug shape, this bench reports how
+// many executions random schedule sampling (pipeline::sweep) and
+// CHESS-style systematic exploration (pipeline::explore) need before the
+// first detection, and whether exploration can exhaust the tree.
+//
+// Usage: bench_explore [budget]
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Explore.h"
+#include "pipeline/Sweep.h"
+#include "rt/Channel.h"
+#include "rt/GoSlice.h"
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::rt;
+using support::fixed;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  const char *Difficulty;
+  std::function<void()> Body;
+};
+
+/// Runs seeds one at a time until the first detection (or budget).
+size_t sweepRunsToFirstDetection(const std::function<void()> &Body,
+                                 size_t Budget) {
+  for (size_t Run = 1; Run <= Budget; ++Run) {
+    pipeline::SweepOptions Opts;
+    Opts.FirstSeed = Run;
+    Opts.NumSeeds = 1;
+    if (pipeline::sweep(Opts, Body).SeedsWithRaces > 0)
+      return Run;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t Budget = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 400;
+
+  std::cout << "Random schedule sampling vs systematic exploration "
+               "(budget " << Budget << " executions each)\n\n";
+
+  std::vector<Workload> Workloads;
+
+  // Always-racy: both strategies find it immediately.
+  Workloads.push_back({"unordered-writes", "easy (races on every schedule)",
+                       [] {
+                         auto X = std::make_shared<Shared<int>>("x", 0);
+                         WaitGroup Wg;
+                         Wg.add(1);
+                         go("writer", [X, &Wg] {
+                           X->store(1);
+                           Wg.done();
+                         });
+                         X->store(2);
+                         Wg.wait();
+                       }});
+
+  // Window needle: the racy read fires only if the reader's single
+  // atomic probe lands in the one-step window where the counter equals
+  // exactly 5 — a narrow interleaving slice that random schedules rarely
+  // hit.
+  Workloads.push_back(
+      {"window-needle", "one-step interleaving window", [] {
+         auto Counter = std::make_shared<GoAtomic<int>>("counter", 0);
+         auto Data = std::make_shared<Shared<int>>("data", 0);
+         WaitGroup Wg;
+         Wg.add(1);
+         go("prober", [Counter, Data, &Wg] {
+           if (Counter->load() == 5) {
+             int Seen = Data->load(); // Unordered with main's late write.
+             (void)Seen;
+           }
+           Wg.done();
+         });
+         for (int I = 1; I <= 10; ++I)
+           Counter->store(I);
+         Data->store(42); // After every counter release: unordered.
+         Wg.wait();
+       }});
+
+  // Double-window needle: TWO probes must land in their own narrow
+  // windows of main's counting loop before the racy access is reached.
+  Workloads.push_back(
+      {"double-window-needle", "two cooperating one-step windows", [] {
+         auto Counter = std::make_shared<GoAtomic<int>>("counter", 0);
+         auto Stage = std::make_shared<GoAtomic<int>>("stage", 0);
+         auto Data = std::make_shared<Shared<int>>("data", 0);
+         WaitGroup Wg;
+         Wg.add(2);
+         go("advancer", [Counter, Stage, &Wg] {
+           if (Counter->load() == 3) // Window one.
+             Stage->store(1);
+           Wg.done();
+         });
+         go("reader", [Stage, Data, &Wg] {
+           if (Stage->load() == 1) { // Window two (needs the advancer).
+             int Seen = Data->load();
+             (void)Seen;
+           }
+           Wg.done();
+         });
+         for (int I = 1; I <= 8; ++I)
+           Counter->store(I);
+         Data->store(7);
+         Wg.wait();
+       }});
+
+  support::TextTable Table("Executions to first detection ('not found' = "
+                           "not within budget)");
+  Table.setHeader({"Workload", "Difficulty", "random sweep",
+                   "explore (unbounded)", "explore (<=2 preempts)",
+                   "bounded exhausted?"});
+  for (const Workload &W : Workloads) {
+    size_t SweepRuns = sweepRunsToFirstDetection(W.Body, Budget);
+    pipeline::ExploreOptions Opts;
+    Opts.MaxRuns = Budget;
+    pipeline::ExploreResult Explored = pipeline::explore(Opts, W.Body);
+    pipeline::ExploreOptions BoundedOpts = Opts;
+    BoundedOpts.MaxPreemptions = 2; // CHESS's iterative context bound.
+    pipeline::ExploreResult Bounded =
+        pipeline::explore(BoundedOpts, W.Body);
+    Table.addRow({W.Name, W.Difficulty,
+                  SweepRuns ? std::to_string(SweepRuns) : "not found",
+                  Explored.FirstRacyRun
+                      ? std::to_string(Explored.FirstRacyRun)
+                      : "not found",
+                  Bounded.FirstRacyRun
+                      ? std::to_string(Bounded.FirstRacyRun)
+                      : "not found",
+                  Bounded.Exhaustive ? "yes" : "no (budget)"});
+  }
+  Table.render(std::cout);
+
+  std::cout
+      << "\nReading: random sampling is cheap per run and finds "
+         "frequently-manifesting races instantly,\nbut needle "
+         "interleavings take luck; systematic exploration visits them "
+         "by construction and can\nprove small programs clean "
+         "(Exhaustive = yes), at exponential cost in program size — "
+         "the §5 trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/bench_figure3.cpp - Reproduce Figure 3 + §3.5 stats -----------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Figure 3: "Total outstanding detected races vs. time" over the six-month
+// deployment, plus the §3.5 summary statistics (detected / fixed / unique
+// patches / unique fixers / new races per day). The curve must drop during
+// the shepherded phase and rise gradually after the authors disengage.
+//
+// Usage: bench_figure3 [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Sampler.h"
+#include "pipeline/Deployment.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::pipeline;
+using support::fixed;
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+
+  DeploymentConfig Config;
+  Config.Seed = Seed;
+  std::cout << "Reproducing Figure 3 (outstanding races vs time)\n"
+            << "Six-month deployment simulation: " << Config.Days
+            << " days, shepherding ends day " << Config.ShepherdingEndDay
+            << ", floodgates open day " << Config.FloodgateDay << ", seed "
+            << Seed << "\n\n";
+
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+
+  support::renderSeriesChart(std::cout, "Total outstanding detected races",
+                             {O.Outstanding});
+
+  support::TextTable Table("\nDeployment statistics (paper §3.5 -> measured)");
+  Table.setHeader({"Statistic", "Paper", "Measured"});
+  Table.addRow({"data races detected (tasks filed)", "~2000 (\"over 2000\")",
+                std::to_string(O.TotalDetectedRaces)});
+  Table.addRow({"races fixed", "1011",
+                std::to_string(O.TotalFixedTasks)});
+  Table.addRow({"unique patches", "790", std::to_string(O.UniquePatches)});
+  Table.addRow({"unique patches / fixed (root-cause uniqueness)", "~0.78",
+                fixed(O.PatchesPerFixedTask, 2)});
+  Table.addRow({"unique fixing engineers", "210",
+                std::to_string(O.UniqueFixers)});
+  Table.addRow({"new race reports per day (steady state)", "~5",
+                fixed(O.AvgNewReportsPerDayLate, 1)});
+  Table.addRow({"suppressed duplicate reports", "(not reported)",
+                std::to_string(O.SuppressedDuplicates)});
+  Table.render(std::cout);
+
+  // Root-cause category breakdown of the fixed races: the simulated
+  // analogue of manually labelling the 1011 fixes (§4.10).
+  support::TextTable Breakdown(
+      "\nFixed races by root-cause category (cf. Tables 2-3 proportions)");
+  Breakdown.setHeader({"Category", "Fixed in this run"});
+  auto EmitRows = [&](const std::vector<corpus::CategoryCount> &Rows) {
+    for (const corpus::CategoryCount &Row : Rows) {
+      size_t Index = static_cast<size_t>(Row.Cat);
+      uint64_t Count = Index < O.FixedByCategory.size()
+                           ? O.FixedByCategory[Index]
+                           : 0;
+      Breakdown.addRow({corpus::categoryName(Row.Cat),
+                        std::to_string(Count)});
+    }
+  };
+  EmitRows(corpus::table2Counts());
+  Breakdown.addSeparator();
+  EmitRows(corpus::table3Counts());
+  Breakdown.render(std::cout);
+
+  // Shape diagnostics.
+  const auto &Out = O.Outstanding.Values;
+  double Peak = 0;
+  size_t PeakDay = 0;
+  for (uint32_t Day = 0; Day < Config.ShepherdingEndDay; ++Day)
+    if (Out[Day] > Peak) {
+      Peak = Out[Day];
+      PeakDay = Day;
+    }
+  double PostShepherd = Out[Config.ShepherdingEndDay + 15];
+  std::cout << "\nPaper survey (§3.5, reported verbatim; no simulation): "
+               "\"52% of developers found the system useful, 40% of "
+               "developers\nwere not involved with the system, and 8% of "
+               "developers did not find it useful.\"\n";
+
+  std::cout << "\nShape: peak " << fixed(Peak, 0) << " on day " << PeakDay
+            << "; " << fixed(PostShepherd, 0)
+            << " two weeks after shepherding ended (drop of "
+            << fixed((1.0 - PostShepherd / Peak) * 100.0, 0)
+            << "%); " << fixed(Out.back(), 0)
+            << " at day " << Out.size() - 1
+            << " (gradual rise after disengagement).\n";
+  return 0;
+}

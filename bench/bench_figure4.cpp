@@ -1,0 +1,74 @@
+//===- bench/bench_figure4.cpp - Reproduce Figure 4 ------------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Figure 4: "A timeline of data race issues found vs. fixed" — cumulative
+// created and resolved task curves. Expected shape: slow rise April-June
+// (ramped release), sudden surge in July ("opening the flood gates"),
+// then a creation gradient exceeding the resolution gradient once the
+// authors disengage from shepherding.
+//
+// Usage: bench_figure4 [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Deployment.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::pipeline;
+using support::fixed;
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+
+  DeploymentConfig Config;
+  Config.Seed = Seed;
+  std::cout << "Reproducing Figure 4 (tasks found vs fixed, cumulative)\n"
+            << "Seed " << Seed << "; floodgates open on day "
+            << Config.FloodgateDay << "\n\n";
+
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+
+  support::renderSeriesChart(std::cout,
+                             "Cumulative race tasks: created vs resolved",
+                             {O.CreatedCumulative, O.ResolvedCumulative});
+
+  const auto &Created = O.CreatedCumulative.Values;
+  const auto &Resolved = O.ResolvedCumulative.Values;
+  size_t Last = Created.size() - 1;
+  double RampRate =
+      Created[Config.FloodgateDay - 1] / double(Config.FloodgateDay);
+  double SurgeRate =
+      (Created[Config.FloodgateDay + 9] - Created[Config.FloodgateDay - 1]) /
+      10.0;
+  size_t From = Config.FloodgateDay + 30;
+  double LateCreate = (Created[Last] - Created[From]) / double(Last - From);
+  double LateResolve =
+      (Resolved[Last] - Resolved[From]) / double(Last - From);
+
+  support::TextTable Table("\nTimeline shape (paper qualitative -> measured)");
+  Table.setHeader({"Phase", "Paper", "Measured"});
+  Table.addRow({"ramp filing rate (tasks/day, Apr-Jun)",
+                "slow rise (throttled release)", fixed(RampRate, 1)});
+  Table.addRow({"surge filing rate (tasks/day, July)",
+                "sudden surge (floodgates)", fixed(SurgeRate, 1)});
+  Table.addRow({"late creation rate (tasks/day)",
+                "exceeds resolution rate", fixed(LateCreate, 1)});
+  Table.addRow({"late resolution rate (tasks/day)",
+                "lags creation (disengaged)", fixed(LateResolve, 1)});
+  Table.addRow({"final created / resolved",
+                "~2000 / ~1011",
+                fixed(Created[Last], 0) + " / " + fixed(Resolved[Last], 0)});
+  Table.render(std::cout);
+
+  std::cout << "\nSurge factor over ramp: " << fixed(SurgeRate / RampRate, 1)
+            << "x; late create-vs-resolve gap: "
+            << fixed(LateCreate - LateResolve, 1) << " tasks/day.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bench/bench_lint.cpp - Static analysis throughput -------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// §3.2.1: PR time runs "many low-cost static analysis checks". This bench
+// quantifies "low-cost" for the §5 static race checks: lexing, parsing,
+// and checking throughput over the calibrated synthetic monorepo, plus
+// the projected wall time for a full 46-MLoC scan.
+//
+// Usage: bench_lint [lines] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parser.h"
+#include "analysis/SourceGen.h"
+#include "analysis/StaticChecks.h"
+#include "support/Render.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::analysis;
+using Clock = std::chrono::steady_clock;
+
+int main(int Argc, char **Argv) {
+  size_t Lines = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 300'000;
+  uint64_t Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 1;
+
+  std::cout << "Static race-lint throughput over "
+            << support::withThousands(Lines)
+            << " lines of synthetic monorepo Go (seed " << Seed << ")\n\n";
+
+  std::string Corpus =
+      generateCorpus(Lang::Go, GenProfile::goMonorepo(), Lines, Seed);
+
+  auto T0 = Clock::now();
+  auto Tokens = lex(Lang::Go, Corpus);
+  auto T1 = Clock::now();
+  ast::File F = parseGo(Corpus); // Re-lexes internally; measured as a
+                                 // whole-pipeline stage.
+  auto T2 = Clock::now();
+  auto Diags = runStaticChecks(F);
+  auto T3 = Clock::now();
+
+  auto Ms = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double, std::milli>(B - A).count();
+  };
+  double LexMs = Ms(T0, T1);
+  double ParseMs = Ms(T1, T2);
+  double CheckMs = Ms(T2, T3);
+  double TotalMs = LexMs + ParseMs + CheckMs;
+  double MLoC = static_cast<double>(Lines) / 1e6;
+
+  support::TextTable Table("Pipeline stage costs");
+  Table.setHeader({"Stage", "time (ms)", "throughput (KLoC/s)"});
+  auto Row = [&](const char *Name, double StageMs) {
+    Table.addRow({Name, support::fixed(StageMs, 1),
+                  support::fixed(Lines / StageMs, 0)});
+  };
+  Row("lex", LexMs);
+  Row("parse (incl. relex)", ParseMs);
+  Row("race checks", CheckMs);
+  Row("total", TotalMs);
+  Table.render(std::cout);
+
+  std::cout << "\nTokens: " << support::withThousands(Tokens.size())
+            << "; functions parsed: "
+            << support::withThousands(F.Funcs.size())
+            << "; recovered parse errors: " << F.Errors.size()
+            << "; diagnostics: " << Diags.size() << "\n"
+            << "Projected full-monorepo scan (46 MLoC): "
+            << support::fixed(TotalMs / MLoC * 46.0 / 1000.0, 1)
+            << " s single-threaded — comfortably inside a PR-time budget, "
+               "vs minutes-to-hours for the dynamic detector (§3.2.1).\n";
+  return 0;
+}

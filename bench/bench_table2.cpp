@@ -1,0 +1,31 @@
+//===- bench/bench_table2.cpp - Reproduce Table 2 --------------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Table 2: "Count of data races due to different Go language features and
+// idioms" — the Go-specific categories of the 1011 manually-labelled
+// fixed races (Observations 3-9). Samples a population at the paper's
+// counts and regenerates the table by actually running each instance's
+// racy program under the happens-before detector.
+//
+// Usage: bench_table2 [seed] [--skip-fixed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "TableBench.h"
+
+#include <cstdlib>
+#include <cstring>
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+  bool CheckFixed = true;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--skip-fixed") == 0)
+      CheckFixed = false;
+  grs::bench::runTableBench(
+      "Reproducing Table 2 (races due to Go language features and idioms)",
+      grs::corpus::table2Counts(), Seed, CheckFixed);
+  return 0;
+}

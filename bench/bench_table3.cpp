@@ -1,0 +1,44 @@
+//===- bench/bench_table3.cpp - Reproduce Table 3 --------------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Table 3: "Count of data races due to language-agnostic reasons" —
+// missing/partial locking (the single largest cause), contract-violating
+// APIs, globals, atomics, ordering, multi-component interactions, and
+// racy telemetry. The three "uncategorized" rows (removed concurrency /
+// disabled tests / major refactor) have no race program by definition and
+// are carried through verbatim.
+//
+// Usage: bench_table3 [seed] [--skip-fixed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "TableBench.h"
+
+#include <cstdlib>
+#include <cstring>
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+  bool CheckFixed = true;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--skip-fixed") == 0)
+      CheckFixed = false;
+  grs::bench::runTableBench(
+      "Reproducing Table 3 (races due to language-agnostic reasons)",
+      grs::corpus::table3Counts(), Seed, CheckFixed);
+
+  grs::corpus::UncategorizedCounts Tail;
+  grs::support::TextTable Table(
+      "\nUncategorized rows (no executable race; reported verbatim)");
+  Table.setHeader({"Description", "Paper count"});
+  Table.addRow({"Fixed by removing concurrency",
+                std::to_string(Tail.RemovedConcurrency)});
+  Table.addRow({"Fixed by disabling tests",
+                std::to_string(Tail.DisabledTests)});
+  Table.addRow({"Fixed by a major refactor",
+                std::to_string(Tail.MajorRefactor)});
+  Table.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- examples/deployment_sim.cpp - Run the industrial deployment ---------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Drives the Section 3 deployment pipeline end-to-end: the six-month
+// daily-snapshot simulation (Figure 2's architecture), the de-duplicating
+// bug database, and the ownership resolver — then pretty-prints one
+// task's assignment log, the §3.3.2 "log of how our algorithm arrived at
+// the choice of the assignee".
+//
+// Usage: deployment_sim [seed] [days]
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Deployment.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+int main(int Argc, char **Argv) {
+  DeploymentConfig Config;
+  Config.Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1;
+  if (Argc > 2)
+    Config.Days = static_cast<uint32_t>(std::atoi(Argv[2]));
+
+  std::cout << "Six-month post-facto race detection deployment (§3)\n"
+            << "====================================================\n\n"
+            << "Monorepo model: " << Config.Repo.NumServices
+            << " services, "
+            << Config.Repo.NumServices * Config.Repo.FilesPerService
+            << " files, " << Config.Repo.NumDevelopers << " developers\n"
+            << "Rollout: " << Config.Days << " days; shepherding ends day "
+            << Config.ShepherdingEndDay << "; floodgates open day "
+            << Config.FloodgateDay << "\n\n";
+
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+
+  support::renderSeriesChart(std::cout,
+                             "Outstanding detected races (Figure 3)",
+                             {O.Outstanding}, 90, 14);
+  std::cout << '\n';
+  support::renderSeriesChart(std::cout,
+                             "Cumulative found vs fixed (Figure 4)",
+                             {O.CreatedCumulative, O.ResolvedCumulative}, 90,
+                             14);
+
+  support::TextTable Stats("\nSix-month summary (paper §3.5 -> this run)");
+  Stats.setHeader({"Statistic", "Paper", "This run"});
+  Stats.addRow({"races detected", "~2000", std::to_string(O.TotalDetectedRaces)});
+  Stats.addRow({"races fixed", "1011", std::to_string(O.TotalFixedTasks)});
+  Stats.addRow({"unique patches", "790", std::to_string(O.UniquePatches)});
+  Stats.addRow({"unique fixers", "210", std::to_string(O.UniqueFixers)});
+  Stats.addRow({"new reports/day (late)", "~5",
+                support::fixed(O.AvgNewReportsPerDayLate, 1)});
+  Stats.render(std::cout);
+
+  // Show one real task with its assignment explanation.
+  const BugDatabase &Bugs = Sim.bugs();
+  for (const Task &T : Bugs.tasks()) {
+    if (T.AssignmentLog.size() < 2)
+      continue;
+    std::cout << "\nSample filed task #" << T.Id << " (fingerprint 0x"
+              << std::hex << T.Fingerprint << std::dec << ", day "
+              << T.CreatedDay << ", status "
+              << (T.Status == TaskStatus::Fixed
+                      ? "FIXED day " + std::to_string(T.FixedDay)
+                      : std::string("OPEN"))
+              << ")\nAssigned to: "
+              << Sim.repo().developerName(T.Assignee)
+              << "\nAssignment log (§3.3.2):\n";
+    for (const std::string &Line : T.AssignmentLog)
+      std::cout << "  - " << Line << '\n';
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- examples/explore_future.cpp - Hunting Listing 9 systematically ------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Listing 9's Future bug is the paper's canonical flaky race: it only
+// manifests on schedules where the context deadline beats the worker.
+// This example hunts it three ways and contrasts the §3.1/§5 trade-offs:
+//
+//   1. one `go test -race`-style run (a single schedule),
+//   2. a random seed sweep (pipeline::sweep),
+//   3. CHESS-style systematic exploration (pipeline::explore),
+//
+// then proves the channel-only fix clean under exhaustive exploration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Explore.h"
+#include "pipeline/Sweep.h"
+#include "rt/Channel.h"
+#include "rt/Context.h"
+#include "rt/Instr.h"
+#include "rt/Select.h"
+
+#include <iostream>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+/// The Listing 9 shape, compacted: worker publishes into shared fields
+/// and signals on an unbuffered channel; Wait() selects between the
+/// signal and ctx.Done(), writing the shared error on the cancel path.
+void futureBody(bool Fixed) {
+  auto Done = std::make_shared<Chan<int>>(Fixed ? 1 : 0, "future.ch");
+  auto Err = std::make_shared<Shared<int>>("future.err", 0);
+  auto [Ctx, Cancel] = Context::withTimeout(Context::background(), 40);
+  (void)Cancel;
+
+  go("future-worker", [Done, Err, Fixed] {
+    Runtime &RT = Runtime::current();
+    RT.sleepUntilStep(RT.stepCount() + 40); // f.f() takes a while.
+    if (!Fixed)
+      Err->store(1); // f.err = err — shared-memory publication.
+    Done->send(1);   // Unbuffered in the bug: may block forever.
+  });
+
+  Selector Sel;
+  Sel.onRecv<int>(*Done, [](int, bool) {});
+  Sel.onRecv<Unit>(Ctx.doneChan(), [Err, Fixed](Unit, bool) {
+    if (!Fixed)
+      Err->store(2); // Races with the worker's write.
+  });
+  Sel.run();
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Hunting the Listing 9 Future race three ways\n"
+            << "============================================\n\n";
+
+  // 1. A single run — the `go test -race` experience.
+  {
+    Runtime RT(withSeed(1));
+    RunResult One = RT.run([] { futureBody(/*Fixed=*/false); });
+    std::cout << "1. Single run (seed 1): "
+              << (One.RaceCount ? "race detected" : "NO race detected")
+              << (One.LeakedGoroutines.empty() ? ""
+                                               : " + goroutine leaked")
+              << " — one schedule proves nothing either way.\n\n";
+  }
+
+  // 2. Random seed sweep.
+  pipeline::SweepResult Swept =
+      pipeline::sweep(40, [] { futureBody(/*Fixed=*/false); });
+  std::cout << "2. Random sweep, 40 schedules: races on "
+            << Swept.SeedsWithRaces << "/40 (detection rate "
+            << static_cast<int>(Swept.detectionRate() * 100)
+            << "%), goroutine leaks on " << Swept.SeedsWithLeaks
+            << "/40, " << Swept.Findings.size()
+            << " distinct fingerprint(s) after dedup.\n"
+            << "   This is the §3.1 flakiness that forced the paper's "
+               "post-facto design.\n\n";
+
+  // 3. Systematic exploration.
+  pipeline::ExploreOptions Opts;
+  Opts.MaxRuns = 400;
+  pipeline::ExploreResult Explored =
+      pipeline::explore(Opts, [] { futureBody(/*Fixed=*/false); });
+  std::cout << "3. Systematic exploration: first racy schedule at run "
+            << Explored.FirstRacyRun << " of " << Explored.RunsExecuted
+            << "; racy on " << Explored.RacyRuns << " runs"
+            << (Explored.Exhaustive ? " (tree exhausted)" : "") << ".\n"
+            << "   Deterministic: re-running reproduces the same racy "
+               "schedule, no luck involved.\n\n";
+
+  // The fix, proven rather than sampled.
+  pipeline::ExploreResult Proven =
+      pipeline::explore(600, [] { futureBody(/*Fixed=*/true); });
+  std::cout << "Fixed Future (result travels in a buffered channel; the "
+               "cancel path touches nothing shared):\n   "
+            << Proven.RunsExecuted << " schedules explored, "
+            << Proven.RacyRuns << " races, "
+            << (Proven.Exhaustive ? "tree EXHAUSTED — race-free on every "
+                                    "schedule up to the branch bound."
+                                  : "budget reached without a race.")
+            << "\n";
+  return Proven.RacyRuns == 0 ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+//===- examples/pattern_tour.cpp - Tour of the Section 4 race corpus -------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Runs every race pattern of the paper's Section 4 (Listings 1-11 plus
+// the Table 3 categories) in both variants, across a seed sweep, and
+// prints a per-pattern detection summary — including the patterns whose
+// detection is schedule-dependent, the §3.1 flakiness the paper's whole
+// deployment design responds to.
+//
+// Usage: pattern_tour [seeds] [--show-report <pattern-id>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "support/Render.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace grs;
+using namespace grs::corpus;
+
+int main(int Argc, char **Argv) {
+  uint64_t Seeds = Argc > 1 && Argv[1][0] != '-'
+                       ? std::strtoull(Argv[1], nullptr, 10)
+                       : 25;
+  bool Markdown = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--markdown") == 0)
+      Markdown = true;
+
+  if (Markdown) {
+    // Emit the corpus catalogue as a markdown table (docs/PATTERNS.md is
+    // regenerated from this output).
+    std::cout << "# The race pattern corpus\n\n"
+              << "Every pattern ships as a racy and a fixed variant; the\n"
+              << "detection column is a " << Seeds
+              << "-seed sweep of the racy variant\n"
+              << "(sub-full scores are schedule-dependence, §3.1).\n\n"
+              << "| Pattern id | Paper ref | Obs. | Category | Detected | "
+                 "Description |\n|---|---|---|---|---|---|\n";
+    for (const Pattern &P : allPatterns()) {
+      size_t Detected = 0;
+      for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+        rt::RunOptions Opts;
+        Opts.Seed = Seed;
+        Detected += P.RunRacy(Opts).RaceCount > 0;
+      }
+      int Obs = observationNumber(P.Cat);
+      std::cout << "| `" << P.Id << "` | " << P.ListingRef << " | "
+                << (Obs ? std::to_string(Obs) : "-") << " | "
+                << categoryName(P.Cat) << " | " << Detected << "/" << Seeds
+                << " | " << P.Description << " |\n";
+    }
+    return 0;
+  }
+
+  std::cout << "Tour of the Section 4 data race patterns (" << Seeds
+            << "-seed sweep per pattern)\n\n";
+
+  support::TextTable Table("Pattern corpus");
+  Table.setHeader({"Pattern", "Paper ref", "Obs.", "Racy detected",
+                   "Fixed clean", "Leaks"});
+  for (const Pattern &P : allPatterns()) {
+    size_t Detected = 0, FixedClean = 0, Leaks = 0;
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      rt::RunOptions Opts;
+      Opts.Seed = Seed;
+      rt::RunResult Racy = P.RunRacy(Opts);
+      Detected += Racy.RaceCount > 0;
+      Leaks += !Racy.LeakedGoroutines.empty();
+      rt::RunResult Fixed = P.RunFixed(Opts);
+      FixedClean += Fixed.RaceCount == 0;
+    }
+    int Obs = observationNumber(P.Cat);
+    Table.addRow({P.Id, P.ListingRef, Obs ? std::to_string(Obs) : "-",
+                  std::to_string(Detected) + "/" + std::to_string(Seeds),
+                  std::to_string(FixedClean) + "/" + std::to_string(Seeds),
+                  std::to_string(Leaks) + "/" + std::to_string(Seeds)});
+  }
+  Table.render(std::cout);
+
+  std::cout
+      << "\nNotes:\n"
+      << "  * 'Racy detected' below " << Seeds << "/" << Seeds
+      << " is schedule-dependence, not a miss: e.g. the Listing 9\n"
+      << "    Future only races on seeds where the context deadline beats\n"
+      << "    the worker (and then also leaks the sender goroutine).\n"
+      << "  * 'Fixed clean' must be full marks: the corrected idioms are\n"
+      << "    the detector's no-false-positive check.\n";
+
+  // Optional: print the full Go-style report for one pattern.
+  for (int I = 1; I + 1 < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--show-report") != 0)
+      continue;
+    const Pattern *P = findPattern(Argv[I + 1]);
+    if (!P) {
+      std::cerr << "error: unknown pattern id '" << Argv[I + 1] << "'\n";
+      return 1;
+    }
+    std::cout << "\n" << P->Id << " (" << P->ListingRef
+              << "): " << P->Description << "\n\n";
+    for (uint64_t Seed = 1; Seed <= 64; ++Seed) {
+      rt::RunOptions Opts;
+      Opts.Seed = Seed;
+      bool Printed = false;
+      Opts.OnReport = [&Printed](const race::Detector &D,
+                                 const race::RaceReport &Report) {
+        if (Printed)
+          return;
+        Printed = true;
+        race::printReport(std::cout, D.interner(), Report);
+      };
+      rt::RunResult Result = P->RunRacy(Opts);
+      if (Result.RaceCount == 0)
+        continue;
+      std::cout << "(manifested at seed " << Seed << ")\n";
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Write a small Go-like concurrent program, run it under the deterministic
+// runtime with the race detector on, and read the report — the same
+// "WARNING: DATA RACE" experience `go test -race` gives, but reproducible
+// per seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Sync.h"
+
+#include <iostream>
+
+using namespace grs;
+using namespace grs::rt;
+
+int main() {
+  std::cout << "gorace-study quickstart\n"
+            << "=======================\n\n"
+            << "Program: two goroutines increment a shared counter.\n"
+            << "Buggy version: no lock. Fixed version: a sync.Mutex.\n\n";
+
+  //===--------------------------------------------------------------------===
+  // 1. The buggy program.
+  //===--------------------------------------------------------------------===
+  Runtime Buggy(withSeed(42));
+  RunResult BuggyResult = Buggy.run([] {
+    FuncScope Fn("main", "counter.go", 1);
+    auto Counter = std::make_shared<Shared<int>>("counter", 0);
+    WaitGroup Wg;
+    for (int I = 0; I < 2; ++I) {
+      Wg.add(1);
+      go("incrementer", [Counter, &Wg] {
+        FuncScope Inner("incrementCounter", "counter.go", 7);
+        atLine(8);
+        Counter->store(Counter->load() + 1); // counter++ — unprotected.
+        Wg.done();
+      });
+    }
+    Wg.wait();
+    std::cout << "buggy run finished; counter = " << Counter->load()
+              << "\n\n";
+  });
+
+  std::cout << "Detector found " << BuggyResult.RaceCount
+            << " race(s). First report:\n\n";
+  if (!Buggy.det().reports().empty())
+    race::printReport(std::cout, Buggy.det().interner(),
+                      Buggy.det().reports().front());
+
+  //===--------------------------------------------------------------------===
+  // 2. The fixed program.
+  //===--------------------------------------------------------------------===
+  Runtime Fixed(withSeed(42));
+  RunResult FixedResult = Fixed.run([] {
+    FuncScope Fn("main", "counter.go", 1);
+    auto Counter = std::make_shared<Shared<int>>("counter", 0);
+    auto Mu = std::make_shared<Mutex>("mu");
+    WaitGroup Wg;
+    for (int I = 0; I < 2; ++I) {
+      Wg.add(1);
+      go("incrementer", [Counter, Mu, &Wg] {
+        FuncScope Inner("incrementCounter", "counter.go", 7);
+        Mu->lock();
+        Counter->store(Counter->load() + 1);
+        Mu->unlock();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+
+  std::cout << "\nFixed version: " << FixedResult.RaceCount
+            << " race(s) reported (clean=" << std::boolalpha
+            << FixedResult.clean() << ").\n\n";
+
+  //===--------------------------------------------------------------------===
+  // 3. Determinism: the same seed replays the same schedule.
+  //===--------------------------------------------------------------------===
+  auto StepsFor = [](uint64_t Seed) {
+    Runtime RT(withSeed(Seed));
+    return RT
+        .run([] {
+          auto X = std::make_shared<Shared<int>>("x", 0);
+          WaitGroup Wg;
+          for (int I = 0; I < 3; ++I) {
+            Wg.add(1);
+            go("w", [X, &Wg] {
+              X->store(X->load() + 1);
+              Wg.done();
+            });
+          }
+          Wg.wait();
+        })
+        .Steps;
+  };
+  std::cout << "Scheduling is a pure function of the seed:\n"
+            << "  seed 7  -> " << StepsFor(7) << " steps (twice: "
+            << StepsFor(7) << ")\n"
+            << "  seed 8  -> " << StepsFor(8) << " steps\n\n"
+            << "Next steps: run examples/pattern_tour for all Section 4\n"
+            << "race patterns, and examples/deployment_sim for the\n"
+            << "six-month industrial deployment simulation.\n";
+  return 0;
+}

@@ -1,0 +1,194 @@
+//===- examples/static_lint.cpp - Static race linting of Go source ---------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// The paper's closing hope: "We believe the bug patterns in Go presented
+// in this paper can inspire further research in static race detection for
+// Go" (§5). This example feeds the paper's own listings — as Go source —
+// through the library's parser + static checks and prints what a PR-time
+// linter would have said before any of those races shipped.
+//
+// Usage: static_lint            (lints the built-in paper listings)
+//        static_lint <file.go>  (lints a file from disk)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticChecks.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace grs::analysis;
+
+namespace {
+
+struct Sample {
+  const char *Title;
+  const char *Source;
+};
+
+const Sample PaperListings[] = {
+    {"Listing 1 — loop index variable capture",
+     R"go(
+package listing1
+
+func ProcessJobs(jobs []Job) {
+  for _, job := range jobs {
+    go func() {
+      ProcessJob(job)
+    }()
+  }
+}
+)go"},
+    {"Listing 2 — idiomatic err variable capture",
+     R"go(
+package listing2
+
+func FetchAndProcess() {
+  x, err := Foo()
+  if err != nil {
+    return
+  }
+  go func() {
+    y, err = Bar(x)
+    if err != nil {
+      handle(y)
+    }
+  }()
+  z, err := Baz()
+  use(z)
+}
+)go"},
+    {"Listing 3 — named return variable capture",
+     R"go(
+package listing3
+
+func NamedReturnCallee() (result int) {
+  result = 10
+  if done() {
+    return
+  }
+  go func() {
+    use(result)
+  }()
+  return 20
+}
+)go"},
+    {"Listing 5 — slice passed by value alongside a locked closure",
+     R"go(
+package listing5
+
+func ProcessAll(uuids []string) {
+  var myResults []string
+  var mutex sync.Mutex
+  safeAppend := func(res string) {
+    mutex.Lock()
+    myResults = append(myResults, res)
+    mutex.Unlock()
+  }
+  for _, uuid := range uuids {
+    go func(id string, results []string) {
+      safeAppend(Foo(id))
+    }(uuid, myResults)
+  }
+}
+)go"},
+    {"Listing 6 — concurrent map access",
+     R"go(
+package listing6
+
+func processOrders(uuids []string) error {
+  errMap := make(map[string]error)
+  for _, uuid := range uuids {
+    go func(u string) {
+      _, err := GetOrder(u)
+      if err != nil {
+        errMap[u] = err
+      }
+    }(uuid)
+  }
+  return combinedError(errMap)
+}
+)go"},
+    {"Listing 7 — sync.Mutex passed by value",
+     R"go(
+package listing7
+
+func CriticalSection(m sync.Mutex) {
+  m.Lock()
+  a = a + 1
+  m.Unlock()
+}
+)go"},
+    {"Listing 10 — wg.Add inside the goroutine",
+     R"go(
+package listing10
+
+func WaitGrpExample(itemIds []int) {
+  var wg sync.WaitGroup
+  for _, id := range itemIds {
+    go func(i int) {
+      wg.Add(1)
+      defer wg.Done()
+      process(i)
+    }(id)
+  }
+  wg.Wait()
+}
+)go"},
+    {"Listing 11 — mutation under RLock",
+     R"go(
+package listing11
+
+func (g *HealthGate) updateGate() {
+  g.mutex.RLock()
+  defer g.mutex.RUnlock()
+  if notReady(g) {
+    g.ready = true
+    g.gate.Accept()
+  }
+}
+)go"},
+};
+
+void lintOne(const std::string &Title, const std::string &Source) {
+  std::cout << Title << "\n" << std::string(Title.size(), '-') << "\n";
+  std::vector<Diagnostic> Diags = lintGoSource(Source);
+  if (Diags.empty()) {
+    std::cout << "  clean: no static race patterns found\n\n";
+    return;
+  }
+  for (const Diagnostic &D : Diags)
+    std::cout << "  " << D.Function << ":" << D.Line << ": [" << D.Check
+              << "] " << D.Message << "\n";
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc > 1) {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::cerr << "error: cannot open " << Argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    lintOne(Argv[1], Buf.str());
+    return 0;
+  }
+
+  std::cout << "Static race linting of the paper's listings (§5 research "
+               "direction)\n\n";
+  for (const Sample &S : PaperListings)
+    lintOne(S.Title, S.Source);
+
+  std::cout << "Each diagnostic above corresponds to a race the dynamic\n"
+               "detector confirms at runtime (see examples/pattern_tour);\n"
+               "a PR-time linter with these checks would have blocked the\n"
+               "pattern before it shipped — at zero runtime cost.\n";
+  return 0;
+}

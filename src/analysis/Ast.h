@@ -1,0 +1,198 @@
+//===- analysis/Ast.h - AST for the Go subset -------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the Go subset the static race checks consume.
+/// The paper closes hoping its patterns "can inspire further research in
+/// static race detection for Go" (§5) — src/analysis's parser + checks
+/// prototype exactly that: syntactic detectors for the Section 4 races
+/// (loop-variable capture, err capture, mutex-by-value, Add-inside-
+/// goroutine, RLock-section mutation, ...).
+///
+/// The AST is deliberately loose: expressions keep their children
+/// positionally with the layout documented per kind, and anything the
+/// parser cannot classify degrades to Kind::Other rather than failing the
+/// file — industrial linters must survive arbitrary code (§3.2's "many
+/// low-cost static analysis checks" run on every PR).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_ANALYSIS_AST_H
+#define GRS_ANALYSIS_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace analysis {
+namespace ast {
+
+struct Stmt;
+
+/// A function parameter or result: `name Type`. Results may be unnamed.
+struct Param {
+  std::string Name;
+  std::string Type; ///< Flattened type text, e.g. "*sync.Mutex", "[]int".
+};
+
+/// Expression node.
+///
+/// Child layout by kind:
+///  * Ident    — Text = name; no children.
+///  * Literal  — Text = literal text; no children.
+///  * Selector — Children[0] = base; Text = field name.
+///  * Call     — Children[0] = callee; Children[1..] = arguments.
+///  * Index    — Children[0] = base; Children[1] = index (may be null for
+///               skipped indices).
+///  * Unary    — Text = operator; Children[0] = operand.
+///  * Binary   — Text = operator; Children[0] = lhs; Children[1] = rhs.
+///  * FuncLit  — Params/Results set; Body set; no children.
+///  * Composite— Text = flattened type text; children unparsed (skipped).
+///  * Other    — anything unparsable; Text best-effort.
+struct Expr {
+  enum class Kind : uint8_t {
+    Ident,
+    Literal,
+    Selector,
+    Call,
+    Index,
+    Unary,
+    Binary,
+    FuncLit,
+    Composite,
+    Other,
+  };
+
+  Kind K = Kind::Other;
+  uint32_t Line = 0;
+  std::string Text;
+  std::vector<std::unique_ptr<Expr>> Children;
+  // FuncLit payload.
+  std::vector<Param> Params;
+  std::vector<Param> Results;
+  std::unique_ptr<Stmt> Body;
+
+  bool isIdent(std::string_view Name) const {
+    return K == Kind::Ident && Text == Name;
+  }
+};
+
+/// Statement node.
+///
+/// Expr/Stmt layout by kind:
+///  * Block        — Stmts = body.
+///  * ExprStmt     — Exprs[0].
+///  * Assign       — Text = op ("=", "+=", ...); Exprs = lhs list then rhs
+///                   list; NumLhs tells where the split is.
+///  * ShortVarDecl — Names = declared names; Exprs = rhs list.
+///  * VarDecl      — Names = declared names; Text = type text; Exprs =
+///                   initializers (possibly empty).
+///  * If           — Exprs[0] = condition; Stmts[0] = then-block;
+///                   Stmts[1] = else (optional).
+///  * For          — Stmts[0] = body; Exprs hold loosely parsed header
+///                   pieces; Names = variables declared in the init.
+///  * RangeFor     — Names = key/value variables; Exprs[0] = ranged
+///                   expression; Stmts[0] = body.
+///  * Go           — Exprs[0] = the spawned call expression.
+///  * DeferStmt    — Exprs[0] = the deferred call expression.
+///  * Return       — Exprs = returned values (empty = naked return).
+///  * Other        — skipped/unparsable region.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,
+    ExprStmt,
+    Assign,
+    ShortVarDecl,
+    VarDecl,
+    If,
+    For,
+    RangeFor,
+    Go,
+    DeferStmt,
+    Return,
+    Other,
+  };
+
+  Kind K = Kind::Other;
+  uint32_t Line = 0;
+  std::string Text;
+  size_t NumLhs = 0;
+  std::vector<std::string> Names;
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+};
+
+/// A top-level function or method declaration.
+struct FuncDecl {
+  std::string Name;
+  uint32_t Line = 0;
+  /// Method receiver ("" for plain functions), e.g. "*HealthGate".
+  std::string ReceiverType;
+  std::string ReceiverName;
+  std::vector<Param> Params;
+  std::vector<Param> Results; ///< Named results have non-empty Name.
+  std::unique_ptr<Stmt> Body; ///< Block, or null for declarations.
+
+  bool hasNamedResults() const {
+    for (const Param &R : Results)
+      if (!R.Name.empty())
+        return true;
+    return false;
+  }
+};
+
+/// A parsed source file.
+struct File {
+  std::string PackageName;
+  std::vector<FuncDecl> Funcs;
+  /// Parser diagnostics (recovered-from errors).
+  std::vector<std::string> Errors;
+};
+
+//===----------------------------------------------------------------------===//
+// Traversal helpers
+//===----------------------------------------------------------------------===//
+
+/// Pre-order walk over an expression tree. Does NOT descend into FuncLit
+/// bodies (use walk() on the body for that).
+template <typename Fn> void walkExprs(const Expr &E, Fn Visit) {
+  Visit(E);
+  for (const auto &Child : E.Children)
+    if (Child)
+      walkExprs(*Child, Visit);
+}
+
+/// Pre-order walk over statements and their expressions.
+/// \p VisitStmt and \p VisitExpr may be any callables; FuncLit bodies are
+/// entered when \p IntoFuncLits.
+template <typename StmtFn, typename ExprFn>
+void walk(const Stmt &S, StmtFn VisitStmt, ExprFn VisitExpr,
+          bool IntoFuncLits = true) {
+  VisitStmt(S);
+  auto WalkExpr = [&](const Expr &E, auto &&Self) -> void {
+    VisitExpr(E);
+    for (const auto &Child : E.Children)
+      if (Child)
+        Self(*Child, Self);
+    if (IntoFuncLits && E.Body)
+      walk(*E.Body, VisitStmt, VisitExpr, IntoFuncLits);
+  };
+  for (const auto &E : S.Exprs)
+    if (E)
+      WalkExpr(*E, WalkExpr);
+  for (const auto &Sub : S.Stmts)
+    if (Sub)
+      walk(*Sub, VisitStmt, VisitExpr, IntoFuncLits);
+}
+
+} // namespace ast
+} // namespace analysis
+} // namespace grs
+
+#endif // GRS_ANALYSIS_AST_H

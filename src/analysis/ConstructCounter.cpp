@@ -1,0 +1,92 @@
+//===- analysis/ConstructCounter.cpp - Table 1 feature census --------------===//
+
+#include "analysis/ConstructCounter.h"
+
+#include <algorithm>
+
+using namespace grs;
+using namespace grs::analysis;
+
+ConstructCounts &ConstructCounts::operator+=(const ConstructCounts &Other) {
+  Lines += Other.Lines;
+  GoStatements += Other.GoStatements;
+  ThreadStarts += Other.ThreadStarts;
+  Synchronized += Other.Synchronized;
+  AcquireRelease += Other.AcquireRelease;
+  LockUnlock += Other.LockUnlock;
+  RLockRUnlock += Other.RLockRUnlock;
+  ChannelOps += Other.ChannelOps;
+  WaitGroups += Other.WaitGroups;
+  BarrierLatchPhaser += Other.BarrierLatchPhaser;
+  MapConstructs += Other.MapConstructs;
+  return *this;
+}
+
+/// \returns true if tokens at [I, end) start with `.` Name `(`.
+static bool isMethodCall(const std::vector<Token> &Tokens, size_t I,
+                         std::string_view Name) {
+  return I + 2 < Tokens.size() && Tokens[I].is(TokKind::Operator, ".") &&
+         Tokens[I + 1].Kind == TokKind::Identifier &&
+         Tokens[I + 1].Text == Name && Tokens[I + 2].is(TokKind::Punct, "(");
+}
+
+ConstructCounts
+grs::analysis::countConstructs(Lang Language,
+                               const std::vector<Token> &Tokens,
+                               uint64_t Lines) {
+  ConstructCounts Counts;
+  Counts.Lines = Lines;
+
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    const Token &T = Tokens[I];
+
+    if (Language == Lang::Go) {
+      // `go <call>`: the keyword followed by a callable expression.
+      if (T.is(TokKind::Keyword, "go"))
+        ++Counts.GoStatements;
+      if (T.is(TokKind::Operator, "<-"))
+        ++Counts.ChannelOps;
+      if (isMethodCall(Tokens, I, "Lock") || isMethodCall(Tokens, I, "Unlock"))
+        ++Counts.LockUnlock;
+      if (isMethodCall(Tokens, I, "RLock") ||
+          isMethodCall(Tokens, I, "RUnlock"))
+        ++Counts.RLockRUnlock;
+      if (T.Kind == TokKind::Identifier && T.Text == "WaitGroup")
+        ++Counts.WaitGroups;
+      // `map[` — the built-in map type constructor.
+      if (T.is(TokKind::Keyword, "map") && I + 1 < Tokens.size() &&
+          Tokens[I + 1].is(TokKind::Punct, "["))
+        ++Counts.MapConstructs;
+      continue;
+    }
+
+    // Java.
+    if (T.is(TokKind::Keyword, "synchronized"))
+      ++Counts.Synchronized;
+    if (isMethodCall(Tokens, I, "start"))
+      ++Counts.ThreadStarts;
+    if (isMethodCall(Tokens, I, "acquire") ||
+        isMethodCall(Tokens, I, "release"))
+      ++Counts.AcquireRelease;
+    if (isMethodCall(Tokens, I, "lock") || isMethodCall(Tokens, I, "unlock"))
+      ++Counts.LockUnlock;
+    if (T.Kind == TokKind::Identifier &&
+        (T.Text == "CyclicBarrier" || T.Text == "CountDownLatch" ||
+         T.Text == "Phaser"))
+      ++Counts.BarrierLatchPhaser;
+    if (T.Kind == TokKind::Identifier &&
+        (T.Text == "HashMap" || T.Text == "TreeMap" ||
+         T.Text == "ConcurrentHashMap" || T.Text == "Map" ||
+         T.Text == "LinkedHashMap"))
+      ++Counts.MapConstructs;
+  }
+  return Counts;
+}
+
+ConstructCounts grs::analysis::countConstructs(Lang Language,
+                                               std::string_view Source) {
+  uint64_t Lines =
+      static_cast<uint64_t>(std::count(Source.begin(), Source.end(), '\n')) +
+      (!Source.empty() && Source.back() != '\n' ? 1 : 0);
+  return countConstructs(Language, lex(Language, Source), Lines);
+}

@@ -1,0 +1,86 @@
+//===- analysis/ConstructCounter.h - Table 1 feature census -----*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency-construct census of Table 1 (§2): counts of
+/// concurrency creation, point-to-point synchronization, and group
+/// communication constructs, per language, from token streams.
+///
+/// Counted constructs mirror the paper's:
+///  * Go   — `go` statements; .Lock()/.Unlock(); .RLock()/.RUnlock();
+///           channel `<-` operators; `WaitGroup` mentions; `map[`
+///           constructs.
+///  * Java — .start() calls; `synchronized`; .acquire()/.release();
+///           .lock()/.unlock(); CyclicBarrier/CountDownLatch/Phaser;
+///           *Map type mentions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_ANALYSIS_CONSTRUCTCOUNTER_H
+#define GRS_ANALYSIS_CONSTRUCTCOUNTER_H
+
+#include "analysis/Lexer.h"
+
+#include <cstdint>
+
+namespace grs {
+namespace analysis {
+
+/// Construct counts for one corpus (absolute, plus the line total used to
+/// normalize per MLoC).
+struct ConstructCounts {
+  uint64_t Lines = 0;
+  // Concurrency creation.
+  uint64_t GoStatements = 0;     ///< Go: `go <call>`.
+  uint64_t ThreadStarts = 0;     ///< Java: `.start()`.
+  // Point-to-point synchronization.
+  uint64_t Synchronized = 0;     ///< Java keyword.
+  uint64_t AcquireRelease = 0;   ///< Java .acquire()/.release().
+  uint64_t LockUnlock = 0;       ///< .Lock()/.Unlock() (Go), .lock()/.unlock() (Java).
+  uint64_t RLockRUnlock = 0;     ///< Go .RLock()/.RUnlock().
+  uint64_t ChannelOps = 0;       ///< Go `<-` sends/receives.
+  // Group communication.
+  uint64_t WaitGroups = 0;       ///< Go WaitGroup mentions.
+  uint64_t BarrierLatchPhaser = 0; ///< Java group constructs.
+  // Built-in / library maps (§4.4's 1.34x density comparison).
+  uint64_t MapConstructs = 0;
+
+  uint64_t concurrencyCreation() const {
+    return GoStatements + ThreadStarts;
+  }
+  uint64_t pointToPoint() const {
+    return Synchronized + AcquireRelease + LockUnlock + RLockRUnlock +
+           ChannelOps;
+  }
+  uint64_t groupCommunication() const {
+    return WaitGroups + BarrierLatchPhaser;
+  }
+
+  /// \returns \p Count normalized per million lines.
+  double perMLoC(uint64_t Count) const {
+    if (Lines == 0)
+      return 0.0;
+    return static_cast<double>(Count) * 1'000'000.0 /
+           static_cast<double>(Lines);
+  }
+
+  /// Accumulates another file/corpus into this one.
+  ConstructCounts &operator+=(const ConstructCounts &Other);
+};
+
+/// Counts constructs in one file's \p Source.
+ConstructCounts countConstructs(Lang Language, std::string_view Source);
+
+/// Token-stream variant when the caller already lexed.
+ConstructCounts countConstructs(Lang Language,
+                                const std::vector<Token> &Tokens,
+                                uint64_t Lines);
+
+} // namespace analysis
+} // namespace grs
+
+#endif // GRS_ANALYSIS_CONSTRUCTCOUNTER_H

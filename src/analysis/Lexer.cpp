@@ -1,0 +1,242 @@
+//===- analysis/Lexer.cpp - Go/Java tokenizers ------------------------------===//
+
+#include "analysis/Lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+using namespace grs;
+using namespace grs::analysis;
+
+static const char *const GoKeywords[] = {
+    "break",    "case",   "chan",  "const",       "continue", "default",
+    "defer",    "else",   "fallthrough", "for",   "func",     "go",
+    "goto",     "if",     "import", "interface",  "map",      "package",
+    "range",    "return", "select", "struct",     "switch",   "type",
+    "var",
+};
+
+static const char *const JavaKeywords[] = {
+    "abstract", "assert",    "boolean", "break",      "byte",     "case",
+    "catch",    "char",      "class",   "const",      "continue", "default",
+    "do",       "double",    "else",    "enum",       "extends",  "final",
+    "finally",  "float",     "for",     "goto",       "if",       "implements",
+    "import",   "instanceof","int",     "interface",  "long",     "native",
+    "new",      "package",   "private", "protected",  "public",   "return",
+    "short",    "static",    "strictfp","super",      "switch",
+    "synchronized", "this",  "throw",   "throws",     "transient","try",
+    "void",     "volatile",  "while",
+};
+
+bool grs::analysis::isKeyword(Lang Language, std::string_view Word) {
+  auto Contains = [Word](const auto &List) {
+    return std::any_of(std::begin(List), std::end(List),
+                       [Word](const char *K) { return Word == K; });
+  };
+  return Language == Lang::Go ? Contains(GoKeywords) : Contains(JavaKeywords);
+}
+
+namespace {
+/// Cursor over the source text with line tracking.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Text) : Text(Text) {}
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Text[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  uint32_t line() const { return Line; }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+} // namespace
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+static bool isIdentCont(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+std::vector<Token> grs::analysis::lex(Lang Language,
+                                      std::string_view Source) {
+  std::vector<Token> Tokens;
+  Cursor C(Source);
+
+  auto Emit = [&Tokens](TokKind Kind, std::string Text, uint32_t Line) {
+    Tokens.push_back(Token{Kind, std::move(Text), Line});
+  };
+
+  while (!C.atEnd()) {
+    uint32_t Line = C.line();
+    char Ch = C.peek();
+
+    // Whitespace.
+    if (Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n') {
+      C.advance();
+      continue;
+    }
+
+    // Comments: // ... and /* ... */ in both languages.
+    if (Ch == '/' && C.peek(1) == '/') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+    if (Ch == '/' && C.peek(1) == '*') {
+      C.advance();
+      C.advance();
+      while (!C.atEnd() && !(C.peek() == '*' && C.peek(1) == '/'))
+        C.advance();
+      if (!C.atEnd()) {
+        C.advance();
+        C.advance();
+      }
+      continue;
+    }
+
+    // String literals: "..." (both), `...` raw (Go only).
+    if (Ch == '"' || (Language == Lang::Go && Ch == '`')) {
+      char Quote = C.advance();
+      std::string Text;
+      while (!C.atEnd() && C.peek() != Quote) {
+        if (Quote == '"' && C.peek() == '\\') {
+          C.advance(); // Skip the backslash; keep the escaped char.
+          if (C.atEnd())
+            break;
+        }
+        Text.push_back(C.advance());
+      }
+      if (!C.atEnd())
+        C.advance(); // Closing quote.
+      Emit(TokKind::String, std::move(Text), Line);
+      continue;
+    }
+
+    // Rune / char literal.
+    if (Ch == '\'') {
+      C.advance();
+      std::string Text;
+      while (!C.atEnd() && C.peek() != '\'') {
+        if (C.peek() == '\\') {
+          C.advance();
+          if (C.atEnd())
+            break;
+        }
+        Text.push_back(C.advance());
+      }
+      if (!C.atEnd())
+        C.advance();
+      Emit(TokKind::Rune, std::move(Text), Line);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (isIdentStart(Ch)) {
+      std::string Word;
+      while (!C.atEnd() && isIdentCont(C.peek()))
+        Word.push_back(C.advance());
+      TokKind Kind = isKeyword(Language, Word) ? TokKind::Keyword
+                                               : TokKind::Identifier;
+      Emit(Kind, std::move(Word), Line);
+      continue;
+    }
+
+    // Numbers (loose: digits, dots, hex letters, exponents).
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      std::string Num;
+      while (!C.atEnd() &&
+             (isIdentCont(C.peek()) || C.peek() == '.' ||
+              ((C.peek() == '+' || C.peek() == '-') && !Num.empty() &&
+               (Num.back() == 'e' || Num.back() == 'E'))))
+        Num.push_back(C.advance());
+      Emit(TokKind::Number, std::move(Num), Line);
+      continue;
+    }
+
+    // Multi-char operators we care about, longest first.
+    static const std::string_view MultiOps[] = {
+        "<-", ":=", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+        "|=", "^=", "->", "...",
+    };
+    bool Matched = false;
+    for (std::string_view Op : MultiOps) {
+      bool Ok = true;
+      for (size_t I = 0; I < Op.size(); ++I)
+        if (C.peek(I) != Op[I]) {
+          Ok = false;
+          break;
+        }
+      if (Ok) {
+        for (size_t I = 0; I < Op.size(); ++I)
+          C.advance();
+        Emit(TokKind::Operator, std::string(Op), Line);
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    // Single-char punctuation and operators.
+    C.advance();
+    static const std::string_view Puncts = "()[]{},;";
+    if (Puncts.find(Ch) != std::string_view::npos)
+      Emit(TokKind::Punct, std::string(1, Ch), Line);
+    else
+      Emit(TokKind::Operator, std::string(1, Ch), Line);
+  }
+
+  Emit(TokKind::EndOfFile, "", C.line());
+  return Tokens;
+}
+
+std::vector<Token> grs::analysis::insertSemicolons(std::vector<Token> Tokens) {
+  auto EndsStatement = [](const Token &T) {
+    switch (T.Kind) {
+    case TokKind::Identifier:
+    case TokKind::Number:
+    case TokKind::String:
+    case TokKind::Rune:
+      return true;
+    case TokKind::Keyword:
+      return T.Text == "return" || T.Text == "break" ||
+             T.Text == "continue" || T.Text == "fallthrough";
+    case TokKind::Operator:
+      return T.Text == "++" || T.Text == "--";
+    case TokKind::Punct:
+      return T.Text == ")" || T.Text == "]" || T.Text == "}";
+    default:
+      return false;
+    }
+  };
+
+  std::vector<Token> Out;
+  Out.reserve(Tokens.size() + Tokens.size() / 4);
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (!Out.empty() && Tokens[I].Line > Out.back().Line &&
+        EndsStatement(Out.back()))
+      Out.push_back(Token{TokKind::Punct, ";", Out.back().Line});
+    Out.push_back(std::move(Tokens[I]));
+  }
+  return Out;
+}

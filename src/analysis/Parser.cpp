@@ -1,0 +1,740 @@
+//===- analysis/Parser.cpp - Error-tolerant parser for the Go subset -------===//
+
+#include "analysis/Parser.h"
+
+#include <cassert>
+
+using namespace grs;
+using namespace grs::analysis;
+using namespace grs::analysis::ast;
+
+namespace {
+
+/// Assignment operators that make a statement an ast::Stmt::Kind::Assign.
+bool isAssignOp(const Token &T) {
+  if (T.Kind != TokKind::Operator)
+    return false;
+  static const char *const Ops[] = {"=",  "+=", "-=",  "*=",  "/=", "%=",
+                                    "&=", "|=", "^=", "<<=", ">>="};
+  for (const char *Op : Ops)
+    if (T.Text == Op)
+      return true;
+  return false;
+}
+
+/// Binary operators recognized by the flat expression combiner. `<-` is
+/// included so channel sends parse as Binary("<-", ch, value).
+bool isBinaryOp(const Token &T) {
+  if (T.Kind != TokKind::Operator)
+    return false;
+  static const char *const Ops[] = {
+      "+",  "-",  "*",  "/",  "%",  "&",  "|", "^",  "<<", ">>",
+      "&&", "||", "==", "!=", "<",  "<=", ">", ">=", "<-",
+  };
+  for (const char *Op : Ops)
+    if (T.Text == Op)
+      return true;
+  return false;
+}
+
+bool startsType(const Token &T) {
+  if (T.Kind == TokKind::Identifier)
+    return true;
+  if (T.Kind == TokKind::Keyword)
+    return T.Text == "map" || T.Text == "func" || T.Text == "chan" ||
+           T.Text == "struct" || T.Text == "interface";
+  if (T.Kind == TokKind::Operator)
+    return T.Text == "*" || T.Text == "...";
+  if (T.Kind == TokKind::Punct)
+    return T.Text == "[" || T.Text == "(";
+  return false;
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source)
+      : Tokens(insertSemicolons(lex(Lang::Go, Source))) {}
+
+  File parseFile();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Cursor primitives
+  //===--------------------------------------------------------------------===
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Index = Pos + Ahead;
+    return Index < Tokens.size() ? Tokens[Index] : Tokens.back();
+  }
+  bool atEnd() const { return peek().Kind == TokKind::EndOfFile; }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    else
+      Pos = Tokens.size() - 1;
+    return T;
+  }
+  bool at(TokKind K, std::string_view Text) const {
+    return peek().Kind == K && peek().Text == Text;
+  }
+  bool atKeyword(std::string_view Kw) const {
+    return at(TokKind::Keyword, Kw);
+  }
+  bool atPunct(std::string_view P) const { return at(TokKind::Punct, P); }
+  bool atOp(std::string_view Op) const { return at(TokKind::Operator, Op); }
+  bool accept(TokKind K, std::string_view Text) {
+    if (!at(K, Text))
+      return false;
+    advance();
+    return true;
+  }
+  void error(const std::string &Message) {
+    Errors.push_back("line " + std::to_string(peek().Line) + ": " + Message);
+  }
+
+  /// Skips (balanced) until a depth-0 `;` (consumed) or a depth-0 `}`
+  /// (NOT consumed) — the statement-level recovery point.
+  void recoverToStatementBoundary() {
+    int Depth = 0;
+    while (!atEnd()) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::Punct) {
+        if (T.Text == "(" || T.Text == "[" || T.Text == "{")
+          ++Depth;
+        else if (T.Text == ")" || T.Text == "]")
+          --Depth;
+        else if (T.Text == "}") {
+          if (Depth == 0)
+            return;
+          --Depth;
+        } else if (T.Text == ";" && Depth == 0) {
+          advance();
+          return;
+        }
+      }
+      advance();
+    }
+  }
+
+  /// Skips one balanced bracket group starting at the current opener.
+  void skipBalanced() {
+    static const std::string_view Openers = "([{";
+    if (peek().Kind != TokKind::Punct ||
+        Openers.find(peek().Text) == std::string_view::npos)
+      return;
+    int Depth = 0;
+    while (!atEnd()) {
+      const Token &T = advance();
+      if (T.Kind != TokKind::Punct)
+        continue;
+      if (T.Text == "(" || T.Text == "[" || T.Text == "{")
+        ++Depth;
+      else if (T.Text == ")" || T.Text == "]" || T.Text == "}") {
+        if (--Depth == 0)
+          return;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Types and parameters
+  //===--------------------------------------------------------------------===
+
+  /// Flattens type tokens until a depth-0 `,`, `)`, `{`, `;`, or `=`.
+  std::string parseTypeText() {
+    std::string Text;
+    int Depth = 0;
+    while (!atEnd()) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::Punct) {
+        if (Depth == 0 &&
+            (T.Text == "," || T.Text == ")" || T.Text == "{" ||
+             T.Text == ";"))
+          break;
+        if (T.Text == "(" || T.Text == "[")
+          ++Depth;
+        if (T.Text == ")" || T.Text == "]")
+          --Depth;
+        // A `{` inside a type (struct/interface literal types): skip the
+        // whole group textually.
+        if (T.Text == "{") {
+          skipBalanced();
+          Text += "{}";
+          continue;
+        }
+      }
+      if (Depth == 0 && isAssignOp(T))
+        break;
+      if (T.Kind == TokKind::Keyword &&
+          (T.Text == "chan" || T.Text == "func" || T.Text == "map" ||
+           T.Text == "struct" || T.Text == "interface"))
+        Text += T.Text == "chan" ? "chan " : T.Text;
+      else
+        Text += T.Text;
+      advance();
+    }
+    return Text;
+  }
+
+  /// Parses a parenthesized parameter/result list; the cursor must be at
+  /// `(`. Applies Go's all-named-or-all-unnamed rule to resolve grouped
+  /// names (`a, b int`).
+  std::vector<Param> parseParamList() {
+    std::vector<Param> Params;
+    if (!accept(TokKind::Punct, "("))
+      return Params;
+    while (!atEnd() && !atPunct(")")) {
+      Param P;
+      // `name Type` when an identifier is followed by something that
+      // starts a type; otherwise an unnamed type.
+      if (peek().Kind == TokKind::Identifier && startsType(peek(1)) &&
+          !(peek(1).Kind == TokKind::Punct && peek(1).Text == "(")) {
+        P.Name = advance().Text;
+        P.Type = parseTypeText();
+      } else if (peek().Kind == TokKind::Identifier &&
+                 (peek(1).Kind == TokKind::Punct &&
+                  (peek(1).Text == "," || peek(1).Text == ")"))) {
+        // Bare identifier: either an unnamed named-type param or a
+        // grouped name (`a, b int`); resolved in the post-pass.
+        P.Name = advance().Text;
+      } else {
+        P.Type = parseTypeText();
+      }
+      Params.push_back(std::move(P));
+      if (!accept(TokKind::Punct, ","))
+        break;
+    }
+    accept(TokKind::Punct, ")");
+
+    // Post-pass: `a, b int` leaves `a` with an empty type — give grouped
+    // names the type of the next param that has one. If NO param has a
+    // type, the bare identifiers were actually unnamed types.
+    bool AnyTyped = false;
+    for (const Param &P : Params)
+      AnyTyped |= !P.Type.empty();
+    if (AnyTyped) {
+      for (size_t I = Params.size(); I > 0; --I) {
+        Param &P = Params[I - 1];
+        if (P.Type.empty() && I < Params.size())
+          P.Type = Params[I].Type;
+      }
+    } else {
+      for (Param &P : Params) {
+        P.Type = P.Name;
+        P.Name.clear();
+      }
+    }
+    return Params;
+  }
+
+  /// Parses an optional result list: `(r1 T1, r2 T2)`, `(T1, T2)`, or a
+  /// single bare type.
+  std::vector<Param> parseResults() {
+    std::vector<Param> Results;
+    if (atPunct("("))
+      return parseParamList();
+    if (atPunct("{") || atPunct(";") || atEnd())
+      return Results;
+    Param Single;
+    Single.Type = parseTypeText();
+    if (!Single.Type.empty())
+      Results.push_back(std::move(Single));
+    return Results;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  std::unique_ptr<Expr> makeExpr(Expr::Kind K, uint32_t Line,
+                                 std::string Text = std::string()) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Line = Line;
+    E->Text = std::move(Text);
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseFuncLit() {
+    uint32_t Line = peek().Line;
+    advance(); // `func`
+    auto Fn = makeExpr(Expr::Kind::FuncLit, Line);
+    Fn->Params = parseParamList();
+    if (!atPunct("{"))
+      Fn->Results = parseResults();
+    if (atPunct("{"))
+      Fn->Body = parseBlock();
+    return Fn;
+  }
+
+  std::unique_ptr<Expr> parsePrimary(bool StopAtBrace) {
+    const Token &T = peek();
+    uint32_t Line = T.Line;
+
+    if (T.Kind == TokKind::Identifier) {
+      auto E = makeExpr(Expr::Kind::Ident, Line, advance().Text);
+      // Composite literal `Pkg.Type{...}` handled in postfix; plain
+      // `Type{...}` here.
+      if (!StopAtBrace && atPunct("{")) {
+        auto Composite = makeExpr(Expr::Kind::Composite, Line, E->Text);
+        skipBalanced();
+        return Composite;
+      }
+      return E;
+    }
+    if (T.Kind == TokKind::Number || T.Kind == TokKind::String ||
+        T.Kind == TokKind::Rune)
+      return makeExpr(Expr::Kind::Literal, Line, advance().Text);
+    if (T.Kind == TokKind::Keyword && T.Text == "func")
+      return parseFuncLit();
+    if (T.Kind == TokKind::Keyword &&
+        (T.Text == "map" || T.Text == "chan" || T.Text == "struct" ||
+         T.Text == "interface")) {
+      // Type expression, possibly a composite literal or a make() arg.
+      std::string TypeText = parseTypeText();
+      auto Composite = makeExpr(Expr::Kind::Composite, Line, TypeText);
+      if (atPunct("{"))
+        skipBalanced();
+      return Composite;
+    }
+    if (atPunct("[")) {
+      // Slice/array type expression: `[]T{...}` or `[N]T`.
+      std::string TypeText = parseTypeText();
+      auto Composite = makeExpr(Expr::Kind::Composite, Line, TypeText);
+      if (atPunct("{"))
+        skipBalanced();
+      return Composite;
+    }
+    if (accept(TokKind::Punct, "(")) {
+      auto Inner = parseExpr(/*StopAtBrace=*/false);
+      accept(TokKind::Punct, ")");
+      return Inner;
+    }
+    // Unparsable: consume one token so progress is guaranteed.
+    return makeExpr(Expr::Kind::Other, Line, advance().Text);
+  }
+
+  std::unique_ptr<Expr> parsePostfix(std::unique_ptr<Expr> Base,
+                                     bool StopAtBrace) {
+    for (;;) {
+      uint32_t Line = peek().Line;
+      if (atOp(".") && peek(1).Kind == TokKind::Identifier) {
+        advance();
+        auto Sel = makeExpr(Expr::Kind::Selector, Line, advance().Text);
+        Sel->Children.push_back(std::move(Base));
+        Base = std::move(Sel);
+        // `pkg.Type{...}` composite literal.
+        if (!StopAtBrace && atPunct("{")) {
+          auto Composite = makeExpr(Expr::Kind::Composite, Line,
+                                    flattenSelector(*Base));
+          skipBalanced();
+          Base = std::move(Composite);
+        }
+        continue;
+      }
+      if (atPunct("(")) {
+        advance();
+        auto Call = makeExpr(Expr::Kind::Call, Line);
+        Call->Children.push_back(std::move(Base));
+        while (!atEnd() && !atPunct(")")) {
+          Call->Children.push_back(parseExpr(/*StopAtBrace=*/false));
+          if (!accept(TokKind::Punct, ","))
+            break;
+        }
+        accept(TokKind::Punct, ")");
+        Base = std::move(Call);
+        continue;
+      }
+      if (atPunct("[")) {
+        advance();
+        auto Index = makeExpr(Expr::Kind::Index, Line);
+        Index->Children.push_back(std::move(Base));
+        if (!atPunct("]"))
+          Index->Children.push_back(parseExpr(/*StopAtBrace=*/false));
+        // Slicing `a[i:j]`: keep only the first index.
+        while (!atEnd() && !atPunct("]"))
+          advance();
+        accept(TokKind::Punct, "]");
+        Base = std::move(Index);
+        continue;
+      }
+      return Base;
+    }
+  }
+
+  std::unique_ptr<Expr> parseUnary(bool StopAtBrace) {
+    const Token &T = peek();
+    if (T.Kind == TokKind::Operator &&
+        (T.Text == "!" || T.Text == "-" || T.Text == "*" || T.Text == "&" ||
+         T.Text == "<-" || T.Text == "+")) {
+      uint32_t Line = T.Line;
+      std::string Op = advance().Text;
+      auto E = makeExpr(Expr::Kind::Unary, Line, std::move(Op));
+      E->Children.push_back(parseUnary(StopAtBrace));
+      return E;
+    }
+    return parsePostfix(parsePrimary(StopAtBrace), StopAtBrace);
+  }
+
+  std::unique_ptr<Expr> parseExpr(bool StopAtBrace) {
+    auto Lhs = parseUnary(StopAtBrace);
+    while (isBinaryOp(peek())) {
+      uint32_t Line = peek().Line;
+      std::string Op = advance().Text;
+      auto Bin = makeExpr(Expr::Kind::Binary, Line, std::move(Op));
+      Bin->Children.push_back(std::move(Lhs));
+      Bin->Children.push_back(parseUnary(StopAtBrace));
+      Lhs = std::move(Bin);
+    }
+    return Lhs;
+  }
+
+  std::vector<std::unique_ptr<Expr>> parseExprList(bool StopAtBrace) {
+    std::vector<std::unique_ptr<Expr>> List;
+    List.push_back(parseExpr(StopAtBrace));
+    while (accept(TokKind::Punct, ","))
+      List.push_back(parseExpr(StopAtBrace));
+    return List;
+  }
+
+  static std::string flattenSelector(const Expr &E) {
+    if (E.K == Expr::Kind::Ident)
+      return E.Text;
+    if (E.K == Expr::Kind::Selector && !E.Children.empty())
+      return flattenSelector(*E.Children[0]) + "." + E.Text;
+    return E.Text;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+
+  std::unique_ptr<Stmt> makeStmt(Stmt::Kind K, uint32_t Line) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Line = Line;
+    return S;
+  }
+
+  /// Simple statement: expression, assignment, short declaration, or
+  /// inc/dec. Shared by statement position and if/for headers.
+  std::unique_ptr<Stmt> parseSimpleStmt(bool StopAtBrace) {
+    uint32_t Line = peek().Line;
+    auto Lhs = parseExprList(StopAtBrace);
+
+    if (atOp(":=")) {
+      advance();
+      auto S = makeStmt(Stmt::Kind::ShortVarDecl, Line);
+      for (const auto &E : Lhs)
+        S->Names.push_back(E && E->K == Expr::Kind::Ident ? E->Text : "_");
+      S->Exprs = parseExprList(StopAtBrace);
+      return S;
+    }
+    if (isAssignOp(peek())) {
+      auto S = makeStmt(Stmt::Kind::Assign, Line);
+      S->Text = advance().Text;
+      S->NumLhs = Lhs.size();
+      S->Exprs = std::move(Lhs);
+      for (auto &Rhs : parseExprList(StopAtBrace))
+        S->Exprs.push_back(std::move(Rhs));
+      return S;
+    }
+    if (atOp("++") || atOp("--")) {
+      // `x++` is sugar for `x = x + 1`: model as Assign with one side.
+      auto S = makeStmt(Stmt::Kind::Assign, Line);
+      S->Text = advance().Text;
+      S->NumLhs = Lhs.size();
+      S->Exprs = std::move(Lhs);
+      return S;
+    }
+    auto S = makeStmt(Stmt::Kind::ExprStmt, Line);
+    S->Exprs = std::move(Lhs);
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseIf() {
+    uint32_t Line = peek().Line;
+    advance(); // `if`
+    auto S = makeStmt(Stmt::Kind::If, Line);
+    auto First = parseSimpleStmt(/*StopAtBrace=*/true);
+    if (accept(TokKind::Punct, ";")) {
+      // Init statement then condition.
+      S->Stmts.push_back(nullptr); // Placeholder replaced below.
+      auto Cond = parseSimpleStmt(/*StopAtBrace=*/true);
+      if (!Cond->Exprs.empty())
+        S->Exprs.push_back(std::move(Cond->Exprs.front()));
+      S->Stmts[0] = std::move(First); // Keep init as Stmts[0]? No:
+      // Layout promise: Stmts[0]=then, Stmts[1]=else. Fold the init in
+      // front of the then-block instead (checks care about exprs only).
+      auto Init = std::move(S->Stmts[0]);
+      S->Stmts.clear();
+      auto Then = parseBlock();
+      if (Init && Then)
+        Then->Stmts.insert(Then->Stmts.begin(), std::move(Init));
+      S->Stmts.push_back(std::move(Then));
+    } else {
+      if (!First->Exprs.empty())
+        S->Exprs.push_back(std::move(First->Exprs.front()));
+      S->Stmts.push_back(parseBlock());
+    }
+    if (accept(TokKind::Keyword, "else")) {
+      if (atKeyword("if"))
+        S->Stmts.push_back(parseIf());
+      else
+        S->Stmts.push_back(parseBlock());
+    }
+    return S;
+  }
+
+  /// \returns true if a depth-0 `range` keyword occurs before the body
+  /// brace (lookahead only).
+  bool loopIsRange() const {
+    int Depth = 0;
+    for (size_t Ahead = 0;; ++Ahead) {
+      const Token &T = peek(Ahead);
+      if (T.Kind == TokKind::EndOfFile)
+        return false;
+      if (T.Kind == TokKind::Punct) {
+        if (T.Text == "(" || T.Text == "[")
+          ++Depth;
+        if (T.Text == ")" || T.Text == "]")
+          --Depth;
+        if (T.Text == "{" && Depth == 0)
+          return false;
+        if (T.Text == ";" && Depth == 0)
+          return false;
+      }
+      if (Depth == 0 && T.Kind == TokKind::Keyword && T.Text == "range")
+        return true;
+    }
+  }
+
+  std::unique_ptr<Stmt> parseFor() {
+    uint32_t Line = peek().Line;
+    advance(); // `for`
+
+    if (atPunct("{")) { // `for { ... }`
+      auto S = makeStmt(Stmt::Kind::For, Line);
+      S->Stmts.push_back(parseBlock());
+      return S;
+    }
+
+    if (loopIsRange()) {
+      auto S = makeStmt(Stmt::Kind::RangeFor, Line);
+      if (!atKeyword("range")) {
+        // `k, v := range X` / `k = range X`.
+        auto Vars = parseExprList(/*StopAtBrace=*/true);
+        for (const auto &V : Vars)
+          S->Names.push_back(V && V->K == Expr::Kind::Ident ? V->Text : "_");
+        if (!atOp(":=") && !atOp("="))
+          error("expected := or = in range clause");
+        else
+          advance();
+      }
+      accept(TokKind::Keyword, "range");
+      S->Exprs.push_back(parseExpr(/*StopAtBrace=*/true));
+      S->Stmts.push_back(parseBlock());
+      return S;
+    }
+
+    auto S = makeStmt(Stmt::Kind::For, Line);
+    auto Init = parseSimpleStmt(/*StopAtBrace=*/true);
+    if (Init->K == Stmt::Kind::ShortVarDecl)
+      S->Names = Init->Names;
+    for (auto &E : Init->Exprs)
+      S->Exprs.push_back(std::move(E));
+    if (accept(TokKind::Punct, ";")) {
+      if (!atPunct(";") && !atPunct("{"))
+        S->Exprs.push_back(parseExpr(/*StopAtBrace=*/true));
+      if (accept(TokKind::Punct, ";"))
+        if (!atPunct("{")) {
+          auto Post = parseSimpleStmt(/*StopAtBrace=*/true);
+          for (auto &E : Post->Exprs)
+            S->Exprs.push_back(std::move(E));
+        }
+    }
+    S->Stmts.push_back(parseBlock());
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseVarDecl() {
+    uint32_t Line = peek().Line;
+    advance(); // `var`
+    auto S = makeStmt(Stmt::Kind::VarDecl, Line);
+    if (atPunct("(")) { // Grouped declarations: skip (rare in bodies).
+      skipBalanced();
+      return S;
+    }
+    while (peek().Kind == TokKind::Identifier) {
+      S->Names.push_back(advance().Text);
+      if (!accept(TokKind::Punct, ","))
+        break;
+    }
+    if (!atOp("=") && !atPunct(";"))
+      S->Text = parseTypeText();
+    if (accept(TokKind::Operator, "="))
+      S->Exprs = parseExprList(/*StopAtBrace=*/false);
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseStmt() {
+    while (accept(TokKind::Punct, ";"))
+      ;
+    uint32_t Line = peek().Line;
+
+    if (atPunct("{"))
+      return parseBlock();
+    if (atKeyword("go")) {
+      advance();
+      auto S = makeStmt(Stmt::Kind::Go, Line);
+      S->Exprs.push_back(parseExpr(/*StopAtBrace=*/false));
+      return S;
+    }
+    if (atKeyword("defer")) {
+      advance();
+      auto S = makeStmt(Stmt::Kind::DeferStmt, Line);
+      S->Exprs.push_back(parseExpr(/*StopAtBrace=*/false));
+      return S;
+    }
+    if (atKeyword("return")) {
+      advance();
+      auto S = makeStmt(Stmt::Kind::Return, Line);
+      if (!atPunct(";") && !atPunct("}"))
+        S->Exprs = parseExprList(/*StopAtBrace=*/false);
+      return S;
+    }
+    if (atKeyword("if"))
+      return parseIf();
+    if (atKeyword("for"))
+      return parseFor();
+    if (atKeyword("var"))
+      return parseVarDecl();
+    if (atKeyword("break") || atKeyword("continue") ||
+        atKeyword("goto") || atKeyword("fallthrough")) {
+      advance();
+      if (peek().Kind == TokKind::Identifier)
+        advance(); // Label.
+      return makeStmt(Stmt::Kind::Other, Line);
+    }
+    if (atKeyword("switch") || atKeyword("select") || atKeyword("const") ||
+        atKeyword("type")) {
+      // Out of subset: skip the header then the balanced body.
+      auto S = makeStmt(Stmt::Kind::Other, Line);
+      S->Text = peek().Text;
+      while (!atEnd() && !atPunct("{") && !atPunct(";"))
+        advance();
+      if (atPunct("{"))
+        skipBalanced();
+      return S;
+    }
+    return parseSimpleStmt(/*StopAtBrace=*/false);
+  }
+
+  std::unique_ptr<Stmt> parseBlock() {
+    uint32_t Line = peek().Line;
+    auto Block = makeStmt(Stmt::Kind::Block, Line);
+    if (!accept(TokKind::Punct, "{")) {
+      error("expected '{'");
+      recoverToStatementBoundary();
+      return Block;
+    }
+    while (!atEnd() && !atPunct("}")) {
+      size_t Before = Pos;
+      Block->Stmts.push_back(parseStmt());
+      while (accept(TokKind::Punct, ";"))
+        ;
+      if (Pos == Before) { // Guaranteed progress.
+        error("stuck token '" + peek().Text + "'");
+        advance();
+      }
+    }
+    accept(TokKind::Punct, "}");
+    return Block;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  void parseFuncDecl(File &Out) {
+    uint32_t Line = peek().Line;
+    advance(); // `func`
+    FuncDecl Fn;
+    Fn.Line = Line;
+
+    if (atPunct("(")) { // Method receiver.
+      advance();
+      if (peek().Kind == TokKind::Identifier &&
+          !(peek(1).Kind == TokKind::Punct && peek(1).Text == ")"))
+        Fn.ReceiverName = advance().Text;
+      Fn.ReceiverType = parseTypeText();
+      accept(TokKind::Punct, ")");
+    }
+    if (peek().Kind == TokKind::Identifier)
+      Fn.Name = advance().Text;
+    Fn.Params = parseParamList();
+    if (!atPunct("{") && !atPunct(";"))
+      Fn.Results = parseResults();
+    if (atPunct("{"))
+      Fn.Body = parseBlock();
+    Out.Funcs.push_back(std::move(Fn));
+  }
+
+public:
+  std::vector<std::string> Errors;
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+File Parser::parseFile() {
+  File Out;
+  while (!atEnd()) {
+    if (atKeyword("package")) {
+      advance();
+      if (peek().Kind == TokKind::Identifier)
+        Out.PackageName = advance().Text;
+      continue;
+    }
+    if (atKeyword("import")) {
+      advance();
+      if (atPunct("("))
+        skipBalanced();
+      else if (peek().Kind == TokKind::String ||
+               peek().Kind == TokKind::Identifier) {
+        advance();
+        if (peek().Kind == TokKind::String)
+          advance(); // Aliased import.
+      }
+      continue;
+    }
+    if (atKeyword("func")) {
+      parseFuncDecl(Out);
+      continue;
+    }
+    if (atKeyword("type") || atKeyword("var") || atKeyword("const")) {
+      // Top-level declarations: skip to the statement boundary (balanced,
+      // so struct bodies are consumed whole).
+      advance();
+      while (!atEnd() && !atPunct(";")) {
+        if (atPunct("{") || atPunct("("))
+          skipBalanced();
+        else
+          advance();
+      }
+      continue;
+    }
+    advance(); // Unknown top-level token: recover.
+  }
+  Out.Errors = std::move(Errors);
+  return Out;
+}
+
+} // namespace
+
+ast::File grs::analysis::parseGo(std::string_view Source) {
+  Parser P(Source);
+  return P.parseFile();
+}

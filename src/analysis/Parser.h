@@ -1,0 +1,39 @@
+//===- analysis/Parser.h - Error-tolerant parser for the Go subset -*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Go subset the static race checks
+/// analyze: functions/methods (including named results), blocks, short
+/// variable declarations, assignments, if/for/range, go/defer statements,
+/// returns, calls, selectors, indexing, closures.
+///
+/// Error tolerance over completeness: unrecognized constructs become
+/// ast::Stmt::Kind::Other / ast::Expr::Kind::Other and parsing resumes at
+/// the next statement boundary — a PR-gate linter must never die on the
+/// code it scans (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_ANALYSIS_PARSER_H
+#define GRS_ANALYSIS_PARSER_H
+
+#include "analysis/Ast.h"
+#include "analysis/Lexer.h"
+
+#include <string_view>
+
+namespace grs {
+namespace analysis {
+
+/// Parses Go source text into an ast::File. Never throws; recovered
+/// errors are collected in File::Errors.
+ast::File parseGo(std::string_view Source);
+
+} // namespace analysis
+} // namespace grs
+
+#endif // GRS_ANALYSIS_PARSER_H

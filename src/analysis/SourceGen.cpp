@@ -1,0 +1,215 @@
+//===- analysis/SourceGen.cpp - Calibrated synthetic source corpus ---------===//
+
+#include "analysis/SourceGen.h"
+
+#include <array>
+
+using namespace grs;
+using namespace grs::analysis;
+
+GenProfile GenProfile::goMonorepo() {
+  GenProfile P;
+  // Table 1, normalized per MLoC over 46 MLoC.
+  P.GoStatements = 11515.0 / 46.0;     // 250.3
+  P.LockUnlock = 19062.0 / 46.0;       // 414.4
+  P.RLockRUnlock = 5511.0 / 46.0;      // 119.8
+  P.ChannelOps = 10120.0 / 46.0;       // 220.0
+  P.WaitGroups = 4795.0 / 46.0;        // 104.2
+  P.MapConstructs = 5950.0;            // §4.4: "5950 per MLoC".
+  return P;
+}
+
+GenProfile GenProfile::javaMonorepo() {
+  GenProfile P;
+  // Table 1, normalized per MLoC over 19 MLoC.
+  P.ThreadStarts = 4162.0 / 19.0;      // 219.1
+  P.Synchronized = 2378.0 / 19.0;      // 125.2
+  P.AcquireRelease = 652.0 / 19.0;     // 34.3
+  P.LockUnlock = 624.0 / 19.0;         // 32.8
+  P.BarrierLatchPhaser = 1007.0 / 19.0;// 53.0
+  P.MapConstructs = 4389.0;            // §4.4: "4389 per MLoC".
+  return P;
+}
+
+namespace {
+/// One line-template per countable construct; each emits exactly one
+/// counted instance.
+struct ConstructTemplate {
+  double GenProfile::*Density;
+  const char *const *Lines;
+  size_t NumLines;
+};
+} // namespace
+
+static const char *const GoGoLines[] = {
+    "\tgo processItem(item)",
+    "\tgo func() { handle(req) }()",
+    "\tgo worker.run(ctx)",
+};
+static const char *const GoLockLines[] = {
+    "\tmu.Lock()",
+    "\tmu.Unlock()",
+    "\tdefer s.mtx.Unlock()",
+};
+static const char *const GoRLockLines[] = {
+    "\tmu.RLock()",
+    "\tmu.RUnlock()",
+    "\tdefer cache.mtx.RUnlock()",
+};
+static const char *const GoChanLines[] = {
+    "\tresults <- value",
+    "\tmsg := <-inbox",
+    "\tdone <- struct{}{}",
+};
+static const char *const GoWgLines[] = {
+    "\tvar wg sync.WaitGroup",
+    "\twg := &sync.WaitGroup{}",
+};
+static const char *const GoMapLines[] = {
+    "\tindex := make(map[string]int)",
+    "\tvar seen map[int]bool",
+    "\tcache := map[string]error{}",
+};
+
+static const char *const JavaStartLines[] = {
+    "        worker.start();",
+    "        new Thread(task).start();",
+};
+static const char *const JavaSyncLines[] = {
+    "        synchronized (this) {",
+    "    public synchronized void update() {",
+};
+static const char *const JavaAcquireLines[] = {
+    "        semaphore.acquire();",
+    "        permits.release();",
+};
+static const char *const JavaLockLines[] = {
+    "        mutex.lock();",
+    "        mutex.unlock();",
+};
+static const char *const JavaGroupLines[] = {
+    "        CountDownLatch latch = makeLatch(n);",
+    "        CyclicBarrier barrier = makeBarrier(parties);",
+    "        Phaser phaser = makePhaser();",
+};
+static const char *const JavaMapLines[] = {
+    "        HashMap<String, Integer> index = makeIndex();",
+    "        ConcurrentHashMap<Long, String> cache;",
+    "        TreeMap<Integer, String> ordered = build();",
+};
+
+// Filler lines are brace-balanced so the generated corpus is also valid
+// input for the Go-subset parser (ParserStress exercises exactly that).
+static const char *const GoFillerLines[] = {
+    "\tvalue := compute(input)",
+    "\tif err != nil { return 0, err }",
+    "\tcount++",
+    "\t// go through the checklist and acquire approvals",
+    "\tlog.Info(\"Lock() acquired upstream <- not really\")",
+    "\tresult = append(result, entry)",
+    "\tfor i := 0; i < n; i++ { total += weights[i] }",
+    "\ts := fmt.Sprintf(\"%d items\", n)",
+    "\tentry := lookup(key)",
+    "\tuse(entry)",
+};
+static const char *const JavaFillerLines[] = {
+    "        int value = compute(input);",
+    "        if (value < 0) { value = -value; }",
+    "        counter++;",
+    "        // synchronized access happens via start() of the pool",
+    "        String s = \"acquire the lock() before Map access\";",
+    "        results.add(entry);",
+    "        for (int i = 0; i < n; i++) { total += weights[i]; }",
+    "        Object entry = lookup(key);",
+};
+
+std::string grs::analysis::generateCorpus(Lang Language,
+                                          const GenProfile &Profile,
+                                          size_t Lines, uint64_t Seed) {
+  support::Rng Rng(Seed);
+
+  std::vector<ConstructTemplate> Templates;
+  const char *const *Fillers;
+  size_t NumFillers;
+  if (Language == Lang::Go) {
+    Templates = {
+        {&GenProfile::GoStatements, GoGoLines, std::size(GoGoLines)},
+        {&GenProfile::LockUnlock, GoLockLines, std::size(GoLockLines)},
+        {&GenProfile::RLockRUnlock, GoRLockLines, std::size(GoRLockLines)},
+        {&GenProfile::ChannelOps, GoChanLines, std::size(GoChanLines)},
+        {&GenProfile::WaitGroups, GoWgLines, std::size(GoWgLines)},
+        {&GenProfile::MapConstructs, GoMapLines, std::size(GoMapLines)},
+    };
+    Fillers = GoFillerLines;
+    NumFillers = std::size(GoFillerLines);
+  } else {
+    Templates = {
+        {&GenProfile::ThreadStarts, JavaStartLines, std::size(JavaStartLines)},
+        {&GenProfile::Synchronized, JavaSyncLines, std::size(JavaSyncLines)},
+        {&GenProfile::AcquireRelease, JavaAcquireLines,
+         std::size(JavaAcquireLines)},
+        {&GenProfile::LockUnlock, JavaLockLines, std::size(JavaLockLines)},
+        {&GenProfile::BarrierLatchPhaser, JavaGroupLines,
+         std::size(JavaGroupLines)},
+        {&GenProfile::MapConstructs, JavaMapLines, std::size(JavaMapLines)},
+    };
+    Fillers = JavaFillerLines;
+    NumFillers = std::size(JavaFillerLines);
+  }
+
+  std::string Out;
+  Out.reserve(Lines * 32);
+  if (Language == Lang::Go)
+    Out += "package synthetic\n\nimport \"sync\"\n\n";
+  else
+    Out += "package com.synthetic;\n\nimport java.util.concurrent.*;\n\n";
+
+  size_t Emitted = Language == Lang::Go ? 4 : 4;
+  size_t FuncCounter = 0;
+  while (Emitted < Lines) {
+    // Open a function every ~24 lines to keep the text realistic.
+    if (FuncCounter == 0) {
+      if (Language == Lang::Go)
+        Out += "func handler" + std::to_string(Emitted) +
+               "(input int) (int, error) {\n";
+      else
+        Out += "    int handler" + std::to_string(Emitted) +
+               "(int input) {\n";
+      FuncCounter = 22 + Rng.nextBelow(6);
+      ++Emitted;
+      continue;
+    }
+    if (FuncCounter == 1) {
+      Out += Language == Lang::Go ? "}\n" : "    }\n";
+      FuncCounter = 0;
+      ++Emitted;
+      continue;
+    }
+    --FuncCounter;
+
+    // Pick a construct with probability density/1e6, else a filler line.
+    // Function open/close lines are not eligible for constructs
+    // (~2 in 26 lines); compensate so the per-total-line density still
+    // matches the profile.
+    constexpr double EligibleFraction = 24.5 / 26.5;
+    double Roll = Rng.nextDouble() * 1'000'000.0 * EligibleFraction;
+    double Accum = 0.0;
+    const ConstructTemplate *Chosen = nullptr;
+    for (const ConstructTemplate &T : Templates) {
+      Accum += Profile.*(T.Density);
+      if (Roll < Accum) {
+        Chosen = &T;
+        break;
+      }
+    }
+    if (Chosen)
+      Out += Chosen->Lines[Rng.nextBelow(Chosen->NumLines)];
+    else
+      Out += Fillers[Rng.nextBelow(NumFillers)];
+    Out += '\n';
+    ++Emitted;
+  }
+  if (FuncCounter != 0)
+    Out += Language == Lang::Go ? "}\n" : "    }\n";
+  return Out;
+}

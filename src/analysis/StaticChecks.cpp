@@ -1,0 +1,518 @@
+//===- analysis/StaticChecks.cpp - Static race pattern detectors -----------===//
+
+#include "analysis/StaticChecks.h"
+
+#include "analysis/Parser.h"
+
+#include <set>
+
+using namespace grs;
+using namespace grs::analysis;
+using namespace grs::analysis::ast;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small AST queries
+//===----------------------------------------------------------------------===//
+
+/// Names declared within \p Body (params handled by callers): short
+/// declarations, var declarations, and range variables, at any depth.
+std::set<std::string> declaredNames(const Stmt &Body) {
+  std::set<std::string> Names;
+  walk(
+      Body,
+      [&Names](const Stmt &S) {
+        if (S.K == Stmt::Kind::ShortVarDecl || S.K == Stmt::Kind::VarDecl ||
+            S.K == Stmt::Kind::RangeFor || S.K == Stmt::Kind::For)
+          for (const std::string &Name : S.Names)
+            Names.insert(Name);
+      },
+      [](const Expr &) {});
+  return Names;
+}
+
+/// Identifier occurrences (reads or writes) in \p Body, excluding names
+/// declared locally and the closure's own parameters.
+std::set<std::string> freeIdentifiers(const Expr &FuncLit) {
+  std::set<std::string> Excluded;
+  for (const Param &P : FuncLit.Params)
+    Excluded.insert(P.Name);
+  if (!FuncLit.Body)
+    return {};
+  for (const std::string &Name : declaredNames(*FuncLit.Body))
+    Excluded.insert(Name);
+
+  std::set<std::string> Free;
+  walk(
+      *FuncLit.Body, [](const Stmt &) {},
+      [&](const Expr &E) {
+        if (E.K == Expr::Kind::Ident && !Excluded.count(E.Text))
+          Free.insert(E.Text);
+      });
+  return Free;
+}
+
+/// Plain identifiers assigned (`x = ...`, `x++`) within \p Body.
+std::set<std::string> assignedIdents(const Stmt &Body) {
+  std::set<std::string> Names;
+  walk(
+      Body,
+      [&Names](const Stmt &S) {
+        if (S.K != Stmt::Kind::Assign)
+          return;
+        for (size_t I = 0; I < S.NumLhs && I < S.Exprs.size(); ++I)
+          if (S.Exprs[I] && S.Exprs[I]->K == Expr::Kind::Ident)
+            Names.insert(S.Exprs[I]->Text);
+      },
+      [](const Expr &) {});
+  return Names;
+}
+
+/// \returns the FuncLit spawned by a `go` statement, or nullptr for
+/// `go f(x)` forms. Handles both `go func(){...}()` and a bare literal.
+const Expr *spawnedClosure(const Stmt &GoStmt) {
+  if (GoStmt.Exprs.empty() || !GoStmt.Exprs[0])
+    return nullptr;
+  const Expr *E = GoStmt.Exprs[0].get();
+  if (E->K == Expr::Kind::Call && !E->Children.empty())
+    E = E->Children[0].get();
+  return E && E->K == Expr::Kind::FuncLit ? E : nullptr;
+}
+
+/// Collects every `go` statement in \p Body (including inside nested
+/// closures).
+std::vector<const Stmt *> goStatements(const Stmt &Body) {
+  std::vector<const Stmt *> Gos;
+  walk(
+      Body,
+      [&Gos](const Stmt &S) {
+        if (S.K == Stmt::Kind::Go)
+          Gos.push_back(&S);
+      },
+      [](const Expr &) {});
+  return Gos;
+}
+
+/// \returns true if \p Body contains a method call `<any>.Name(...)`.
+bool containsMethodCall(const Stmt &Body, std::string_view Name) {
+  bool Found = false;
+  walk(
+      Body, [](const Stmt &) {},
+      [&](const Expr &E) {
+        if (E.K == Expr::Kind::Call && !E.Children.empty() &&
+            E.Children[0] && E.Children[0]->K == Expr::Kind::Selector &&
+            E.Children[0]->Text == Name)
+          Found = true;
+      });
+  return Found;
+}
+
+/// Names provably bound to Go maps within \p Fn: `make(map[...])` short
+/// declarations, `map[...]{...}` literals, `var x map[...]`, and
+/// map-typed parameters. The unlocked-map check only fires on these, so
+/// pre-sized-slice index writes (a safe idiom) are not flagged.
+std::set<std::string> mapTypedNames(const FuncDecl &Fn) {
+  std::set<std::string> Names;
+  for (const Param &P : Fn.Params)
+    if (P.Type.rfind("map[", 0) == 0)
+      Names.insert(P.Name);
+  if (!Fn.Body)
+    return Names;
+
+  auto RhsIsMap = [](const Expr &Rhs) {
+    if (Rhs.K == Expr::Kind::Composite && Rhs.Text.rfind("map[", 0) == 0)
+      return true;
+    if (Rhs.K == Expr::Kind::Call && !Rhs.Children.empty() &&
+        Rhs.Children[0] && Rhs.Children[0]->isIdent("make") &&
+        Rhs.Children.size() > 1 && Rhs.Children[1] &&
+        Rhs.Children[1]->K == Expr::Kind::Composite &&
+        Rhs.Children[1]->Text.rfind("map[", 0) == 0)
+      return true;
+    return false;
+  };
+
+  walk(
+      *Fn.Body,
+      [&](const Stmt &S) {
+        if (S.K == Stmt::Kind::VarDecl && S.Text.rfind("map[", 0) == 0)
+          for (const std::string &Name : S.Names)
+            Names.insert(Name);
+        if (S.K == Stmt::Kind::ShortVarDecl &&
+            S.Names.size() == S.Exprs.size())
+          for (size_t I = 0; I < S.Names.size(); ++I)
+            if (S.Exprs[I] && RhsIsMap(*S.Exprs[I]))
+              Names.insert(S.Names[I]);
+      },
+      [](const Expr &) {});
+  return Names;
+}
+
+bool isSyncValueType(const std::string &Type) {
+  return Type == "sync.Mutex" || Type == "sync.RWMutex" ||
+         Type == "sync.WaitGroup" || Type == "Mutex" ||
+         Type == "RWMutex" || Type == "WaitGroup";
+}
+
+//===----------------------------------------------------------------------===//
+// The checks
+//===----------------------------------------------------------------------===//
+
+class Checker {
+public:
+  explicit Checker(const File &F) : F(F) {}
+
+  std::vector<Diagnostic> run() {
+    for (const FuncDecl &Fn : F.Funcs) {
+      if (!Fn.Body)
+        continue;
+      Current = &Fn;
+      checkMutexByValue(Fn);
+      checkLoopVarCapture(*Fn.Body);
+      checkErrCapture(Fn);
+      checkNamedReturnCapture(Fn);
+      checkWgAddInside(*Fn.Body);
+      checkUnlockedMapInGoroutine(Fn);
+      checkRLockMutation(*Fn.Body, /*InReadSection=*/false);
+      checkParallelSubtestCapture(*Fn.Body);
+      checkSlicePassedAndCaptured(*Fn.Body);
+    }
+    return std::move(Diags);
+  }
+
+private:
+  void report(const char *Check, uint32_t Line, std::string Message) {
+    Diags.push_back(
+        Diagnostic{Check, Current ? Current->Name : "", Line,
+                   std::move(Message)});
+  }
+
+  /// Listing 7: sync value types taken by value.
+  void checkMutexByValue(const FuncDecl &Fn) {
+    for (const Param &P : Fn.Params)
+      if (isSyncValueType(P.Type))
+        report("mutex-by-value", Fn.Line,
+               "parameter '" + P.Name + "' receives " + P.Type +
+                   " by value; each call gets an independent copy — pass "
+                   "*" + P.Type);
+    // Same trap for closures.
+    walk(
+        *Fn.Body, [](const Stmt &) {},
+        [this](const Expr &E) {
+          if (E.K != Expr::Kind::FuncLit)
+            return;
+          for (const Param &P : E.Params)
+            if (isSyncValueType(P.Type))
+              report("mutex-by-value", E.Line,
+                     "closure parameter '" + P.Name + "' receives " +
+                         P.Type + " by value");
+        });
+  }
+
+  /// Listings 1 / §4.8: goroutine closures capturing loop variables.
+  void checkLoopVarCapture(const Stmt &Body) {
+    walk(
+        Body,
+        [this](const Stmt &S) {
+          if ((S.K != Stmt::Kind::RangeFor && S.K != Stmt::Kind::For) ||
+              S.Names.empty() || S.Stmts.empty() || !S.Stmts[0])
+            return;
+          const Stmt &LoopBody = *S.Stmts[0];
+          // `x := x` privatization inside the loop body shadows the
+          // loop variable for everything after it.
+          std::set<std::string> Privatized;
+          for (const auto &Sub : LoopBody.Stmts)
+            if (Sub && Sub->K == Stmt::Kind::ShortVarDecl)
+              for (const std::string &Name : Sub->Names)
+                Privatized.insert(Name);
+          for (const Stmt *Go : goStatements(LoopBody)) {
+            const Expr *Closure = spawnedClosure(*Go);
+            if (!Closure)
+              continue;
+            std::set<std::string> Free = freeIdentifiers(*Closure);
+            for (const std::string &LoopVar : S.Names) {
+              if (LoopVar == "_" || Privatized.count(LoopVar) ||
+                  !Free.count(LoopVar))
+                continue;
+              report("loop-var-capture", Go->Line,
+                     "goroutine closure captures loop variable '" +
+                         LoopVar + "' by reference (declared line " +
+                         std::to_string(S.Line) +
+                         "); it races with the loop advancing it");
+            }
+          }
+        },
+        [](const Expr &) {});
+  }
+
+  /// Listing 2: the idiomatic err variable shared with a goroutine.
+  void checkErrCapture(const FuncDecl &Fn) {
+    std::set<std::string> OuterAssigned = assignedIdents(*Fn.Body);
+    std::set<std::string> OuterDeclared = declaredNames(*Fn.Body);
+    for (const Stmt *Go : goStatements(*Fn.Body)) {
+      const Expr *Closure = spawnedClosure(*Go);
+      if (!Closure || !Closure->Body)
+        continue;
+      std::set<std::string> Free = freeIdentifiers(*Closure);
+      std::set<std::string> InnerAssigned = assignedIdents(*Closure->Body);
+      if (!Free.count("err"))
+        continue;
+      // The closure must WRITE err, or the enclosing body must keep
+      // writing it, for a write-side conflict to exist.
+      bool InnerWrites = InnerAssigned.count("err") != 0;
+      bool OuterWrites =
+          OuterAssigned.count("err") || OuterDeclared.count("err");
+      if (InnerWrites || OuterWrites)
+        report("err-var-capture", Go->Line,
+               "goroutine captures the shared 'err' variable "
+               "by reference; later `x, err := ...` assignments in the "
+               "enclosing function race with it");
+    }
+  }
+
+  /// Listings 3-4: named results referenced from goroutines.
+  void checkNamedReturnCapture(const FuncDecl &Fn) {
+    if (!Fn.hasNamedResults())
+      return;
+    for (const Stmt *Go : goStatements(*Fn.Body)) {
+      const Expr *Closure = spawnedClosure(*Go);
+      if (!Closure)
+        continue;
+      std::set<std::string> Free = freeIdentifiers(*Closure);
+      for (const Param &Result : Fn.Results) {
+        if (Result.Name.empty() || !Free.count(Result.Name))
+          continue;
+        report("named-return-capture", Go->Line,
+               "goroutine captures named return variable '" + Result.Name +
+                   "'; every `return` statement writes it (and deferred "
+                   "functions run after return)");
+      }
+    }
+  }
+
+  /// Listing 10: wg.Add() inside the goroutine it accounts for.
+  void checkWgAddInside(const Stmt &Body) {
+    for (const Stmt *Go : goStatements(Body)) {
+      const Expr *Closure = spawnedClosure(*Go);
+      if (!Closure || !Closure->Body)
+        continue;
+      walk(
+          *Closure->Body, [](const Stmt &) {},
+          [&](const Expr &E) {
+            if (E.K != Expr::Kind::Call || E.Children.empty() ||
+                !E.Children[0] ||
+                E.Children[0]->K != Expr::Kind::Selector ||
+                E.Children[0]->Text != "Add")
+              return;
+            const Expr &Base = *E.Children[0]->Children[0];
+            if (Base.K != Expr::Kind::Ident)
+              return;
+            report("wg-add-inside", E.Line,
+                   "'" + Base.Text +
+                       ".Add' runs inside the goroutine it accounts "
+                       "for; Wait() can return before it executes — move "
+                       "Add before the `go` statement");
+          });
+    }
+  }
+
+  /// Listing 6: map index assignment inside a goroutine without a lock.
+  void checkUnlockedMapInGoroutine(const FuncDecl &Fn) {
+    std::set<std::string> MapNames = mapTypedNames(Fn);
+    if (MapNames.empty())
+      return;
+    for (const Stmt *Go : goStatements(*Fn.Body)) {
+      const Expr *Closure = spawnedClosure(*Go);
+      if (!Closure || !Closure->Body)
+        continue;
+      if (containsMethodCall(*Closure->Body, "Lock") ||
+          containsMethodCall(*Closure->Body, "RLock"))
+        continue; // Some locking present: give the benefit of the doubt.
+      walk(
+          *Closure->Body,
+          [&](const Stmt &S) {
+            if (S.K != Stmt::Kind::Assign)
+              return;
+            for (size_t I = 0; I < S.NumLhs && I < S.Exprs.size(); ++I) {
+              const Expr *Lhs = S.Exprs[I].get();
+              if (Lhs && Lhs->K == Expr::Kind::Index && !Lhs->Children.empty() &&
+                  Lhs->Children[0] &&
+                  Lhs->Children[0]->K == Expr::Kind::Ident &&
+                  MapNames.count(Lhs->Children[0]->Text))
+                report("unlocked-map-in-go", S.Line,
+                       "indexed assignment to '" + Lhs->Children[0]->Text +
+                           "' inside a goroutine with no lock in scope; "
+                           "Go's built-in map is not thread-safe even "
+                           "for distinct keys");
+            }
+          },
+          [](const Expr &) {});
+    }
+  }
+
+  /// Listing 11: writes between RLock and RUnlock.
+  void checkRLockMutation(const Stmt &S, bool InReadSection) {
+    if (S.K == Stmt::Kind::Block) {
+      bool Read = InReadSection;
+      for (const auto &Sub : S.Stmts) {
+        if (!Sub)
+          continue;
+        if (isCallStmt(*Sub, "RLock"))
+          Read = true;
+        else if (isCallStmt(*Sub, "RUnlock"))
+          Read = false;
+        else if (Sub->K == Stmt::Kind::DeferStmt && mentionsCall(*Sub, "RUnlock"))
+          Read = true; // defer mu.RUnlock(): the rest of the body reads.
+        else
+          checkRLockMutation(*Sub, Read);
+      }
+      return;
+    }
+    if (S.K == Stmt::Kind::Assign && InReadSection) {
+      for (size_t I = 0; I < S.NumLhs && I < S.Exprs.size(); ++I) {
+        const Expr *Lhs = S.Exprs[I].get();
+        if (Lhs && (Lhs->K == Expr::Kind::Selector ||
+                    Lhs->K == Expr::Kind::Index))
+          report("rlock-mutation", S.Line,
+                 "assignment inside an RLock-protected section; "
+                 "concurrent readers may write simultaneously — use "
+                 "Lock() for mutating paths");
+      }
+    }
+    for (const auto &Sub : S.Stmts)
+      if (Sub)
+        checkRLockMutation(*Sub, InReadSection);
+  }
+
+  /// Listing 5: a slice variable passed as a goroutine-call ARGUMENT
+  /// while the same variable is also captured by some other closure in
+  /// the function. The by-value argument copy reads the slice's meta
+  /// fields outside whatever lock the capturing closure uses — "this
+  /// style of invocation causes the meta fields of the slice to be
+  /// copied from the callsite to the callee ... not lock protected".
+  void checkSlicePassedAndCaptured(const Stmt &Body) {
+    // Free identifiers of every NON-goroutine closure in the function.
+    std::set<std::string> CapturedElsewhere;
+    walk(
+        Body, [](const Stmt &) {},
+        [&](const Expr &E) {
+          if (E.K != Expr::Kind::FuncLit)
+            return;
+          for (const std::string &Name : freeIdentifiers(E))
+            CapturedElsewhere.insert(Name);
+        });
+
+    for (const Stmt *Go : goStatements(Body)) {
+      if (Go->Exprs.empty() || !Go->Exprs[0] ||
+          Go->Exprs[0]->K != Expr::Kind::Call)
+        continue;
+      const Expr &Call = *Go->Exprs[0];
+      if (Call.Children.empty() || !Call.Children[0] ||
+          Call.Children[0]->K != Expr::Kind::FuncLit)
+        continue;
+      const Expr &Closure = *Call.Children[0];
+      // Pair arguments with the closure's parameters to find slice-typed
+      // positions.
+      for (size_t Arg = 1; Arg < Call.Children.size(); ++Arg) {
+        size_t ParamIndex = Arg - 1;
+        if (ParamIndex >= Closure.Params.size())
+          break;
+        if (Closure.Params[ParamIndex].Type.rfind("[]", 0) != 0)
+          continue;
+        const Expr *ArgExpr = Call.Children[Arg].get();
+        if (!ArgExpr || ArgExpr->K != Expr::Kind::Ident)
+          continue;
+        if (!CapturedElsewhere.count(ArgExpr->Text))
+          continue;
+        report("slice-passed-and-captured", Go->Line,
+               "slice '" + ArgExpr->Text +
+                   "' is passed by value to the goroutine (meta fields "
+                   "copied, unprotected) while another closure captures "
+                   "and mutates it under a lock — drop the argument or "
+                   "pass a pointer (Listing 5)");
+      }
+    }
+  }
+
+  /// §4.8 / Observation 9: table-driven loops whose t.Run closures call
+  /// t.Parallel() while capturing the loop variable — all parallel
+  /// subtests see (and race on) the final row.
+  void checkParallelSubtestCapture(const Stmt &Body) {
+    walk(
+        Body,
+        [this](const Stmt &S) {
+          if (S.K != Stmt::Kind::RangeFor || S.Names.empty() ||
+              S.Stmts.empty() || !S.Stmts[0])
+            return;
+          std::set<std::string> Privatized;
+          for (const auto &Sub : S.Stmts[0]->Stmts)
+            if (Sub && Sub->K == Stmt::Kind::ShortVarDecl)
+              for (const std::string &Name : Sub->Names)
+                Privatized.insert(Name);
+          // Find `<t>.Run(name, func(...){ ... })` calls in the body.
+          walk(
+              *S.Stmts[0], [](const Stmt &) {},
+              [&](const Expr &E) {
+                if (E.K != Expr::Kind::Call || E.Children.size() < 3 ||
+                    !E.Children[0] ||
+                    E.Children[0]->K != Expr::Kind::Selector ||
+                    E.Children[0]->Text != "Run")
+                  return;
+                const Expr *Closure = E.Children.back().get();
+                if (!Closure || Closure->K != Expr::Kind::FuncLit ||
+                    !Closure->Body)
+                  return;
+                if (!containsMethodCall(*Closure->Body, "Parallel"))
+                  return;
+                std::set<std::string> Free = freeIdentifiers(*Closure);
+                for (const std::string &LoopVar : S.Names) {
+                  if (LoopVar == "_" || Privatized.count(LoopVar) ||
+                      !Free.count(LoopVar))
+                    continue;
+                  report("parallel-subtest-capture", E.Line,
+                         "parallel subtest closure captures loop "
+                         "variable '" + LoopVar +
+                             "'; every subtest resumes after the loop "
+                             "finished and sees the last row — add `" +
+                             LoopVar + " := " + LoopVar +
+                             "` before t.Run");
+                }
+              });
+        },
+        [](const Expr &) {});
+  }
+
+  static bool isCallStmt(const Stmt &S, std::string_view Method) {
+    return S.K == Stmt::Kind::ExprStmt && !S.Exprs.empty() && S.Exprs[0] &&
+           S.Exprs[0]->K == Expr::Kind::Call &&
+           !S.Exprs[0]->Children.empty() && S.Exprs[0]->Children[0] &&
+           S.Exprs[0]->Children[0]->K == Expr::Kind::Selector &&
+           S.Exprs[0]->Children[0]->Text == Method;
+  }
+
+  static bool mentionsCall(const Stmt &S, std::string_view Method) {
+    bool Found = false;
+    walk(
+        S, [](const Stmt &) {},
+        [&](const Expr &E) {
+          if (E.K == Expr::Kind::Selector && E.Text == Method)
+            Found = true;
+        });
+    return Found;
+  }
+
+  const File &F;
+  const FuncDecl *Current = nullptr;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
+
+std::vector<Diagnostic> grs::analysis::runStaticChecks(const File &F) {
+  return Checker(F).run();
+}
+
+std::vector<Diagnostic> grs::analysis::lintGoSource(std::string_view Source) {
+  ast::File F = parseGo(Source);
+  return runStaticChecks(F);
+}

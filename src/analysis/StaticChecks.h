@@ -1,0 +1,61 @@
+//===- analysis/StaticChecks.h - Static race pattern detectors --*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic detectors for the Section 4 race patterns, the research
+/// direction the paper closes on ("We believe the bug patterns in Go
+/// presented in this paper can inspire further research in static race
+/// detection for Go", §5). Each check is deliberately shallow — the
+/// PR-gate niche is "many low-cost static analysis checks" (§3.2.1), not
+/// whole-program analysis:
+///
+///   loop-var-capture      Listing 1/§4.8 — goroutine closure reads a
+///                         loop variable that keeps advancing.
+///   err-var-capture       Listing 2 — `err` assigned both inside a
+///                         goroutine closure and in the enclosing body.
+///   named-return-capture  Listings 3-4 — goroutine closure references a
+///                         named result variable.
+///   mutex-by-value        Listing 7 — sync.Mutex/RWMutex/WaitGroup taken
+///                         as a by-value parameter.
+///   wg-add-inside         Listing 10 — wg.Add() inside the goroutine it
+///                         accounts for.
+///   rlock-mutation        Listing 11 — assignment to shared state
+///                         between RLock and RUnlock.
+///   unlocked-map-in-go    Listing 6 — map index assignment inside a
+///                         goroutine with no Lock() in scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_ANALYSIS_STATICCHECKS_H
+#define GRS_ANALYSIS_STATICCHECKS_H
+
+#include "analysis/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace analysis {
+
+/// One static finding.
+struct Diagnostic {
+  std::string Check;    ///< Stable check id, e.g. "loop-var-capture".
+  std::string Function; ///< Enclosing function name.
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Runs every check over \p F.
+std::vector<Diagnostic> runStaticChecks(const ast::File &F);
+
+/// Convenience: parse + check in one call.
+std::vector<Diagnostic> lintGoSource(std::string_view Source);
+
+} // namespace analysis
+} // namespace grs
+
+#endif // GRS_ANALYSIS_STATICCHECKS_H

@@ -1,0 +1,308 @@
+//===- corpus/CapturePatterns.cpp - Observation 3 patterns -----------------===//
+//
+// "Transparent capture-by-reference of free variables in goroutines is a
+// recipe for data races." Paper §4.2, Listings 1-4.
+//
+// C++ note: lambdas with `[&]` capture by reference exactly like Go
+// closures capture free variables. Where Go's garbage collector keeps a
+// captured variable alive past its scope (escape analysis), we model the
+// escape with shared_ptr-owned Shared<T> cells captured by value — the
+// sharing is still by-reference at the variable level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/Channel.h"
+#include "rt/GoSlice.h"
+#include "rt/Instr.h"
+#include "rt/ErrGroup.h"
+#include "rt/Sync.h"
+
+#include <memory>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 1: loop index variable capture.
+//
+//   for _, job := range jobs {
+//     go func() { ProcessJob(job) }()   // job captured by reference
+//   }
+//===----------------------------------------------------------------------===//
+
+void loopIndexRacy() {
+  FuncScope Fn("ProcessJobs", "jobs.go", 1);
+  auto Jobs = GoSlice<int>::make("jobs", 0);
+  for (int I = 0; I < 4; ++I)
+    Jobs.append(I * 10);
+
+  WaitGroup Wg;
+  // The single loop-index variable every iteration's goroutine shares.
+  Shared<int> Job("job", 0);
+  for (size_t I = 0; I < Jobs.len(); ++I) {
+    atLine(1);
+    Job = Jobs.get(I); // The range loop advances the index variable...
+    Wg.add(1);
+    go("job-closure", [&Wg, &Job] {
+      FuncScope Inner("ProcessJob", "jobs.go", 3);
+      atLine(3);
+      int Value = Job.load(); // ...racing with this captured read.
+      (void)Value;
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void loopIndexFixed() {
+  FuncScope Fn("ProcessJobs", "jobs.go", 1);
+  auto Jobs = GoSlice<int>::make("jobs", 0);
+  for (int I = 0; I < 4; ++I)
+    Jobs.append(I * 10);
+
+  WaitGroup Wg;
+  Shared<int> Job("job", 0);
+  for (size_t I = 0; I < Jobs.len(); ++I) {
+    Job = Jobs.get(I);
+    // Go's recommended idiom: `job := job` privatizes the variable;
+    // here, the goroutine receives the current value by copy.
+    int Privatized = Job.load();
+    Wg.add(1);
+    go("job-closure", [&Wg, Privatized] {
+      FuncScope Inner("ProcessJob", "jobs.go", 3);
+      (void)Privatized;
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 2: idiomatic err variable capture.
+//
+//   x, err := Foo()
+//   go func() { y, err = Bar() ... }()   // err captured by reference
+//   z, err := Baz()                      // redefines the same err
+//===----------------------------------------------------------------------===//
+
+void errCaptureRacy() {
+  FuncScope Fn("FetchAndProcess", "err.go", 1);
+  // err escapes into the goroutine; GC-modelled with shared ownership.
+  auto Err = std::make_shared<Shared<int>>("err", 0);
+
+  atLine(1);
+  Err->store(0); // x, err := Foo()
+  if (Err->load() != 0)
+    return;
+
+  go("bar-closure", [Err] {
+    FuncScope Inner("barClosure", "err.go", 7);
+    atLine(7);
+    Err->store(1); // y, err = Bar() -- write inside the goroutine.
+    if (Err->load() != 0) {
+      // handle error
+    }
+  });
+
+  atLine(13);
+  Err->store(0); // z, err := Baz() -- racing write in the parent.
+  if (Err->load() != 0)
+    return;
+}
+
+void errCaptureFixed() {
+  FuncScope Fn("FetchAndProcess", "err.go", 1);
+  auto Err = std::make_shared<Shared<int>>("err", 0);
+  Err->store(0);
+  if (Err->load() != 0)
+    return;
+
+  // Fix: the goroutine gets its own error variable.
+  go("bar-closure", [] {
+    FuncScope Inner("barClosure", "err.go", 7);
+    Shared<int> LocalErr("errLocal", 0);
+    LocalErr.store(1);
+    if (LocalErr.load() != 0) {
+      // handle error
+    }
+  });
+
+  Err->store(0);
+  if (Err->load() != 0)
+    return;
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 3: named return variable capture.
+//
+//   func NamedReturnCallee() (result int) {
+//     result = 10
+//     go func() { _ = result }()   // reads the named return variable
+//     return 20                    // compiled into a WRITE to result
+//   }
+//===----------------------------------------------------------------------===//
+
+int namedReturnCallee(bool Racy) {
+  FuncScope Fn("NamedReturnCallee", "named.go", 1);
+  auto Result = std::make_shared<Shared<int>>("result", 0);
+  atLine(2);
+  Result->store(10);
+
+  if (Racy) {
+    go("result-reader", [Result] {
+      FuncScope Inner("resultReader", "named.go", 7);
+      atLine(7);
+      int Seen = Result->load(); // Reads the named return variable...
+      (void)Seen;
+    });
+  } else {
+    int Snapshot = Result->load(); // Fix: capture the value.
+    go("result-reader", [Snapshot] {
+      FuncScope Inner("resultReader", "named.go", 7);
+      (void)Snapshot;
+    });
+  }
+
+  atLine(9);
+  // `return 20` writes the named return variable before returning.
+  Result->store(20);
+  return 20;
+}
+
+void namedReturnRacy() {
+  FuncScope Fn("Caller", "named.go", 13);
+  int RetVal = namedReturnCallee(/*Racy=*/true);
+  (void)RetVal;
+}
+
+void namedReturnFixed() {
+  FuncScope Fn("Caller", "named.go", 13);
+  int RetVal = namedReturnCallee(/*Racy=*/false);
+  (void)RetVal;
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 4: named return + defer + goroutine.
+//
+//   func Redeem(request Entity) (resp Response, err error) {
+//     defer func() { resp, err = c.Foo(request, err) }()
+//     err = CheckRequest(request)
+//     go func() { ProcessRequest(request, err != nil) }()
+//     return // the deferred write to err races with the goroutine read
+//   }
+//===----------------------------------------------------------------------===//
+
+void deferNamedReturn(bool Racy) {
+  FuncScope Fn("Redeem", "redeem.go", 1);
+  auto Resp = std::make_shared<Shared<int>>("resp", 0);
+  auto Err = std::make_shared<Shared<int>>("err", 0);
+
+  {
+    // Deferred function runs after `return`: defensive repopulation of
+    // the named return values.
+    Defer Deferred([Resp, Err] {
+      FuncScope Inner("redeemDefer", "redeem.go", 3);
+      atLine(3);
+      int Prior = Err->load();
+      Resp->store(1);
+      Err->store(Prior + 1); // Writes err AFTER the function returned.
+    });
+
+    atLine(6);
+    Err->store(0); // err = CheckRequest(request)
+
+    if (Racy) {
+      go("process-request", [Err] {
+        FuncScope Inner("processRequest", "redeem.go", 8);
+        atLine(8);
+        bool HasErr = Err->load() != 0; // Races with the deferred write.
+        (void)HasErr;
+      });
+    } else {
+      bool HasErr = Err->load() != 0; // Fix: evaluate before spawning.
+      go("process-request", [HasErr] {
+        FuncScope Inner("processRequest", "redeem.go", 8);
+        (void)HasErr;
+      });
+    }
+    atLine(10);
+    // `return` here; Deferred fires on scope exit, after the "return".
+  }
+}
+
+void deferNamedReturnRacy() { deferNamedReturn(/*Racy=*/true); }
+void deferNamedReturnFixed() { deferNamedReturn(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// errgroup loop-variable capture: the modern fan-out idiom with the same
+// Listing 1 capture bug — g.Go closures all share the loop variable.
+//===----------------------------------------------------------------------===//
+
+void errGroupLoopCapture(bool Racy) {
+  FuncScope Fn("FetchAllShards", "shards.go", 1);
+  auto G = std::make_shared<rt::ErrGroup>("g");
+  auto Shard = std::make_shared<Shared<int>>("shard", 0);
+
+  for (int I = 0; I < 3; ++I) {
+    atLine(4);
+    Shard->store(I); // `for _, shard := range shards`.
+    if (Racy) {
+      G->spawn([Shard]() -> std::string {
+        FuncScope Inner("fetchShard", "shards.go", 6);
+        atLine(7);
+        int Which = Shard->load(); // Captured loop variable: RACE.
+        return Which < 0 ? "bad shard" : "";
+      });
+    } else {
+      int Privatized = Shard->load(); // `shard := shard`.
+      G->spawn([Privatized]() -> std::string {
+        FuncScope Inner("fetchShard", "shards.go", 6);
+        return Privatized < 0 ? "bad shard" : "";
+      });
+    }
+  }
+  std::string Err = G->wait();
+  (void)Err;
+}
+
+void errGroupCaptureRacy() { errGroupLoopCapture(/*Racy=*/true); }
+void errGroupCaptureFixed() { errGroupLoopCapture(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::capturePatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"loop-index-capture", "Listing 1",
+                    Category::CaptureLoopVar,
+                    "Loop index variable captured by reference in a "
+                    "goroutine races with the loop advancing it",
+                    hostBody(loopIndexRacy), hostBody(loopIndexFixed)});
+  Result.push_back({"err-variable-capture", "Listing 2",
+                    Category::CaptureErrVar,
+                    "Idiomatic err variable captured by a goroutine races "
+                    "with later `x, err :=` assignments",
+                    hostBody(errCaptureRacy), hostBody(errCaptureFixed)});
+  Result.push_back({"named-return-capture", "Listing 3",
+                    Category::CaptureNamedReturn,
+                    "`return 20` compiles into a write to the named return "
+                    "variable read by a goroutine",
+                    hostBody(namedReturnRacy), hostBody(namedReturnFixed)});
+  Result.push_back({"defer-named-return", "Listing 4",
+                    Category::CaptureNamedReturn,
+                    "Deferred write to a named return races with a "
+                    "goroutine reading it after return",
+                    hostBody(deferNamedReturnRacy),
+                    hostBody(deferNamedReturnFixed)});
+  Result.push_back({"errgroup-loop-capture", "§4.2 (errgroup)",
+                    Category::CaptureLoopVar,
+                    "errgroup.Go closures capture the loop variable by "
+                    "reference, like Listing 1",
+                    hostBody(errGroupCaptureRacy),
+                    hostBody(errGroupCaptureFixed)});
+  return Result;
+}

@@ -1,0 +1,265 @@
+//===- corpus/ChannelPatterns.cpp - Observation 7 patterns -----------------===//
+//
+// "Mixed use of message passing (channels) and shared memory makes code
+// complex and susceptible to data races." Paper §4.6, Listing 9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/Channel.h"
+#include "rt/Context.h"
+#include "rt/Instr.h"
+#include "rt/Select.h"
+#include "rt/Sync.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 9: the Future implementation.
+//
+//   func (f *Future) Start() {
+//     go func() {
+//       resp, err := f.f()
+//       f.response = resp; f.err = err
+//       f.ch <- 1            // may block forever!
+//     }()
+//   }
+//   func (f *Future) Wait(ctx context.Context) error {
+//     select {
+//     case <-f.ch: return nil
+//     case <-ctx.Done():
+//       f.err = ErrCancelled // races with the write in the goroutine
+//       return ErrCancelled
+//     }
+//   }
+//
+// The race (and the goroutine leak) manifest only on schedules where the
+// context deadline beats the registered function — run a seed sweep to
+// watch the §3.1 non-determinism attributes in action.
+//===----------------------------------------------------------------------===//
+
+struct Future {
+  explicit Future(uint64_t WorkSteps)
+      : Ch(std::make_shared<Chan<int>>(0, "future.ch")),
+        Response(std::make_shared<Shared<int>>("future.response", 0)),
+        Err(std::make_shared<Shared<std::string>>("future.err",
+                                                  std::string())),
+        WorkSteps(WorkSteps) {}
+
+  void start() {
+    FuncScope Fn("(*Future).Start", "future.go", 1);
+    auto ChLocal = Ch;
+    auto RespLocal = Response;
+    auto ErrLocal = Err;
+    uint64_t Work = WorkSteps;
+    go("future-worker", [ChLocal, RespLocal, ErrLocal, Work] {
+      FuncScope Inner("futureWorker", "future.go", 2);
+      Runtime &RT = Runtime::current();
+      // resp, err := f.f() -- the registered function takes a while.
+      RT.sleepUntilStep(RT.stepCount() + Work);
+      atLine(4);
+      RespLocal->store(42);
+      atLine(5);
+      ErrLocal->store("");  // f.err = err
+      atLine(6);
+      ChLocal->send(1);     // May block forever if nobody waits.
+    });
+  }
+
+  /// \returns the error string ("" = success).
+  std::string wait(Context Ctx) {
+    FuncScope Fn("(*Future).Wait", "future.go", 9);
+    std::string Result;
+    Selector Sel;
+    Sel.onRecv<int>(*Ch, [&Result](int, bool) {
+      atLine(12);
+      Result = ""; // return nil
+    });
+    Sel.onRecv<Unit>(Ctx.doneChan(), [this, &Result](Unit, bool) {
+      atLine(14);
+      Err->store("ErrCancelled"); // Races with the worker's f.err write.
+      Result = "ErrCancelled";
+    });
+    Sel.run();
+    return Result;
+  }
+
+  std::shared_ptr<Chan<int>> Ch;
+  std::shared_ptr<Shared<int>> Response;
+  std::shared_ptr<Shared<std::string>> Err;
+  uint64_t WorkSteps;
+};
+
+void futureCtxRace() {
+  FuncScope Fn("HandleRequest", "future.go", 20);
+  // Work and deadline collide in virtual time, so either select arm can
+  // win depending on the seed — the §3.1 flaky-detection phenomenology:
+  // the race (and the leak) exist only on cancellation-first schedules.
+  auto F = std::make_shared<Future>(/*WorkSteps=*/40);
+  F->start();
+  auto [Ctx, Cancel] = Context::withTimeout(Context::background(), 40);
+  std::string Err = F->wait(Ctx);
+  (void)Err;
+  (void)Cancel;
+}
+
+/// The paper's suggested structure: keep ALL completion state flowing
+/// through the channel; the cancellation path never touches f.err.
+struct FixedFuture {
+  explicit FixedFuture(uint64_t WorkSteps)
+      : Ch(std::make_shared<Chan<std::string>>(1, "future.ch")),
+        WorkSteps(WorkSteps) {}
+
+  void start() {
+    FuncScope Fn("(*Future).Start", "future_fixed.go", 1);
+    auto ChLocal = Ch;
+    uint64_t Work = WorkSteps;
+    go("future-worker", [ChLocal, Work] {
+      FuncScope Inner("futureWorker", "future_fixed.go", 2);
+      Runtime &RT = Runtime::current();
+      RT.sleepUntilStep(RT.stepCount() + Work);
+      // Result travels in the message; buffered so completion can never
+      // block forever.
+      ChLocal->send("");
+    });
+  }
+
+  std::string wait(Context Ctx) {
+    FuncScope Fn("(*Future).Wait", "future_fixed.go", 9);
+    std::string Result;
+    Selector Sel;
+    Sel.onRecv<std::string>(*Ch, [&Result](std::string Err, bool) {
+      Result = std::move(Err);
+    });
+    Sel.onRecv<Unit>(Ctx.doneChan(), [&Result](Unit, bool) {
+      Result = "ErrCancelled"; // Local only; shared state untouched.
+    });
+    Sel.run();
+    return Result;
+  }
+
+  std::shared_ptr<Chan<std::string>> Ch;
+  uint64_t WorkSteps;
+};
+
+void futureCtxFixed() {
+  FuncScope Fn("HandleRequest", "future_fixed.go", 20);
+  auto F = std::make_shared<FixedFuture>(/*WorkSteps=*/60);
+  F->start();
+  auto [Ctx, Cancel] = Context::withTimeout(Context::background(), 40);
+  std::string Err = F->wait(Ctx);
+  (void)Err;
+  (void)Cancel;
+}
+
+//===----------------------------------------------------------------------===//
+// Producer hands a pointer over a channel, then keeps mutating the
+// pointed-to object — message passing used as if it transferred
+// ownership, while shared memory says otherwise.
+//===----------------------------------------------------------------------===//
+
+void channelOwnershipLeak(bool Racy) {
+  FuncScope Fn("PublishConfig", "ownership.go", 1);
+  auto Config = std::make_shared<Shared<int>>("config.version", 1);
+  auto Ch = std::make_shared<Chan<std::shared_ptr<Shared<int>>>>(
+      1, "configCh");
+
+  WaitGroup Wg;
+  Wg.add(1);
+  go("consumer", [&Wg, Ch] {
+    FuncScope Inner("consumeConfig", "ownership.go", 5);
+    auto [Cfg, Ok] = Ch->recv();
+    if (Ok) {
+      atLine(7);
+      int Version = Cfg->load();
+      (void)Version;
+    }
+    Wg.done();
+  });
+
+  Ch->send(Config); // HB: everything before the send is visible.
+  if (Racy) {
+    atLine(12);
+    Config->store(2); // BUG: mutation after handoff, unordered with the
+                      // consumer's read.
+  }
+  Wg.wait();
+}
+
+void channelOwnershipRacy() { channelOwnershipLeak(/*Racy=*/true); }
+void channelOwnershipFixed() { channelOwnershipLeak(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Channel-as-mutex misuse: a capacity-1 channel used as a lock (a common
+// Go idiom), but one code path accesses the shared state without first
+// taking the token — partial locking dressed up in channels (§4.6's
+// "mixed use of message passing and shared memory").
+//===----------------------------------------------------------------------===//
+
+void channelSemaphore(bool Racy) {
+  FuncScope Fn("TokenGuard", "token.go", 1);
+  auto Token = std::make_shared<Chan<Unit>>(1, "token");
+  auto Balance = std::make_shared<Shared<int>>("balance", 100);
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("debitor", [Token, Balance, &Wg] {
+    FuncScope Inner("Debit", "token.go", 5);
+    Token->send(Unit{}); // Acquire the token.
+    atLine(7);
+    Balance->store(Balance->load() - 10);
+    Token->recv(); // Release.
+    Wg.done();
+  });
+  go("auditor", [Token, Balance, &Wg, Racy] {
+    FuncScope Inner("Audit", "token.go", 12);
+    if (Racy) {
+      atLine(13);
+      int Seen = Balance->load(); // Forgot to take the token.
+      (void)Seen;
+    } else {
+      Token->send(Unit{});
+      int Seen = Balance->load();
+      (void)Seen;
+      Token->recv();
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void chanSemaphoreRacy() { channelSemaphore(/*Racy=*/true); }
+void chanSemaphoreFixed() { channelSemaphore(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::channelPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"future-ctx-timeout", "Listing 9",
+                    Category::MixedChannelShared,
+                    "Future's cancellation path writes f.err in shared "
+                    "memory, racing with the completion goroutine; the "
+                    "abandoned sender also leaks",
+                    hostBody(futureCtxRace), hostBody(futureCtxFixed)});
+  Result.push_back({"channel-ownership-leak", "§4.6",
+                    Category::MixedChannelShared,
+                    "Object mutated after being handed off over a channel "
+                    "races with the receiver's reads",
+                    hostBody(channelOwnershipRacy),
+                    hostBody(channelOwnershipFixed)});
+  Result.push_back({"channel-as-mutex-partial", "§4.6 (token channel)",
+                    Category::MixedChannelShared,
+                    "Capacity-1 channel used as a lock, but one path "
+                    "reads the guarded state without taking the token",
+                    hostBody(chanSemaphoreRacy),
+                    hostBody(chanSemaphoreFixed)});
+  return Result;
+}

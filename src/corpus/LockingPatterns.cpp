@@ -1,0 +1,552 @@
+//===- corpus/LockingPatterns.cpp - Observation 10 + Table 3 patterns ------===//
+//
+// "Incorrect use of mutual exclusion primitives leads to data races ...
+// one of the most frequent reasons for data races in our code" (§4.9,
+// Listing 11) plus the language-agnostic miscellaneous causes of Table 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/Channel.h"
+#include "rt/GoMap.h"
+#include "rt/Instr.h"
+#include "rt/Pool.h"
+#include "rt/Sync.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 11: mutating shared data in a reader-lock-protected section.
+//
+//   func (g *HealthGate) updateGate() {
+//     g.mutex.RLock(); defer g.mutex.RUnlock()
+//     if ... { g.ready = true      // concurrent writes under RLock
+//              g.gate.Accept() }   // idempotency violated too
+//   }
+//===----------------------------------------------------------------------===//
+
+void healthGate(bool Racy) {
+  FuncScope Fn("HealthCheck", "gate.go", 20);
+  auto Ready = std::make_shared<Shared<bool>>("g.ready", false);
+  auto Accepts = std::make_shared<Shared<int>>("g.accepts", 0);
+  auto Mu = std::make_shared<RWMutex>("g.mutex");
+
+  auto UpdateGate = [Ready, Accepts, Mu, Racy] {
+    FuncScope Inner("updateGate", "gate.go", 1);
+    if (Racy) {
+      Mu->rlock();
+      Defer Unlock([Mu] { Mu->runlock(); });
+      atLine(4);
+      bool Current = Ready->load(); // Read-only operations: fine...
+      if (!Current) {
+        atLine(6);
+        Ready->store(true); // BUG: write inside an RLock section.
+        atLine(7);
+        Accepts->store(Accepts->load() + 1); // Non-idempotent IO, twice.
+      }
+    } else {
+      Mu->lock(); // Fix: writers take the write lock.
+      Defer Unlock([Mu] { Mu->unlock(); });
+      bool Current = Ready->load();
+      if (!Current) {
+        Ready->store(true);
+        Accepts->store(Accepts->load() + 1);
+      }
+    }
+  };
+
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("health-checker", [&Wg, UpdateGate] {
+      UpdateGate();
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void rlockMutationRacy() { healthGate(/*Racy=*/true); }
+void rlockMutationFixed() { healthGate(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Partial locking: "the developer used locks in one place and forgot to
+// use it in another while accessing the same shared variable(s)" (§4.9.2).
+//===----------------------------------------------------------------------===//
+
+void partialLocking(bool Racy) {
+  FuncScope Fn("RateLimiter", "limiter.go", 1);
+  auto Tokens = std::make_shared<Shared<int>>("tokens", 10);
+  auto Mu = std::make_shared<Mutex>("mu");
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("taker", [&Wg, Tokens, Mu] {
+    FuncScope Inner("Take", "limiter.go", 5);
+    Mu->lock(); // The locked site...
+    atLine(7);
+    Tokens->store(Tokens->load() - 1);
+    Mu->unlock();
+    Wg.done();
+  });
+  go("refiller", [&Wg, Tokens, Mu, Racy] {
+    FuncScope Inner("Refill", "limiter.go", 12);
+    if (Racy) {
+      atLine(13);
+      Tokens->store(10); // ...and the forgotten one.
+    } else {
+      Mu->lock();
+      Tokens->store(10);
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void partialLockRacy() { partialLocking(/*Racy=*/true); }
+void partialLockFixed() { partialLocking(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Premature unlock: "the developer used a lock but called unlock
+// prematurely, leaving some shared variable access outside the critical
+// section" (§4.9.2).
+//===----------------------------------------------------------------------===//
+
+void prematureUnlock(bool Racy) {
+  FuncScope Fn("SessionStore", "session.go", 1);
+  auto Sessions = std::make_shared<Shared<int>>("activeSessions", 0);
+  auto Mu = std::make_shared<Mutex>("mu");
+
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("session-worker", [&Wg, Sessions, Mu, Racy] {
+      FuncScope Inner("OpenSession", "session.go", 4);
+      Mu->lock();
+      int Current = Sessions->load();
+      if (Racy) {
+        Mu->unlock(); // BUG: releases before the write lands.
+        atLine(8);
+        Sessions->store(Current + 1);
+      } else {
+        Sessions->store(Current + 1);
+        Mu->unlock();
+      }
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void prematureUnlockRacy() { prematureUnlock(/*Racy=*/true); }
+void prematureUnlockFixed() { prematureUnlock(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Partial atomics: "used sync.Atomic partially — used for writing to a
+// shared variable but forgot to use it to read from the same variable"
+// (§4.9.2).
+//===----------------------------------------------------------------------===//
+
+void partialAtomics(bool Racy) {
+  FuncScope Fn("ShutdownFlag", "flag.go", 1);
+  auto Flag = std::make_shared<GoAtomic<int>>("shuttingDown", 0);
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("setter", [&Wg, Flag] {
+    FuncScope Inner("RequestShutdown", "flag.go", 4);
+    atLine(5);
+    Flag->store(1); // Correct atomic write...
+    Wg.done();
+  });
+  go("poller", [&Wg, Flag, Racy] {
+    FuncScope Inner("PollShutdown", "flag.go", 9);
+    atLine(10);
+    int Seen = Racy ? Flag->rawLoad() // ...read with a PLAIN load.
+                    : Flag->load();
+    (void)Seen;
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void atomicMisuseRacy() { partialAtomics(/*Racy=*/true); }
+void atomicMisuseFixed() { partialAtomics(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Mutating a global variable (Table 3): package-level state touched by
+// concurrent request handlers.
+//===----------------------------------------------------------------------===//
+
+void globalMutation(bool Racy) {
+  FuncScope Fn("ServeRequests", "global.go", 1);
+  auto DefaultTimeout =
+      std::make_shared<Shared<int>>("pkg.defaultTimeout", 30);
+  auto Mu = std::make_shared<Mutex>("pkg.mu");
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("handler-a", [&Wg, DefaultTimeout, Mu, Racy] {
+    FuncScope Inner("handleA", "global.go", 5);
+    if (Racy) {
+      atLine(6);
+      DefaultTimeout->store(60); // Tunes the package global in-flight.
+    } else {
+      Mu->lock();
+      DefaultTimeout->store(60);
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  go("handler-b", [&Wg, DefaultTimeout, Mu, Racy] {
+    FuncScope Inner("handleB", "global.go", 11);
+    if (Racy) {
+      atLine(12);
+      int Timeout = DefaultTimeout->load();
+      (void)Timeout;
+    } else {
+      Mu->lock();
+      int Timeout = DefaultTimeout->load();
+      (void)Timeout;
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void globalVarRacy() { globalMutation(/*Racy=*/true); }
+void globalVarFixed() { globalMutation(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Thread-safe API violating its contract (Table 3's second-largest row):
+// a library object documented as "safe for concurrent use" whose new
+// fast path skipped the lock.
+//===----------------------------------------------------------------------===//
+
+struct ContractCache {
+  ContractCache()
+      : Entries(std::make_shared<GoMap<std::string, int>>("cache.entries")),
+        Hits(std::make_shared<Shared<int>>("cache.hits", 0)),
+        Mu(std::make_shared<Mutex>("cache.mu")) {}
+
+  /// Documented: "Get is safe for concurrent use." The cheap hit-counter
+  /// "optimization" broke the contract.
+  int get(const std::string &Key, bool Racy) {
+    FuncScope Fn("Cache.Get", "cache.go", 10);
+    if (Racy) {
+      atLine(11);
+      Hits->store(Hits->load() + 1); // Outside the lock.
+      Mu->lock();
+      int Value = Entries->get(Key);
+      Mu->unlock();
+      return Value;
+    }
+    Mu->lock();
+    Hits->store(Hits->load() + 1);
+    int Value = Entries->get(Key);
+    Mu->unlock();
+    return Value;
+  }
+
+  std::shared_ptr<GoMap<std::string, int>> Entries;
+  std::shared_ptr<Shared<int>> Hits;
+  std::shared_ptr<Mutex> Mu;
+};
+
+void apiContract(bool Racy) {
+  FuncScope Fn("LookupFanout", "cache.go", 30);
+  auto Cache = std::make_shared<ContractCache>();
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("lookup", [&Wg, Cache, Racy, I] {
+      FuncScope Inner("lookupOne", "cache.go", 33);
+      Cache->get("key-" + std::to_string(I % 2), Racy);
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void apiContractRacy() { apiContract(/*Racy=*/true); }
+void apiContractFixed() { apiContract(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Incorrect order of statements (Table 3): state published to another
+// goroutine BEFORE it is fully initialized.
+//===----------------------------------------------------------------------===//
+
+void statementOrder(bool Racy) {
+  FuncScope Fn("StartServer", "server.go", 1);
+  auto Config = std::make_shared<Shared<int>>("server.config", 0);
+  auto Started = std::make_shared<Chan<Unit>>(1, "startedCh");
+
+  if (Racy) {
+    atLine(3);
+    // BUG: worker launched before initialization completes.
+    go("server-loop", [Config, Started] {
+      FuncScope Inner("serverLoop", "server.go", 8);
+      atLine(9);
+      int Cfg = Config->load(); // May observe the in-progress init.
+      (void)Cfg;
+      Started->send(Unit{});
+    });
+    atLine(5);
+    Config->store(443); // Initialization AFTER the spawn.
+  } else {
+    Config->store(443); // Fix: initialize, then publish.
+    go("server-loop", [Config, Started] {
+      FuncScope Inner("serverLoop", "server.go", 8);
+      int Cfg = Config->load();
+      (void)Cfg;
+      Started->send(Unit{});
+    });
+  }
+  Started->recv();
+}
+
+void stmtOrderRacy() { statementOrder(/*Racy=*/true); }
+void stmtOrderFixed() { statementOrder(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Complex multi-component interaction (Table 3): a config watcher, a
+// worker pool, and a metrics flusher sharing one settings object; the
+// watcher-to-pool path is channel-synchronized but the flusher reads the
+// settings directly.
+//===----------------------------------------------------------------------===//
+
+void multiComponent(bool Racy) {
+  FuncScope Fn("RunService", "service.go", 1);
+  auto Settings = std::make_shared<Shared<int>>("settings.rate", 100);
+  auto Updates = std::make_shared<Chan<int>>(1, "updatesCh");
+  auto Mu = std::make_shared<Mutex>("settingsMu");
+
+  WaitGroup Wg;
+  Wg.add(3);
+  go("config-watcher", [&Wg, Settings, Updates, Mu, Racy] {
+    FuncScope Inner("watchConfig", "service.go", 6);
+    if (Racy) {
+      atLine(7);
+      Settings->store(250); // New config arrives...
+    } else {
+      Mu->lock();
+      Settings->store(250);
+      Mu->unlock();
+    }
+    Updates->send(250); // ...and is broadcast to the pool.
+    Wg.done();
+  });
+  go("worker-pool", [&Wg, Updates] {
+    FuncScope Inner("poolLoop", "service.go", 14);
+    auto [Rate, Ok] = Updates->recv(); // Channel-synchronized: safe.
+    (void)Rate;
+    (void)Ok;
+    Wg.done();
+  });
+  go("metrics-flusher", [&Wg, Settings, Mu, Racy] {
+    FuncScope Inner("flushMetrics", "service.go", 20);
+    if (Racy) {
+      atLine(21);
+      int Rate = Settings->load(); // Direct read: the forgotten path.
+      (void)Rate;
+    } else {
+      Mu->lock();
+      int Rate = Settings->load();
+      (void)Rate;
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void multiComponentRacy() { multiComponent(/*Racy=*/true); }
+void multiComponentFixed() { multiComponent(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Racy metrics / logging (Table 3): request handlers bump a shared
+// latency histogram without synchronization — "harmless telemetry" that
+// still races.
+//===----------------------------------------------------------------------===//
+
+void racyMetrics(bool Racy) {
+  FuncScope Fn("HandleBatch", "metrics.go", 1);
+  auto RequestCount = std::make_shared<Shared<int>>("metrics.requests", 0);
+  auto Counter = std::make_shared<GoAtomic<int>>("metrics.requestsAtomic", 0);
+
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("handler", [&Wg, RequestCount, Counter, Racy] {
+      FuncScope Inner("handleOne", "metrics.go", 5);
+      if (Racy) {
+        atLine(6);
+        RequestCount->store(RequestCount->load() + 1); // Racy increment.
+      } else {
+        Counter->add(1); // Fix: atomic counter.
+      }
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void metricsRacy() { racyMetrics(/*Racy=*/true); }
+void metricsFixed() { racyMetrics(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Double-checked locking: the classic broken lazy initialization — the
+// unsynchronized "fast path" read of the initialized flag races with the
+// initializing write. Fixed with sync.Once (what Go code should use).
+//===----------------------------------------------------------------------===//
+
+void doubleCheckedLocking(bool Racy) {
+  FuncScope Fn("GetSingleton", "singleton.go", 1);
+  auto Initialized = std::make_shared<Shared<bool>>("initialized", false);
+  auto Instance = std::make_shared<Shared<int>>("instance", 0);
+  auto Mu = std::make_shared<Mutex>("mu");
+  auto InitOnce = std::make_shared<Once>("initOnce");
+
+  auto GetInstance = [=] {
+    FuncScope Inner("getInstance", "singleton.go", 5);
+    if (Racy) {
+      atLine(6);
+      if (!Initialized->load()) { // Unsynchronized fast-path check.
+        Mu->lock();
+        if (!Initialized->raw()) { // Second check under the lock.
+          atLine(9);
+          Instance->store(42);
+          atLine(10);
+          Initialized->store(true); // Races with the fast-path read.
+        }
+        Mu->unlock();
+      }
+    } else {
+      InitOnce->doOnce([Instance] { Instance->store(42); });
+    }
+    return Instance;
+  };
+
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("getter", [&Wg, GetInstance] {
+      GetInstance();
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void doubleCheckedRacy() { doubleCheckedLocking(/*Racy=*/true); }
+void doubleCheckedFixed() { doubleCheckedLocking(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// sync.Pool use-after-Put: the pool contract says ownership transfers at
+// Put(); keeping (and mutating through) the old reference races with the
+// object's next owner — an API-contract violation in Table 3's sense.
+//===----------------------------------------------------------------------===//
+
+struct PooledBuffer {
+  PooledBuffer() : Len(std::make_shared<Shared<int>>("buf.len", 0)) {}
+  std::shared_ptr<Shared<int>> Len;
+};
+
+void poolUseAfterPut(bool Racy) {
+  FuncScope Fn("RenderResponses", "render.go", 1);
+  auto BufPool = std::make_shared<rt::Pool<PooledBuffer>>(
+      [] { return std::make_shared<PooledBuffer>(); }, "bufPool");
+
+  auto First = BufPool->get();
+  First->Len->store(128);
+  atLine(6);
+  BufPool->put(First); // Ownership transfers here.
+  if (!Racy)
+    First.reset(); // Correct: drop the stale reference.
+
+  WaitGroup Wg;
+  Wg.add(1);
+  go("next-request", [BufPool, &Wg] {
+    FuncScope Inner("renderNext", "render.go", 10);
+    auto Buf = BufPool->get();
+    atLine(12);
+    Buf->Len->store(0); // The new owner resets the buffer.
+    Wg.done();
+  });
+
+  if (Racy) {
+    atLine(16);
+    First->Len->store(256); // BUG: stale reference mutated after Put.
+  }
+  Wg.wait();
+}
+
+void poolUseAfterPutRacy() { poolUseAfterPut(/*Racy=*/true); }
+void poolUseAfterPutFixed() { poolUseAfterPut(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::lockingPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"rlock-mutation", "Listing 11", Category::RLockMutation,
+                    "Shared state mutated inside an RLock-protected "
+                    "section; concurrent readers write simultaneously",
+                    hostBody(rlockMutationRacy),
+                    hostBody(rlockMutationFixed)});
+  Result.push_back({"partial-locking", "§4.9.2", Category::MissingLock,
+                    "One access site locks, the other was forgotten",
+                    hostBody(partialLockRacy), hostBody(partialLockFixed)});
+  Result.push_back({"premature-unlock", "§4.9.2", Category::MissingLock,
+                    "Unlock called before the last shared access of the "
+                    "critical section",
+                    hostBody(prematureUnlockRacy),
+                    hostBody(prematureUnlockFixed)});
+  Result.push_back({"partial-atomics", "§4.9.2", Category::AtomicMisuse,
+                    "Atomic writes paired with plain reads of the same "
+                    "variable",
+                    hostBody(atomicMisuseRacy),
+                    hostBody(atomicMisuseFixed)});
+  Result.push_back({"global-mutation", "Table 3", Category::GlobalVar,
+                    "Package-level global mutated by concurrent handlers",
+                    hostBody(globalVarRacy), hostBody(globalVarFixed)});
+  Result.push_back({"api-contract-violation", "Table 3",
+                    Category::UnsafeApiContract,
+                    "API documented thread-safe skips its lock on a fast "
+                    "path",
+                    hostBody(apiContractRacy), hostBody(apiContractFixed)});
+  Result.push_back({"statement-order", "Table 3", Category::StatementOrder,
+                    "Goroutine launched before the state it reads is "
+                    "initialized",
+                    hostBody(stmtOrderRacy), hostBody(stmtOrderFixed)});
+  Result.push_back({"multi-component", "Table 3", Category::MultiComponent,
+                    "Three components share settings; one read path skips "
+                    "the synchronization the others use",
+                    hostBody(multiComponentRacy),
+                    hostBody(multiComponentFixed)});
+  Result.push_back({"racy-metrics", "Table 3", Category::MetricsLogging,
+                    "Telemetry counters bumped without synchronization",
+                    hostBody(metricsRacy), hostBody(metricsFixed)});
+  Result.push_back({"double-checked-locking", "§4.9.2",
+                    Category::MissingLock,
+                    "Lazy init with an unsynchronized fast-path flag "
+                    "check; sync.Once is the fix",
+                    hostBody(doubleCheckedRacy),
+                    hostBody(doubleCheckedFixed)});
+  Result.push_back({"pool-use-after-put", "Table 3 (sync.Pool)",
+                    Category::UnsafeApiContract,
+                    "Object mutated through a stale reference after "
+                    "sync.Pool.Put transferred ownership",
+                    hostBody(poolUseAfterPutRacy),
+                    hostBody(poolUseAfterPutFixed)});
+  return Result;
+}

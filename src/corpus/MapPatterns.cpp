@@ -1,0 +1,250 @@
+//===- corpus/MapPatterns.cpp - Observation 5 patterns ---------------------===//
+//
+// "The array-style syntax of map accesses provides a false illusion of
+// disjoint accesses of elements. However, map implementation is
+// thread-unsafe in Go causing frequent data races." Paper §4.4, Listing 6.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/GoMap.h"
+#include "rt/GoSlice.h"
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+#include "rt/SyncMap.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 6: concurrent writes to distinct keys of one hash table.
+//
+//   errMap := make(map[string]error)
+//   for _, uuid := range uuids {
+//     go func(uuid string) {
+//       _, err := GetOrder(ctx, uuid)
+//       if err != nil { errMap[uuid] = err }   // write-write race
+//     }(uuid)
+//   }
+//===----------------------------------------------------------------------===//
+
+void processOrders(bool Racy) {
+  FuncScope Fn("processOrders", "orders.go", 1);
+  auto ErrMap = std::make_shared<GoMap<std::string, std::string>>("errMap");
+  auto Mu = std::make_shared<Mutex>("mu");
+
+  auto Uuids = GoSlice<std::string>::make("uuids", 0);
+  for (int I = 0; I < 4; ++I)
+    Uuids.append("uuid-" + std::to_string(I));
+
+  WaitGroup Wg;
+  for (size_t I = 0; I < Uuids.len(); ++I) {
+    std::string Uuid = Uuids.get(I); // Correctly privatized argument.
+    Wg.add(1);
+    go("order-worker", [&Wg, ErrMap, Mu, Uuid, Racy] {
+      FuncScope Inner("getOrder", "orders.go", 5);
+      bool Failed = (Uuid.back() - '0') % 2 == 0; // GetOrder() outcome.
+      if (Failed) {
+        if (Racy) {
+          atLine(7);
+          // Distinct keys, but the sparse structure is shared: the
+          // hash-table write races with every other insert.
+          ErrMap->set(Uuid, "failed to process");
+        } else {
+          Mu->lock();
+          ErrMap->set(Uuid, "failed to process");
+          Mu->unlock();
+        }
+      }
+      Wg.done();
+    });
+  }
+  Wg.wait();
+  atLine(12);
+  size_t Failures = ErrMap->len(); // combinedError(errMap)
+  (void)Failures;
+}
+
+void mapDistinctKeysRacy() { processOrders(/*Racy=*/true); }
+void mapDistinctKeysFixed() { processOrders(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Read/iterate while another goroutine inserts — the reader variant: map
+// reads touch the sparse structure another goroutine is rehashing.
+//===----------------------------------------------------------------------===//
+
+void mapReadDuringInsert(bool Racy) {
+  FuncScope Fn("CacheWarmup", "cache.go", 1);
+  auto Cache = std::make_shared<GoMap<int, int>>("cache");
+  auto Mu = std::make_shared<RWMutex>("cacheMu");
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("warmer", [&Wg, Cache, Mu, Racy] {
+    FuncScope Inner("warm", "cache.go", 4);
+    for (int I = 0; I < 4; ++I) {
+      if (Racy) {
+        atLine(5);
+        Cache->set(I, I * I);
+      } else {
+        Mu->lock();
+        Cache->set(I, I * I);
+        Mu->unlock();
+      }
+    }
+    Wg.done();
+  });
+  go("prober", [&Wg, Cache, Mu, Racy] {
+    FuncScope Inner("probe", "cache.go", 10);
+    for (int I = 0; I < 4; ++I) {
+      if (Racy) {
+        atLine(11);
+        int Hit = Cache->get(I); // Read of the structure under mutation.
+        (void)Hit;
+      } else {
+        Mu->rlock();
+        int Hit = Cache->get(I);
+        (void)Hit;
+        Mu->runlock();
+      }
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void mapReadInsertRacy() { mapReadDuringInsert(/*Racy=*/true); }
+void mapReadInsertFixed() { mapReadDuringInsert(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Deep call path: "the same hash table being passed to deep call paths
+// and developers losing track of the fact that these call paths mutate
+// the hash table via asynchronous goroutines" (§4.4).
+//===----------------------------------------------------------------------===//
+
+using Registry = GoMap<std::string, int>;
+
+void auditEntry(const std::shared_ptr<Registry> &Reg, const std::string &Key) {
+  FuncScope Fn("auditEntry", "deep.go", 30);
+  atLine(31);
+  int Value = Reg->get(Key);
+  (void)Value;
+}
+
+void refreshEntry(const std::shared_ptr<Registry> &Reg,
+                  const std::string &Key) {
+  FuncScope Fn("refreshEntry", "deep.go", 20);
+  atLine(21);
+  Reg->set(Key, 1); // Mutation three calls deep from the spawn site.
+}
+
+void refreshAll(const std::shared_ptr<Registry> &Reg) {
+  FuncScope Fn("refreshAll", "deep.go", 10);
+  refreshEntry(Reg, "alpha");
+  refreshEntry(Reg, "beta");
+}
+
+void mapDeepCallPath(bool Racy) {
+  FuncScope Fn("SyncRegistry", "deep.go", 1);
+  auto Reg = std::make_shared<Registry>("registry");
+  auto Mu = std::make_shared<Mutex>("regMu");
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("refresher", [&Wg, Reg, Mu, Racy] {
+    FuncScope Inner("refreshJob", "deep.go", 5);
+    if (Racy) {
+      refreshAll(Reg);
+    } else {
+      Mu->lock();
+      refreshAll(Reg);
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  go("auditor", [&Wg, Reg, Mu, Racy] {
+    FuncScope Inner("auditJob", "deep.go", 8);
+    if (Racy) {
+      auditEntry(Reg, "alpha");
+    } else {
+      Mu->lock();
+      auditEntry(Reg, "alpha");
+      Mu->unlock();
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void mapDeepRacy() { mapDeepCallPath(/*Racy=*/true); }
+void mapDeepFixed() { mapDeepCallPath(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Built-in map vs sync.Map: the standard-library fix for Observation 5 —
+// the fixed variant swaps the thread-unsafe built-in for sync.Map instead
+// of adding a caller-side mutex.
+//===----------------------------------------------------------------------===//
+
+void sessionTracker(bool Racy) {
+  FuncScope Fn("TrackSessions", "sessions.go", 1);
+  auto Plain = std::make_shared<GoMap<int, int>>("sessions");
+  auto Safe = std::make_shared<SyncMap<int, int>>("sessions");
+
+  WaitGroup Wg;
+  for (int W = 0; W < 3; ++W) {
+    Wg.add(1);
+    go("session-handler", [Plain, Safe, W, &Wg, Racy] {
+      FuncScope Inner("trackOne", "sessions.go", 5);
+      if (Racy) {
+        atLine(6);
+        Plain->set(W, 1); // Built-in map: sparse-structure races.
+        (void)Plain->get((W + 1) % 3);
+      } else {
+        Safe->store(W, 1); // sync.Map: internally synchronized.
+        (void)Safe->load((W + 1) % 3);
+      }
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void syncMapContrastRacy() { sessionTracker(/*Racy=*/true); }
+void syncMapContrastFixed() { sessionTracker(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::mapPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"map-distinct-keys", "Listing 6",
+                    Category::MapConcurrent,
+                    "Concurrent writes to distinct keys still write-write "
+                    "race on the shared sparse structure",
+                    hostBody(mapDistinctKeysRacy),
+                    hostBody(mapDistinctKeysFixed)});
+  Result.push_back({"map-read-during-insert", "§4.4",
+                    Category::MapConcurrent,
+                    "Map lookups race with concurrent inserts rehashing "
+                    "the table",
+                    hostBody(mapReadInsertRacy),
+                    hostBody(mapReadInsertFixed)});
+  Result.push_back({"map-deep-call-path", "§4.4",
+                    Category::MapConcurrent,
+                    "Hash table passed down deep call paths is mutated by "
+                    "an asynchronous goroutine",
+                    hostBody(mapDeepRacy), hostBody(mapDeepFixed)});
+  Result.push_back({"map-vs-syncmap", "§4.4 (sync.Map fix)",
+                    Category::MapConcurrent,
+                    "Thread-unsafe built-in map replaced by sync.Map in "
+                    "the fixed variant",
+                    hostBody(syncMapContrastRacy),
+                    hostBody(syncMapContrastFixed)});
+  return Result;
+}

@@ -1,0 +1,124 @@
+//===- corpus/Patterns.cpp - The race pattern corpus -----------------------===//
+
+#include "corpus/Patterns.h"
+
+using namespace grs;
+using namespace grs::corpus;
+
+const char *grs::corpus::categoryName(Category Cat) {
+  switch (Cat) {
+  case Category::CaptureErrVar:
+    return "Capture-by-reference of err variable";
+  case Category::CaptureLoopVar:
+    return "Capture-by-reference of loop range variable";
+  case Category::CaptureNamedReturn:
+    return "Capture of a named return";
+  case Category::SliceConcurrent:
+    return "Concurrent slice access";
+  case Category::MapConcurrent:
+    return "Concurrent map access";
+  case Category::PassByValue:
+    return "Confusing pass-by-value vs pass-by-reference";
+  case Category::MixedChannelShared:
+    return "Mixing message passing with shared memory";
+  case Category::GroupSyncMisuse:
+    return "Missing or incorrect use of group synchronization";
+  case Category::ParallelTest:
+    return "Parallel test suite (table-driven testing)";
+  case Category::MissingLock:
+    return "Missing or partial locking";
+  case Category::RLockMutation:
+    return "Mutating inside a reader-only lock";
+  case Category::UnsafeApiContract:
+    return "Thread-safe APIs violating contract";
+  case Category::GlobalVar:
+    return "Mutating a global variable";
+  case Category::AtomicMisuse:
+    return "Missing or incorrect use of atomic ops";
+  case Category::StatementOrder:
+    return "Incorrect order of statements";
+  case Category::MultiComponent:
+    return "Complex multi-component interaction";
+  case Category::MetricsLogging:
+    return "Racy metrics / logging";
+  }
+  return "unknown";
+}
+
+bool grs::corpus::isGoSpecific(Category Cat) {
+  switch (Cat) {
+  case Category::CaptureErrVar:
+  case Category::CaptureLoopVar:
+  case Category::CaptureNamedReturn:
+  case Category::SliceConcurrent:
+  case Category::MapConcurrent:
+  case Category::PassByValue:
+  case Category::MixedChannelShared:
+  case Category::GroupSyncMisuse:
+  case Category::ParallelTest:
+    return true;
+  default:
+    return false;
+  }
+}
+
+int grs::corpus::observationNumber(Category Cat) {
+  switch (Cat) {
+  case Category::CaptureErrVar:
+  case Category::CaptureLoopVar:
+  case Category::CaptureNamedReturn:
+    return 3;
+  case Category::SliceConcurrent:
+    return 4;
+  case Category::MapConcurrent:
+    return 5;
+  case Category::PassByValue:
+    return 6;
+  case Category::MixedChannelShared:
+    return 7;
+  case Category::GroupSyncMisuse:
+    return 8;
+  case Category::ParallelTest:
+    return 9;
+  case Category::MissingLock:
+  case Category::RLockMutation:
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+std::function<rt::RunResult(const rt::RunOptions &)>
+grs::corpus::hostBody(std::function<void()> Body) {
+  return [Body = std::move(Body)](const rt::RunOptions &Opts) {
+    rt::Runtime RT(Opts);
+    return RT.run(Body);
+  };
+}
+
+const std::vector<Pattern> &grs::corpus::allPatterns() {
+  static const std::vector<Pattern> All = [] {
+    std::vector<Pattern> Result;
+    auto Extend = [&Result](std::vector<Pattern> Group) {
+      for (Pattern &P : Group)
+        Result.push_back(std::move(P));
+    };
+    Extend(capturePatterns());
+    Extend(slicePatterns());
+    Extend(mapPatterns());
+    Extend(valueSemPatterns());
+    Extend(channelPatterns());
+    Extend(waitGroupPatterns());
+    Extend(testingPatterns());
+    Extend(lockingPatterns());
+    return Result;
+  }();
+  return All;
+}
+
+const Pattern *grs::corpus::findPattern(const std::string &Id) {
+  for (const Pattern &P : allPatterns())
+    if (P.Id == Id)
+      return &P;
+  return nullptr;
+}

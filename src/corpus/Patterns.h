@@ -1,0 +1,107 @@
+//===- corpus/Patterns.h - The race pattern corpus --------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus of data race patterns from the paper's Section 4 — the
+/// study's principal contribution. Each pattern is a runnable program
+/// against the Go-like runtime, in two variants:
+///
+///  * racy  — the code as the paper's listings show it (the bug);
+///  * fixed — the corrected idiom the paper recommends.
+///
+/// Patterns are labelled with the paper's observation number and the
+/// Table 2/3 category they were counted under, so the table benches can
+/// regenerate the paper's counts from detector runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_CORPUS_PATTERNS_H
+#define GRS_CORPUS_PATTERNS_H
+
+#include "rt/Runtime.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace corpus {
+
+/// Race-cause categories, matching the rows of Tables 2 and 3.
+enum class Category : uint8_t {
+  // Table 2: Go language features and idioms.
+  CaptureErrVar,      ///< Obs 3: err variable captured by reference.
+  CaptureLoopVar,     ///< Obs 3: loop range variable captured.
+  CaptureNamedReturn, ///< Obs 3: named return variable captured.
+  SliceConcurrent,    ///< Obs 4: concurrent slice access.
+  MapConcurrent,      ///< Obs 5: concurrent map access.
+  PassByValue,        ///< Obs 6: pass-by-value vs pass-by-reference.
+  MixedChannelShared, ///< Obs 7: message passing mixed with shared memory.
+  GroupSyncMisuse,    ///< Obs 8: WaitGroup Add/Done misplacement.
+  ParallelTest,       ///< Obs 9: parallel table-driven test suites.
+  // Table 3: language-agnostic causes.
+  MissingLock,      ///< Obs 10: missing or partial locking.
+  RLockMutation,    ///< Obs 10: mutating inside a reader lock.
+  UnsafeApiContract,///< Thread-safe API contract violated.
+  GlobalVar,        ///< Mutating a global variable.
+  AtomicMisuse,     ///< Missing or incorrect atomic operations.
+  StatementOrder,   ///< Incorrect order of statements.
+  MultiComponent,   ///< Complex multi-component interaction.
+  MetricsLogging,   ///< Racy metrics / logging.
+};
+
+/// \returns the printable row label used in the paper's tables.
+const char *categoryName(Category Cat);
+
+/// \returns true for Table 2 (Go-feature) categories.
+bool isGoSpecific(Category Cat);
+
+/// Paper observation number backing \p Cat (3-10), or 0 for the
+/// miscellaneous Table 3 rows.
+int observationNumber(Category Cat);
+
+/// One corpus entry. Execute functions run a fresh runtime configured by
+/// the given options and return its result (most patterns race reliably;
+/// some — like the Listing 9 Future — only on schedules where the
+/// unsynchronized select arm wins, which is the point).
+struct Pattern {
+  std::string Id;          ///< Stable slug, e.g. "loop-index-capture".
+  std::string ListingRef;  ///< "Listing 1" / "§4.9.2" source in the paper.
+  Category Cat;
+  std::string Description; ///< One-line root-cause summary.
+  std::function<rt::RunResult(const rt::RunOptions &)> RunRacy;
+  std::function<rt::RunResult(const rt::RunOptions &)> RunFixed;
+};
+
+/// All registered patterns, in Section 4 order.
+const std::vector<Pattern> &allPatterns();
+
+/// \returns the pattern with the given id, or nullptr.
+const Pattern *findPattern(const std::string &Id);
+
+/// Wraps a plain body into an Execute function that hosts it in a fresh
+/// Runtime.
+std::function<rt::RunResult(const rt::RunOptions &)>
+hostBody(std::function<void()> Body);
+
+//===----------------------------------------------------------------------===//
+// Pattern constructors (one translation unit per paper observation).
+//===----------------------------------------------------------------------===//
+
+std::vector<Pattern> capturePatterns();   // Obs 3, Listings 1-4.
+std::vector<Pattern> slicePatterns();     // Obs 4, Listing 5.
+std::vector<Pattern> mapPatterns();       // Obs 5, Listing 6.
+std::vector<Pattern> valueSemPatterns();  // Obs 6, Listings 7-8.
+std::vector<Pattern> channelPatterns();   // Obs 7, Listing 9.
+std::vector<Pattern> waitGroupPatterns(); // Obs 8, Listing 10.
+std::vector<Pattern> testingPatterns();   // Obs 9.
+std::vector<Pattern> lockingPatterns();   // Obs 10 + Table 3, Listing 11.
+
+} // namespace corpus
+} // namespace grs
+
+#endif // GRS_CORPUS_PATTERNS_H

@@ -1,0 +1,84 @@
+//===- corpus/Sampler.cpp - Study-population sampling ----------------------===//
+
+#include "corpus/Sampler.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace grs;
+using namespace grs::corpus;
+
+const std::vector<CategoryCount> &grs::corpus::table2Counts() {
+  static const std::vector<CategoryCount> Rows = {
+      {Category::CaptureErrVar, 58},
+      {Category::CaptureLoopVar, 48},
+      {Category::CaptureNamedReturn, 4},
+      {Category::SliceConcurrent, 391},
+      {Category::MapConcurrent, 38},
+      {Category::PassByValue, 38},
+      {Category::MixedChannelShared, 25},
+      {Category::GroupSyncMisuse, 24},
+      {Category::ParallelTest, 139},
+  };
+  return Rows;
+}
+
+const std::vector<CategoryCount> &grs::corpus::table3Counts() {
+  static const std::vector<CategoryCount> Rows = {
+      {Category::MissingLock, 470},
+      {Category::RLockMutation, 2},
+      {Category::UnsafeApiContract, 369},
+      {Category::GlobalVar, 24},
+      {Category::AtomicMisuse, 40},
+      {Category::StatementOrder, 5},
+      {Category::MultiComponent, 6},
+      {Category::MetricsLogging, 18},
+  };
+  return Rows;
+}
+
+std::vector<StudyInstance>
+grs::corpus::samplePopulation(uint64_t Seed,
+                              const std::vector<CategoryCount> &Counts) {
+  support::Rng Rng(Seed);
+
+  // Index patterns by category once.
+  std::vector<std::vector<const Pattern *>> ByCategory(32);
+  for (const Pattern &P : allPatterns())
+    ByCategory[static_cast<size_t>(P.Cat)].push_back(&P);
+
+  std::vector<StudyInstance> Population;
+  for (const CategoryCount &Row : Counts) {
+    const auto &Pool = ByCategory[static_cast<size_t>(Row.Cat)];
+    assert(!Pool.empty() && "category has no registered pattern");
+    for (unsigned I = 0; I < Row.PaperCount; ++I) {
+      StudyInstance Instance;
+      Instance.Patt = Rng.pick(Pool);
+      Instance.Cat = Row.Cat;
+      Instance.Seed = Rng.next();
+      Population.push_back(Instance);
+    }
+  }
+  Rng.shuffle(Population);
+  return Population;
+}
+
+StudyOutcome grs::corpus::runInstance(const StudyInstance &Instance,
+                                      bool CheckFixed) {
+  StudyOutcome Outcome;
+  Outcome.Cat = Instance.Cat;
+
+  rt::RunOptions Opts;
+  Opts.Seed = Instance.Seed;
+  rt::RunResult Racy = Instance.Patt->RunRacy(Opts);
+  Outcome.Detected = Racy.RaceCount > 0;
+  Outcome.Reports = Racy.RaceCount;
+  Outcome.Leaked = !Racy.LeakedGoroutines.empty();
+
+  if (CheckFixed) {
+    rt::RunResult Fixed = Instance.Patt->RunFixed(Opts);
+    Outcome.FixedClean = Fixed.RaceCount == 0;
+  }
+  return Outcome;
+}

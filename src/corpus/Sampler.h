@@ -1,0 +1,82 @@
+//===- corpus/Sampler.h - Study-population sampling -------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerating Tables 2 and 3 requires a population shaped like the
+/// paper's: "We studied each of the 1011 fixed data races and manually
+/// labeled their root cause(s)" (§4.10). This sampler draws pattern
+/// instances at the paper's per-category frequencies; the table benches
+/// then run each instance's racy program under the detector and tabulate
+/// what was detected per category.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_CORPUS_SAMPLER_H
+#define GRS_CORPUS_SAMPLER_H
+
+#include "corpus/Patterns.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grs {
+namespace corpus {
+
+/// One row of Table 2 or Table 3: a category and its paper-reported count.
+struct CategoryCount {
+  Category Cat;
+  unsigned PaperCount;
+};
+
+/// Table 2 rows (Go language features and idioms). The err-variable row's
+/// count is reconstructed as the remainder of the Observation 3 mass (see
+/// DESIGN.md) — 58.
+const std::vector<CategoryCount> &table2Counts();
+
+/// Table 3 rows we can execute (the three "fixed by refactoring" rows have
+/// no race program by definition and are reported separately).
+const std::vector<CategoryCount> &table3Counts();
+
+/// Table 3's uncategorized tail: {removed concurrency, disabled tests,
+/// major refactor} counts — carried through to the bench output verbatim.
+struct UncategorizedCounts {
+  unsigned RemovedConcurrency = 26;
+  unsigned DisabledTests = 3;
+  unsigned MajorRefactor = 30;
+};
+
+/// One sampled study instance: a pattern and the seed its (racy) program
+/// runs under — standing in for one of the paper's fixed data races.
+struct StudyInstance {
+  const Pattern *Patt;
+  Category Cat;
+  uint64_t Seed;
+};
+
+/// Draws a population with exactly the given per-category counts,
+/// choosing uniformly among the category's registered patterns, with
+/// per-instance seeds derived from \p Seed.
+std::vector<StudyInstance>
+samplePopulation(uint64_t Seed, const std::vector<CategoryCount> &Counts);
+
+/// Outcome of executing one study instance.
+struct StudyOutcome {
+  Category Cat;
+  bool Detected = false;      ///< The detector reported >= 1 race.
+  bool FixedClean = true;     ///< The fixed variant reported none.
+  size_t Reports = 0;
+  bool Leaked = false;        ///< Goroutine leak observed (Listing 9).
+};
+
+/// Runs one instance: racy variant (detection) and, when \p CheckFixed,
+/// the fixed variant (soundness check).
+StudyOutcome runInstance(const StudyInstance &Instance, bool CheckFixed);
+
+} // namespace corpus
+} // namespace grs
+
+#endif // GRS_CORPUS_SAMPLER_H

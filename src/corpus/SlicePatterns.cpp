@@ -1,0 +1,171 @@
+//===- corpus/SlicePatterns.cpp - Observation 4 patterns -------------------===//
+//
+// "Slices are highly confusing types that create subtle and hard to
+// diagnose data races." Paper §4.3, Listing 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/GoSlice.h"
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 5: data race in slices even after using locks.
+//
+//   safeAppend := func(res string) { mutex.Lock(); myResults =
+//       append(myResults, res); mutex.Unlock() }
+//   go func(id string, results []string) {   // <-- slice passed by value
+//     safeAppend(Foo(id))
+//   }(uuid, myResults)                       // <-- meta copied, NO lock
+//===----------------------------------------------------------------------===//
+
+void slicePassByValue(bool Racy) {
+  FuncScope Fn("ProcessAll", "slice.go", 1);
+  auto MyResults =
+      std::make_shared<GoSlice<std::string>>(GoSlice<std::string>("myResults"));
+  auto Mu = std::make_shared<Mutex>("mutex");
+
+  // The developer's lock-protected append closure (captures correctly).
+  auto SafeAppend = [MyResults, Mu](const std::string &Res) {
+    FuncScope Inner("safeAppend", "slice.go", 4);
+    Mu->lock();
+    atLine(6);
+    MyResults->append(Res); // Meta write, under the lock...
+    Mu->unlock();
+  };
+
+  WaitGroup Wg;
+  for (int I = 0; I < 4; ++I) {
+    Wg.add(1);
+    if (Racy) {
+      atLine(14);
+      // BUG: the slice is ALSO passed as a goroutine argument. The copy
+      // of its meta fields happens here, at the call site, without the
+      // lock — racing with a concurrent append's meta write.
+      go("process-uuid",
+         [&Wg, SafeAppend, I, ResultsArg = GoSlice<std::string>(*MyResults)] {
+           FuncScope Inner("processUuid", "slice.go", 10);
+           SafeAppend("res-" + std::to_string(I));
+           (void)ResultsArg;
+           Wg.done();
+         });
+    } else {
+      // Fix: don't pass the slice; share it only through the pointer the
+      // locked closure captures.
+      go("process-uuid", [&Wg, SafeAppend, I] {
+        FuncScope Inner("processUuid", "slice.go", 10);
+        SafeAppend("res-" + std::to_string(I));
+        Wg.done();
+      });
+    }
+  }
+  Wg.wait();
+}
+
+void slicePassByValueRacy() { slicePassByValue(/*Racy=*/true); }
+void slicePassByValueFixed() { slicePassByValue(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Unprotected concurrent append — the bread-and-butter slice race that
+// accounts for most of Table 2's 391 "concurrent slice access" count.
+//===----------------------------------------------------------------------===//
+
+void sliceConcurrentAppend(bool Racy) {
+  FuncScope Fn("CollectResults", "collect.go", 1);
+  auto Results =
+      std::make_shared<GoSlice<int>>(GoSlice<int>("results"));
+  auto Mu = std::make_shared<Mutex>("mu");
+
+  WaitGroup Wg;
+  for (int I = 0; I < 4; ++I) {
+    Wg.add(1);
+    go("collector", [&Wg, Results, Mu, I, Racy] {
+      FuncScope Inner("collectOne", "collect.go", 5);
+      if (Racy) {
+        atLine(6);
+        Results->append(I); // Unlocked append: meta write-write race.
+      } else {
+        Mu->lock();
+        Results->append(I);
+        Mu->unlock();
+      }
+      Wg.done();
+    });
+  }
+  Wg.wait();
+  size_t Total = Results->len();
+  (void)Total;
+}
+
+void sliceAppendRacy() { sliceConcurrentAppend(/*Racy=*/true); }
+void sliceAppendFixed() { sliceConcurrentAppend(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// Aliased element write: goroutines write disjoint INDEX ranges of a
+// shared slice — safe in Go — but one of them also appends, reallocating
+// the backing array and racing on both meta and elements.
+//===----------------------------------------------------------------------===//
+
+void sliceSharedBackingRace(bool Racy) {
+  FuncScope Fn("ShardWork", "shard.go", 1);
+  auto Data = std::make_shared<GoSlice<int>>(GoSlice<int>::make("data", 8));
+
+  WaitGroup Wg;
+  Wg.add(2);
+  go("shard-0", [&Wg, Data] {
+    FuncScope Inner("writeShard0", "shard.go", 4);
+    for (size_t I = 0; I < 4; ++I)
+      Data->set(I, 1); // Disjoint indices: fine on their own.
+    Wg.done();
+  });
+  go("shard-1", [&Wg, Data, Racy] {
+    FuncScope Inner("writeShard1", "shard.go", 9);
+    if (Racy) {
+      atLine(10);
+      Data->append(99); // BUG: append reads/writes meta + may copy all
+                        // elements, racing with shard-0's writes.
+    } else {
+      for (size_t I = 4; I < 8; ++I)
+        Data->set(I, 2);
+    }
+    Wg.done();
+  });
+  Wg.wait();
+}
+
+void sliceBackingRacy() { sliceSharedBackingRace(/*Racy=*/true); }
+void sliceBackingFixed() { sliceSharedBackingRace(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::slicePatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"slice-pass-by-value", "Listing 5",
+                    Category::SliceConcurrent,
+                    "Slice passed by value to a goroutine copies its meta "
+                    "fields outside the lock protecting append",
+                    hostBody(slicePassByValueRacy),
+                    hostBody(slicePassByValueFixed)});
+  Result.push_back({"slice-concurrent-append", "§4.3",
+                    Category::SliceConcurrent,
+                    "Concurrent unlocked appends write-write race on the "
+                    "slice meta fields",
+                    hostBody(sliceAppendRacy), hostBody(sliceAppendFixed)});
+  Result.push_back({"slice-shared-backing", "§4.3",
+                    Category::SliceConcurrent,
+                    "Disjoint index writes are safe until a concurrent "
+                    "append grows the shared backing array",
+                    hostBody(sliceBackingRacy), hostBody(sliceBackingFixed)});
+  return Result;
+}

@@ -1,0 +1,144 @@
+//===- corpus/TestingPatterns.cpp - Observation 9 patterns -----------------===//
+//
+// "Running tests in parallel for Go's table-driven test suite idiom can
+// often cause data races, either in the product or test code." Paper §4.8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/GoMap.h"
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+#include "rt/Testing.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The canonical table-driven parallel subtest race: the loop variable
+// `tc` is captured by reference; all parallel subtests resume after the
+// loop finished advancing it. (This famous bug also shipped in many real
+// Go projects; it is test-code-rooted.)
+//===----------------------------------------------------------------------===//
+
+std::function<rt::RunResult(const rt::RunOptions &)>
+makeTableTestRunner(bool Racy) {
+  return [Racy](const rt::RunOptions &Opts) {
+    TestCase Top{
+        "TestTableDriven", [Racy](GoTest &T) {
+          FuncScope Fn("TestTableDriven", "table_test.go", 1);
+          struct Row {
+            std::string Name;
+            int Input;
+          };
+          const std::vector<Row> Rows = {
+              {"small", 1}, {"medium", 10}, {"large", 100}};
+
+          // The shared loop variable (Go: `for _, tc := range cases`)
+          // doubles as the row's scratch field (`tc.got`), which every
+          // parallel sibling mutates.
+          auto Tc = std::make_shared<Shared<int>>("tc", 0);
+          for (const Row &R : Rows) {
+            atLine(8);
+            Tc->store(R.Input); // Loop advances the row under test...
+            if (Racy) {
+              T.run(R.Name, [Tc](GoTest &Sub) {
+                FuncScope Inner("subtest", "table_test.go", 10);
+                Sub.parallel(); // ...but subtests run after the loop.
+                atLine(12);
+                int Input = Tc->load(); // All see the LAST row (logic bug);
+                atLine(13);
+                Tc->store(Input + 1);   // tc.got: siblings write-write RACE.
+                if (Input < 0)
+                  Sub.errorf("bad input");
+              });
+            } else {
+              int Privatized = Tc->load(); // Fix: `tc := tc`.
+              T.run(R.Name, [Privatized](GoTest &Sub) {
+                FuncScope Inner("subtest", "table_test.go", 10);
+                Sub.parallel();
+                Shared<int> Got("tc.got", Privatized + 1); // Private row.
+                if (Got.load() < 0)
+                  Sub.errorf("bad input");
+              });
+            }
+          }
+        }};
+    return runTestSuite(Opts, {Top}).Run;
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// Product-code-rooted variant: "the product API(s) was written without
+// thread safety (perhaps because it was not needed) but were invoked in
+// parallel, violating the assumption." (§4.8)
+//===----------------------------------------------------------------------===//
+
+/// A product API that is not thread-safe: a plain registry with no lock.
+struct ProductRegistry {
+  ProductRegistry() : Entries(std::make_shared<GoMap<std::string, int>>(
+                          "productRegistry")) {}
+
+  void record(const std::string &Key, int Value) {
+    FuncScope Fn("Registry.Record", "registry.go", 12);
+    atLine(13);
+    Entries->set(Key, Value);
+  }
+
+  std::shared_ptr<GoMap<std::string, int>> Entries;
+};
+
+std::function<rt::RunResult(const rt::RunOptions &)>
+makeSharedProductRunner(bool Racy) {
+  return [Racy](const rt::RunOptions &Opts) {
+    TestCase Top{
+        "TestRegistry", [Racy](GoTest &T) {
+          FuncScope Fn("TestRegistry", "registry_test.go", 1);
+          // One product object shared by every subtest (the test author
+          // assumed serial execution when writing the fixture).
+          auto Product = std::make_shared<ProductRegistry>();
+          auto Mu = std::make_shared<Mutex>("testMu");
+          for (int I = 0; I < 3; ++I) {
+            std::string Name = "case-" + std::to_string(I);
+            T.run(Name, [Product, Mu, I, Racy](GoTest &Sub) {
+              FuncScope Inner("subtest", "registry_test.go", 8);
+              Sub.parallel();
+              if (Racy) {
+                Product->record("key-" + std::to_string(I), I);
+              } else {
+                Mu->lock();
+                Product->record("key-" + std::to_string(I), I);
+                Mu->unlock();
+              }
+            });
+          }
+        }};
+    return runTestSuite(Opts, {Top}).Run;
+  };
+}
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::testingPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"parallel-table-test", "§4.8 (test code)",
+                    Category::ParallelTest,
+                    "Table-driven parallel subtests capture the loop "
+                    "variable by reference",
+                    makeTableTestRunner(/*Racy=*/true),
+                    makeTableTestRunner(/*Racy=*/false)});
+  Result.push_back({"parallel-shared-fixture", "§4.8 (product code)",
+                    Category::ParallelTest,
+                    "Thread-unsafe product API invoked from parallel "
+                    "subtests",
+                    makeSharedProductRunner(/*Racy=*/true),
+                    makeSharedProductRunner(/*Racy=*/false)});
+  return Result;
+}

@@ -1,0 +1,136 @@
+//===- corpus/ValueSemPatterns.cpp - Observation 6 patterns ----------------===//
+//
+// "Developers often err on the side of pass-by-value (or methods over
+// values), which can cause non-trivial data races." Paper §4.5,
+// Listings 7-8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+
+#include <memory>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 7: sync.Mutex passed by value.
+//
+//   func CriticalSection(m sync.Mutex) {   // value receiver: a COPY
+//     m.Lock(); a++; m.Unlock()
+//   }
+//   go CriticalSection(mutex)              // two goroutines, two copies
+//   go CriticalSection(mutex)
+//===----------------------------------------------------------------------===//
+
+void mutexByValue(bool Racy) {
+  FuncScope Fn("main", "mutexval.go", 8);
+  auto A = std::make_shared<Shared<int>>("a", 0); // Global variable a.
+  auto Mu = std::make_shared<Mutex>("mutex");
+
+  // The function under test; PassByPointer selects the corrected variant.
+  auto CriticalSection = [A](Mutex &M) {
+    FuncScope Inner("CriticalSection", "mutexval.go", 1);
+    M.lock();
+    atLine(3);
+    A->store(A->load() + 1);
+    M.unlock();
+  };
+
+  WaitGroup Wg;
+  for (int I = 0; I < 2; ++I) {
+    Wg.add(1);
+    if (Racy) {
+      atLine(11);
+      // BUG: Go's value semantics silently copy the mutex at the call.
+      // The two goroutines lock DIFFERENT mutexes.
+      go("critical", [&Wg, CriticalSection, MCopy = Mutex(*Mu)]() mutable {
+        CriticalSection(MCopy);
+        Wg.done();
+      });
+    } else {
+      // Fix: pass &mutex (here: share the one object).
+      go("critical", [&Wg, CriticalSection, Mu] {
+        CriticalSection(*Mu);
+        Wg.done();
+      });
+    }
+  }
+  Wg.wait();
+}
+
+void mutexByValueRacy() { mutexByValue(/*Racy=*/true); }
+void mutexByValueFixed() { mutexByValue(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// The converse (§4.5 last paragraph): a method accidentally defined on a
+// POINTER receiver where the developer intended per-goroutine copies —
+// "multiple goroutines invoking the method accidentally share the same
+// internal state of the structure."
+//===----------------------------------------------------------------------===//
+
+struct Accumulator {
+  explicit Accumulator(const std::string &Name)
+      : Total(std::make_shared<Shared<int>>(Name + ".total", 0)) {}
+
+  // Method on a POINTER receiver: mutates shared state.
+  void bumpShared() {
+    FuncScope Fn("(*Accumulator).Bump", "accum.go", 5);
+    atLine(6);
+    Total->store(Total->load() + 1);
+  }
+
+  // Method on a VALUE receiver: each goroutine gets its own copy (the
+  // receiver copy reads the field; concurrent reads do not race).
+  void bumpCopy() {
+    FuncScope Fn("(Accumulator).Bump", "accum.go", 10);
+    Shared<int> Local("localTotal", Total->load());
+    Local.store(Local.load() + 1);
+  }
+
+  std::shared_ptr<Shared<int>> Total;
+};
+
+void pointerReceiver(bool Racy) {
+  FuncScope Fn("TallyAll", "accum.go", 14);
+  auto Acc = std::make_shared<Accumulator>("acc");
+  WaitGroup Wg;
+  for (int I = 0; I < 3; ++I) {
+    Wg.add(1);
+    go("tally", [&Wg, Acc, Racy] {
+      FuncScope Inner("tallyWorker", "accum.go", 17);
+      if (Racy)
+        Acc->bumpShared(); // Unintended shared receiver.
+      else
+        Acc->bumpCopy();
+      Wg.done();
+    });
+  }
+  Wg.wait();
+}
+
+void pointerReceiverRacy() { pointerReceiver(/*Racy=*/true); }
+void pointerReceiverFixed() { pointerReceiver(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::valueSemPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"mutex-by-value", "Listing 7", Category::PassByValue,
+                    "Mutex copied at a pass-by-value call: each goroutine "
+                    "locks a different mutex, so exclusion fails",
+                    hostBody(mutexByValueRacy), hostBody(mutexByValueFixed)});
+  Result.push_back({"pointer-receiver-shared", "§4.5",
+                    Category::PassByValue,
+                    "Method on a pointer receiver shares internal state "
+                    "the developer believed was copied per call",
+                    hostBody(pointerReceiverRacy),
+                    hostBody(pointerReceiverFixed)});
+  return Result;
+}

@@ -1,0 +1,129 @@
+//===- corpus/WaitGroupPatterns.cpp - Observation 8 patterns ---------------===//
+//
+// "Incorrect placement of Add and Done methods of a sync.WaitGroup lead
+// to data races." Paper §4.7, Listing 10.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+#include "rt/GoSlice.h"
+#include "rt/Instr.h"
+#include "rt/Sync.h"
+
+#include <memory>
+#include <string>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Listing 10: wg.Add(1) inside the goroutine body.
+//
+//   for i := range itemIds {
+//     go func(id int) {
+//       wg.Add(1)             // BUG: may not have run when Wait() runs
+//       defer wg.Done()
+//       results[i] = process(id)
+//     }(i)
+//   }
+//   wg.Wait()                 // can unblock prematurely
+//   use(results)
+//===----------------------------------------------------------------------===//
+
+void waitGroupAddPlacement(bool Racy) {
+  FuncScope Fn("WaitGrpExample", "waitgroup.go", 1);
+  constexpr int NumItems = 4;
+  auto Results =
+      std::make_shared<GoSlice<int>>(GoSlice<int>::make("results", NumItems));
+  auto Wg = std::make_shared<WaitGroup>("wg");
+
+  for (int I = 0; I < NumItems; ++I) {
+    if (!Racy) {
+      atLine(5);
+      Wg->add(1); // Correct: registered before the goroutine launches.
+    }
+    go("item-worker", [Wg, Results, I, Racy] {
+      FuncScope Inner("processItem", "waitgroup.go", 6);
+      if (Racy) {
+        atLine(7);
+        Wg->add(1); // Incorrect: not guaranteed to precede Wait().
+      }
+      Defer Done([Wg] { Wg->done(); });
+      atLine(9);
+      Results->set(static_cast<size_t>(I), I * 2);
+    });
+  }
+
+  atLine(12);
+  Wg->wait(); // With the bug, may unblock while workers still write.
+  atLine(13);
+  int Succeeded = 0;
+  for (size_t I = 0; I < Results->len(); ++I)
+    if (Results->get(I) >= 0)
+      ++Succeeded;
+  (void)Succeeded;
+}
+
+void wgAddInsideRacy() { waitGroupAddPlacement(/*Racy=*/true); }
+void wgAddInsideFixed() { waitGroupAddPlacement(/*Racy=*/false); }
+
+//===----------------------------------------------------------------------===//
+// "We also found data races arising from a premature placement of the
+// Done() call on a Waitgroup." (§4.7)
+//===----------------------------------------------------------------------===//
+
+void waitGroupPrematureDone(bool Racy) {
+  FuncScope Fn("FlushBatch", "flush.go", 1);
+  constexpr int NumWorkers = 3;
+  auto Batch =
+      std::make_shared<GoSlice<int>>(GoSlice<int>::make("batch", NumWorkers));
+  auto Wg = std::make_shared<WaitGroup>("wg");
+
+  for (int I = 0; I < NumWorkers; ++I) {
+    Wg->add(1);
+    go("flusher", [Wg, Batch, I, Racy] {
+      FuncScope Inner("flushOne", "flush.go", 5);
+      if (Racy) {
+        atLine(6);
+        Wg->done(); // BUG: signals completion before the work.
+        atLine(7);
+        Batch->set(static_cast<size_t>(I), 1);
+      } else {
+        Batch->set(static_cast<size_t>(I), 1);
+        Wg->done();
+      }
+    });
+  }
+
+  Wg->wait();
+  atLine(12);
+  for (size_t I = 0; I < Batch->len(); ++I) {
+    int Flushed = Batch->get(I); // Races with the post-Done writes.
+    (void)Flushed;
+  }
+}
+
+void wgPrematureDoneRacy() { waitGroupPrematureDone(/*Racy=*/true); }
+void wgPrematureDoneFixed() { waitGroupPrematureDone(/*Racy=*/false); }
+
+} // namespace
+
+std::vector<Pattern> grs::corpus::waitGroupPatterns() {
+  std::vector<Pattern> Result;
+  Result.push_back({"waitgroup-add-inside", "Listing 10",
+                    Category::GroupSyncMisuse,
+                    "wg.Add(1) inside the goroutine lets Wait() unblock "
+                    "before all participants registered",
+                    hostBody(wgAddInsideRacy), hostBody(wgAddInsideFixed)});
+  Result.push_back({"waitgroup-premature-done", "§4.7",
+                    Category::GroupSyncMisuse,
+                    "wg.Done() before the work publishes completion too "
+                    "early; the parent reads while workers write",
+                    hostBody(wgPrematureDoneRacy),
+                    hostBody(wgPrematureDoneFixed)});
+  return Result;
+}

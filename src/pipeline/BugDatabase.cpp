@@ -1,0 +1,53 @@
+//===- pipeline/BugDatabase.cpp - Race defect tracking ---------------------===//
+
+#include "pipeline/BugDatabase.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+FileOutcome BugDatabase::fileReport(uint64_t Fp, DevId Assignee,
+                                    uint32_t Day,
+                                    std::vector<std::string> Log) {
+  FileOutcome Outcome;
+  auto Found = OpenByFingerprint.find(Fp);
+  if (Found != OpenByFingerprint.end()) {
+    // Suppress iff an active defect with the same hash is already open.
+    ++Suppressed;
+    Outcome.Suppressed = true;
+    Outcome.Id = Found->second;
+    return Outcome;
+  }
+  Task NewTask;
+  NewTask.Id = static_cast<TaskId>(Tasks.size());
+  NewTask.Fingerprint = Fp;
+  NewTask.Assignee = Assignee;
+  NewTask.CreatedDay = Day;
+  NewTask.AssignmentLog = std::move(Log);
+  OpenByFingerprint.emplace(Fp, NewTask.Id);
+  Open.push_back(NewTask.Id);
+  Tasks.push_back(std::move(NewTask));
+  Outcome.Created = true;
+  Outcome.Id = Tasks.back().Id;
+  return Outcome;
+}
+
+void BugDatabase::markFixed(TaskId Id, uint32_t Day) {
+  assert(Id < Tasks.size() && "unknown task");
+  Task &T = Tasks[Id];
+  if (T.Status == TaskStatus::Fixed)
+    return;
+  T.Status = TaskStatus::Fixed;
+  T.FixedDay = Day;
+  OpenByFingerprint.erase(T.Fingerprint);
+  Open.erase(std::remove(Open.begin(), Open.end(), Id), Open.end());
+}
+
+const Task *BugDatabase::openTaskFor(uint64_t Fp) const {
+  auto Found = OpenByFingerprint.find(Fp);
+  if (Found == OpenByFingerprint.end())
+    return nullptr;
+  return &Tasks[Found->second];
+}

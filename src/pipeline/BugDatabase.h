@@ -1,0 +1,88 @@
+//===- pipeline/BugDatabase.h - Race defect tracking ------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The defect tracker behind the post-facto workflow (§3.3.1): "we
+/// suppress a defect iff there is an active one with the same hash that
+/// is already open in our bug database. As soon as the open defect with
+/// the same hash is fixed, our system files another defect with the same
+/// hash (sharing the call chains), if it finds one."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_BUGDATABASE_H
+#define GRS_PIPELINE_BUGDATABASE_H
+
+#include "pipeline/Monorepo.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+/// Task id in the bug database.
+using TaskId = uint32_t;
+
+enum class TaskStatus : uint8_t { Open, Fixed };
+
+/// One filed race defect.
+struct Task {
+  TaskId Id = 0;
+  uint64_t Fingerprint = 0;
+  TaskStatus Status = TaskStatus::Open;
+  DevId Assignee = 0;
+  uint32_t CreatedDay = 0;
+  uint32_t FixedDay = 0;
+  std::vector<std::string> AssignmentLog;
+};
+
+/// Outcome of attempting to file a report.
+struct FileOutcome {
+  bool Created = false;     ///< A new task was filed.
+  bool Suppressed = false;  ///< Same-hash task already open.
+  TaskId Id = 0;            ///< The new or suppressing task.
+};
+
+/// See file comment.
+class BugDatabase {
+public:
+  /// Files a race with fingerprint \p Fp, unless one is already open.
+  FileOutcome fileReport(uint64_t Fp, DevId Assignee, uint32_t Day,
+                         std::vector<std::string> Log);
+
+  /// Marks \p Id fixed; a later fileReport() with the same hash files a
+  /// fresh task.
+  void markFixed(TaskId Id, uint32_t Day);
+
+  /// \returns the currently open task for \p Fp, or nullptr.
+  const Task *openTaskFor(uint64_t Fp) const;
+
+  const Task &task(TaskId Id) const { return Tasks[Id]; }
+  Task &task(TaskId Id) { return Tasks[Id]; }
+
+  const std::vector<Task> &tasks() const { return Tasks; }
+  const std::vector<TaskId> &openTasks() const { return Open; }
+
+  size_t numOutstanding() const { return Open.size(); }
+  size_t numCreated() const { return Tasks.size(); }
+  size_t numFixed() const { return Tasks.size() - Open.size(); }
+  size_t numSuppressedDuplicates() const { return Suppressed; }
+
+private:
+  std::vector<Task> Tasks;
+  std::vector<TaskId> Open;
+  std::unordered_map<uint64_t, TaskId> OpenByFingerprint;
+  size_t Suppressed = 0;
+};
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_BUGDATABASE_H

@@ -1,0 +1,279 @@
+//===- pipeline/Deployment.cpp - Six-month deployment simulator ------------===//
+
+#include "pipeline/Deployment.h"
+
+#include "corpus/Sampler.h"
+#include "pipeline/Fingerprint.h"
+
+#include <set>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+/// One latent data race living in the (simulated) codebase.
+struct DeploymentSimulator::LatentRace {
+  uint64_t Fingerprint = 0;
+  ReportSites Sites;
+  /// Per-run manifestation probability (§3.1: detection depends on the
+  /// interleavings of that run).
+  double ManifestProb = 1.0;
+  /// Patch cluster: races sharing a root cause are fixed together.
+  uint32_t Cluster = 0;
+  /// Root-cause category, sampled from the Table 2/3 distribution.
+  uint8_t Category = 0;
+  bool Present = true;
+  bool TestEnabled = true;
+  bool TaskOpen = false;
+  TaskId OpenTask = 0;
+  bool EverDetected = false;
+  uint32_t LastSeenDay = 0;
+};
+
+DeploymentSimulator::DeploymentSimulator(const DeploymentConfig &Config)
+    : Config(Config), Rng(Config.Seed), Repo([&] {
+        MonorepoConfig RepoConfig = Config.Repo;
+        RepoConfig.Seed = Config.Seed ^ 0x5eedf00d;
+        return RepoConfig;
+      }()),
+      Resolver(Repo) {}
+
+DeploymentSimulator::~DeploymentSimulator() = default;
+
+DeploymentSimulator::LatentRace
+DeploymentSimulator::makeLatentRace(uint32_t Day) {
+  (void)Day;
+  LatentRace Race;
+
+  // Synthesize the two conflicting call chains over the monorepo's
+  // function namespace: a root entry point descending (mostly service-
+  // locally) to a leaf access.
+  FunctionRef RootA = Repo.randomFunction(Rng);
+  FunctionRef LeafA = Repo.randomFunctionNear(Rng, RootA);
+  FunctionRef RootB = Rng.chance(0.5) ? RootA : Repo.randomFunctionNear(Rng, RootA);
+  FunctionRef LeafB = Repo.randomFunctionNear(Rng, RootB);
+
+  NameChain ChainA{Repo.functionName(RootA), Repo.functionName(LeafA)};
+  NameChain ChainB{Repo.functionName(RootB), Repo.functionName(LeafB)};
+  size_t Middles = Rng.nextBelow(3);
+  for (size_t I = 0; I < Middles; ++I)
+    ChainA.insert(ChainA.begin() + 1,
+                  Repo.functionName(Repo.randomFunctionNear(Rng, RootA)));
+  Race.Fingerprint = fingerprintChains(ChainA, ChainB);
+
+  Race.Sites.RootA = RootA.File;
+  Race.Sites.RootB = RootB.File;
+  Race.Sites.LeafA = LeafA.File;
+  Race.Sites.LeafB = LeafB.File;
+
+  // Stable races manifest on (almost) every daily run; the rest are
+  // schedule-dependent with a low per-run probability.
+  if (Rng.chance(Config.StableRaceFraction))
+    Race.ManifestProb = 0.9 + 0.1 * Rng.nextDouble();
+  else
+    Race.ManifestProb =
+        std::min(1.0, Rng.nextDouble() * 2.0 * Config.FlakyManifestMean);
+
+  // Root-cause clustering; cluster mates share their cause's category,
+  // fresh causes draw a category from the paper's Table 2/3 mass.
+  bool JoinsPrevious =
+      !Races.empty() && Rng.chance(Config.ClusterContinueProb);
+  if (JoinsPrevious) {
+    Race.Cluster = Races.back().Cluster;
+    Race.Category = Races.back().Category;
+  } else {
+    Race.Cluster = NextClusterId++;
+    const std::vector<corpus::CategoryCount> &T2 = corpus::table2Counts();
+    const std::vector<corpus::CategoryCount> &T3 = corpus::table3Counts();
+    std::vector<double> Weights;
+    for (const corpus::CategoryCount &Row : T2)
+      Weights.push_back(Row.PaperCount);
+    for (const corpus::CategoryCount &Row : T3)
+      Weights.push_back(Row.PaperCount);
+    size_t Pick = Rng.weightedIndex(Weights);
+    corpus::Category Cat =
+        Pick < T2.size() ? T2[Pick].Cat : T3[Pick - T2.size()].Cat;
+    Race.Category = static_cast<uint8_t>(Cat);
+  }
+  return Race;
+}
+
+DeploymentOutcome DeploymentSimulator::run() {
+  DeploymentOutcome Outcome;
+  Outcome.Outstanding.Name = "outstanding races";
+  Outcome.CreatedCumulative.Name = "tasks created (cumulative)";
+  Outcome.ResolvedCumulative.Name = "tasks resolved (cumulative)";
+
+  Races.reserve(Config.InitialLatentRaces + 1024);
+  for (uint32_t I = 0; I < Config.InitialLatentRaces; ++I)
+    Races.push_back(makeLatentRace(0));
+
+  std::set<DevId> Fixers;
+  uint64_t Patches = 0;
+  uint64_t FixedTasks = 0;
+  uint64_t LateCreated = 0;
+  uint32_t LateDays = 0;
+
+  for (uint32_t Day = 0; Day < Config.Days; ++Day) {
+    // (1) Code change lands: new latent races are introduced. In
+    // CiBlocking mode the PR gate runs the detector first; a race lands
+    // only if it stays dormant in every CI run — the §3.2 flakiness
+    // objection made quantitative.
+    uint64_t Arrivals = Rng.poisson(Config.NewRacesPerDay);
+    for (uint64_t I = 0; I < Arrivals; ++I) {
+      LatentRace Race = makeLatentRace(Day);
+      if (Config.Mode == DeployMode::CiBlocking) {
+        bool Caught = false;
+        for (unsigned Run = 0; Run < Config.CiRunsPerChange && !Caught;
+             ++Run)
+          Caught = Rng.chance(Race.ManifestProb);
+        if (Caught) {
+          ++Outcome.PreventedAtCi;
+          continue; // Author fixes before merging; never lands.
+        }
+        ++Outcome.LeakedPastCi;
+      }
+      Races.push_back(std::move(Race));
+    }
+
+    // (2) Developers enable/disable tests; the organization churns.
+    for (LatentRace &Race : Races) {
+      if (Race.TestEnabled) {
+        if (Rng.chance(Config.TestDisableProb))
+          Race.TestEnabled = false;
+      } else if (Rng.chance(Config.TestReenableProb)) {
+        Race.TestEnabled = true;
+      }
+    }
+    Repo.advanceDay(Rng);
+
+    // (3) The daily snapshot run: execute all unit tests with the race
+    // detector on; collect manifested races.
+    std::vector<size_t> Manifested;
+    for (size_t I = 0; I < Races.size(); ++I) {
+      LatentRace &Race = Races[I];
+      if (!Race.Present || !Race.TestEnabled)
+        continue;
+      if (!Rng.chance(Race.ManifestProb))
+        continue;
+      Race.EverDetected = true;
+      Race.LastSeenDay = Day;
+      if (Race.TaskOpen) {
+        // Same hash already open: suppressed duplicate (§3.3.1).
+        Bugs.fileReport(Race.Fingerprint, 0, Day, {});
+        continue;
+      }
+      Manifested.push_back(I);
+    }
+
+    // (4) File tasks, throttled during the ramp-up period.
+    uint64_t FilingBudget = Day >= Config.FloodgateDay
+                                ? Manifested.size()
+                                : Config.RampFilingsPerDay;
+    uint32_t DayCreated = 0;
+    for (size_t Index : Manifested) {
+      if (FilingBudget == 0)
+        break;
+      LatentRace &Race = Races[Index];
+      Resolution Who = Resolver.resolve(Race.Sites, Rng);
+      FileOutcome Filed =
+          Bugs.fileReport(Race.Fingerprint, Who.Assignee, Day,
+                          std::move(Who.Log));
+      if (Filed.Created) {
+        Race.TaskOpen = true;
+        Race.OpenTask = Filed.Id;
+        --FilingBudget;
+        ++DayCreated;
+      }
+    }
+    if (Day >= Config.FloodgateDay + 30) {
+      LateCreated += DayCreated;
+      ++LateDays;
+    }
+
+    // (4b) Triage: open tasks whose assignee has left are re-routed to
+    // an active member of the owning team (weekly pass).
+    if (Day % 7 == 0) {
+      for (TaskId Id : Bugs.openTasks()) {
+        Task &T = Bugs.task(Id);
+        if (Repo.isActive(T.Assignee))
+          continue;
+        DevId NewOwner = Repo.anyActiveTeamMember(
+            static_cast<uint32_t>(T.Assignee) %
+            static_cast<uint32_t>(Config.Repo.NumTeams));
+        T.AssignmentLog.push_back(
+            "day " + std::to_string(Day) + ": " +
+            Repo.developerName(T.Assignee) +
+            " left; triaged to " + Repo.developerName(NewOwner));
+        T.Assignee = NewOwner;
+        ++Outcome.Reassignments;
+      }
+    }
+
+    // (5) Developers fix open tasks; one patch may close a whole
+    // root-cause cluster; some fixes do not stick.
+    double FixProb = Day <= Config.ShepherdingEndDay
+                         ? Config.ShepherdedFixProb
+                         : Config.DisengagedFixProb;
+    std::vector<TaskId> ToFix;
+    for (TaskId Id : Bugs.openTasks())
+      if (Rng.chance(FixProb))
+        ToFix.push_back(Id);
+
+    for (TaskId Id : ToFix) {
+      if (Bugs.task(Id).Status == TaskStatus::Fixed)
+        continue; // Already closed by a sibling's patch today.
+      ++Patches;
+      Fixers.insert(Bugs.task(Id).Assignee);
+
+      // Find the race this task tracks, then close its whole cluster.
+      uint32_t Cluster = ~0u;
+      for (LatentRace &Race : Races)
+        if (Race.TaskOpen && Race.OpenTask == Id)
+          Cluster = Race.Cluster;
+      for (LatentRace &Race : Races) {
+        if (Race.Cluster != Cluster || !Race.Present)
+          continue;
+        if (Race.TaskOpen) {
+          Bugs.markFixed(Race.OpenTask, Day);
+          ++FixedTasks;
+          Race.TaskOpen = false;
+          if (Race.Category >= Outcome.FixedByCategory.size())
+            Outcome.FixedByCategory.resize(Race.Category + 1, 0);
+          ++Outcome.FixedByCategory[Race.Category];
+        }
+        // Most fixes eliminate the race; a few do not stick, and the
+        // same hash will be re-filed once re-detected.
+        if (!Rng.chance(Config.BadFixProb))
+          Race.Present = false;
+      }
+    }
+
+    // (6) Record the day's telemetry. "Outstanding" is the detector's
+    // rolling view: unfixed races the daily runs saw recently — so the
+    // series fluctuates with flaky manifestation and test churn, as in
+    // Figure 3.
+    uint64_t Outstanding = 0;
+    for (const LatentRace &Race : Races) {
+      if (!Race.Present || !Race.EverDetected)
+        continue;
+      if (Day - Race.LastSeenDay <= Config.OutstandingWindow)
+        ++Outstanding;
+    }
+    Outcome.Outstanding.Values.push_back(static_cast<double>(Outstanding));
+    Outcome.CreatedCumulative.Values.push_back(
+        static_cast<double>(Bugs.numCreated()));
+    Outcome.ResolvedCumulative.Values.push_back(
+        static_cast<double>(Bugs.numFixed()));
+  }
+
+  Outcome.TotalDetectedRaces = Bugs.numCreated();
+  Outcome.TotalFixedTasks = FixedTasks;
+  Outcome.UniquePatches = Patches;
+  Outcome.UniqueFixers = Fixers.size();
+  Outcome.SuppressedDuplicates = Bugs.numSuppressedDuplicates();
+  Outcome.AvgNewReportsPerDayLate =
+      LateDays ? static_cast<double>(LateCreated) / LateDays : 0.0;
+  Outcome.PatchesPerFixedTask =
+      FixedTasks ? static_cast<double>(Patches) / FixedTasks : 0.0;
+  return Outcome;
+}

@@ -1,0 +1,160 @@
+//===- pipeline/Deployment.h - Six-month deployment simulator ---*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §3.4/§3.5 deployment as a mechanism-level simulation. Each day
+/// (Figure 2's architecture):
+///
+///   snapshot -> run all unit tests with race detection -> de-duplicate ->
+///   file tasks to heuristically-determined owners -> developers fix.
+///
+/// The phenomena the paper reports all EMERGE from mechanisms rather than
+/// being drawn as curves:
+///
+///  * non-deterministic detection: every latent race carries a
+///    per-run manifestation probability (§3.1 attribute 2);
+///  * ramped release: "we slowly ramped up the number of data races we
+///    reported ... The sudden surge in July is a result of finally
+///    opening the flood gates" (Figure 4);
+///  * shepherding: fix rates are high while the authors shepherd
+///    assignees, then drop ("the authors disengaged from shepherding");
+///  * test churn: "enabling and disabling of tests by developers"
+///    (Figure 3's fluctuations);
+///  * shared root causes: fixes land as patches that may close several
+///    sibling races at once ("790 unique patches ... ~78% unique root
+///    causes");
+///  * fresh introductions: "about five new race reports, on average,
+///    every day" arrive as code changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_DEPLOYMENT_H
+#define GRS_PIPELINE_DEPLOYMENT_H
+
+#include "pipeline/BugDatabase.h"
+#include "pipeline/Monorepo.h"
+#include "pipeline/Ownership.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+/// How detection is deployed (§3.2's design space).
+enum class DeployMode : uint8_t {
+  /// Option III, what the paper shipped: periodic post-facto snapshot
+  /// runs + bug filing.
+  PostFacto,
+  /// Remark 1's counterfactual: dynamic race detection additionally runs
+  /// at PR time and BLOCKS newly introduced races from landing — to the
+  /// extent their schedule-dependent manifestation lets CI see them.
+  CiBlocking,
+};
+
+struct DeploymentConfig {
+  uint64_t Seed = 1;
+  /// April through September, inclusive: ~183 days.
+  uint32_t Days = 183;
+  /// Latent races present in the codebase when the rollout starts.
+  uint32_t InitialLatentRaces = 1400;
+  /// Mean Poisson arrival of newly introduced latent races per day.
+  double NewRacesPerDay = 5.0;
+  /// Shepherding phase: authors drive assignees to fix (April-June).
+  uint32_t ShepherdingEndDay = 80;
+  /// Day the ramp ends and ALL detected races are filed ("July").
+  uint32_t FloodgateDay = 95;
+  /// Maximum new tasks filed per day during the ramp.
+  uint32_t RampFilingsPerDay = 14;
+  /// Daily per-task fix probability while shepherded / after.
+  double ShepherdedFixProb = 0.030;
+  double DisengagedFixProb = 0.0018;
+  /// A race counts as "outstanding" (Figure 3) if it is unfixed and the
+  /// daily runs saw it manifest within this many days.
+  uint32_t OutstandingWindow = 14;
+  /// Fraction of races that manifest on (almost) every run; the rest are
+  /// flaky with low per-run manifestation probability.
+  double StableRaceFraction = 0.55;
+  double FlakyManifestMean = 0.18;
+  /// Daily probability a race's covering test is disabled / re-enabled.
+  double TestDisableProb = 0.002;
+  double TestReenableProb = 0.05;
+  /// Root-cause clustering: probability that a new latent race joins the
+  /// previous race's patch cluster (drives patches/fixes ~ 0.78).
+  double ClusterContinueProb = 0.18;
+  /// Probability a "fix" does not actually eliminate the race, so the
+  /// same hash is re-filed later (§3.3.1 refiling).
+  double BadFixProb = 0.04;
+  /// Deployment mode (see DeployMode).
+  DeployMode Mode = DeployMode::PostFacto;
+  /// CiBlocking only: how many detector runs the PR gate executes; a
+  /// race is caught (and blocked) with probability
+  /// 1 - (1 - manifestProb)^CiRunsPerChange.
+  unsigned CiRunsPerChange = 2;
+  MonorepoConfig Repo;
+};
+
+/// Aggregate result: the Figure 3/4 series plus §3.5 summary statistics.
+struct DeploymentOutcome {
+  support::Series Outstanding;         ///< Figure 3.
+  support::Series CreatedCumulative;   ///< Figure 4, "found".
+  support::Series ResolvedCumulative;  ///< Figure 4, "fixed".
+  uint64_t TotalDetectedRaces = 0;     ///< Distinct tasks ever filed.
+  uint64_t TotalFixedTasks = 0;
+  uint64_t UniquePatches = 0;
+  uint64_t UniqueFixers = 0;
+  uint64_t SuppressedDuplicates = 0;
+  double AvgNewReportsPerDayLate = 0;  ///< Post-floodgate fresh reports.
+  double PatchesPerFixedTask = 0;      ///< ~0.78 in the paper.
+  /// CiBlocking only: new races blocked at PR time / leaked through the
+  /// gate because they did not manifest in the CI runs (§3.2's
+  /// non-determinism objection, quantified).
+  uint64_t PreventedAtCi = 0;
+  uint64_t LeakedPastCi = 0;
+  /// Fixed tasks broken down by root-cause category (sampled from the
+  /// Table 2/3 empirical distribution at race creation): category index
+  /// is corpus::Category's underlying value.
+  std::vector<uint64_t> FixedByCategory;
+  /// Open tasks re-routed after their assignee left the organization
+  /// ("defects get triaged and eventually get reassigned to appropriate
+  /// owners", §3.2.1).
+  uint64_t Reassignments = 0;
+};
+
+/// See file comment.
+class DeploymentSimulator {
+public:
+  explicit DeploymentSimulator(const DeploymentConfig &Config);
+  ~DeploymentSimulator();
+
+  /// Runs the full simulation and returns the outcome. The internal bug
+  /// database remains inspectable afterwards.
+  DeploymentOutcome run();
+
+  const BugDatabase &bugs() const { return Bugs; }
+  const MonorepoModel &repo() const { return Repo; }
+
+private:
+  struct LatentRace;
+
+  /// Materializes a latent race (synthetic chains over the monorepo).
+  LatentRace makeLatentRace(uint32_t Day);
+
+  DeploymentConfig Config;
+  support::Rng Rng;
+  MonorepoModel Repo;
+  OwnershipResolver Resolver;
+  BugDatabase Bugs;
+  std::vector<LatentRace> Races;
+  uint32_t NextClusterId = 0;
+};
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_DEPLOYMENT_H

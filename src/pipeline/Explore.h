@@ -1,0 +1,190 @@
+//===- pipeline/Explore.h - Systematic interleaving exploration --*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CHESS-style systematic schedule exploration (the paper's §5 contrasts
+/// it with random approaches: "Chess systematically explores various
+/// thread interleavings by performing a tree traversal on the
+/// interleaving tree").
+///
+/// The runtime's ChoiceHook determinizes every nondeterministic choice
+/// (which goroutine runs next, which ready select arm fires). Exploration
+/// then breadth-first-searches the decision tree:
+///
+///   * run the program following a decision PREFIX, defaulting to option
+///     0 past its end, while recording how many options each choice point
+///     actually had;
+///   * for each post-prefix choice point with more than one option,
+///     enqueue the alternative prefixes;
+///   * repeat until the frontier is exhausted (small programs: complete
+///     coverage) or a run budget is consumed.
+///
+/// Compared to a random seed sweep (pipeline/Sweep.h), exploration finds
+/// needle-in-haystack interleavings deterministically and can PROVE small
+/// programs schedule-free of races — but its tree grows exponentially,
+/// the very trade-off the related work debates. bench_explore measures
+/// both sides on the corpus's schedule-dependent bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_EXPLORE_H
+#define GRS_PIPELINE_EXPLORE_H
+
+#include "pipeline/Fingerprint.h"
+#include "rt/Runtime.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+struct ExploreOptions {
+  /// Hard cap on executions.
+  size_t MaxRuns = 500;
+  /// Per-run cap on recorded choice points eligible for branching (the
+  /// CHESS-style depth bound; deeper choices follow option 0).
+  size_t BranchDepth = 64;
+  /// CHESS iterative-context-bounding: maximum number of PREEMPTIONS
+  /// (choices that switch away from a still-runnable goroutine) per
+  /// explored schedule. SIZE_MAX = unbounded. CHESS's empirical claim —
+  /// most races need only ~2 preemptions — makes small bounds shrink the
+  /// tree dramatically.
+  size_t MaxPreemptions = SIZE_MAX;
+  /// Base options (Seed fixed; PreemptProbability forced to 1 so every
+  /// instrumented access is a choice point).
+  rt::RunOptions Run;
+};
+
+struct ExploreResult {
+  size_t RunsExecuted = 0;
+  size_t RacyRuns = 0;
+  size_t DeadlockRuns = 0;
+  size_t LeakRuns = 0;
+  /// True when the frontier emptied before MaxRuns: the decision tree
+  /// (up to BranchDepth) was covered COMPLETELY.
+  bool Exhaustive = false;
+  /// First run index (1-based) that exhibited a race; 0 = none found.
+  size_t FirstRacyRun = 0;
+  /// Deduplicated findings, as in SweepResult.
+  std::map<uint64_t, size_t> Findings;
+
+  bool foundRace() const { return RacyRuns > 0; }
+};
+
+/// Systematically explores \p Body's interleavings. See file comment.
+inline ExploreResult explore(const ExploreOptions &Opts,
+                             const std::function<void()> &Body) {
+  ExploreResult Result;
+  std::deque<std::vector<uint32_t>> Frontier;
+  Frontier.push_back({});
+
+  while (!Frontier.empty() && Result.RunsExecuted < Opts.MaxRuns) {
+    std::vector<uint32_t> Prefix = std::move(Frontier.front());
+    Frontier.pop_front();
+
+    // Decisions actually taken, the option count, and the non-preempting
+    // option at each point (UINT32_MAX = no preference existed).
+    std::vector<uint32_t> Taken;
+    std::vector<uint32_t> Options;
+    std::vector<uint32_t> ContinueAt;
+    size_t PreemptionsUsed = 0;
+
+    rt::RunOptions RunOpts = Opts.Run;
+    RunOpts.Seed = 0;
+    RunOpts.PreemptProbability = 1.0;
+    RunOpts.ChoiceHook = [&Prefix, &Taken, &Options, &ContinueAt,
+                          &PreemptionsUsed](size_t NumChoices,
+                                            size_t ContinueIndex) {
+      size_t Index = Taken.size();
+      uint32_t Pick;
+      if (Index < Prefix.size()) {
+        Pick = Prefix[Index];
+      } else {
+        // Default policy past the prefix: continue the current goroutine
+        // when possible (zero preemptions), else option 0.
+        Pick = ContinueIndex != SIZE_MAX
+                   ? static_cast<uint32_t>(ContinueIndex)
+                   : 0;
+      }
+      if (Pick >= NumChoices)
+        Pick = static_cast<uint32_t>(NumChoices - 1);
+      if (ContinueIndex != SIZE_MAX && Pick != ContinueIndex)
+        ++PreemptionsUsed;
+      Taken.push_back(Pick);
+      Options.push_back(static_cast<uint32_t>(NumChoices));
+      ContinueAt.push_back(ContinueIndex == SIZE_MAX
+                               ? UINT32_MAX
+                               : static_cast<uint32_t>(ContinueIndex));
+      return static_cast<size_t>(Pick);
+    };
+    RunOpts.OnReport = [&Result](const race::Detector &D,
+                                 const race::RaceReport &Report) {
+      ++Result.Findings[raceFingerprint(D.interner(), Report)];
+    };
+
+    rt::Runtime RT(RunOpts);
+    rt::RunResult Run = RT.run(Body);
+    ++Result.RunsExecuted;
+    if (Run.RaceCount > 0) {
+      ++Result.RacyRuns;
+      if (Result.FirstRacyRun == 0)
+        Result.FirstRacyRun = Result.RunsExecuted;
+    }
+    Result.DeadlockRuns += Run.Deadlocked;
+    Result.LeakRuns += !Run.LeakedGoroutines.empty();
+
+    // Branch on every post-prefix choice point (depth- and
+    // preemption-bounded). A prefix's preemption count is cumulative:
+    // once the budget is spent, only continuing alternatives enqueue.
+    size_t Limit =
+        std::min(Taken.size(), Prefix.size() + Opts.BranchDepth);
+    size_t PrefixPreemptions = 0;
+    for (size_t I = 0; I < Prefix.size() && I < Taken.size(); ++I)
+      if (ContinueAt[I] != UINT32_MAX && Taken[I] != ContinueAt[I])
+        ++PrefixPreemptions;
+    size_t Running = PrefixPreemptions;
+    for (size_t I = Prefix.size(); I < Limit; ++I) {
+      for (uint32_t Alt = 0; Alt < Options[I]; ++Alt) {
+        if (Alt == Taken[I])
+          continue; // Already executed this run.
+        bool AltPreempts =
+            ContinueAt[I] != UINT32_MAX && Alt != ContinueAt[I];
+        if (AltPreempts && Running >= Opts.MaxPreemptions)
+          continue; // Budget exhausted: prune the subtree.
+        std::vector<uint32_t> Next(
+            Taken.begin(), Taken.begin() + static_cast<long>(I));
+        Next.push_back(Alt);
+        Frontier.push_back(std::move(Next));
+      }
+      // The decision actually taken contributes to the running count for
+      // later branch points of this run.
+      if (ContinueAt[I] != UINT32_MAX && Taken[I] != ContinueAt[I])
+        ++Running;
+    }
+  }
+
+  Result.Exhaustive = Frontier.empty();
+  return Result;
+}
+
+/// Convenience with default options and a run cap.
+inline ExploreResult explore(size_t MaxRuns,
+                             const std::function<void()> &Body) {
+  ExploreOptions Opts;
+  Opts.MaxRuns = MaxRuns;
+  return explore(Opts, Body);
+}
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_EXPLORE_H

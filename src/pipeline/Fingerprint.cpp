@@ -1,0 +1,41 @@
+//===- pipeline/Fingerprint.cpp - Race report fingerprinting ---------------===//
+
+#include "pipeline/Fingerprint.h"
+
+#include "support/Hash.h"
+
+using namespace grs;
+using namespace grs::pipeline;
+
+uint64_t grs::pipeline::fingerprintChains(const NameChain &A,
+                                          const NameChain &B) {
+  // Lexicographic ordering of the two chains, so (A, B) and (B, A) — the
+  // two possible observation orders of the same race — collide.
+  const NameChain *First = &A;
+  const NameChain *Second = &B;
+  if (std::lexicographical_compare(B.begin(), B.end(), A.begin(), A.end()))
+    std::swap(First, Second);
+
+  support::Fnv1a Hasher;
+  for (const std::string &Function : *First)
+    Hasher.addString(Function);
+  Hasher.addByte(0xfe); // Chain separator.
+  for (const std::string &Function : *Second)
+    Hasher.addString(Function);
+  return Hasher.digest();
+}
+
+NameChain grs::pipeline::nameChainOf(const race::StringInterner &Interner,
+                                     const race::CallChain &Chain) {
+  NameChain Names;
+  Names.reserve(Chain.size());
+  for (const race::Frame &F : Chain)
+    Names.push_back(Interner.text(F.Function)); // Lines dropped here.
+  return Names;
+}
+
+uint64_t grs::pipeline::raceFingerprint(const race::StringInterner &Interner,
+                                        const race::RaceReport &Report) {
+  return fingerprintChains(nameChainOf(Interner, Report.Previous.Chain),
+                           nameChainOf(Interner, Report.Current.Chain));
+}

@@ -1,0 +1,56 @@
+//===- pipeline/Fingerprint.h - Race report fingerprinting ------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §3.3.1 de-duplication hash, "relatively resilient" to
+/// source evolution:
+///
+///  1. "We first ignore the source line numbers in both call chains,
+///     which takes care of unrelated code modifications within a
+///     function."
+///  2. "Second, we order the two call stacks lexicographically; meaning
+///     two call chains P() -> Q() -> R() and A() -> B() -> C() are always
+///     ordered as A() -> B() -> C() and P() -> Q() -> R(), irrespective
+///     of the order in which the execution happened."
+///
+/// The hash deliberately does NOT include access kinds or the memory
+/// address: the same pair of chains differing only in line numbers (or in
+/// which side raced first) must collide, per the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_FINGERPRINT_H
+#define GRS_PIPELINE_FINGERPRINT_H
+
+#include "race/Report.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+/// A call chain reduced to what the fingerprint keys on: the function
+/// names, root first.
+using NameChain = std::vector<std::string>;
+
+/// Core fingerprint over two name chains (order-insensitive).
+uint64_t fingerprintChains(const NameChain &A, const NameChain &B);
+
+/// Extracts the name chain of one access (dropping files/lines).
+NameChain nameChainOf(const race::StringInterner &Interner,
+                      const race::CallChain &Chain);
+
+/// Fingerprint of a detector report (the production entry point).
+uint64_t raceFingerprint(const race::StringInterner &Interner,
+                         const race::RaceReport &Report);
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_FINGERPRINT_H

@@ -1,0 +1,125 @@
+//===- pipeline/Monorepo.cpp - Synthetic monorepo model --------------------===//
+
+#include "pipeline/Monorepo.h"
+
+#include <cassert>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+MonorepoModel::MonorepoModel(const MonorepoConfig &Config) : Config(Config) {
+  support::Rng Rng(Config.Seed);
+
+  Developers.resize(Config.NumDevelopers);
+  for (size_t I = 0; I < Developers.size(); ++I) {
+    Developer &Dev = Developers[I];
+    Dev.Name = "dev" + std::to_string(I);
+    Dev.Team = static_cast<uint32_t>(Rng.nextBelow(Config.NumTeams));
+    Dev.Active = true;
+  }
+  // Managers: one designated lead per team; leads report to dev 0.
+  std::vector<DevId> TeamLead(Config.NumTeams, 0);
+  for (size_t Team = 0; Team < Config.NumTeams; ++Team)
+    TeamLead[Team] = static_cast<DevId>(Rng.nextBelow(Developers.size()));
+  for (size_t I = 0; I < Developers.size(); ++I)
+    Developers[I].Manager = TeamLead[Developers[I].Team];
+
+  // Code ownership is heavily skewed in real organizations: a minority
+  // of developers touch most of the shared/library code. Draw file
+  // modifiers with a power-law-ish skew so that fix work concentrates on
+  // a core group (the paper: 1011 fixes by just 210 engineers).
+  auto SkewedDeveloper = [this](support::Rng &R) {
+    double U = R.nextDouble();
+    double Skewed = U * U * U * U;
+    return static_cast<DevId>(Skewed * static_cast<double>(
+                                           Developers.size() - 1));
+  };
+
+  size_t TotalFiles = Config.NumServices * Config.FilesPerService;
+  Files.resize(TotalFiles);
+  for (size_t I = 0; I < Files.size(); ++I) {
+    SourceFile &File = Files[I];
+    File.Service = static_cast<uint32_t>(I / Config.FilesPerService);
+    File.IndexInService = static_cast<uint32_t>(I % Config.FilesPerService);
+    File.Team = static_cast<uint32_t>(File.Service % Config.NumTeams);
+    size_t NumModifiers = 1 + Rng.nextBelow(4);
+    for (size_t M = 0; M < NumModifiers; ++M)
+      File.FrequentModifiers.push_back(SkewedDeveloper(Rng));
+  }
+}
+
+FunctionRef MonorepoModel::randomFunction(support::Rng &Rng) const {
+  FunctionRef Ref;
+  Ref.File = static_cast<FileId>(Rng.nextBelow(Files.size()));
+  Ref.Index = static_cast<uint32_t>(Rng.nextBelow(Config.FunctionsPerFile));
+  return Ref;
+}
+
+FunctionRef MonorepoModel::randomFunctionNear(support::Rng &Rng,
+                                              FunctionRef Site) const {
+  uint32_t Service = Files[Site.File].Service;
+  FunctionRef Ref;
+  Ref.File = static_cast<FileId>(Service * Config.FilesPerService +
+                                 Rng.nextBelow(Config.FilesPerService));
+  Ref.Index = static_cast<uint32_t>(Rng.nextBelow(Config.FunctionsPerFile));
+  return Ref;
+}
+
+std::string MonorepoModel::filePath(FileId File) const {
+  const SourceFile &F = Files[File];
+  return "pkg/service" + std::to_string(F.Service) + "/file" +
+         std::to_string(F.IndexInService) + ".go";
+}
+
+std::string MonorepoModel::functionName(FunctionRef Ref) const {
+  const SourceFile &F = Files[Ref.File];
+  return "service" + std::to_string(F.Service) + ".file" +
+         std::to_string(F.IndexInService) + ".Func" +
+         std::to_string(Ref.Index);
+}
+
+DevId MonorepoModel::lastModifier(FileId File) const {
+  return Files[File].FrequentModifiers.front();
+}
+
+const std::vector<DevId> &
+MonorepoModel::frequentModifiers(FileId File) const {
+  return Files[File].FrequentModifiers;
+}
+
+uint32_t MonorepoModel::owningTeam(FileId File) const {
+  return Files[File].Team;
+}
+
+DevId MonorepoModel::anyActiveTeamMember(uint32_t Team) const {
+  for (size_t I = 0; I < Developers.size(); ++I)
+    if (Developers[I].Team == Team && Developers[I].Active)
+      return static_cast<DevId>(I);
+  return 0; // Fall back to dev 0 (the perennial triage owner).
+}
+
+bool MonorepoModel::isActive(DevId Dev) const {
+  return Developers[Dev].Active;
+}
+
+DevId MonorepoModel::managerOf(DevId Dev) const {
+  return Developers[Dev].Manager;
+}
+
+std::string MonorepoModel::developerName(DevId Dev) const {
+  return Developers[Dev].Name;
+}
+
+void MonorepoModel::advanceDay(support::Rng &Rng) {
+  for (Developer &Dev : Developers)
+    if (Dev.Active && Rng.chance(Config.DailyDeveloperChurn))
+      Dev.Active = false;
+  for (SourceFile &File : Files) {
+    if (!Rng.chance(Config.DailyFileRefactor))
+      continue;
+    // Mass refactoring: a (possibly departed) developer's sweep rewrites
+    // the file; authorship history resets to the refactorer.
+    DevId Refactorer = static_cast<DevId>(Rng.nextBelow(Developers.size()));
+    File.FrequentModifiers.assign(1, Refactorer);
+  }
+}

@@ -1,0 +1,125 @@
+//===- pipeline/Monorepo.h - Synthetic monorepo model -----------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded model of the social/structural substrate the deployment ran
+/// against: services, files, functions, developers, teams — plus the two
+/// dynamics §3.3.2 calls out as hard: organizational churn (developers
+/// leaving) and mass refactorings (file authorship shifting). The
+/// ownership resolver consumes this model; the deployment simulator
+/// advances it day by day.
+///
+/// Scaled ~10x down from Uber's numbers (2100 services, thousands of
+/// developers) so simulations run in milliseconds; all the paper's
+/// *ratios* are scale-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_MONOREPO_H
+#define GRS_PIPELINE_MONOREPO_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+/// Developer id within the model.
+using DevId = uint32_t;
+/// File id within the model.
+using FileId = uint32_t;
+
+struct MonorepoConfig {
+  uint64_t Seed = 1;
+  size_t NumServices = 210;      // Paper: 2100.
+  size_t FilesPerService = 8;
+  size_t FunctionsPerFile = 6;
+  size_t NumDevelopers = 500;    // Paper: "hundreds of Go developers".
+  size_t NumTeams = 60;
+  /// Daily probability that any given developer departs (churn).
+  double DailyDeveloperChurn = 0.0005;
+  /// Daily probability that a file is mass-refactored (authorship reset).
+  double DailyFileRefactor = 0.0008;
+};
+
+/// A function site in the model, identifying its file (and thereby
+/// service, team, and authorship).
+struct FunctionRef {
+  FileId File = 0;
+  uint32_t Index = 0; // Function index within the file.
+};
+
+/// See file comment.
+class MonorepoModel {
+public:
+  explicit MonorepoModel(const MonorepoConfig &Config);
+
+  size_t numDevelopers() const { return Developers.size(); }
+  size_t numFiles() const { return Files.size(); }
+  size_t numServices() const { return Config.NumServices; }
+
+  /// Uniformly random function site.
+  FunctionRef randomFunction(support::Rng &Rng) const;
+
+  /// Random function within the same service as \p Site (call chains stay
+  /// mostly service-local).
+  FunctionRef randomFunctionNear(support::Rng &Rng, FunctionRef Site) const;
+
+  /// "pkg/service042/file3.go".
+  std::string filePath(FileId File) const;
+
+  /// "service042.file3.Func2".
+  std::string functionName(FunctionRef Ref) const;
+
+  /// The most recent modifier of the file (candidate assignee a).
+  DevId lastModifier(FileId File) const;
+
+  /// Authors who frequently modify the file (heuristic (a) of §3.3.2).
+  const std::vector<DevId> &frequentModifiers(FileId File) const;
+
+  /// The owning team's id (heuristic (b): "metadata attached to the
+  /// source describing the owning team").
+  uint32_t owningTeam(FileId File) const;
+
+  /// An active developer on \p Team, if any (team-based fallback).
+  DevId anyActiveTeamMember(uint32_t Team) const;
+
+  /// Heuristic (c): "the presence of the developer and their manager in
+  /// the organization".
+  bool isActive(DevId Dev) const;
+  DevId managerOf(DevId Dev) const;
+  std::string developerName(DevId Dev) const;
+
+  /// Advances churn and refactoring by one simulated day.
+  void advanceDay(support::Rng &Rng);
+
+private:
+  struct Developer {
+    std::string Name;
+    uint32_t Team = 0;
+    DevId Manager = 0;
+    bool Active = true;
+  };
+  struct SourceFile {
+    uint32_t Service = 0;
+    uint32_t IndexInService = 0;
+    uint32_t Team = 0;
+    std::vector<DevId> FrequentModifiers; // [0] is the last modifier.
+  };
+
+  MonorepoConfig Config;
+  std::vector<Developer> Developers;
+  std::vector<SourceFile> Files;
+};
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_MONOREPO_H

@@ -1,0 +1,80 @@
+//===- pipeline/Ownership.cpp - Race defect ownership ----------------------===//
+
+#include "pipeline/Ownership.h"
+
+#include <algorithm>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+bool OwnershipResolver::assignable(DevId Dev, const char *Role,
+                                   Resolution &Result) const {
+  if (std::find(Result.Candidates.begin(), Result.Candidates.end(), Dev) ==
+      Result.Candidates.end())
+    Result.Candidates.push_back(Dev);
+  if (!Repo.isActive(Dev)) {
+    Result.Log.push_back(Repo.developerName(Dev) + " (" + Role +
+                         ") has left the organization; skipping");
+    return false;
+  }
+  if (!Repo.isActive(Repo.managerOf(Dev))) {
+    Result.Log.push_back(Repo.developerName(Dev) + " (" + Role +
+                         ") has no active manager; deprioritized");
+    return false;
+  }
+  Result.Log.push_back("assigning to " + Repo.developerName(Dev) + " (" +
+                       Role + ")");
+  return true;
+}
+
+Resolution OwnershipResolver::resolve(const ReportSites &Sites,
+                                      support::Rng &Rng) const {
+  Resolution Result;
+
+  // Preference 1: the last modifiers of the two chains' ROOT files ("the
+  // author of code higher up in the call stack").
+  for (FileId Root : {Sites.RootA, Sites.RootB}) {
+    DevId Dev = Repo.lastModifier(Root);
+    Result.Log.push_back("root frame in " + Repo.filePath(Root) +
+                         ", last modified by " + Repo.developerName(Dev));
+    if (assignable(Dev, "root-frame last modifier", Result)) {
+      Result.Assignee = Dev;
+      return Result;
+    }
+  }
+
+  // Preference 2: frequent modifiers of the root files (churn-resilient).
+  for (FileId Root : {Sites.RootA, Sites.RootB})
+    for (DevId Dev : Repo.frequentModifiers(Root))
+      if (assignable(Dev, "frequent modifier", Result)) {
+        Result.Assignee = Dev;
+        return Result;
+      }
+
+  // Preference 3: owning-team metadata on the root file.
+  uint32_t Team = Repo.owningTeam(Sites.RootA);
+  DevId TeamMember = Repo.anyActiveTeamMember(Team);
+  Result.Log.push_back("falling back to owning team " +
+                       std::to_string(Team));
+  if (assignable(TeamMember, "owning-team member", Result)) {
+    Result.Assignee = TeamMember;
+    return Result;
+  }
+
+  // Preference 4: leaf-frame authors (they wrote the racing accesses).
+  for (FileId Leaf : {Sites.LeafA, Sites.LeafB})
+    for (DevId Dev : Repo.frequentModifiers(Leaf))
+      if (assignable(Dev, "leaf-frame modifier", Result)) {
+        Result.Assignee = Dev;
+        return Result;
+      }
+
+  // Last resort: triage queue (a random candidate; defects "get triaged
+  // and eventually get reassigned to appropriate owners").
+  Result.Assignee = Result.Candidates.empty()
+                        ? 0
+                        : Rng.pick(Result.Candidates);
+  Result.Log.push_back("no active candidate; routing to triage as " +
+                       Repo.developerName(Result.Assignee));
+  return Result;
+}

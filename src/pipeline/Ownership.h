@@ -1,0 +1,70 @@
+//===- pipeline/Ownership.h - Race defect ownership -------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §3.3.2's assignee determination. "We choose to report it to the owner
+/// of the root nodes of the call stacks" because those developers "have a
+/// stake in the functional correctness of their code and are hence
+/// incentivized to eliminate a race and drive the issue to closure even
+/// if it is in a downstream library." Fallbacks consider (a) frequent
+/// modifiers, (b) owning-team metadata, and (c) whether the developer and
+/// their manager are still present. "Attaching a log of how our algorithm
+/// arrived at the choice of the assignee ... was useful to the
+/// developers" — resolve() produces that log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_PIPELINE_OWNERSHIP_H
+#define GRS_PIPELINE_OWNERSHIP_H
+
+#include "pipeline/Monorepo.h"
+
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace pipeline {
+
+/// The file locations a race report exposes to the resolver: roots and
+/// leaves of the two conflicting call chains.
+struct ReportSites {
+  FileId RootA = 0;
+  FileId RootB = 0;
+  FileId LeafA = 0;
+  FileId LeafB = 0;
+};
+
+/// Outcome of ownership resolution.
+struct Resolution {
+  DevId Assignee = 0;
+  /// Everyone the algorithm considered (surfaced to the developer).
+  std::vector<DevId> Candidates;
+  /// Human-readable decision trail.
+  std::vector<std::string> Log;
+};
+
+/// See file comment.
+class OwnershipResolver {
+public:
+  explicit OwnershipResolver(const MonorepoModel &Repo) : Repo(Repo) {}
+
+  /// Picks an assignee for a race whose chains touch \p Sites.
+  Resolution resolve(const ReportSites &Sites, support::Rng &Rng) const;
+
+private:
+  /// \returns true and logs if \p Dev is assignable (active, with an
+  /// active manager).
+  bool assignable(DevId Dev, const char *Role,
+                  Resolution &Result) const;
+
+  const MonorepoModel &Repo;
+};
+
+} // namespace pipeline
+} // namespace grs
+
+#endif // GRS_PIPELINE_OWNERSHIP_H

@@ -1,0 +1,62 @@
+//===- pipeline/RootCause.cpp - Root-cause clustering of reports -----------===//
+
+#include "pipeline/RootCause.h"
+
+#include <algorithm>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+size_t RootCauseGrouper::findRoot(size_t Index) const {
+  while (ParentOf[Index] != Index) {
+    ParentOf[Index] = ParentOf[ParentOf[Index]]; // Path halving.
+    Index = ParentOf[Index];
+  }
+  return Index;
+}
+
+void RootCauseGrouper::unite(size_t A, size_t B) {
+  size_t RootA = findRoot(A);
+  size_t RootB = findRoot(B);
+  if (RootA != RootB)
+    ParentOf[std::max(RootA, RootB)] = std::min(RootA, RootB);
+}
+
+void RootCauseGrouper::linkKey(const std::string &KeyText, size_t Index) {
+  auto [It, Inserted] = FirstReportForKey.try_emplace(KeyText, Index);
+  if (!Inserted)
+    unite(It->second, Index);
+}
+
+size_t RootCauseGrouper::addReport(const race::StringInterner &Interner,
+                                   const race::RaceReport &Report) {
+  size_t Index = ParentOf.size();
+  ParentOf.push_back(Index);
+
+  for (const race::AccessSnapshot *Side :
+       {&Report.Previous, &Report.Current}) {
+    if (Side->Chain.empty())
+      continue;
+    const race::Frame &Leaf = Side->Chain.back();
+    std::string KeyText = Granularity == Key::LeafFunction
+                              ? Interner.text(Leaf.Function)
+                              : Interner.text(Leaf.File);
+    linkKey(KeyText, Index);
+  }
+  return Index;
+}
+
+std::vector<std::vector<size_t>> RootCauseGrouper::clusters() const {
+  std::unordered_map<size_t, std::vector<size_t>> ByRoot;
+  for (size_t Index = 0; Index < ParentOf.size(); ++Index)
+    ByRoot[findRoot(Index)].push_back(Index);
+
+  std::vector<std::vector<size_t>> Result;
+  Result.reserve(ByRoot.size());
+  for (auto &[Root, Members] : ByRoot)
+    Result.push_back(std::move(Members));
+  // Deterministic order: by smallest member.
+  std::sort(Result.begin(), Result.end(),
+            [](const auto &A, const auto &B) { return A[0] < B[0]; });
+  return Result;
+}

@@ -1,0 +1,444 @@
+//===- race/Detector.cpp - Dynamic data race detector ---------------------===//
+
+#include "race/Detector.h"
+
+#include <cassert>
+
+using namespace grs::race;
+
+//===----------------------------------------------------------------------===//
+// Internal state
+//===----------------------------------------------------------------------===//
+
+struct Detector::ThreadState {
+  VectorClock C;
+  CallChain Chain;
+  LockSetId HeldWrite = LockSetRegistry::EmptyId;
+  LockSetId HeldAll = LockSetRegistry::EmptyId;
+  bool Finished = false;
+};
+
+struct Detector::ShadowCell {
+  // FastTrack happens-before state.
+  Epoch WriteEpoch;
+  CallChain WriteChain;
+  bool ReadShared = false;
+  Epoch ReadEpoch;
+  CallChain ReadChain;
+  VectorClock ReadVC;
+  std::unordered_map<Tid, CallChain> SharedChains;
+
+  // Eraser lock-set state.
+  EraserState State = EraserState::Virgin;
+  Tid Owner = InvalidTid;
+  LockSetId Candidate = LockSetRegistry::EmptyId;
+  AccessSnapshot LastAccess;
+  bool HaveLastAccess = false;
+
+  // Report throttling and labelling.
+  bool ReportedHb = false;
+  bool ReportedLs = false;
+  std::string Name;
+};
+
+Detector::Detector(DetectorOptions Opts) : Opts(Opts) {}
+
+Detector::~Detector() = default;
+
+Detector::ThreadState &Detector::thread(Tid T) {
+  assert(T < Threads.size() && "unknown goroutine id");
+  return Threads[T];
+}
+
+const Detector::ThreadState &Detector::thread(Tid T) const {
+  assert(T < Threads.size() && "unknown goroutine id");
+  return Threads[T];
+}
+
+Detector::ShadowCell &Detector::shadowCell(Addr A) {
+  auto [It, Inserted] = Shadow.try_emplace(A);
+  if (Inserted)
+    Stats.ShadowCells = Shadow.size();
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Goroutine lifecycle
+//===----------------------------------------------------------------------===//
+
+Tid Detector::newRootGoroutine() {
+  Tid T = static_cast<Tid>(Threads.size());
+  Threads.emplace_back();
+  // Every goroutine starts at epoch (T, 1) so a fresh epoch is never
+  // mistaken for the all-zero bottom.
+  Threads[T].C.set(T, 1);
+  return T;
+}
+
+Tid Detector::fork(Tid Parent) {
+  Tid Child = newRootGoroutine();
+  // The `go` statement happens-before the child's first action.
+  Threads[Child].C.joinWith(thread(Parent).C);
+  Threads[Child].C.set(Child, thread(Child).C.get(Child));
+  thread(Parent).C.tick(Parent);
+  ++Stats.SyncOps;
+  return Child;
+}
+
+size_t Detector::numGoroutines() const { return Threads.size(); }
+
+void Detector::finish(Tid T) {
+  thread(T).Finished = true;
+  ++Stats.SyncOps;
+}
+
+void Detector::join(Tid Waiter, Tid Target) {
+  thread(Waiter).C.joinWith(thread(Target).C);
+  ++Stats.SyncOps;
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronization events
+//===----------------------------------------------------------------------===//
+
+SyncId Detector::newSyncVar(const std::string &Name) {
+  SyncId S = static_cast<SyncId>(SyncClocks.size());
+  SyncClocks.emplace_back();
+  SyncNames.push_back(Name);
+  return S;
+}
+
+void Detector::acquire(Tid T, SyncId S) {
+  assert(S < SyncClocks.size() && "unknown sync object");
+  thread(T).C.joinWith(SyncClocks[S]);
+  ++Stats.SyncOps;
+}
+
+void Detector::release(Tid T, SyncId S) {
+  assert(S < SyncClocks.size() && "unknown sync object");
+  SyncClocks[S] = thread(T).C;
+  thread(T).C.tick(T);
+  ++Stats.SyncOps;
+}
+
+void Detector::releaseMerge(Tid T, SyncId S) {
+  assert(S < SyncClocks.size() && "unknown sync object");
+  SyncClocks[S].joinWith(thread(T).C);
+  thread(T).C.tick(T);
+  ++Stats.SyncOps;
+}
+
+void Detector::transferSync(SyncId From, SyncId To) {
+  assert(From < SyncClocks.size() && To < SyncClocks.size() &&
+         "unknown sync object");
+  SyncClocks[To].joinWith(SyncClocks[From]);
+  ++Stats.SyncOps;
+}
+
+void Detector::lockAcquired(Tid T, SyncId S, bool WriteMode) {
+  ThreadState &TS = thread(T);
+  TS.HeldAll = LockSets.withLock(TS.HeldAll, S);
+  if (WriteMode)
+    TS.HeldWrite = LockSets.withLock(TS.HeldWrite, S);
+}
+
+void Detector::lockReleased(Tid T, SyncId S, bool WriteMode) {
+  ThreadState &TS = thread(T);
+  TS.HeldAll = LockSets.withoutLock(TS.HeldAll, S);
+  if (WriteMode)
+    TS.HeldWrite = LockSets.withoutLock(TS.HeldWrite, S);
+}
+
+LockSetId Detector::heldWriteLocks(Tid T) const {
+  return thread(T).HeldWrite;
+}
+
+LockSetId Detector::heldAllLocks(Tid T) const { return thread(T).HeldAll; }
+
+//===----------------------------------------------------------------------===//
+// Call-chain maintenance
+//===----------------------------------------------------------------------===//
+
+Frame Detector::makeFrame(const std::string &Function, const std::string &File,
+                          uint32_t Line) {
+  return Frame{Interner.intern(Function), Interner.intern(File), Line};
+}
+
+void Detector::pushFrame(Tid T, const Frame &F) {
+  thread(T).Chain.push_back(F);
+}
+
+void Detector::popFrame(Tid T) {
+  CallChain &Chain = thread(T).Chain;
+  assert(!Chain.empty() && "popFrame() on empty chain");
+  Chain.pop_back();
+}
+
+void Detector::setLine(Tid T, uint32_t Line) {
+  CallChain &Chain = thread(T).Chain;
+  if (!Chain.empty())
+    Chain.back().Line = Line;
+}
+
+const CallChain &Detector::currentChain(Tid T) const {
+  return thread(T).Chain;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting helpers
+//===----------------------------------------------------------------------===//
+
+AccessSnapshot Detector::snapshotCurrent(Tid T, AccessKind Kind) const {
+  AccessSnapshot Snapshot;
+  Snapshot.Kind = Kind;
+  Snapshot.Goroutine = T;
+  Snapshot.Time = thread(T).C.get(T);
+  if (Opts.KeepChains)
+    Snapshot.Chain = thread(T).Chain;
+  return Snapshot;
+}
+
+void Detector::emitReport(RaceReport Report, ShadowCell &Cell) {
+  if (Report.Evidence == RaceEvidence::HappensBefore) {
+    if (Opts.ReportOncePerAddress && Cell.ReportedHb)
+      return;
+    Cell.ReportedHb = true;
+  } else {
+    if (Opts.ReportOncePerAddress && Cell.ReportedLs)
+      return;
+    Cell.ReportedLs = true;
+  }
+  if (Opts.MaxReports && Reports.size() >= Opts.MaxReports)
+    return;
+  ++Stats.RacesReported;
+  if (Sink_)
+    Sink_(Report);
+  Reports.push_back(std::move(Report));
+}
+
+//===----------------------------------------------------------------------===//
+// FastTrack happens-before checks
+//===----------------------------------------------------------------------===//
+
+bool Detector::checkHbRead(Tid T, Addr A, ShadowCell &Cell) {
+  ThreadState &TS = thread(T);
+  Clock Now = TS.C.get(T);
+
+  // Same-epoch fast path: this goroutine already read at this clock.
+  if (Opts.EpochOptimization) {
+    if (!Cell.ReadShared && Cell.ReadEpoch == Epoch{T, Now}) {
+      ++Stats.SameEpochFastPath;
+      return false;
+    }
+    if (Cell.ReadShared && Cell.ReadVC.get(T) == Now && Now != 0) {
+      ++Stats.SameEpochFastPath;
+      return false;
+    }
+  } else {
+    // Full-VC ablation: go straight to the vector-clock representation
+    // (reads never collapse to an epoch, no fast paths).
+    Cell.ReadShared = true;
+  }
+
+  bool Raced = false;
+  if (Cell.WriteEpoch.valid() && !TS.C.covers(Cell.WriteEpoch)) {
+    RaceReport Report;
+    Report.Address = A;
+    Report.VariableName = Cell.Name;
+    Report.Evidence = RaceEvidence::HappensBefore;
+    Report.Previous = {AccessKind::Write, Cell.WriteEpoch.Id,
+                       Cell.WriteEpoch.Time, Cell.WriteChain};
+    Report.Current = snapshotCurrent(T, AccessKind::Read);
+    emitReport(std::move(Report), Cell);
+    Raced = true;
+  }
+
+  // Update read state (FastTrack rules: exclusive epoch when ordered,
+  // promotion to a read vector clock under concurrent reads).
+  if (Cell.ReadShared) {
+    Cell.ReadVC.set(T, Now);
+    if (Opts.KeepChains)
+      Cell.SharedChains[T] = TS.Chain;
+    return Raced;
+  }
+  if (Cell.ReadEpoch.valid() && !TS.C.covers(Cell.ReadEpoch)) {
+    Cell.ReadShared = true;
+    Cell.ReadVC.clear();
+    Cell.ReadVC.set(Cell.ReadEpoch.Id, Cell.ReadEpoch.Time);
+    Cell.ReadVC.set(T, Now);
+    if (Opts.KeepChains) {
+      Cell.SharedChains[Cell.ReadEpoch.Id] = Cell.ReadChain;
+      Cell.SharedChains[T] = TS.Chain;
+    }
+    ++Stats.ReadSharePromotions;
+    return Raced;
+  }
+  Cell.ReadEpoch = Epoch{T, Now};
+  if (Opts.KeepChains)
+    Cell.ReadChain = TS.Chain;
+  return Raced;
+}
+
+bool Detector::checkHbWrite(Tid T, Addr A, ShadowCell &Cell) {
+  ThreadState &TS = thread(T);
+  Clock Now = TS.C.get(T);
+
+  // Same-epoch fast path: this goroutine already wrote at this clock.
+  if (Opts.EpochOptimization && Cell.WriteEpoch == Epoch{T, Now}) {
+    ++Stats.SameEpochFastPath;
+    return false;
+  }
+
+  bool Raced = false;
+  if (Cell.WriteEpoch.valid() && !TS.C.covers(Cell.WriteEpoch)) {
+    RaceReport Report;
+    Report.Address = A;
+    Report.VariableName = Cell.Name;
+    Report.Evidence = RaceEvidence::HappensBefore;
+    Report.Previous = {AccessKind::Write, Cell.WriteEpoch.Id,
+                       Cell.WriteEpoch.Time, Cell.WriteChain};
+    Report.Current = snapshotCurrent(T, AccessKind::Write);
+    emitReport(std::move(Report), Cell);
+    Raced = true;
+  }
+
+  if (Cell.ReadShared) {
+    Tid Offender = TS.C.firstUncovered(Cell.ReadVC);
+    if (Offender != InvalidTid) {
+      RaceReport Report;
+      Report.Address = A;
+      Report.VariableName = Cell.Name;
+      Report.Evidence = RaceEvidence::HappensBefore;
+      CallChain OffenderChain;
+      auto ChainIt = Cell.SharedChains.find(Offender);
+      if (ChainIt != Cell.SharedChains.end())
+        OffenderChain = ChainIt->second;
+      Report.Previous = {AccessKind::Read, Offender,
+                         Cell.ReadVC.get(Offender), std::move(OffenderChain)};
+      Report.Current = snapshotCurrent(T, AccessKind::Write);
+      emitReport(std::move(Report), Cell);
+      Raced = true;
+    }
+  } else if (Cell.ReadEpoch.valid() && !TS.C.covers(Cell.ReadEpoch)) {
+    RaceReport Report;
+    Report.Address = A;
+    Report.VariableName = Cell.Name;
+    Report.Evidence = RaceEvidence::HappensBefore;
+    Report.Previous = {AccessKind::Read, Cell.ReadEpoch.Id,
+                       Cell.ReadEpoch.Time, Cell.ReadChain};
+    Report.Current = snapshotCurrent(T, AccessKind::Write);
+    emitReport(std::move(Report), Cell);
+    Raced = true;
+  }
+
+  // Update write state; reset shared-read bookkeeping like FastTrack.
+  Cell.WriteEpoch = Epoch{T, Now};
+  if (Opts.KeepChains)
+    Cell.WriteChain = TS.Chain;
+  if (Cell.ReadShared) {
+    Cell.ReadShared = false;
+    Cell.ReadVC.clear();
+    Cell.SharedChains.clear();
+    Cell.ReadEpoch = BottomEpoch;
+    Cell.ReadChain.clear();
+  }
+  return Raced;
+}
+
+//===----------------------------------------------------------------------===//
+// Eraser lock-set checks
+//===----------------------------------------------------------------------===//
+
+bool Detector::applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell) {
+  ThreadState &TS = thread(T);
+  // A read is protected by any lock held (read or write mode); a write
+  // needs a write-mode lock (RLock does not protect writes, Listing 11).
+  LockSetId Held = Kind == AccessKind::Read ? TS.HeldAll : TS.HeldWrite;
+
+  bool BecameReportable = false;
+  switch (Cell.State) {
+  case EraserState::Virgin:
+    Cell.State = EraserState::Exclusive;
+    Cell.Owner = T;
+    // C(v) := all-locks ∩ held — Eraser refines from the first access;
+    // the Exclusive state only suppresses REPORTING, not refinement.
+    Cell.Candidate = Held;
+    break;
+  case EraserState::Exclusive:
+    if (T == Cell.Owner) {
+      Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
+      break;
+    }
+    Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
+    Cell.State = Kind == AccessKind::Read ? EraserState::Shared
+                                          : EraserState::SharedModified;
+    BecameReportable = Cell.State == EraserState::SharedModified;
+    break;
+  case EraserState::Shared:
+    Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
+    if (Kind == AccessKind::Write) {
+      Cell.State = EraserState::SharedModified;
+      BecameReportable = true;
+    }
+    break;
+  case EraserState::SharedModified:
+    Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
+    BecameReportable = true;
+    break;
+  }
+
+  bool Raced = false;
+  if (BecameReportable && LockSets.isEmpty(Cell.Candidate)) {
+    // In hybrid mode the HB report (precise evidence) subsumes the
+    // lock-set finding for the same address.
+    bool Suppress = Opts.Mode == DetectMode::Hybrid && Cell.ReportedHb;
+    if (!Suppress && Cell.HaveLastAccess) {
+      RaceReport Report;
+      Report.Address = A;
+      Report.VariableName = Cell.Name;
+      Report.Evidence = RaceEvidence::LockSetEmpty;
+      Report.Previous = Cell.LastAccess;
+      Report.Current = snapshotCurrent(T, Kind);
+      emitReport(std::move(Report), Cell);
+      Raced = true;
+    }
+  }
+
+  Cell.LastAccess = snapshotCurrent(T, Kind);
+  Cell.HaveLastAccess = true;
+  return Raced;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory accesses
+//===----------------------------------------------------------------------===//
+
+bool Detector::onRead(Tid T, Addr A, const std::string &Name) {
+  ++Stats.Reads;
+  ShadowCell &Cell = shadowCell(A);
+  if (Cell.Name.empty() && !Name.empty())
+    Cell.Name = Name;
+  bool Raced = false;
+  if (Opts.Mode != DetectMode::LockSetOnly)
+    Raced |= checkHbRead(T, A, Cell);
+  if (Opts.Mode != DetectMode::HappensBefore)
+    Raced |= applyEraser(T, A, AccessKind::Read, Cell);
+  return Raced;
+}
+
+bool Detector::onWrite(Tid T, Addr A, const std::string &Name) {
+  ++Stats.Writes;
+  ShadowCell &Cell = shadowCell(A);
+  if (Cell.Name.empty() && !Name.empty())
+    Cell.Name = Name;
+  bool Raced = false;
+  if (Opts.Mode != DetectMode::LockSetOnly)
+    Raced |= checkHbWrite(T, A, Cell);
+  if (Opts.Mode != DetectMode::HappensBefore)
+    Raced |= applyEraser(T, A, AccessKind::Write, Cell);
+  return Raced;
+}
+
+const VectorClock &Detector::clockOf(Tid T) const { return thread(T).C; }
+
+bool Detector::hasShadow(Addr A) const { return Shadow.count(A) != 0; }

@@ -1,0 +1,238 @@
+//===- race/Detector.h - Dynamic data race detector -------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic data race detector. Mirrors the Go race detector's
+/// ThreadSanitizer runtime (paper §3.1), which "uses a combination of
+/// lock-sets [76] and HB [44, 66] based algorithms to report races":
+///
+///  * Happens-before analysis uses one vector clock per goroutine and
+///    FastTrack-style adaptive shadow cells (last-write epoch; last-read
+///    epoch promoted to a read vector clock only under concurrent reads).
+///  * Lock-set analysis implements the Eraser state machine with interned
+///    candidate lock sets, refined separately for read locks (RLock) and
+///    write locks (Lock).
+///
+/// The detector is event-driven: the Go-like runtime (src/rt) feeds it
+/// fork/join, acquire/release, channel, and memory-access events. It is
+/// deliberately single-threaded — the runtime serializes all goroutines
+/// onto one OS thread (see rt/Scheduler.h), so the detector models
+/// concurrency without experiencing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_DETECTOR_H
+#define GRS_RACE_DETECTOR_H
+
+#include "race/Ids.h"
+#include "race/LockSet.h"
+#include "race/Report.h"
+#include "race/Source.h"
+#include "race/VectorClock.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grs {
+namespace race {
+
+/// Which algorithm(s) drive race reports.
+enum class DetectMode : uint8_t {
+  /// Pure happens-before via vector clocks (what the stock Go detector
+  /// reports; precise for the observed execution).
+  HappensBefore,
+  /// Pure Eraser lock-sets ("may include races that may never manifest in
+  /// practice", §3.1).
+  LockSetOnly,
+  /// HB races plus lockset-empty findings not already HB-racy, labelled
+  /// with their weaker evidence.
+  Hybrid,
+};
+
+/// Detector construction options.
+struct DetectorOptions {
+  DetectMode Mode = DetectMode::HappensBefore;
+  /// Report at most one race per shadowed address per evidence kind
+  /// (the Go detector similarly throttles repeated reports).
+  bool ReportOncePerAddress = true;
+  /// Hard cap on emitted reports; 0 means unlimited.
+  size_t MaxReports = 0;
+  /// When false, shadow cells do not retain call chains (cheaper; used by
+  /// the overhead ablation benchmark).
+  bool KeepChains = true;
+  /// When false, disables FastTrack's adaptive representation: no
+  /// same-epoch fast paths, and read state is kept as a full vector clock
+  /// from the first read. Reports are identical; only cost differs. This
+  /// is the "vector clocks are expensive in space and time" ablation.
+  bool EpochOptimization = true;
+};
+
+/// Aggregate counters for the overhead study (§3.5) and ablation benches.
+struct DetectorStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t SyncOps = 0;
+  uint64_t SameEpochFastPath = 0;
+  uint64_t ReadSharePromotions = 0;
+  uint64_t RacesReported = 0;
+  uint64_t ShadowCells = 0;
+};
+
+/// The dynamic race detector. See file comment.
+class Detector {
+public:
+  using ReportSink = std::function<void(const RaceReport &)>;
+
+  explicit Detector(DetectorOptions Opts = DetectorOptions());
+  ~Detector();
+
+  Detector(const Detector &) = delete;
+  Detector &operator=(const Detector &) = delete;
+
+  //===------------------------------------------------------------------===//
+  // Goroutine lifecycle
+  //===------------------------------------------------------------------===//
+
+  /// Registers a new root goroutine with no happens-before predecessor
+  /// (used for goroutine 0 / main).
+  Tid newRootGoroutine();
+
+  /// Registers a goroutine forked by \p Parent: the `go` statement
+  /// happens-before the child's first action.
+  Tid fork(Tid Parent);
+
+  /// Records that \p T finished; its final clock becomes joinable.
+  void finish(Tid T);
+
+  /// Establishes finished-\p Target happens-before the next action of
+  /// \p Waiter (e.g. channel-signalled join or WaitGroup wait).
+  void join(Tid Waiter, Tid Target);
+
+  /// Number of goroutines ever registered.
+  size_t numGoroutines() const;
+
+  //===------------------------------------------------------------------===//
+  // Synchronization events
+  //===------------------------------------------------------------------===//
+
+  /// Allocates a fresh synchronization object (its clock starts empty).
+  /// \p Name is used in diagnostics only.
+  SyncId newSyncVar(const std::string &Name = std::string());
+
+  /// Acquire edge: joins the sync object's clock into \p T's clock.
+  void acquire(Tid T, SyncId S);
+
+  /// Release edge (store semantics): the sync object's clock becomes a
+  /// copy of \p T's clock. Use for plain mutex unlock.
+  void release(Tid T, SyncId S);
+
+  /// Release edge (merge semantics): the sync object's clock joins with
+  /// \p T's clock. Use when several goroutines release concurrently and
+  /// all must happen-before the next acquirer (WaitGroup.Done, channel
+  /// send, RUnlock).
+  void releaseMerge(Tid T, SyncId S);
+
+  /// Joins sync var \p From's clock into \p To without involving any
+  /// goroutine — used when buffered channel machinery moves a parked
+  /// sender's publication into a buffer slot on its behalf.
+  void transferSync(SyncId From, SyncId To);
+
+  /// Mutex bookkeeping for the lock-set algorithm. \p WriteMode is true
+  /// for Lock/Unlock and false for RLock/RUnlock. These do NOT create HB
+  /// edges by themselves; the runtime pairs them with acquire()/release*().
+  void lockAcquired(Tid T, SyncId S, bool WriteMode);
+  void lockReleased(Tid T, SyncId S, bool WriteMode);
+
+  /// \returns the set of (write-mode) locks currently held by \p T.
+  LockSetId heldWriteLocks(Tid T) const;
+  /// \returns all locks (read- or write-mode) currently held by \p T.
+  LockSetId heldAllLocks(Tid T) const;
+
+  //===------------------------------------------------------------------===//
+  // Call-chain maintenance
+  //===------------------------------------------------------------------===//
+
+  /// Builds an interned frame.
+  Frame makeFrame(const std::string &Function, const std::string &File,
+                  uint32_t Line);
+
+  /// Pushes/pops \p T's current call chain (root first).
+  void pushFrame(Tid T, const Frame &F);
+  void popFrame(Tid T);
+
+  /// Updates the line number of \p T's innermost frame (statement-level
+  /// positions inside one function).
+  void setLine(Tid T, uint32_t Line);
+
+  const CallChain &currentChain(Tid T) const;
+
+  //===------------------------------------------------------------------===//
+  // Memory accesses
+  //===------------------------------------------------------------------===//
+
+  /// Instrumented read of \p A by \p T. \p Name optionally labels the
+  /// object for reports. \returns true if a race was reported.
+  bool onRead(Tid T, Addr A, const std::string &Name = std::string());
+
+  /// Instrumented write; see onRead().
+  bool onWrite(Tid T, Addr A, const std::string &Name = std::string());
+
+  //===------------------------------------------------------------------===//
+  // Results
+  //===------------------------------------------------------------------===//
+
+  /// Installs a callback invoked at each report, in addition to the
+  /// internal report list.
+  void setReportSink(ReportSink Sink) { Sink_ = std::move(Sink); }
+
+  const std::vector<RaceReport> &reports() const { return Reports; }
+  const DetectorStats &stats() const { return Stats; }
+
+  StringInterner &interner() { return Interner; }
+  const StringInterner &interner() const { return Interner; }
+
+  LockSetRegistry &lockSets() { return LockSets; }
+
+  /// Direct read of \p T's vector clock (tests and diagnostics).
+  const VectorClock &clockOf(Tid T) const;
+
+  /// \returns true if the detector has a shadow cell for \p A; primarily
+  /// for tests.
+  bool hasShadow(Addr A) const;
+
+private:
+  struct ThreadState;
+  struct ShadowCell;
+
+  ThreadState &thread(Tid T);
+  const ThreadState &thread(Tid T) const;
+  ShadowCell &shadowCell(Addr A);
+
+  void emitReport(RaceReport Report, ShadowCell &Cell);
+  bool checkHbRead(Tid T, Addr A, ShadowCell &Cell);
+  bool checkHbWrite(Tid T, Addr A, ShadowCell &Cell);
+  bool applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell);
+  AccessSnapshot snapshotCurrent(Tid T, AccessKind Kind) const;
+
+  DetectorOptions Opts;
+  std::vector<ThreadState> Threads;
+  std::vector<VectorClock> SyncClocks;
+  std::vector<std::string> SyncNames;
+  std::unordered_map<Addr, ShadowCell> Shadow;
+  LockSetRegistry LockSets;
+  StringInterner Interner;
+  std::vector<RaceReport> Reports;
+  ReportSink Sink_;
+  DetectorStats Stats;
+};
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_DETECTOR_H

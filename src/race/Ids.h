@@ -1,0 +1,69 @@
+//===- race/Ids.h - Core identifier types for race detection ----*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier vocabulary shared across the detector: goroutine ids, logical
+/// clocks, FastTrack epochs, synchronization-object ids, and shadowed
+/// memory addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_IDS_H
+#define GRS_RACE_IDS_H
+
+#include <cstdint>
+
+namespace grs {
+namespace race {
+
+/// Goroutine (logical thread) identifier. Goroutine 0 is the main
+/// goroutine of a program under test.
+using Tid = uint32_t;
+
+/// Scalar logical clock value within one goroutine's component.
+using Clock = uint32_t;
+
+/// Identifier of a synchronization object (mutex, channel, WaitGroup
+/// generation, ...). Allocated by the detector via newSyncVar().
+using SyncId = uint32_t;
+
+/// Shadowed memory address. Runtime objects use their real address; purely
+/// synthetic workloads may use arbitrary distinct integers.
+using Addr = uint64_t;
+
+/// Invalid/sentinel values.
+inline constexpr Tid InvalidTid = ~static_cast<Tid>(0);
+inline constexpr SyncId InvalidSyncId = ~static_cast<SyncId>(0);
+
+/// Kind of a shadowed memory access.
+enum class AccessKind : uint8_t { Read, Write };
+
+/// \returns a short human-readable name for \p Kind.
+inline const char *accessKindName(AccessKind Kind) {
+  return Kind == AccessKind::Read ? "read" : "write";
+}
+
+/// A FastTrack epoch: one (goroutine, clock) component, the compressed
+/// representation of "the last access was by Tid at time Clock".
+struct Epoch {
+  Tid Id = InvalidTid;
+  Clock Time = 0;
+
+  bool valid() const { return Id != InvalidTid; }
+
+  friend bool operator==(const Epoch &A, const Epoch &B) {
+    return A.Id == B.Id && A.Time == B.Time;
+  }
+};
+
+/// Sentinel epoch denoting "no such access yet".
+inline constexpr Epoch BottomEpoch{};
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_IDS_H

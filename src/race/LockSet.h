@@ -1,0 +1,89 @@
+//===- race/LockSet.h - Eraser-style lock-set tracking ----------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned lock sets and the Eraser state machine [76]. The Go race
+/// detector's ThreadSanitizer runtime "uses a combination of lock-sets and
+/// HB based algorithms" (paper §3.1); this module supplies the lock-set
+/// half, which the Detector runs alongside (or instead of) vector clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_LOCKSET_H
+#define GRS_RACE_LOCKSET_H
+
+#include "race/Ids.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace race {
+
+/// Id of an interned lock set. Id 0 is always the empty set.
+using LockSetId = uint32_t;
+
+/// Hash-consing registry of lock sets, so shadow cells store a 32-bit id
+/// instead of a vector, and intersections of common sets are memoized.
+class LockSetRegistry {
+public:
+  LockSetRegistry();
+
+  /// The id of the empty set.
+  static constexpr LockSetId EmptyId = 0;
+
+  /// \returns the id of \p Set (sorted, deduplicated internally).
+  LockSetId intern(std::vector<SyncId> Locks);
+
+  /// \returns the id of Set(A) with \p Lock added.
+  LockSetId withLock(LockSetId A, SyncId Lock);
+
+  /// \returns the id of Set(A) with \p Lock removed.
+  LockSetId withoutLock(LockSetId A, SyncId Lock);
+
+  /// \returns the id of Set(A) intersected with Set(B) (memoized).
+  LockSetId intersect(LockSetId A, LockSetId B);
+
+  /// \returns the locks in Set(\p Id), sorted ascending.
+  const std::vector<SyncId> &locks(LockSetId Id) const;
+
+  bool isEmpty(LockSetId Id) const { return Id == EmptyId; }
+
+  bool contains(LockSetId Id, SyncId Lock) const;
+
+  size_t numInternedSets() const { return Sets.size(); }
+
+  /// Debug rendering like "{m1, m7}".
+  std::string str(LockSetId Id) const;
+
+private:
+  std::vector<std::vector<SyncId>> Sets;
+  std::map<std::vector<SyncId>, LockSetId> Index;
+  std::map<std::pair<LockSetId, LockSetId>, LockSetId> IntersectMemo;
+};
+
+/// Eraser per-variable ownership state [76]: a variable starts Virgin,
+/// becomes Exclusive to its first thread, Shared once a second thread
+/// reads it, and SharedModified once a second thread writes; candidate
+/// lock sets are only refined (and emptiness only reported) in the shared
+/// states, which suppresses initialization false positives.
+enum class EraserState : uint8_t {
+  Virgin,
+  Exclusive,
+  Shared,
+  SharedModified,
+};
+
+/// \returns a printable name for \p State.
+const char *eraserStateName(EraserState State);
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_LOCKSET_H

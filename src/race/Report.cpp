@@ -1,0 +1,44 @@
+//===- race/Report.cpp - Data race reports --------------------------------===//
+
+#include "race/Report.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace grs::race;
+
+static void printAccess(std::ostream &OS, const StringInterner &Interner,
+                        const AccessSnapshot &Access, const char *Label) {
+  OS << "  " << Label << ' ' << accessKindName(Access.Kind)
+     << " by goroutine " << Access.Goroutine << " (clock " << Access.Time
+     << "):\n";
+  // Leaf (innermost) frame first, like a stack trace.
+  for (size_t I = Access.Chain.size(); I > 0; --I) {
+    const Frame &F = Access.Chain[I - 1];
+    OS << "      " << Interner.text(F.Function) << "()\n"
+       << "          " << Interner.text(F.File) << ':' << F.Line << '\n';
+  }
+}
+
+void grs::race::printReport(std::ostream &OS, const StringInterner &Interner,
+                            const RaceReport &Report) {
+  OS << "==================\n";
+  OS << "WARNING: DATA RACE";
+  if (Report.Evidence == RaceEvidence::LockSetEmpty)
+    OS << " (lock-set evidence; may be benign)";
+  OS << '\n';
+  OS << "  address 0x" << std::hex << Report.Address << std::dec;
+  if (!Report.VariableName.empty())
+    OS << " (" << Report.VariableName << ')';
+  OS << '\n';
+  printAccess(OS, Interner, Report.Current, "Conflicting");
+  printAccess(OS, Interner, Report.Previous, "Previous");
+  OS << "==================\n";
+}
+
+std::string grs::race::reportToString(const StringInterner &Interner,
+                                      const RaceReport &Report) {
+  std::ostringstream OS;
+  printReport(OS, Interner, Report);
+  return OS.str();
+}

@@ -1,0 +1,75 @@
+//===- race/Report.h - Data race reports ------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race reports in the shape the paper's pipeline consumes (§3.3): "(1) the
+/// conflicting memory address, (2) two call chains of the two conflicting
+/// accesses, and (3) the memory access types (read or a write) associated
+/// with each access."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_REPORT_H
+#define GRS_RACE_REPORT_H
+
+#include "race/Ids.h"
+#include "race/Source.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace grs {
+namespace race {
+
+/// How the detector concluded the two accesses conflict.
+enum class RaceEvidence : uint8_t {
+  /// The two accesses are unordered by happens-before (vector clocks).
+  HappensBefore,
+  /// The candidate lock set of the variable became empty (Eraser). May be
+  /// a false positive if ordering was established by non-lock synchronization.
+  LockSetEmpty,
+};
+
+/// One side of a race: a snapshot of a memory access.
+struct AccessSnapshot {
+  AccessKind Kind = AccessKind::Read;
+  Tid Goroutine = 0;
+  Clock Time = 0;
+  CallChain Chain;
+};
+
+/// A detected data race on one memory location.
+struct RaceReport {
+  Addr Address = 0;
+  /// Optional developer-facing name of the raced object ("myResults",
+  /// "errMap.structure", ...). Empty if unnamed.
+  std::string VariableName;
+  /// The earlier (previous) access in detector observation order.
+  AccessSnapshot Previous;
+  /// The access that completed the race.
+  AccessSnapshot Current;
+  RaceEvidence Evidence = RaceEvidence::HappensBefore;
+
+  bool isWriteWrite() const {
+    return Previous.Kind == AccessKind::Write &&
+           Current.Kind == AccessKind::Write;
+  }
+};
+
+/// Renders \p Report in the style of the Go race detector's "WARNING: DATA
+/// RACE" block.
+void printReport(std::ostream &OS, const StringInterner &Interner,
+                 const RaceReport &Report);
+
+/// \returns printReport() output as a string.
+std::string reportToString(const StringInterner &Interner,
+                           const RaceReport &Report);
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_REPORT_H

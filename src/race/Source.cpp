@@ -1,0 +1,37 @@
+//===- race/Source.cpp - Interned call chains for race reports ------------===//
+
+#include "race/Source.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace grs::race;
+
+StrId StringInterner::intern(const std::string &Text) {
+  auto Found = Index.find(Text);
+  if (Found != Index.end())
+    return Found->second;
+  StrId Id = static_cast<StrId>(Texts.size());
+  Texts.push_back(Text);
+  Index.emplace(Text, Id);
+  return Id;
+}
+
+const std::string &StringInterner::text(StrId Id) const {
+  assert(Id < Texts.size() && "unknown interned string id");
+  return Texts[Id];
+}
+
+std::string grs::race::formatChain(const StringInterner &Interner,
+                                   const CallChain &Chain, bool WithLines) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Chain.size(); ++I) {
+    if (I)
+      OS << " -> ";
+    OS << Interner.text(Chain[I].Function) << "()";
+    if (WithLines)
+      OS << " [" << Interner.text(Chain[I].File) << ':' << Chain[I].Line
+         << ']';
+  }
+  return OS.str();
+}

@@ -1,0 +1,55 @@
+//===- race/VectorClock.cpp - Vector clocks for happens-before ------------===//
+
+#include "race/VectorClock.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace grs::race;
+
+void VectorClock::set(Tid T, Clock Value) {
+  if (T >= Components.size())
+    Components.resize(T + 1, 0);
+  Components[T] = Value;
+}
+
+void VectorClock::joinWith(const VectorClock &Other) {
+  if (Other.Components.size() > Components.size())
+    Components.resize(Other.Components.size(), 0);
+  for (size_t I = 0; I < Other.Components.size(); ++I)
+    Components[I] = std::max(Components[I], Other.Components[I]);
+}
+
+bool VectorClock::coversAll(const VectorClock &Other) const {
+  for (size_t I = 0; I < Other.Components.size(); ++I)
+    if (Other.Components[I] > get(static_cast<Tid>(I)))
+      return false;
+  return true;
+}
+
+Tid VectorClock::firstUncovered(const VectorClock &Other) const {
+  for (size_t I = 0; I < Other.Components.size(); ++I)
+    if (Other.Components[I] > get(static_cast<Tid>(I)))
+      return static_cast<Tid>(I);
+  return InvalidTid;
+}
+
+std::string VectorClock::str() const {
+  std::ostringstream OS;
+  OS << '[';
+  for (size_t I = 0; I < Components.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Components[I];
+  }
+  OS << ']';
+  return OS.str();
+}
+
+bool grs::race::operator==(const VectorClock &A, const VectorClock &B) {
+  size_t Max = std::max(A.Components.size(), B.Components.size());
+  for (size_t I = 0; I < Max; ++I)
+    if (A.get(static_cast<Tid>(I)) != B.get(static_cast<Tid>(I)))
+      return false;
+  return true;
+}

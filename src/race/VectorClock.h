@@ -1,0 +1,82 @@
+//===- race/VectorClock.h - Vector clocks for happens-before ----*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks tracking the happens-before partial order among
+/// goroutines, as used by the Go race detector's ThreadSanitizer runtime
+/// (paper §3.1; FastTrack [44], Lamport [51]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_VECTORCLOCK_H
+#define GRS_RACE_VECTORCLOCK_H
+
+#include "race/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace race {
+
+/// A dense vector clock: component \c get(T) is the latest clock value of
+/// goroutine T known to the owner. Components default to zero, and the
+/// representation only grows to the highest touched goroutine id.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  /// \returns the component for goroutine \p T (zero if never set).
+  Clock get(Tid T) const {
+    return T < Components.size() ? Components[T] : 0;
+  }
+
+  /// Sets the component for goroutine \p T to \p Value.
+  void set(Tid T, Clock Value);
+
+  /// Increments the component for goroutine \p T by one.
+  void tick(Tid T) { set(T, get(T) + 1); }
+
+  /// Element-wise maximum with \p Other (the join of the two clocks).
+  void joinWith(const VectorClock &Other);
+
+  /// \returns true if epoch \p E happens-before (or equals) this clock,
+  /// i.e. E.Time <= get(E.Id). The FastTrack "E <= C" test.
+  bool covers(const Epoch &E) const {
+    return E.valid() && E.Time <= get(E.Id);
+  }
+
+  /// \returns true if every component of \p Other is <= this clock.
+  bool coversAll(const VectorClock &Other) const;
+
+  /// \returns the goroutine id of some component of \p Other that is NOT
+  /// covered by this clock, or InvalidTid if all are covered. Used to name
+  /// the offending previous reader in read-write race reports.
+  Tid firstUncovered(const VectorClock &Other) const;
+
+  /// Clears all components to zero.
+  void clear() { Components.clear(); }
+
+  /// Number of allocated components (highest touched tid + 1).
+  size_t size() const { return Components.size(); }
+
+  /// Debug rendering like "[3, 0, 7]".
+  std::string str() const;
+
+  friend bool operator==(const VectorClock &A, const VectorClock &B);
+
+private:
+  std::vector<Clock> Components;
+};
+
+/// Component-wise equality (missing components compare as zero).
+bool operator==(const VectorClock &A, const VectorClock &B);
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_VECTORCLOCK_H

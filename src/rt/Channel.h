@@ -1,0 +1,267 @@
+//===- rt/Channel.h - Go channels -------------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go channels with buffered, unbuffered (rendezvous), and closed
+/// semantics, plus the happens-before edges the Go memory model assigns
+/// them (paper §1: "a send event on a channel by a goroutine is considered
+/// to happen before the corresponding receive event on the same channel").
+///
+/// Happens-before modelling mirrors Go's slot-precise race
+/// instrumentation:
+///
+///  * Buffered channels keep one sync var PER BUFFER SLOT. A send into
+///    slot i acquires then merge-releases Slot[i]; the receive of that
+///    slot does the same. Slot reuse therefore yields exactly Go's
+///    guarantees — send k happens-before receive k, and receive k
+///    happens-before send k+C completes — without ordering unrelated
+///    senders (or unrelated receivers) against each other.
+///  * Rendezvous (and full-buffer parking) uses a PER-SEND pair of sync
+///    vars carried in the parked-sender node, so each pairing is ordered
+///    pairwise: send happens-before the matching receive, and the receive
+///    happens-before the send completes.
+///  * close() merge-releases a dedicated CloseSync acquired by every
+///    receive that observes the close.
+///
+/// A send on a closed channel and a close of a closed channel panic, as in
+/// Go. A goroutine blocked forever on a channel is reported as leaked by
+/// the runtime — Listing 9's "may block forever!" Future bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_CHANNEL_H
+#define GRS_RT_CHANNEL_H
+
+#include "rt/Runtime.h"
+#include "rt/WaiterList.h"
+
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace grs {
+namespace rt {
+
+/// The empty struct{} payload for pure-signalling channels.
+struct Unit {};
+
+/// A Go channel carrying values of type \p T. \p T must be movable and
+/// default-constructible (the zero value returned by a receive on a
+/// closed, drained channel).
+template <typename T> class Chan {
+public:
+  /// Creates a channel with capacity \p Cap (0 = unbuffered/rendezvous).
+  explicit Chan(size_t Cap = 0, std::string Name = "chan")
+      : Capacity(Cap), Name(std::move(Name)),
+        CloseSync(Runtime::current().det().newSyncVar(this->Name +
+                                                      ".close")) {
+    race::Detector &D = Runtime::current().det();
+    SlotSync.reserve(Capacity);
+    for (size_t I = 0; I < Capacity; ++I)
+      SlotSync.push_back(
+          D.newSyncVar(this->Name + ".slot" + std::to_string(I)));
+  }
+
+  Chan(const Chan &) = delete;
+  Chan &operator=(const Chan &) = delete;
+
+  /// `ch <- v`. Blocks until the value is buffered or handed to a
+  /// receiver. Panics if the channel is (or becomes) closed.
+  void send(T Value) {
+    Runtime::current().preemptPoint();
+    sendNow(std::move(Value));
+  }
+
+  /// `v, ok := <-ch`. Blocks until a value or close is available.
+  /// \returns {value, true}, or {T(), false} if closed and drained.
+  std::pair<T, bool> recv() {
+    Runtime::current().preemptPoint();
+    return recvNow();
+  }
+
+  /// `v := <-ch` sugar.
+  T recvValue() { return recv().first; }
+
+  /// close(ch). Panics on double close. Wakes every blocked sender
+  /// (which panics) and receiver (which observes the close).
+  void close() {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    if (Closed)
+      RT.panicNow("close of closed channel (" + Name + ")");
+    RT.det().releaseMerge(RT.tid(), CloseSync);
+    Closed = true;
+    Waiters.wakeAll();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Select support (see rt/Select.h). *Now variants must only be called
+  // when the corresponding *Ready predicate holds; they do not insert a
+  // preemption point between the readiness check and the operation.
+  //===------------------------------------------------------------------===//
+
+  /// True if a receive would not block: buffered value, parked sender, or
+  /// observed close.
+  bool recvReady() const {
+    return !Buffer.empty() || !PendingSends.empty() || Closed;
+  }
+
+  /// True if a send would complete promptly: buffer space, a parked
+  /// receiver, or closed (in which case performing it panics, as Go's
+  /// select does).
+  bool sendReady() const {
+    return Closed || Buffer.size() < Capacity || RecvWaiting > 0;
+  }
+
+  /// Receive without a leading preemption point.
+  std::pair<T, bool> recvNow() {
+    Runtime &RT = Runtime::current();
+    for (;;) {
+      if (!Buffer.empty()) {
+        // Slot handoff: the send into this slot happens-before this
+        // receive; this receive happens-before the slot's next send.
+        race::SyncId Slot = SlotSync[RecvIdx % Capacity];
+        ++RecvIdx;
+        RT.det().acquire(RT.tid(), Slot);
+        T Value = std::move(Buffer.front());
+        Buffer.pop_front();
+        RT.det().releaseMerge(RT.tid(), Slot);
+        promotePendingSends();
+        Waiters.wakeAll();
+        return {std::move(Value), true};
+      }
+      if (Closed) {
+        RT.det().acquire(RT.tid(), CloseSync);
+        return {T(), false};
+      }
+      if (!PendingSends.empty()) {
+        // Rendezvous: take the value directly from a parked sender, with
+        // pairwise HB through the node's sync vars.
+        PendingSend *Node = PendingSends.front();
+        PendingSends.pop_front();
+        RT.det().acquire(RT.tid(), Node->SendSync);
+        T Value = std::move(Node->Value);
+        Node->Consumed = true;
+        RT.det().releaseMerge(RT.tid(), Node->RecvSync);
+        RT.unblock(Node->Sender);
+        return {std::move(Value), true};
+      }
+      if (RT.aborting())
+        return {T(), false};
+      ++RecvWaiting;
+      Waiters.park("chan receive");
+      --RecvWaiting;
+    }
+  }
+
+  /// Send without a leading preemption point.
+  void sendNow(T Value) {
+    Runtime &RT = Runtime::current();
+    if (Closed)
+      RT.panicNow("send on closed channel (" + Name + ")");
+    if (Buffer.size() < Capacity) {
+      // Slot handoff: ordered after the slot's previous receive (Go's
+      // "receive k happens-before send k+C completes"), ordered before
+      // the slot's next receive.
+      race::SyncId Slot = SlotSync[SendIdx % Capacity];
+      ++SendIdx;
+      RT.det().acquire(RT.tid(), Slot);
+      RT.det().releaseMerge(RT.tid(), Slot);
+      Buffer.push_back(std::move(Value));
+      Waiters.wakeAll();
+      return;
+    }
+    // No space: park with the value until a receiver consumes it (covers
+    // the unbuffered rendezvous and the full-buffer cases). The node
+    // carries its own sync pair so pairing is ordered pairwise.
+    PendingSend Node{RT.tid(), std::move(Value), false,
+                     RT.det().newSyncVar(Name + ".pend.s"),
+                     RT.det().newSyncVar(Name + ".pend.r")};
+    RT.det().releaseMerge(RT.tid(), Node.SendSync);
+    PendingSends.push_back(&Node);
+    Waiters.wakeAll();
+    while (!Node.Consumed) {
+      if (Closed) {
+        removePending(&Node);
+        RT.panicNow("send on closed channel (" + Name + ")");
+      }
+      if (RT.aborting()) {
+        removePending(&Node);
+        return;
+      }
+      Waiters.park("chan send");
+    }
+    // This send blocked: its completion happens-after the receive (or
+    // slot promotion) that unblocked it.
+    RT.det().acquire(RT.tid(), Node.RecvSync);
+  }
+
+  /// Parked goroutines (receivers, senders, selects) on this channel.
+  WaiterList &waiters() { return Waiters; }
+
+  size_t len() const { return Buffer.size(); }
+  size_t cap() const { return Capacity; }
+  bool closed() const { return Closed; }
+  const std::string &name() const { return Name; }
+
+private:
+  struct PendingSend {
+    race::Tid Sender;
+    T Value;
+    bool Consumed;
+    race::SyncId SendSync;
+    race::SyncId RecvSync;
+  };
+
+  /// Moves parked senders' values into freed buffer space, transferring
+  /// their publication into the slot and recording the freeing
+  /// receiver's clock as the senders' completion edge.
+  void promotePendingSends() {
+    Runtime &RT = Runtime::current();
+    while (!PendingSends.empty() && Buffer.size() < Capacity) {
+      PendingSend *Node = PendingSends.front();
+      PendingSends.pop_front();
+      race::SyncId Slot = SlotSync[SendIdx % Capacity];
+      ++SendIdx;
+      // The parked sender's pre-send writes flow into the slot; the
+      // promoting receiver's clock orders the slot after the freeing
+      // receive and completes the sender.
+      RT.det().transferSync(Node->SendSync, Slot);
+      RT.det().releaseMerge(RT.tid(), Slot);
+      RT.det().releaseMerge(RT.tid(), Node->RecvSync);
+      Buffer.push_back(std::move(Node->Value));
+      Node->Consumed = true;
+      RT.unblock(Node->Sender);
+    }
+  }
+
+  void removePending(PendingSend *Node) {
+    for (auto It = PendingSends.begin(); It != PendingSends.end(); ++It) {
+      if (*It == Node) {
+        PendingSends.erase(It);
+        return;
+      }
+    }
+  }
+
+  size_t Capacity;
+  std::string Name;
+  race::SyncId CloseSync;
+  std::vector<race::SyncId> SlotSync;
+  uint64_t SendIdx = 0;
+  uint64_t RecvIdx = 0;
+  std::deque<T> Buffer;
+  std::deque<PendingSend *> PendingSends;
+  bool Closed = false;
+  size_t RecvWaiting = 0;
+  WaiterList Waiters;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_CHANNEL_H

@@ -1,0 +1,81 @@
+//===- rt/Cond.h - sync.Cond ------------------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's sync.Cond: a condition variable tied to a Locker. The paper's
+/// related-work section notes Go developers "rarely, if at all, use their
+/// own synchronization but liberally use Go's Mutex locks and condition
+/// variables" — so the runtime supplies the real thing.
+///
+/// Semantics follow Go: Wait() atomically unlocks the associated mutex and
+/// parks; on wakeup it re-locks before returning. Callers re-check their
+/// condition in a loop, as Go requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_COND_H
+#define GRS_RT_COND_H
+
+#include "rt/Runtime.h"
+#include "rt/Sync.h"
+#include "rt/WaiterList.h"
+
+#include <string>
+
+namespace grs {
+namespace rt {
+
+/// sync.Cond bound to a Mutex.
+class Cond {
+public:
+  explicit Cond(Mutex &L, std::string Name = "cond")
+      : L(L), Name(std::move(Name)),
+        Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+  Cond(const Cond &) = delete;
+  Cond &operator=(const Cond &) = delete;
+
+  /// cond.Wait(): caller must hold the lock. Unlocks, parks until a
+  /// Signal/Broadcast, re-locks, returns. Spurious wakeups possible, as
+  /// in Go: always wait in a condition loop.
+  void wait() {
+    Runtime &RT = Runtime::current();
+    if (!L.heldByCurrent())
+      RT.panicNow("sync: Wait on Cond without holding its Locker (" + Name +
+                  ")");
+    L.unlock();
+    Waiters.park("Cond.Wait");
+    if (RT.aborting())
+      return;
+    L.lock();
+    // A signaller's pre-Signal writes happen-before Wait returning.
+    RT.det().acquire(RT.tid(), Sync);
+  }
+
+  /// cond.Signal(): wakes one waiter (here: all waiters re-check — a
+  /// sound over-approximation of Go's "one", since Go permits spurious
+  /// wakeups via racing Signals anyway).
+  void signal() {
+    Runtime &RT = Runtime::current();
+    RT.det().releaseMerge(RT.tid(), Sync);
+    Waiters.wakeAll();
+  }
+
+  /// cond.Broadcast(): wakes every waiter.
+  void broadcast() { signal(); }
+
+private:
+  Mutex &L;
+  std::string Name;
+  race::SyncId Sync;
+  WaiterList Waiters;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_COND_H

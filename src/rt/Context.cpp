@@ -1,0 +1,43 @@
+//===- rt/Context.cpp - Go context package ---------------------------------===//
+
+#include "rt/Context.h"
+
+using namespace grs;
+using namespace grs::rt;
+
+Context Context::background() {
+  return Context(std::make_shared<State>("ctx.background"));
+}
+
+void Context::cancelState(const std::shared_ptr<State> &S,
+                          const std::string &Reason) {
+  if (S->Cancelled)
+    return;
+  S->Cancelled = true;
+  S->Err = Reason;
+  S->Done.close();
+}
+
+std::pair<Context, std::function<void()>>
+Context::withCancel(const Context &Parent) {
+  (void)Parent; // Single-level contexts; see DESIGN.md.
+  auto S = std::make_shared<State>("ctx.cancel");
+  auto Cancel = [S] { cancelState(S, "context canceled"); };
+  return {Context(S), Cancel};
+}
+
+std::pair<Context, std::function<void()>>
+Context::withTimeout(const Context &Parent, uint64_t Steps) {
+  (void)Parent;
+  auto S = std::make_shared<State>("ctx.timeout");
+  Runtime &RT = Runtime::current();
+  uint64_t Deadline = RT.stepCount() + Steps;
+  RT.go("context.timer", [S, Deadline] {
+    Runtime &Inner = Runtime::current();
+    Inner.sleepUntilStep(Deadline);
+    if (!Inner.aborting())
+      cancelState(S, "context deadline exceeded");
+  });
+  auto Cancel = [S] { cancelState(S, "context canceled"); };
+  return {Context(S), Cancel};
+}

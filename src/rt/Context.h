@@ -1,0 +1,75 @@
+//===- rt/Context.h - Go context package ------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's context package: "Contexts in Go carry deadlines, cancelation
+/// signals, and other request-scoped values across API boundaries ...
+/// This is a common pattern in microservices where timelines are set for
+/// tasks" (paper §4.6). Deadlines are expressed in the runtime's virtual
+/// time (scheduler steps); a hidden timer goroutine closes the Done
+/// channel at the deadline, exactly the broadcast mechanism Go uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_CONTEXT_H
+#define GRS_RT_CONTEXT_H
+
+#include "rt/Channel.h"
+#include "rt/Runtime.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace grs {
+namespace rt {
+
+/// A cancellable context handle (copyable, like Go's interface value).
+class Context {
+public:
+  /// context.Background(): never cancelled.
+  static Context background();
+
+  /// context.WithCancel(): \returns the child context and its cancel
+  /// function. The cancel function must be invoked from a goroutine.
+  static std::pair<Context, std::function<void()>>
+  withCancel(const Context &Parent);
+
+  /// context.WithTimeout(): cancels automatically after \p Steps units of
+  /// virtual time. Also returns the explicit cancel function.
+  static std::pair<Context, std::function<void()>>
+  withTimeout(const Context &Parent, uint64_t Steps);
+
+  /// ctx.Done(): closed when the context is cancelled or times out.
+  Chan<Unit> &doneChan() const { return S->Done; }
+
+  /// ctx.Err(): empty until cancelled, then "context canceled" or
+  /// "context deadline exceeded".
+  std::string err() const { return S->Err; }
+
+  bool cancelled() const { return S->Cancelled; }
+
+private:
+  struct State {
+    explicit State(const std::string &Name) : Done(0, Name) {}
+    Chan<Unit> Done;
+    bool Cancelled = false;
+    std::string Err;
+  };
+
+  explicit Context(std::shared_ptr<State> S) : S(std::move(S)) {}
+
+  static void cancelState(const std::shared_ptr<State> &S,
+                          const std::string &Reason);
+
+  std::shared_ptr<State> S;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_CONTEXT_H

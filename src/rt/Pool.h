@@ -1,0 +1,76 @@
+//===- rt/Pool.h - sync.Pool ------------------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's sync.Pool: a free-list of reusable objects. Correct use is
+/// race-free: Put() releases into the pool's sync var and Get() acquires,
+/// so the previous owner's writes happen-before the next owner's reads.
+/// The classic MISUSE — putting an object back while still holding and
+/// mutating a reference to it — races with the next Get()er, which the
+/// corpus's "pool-use-after-put" pattern reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_POOL_H
+#define GRS_RT_POOL_H
+
+#include "rt/Runtime.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace rt {
+
+/// sync.Pool of shared_ptr<T> objects with a New factory.
+template <typename T> class Pool {
+public:
+  explicit Pool(std::function<std::shared_ptr<T>()> New,
+                std::string Name = "pool")
+      : Name(std::move(Name)), New(std::move(New)),
+        Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+  Pool(const Pool &) = delete;
+  Pool &operator=(const Pool &) = delete;
+
+  /// p.Get(): a pooled object (the previous Put()ter's writes are
+  /// visible and ordered) or a fresh one from New.
+  std::shared_ptr<T> get() {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    if (Items.empty())
+      return New();
+    RT.det().acquire(RT.tid(), Sync);
+    std::shared_ptr<T> Item = std::move(Items.back());
+    Items.pop_back();
+    return Item;
+  }
+
+  /// p.Put(obj): returns \p Item to the pool. The caller must not touch
+  /// the object afterwards — doing so is the use-after-put race.
+  void put(std::shared_ptr<T> Item) {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    RT.det().releaseMerge(RT.tid(), Sync);
+    Items.push_back(std::move(Item));
+  }
+
+  size_t idle() const { return Items.size(); }
+
+private:
+  std::string Name;
+  std::function<std::shared_ptr<T>()> New;
+  race::SyncId Sync;
+  std::vector<std::shared_ptr<T>> Items;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_POOL_H

@@ -1,0 +1,322 @@
+//===- rt/Runtime.cpp - Go-like deterministic concurrency runtime ---------===//
+
+#include "rt/Runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <ucontext.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+//===----------------------------------------------------------------------===//
+// Goroutine bookkeeping
+//===----------------------------------------------------------------------===//
+
+namespace {
+enum class GState : uint8_t {
+  NeverStarted,
+  Runnable,
+  Running,
+  Blocked,
+  Sleeping,
+  Finished,
+};
+} // namespace
+
+struct Runtime::Goroutine {
+  race::Tid Id = 0;
+  std::string Name;
+  GState State = GState::NeverStarted;
+  std::function<void()> Body;
+  std::unique_ptr<char[]> Stack;
+  ucontext_t Ctx;
+  uint64_t WakeStep = 0;
+  const char *BlockReason = "";
+};
+
+/// The runtime active on this thread, if any.
+static thread_local Runtime *ActiveRuntime = nullptr;
+
+Runtime::Runtime(RunOptions Opts)
+    : Opts(std::move(Opts)),
+      Det(std::make_unique<race::Detector>(this->Opts.Detector)),
+      SchedRng(this->Opts.Seed),
+      SchedCtxStorage(std::make_unique<char[]>(sizeof(ucontext_t))) {
+  if (this->Opts.OnReport)
+    Det->setReportSink([this](const race::RaceReport &Report) {
+      this->Opts.OnReport(*Det, Report);
+    });
+}
+
+Runtime::~Runtime() = default;
+
+Runtime &Runtime::current() {
+  assert(ActiveRuntime && "no runtime active on this thread");
+  return *ActiveRuntime;
+}
+
+Runtime *Runtime::currentOrNull() { return ActiveRuntime; }
+
+static ucontext_t &schedCtx(char *Storage) {
+  return *reinterpret_cast<ucontext_t *>(Storage);
+}
+
+//===----------------------------------------------------------------------===//
+// Fiber entry
+//===----------------------------------------------------------------------===//
+
+void Runtime::fiberTrampoline() { ActiveRuntime->fiberEntry(); }
+
+void Runtime::fiberEntry() {
+  Goroutine &G = *Goroutines[CurrentIndex];
+  Det->pushFrame(G.Id, Det->makeFrame(G.Name, "goroutine", 0));
+  try {
+    G.Body();
+  } catch (GoPanic &P) {
+    Result.Panics.push_back(G.Name + ": panic: " + P.message());
+  } catch (AbortFiber &) {
+    // Teardown unwinding; nothing to record.
+  }
+  // Release captured state eagerly; the Goroutine record outlives the run.
+  G.Body = nullptr;
+  Det->popFrame(G.Id);
+  Det->finish(G.Id);
+  G.State = GState::Finished;
+  swapcontext(&G.Ctx, &schedCtx(SchedCtxStorage.get()));
+  assert(false && "resumed a finished goroutine");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling
+//===----------------------------------------------------------------------===//
+
+RunResult Runtime::run(std::function<void()> Main) {
+  assert(!Running && "Runtime::run() is not reentrant");
+  assert(!ActiveRuntime && "another Runtime is active on this thread");
+  Running = true;
+  ActiveRuntime = this;
+
+  // Goroutine 0: main.
+  auto MainG = std::make_unique<Goroutine>();
+  MainG->Id = Det->newRootGoroutine();
+  MainG->Name = "main";
+  MainG->Body = std::move(Main);
+  MainG->Stack = std::make_unique<char[]>(Opts.StackBytes);
+  Goroutines.push_back(std::move(MainG));
+
+  schedulerLoop();
+  bool MainDone =
+      !Goroutines.empty() && Goroutines[0]->State == GState::Finished;
+
+  // Teardown: unwind every fiber that still has a live stack so captured
+  // objects are destroyed. Parked fibers throw AbortFiber at resumption.
+  Aborting = true;
+  for (int Pass = 0; Pass < 16; ++Pass) {
+    bool AllDone = true;
+    for (size_t I = 0; I < Goroutines.size(); ++I) {
+      Goroutine &G = *Goroutines[I];
+      if (G.State == GState::Blocked || G.State == GState::Sleeping ||
+          G.State == GState::Runnable) {
+        // Only channel/mutex-parked goroutines count as leaks; sleepers
+        // are pending timers and runnables are step-limit casualties.
+        bool Parked = G.State == GState::Blocked;
+        if (Parked && Pass == 0)
+          Result.LeakedGoroutines.push_back(G.Name + " [" + G.BlockReason +
+                                            "]");
+        resumeGoroutine(I);
+        AllDone &= G.State == GState::Finished;
+      } else if (G.State == GState::NeverStarted) {
+        G.Body = nullptr;
+        G.State = GState::Finished;
+      }
+    }
+    if (AllDone)
+      break;
+  }
+
+  Result.MainFinished = MainDone;
+  Result.Steps = Steps;
+  Result.RaceCount = Det->reports().size();
+  ActiveRuntime = nullptr;
+  return Result;
+}
+
+void Runtime::schedulerLoop() {
+  std::vector<size_t> Runnable;
+  for (;;) {
+    if (Steps >= Opts.MaxSteps) {
+      Result.StepLimitHit = true;
+      return;
+    }
+
+    // Wake sleepers whose deadline arrived.
+    uint64_t NearestWake = ~0ULL;
+    bool HaveSleeper = false;
+    for (auto &GPtr : Goroutines) {
+      if (GPtr->State != GState::Sleeping)
+        continue;
+      if (GPtr->WakeStep <= Steps) {
+        GPtr->State = GState::Runnable;
+      } else {
+        HaveSleeper = true;
+        NearestWake = std::min(NearestWake, GPtr->WakeStep);
+      }
+    }
+
+    Runnable.clear();
+    for (size_t I = 0; I < Goroutines.size(); ++I) {
+      GState S = Goroutines[I]->State;
+      if (S == GState::Runnable || S == GState::NeverStarted)
+        Runnable.push_back(I);
+    }
+
+    if (Runnable.empty()) {
+      if (HaveSleeper) {
+        // Idle system: jump virtual time to the next timer.
+        Steps = NearestWake;
+        continue;
+      }
+      // Nothing can ever run again. Main still parked => Go's deadlock.
+      if (!Goroutines.empty() && Goroutines[0]->State == GState::Blocked)
+        Result.Deadlocked = true;
+      return;
+    }
+
+    // The option that would continue the goroutine that just yielded
+    // voluntarily (if it is still runnable): picking anything else is a
+    // preemption in the CHESS sense.
+    size_t ContinueIndex = SIZE_MAX;
+    for (size_t I = 0; I < Runnable.size(); ++I)
+      if (Runnable[I] == CurrentIndex &&
+          Goroutines[CurrentIndex]->State == GState::Runnable)
+        ContinueIndex = I;
+    size_t Pick = Runnable[pickChoice(Runnable.size(), ContinueIndex)];
+    ++Steps;
+    resumeGoroutine(Pick);
+  }
+}
+
+void Runtime::resumeGoroutine(size_t Index) {
+  Goroutine &G = *Goroutines[Index];
+  CurrentIndex = Index;
+  if (G.State == GState::NeverStarted) {
+    getcontext(&G.Ctx);
+    G.Ctx.uc_stack.ss_sp = G.Stack.get();
+    G.Ctx.uc_stack.ss_size = Opts.StackBytes;
+    G.Ctx.uc_link = nullptr;
+    makecontext(&G.Ctx, &Runtime::fiberTrampoline, 0);
+  }
+  G.State = GState::Running;
+  swapcontext(&schedCtx(SchedCtxStorage.get()), &G.Ctx);
+}
+
+void Runtime::switchToScheduler() {
+  Goroutine &G = *Goroutines[CurrentIndex];
+  swapcontext(&G.Ctx, &schedCtx(SchedCtxStorage.get()));
+  // Resumed by the scheduler.
+  checkAbort();
+}
+
+void Runtime::checkAbort() {
+  // Never throw while another exception is unwinding this fiber (e.g. a
+  // deferred action running a runtime call during teardown): that would
+  // std::terminate(). Such fibers instead observe aborting() in their
+  // blocking loops.
+  if (Aborting && std::uncaught_exceptions() == 0)
+    throw AbortFiber();
+}
+
+//===----------------------------------------------------------------------===//
+// Goroutine interface
+//===----------------------------------------------------------------------===//
+
+race::Tid Runtime::go(const std::string &Name, std::function<void()> Body) {
+  assert(Running && "go() outside of Runtime::run()");
+  auto G = std::make_unique<Goroutine>();
+  G->Id = Det->fork(tid());
+  G->Name = Name;
+  G->Body = std::move(Body);
+  G->Stack = std::make_unique<char[]>(Opts.StackBytes);
+  race::Tid NewTid = G->Id;
+  assert(NewTid == Goroutines.size() && "tid / goroutine index skew");
+  Goroutines.push_back(std::move(G));
+  return NewTid;
+}
+
+race::Tid Runtime::tid() const { return Goroutines[CurrentIndex]->Id; }
+
+void Runtime::preemptPoint() {
+  checkAbort();
+  if (!SchedRng.chance(Opts.PreemptProbability))
+    return;
+  Goroutines[CurrentIndex]->State = GState::Runnable;
+  switchToScheduler();
+}
+
+void Runtime::yieldNow() {
+  checkAbort();
+  Goroutines[CurrentIndex]->State = GState::Runnable;
+  switchToScheduler();
+}
+
+void Runtime::blockCurrent(const char *Reason) {
+  checkAbort();
+  Goroutine &G = *Goroutines[CurrentIndex];
+  G.State = GState::Blocked;
+  G.BlockReason = Reason;
+  switchToScheduler();
+}
+
+void Runtime::unblock(race::Tid T) {
+  assert(T < Goroutines.size() && "unblock() of unknown goroutine");
+  Goroutine &G = *Goroutines[T];
+  if (G.State == GState::Blocked)
+    G.State = GState::Runnable;
+}
+
+void Runtime::sleepUntilStep(uint64_t Step) {
+  checkAbort();
+  Goroutine &G = *Goroutines[CurrentIndex];
+  if (Step <= Steps)
+    return;
+  G.State = GState::Sleeping;
+  G.WakeStep = Step;
+  switchToScheduler();
+}
+
+void Runtime::panicNow(std::string Message) { throw GoPanic(std::move(Message)); }
+
+size_t Runtime::pickChoice(size_t NumChoices, size_t ContinueIndex) {
+  assert(NumChoices > 0 && "pickChoice() with no options");
+  if (NumChoices == 1)
+    return 0;
+  if (Opts.ChoiceHook) {
+    size_t Pick = Opts.ChoiceHook(NumChoices, ContinueIndex);
+    return Pick < NumChoices ? Pick : NumChoices - 1;
+  }
+  return static_cast<size_t>(SchedRng.nextBelow(NumChoices));
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation interface
+//===----------------------------------------------------------------------===//
+
+race::Addr Runtime::allocAddr(size_t Count) {
+  race::Addr Base = NextAddr;
+  NextAddr += Count;
+  return Base;
+}
+
+void Runtime::read(race::Addr A, const std::string &Name) {
+  preemptPoint();
+  if (Opts.DetectRaces)
+    Det->onRead(tid(), A, Name);
+}
+
+void Runtime::write(race::Addr A, const std::string &Name) {
+  preemptPoint();
+  if (Opts.DetectRaces)
+    Det->onWrite(tid(), A, Name);
+}

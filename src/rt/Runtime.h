@@ -1,0 +1,265 @@
+//===- rt/Runtime.h - Go-like deterministic concurrency runtime -*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature Go-like concurrency runtime: goroutines as ucontext fibers
+/// multiplexed onto the calling OS thread by a seed-deterministic
+/// scheduler, with every instrumented memory access doubling as a
+/// potential preemption point.
+///
+/// Why a deterministic runtime? The paper's §3 is entirely about the
+/// consequences of *non-deterministic* dynamic race detection ("the
+/// detected set of races depend on the thread interleavings and can vary
+/// across multiple runs"). Replaying that phenomenology under test
+/// requires controlling it: here every run is a pure function of
+/// (program, seed), so flakiness becomes a seed sweep instead of an OS
+/// scheduling accident, while the happens-before detector observes exactly
+/// the events a real ThreadSanitizer-instrumented Go program would emit.
+///
+/// Execution model:
+///  * `Runtime::run(Main)` runs \p Main as goroutine 0 and schedules until
+///    every goroutine finished, is permanently blocked (leak/deadlock), or
+///    the step limit is hit.
+///  * `go()` spawns a goroutine; the spawn is a happens-before edge.
+///  * Blocking primitives (channels, mutexes, WaitGroups) park the current
+///    fiber; state changes wake all parked waiters, which re-check their
+///    condition (no lost wakeups by construction).
+///  * Virtual time = scheduler steps; timers (used by Context deadlines)
+///    fire on step counts and jump forward when the system would otherwise
+///    idle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_RUNTIME_H
+#define GRS_RT_RUNTIME_H
+
+#include "race/Detector.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace rt {
+
+/// A Go panic ("send on closed channel", negative WaitGroup counter, or a
+/// user panic()). Thrown inside the offending goroutine and recorded on
+/// the RunResult; never escapes Runtime::run().
+class GoPanic {
+public:
+  explicit GoPanic(std::string Message) : Message(std::move(Message)) {}
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Thrown into parked fibers during teardown so their stacks unwind; never
+/// visible to user code (do not catch(...) inside goroutines).
+class AbortFiber {};
+
+/// Scheduler and detector configuration for one run.
+struct RunOptions {
+  /// Seed for all scheduling decisions. A run is a pure function of the
+  /// program and this seed.
+  uint64_t Seed = 1;
+  /// Probability of switching goroutines at each instrumented access.
+  double PreemptProbability = 0.2;
+  /// Guard against livelock: abort after this many scheduling steps.
+  uint64_t MaxSteps = 2'000'000;
+  /// Per-goroutine fiber stack size in bytes.
+  size_t StackBytes = 256 * 1024;
+  /// Detector configuration (mode, throttling, chain retention).
+  race::DetectorOptions Detector;
+  /// When false, memory accesses are not sent to the detector at all --
+  /// the "race detection disabled" baseline for the §3.5 overhead
+  /// experiment.
+  bool DetectRaces = true;
+  /// Optional observer invoked on every race report as it is emitted
+  /// (with the owning detector, for interner access). Lets callers that
+  /// only receive a RunResult — e.g. corpus pattern runners — still
+  /// render or fingerprint the reports.
+  std::function<void(const race::Detector &, const race::RaceReport &)>
+      OnReport;
+  /// Optional deterministic choice hook: when set, EVERY scheduling
+  /// choice point (which runnable goroutine to resume, which ready select
+  /// arm to take) calls it with the number of options and uses the
+  /// returned index (clamped). \p ContinueIndex is the option that
+  /// continues the currently running goroutine (scheduler picks only), or
+  /// SIZE_MAX when no such preference exists (select arms, blocked
+  /// current goroutine) — exploration uses it for CHESS-style preemption
+  /// bounding. When unset, choices come from the seeded RNG. For full
+  /// determinism set PreemptProbability to 0 or 1 so no probabilistic
+  /// coin flips remain.
+  std::function<size_t(size_t NumChoices, size_t ContinueIndex)> ChoiceHook;
+};
+
+/// Outcome of one Runtime::run().
+struct RunResult {
+  /// True if goroutine 0 (main) ran to completion.
+  bool MainFinished = false;
+  /// True if main was still blocked when no goroutine could run: Go's
+  /// "fatal error: all goroutines are asleep - deadlock!".
+  bool Deadlocked = false;
+  /// True if the step limit aborted the run.
+  bool StepLimitHit = false;
+  /// Goroutines (names) still parked when the run ended: leaks, such as
+  /// Listing 9's Future goroutine blocking forever on `f.ch <- 1`.
+  std::vector<std::string> LeakedGoroutines;
+  /// Panic messages from any goroutine.
+  std::vector<std::string> Panics;
+  /// Scheduling steps consumed.
+  uint64_t Steps = 0;
+  /// Number of race reports emitted by the detector.
+  size_t RaceCount = 0;
+
+  bool clean() const {
+    return MainFinished && !Deadlocked && !StepLimitHit &&
+           LeakedGoroutines.empty() && Panics.empty() && RaceCount == 0;
+  }
+};
+
+/// The runtime: one instance per simulated program execution (like one Go
+/// test process). Not reentrant and not thread-safe; all goroutines run on
+/// the thread that called run().
+class Runtime {
+public:
+  explicit Runtime(RunOptions Opts = RunOptions());
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Runs \p Main as goroutine 0 to completion (see file comment).
+  /// May be called once per Runtime.
+  RunResult run(std::function<void()> Main);
+
+  /// The runtime currently executing on this thread. Only valid inside
+  /// run(); used by the Go-like primitives (Chan, Mutex, Shared, ...).
+  static Runtime &current();
+  /// \returns nullptr when no runtime is active on this thread.
+  static Runtime *currentOrNull();
+
+  //===------------------------------------------------------------------===//
+  // Goroutine interface (called from inside goroutines)
+  //===------------------------------------------------------------------===//
+
+  /// Spawns a goroutine running \p Body. \p Name appears in leak
+  /// diagnostics and as the root frame of the goroutine's call chains.
+  race::Tid go(const std::string &Name, std::function<void()> Body);
+
+  /// Id of the running goroutine.
+  race::Tid tid() const;
+
+  /// Possibly switches to another runnable goroutine (probability
+  /// RunOptions::PreemptProbability). Called implicitly by every
+  /// instrumented access.
+  void preemptPoint();
+
+  /// Unconditionally reschedules.
+  void yieldNow();
+
+  /// Parks the current goroutine until some primitive calls wakeAll()/
+  /// unblock() for it. \p Reason appears in leak/deadlock diagnostics.
+  void blockCurrent(const char *Reason);
+
+  /// Makes \p T runnable if it is parked (no-op otherwise).
+  void unblock(race::Tid T);
+
+  /// Parks the current goroutine until virtual time \p Step.
+  void sleepUntilStep(uint64_t Step);
+
+  /// Current virtual time (scheduling steps so far).
+  uint64_t stepCount() const { return Steps; }
+
+  /// Raises a Go panic in the current goroutine.
+  [[noreturn]] void panicNow(std::string Message);
+
+  /// Resolves one nondeterministic choice among \p NumChoices options
+  /// via ChoiceHook when installed, else the seeded RNG. Used by the
+  /// scheduler and by select; custom primitives with nondeterministic
+  /// choices should use it too so exploration can drive them.
+  /// \p ContinueIndex is the non-preempting option (see
+  /// RunOptions::ChoiceHook), SIZE_MAX when none.
+  size_t pickChoice(size_t NumChoices, size_t ContinueIndex = SIZE_MAX);
+
+  //===------------------------------------------------------------------===//
+  // Instrumentation interface
+  //===------------------------------------------------------------------===//
+
+  /// Allocates \p Count fresh virtual shadow addresses. Virtual addresses
+  /// are never reused, so recycled C++ stack/heap storage cannot alias
+  /// stale shadow cells.
+  race::Addr allocAddr(size_t Count = 1);
+
+  /// Instrumented read/write of \p A by the current goroutine: preemption
+  /// point + detector event (when DetectRaces).
+  void read(race::Addr A, const std::string &Name = std::string());
+  void write(race::Addr A, const std::string &Name = std::string());
+
+  race::Detector &det() { return *Det; }
+  const race::Detector &det() const { return *Det; }
+
+  support::Rng &rng() { return SchedRng; }
+
+  const RunOptions &options() const { return Opts; }
+
+  /// True once teardown started; blocking loops re-check and unwind.
+  bool aborting() const { return Aborting; }
+
+private:
+  struct Goroutine;
+  friend struct Goroutine;
+
+  void schedulerLoop();
+  void resumeGoroutine(size_t Index);
+  void switchToScheduler();
+  void fiberEntry();
+  void checkAbort();
+  static void fiberTrampoline();
+
+  RunOptions Opts;
+  std::unique_ptr<race::Detector> Det;
+  support::Rng SchedRng;
+  std::vector<std::unique_ptr<Goroutine>> Goroutines;
+  size_t CurrentIndex = 0;
+  uint64_t Steps = 0;
+  race::Addr NextAddr = 0x1000;
+  bool Running = false;
+  bool Aborting = false;
+  RunResult Result;
+  /// Opaque storage for the scheduler's own ucontext.
+  std::unique_ptr<char[]> SchedCtxStorage;
+};
+
+//===----------------------------------------------------------------------===//
+// Free-function sugar (operate on Runtime::current())
+//===----------------------------------------------------------------------===//
+
+/// Spawns a goroutine on the current runtime (the `go func(){...}()`
+/// statement).
+inline race::Tid go(const std::string &Name, std::function<void()> Body) {
+  return Runtime::current().go(Name, std::move(Body));
+}
+
+/// Voluntary reschedule (runtime.Gosched()).
+inline void gosched() { Runtime::current().yieldNow(); }
+
+/// Convenience: builds a RunOptions with the given seed.
+inline RunOptions withSeed(uint64_t Seed) {
+  RunOptions Opts;
+  Opts.Seed = Seed;
+  return Opts;
+}
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_RUNTIME_H

@@ -1,0 +1,126 @@
+//===- rt/Select.h - Go select statement ------------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's select statement: blocks until at least one arm is ready; when
+/// several are ready, "one is chosen non-deterministically" (paper §4.6
+/// footnote) — here by the seeded scheduler RNG, so the choice is
+/// reproducible per seed. Used by the Listing 9 Future pattern, where a
+/// Wait() selects between the completion channel and ctx.Done().
+///
+/// Usage:
+/// \code
+///   rt::Selector Sel;
+///   Sel.onRecv(DoneCh, [&](rt::Unit, bool) { ... });
+///   Sel.onRecv(Ctx.doneChan(), [&](rt::Unit, bool) { ... });
+///   int Arm = Sel.run(); // index of the arm taken
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_SELECT_H
+#define GRS_RT_SELECT_H
+
+#include "rt/Channel.h"
+#include "rt/Runtime.h"
+
+#include <functional>
+#include <vector>
+
+namespace grs {
+namespace rt {
+
+/// Builder/executor for one select statement.
+class Selector {
+public:
+  /// Adds a `case v, ok := <-Ch:` arm.
+  template <typename T>
+  Selector &onRecv(Chan<T> &Ch, std::function<void(T, bool)> Handler) {
+    Arms.push_back(Arm{
+        [&Ch] { return Ch.recvReady(); },
+        [&Ch, Handler = std::move(Handler)] {
+          auto [Value, Ok] = Ch.recvNow();
+          if (Handler)
+            Handler(std::move(Value), Ok);
+        },
+        &Ch.waiters(),
+    });
+    return *this;
+  }
+
+  /// Adds a `case Ch <- Value:` arm.
+  template <typename T>
+  Selector &onSend(Chan<T> &Ch, T Value,
+                   std::function<void()> After = nullptr) {
+    Arms.push_back(Arm{
+        [&Ch] { return Ch.sendReady(); },
+        [&Ch, Value = std::move(Value), After = std::move(After)]() mutable {
+          Ch.sendNow(std::move(Value));
+          if (After)
+            After();
+        },
+        &Ch.waiters(),
+    });
+    return *this;
+  }
+
+  /// Adds a `default:` arm.
+  Selector &onDefault(std::function<void()> Handler) {
+    Default = std::move(Handler);
+    HasDefault = true;
+    return *this;
+  }
+
+  /// Executes the select. \returns the index of the arm taken (in
+  /// registration order), or -1 for the default arm.
+  int run() {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    std::vector<size_t> Ready;
+    for (;;) {
+      Ready.clear();
+      for (size_t I = 0; I < Arms.size(); ++I)
+        if (Arms[I].IsReady())
+          Ready.push_back(I);
+      if (!Ready.empty()) {
+        // Non-deterministic choice among ready arms: seeded RNG, or the
+        // exploration hook when one drives the run.
+        size_t Pick = Ready[RT.pickChoice(Ready.size())];
+        Arms[Pick].Fire();
+        return static_cast<int>(Pick);
+      }
+      if (HasDefault) {
+        if (Default)
+          Default();
+        return -1;
+      }
+      if (RT.aborting())
+        return -1;
+      // Park on every arm's channel; any state change wakes us and we
+      // re-scan. Stale registrations are benign (wake-all + re-check).
+      for (Arm &A : Arms)
+        A.Waiters->add(RT.tid());
+      RT.blockCurrent("select");
+    }
+  }
+
+private:
+  struct Arm {
+    std::function<bool()> IsReady;
+    std::function<void()> Fire;
+    WaiterList *Waiters;
+  };
+
+  std::vector<Arm> Arms;
+  std::function<void()> Default;
+  bool HasDefault = false;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_SELECT_H

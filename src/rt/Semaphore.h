@@ -1,0 +1,86 @@
+//===- rt/Semaphore.h - Weighted semaphore (x/sync/semaphore) ---*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// golang.org/x/sync/semaphore's Weighted: the bounded-concurrency
+/// primitive microservice handlers use for admission control. Acquire
+/// establishes happens-before from the Releases that freed the capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_SEMAPHORE_H
+#define GRS_RT_SEMAPHORE_H
+
+#include "rt/Runtime.h"
+#include "rt/WaiterList.h"
+
+#include <string>
+
+namespace grs {
+namespace rt {
+
+/// semaphore.NewWeighted(n).
+class Semaphore {
+public:
+  explicit Semaphore(int64_t Capacity, std::string Name = "semaphore")
+      : Name(std::move(Name)), Capacity(Capacity), Available(Capacity),
+        Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+  Semaphore(const Semaphore &) = delete;
+  Semaphore &operator=(const Semaphore &) = delete;
+
+  /// s.Acquire(n): blocks until \p Weight units are available.
+  void acquire(int64_t Weight = 1) {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    if (Weight > Capacity)
+      RT.panicNow("semaphore: acquire weight exceeds capacity (" + Name +
+                  ")");
+    while (Available < Weight) {
+      if (RT.aborting())
+        return;
+      Waiters.park("semaphore.Acquire");
+    }
+    Available -= Weight;
+    RT.det().acquire(RT.tid(), Sync);
+  }
+
+  /// s.TryAcquire(n).
+  bool tryAcquire(int64_t Weight = 1) {
+    Runtime &RT = Runtime::current();
+    RT.preemptPoint();
+    if (Available < Weight)
+      return false;
+    Available -= Weight;
+    RT.det().acquire(RT.tid(), Sync);
+    return true;
+  }
+
+  /// s.Release(n).
+  void release(int64_t Weight = 1) {
+    Runtime &RT = Runtime::current();
+    Available += Weight;
+    if (Available > Capacity)
+      RT.panicNow("semaphore: released more than held (" + Name + ")");
+    RT.det().releaseMerge(RT.tid(), Sync);
+    Waiters.wakeAll();
+  }
+
+  int64_t available() const { return Available; }
+
+private:
+  std::string Name;
+  int64_t Capacity;
+  int64_t Available;
+  race::SyncId Sync;
+  WaiterList Waiters;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_SEMAPHORE_H

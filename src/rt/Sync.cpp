@@ -1,0 +1,203 @@
+//===- rt/Sync.cpp - Go sync package equivalents ---------------------------===//
+
+#include "rt/Sync.h"
+
+using namespace grs;
+using namespace grs::rt;
+
+//===----------------------------------------------------------------------===//
+// Mutex
+//===----------------------------------------------------------------------===//
+
+Mutex::Mutex(std::string Name)
+    : Name(std::move(Name)),
+      Id(Runtime::current().det().newSyncVar(this->Name)) {}
+
+Mutex::Mutex(const Mutex &Other)
+    : Name(Other.Name + "(copy)"),
+      Id(Runtime::current().det().newSyncVar(Name)), Locked(Other.Locked),
+      Holder(Other.Holder) {}
+
+void Mutex::lock() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  while (Locked) {
+    if (RT.aborting())
+      return;
+    Waiters.park("mutex.Lock");
+  }
+  Locked = true;
+  Holder = RT.tid();
+  RT.det().acquire(RT.tid(), Id);
+  RT.det().lockAcquired(RT.tid(), Id, /*WriteMode=*/true);
+}
+
+bool Mutex::tryLock() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  if (Locked)
+    return false;
+  Locked = true;
+  Holder = RT.tid();
+  RT.det().acquire(RT.tid(), Id);
+  RT.det().lockAcquired(RT.tid(), Id, /*WriteMode=*/true);
+  return true;
+}
+
+void Mutex::unlock() {
+  Runtime &RT = Runtime::current();
+  if (!Locked)
+    RT.panicNow("sync: unlock of unlocked mutex (" + Name + ")");
+  RT.det().release(RT.tid(), Id);
+  RT.det().lockReleased(RT.tid(), Id, /*WriteMode=*/true);
+  Locked = false;
+  Holder = race::InvalidTid;
+  Waiters.wakeAll();
+}
+
+bool Mutex::heldByCurrent() const {
+  return Locked && Holder == Runtime::current().tid();
+}
+
+//===----------------------------------------------------------------------===//
+// RWMutex
+//===----------------------------------------------------------------------===//
+
+RWMutex::RWMutex(std::string Name)
+    : Name(std::move(Name)),
+      Id(Runtime::current().det().newSyncVar(this->Name)),
+      WriterSync(Runtime::current().det().newSyncVar(this->Name + ".w")),
+      ReaderSync(Runtime::current().det().newSyncVar(this->Name + ".r")) {}
+
+RWMutex::RWMutex(const RWMutex &Other)
+    : Name(Other.Name + "(copy)"),
+      Id(Runtime::current().det().newSyncVar(Name)),
+      WriterSync(Runtime::current().det().newSyncVar(Name + ".w")),
+      ReaderSync(Runtime::current().det().newSyncVar(Name + ".r")),
+      Readers(Other.Readers), Writer(Other.Writer) {}
+
+void RWMutex::lock() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  while (Writer || Readers > 0) {
+    if (RT.aborting())
+      return;
+    Waiters.park("rwmutex.Lock");
+  }
+  Writer = true;
+  // A writer observes every prior writer (WriterSync) and every prior
+  // reader critical section (ReaderSync).
+  RT.det().acquire(RT.tid(), WriterSync);
+  RT.det().acquire(RT.tid(), ReaderSync);
+  RT.det().lockAcquired(RT.tid(), Id, /*WriteMode=*/true);
+}
+
+void RWMutex::unlock() {
+  Runtime &RT = Runtime::current();
+  if (!Writer)
+    RT.panicNow("sync: Unlock of unlocked RWMutex (" + Name + ")");
+  RT.det().release(RT.tid(), WriterSync);
+  RT.det().lockReleased(RT.tid(), Id, /*WriteMode=*/true);
+  Writer = false;
+  Waiters.wakeAll();
+}
+
+void RWMutex::rlock() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  while (Writer) {
+    if (RT.aborting())
+      return;
+    Waiters.park("rwmutex.RLock");
+  }
+  ++Readers;
+  // Readers observe prior writers but NOT each other.
+  RT.det().acquire(RT.tid(), WriterSync);
+  RT.det().lockAcquired(RT.tid(), Id, /*WriteMode=*/false);
+}
+
+void RWMutex::runlock() {
+  Runtime &RT = Runtime::current();
+  if (Readers <= 0)
+    RT.panicNow("sync: RUnlock of unlocked RWMutex (" + Name + ")");
+  // Merge (not store): concurrent readers must all happen-before the next
+  // writer without erasing each other's clocks.
+  RT.det().releaseMerge(RT.tid(), ReaderSync);
+  RT.det().lockReleased(RT.tid(), Id, /*WriteMode=*/false);
+  --Readers;
+  if (Readers == 0)
+    Waiters.wakeAll();
+}
+
+//===----------------------------------------------------------------------===//
+// WaitGroup
+//===----------------------------------------------------------------------===//
+
+WaitGroup::WaitGroup(std::string Name)
+    : Name(std::move(Name)),
+      Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+void WaitGroup::add(int Delta) {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  Count += Delta;
+  if (Count < 0)
+    RT.panicNow("sync: negative WaitGroup counter (" + Name + ")");
+  if (Count == 0)
+    Waiters.wakeAll();
+}
+
+void WaitGroup::done() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  // Everything before Done() happens-before Wait() returning.
+  RT.det().releaseMerge(RT.tid(), Sync);
+  Count -= 1;
+  if (Count < 0)
+    RT.panicNow("sync: negative WaitGroup counter (" + Name + ")");
+  if (Count == 0)
+    Waiters.wakeAll();
+}
+
+void WaitGroup::wait() {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  while (Count > 0) {
+    if (RT.aborting())
+      return;
+    Waiters.park("WaitGroup.Wait");
+  }
+  RT.det().acquire(RT.tid(), Sync);
+}
+
+//===----------------------------------------------------------------------===//
+// Once
+//===----------------------------------------------------------------------===//
+
+Once::Once(std::string Name)
+    : Name(std::move(Name)),
+      Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+void Once::doOnce(const std::function<void()> &Fn) {
+  Runtime &RT = Runtime::current();
+  RT.preemptPoint();
+  if (Done) {
+    RT.det().acquire(RT.tid(), Sync);
+    return;
+  }
+  if (Running) {
+    while (Running) {
+      if (RT.aborting())
+        return;
+      Waiters.park("Once.Do");
+    }
+    RT.det().acquire(RT.tid(), Sync);
+    return;
+  }
+  Running = true;
+  Fn();
+  RT.det().releaseMerge(RT.tid(), Sync);
+  Running = false;
+  Done = true;
+  Waiters.wakeAll();
+}

@@ -1,0 +1,173 @@
+//===- rt/Sync.h - Go sync package equivalents ------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sync.Mutex, sync.RWMutex, sync.WaitGroup, and sync.Once with Go's
+/// semantics, integrated with the deterministic scheduler (blocking) and
+/// the race detector (happens-before edges + lock-set bookkeeping).
+///
+/// Faithfulness notes for the paper's patterns:
+///  * Mutex is COPYABLE and a copy is an independent mutex — Go's
+///    value-type sync.Mutex is what makes Listing 7 (mutex passed by
+///    value) a bug instead of a type error (Observation 6).
+///  * RWMutex read-side critical sections exclude writers but not each
+///    other; writes performed under RLock race with other readers'
+///    accesses (Listing 11, Observation 10).
+///  * WaitGroup's participant count is dynamic; Add() placed inside the
+///    spawned goroutine (Listing 10) lets Wait() return prematurely
+///    (Observation 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_SYNC_H
+#define GRS_RT_SYNC_H
+
+#include "rt/Runtime.h"
+#include "rt/WaiterList.h"
+
+#include <functional>
+#include <string>
+
+namespace grs {
+namespace rt {
+
+/// sync.Mutex. Copying creates an independent mutex object (same internal
+/// state bits, new identity), matching Go's value semantics.
+class Mutex {
+public:
+  explicit Mutex(std::string Name = "mutex");
+
+  /// Value-semantics copy: the paper's Listing 7 footgun. The copy starts
+  /// with the source's locked bit but is a *different* lock.
+  Mutex(const Mutex &Other);
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock();
+  void unlock();
+
+  /// Non-blocking acquire; \returns true on success (sync.Mutex.TryLock).
+  bool tryLock();
+
+  bool heldByCurrent() const;
+  race::SyncId id() const { return Id; }
+
+private:
+  std::string Name;
+  race::SyncId Id;
+  bool Locked = false;
+  race::Tid Holder = race::InvalidTid;
+  WaiterList Waiters;
+};
+
+/// RAII lock guard for Mutex/RWMutex write side (the `defer mu.Unlock()`
+/// idiom).
+template <typename MutexT> class LockGuard {
+public:
+  explicit LockGuard(MutexT &M) : M(M) { M.lock(); }
+  ~LockGuard() { M.unlock(); }
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+  MutexT &M;
+};
+
+/// sync.RWMutex: many readers or one writer.
+class RWMutex {
+public:
+  explicit RWMutex(std::string Name = "rwmutex");
+
+  RWMutex(const RWMutex &Other); // Same value-semantics footgun as Mutex.
+  RWMutex &operator=(const RWMutex &) = delete;
+
+  void lock();    // Lock: exclusive.
+  void unlock();  // Unlock.
+  void rlock();   // RLock: shared.
+  void runlock(); // RUnlock.
+
+  race::SyncId id() const { return Id; }
+
+private:
+  std::string Name;
+  /// Lock-set identity (one per lock object; read- and write-mode holds
+  /// are distinguished by the detector).
+  race::SyncId Id;
+  /// HB: writers release here; both readers and writers acquire.
+  race::SyncId WriterSync;
+  /// HB: readers merge-release here; writers acquire.
+  race::SyncId ReaderSync;
+  int Readers = 0;
+  bool Writer = false;
+  WaiterList Waiters;
+};
+
+/// RAII read-lock guard for RWMutex (the `defer mu.RUnlock()` idiom).
+class ReadLockGuard {
+public:
+  explicit ReadLockGuard(RWMutex &M) : M(M) { M.rlock(); }
+  ~ReadLockGuard() { M.runlock(); }
+  ReadLockGuard(const ReadLockGuard &) = delete;
+  ReadLockGuard &operator=(const ReadLockGuard &) = delete;
+
+private:
+  RWMutex &M;
+};
+
+/// sync.WaitGroup with Go's dynamic participant count.
+class WaitGroup {
+public:
+  explicit WaitGroup(std::string Name = "waitgroup");
+
+  WaitGroup(const WaitGroup &) = delete;
+  WaitGroup &operator=(const WaitGroup &) = delete;
+
+  /// Adds \p Delta participants (may be negative; panics below zero).
+  void add(int Delta);
+
+  /// Equivalent to add(-1), with a release edge into the group.
+  void done();
+
+  /// Blocks until the counter is zero. If the counter is ALREADY zero —
+  /// including because Add() calls are still pending inside not-yet-run
+  /// goroutines (Listing 10) — returns immediately.
+  void wait();
+
+  int count() const { return Count; }
+
+private:
+  std::string Name;
+  race::SyncId Sync;
+  int Count = 0;
+  WaiterList Waiters;
+};
+
+/// sync.Once.
+class Once {
+public:
+  explicit Once(std::string Name = "once");
+
+  Once(const Once &) = delete;
+  Once &operator=(const Once &) = delete;
+
+  /// Runs \p Fn if no call ran it before; otherwise blocks until the
+  /// first call completes, then returns (with an acquire edge).
+  void doOnce(const std::function<void()> &Fn);
+
+  bool completed() const { return Done; }
+
+private:
+  std::string Name;
+  race::SyncId Sync;
+  bool Done = false;
+  bool Running = false;
+  WaiterList Waiters;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_SYNC_H

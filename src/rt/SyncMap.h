@@ -1,0 +1,89 @@
+//===- rt/SyncMap.h - sync.Map (the thread-safe map) ------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's sync.Map: the standard-library answer to Observation 5's
+/// thread-unsafe built-in map. Internally an ordinary GoMap guarded by a
+/// Mutex — every operation is lock-protected and release/acquire-ordered,
+/// so concurrent use is race-free by construction (corpus fixed-variants
+/// and tests rely on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_SYNCMAP_H
+#define GRS_RT_SYNCMAP_H
+
+#include "rt/GoMap.h"
+#include "rt/Sync.h"
+
+#include <string>
+#include <utility>
+
+namespace grs {
+namespace rt {
+
+/// sync.Map with Go's Store/Load/LoadOrStore/Delete/Range API.
+template <typename K, typename V> class SyncMap {
+public:
+  explicit SyncMap(std::string Name = "syncmap")
+      : Inner(Name + ".inner"), Mu(Name + ".mu") {}
+
+  SyncMap(const SyncMap &) = delete;
+  SyncMap &operator=(const SyncMap &) = delete;
+
+  /// m.Store(k, v).
+  void store(const K &Key, V Value) {
+    LockGuard<Mutex> Guard(Mu);
+    Inner.set(Key, std::move(Value));
+  }
+
+  /// v, ok := m.Load(k).
+  std::pair<V, bool> load(const K &Key) {
+    LockGuard<Mutex> Guard(Mu);
+    return Inner.getOk(Key);
+  }
+
+  /// actual, loaded := m.LoadOrStore(k, v).
+  std::pair<V, bool> loadOrStore(const K &Key, V Value) {
+    LockGuard<Mutex> Guard(Mu);
+    auto [Existing, Found] = Inner.getOk(Key);
+    if (Found)
+      return {Existing, true};
+    Inner.set(Key, Value);
+    return {std::move(Value), false};
+  }
+
+  /// m.Delete(k).
+  void erase(const K &Key) {
+    LockGuard<Mutex> Guard(Mu);
+    Inner.erase(Key);
+  }
+
+  /// m.Range(fn) — fn returns false to stop early.
+  template <typename Fn> void range(Fn Visit) {
+    LockGuard<Mutex> Guard(Mu);
+    bool Stopped = false;
+    Inner.forEach([&](const K &Key, const V &Value) {
+      if (!Stopped && !Visit(Key, Value))
+        Stopped = true;
+    });
+  }
+
+  size_t len() {
+    LockGuard<Mutex> Guard(Mu);
+    return Inner.len();
+  }
+
+private:
+  GoMap<K, V> Inner;
+  Mutex Mu;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_SYNCMAP_H

@@ -1,0 +1,138 @@
+//===- rt/Testing.cpp - Go testing package with t.Parallel() ---------------===//
+
+#include "rt/Testing.h"
+
+#include "rt/Channel.h"
+#include "rt/Sync.h"
+
+using namespace grs;
+using namespace grs::rt;
+
+//===----------------------------------------------------------------------===//
+// GoTest state
+//===----------------------------------------------------------------------===//
+
+struct GoTest::Impl {
+  Impl(std::string FullName, Impl *Parent)
+      : FullName(std::move(FullName)), Parent(Parent),
+        Signal(1, this->FullName + ".signal"),
+        Gate(0, this->FullName + ".gate"),
+        ParallelWg(this->FullName + ".wg") {}
+
+  std::string FullName;
+  Impl *Parent;
+  bool Failed = false;
+  std::vector<std::string> Messages;
+  bool WantParallel = false;
+  /// Child -> parent: "I finished (serial) or I went parallel".
+  Chan<Unit> Signal;
+  /// Parent closes it when the serial phase ends; parallel children
+  /// resume.
+  Chan<Unit> Gate;
+  /// Parent waits for parallel children here.
+  WaitGroup ParallelWg;
+  std::vector<std::shared_ptr<Impl>> Children;
+  size_t Executed = 1; // self
+
+  void collect(std::vector<std::string> &Failures, size_t &Count) const {
+    Count += 1;
+    if (Failed)
+      for (const std::string &Message : Messages)
+        Failures.push_back(FullName + ": " + Message);
+    for (const auto &Child : Children)
+      Child->collect(Failures, Count);
+  }
+};
+
+void GoTest::errorf(const std::string &Message) {
+  State->Failed = true;
+  State->Messages.push_back(Message);
+}
+
+bool GoTest::failed() const { return State->Failed; }
+
+const std::string &GoTest::name() const { return State->FullName; }
+
+void GoTest::parallel() {
+  Impl &S = *State;
+  if (!S.Parent)
+    return; // Top-level tests run sequentially in this harness.
+  S.WantParallel = true;
+  S.Signal.send(Unit{});  // Hand control back to the parent's run().
+  S.Parent->Gate.recv();  // Sleep until the parent's serial phase ends.
+}
+
+void GoTest::run(const std::string &Name, Body Fn) {
+  Impl &S = *State;
+  auto Child = std::make_shared<Impl>(S.FullName + "/" + Name, &S);
+  S.Children.push_back(Child);
+
+  go("test:" + Child->FullName, [Child, Fn = std::move(Fn)] {
+    GoTest Sub(Child);
+    try {
+      Fn(Sub);
+    } catch (GoPanic &P) {
+      // A panic fails the test but not the whole suite process.
+      Sub.errorf("panic: " + P.message());
+    }
+    // This subtest's own serial phase is over: release its parallel
+    // children (grandchildren of the caller) and join them before
+    // reporting completion upward.
+    Child->Gate.close();
+    Child->ParallelWg.wait();
+    if (Child->WantParallel)
+      Child->Parent->ParallelWg.done();
+    else
+      Child->Signal.send(Unit{});
+  });
+
+  // Block until the subtest completes (serial) or calls parallel().
+  Child->Signal.recv();
+  if (Child->WantParallel) {
+    // The child is parked at the gate and cannot finish before we close
+    // it, so this Add() safely precedes the Done() above.
+    S.ParallelWg.add(1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Suite runner
+//===----------------------------------------------------------------------===//
+
+namespace grs::rt {
+struct TestSuiteRunner {
+  static SuiteResult runAll(const RunOptions &Opts,
+                            const std::vector<TestCase> &Cases) {
+    SuiteResult Result;
+    std::vector<std::shared_ptr<GoTest::Impl>> Roots;
+
+    Runtime RT(Opts);
+    Result.Run = RT.run([&Cases, &Roots] {
+      for (const TestCase &Case : Cases) {
+        auto Root =
+            std::make_shared<GoTest::Impl>(Case.Name, /*Parent=*/nullptr);
+        Roots.push_back(Root);
+        GoTest T(Root);
+        try {
+          Case.Fn(T);
+        } catch (GoPanic &P) {
+          T.errorf("panic: " + P.message());
+        }
+        // Serial phase over: release the parallel subtests, then wait for
+        // them — testing.T's join semantics.
+        Root->Gate.close();
+        Root->ParallelWg.wait();
+      }
+    });
+
+    for (const auto &Root : Roots)
+      Root->collect(Result.Failures, Result.TestsExecuted);
+    return Result;
+  }
+};
+} // namespace grs::rt
+
+SuiteResult grs::rt::runTestSuite(const RunOptions &Opts,
+                                  const std::vector<TestCase> &Cases) {
+  return TestSuiteRunner::runAll(Opts, Cases);
+}

@@ -1,0 +1,92 @@
+//===- rt/Testing.h - Go testing package with t.Parallel() ------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's testing package semantics for the parallel table-driven test
+/// idiom (Observation 9): subtests launched with t.Run(); a subtest that
+/// calls t.Parallel() pauses until its parent's serial phase completes,
+/// then all parallel siblings run concurrently. "We found a large class
+/// of data races happen due to such concurrent test executions."
+///
+/// The canonical racy idiom this enables (tests/corpus reproduce it):
+/// \code
+///   for (auto &TC : Cases)                 // loop variable...
+///     T.run(TC.Name, [&](GoTest &Sub) {    // ...captured by reference
+///       Sub.parallel();
+///       use(TC);                           // races with loop advance
+///     });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_TESTING_H
+#define GRS_RT_TESTING_H
+
+#include "rt/Runtime.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace rt {
+
+/// Handle equivalent to Go's *testing.T. Copyable (shares state).
+class GoTest {
+public:
+  using Body = std::function<void(GoTest &)>;
+
+  /// t.Run(Name, Fn): runs \p Fn as a subtest in its own goroutine.
+  /// Returns when the subtest finishes OR calls parallel().
+  void run(const std::string &Name, Body Fn);
+
+  /// t.Parallel(): pause this subtest until the parent's serial phase is
+  /// over, then resume concurrently with the other parallel subtests.
+  /// No-op on a top-level test.
+  void parallel();
+
+  /// t.Errorf: records a failure message (test keeps running).
+  void errorf(const std::string &Message);
+
+  bool failed() const;
+  const std::string &name() const;
+
+private:
+  friend struct TestSuiteRunner;
+  struct Impl;
+  explicit GoTest(std::shared_ptr<Impl> State) : State(std::move(State)) {}
+
+  std::shared_ptr<Impl> State;
+};
+
+/// One top-level test function.
+struct TestCase {
+  std::string Name;
+  GoTest::Body Fn;
+};
+
+/// Result of running a suite in one runtime (one simulated `go test`
+/// process with -race).
+struct SuiteResult {
+  RunResult Run;
+  /// "TestName/subtest: message" for every recorded failure.
+  std::vector<std::string> Failures;
+  /// Total tests + subtests executed.
+  size_t TestsExecuted = 0;
+};
+
+/// Runs \p Cases sequentially (Go's default for top-level tests) inside a
+/// fresh runtime configured by \p Opts. Subtests may fan out via
+/// t.Run()/t.Parallel().
+SuiteResult runTestSuite(const RunOptions &Opts,
+                         const std::vector<TestCase> &Cases);
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_TESTING_H

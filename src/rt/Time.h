@@ -1,0 +1,93 @@
+//===- rt/Time.h - Virtual-time timers and tickers --------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// time.Sleep / time.After / time.Ticker over the runtime's virtual clock
+/// (scheduler steps). Deadlines jump forward when the system idles, so
+/// timer-driven programs never wall-clock block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_TIME_H
+#define GRS_RT_TIME_H
+
+#include "rt/Channel.h"
+#include "rt/Runtime.h"
+
+#include <memory>
+
+namespace grs {
+namespace rt {
+
+/// time.Sleep(d) analogue: parks the current goroutine for \p Steps virtual time.
+inline void sleepFor(uint64_t Steps) {
+  Runtime &RT = Runtime::current();
+  RT.sleepUntilStep(RT.stepCount() + Steps);
+}
+
+/// time.After(d): \returns a channel receiving one Unit at the deadline.
+/// A hidden goroutine delivers it (buffered: never leaks a sender even if
+/// nobody receives).
+inline std::shared_ptr<Chan<Unit>> after(uint64_t Steps) {
+  auto Ch = std::make_shared<Chan<Unit>>(1, "time.after");
+  uint64_t Deadline = Runtime::current().stepCount() + Steps;
+  go("time.after", [Ch, Deadline] {
+    Runtime &RT = Runtime::current();
+    RT.sleepUntilStep(Deadline);
+    if (!RT.aborting())
+      Ch->send(Unit{});
+  });
+  return Ch;
+}
+
+/// time.Ticker: delivers on its channel every \p Period steps until
+/// stop(). Missed ticks are dropped (capacity-1 channel), like Go.
+class Ticker {
+public:
+  explicit Ticker(uint64_t Period)
+      : C(std::make_shared<Chan<Unit>>(1, "ticker")),
+        Stopped(std::make_shared<Shared01>()) {
+    auto ChLocal = C;
+    auto StopFlag = Stopped;
+    go("time.ticker", [ChLocal, StopFlag, Period] {
+      Runtime &RT = Runtime::current();
+      for (;;) {
+        RT.sleepUntilStep(RT.stepCount() + Period);
+        if (RT.aborting() || StopFlag->Value)
+          return;
+        // Drop the tick when the receiver hasn't drained the last one.
+        if (ChLocal->len() < ChLocal->cap())
+          ChLocal->send(Unit{});
+      }
+    });
+  }
+
+  Ticker(const Ticker &) = delete;
+  Ticker &operator=(const Ticker &) = delete;
+
+  /// The tick channel (t.C).
+  Chan<Unit> &chan() { return *C; }
+
+  /// t.Stop(): no further ticks (the ticker goroutine exits at its next
+  /// wakeup; pending buffered ticks remain readable, as in Go).
+  void stop() { Stopped->Value = true; }
+
+private:
+  // Plain (uninstrumented) flag: written by stop(), read by the ticker
+  // goroutine. Single-OS-thread scheduling makes this well-defined, and
+  // it is runtime-internal state, not program data.
+  struct Shared01 {
+    bool Value = false;
+  };
+  std::shared_ptr<Chan<Unit>> C;
+  std::shared_ptr<Shared01> Stopped;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_TIME_H

@@ -1,0 +1,70 @@
+//===- rt/WaiterList.h - Parked-goroutine lists ------------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wake-all parking list shared by channels, mutexes, and WaitGroups.
+/// The runtime's lost-wakeup-free discipline: waiters re-check their
+/// condition in a loop, state changes wake *all* parked waiters, and
+/// unblocking a goroutine that is not parked is a no-op. Spurious wakeups
+/// are therefore harmless by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RT_WAITERLIST_H
+#define GRS_RT_WAITERLIST_H
+
+#include "rt/Runtime.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grs {
+namespace rt {
+
+/// List of goroutines parked on one condition.
+class WaiterList {
+public:
+  /// Registers the current goroutine and parks it. Returns when woken
+  /// (spuriously or not); the caller re-checks its condition.
+  void park(const char *Reason) {
+    Runtime &RT = Runtime::current();
+    Tids.push_back(RT.tid());
+    RT.blockCurrent(Reason);
+  }
+
+  /// Registers \p T without parking (used by select, which parks once for
+  /// several lists).
+  void add(race::Tid T) { Tids.push_back(T); }
+
+  /// Removes one registration of \p T, if present.
+  void remove(race::Tid T) {
+    auto Found = std::find(Tids.begin(), Tids.end(), T);
+    if (Found != Tids.end())
+      Tids.erase(Found);
+  }
+
+  /// Wakes every registered goroutine and clears the list.
+  void wakeAll() {
+    if (Tids.empty())
+      return;
+    Runtime &RT = Runtime::current();
+    for (race::Tid T : Tids)
+      RT.unblock(T);
+    Tids.clear();
+  }
+
+  bool empty() const { return Tids.empty(); }
+  size_t size() const { return Tids.size(); }
+
+private:
+  std::vector<race::Tid> Tids;
+};
+
+} // namespace rt
+} // namespace grs
+
+#endif // GRS_RT_WAITERLIST_H

@@ -1,0 +1,76 @@
+//===- support/Hash.h - Stable hashing utilities ----------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable 64-bit hashing (FNV-1a) used for race fingerprints (paper §3.3.1)
+/// and identifier interning. Fingerprints are persisted across simulated
+/// repository revisions, so the hash must be platform- and run-stable;
+/// std::hash gives no such guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_HASH_H
+#define GRS_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace grs {
+namespace support {
+
+/// Incremental FNV-1a hasher over bytes, strings, and integers.
+class Fnv1a {
+public:
+  static constexpr uint64_t OffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t Prime = 0x100000001b3ULL;
+
+  Fnv1a() = default;
+
+  Fnv1a &addByte(uint8_t Byte) {
+    State = (State ^ Byte) * Prime;
+    return *this;
+  }
+
+  Fnv1a &addBytes(const void *Data, size_t Size) {
+    const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Size; ++I)
+      addByte(Bytes[I]);
+    return *this;
+  }
+
+  Fnv1a &addString(std::string_view Text) {
+    addBytes(Text.data(), Text.size());
+    // Separate fields so that ("ab","c") and ("a","bc") hash differently.
+    return addByte(0xff);
+  }
+
+  Fnv1a &addU64(uint64_t Value) {
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      addByte(static_cast<uint8_t>(Value >> Shift));
+    return *this;
+  }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = OffsetBasis;
+};
+
+/// One-shot convenience over \p Text.
+inline uint64_t hashString(std::string_view Text) {
+  return Fnv1a().addString(Text).digest();
+}
+
+/// Boost-style combiner for already-computed hashes.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+}
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_HASH_H

@@ -1,0 +1,196 @@
+//===- support/Render.cpp - ASCII tables and charts -----------------------===//
+
+#include "support/Render.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+using namespace grs::support;
+
+void TextTable::setHeader(std::vector<std::string> Columns) {
+  assert(Rows.empty() && "setHeader() after rows were added");
+  Header = std::move(Columns);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity != header arity");
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+void TextTable::render(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto EmitRule = [&] {
+    OS << '+';
+    for (size_t W : Widths)
+      OS << std::string(W + 2, '-') << '+';
+    OS << '\n';
+  };
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    OS << '|';
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << ' ' << Cell << std::string(Widths[I] - Cell.size(), ' ') << " |";
+    }
+    OS << '\n';
+  };
+
+  OS << Title << '\n';
+  EmitRule();
+  EmitRow(Header);
+  EmitRule();
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      EmitRule();
+    else
+      EmitRow(Row);
+  }
+  EmitRule();
+}
+
+/// Shared plotting canvas used by both chart flavours.
+namespace {
+class Canvas {
+public:
+  Canvas(size_t Width, size_t Height)
+      : Width(Width), Height(Height),
+        Cells(Width * Height, ' ') {}
+
+  void plot(size_t X, size_t Y, char Mark) {
+    if (X >= Width || Y >= Height)
+      return;
+    // Y = 0 is the top row; later series overwrite earlier ones.
+    Cells[Y * Width + X] = Mark;
+  }
+
+  void render(std::ostream &OS, double YMin, double YMax,
+              const std::string &XLabel) const {
+    for (size_t Row = 0; Row < Height; ++Row) {
+      double YValue =
+          YMax - (YMax - YMin) * static_cast<double>(Row) /
+                     static_cast<double>(Height - 1 ? Height - 1 : 1);
+      std::ostringstream Label;
+      Label.precision(0);
+      Label << std::fixed << YValue;
+      std::string Text = Label.str();
+      if (Text.size() < 10)
+        Text = std::string(10 - Text.size(), ' ') + Text;
+      OS << Text << " |";
+      OS.write(&Cells[Row * Width], static_cast<std::streamsize>(Width));
+      OS << '\n';
+    }
+    OS << std::string(11, ' ') << '+' << std::string(Width, '-') << '\n';
+    OS << std::string(12, ' ') << XLabel << '\n';
+  }
+
+  size_t width() const { return Width; }
+  size_t height() const { return Height; }
+
+private:
+  size_t Width;
+  size_t Height;
+  std::vector<char> Cells;
+};
+
+char seriesMark(size_t Index) {
+  static const char Marks[] = {'*', 'o', '+', 'x', '#', '@'};
+  return Marks[Index % (sizeof(Marks) / sizeof(Marks[0]))];
+}
+} // namespace
+
+void grs::support::renderSeriesChart(std::ostream &OS,
+                                     const std::string &Title,
+                                     const std::vector<Series> &AllSeries,
+                                     size_t Width, size_t Height) {
+  OS << Title << '\n';
+  if (AllSeries.empty())
+    return;
+
+  double YMin = AllSeries.front().minValue();
+  double YMax = AllSeries.front().maxValue();
+  size_t MaxLen = 0;
+  for (const Series &S : AllSeries) {
+    YMin = std::min(YMin, S.minValue());
+    YMax = std::max(YMax, S.maxValue());
+    MaxLen = std::max(MaxLen, S.Values.size());
+  }
+  if (YMax == YMin)
+    YMax = YMin + 1.0;
+  if (MaxLen < 2)
+    MaxLen = 2;
+
+  Canvas Chart(Width, Height);
+  for (size_t SI = 0; SI < AllSeries.size(); ++SI) {
+    const Series &S = AllSeries[SI];
+    for (size_t I = 0; I < S.Values.size(); ++I) {
+      size_t X = I * (Width - 1) / (MaxLen - 1);
+      double Fraction = (S.Values[I] - YMin) / (YMax - YMin);
+      size_t Y = static_cast<size_t>(
+          std::lround((1.0 - Fraction) * static_cast<double>(Height - 1)));
+      Chart.plot(X, Y, seriesMark(SI));
+    }
+  }
+  Chart.render(OS, YMin, YMax, "time (days) ->");
+  for (size_t SI = 0; SI < AllSeries.size(); ++SI)
+    OS << "  " << seriesMark(SI) << " = " << AllSeries[SI].Name << '\n';
+}
+
+void grs::support::renderCdfChart(
+    std::ostream &OS, const std::string &Title,
+    const std::vector<std::string> &Names,
+    const std::vector<std::vector<CdfPoint>> &Curves, size_t Width,
+    size_t Height) {
+  assert(Names.size() == Curves.size() && "name/curve arity mismatch");
+  OS << Title << '\n';
+
+  double MaxX = 2.0;
+  for (const auto &Curve : Curves)
+    for (const CdfPoint &Point : Curve)
+      MaxX = std::max(MaxX, Point.X);
+  double MaxLog = std::log2(MaxX);
+
+  Canvas Chart(Width, Height);
+  for (size_t CI = 0; CI < Curves.size(); ++CI) {
+    for (const CdfPoint &Point : Curves[CI]) {
+      double XLog = Point.X >= 1.0 ? std::log2(Point.X) : 0.0;
+      size_t X = static_cast<size_t>(
+          std::lround(XLog / MaxLog * static_cast<double>(Width - 1)));
+      size_t Y = static_cast<size_t>(std::lround(
+          (1.0 - Point.CumulativeFraction) * static_cast<double>(Height - 1)));
+      Chart.plot(X, Y, seriesMark(CI));
+    }
+  }
+  Chart.render(OS, 0.0, 1.0, "concurrency level (log2 scale) ->");
+  for (size_t CI = 0; CI < Names.size(); ++CI)
+    OS << "  " << seriesMark(CI) << " = " << Names[CI] << '\n';
+}
+
+std::string grs::support::withThousands(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  size_t Count = 0;
+  for (size_t I = Digits.size(); I > 0; --I) {
+    Result.push_back(Digits[I - 1]);
+    if (++Count % 3 == 0 && I != 1)
+      Result.push_back(',');
+  }
+  std::reverse(Result.begin(), Result.end());
+  return Result;
+}
+
+std::string grs::support::fixed(double Value, int Decimals) {
+  std::ostringstream OS;
+  OS.precision(Decimals);
+  OS << std::fixed << Value;
+  return OS.str();
+}

@@ -1,0 +1,72 @@
+//===- support/Render.h - ASCII tables and charts ---------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text rendering of tables (paper Tables 1-3) and series charts
+/// (paper Figures 1, 3, 4) for the benchmark binaries. Rendering writes to
+/// a caller-provided std::ostream so library code never touches stdio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_RENDER_H
+#define GRS_SUPPORT_RENDER_H
+
+#include "support/Stats.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace support {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+public:
+  explicit TextTable(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header row. Must be called before addRow().
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders to \p OS with box-drawing-free ASCII framing.
+  void render(std::ostream &OS) const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  /// Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders one or more same-length series as an ASCII line chart with a
+/// y-axis legend, used for Figures 3 and 4.
+void renderSeriesChart(std::ostream &OS, const std::string &Title,
+                       const std::vector<Series> &AllSeries,
+                       size_t Width = 90, size_t Height = 20);
+
+/// Renders per-language CDF curves (Figure 1) on a log2 x-axis.
+void renderCdfChart(std::ostream &OS, const std::string &Title,
+                    const std::vector<std::string> &Names,
+                    const std::vector<std::vector<CdfPoint>> &Curves,
+                    size_t Width = 90, size_t Height = 20);
+
+/// Formats \p Value with thousands separators ("46,000,000").
+std::string withThousands(uint64_t Value);
+
+/// Formats a double with \p Decimals fraction digits.
+std::string fixed(double Value, int Decimals);
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_RENDER_H

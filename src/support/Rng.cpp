@@ -1,0 +1,138 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace grs::support;
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  SplitMix64 Expander(Seed);
+  for (uint64_t &Word : State)
+    Word = Expander.next();
+  // xoshiro256** is ill-defined with an all-zero state; SplitMix64 cannot
+  // produce four consecutive zeros, but guard anyway for hand-built states.
+  if (State[0] == 0 && State[1] == 0 && State[2] == 0 && State[3] == 0)
+    State[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::rangeInclusive(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits scaled into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+uint64_t Rng::poisson(double Lambda) {
+  if (Lambda <= 0.0)
+    return 0;
+  if (Lambda > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // simulator's large-lambda arrival processes.
+    double Sample = Lambda + std::sqrt(Lambda) * gaussian() + 0.5;
+    return Sample < 0.0 ? 0 : static_cast<uint64_t>(Sample);
+  }
+  double Threshold = std::exp(-Lambda);
+  uint64_t Count = 0;
+  double Product = nextDouble();
+  while (Product > Threshold) {
+    ++Count;
+    Product *= nextDouble();
+  }
+  return Count;
+}
+
+double Rng::gaussian() {
+  if (HasCachedGaussian) {
+    HasCachedGaussian = false;
+    return CachedGaussian;
+  }
+  // Box-Muller transform; resample U1 away from zero to keep log() finite.
+  double U1 = nextDouble();
+  while (U1 <= 1e-300)
+    U1 = nextDouble();
+  double U2 = nextDouble();
+  double Radius = std::sqrt(-2.0 * std::log(U1));
+  double Angle = 2.0 * M_PI * U2;
+  CachedGaussian = Radius * std::sin(Angle);
+  HasCachedGaussian = true;
+  return Radius * std::cos(Angle);
+}
+
+double Rng::logNormal(double Mu, double Sigma) {
+  return std::exp(Mu + Sigma * gaussian());
+}
+
+uint64_t Rng::geometric(double P) {
+  assert(P > 0.0 && P <= 1.0 && "geometric() needs p in (0, 1]");
+  if (P >= 1.0)
+    return 0;
+  double U = nextDouble();
+  while (U <= 1e-300)
+    U = nextDouble();
+  return static_cast<uint64_t>(std::log(U) / std::log(1.0 - P));
+}
+
+std::size_t Rng::weightedIndex(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weightedIndex() with no weights");
+  double Total = 0.0;
+  for (double W : Weights)
+    Total += W;
+  assert(Total > 0.0 && "weights must sum to a positive value");
+  double Target = nextDouble() * Total;
+  double Running = 0.0;
+  for (std::size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return I;
+  }
+  return Weights.size() - 1; // Floating-point slop: return the last index.
+}
+
+Rng Rng::fork(uint64_t StreamId) {
+  // Mix the child stream id into fresh draws so sibling forks differ even
+  // for consecutive ids.
+  uint64_t Seed = next() ^ (0x9e3779b97f4a7c15ULL * (StreamId + 1));
+  return Rng(Seed);
+}

@@ -1,0 +1,115 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-reproducible random number generation used by the
+/// scheduler, the deployment simulator, the fleet census, and the corpus
+/// sampler. Every experiment in this repository is a function of its seed;
+/// no component may consult std::random_device or wall-clock time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_RNG_H
+#define GRS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace grs {
+namespace support {
+
+/// SplitMix64 stream, used to expand a single 64-bit seed into the state of
+/// larger generators and as a cheap standalone generator for hashing-style
+/// uses.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Deterministic pseudo-random generator (xoshiro256**) with the sampling
+/// helpers the simulators need. Distinct subsystems should derive their own
+/// generator via fork() so that adding draws in one subsystem does not
+/// perturb another.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Next raw 64 random bits.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t rangeInclusive(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli trial with probability \p P (clamped to [0, 1]).
+  bool chance(double P);
+
+  /// Poisson-distributed count with mean \p Lambda (Knuth's method for
+  /// small lambda, normal approximation above 64).
+  uint64_t poisson(double Lambda);
+
+  /// Standard normal variate (Box-Muller, cached pair).
+  double gaussian();
+
+  /// Log-normal variate: exp(Mu + Sigma * N(0,1)).
+  double logNormal(double Mu, double Sigma);
+
+  /// Geometric number of failures before first success, p = \p P.
+  uint64_t geometric(double P);
+
+  /// Uniformly chosen index weighted by \p Weights (must be non-empty and
+  /// sum to a positive value).
+  std::size_t weightedIndex(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (std::size_t I = Items.size() - 1; I > 0; --I) {
+      std::size_t J = static_cast<std::size_t>(nextBelow(I + 1));
+      std::swap(Items[I], Items[J]);
+    }
+  }
+
+  /// Uniformly chosen element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[static_cast<std::size_t>(nextBelow(Items.size()))];
+  }
+
+  /// Derive an independent generator whose stream is a deterministic
+  /// function of this generator's current state and \p StreamId.
+  Rng fork(uint64_t StreamId);
+
+private:
+  uint64_t State[4];
+  bool HasCachedGaussian = false;
+  double CachedGaussian = 0.0;
+};
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_RNG_H

@@ -1,0 +1,104 @@
+//===- support/Stats.cpp - Percentiles, CDFs, histograms ------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace grs::support;
+
+void RunningStat::add(double Value) {
+  if (Count == 0) {
+    Min = Max = Value;
+  } else {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+}
+
+double RunningStat::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double grs::support::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile() of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile order out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  if (Lo + 1 >= Values.size())
+    return Values.back();
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Lo + 1] * Frac;
+}
+
+std::vector<CdfPoint> grs::support::empiricalCdf(std::vector<double> Values) {
+  std::vector<CdfPoint> Points;
+  if (Values.empty())
+    return Points;
+  std::sort(Values.begin(), Values.end());
+  double Total = static_cast<double>(Values.size());
+  for (size_t I = 0; I < Values.size(); ++I) {
+    bool LastOfRun = (I + 1 == Values.size()) || (Values[I + 1] != Values[I]);
+    if (!LastOfRun)
+      continue;
+    Points.push_back({Values[I], static_cast<double>(I + 1) / Total});
+  }
+  return Points;
+}
+
+std::vector<double>
+grs::support::cdfAt(const std::vector<double> &Values,
+                    const std::vector<double> &Thresholds) {
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end());
+  std::vector<double> Fractions;
+  Fractions.reserve(Thresholds.size());
+  double Total = Sorted.empty() ? 1.0 : static_cast<double>(Sorted.size());
+  for (double Threshold : Thresholds) {
+    auto UpperBound =
+        std::upper_bound(Sorted.begin(), Sorted.end(), Threshold);
+    Fractions.push_back(
+        static_cast<double>(UpperBound - Sorted.begin()) / Total);
+  }
+  return Fractions;
+}
+
+void Log2Histogram::add(double Value) {
+  size_t Bucket = 0;
+  if (Value >= 1.0)
+    Bucket = static_cast<size_t>(std::log2(Value));
+  if (Bucket >= Buckets.size())
+    Buckets.resize(Bucket + 1, 0);
+  ++Buckets[Bucket];
+  ++Total;
+}
+
+double Log2Histogram::bucketLowerEdge(size_t K) {
+  return std::pow(2.0, static_cast<double>(K));
+}
+
+double Series::maxValue() const {
+  double Best = Values.empty() ? 0.0 : Values.front();
+  for (double V : Values)
+    Best = std::max(Best, V);
+  return Best;
+}
+
+double Series::minValue() const {
+  double Best = Values.empty() ? 0.0 : Values.front();
+  for (double V : Values)
+    Best = std::min(Best, V);
+  return Best;
+}

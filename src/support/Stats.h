@@ -1,0 +1,97 @@
+//===- support/Stats.h - Percentiles, CDFs, histograms ----------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics shared by the fleet census (Figure 1's cumulative
+/// frequency distribution), the deployment simulator (Figures 3-4 series),
+/// and the overhead benchmarks (p95 slowdown, §3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_STATS_H
+#define GRS_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace support {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+public:
+  void add(double Value);
+
+  uint64_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// \returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation between order statistics. Copies and sorts internally.
+double quantile(std::vector<double> Values, double Q);
+
+/// A single point of an empirical CDF: the fraction of samples <= X.
+struct CdfPoint {
+  double X = 0.0;
+  double CumulativeFraction = 0.0;
+};
+
+/// \returns the empirical CDF of \p Values evaluated at every distinct
+/// sample value, suitable for plotting Figure 1's per-language curves.
+std::vector<CdfPoint> empiricalCdf(std::vector<double> Values);
+
+/// \returns the CDF evaluated only at the given \p Thresholds (fraction of
+/// samples <= threshold), used to print aligned multi-language tables.
+std::vector<double> cdfAt(const std::vector<double> &Values,
+                          const std::vector<double> &Thresholds);
+
+/// Histogram over power-of-two buckets [2^k, 2^(k+1)), matching Figure 1's
+/// log-scale x axis of concurrency levels.
+class Log2Histogram {
+public:
+  void add(double Value);
+
+  /// Number of buckets (index k covers [2^k, 2^(k+1)) with bucket 0 also
+  /// absorbing values below 1).
+  size_t numBuckets() const { return Buckets.size(); }
+  uint64_t bucketCount(size_t K) const { return Buckets[K]; }
+  uint64_t totalCount() const { return Total; }
+
+  /// Lower edge of bucket \p K.
+  static double bucketLowerEdge(size_t K);
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+/// A named time/value series, e.g. "outstanding races" per day (Figure 3).
+struct Series {
+  std::string Name;
+  std::vector<double> Values;
+
+  double back() const { return Values.empty() ? 0.0 : Values.back(); }
+  double maxValue() const;
+  double minValue() const;
+};
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_STATS_H

@@ -1,0 +1,38 @@
+// The corrected version of racy_service.go: must lint clean.
+package orderservice
+
+import "sync"
+
+func ProcessBatch(orders []Order) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := make(map[string]error)
+	for _, order := range orders {
+		order := order
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := handle(order)
+			if err != nil {
+				mu.Lock()
+				results[order.ID] = err
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func CriticalSection(mu *sync.Mutex, counter *int) {
+	mu.Lock()
+	*counter = *counter + 1
+	mu.Unlock()
+}
+
+func (s *Service) refreshState() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stale {
+		s.cache = rebuild(s)
+	}
+}

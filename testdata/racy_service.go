@@ -1,0 +1,36 @@
+// A sample "service" file exercising several of the paper's race patterns
+// at once; used by AnalysisTest's file-based lint test and runnable via
+// `static_lint testdata/racy_service.go`.
+package orderservice
+
+import "sync"
+
+func ProcessBatch(orders []Order) {
+	var wg sync.WaitGroup
+	results := make(map[string]error)
+	for _, order := range orders {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			err := handle(order)
+			if err != nil {
+				results[order.ID] = err
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func CriticalSection(mu sync.Mutex, counter *int) {
+	mu.Lock()
+	*counter = *counter + 1
+	mu.Unlock()
+}
+
+func (s *Service) refreshState() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.stale {
+		s.cache = rebuild(s)
+	}
+}

@@ -1,0 +1,272 @@
+//===- tests/AnalysisTest.cpp - Lexer and construct census tests -----------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstructCounter.h"
+#include "analysis/Lexer.h"
+#include "analysis/Parser.h"
+#include "analysis/SourceGen.h"
+#include "analysis/StaticChecks.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(GoLexer, TokenizesCoreSyntax) {
+  auto Tokens = lex(Lang::Go, "x := <-ch // recv\nm := map[string]int{}\n");
+  std::vector<std::string> Texts;
+  for (const Token &T : Tokens)
+    if (T.Kind != TokKind::EndOfFile)
+      Texts.push_back(T.Text);
+  EXPECT_EQ(Texts,
+            (std::vector<std::string>{"x", ":=", "<-", "ch", "m", ":=",
+                                      "map", "[", "string", "]", "int",
+                                      "{", "}"}));
+}
+
+TEST(GoLexer, KeywordsVsIdentifiers) {
+  auto Tokens = lex(Lang::Go, "go gopher()");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::Keyword); // `go`
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Identifier); // `gopher`
+}
+
+TEST(GoLexer, SkipsCommentsAndStrings) {
+  auto Tokens =
+      lex(Lang::Go, "// go func Lock\n/* ch <- 1 */ s := \"go <-\"\n");
+  size_t Keywords = 0, Arrows = 0;
+  for (const Token &T : Tokens) {
+    Keywords += T.Kind == TokKind::Keyword;
+    Arrows += T.is(TokKind::Operator, "<-");
+  }
+  EXPECT_EQ(Keywords, 0u);
+  EXPECT_EQ(Arrows, 0u);
+}
+
+TEST(GoLexer, RawStringsAndRunes) {
+  auto Tokens = lex(Lang::Go, "a := `raw \"str\"`; r := 'x'");
+  size_t Strings = 0, Runes = 0;
+  for (const Token &T : Tokens) {
+    Strings += T.Kind == TokKind::String;
+    Runes += T.Kind == TokKind::Rune;
+  }
+  EXPECT_EQ(Strings, 1u);
+  EXPECT_EQ(Runes, 1u);
+}
+
+TEST(GoLexer, TracksLineNumbers) {
+  auto Tokens = lex(Lang::Go, "a\nb\n\nc");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 4u);
+}
+
+TEST(JavaLexer, SynchronizedIsKeyword) {
+  auto Tokens = lex(Lang::Java, "synchronized (this) { t.start(); }");
+  EXPECT_EQ(Tokens[0].Kind, TokKind::Keyword);
+  EXPECT_TRUE(isKeyword(Lang::Java, "synchronized"));
+  EXPECT_FALSE(isKeyword(Lang::Go, "synchronized"));
+}
+
+TEST(Lexer, UnterminatedConstructsDoNotCrash) {
+  EXPECT_NO_FATAL_FAILURE(lex(Lang::Go, "s := \"unterminated"));
+  EXPECT_NO_FATAL_FAILURE(lex(Lang::Go, "/* unterminated"));
+  EXPECT_NO_FATAL_FAILURE(lex(Lang::Java, "char c = 'x"));
+}
+
+//===----------------------------------------------------------------------===//
+// Construct counting (Table 1 extraction)
+//===----------------------------------------------------------------------===//
+
+TEST(Census, CountsGoConstructs) {
+  const char *Source = R"go(
+package demo
+import "sync"
+func worker(jobs chan int, mu *sync.Mutex, wg *sync.WaitGroup) {
+  go helper()
+  mu.Lock()
+  count++
+  mu.Unlock()
+  mu.RLock()
+  mu.RUnlock()
+  jobs <- 1
+  v := <-jobs
+  var wg2 sync.WaitGroup
+  m := make(map[string]int)
+  _ = v; _ = m; _ = wg2
+}
+)go";
+  ConstructCounts Counts = countConstructs(Lang::Go, Source);
+  EXPECT_EQ(Counts.GoStatements, 1u);
+  EXPECT_EQ(Counts.LockUnlock, 2u);
+  EXPECT_EQ(Counts.RLockRUnlock, 2u);
+  EXPECT_EQ(Counts.ChannelOps, 2u);
+  // `chan int` in the signature is a keyword but not an op; WaitGroup
+  // appears twice (parameter type + local).
+  EXPECT_EQ(Counts.WaitGroups, 2u);
+  EXPECT_EQ(Counts.MapConstructs, 1u);
+}
+
+TEST(Census, CountsJavaConstructs) {
+  const char *Source = R"java(
+class Demo {
+  synchronized void run() {
+    worker.start();
+    sem.acquire();
+    sem.release();
+    lock.lock();
+    lock.unlock();
+    CountDownLatch latch = new CountDownLatch(2);
+    HashMap<String, Integer> m = makeMap();
+  }
+}
+)java";
+  ConstructCounts Counts = countConstructs(Lang::Java, Source);
+  EXPECT_EQ(Counts.Synchronized, 1u);
+  EXPECT_EQ(Counts.ThreadStarts, 1u);
+  EXPECT_EQ(Counts.AcquireRelease, 2u);
+  EXPECT_EQ(Counts.LockUnlock, 2u);
+  EXPECT_EQ(Counts.BarrierLatchPhaser, 2u); // Type + constructor mention.
+  EXPECT_EQ(Counts.MapConstructs, 1u);
+}
+
+TEST(Census, DecoysInCommentsAndStringsNotCounted) {
+  ConstructCounts Counts = countConstructs(
+      Lang::Go, "// mu.Lock() go <-ch\ns := \"mu.Unlock() WaitGroup\"\n");
+  EXPECT_EQ(Counts.LockUnlock, 0u);
+  EXPECT_EQ(Counts.GoStatements, 0u);
+  EXPECT_EQ(Counts.ChannelOps, 0u);
+  EXPECT_EQ(Counts.WaitGroups, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Generator -> counter round trip: densities must be recovered within
+// sampling tolerance (the Table 1 reproduction's core property).
+//===----------------------------------------------------------------------===//
+
+class GeneratorRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorRoundTrip, GoDensitiesRecovered) {
+  GenProfile Profile = GenProfile::goMonorepo();
+  std::string Corpus = generateCorpus(Lang::Go, Profile, 120'000, GetParam());
+  ConstructCounts Counts = countConstructs(Lang::Go, Corpus);
+  EXPECT_NEAR(Counts.perMLoC(Counts.GoStatements), Profile.GoStatements,
+              Profile.GoStatements * 0.35);
+  EXPECT_NEAR(Counts.perMLoC(Counts.LockUnlock), Profile.LockUnlock,
+              Profile.LockUnlock * 0.30);
+  EXPECT_NEAR(Counts.perMLoC(Counts.MapConstructs), Profile.MapConstructs,
+              Profile.MapConstructs * 0.15);
+}
+
+TEST_P(GeneratorRoundTrip, JavaDensitiesRecovered) {
+  GenProfile Profile = GenProfile::javaMonorepo();
+  // Low-density constructs (synchronized: ~125/MLoC) need a large sample
+  // to keep Poisson noise inside the tolerance band.
+  std::string Corpus =
+      generateCorpus(Lang::Java, Profile, 600'000, GetParam());
+  ConstructCounts Counts = countConstructs(Lang::Java, Corpus);
+  EXPECT_NEAR(Counts.perMLoC(Counts.ThreadStarts), Profile.ThreadStarts,
+              Profile.ThreadStarts * 0.30);
+  EXPECT_NEAR(Counts.perMLoC(Counts.Synchronized), Profile.Synchronized,
+              Profile.Synchronized * 0.40);
+  EXPECT_NEAR(Counts.perMLoC(Counts.MapConstructs), Profile.MapConstructs,
+              Profile.MapConstructs * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorRoundTrip,
+                         ::testing::Values(1, 2, 3));
+
+TEST(GeneratorProperties, PaperRatiosHold) {
+  // The Table 1 headline: Go uses ~3.7x more point-to-point sync and
+  // ~1.9x more group sync per MLoC than Java.
+  std::string Go =
+      generateCorpus(Lang::Go, GenProfile::goMonorepo(), 250'000, 7);
+  std::string Java =
+      generateCorpus(Lang::Java, GenProfile::javaMonorepo(), 250'000, 7);
+  ConstructCounts GoC = countConstructs(Lang::Go, Go);
+  ConstructCounts JavaC = countConstructs(Lang::Java, Java);
+
+  double P2PRatio = GoC.perMLoC(GoC.pointToPoint()) /
+                    JavaC.perMLoC(JavaC.pointToPoint());
+  EXPECT_GT(P2PRatio, 2.8);
+  EXPECT_LT(P2PRatio, 4.8);
+
+  double GroupRatio = GoC.perMLoC(GoC.groupCommunication()) /
+                      JavaC.perMLoC(JavaC.groupCommunication());
+  EXPECT_GT(GroupRatio, 1.4);
+  EXPECT_LT(GroupRatio, 2.6);
+
+  double MapRatio =
+      GoC.perMLoC(GoC.MapConstructs) / JavaC.perMLoC(JavaC.MapConstructs);
+  EXPECT_GT(MapRatio, 1.15); // Paper: 1.34x.
+  EXPECT_LT(MapRatio, 1.55);
+}
+
+//===----------------------------------------------------------------------===//
+// Semicolon insertion (the parser's statement boundaries)
+//===----------------------------------------------------------------------===//
+
+TEST(SemicolonInsertion, FollowsGoAsiRules) {
+  auto Texts = [](const std::vector<Token> &Tokens) {
+    std::vector<std::string> Out;
+    for (const Token &T : Tokens)
+      if (T.Kind != TokKind::EndOfFile)
+        Out.push_back(T.Text);
+    return Out;
+  };
+  // Newline after an identifier inserts; after a binary op it must NOT.
+  auto A = Texts(insertSemicolons(lex(Lang::Go, "x := a\ny := b")));
+  EXPECT_EQ(A, (std::vector<std::string>{"x", ":=", "a", ";", "y", ":=",
+                                         "b"}));
+  auto B = Texts(insertSemicolons(lex(Lang::Go, "x := a +\n b")));
+  EXPECT_EQ(B, (std::vector<std::string>{"x", ":=", "a", "+", "b"}));
+  // After `)` and `}` and `return`.
+  auto C = Texts(insertSemicolons(lex(Lang::Go, "f()\nreturn\n}")));
+  EXPECT_EQ(C, (std::vector<std::string>{"f", "(", ")", ";", "return", ";",
+                                         "}"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser stress: the whole synthetic monorepo corpus must parse without
+// crashing (error-tolerant by construction).
+//===----------------------------------------------------------------------===//
+
+TEST(ParserStress, GeneratedCorpusParses) {
+  std::string Corpus =
+      generateCorpus(Lang::Go, GenProfile::goMonorepo(), 60'000, 5);
+  ast::File F = parseGo(Corpus);
+  // One function every ~26 lines.
+  EXPECT_GT(F.Funcs.size(), 1500u);
+  size_t WithBody = 0;
+  for (const ast::FuncDecl &Fn : F.Funcs)
+    WithBody += Fn.Body != nullptr;
+  EXPECT_GT(WithBody, F.Funcs.size() * 9 / 10);
+  // The generated text is well-formed for our subset; recovery should be
+  // rare relative to its size.
+  EXPECT_LT(F.Errors.size(), 100u);
+  // And the static checks run over the whole thing without incident
+  // (generated code has no racy idioms by construction).
+  auto Diags = runStaticChecks(F);
+  EXPECT_LT(Diags.size(), 50u);
+}
+
+TEST(GeneratorProperties, DeterministicPerSeed) {
+  std::string A =
+      generateCorpus(Lang::Go, GenProfile::goMonorepo(), 20'000, 9);
+  std::string B =
+      generateCorpus(Lang::Go, GenProfile::goMonorepo(), 20'000, 9);
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/CensusTest.cpp - Fleet concurrency census tests ---------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "census/FleetCensus.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::census;
+
+namespace {
+
+const CensusSeries &seriesFor(const std::vector<CensusSeries> &All,
+                              FleetLang Language) {
+  for (const CensusSeries &S : All)
+    if (S.Language == Language)
+      return S;
+  static CensusSeries Empty;
+  ADD_FAILURE() << "language series missing";
+  return Empty;
+}
+
+class CensusSweep : public ::testing::TestWithParam<uint64_t> {
+protected:
+  std::vector<CensusSeries> Census =
+      runCensus(GetParam(), /*Scale=*/0.05);
+};
+
+TEST_P(CensusSweep, MediansMatchPaperQuantiles) {
+  // "the 50% percentile of the number of threads is 16 in NodeJS, 16 in
+  // Python, 256 in Java, and 2048 in Go."
+  EXPECT_NEAR(seriesFor(Census, FleetLang::NodeJS).Median, 16, 6);
+  EXPECT_NEAR(seriesFor(Census, FleetLang::Python).Median, 20, 12);
+  double Java = seriesFor(Census, FleetLang::Java).Median;
+  EXPECT_GT(Java, 128);
+  EXPECT_LT(Java, 512);
+  double Go = seriesFor(Census, FleetLang::Go).Median;
+  EXPECT_GT(Go, 1024);
+  EXPECT_LT(Go, 4096);
+}
+
+TEST_P(CensusSweep, GoExposesAboutEightTimesJavaConcurrency) {
+  double Ratio = seriesFor(Census, FleetLang::Go).Median /
+                 seriesFor(Census, FleetLang::Java).Median;
+  EXPECT_GT(Ratio, 4.0);
+  EXPECT_LT(Ratio, 16.0);
+}
+
+TEST_P(CensusSweep, GoTailReachesHundredThousandGoroutines) {
+  // "The max reaches at about 130K goroutines."
+  EXPECT_GT(seriesFor(Census, FleetLang::Go).Max, 60'000);
+  EXPECT_LE(seriesFor(Census, FleetLang::Go).Max, 131'072);
+}
+
+TEST_P(CensusSweep, CdfCurvesAreMonotone) {
+  for (const CensusSeries &S : Census) {
+    double LastX = -1, LastY = -1;
+    for (const support::CdfPoint &P : S.Cdf) {
+      EXPECT_GT(P.X, LastX);
+      EXPECT_GE(P.CumulativeFraction, LastY);
+      LastX = P.X;
+      LastY = P.CumulativeFraction;
+    }
+    ASSERT_FALSE(S.Cdf.empty());
+    EXPECT_NEAR(S.Cdf.back().CumulativeFraction, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CensusSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(Census, LanguageOrderingIsStable) {
+  auto Census = runCensus(9, 0.05);
+  double Go = seriesFor(Census, FleetLang::Go).Median;
+  double Java = seriesFor(Census, FleetLang::Java).Median;
+  double Python = seriesFor(Census, FleetLang::Python).Median;
+  double Node = seriesFor(Census, FleetLang::NodeJS).Median;
+  EXPECT_GT(Go, Java);
+  EXPECT_GT(Java, Python);
+  EXPECT_GE(Python, Node * 0.8); // Python and NodeJS are comparable.
+}
+
+TEST(Census, FleetSizesMatchPaperAtFullScale) {
+  EXPECT_EQ(LanguageProfile::forLanguage(FleetLang::Go).FleetProcesses,
+            130'000u);
+  EXPECT_EQ(LanguageProfile::forLanguage(FleetLang::Java).FleetProcesses,
+            39'500u);
+  EXPECT_EQ(LanguageProfile::forLanguage(FleetLang::Python).FleetProcesses,
+            19'000u);
+  EXPECT_EQ(LanguageProfile::forLanguage(FleetLang::NodeJS).FleetProcesses,
+            7'000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Supporting statistics used by the census
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> V{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(support::quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(support::quantile(V, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(support::quantile(V, 0.5), 2.5);
+}
+
+TEST(Stats, EmpiricalCdfCollapsesTies) {
+  auto Cdf = support::empiricalCdf({1, 1, 2, 2, 2, 5});
+  ASSERT_EQ(Cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(Cdf[0].X, 1.0);
+  EXPECT_NEAR(Cdf[0].CumulativeFraction, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(Cdf[1].CumulativeFraction, 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(Cdf[2].CumulativeFraction, 1.0, 1e-12);
+}
+
+TEST(Stats, CdfAtThresholds) {
+  auto Fractions = support::cdfAt({1, 2, 3, 4}, {0, 2, 10});
+  ASSERT_EQ(Fractions.size(), 3u);
+  EXPECT_DOUBLE_EQ(Fractions[0], 0.0);
+  EXPECT_DOUBLE_EQ(Fractions[1], 0.5);
+  EXPECT_DOUBLE_EQ(Fractions[2], 1.0);
+}
+
+TEST(Stats, RunningStatMoments) {
+  support::RunningStat S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.stddev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(Stats, Log2HistogramBuckets) {
+  support::Log2Histogram H;
+  H.add(1);   // Bucket 0.
+  H.add(3);   // Bucket 1.
+  H.add(16);  // Bucket 4.
+  H.add(17);  // Bucket 4.
+  EXPECT_EQ(H.totalCount(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(4), 2u);
+  EXPECT_DOUBLE_EQ(support::Log2Histogram::bucketLowerEdge(4), 16.0);
+}
+
+} // namespace

@@ -1,0 +1,408 @@
+//===- tests/ChannelTest.cpp - Channel, select, and context tests ----------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Channel.h"
+#include "rt/Context.h"
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Select.h"
+#include "rt/Sync.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+RunResult runBody(uint64_t Seed, std::function<void()> Body) {
+  Runtime RT(withSeed(Seed));
+  return RT.run(std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Core channel semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Chan, UnbufferedRendezvousTransfersValue) {
+  int Got = 0;
+  RunResult Result = runBody(1, [&] {
+    Chan<int> Ch(0);
+    go("sender", [&] { Ch.send(42); });
+    Got = Ch.recvValue();
+  });
+  EXPECT_EQ(Got, 42);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Chan, BufferedSendDoesNotBlockWithinCapacity) {
+  RunResult Result = runBody(2, [&] {
+    Chan<int> Ch(3);
+    Ch.send(1);
+    Ch.send(2);
+    Ch.send(3); // Still no receiver; capacity 3 absorbs all.
+    EXPECT_EQ(Ch.len(), 3u);
+    EXPECT_EQ(Ch.recvValue(), 1); // FIFO.
+    EXPECT_EQ(Ch.recvValue(), 2);
+    EXPECT_EQ(Ch.recvValue(), 3);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Chan, FullBufferBlocksUntilReceive) {
+  bool SecondSendDone = false;
+  RunResult Result = runBody(3, [&] {
+    Chan<int> Ch(1);
+    Ch.send(1);
+    go("sender", [&] {
+      Ch.send(2); // Blocks: buffer full.
+      SecondSendDone = true;
+    });
+    gosched();
+    EXPECT_EQ(Ch.recvValue(), 1);
+    EXPECT_EQ(Ch.recvValue(), 2);
+  });
+  EXPECT_TRUE(SecondSendDone);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Chan, RecvOnClosedReturnsZeroAndFalse) {
+  RunResult Result = runBody(4, [&] {
+    Chan<int> Ch(2);
+    Ch.send(9);
+    Ch.close();
+    auto [V1, Ok1] = Ch.recv();
+    EXPECT_EQ(V1, 9);
+    EXPECT_TRUE(Ok1); // Drains the buffer first.
+    auto [V2, Ok2] = Ch.recv();
+    EXPECT_EQ(V2, 0);
+    EXPECT_FALSE(Ok2);
+    auto [V3, Ok3] = Ch.recv(); // Closed stays closed.
+    EXPECT_EQ(V3, 0);
+    EXPECT_FALSE(Ok3);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Chan, SendOnClosedPanics) {
+  RunResult Result = runBody(5, [&] {
+    Chan<int> Ch(1);
+    Ch.close();
+    Ch.send(1);
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_NE(Result.Panics[0].find("send on closed channel"),
+            std::string::npos);
+}
+
+TEST(Chan, DoubleClosePanics) {
+  RunResult Result = runBody(6, [&] {
+    Chan<int> Ch(0);
+    Ch.close();
+    Ch.close();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_NE(Result.Panics[0].find("close of closed channel"),
+            std::string::npos);
+}
+
+TEST(Chan, CloseWakesBlockedSenderIntoPanic) {
+  RunResult Result = runBody(7, [&] {
+    auto Ch = std::make_shared<Chan<int>>(0);
+    go("sender", [Ch] { Ch->send(1); }); // Blocks: no receiver.
+    gosched();
+    Ch->close();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_TRUE(Result.LeakedGoroutines.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Happens-before edges (the Go memory model laws, checked by detector)
+//===----------------------------------------------------------------------===//
+
+TEST(ChanHB, SendHappensBeforeReceive) {
+  RunResult Result = runBody(8, [&] {
+    Chan<Unit> Ch(0);
+    Shared<int> Data("data", 0);
+    go("producer", [&] {
+      Data = 33;
+      Ch.send(Unit{});
+    });
+    Ch.recv();
+    EXPECT_EQ(Data.load(), 33); // Ordered: no race.
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(ChanHB, UnbufferedReceiveHappensBeforeSendCompletes) {
+  RunResult Result = runBody(9, [&] {
+    Chan<Unit> Ch(0);
+    Shared<int> Data("data", 0);
+    go("receiver", [&] {
+      Data = 1;   // Before the receive...
+      Ch.recv();
+    });
+    Ch.send(Unit{}); // Rendezvous: receive happened before send returns.
+    Data = 2;        // ...so this write is ordered after the receiver's.
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(ChanHB, CloseHappensBeforeRecvObservingIt) {
+  RunResult Result = runBody(10, [&] {
+    Chan<Unit> Ch(0);
+    Shared<int> Data("data", 0);
+    go("closer", [&] {
+      Data = 5;
+      Ch.close();
+    });
+    Ch.recv(); // Observes the close.
+    EXPECT_EQ(Data.load(), 5);
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(ChanHB, NoEdgeBetweenIndependentSenders) {
+  RunResult Result = runBody(11, [&] {
+    auto Ch = std::make_shared<Chan<Unit>>(2);
+    auto Data = std::make_shared<Shared<int>>("data", 0);
+    go("s1", [=] {
+      Data->store(1); // Racy: the two senders are unordered.
+      Ch->send(Unit{});
+    });
+    go("s2", [=] {
+      Data->store(2);
+      Ch->send(Unit{});
+    });
+    Ch->recv();
+    Ch->recv();
+  });
+  EXPECT_GT(Result.RaceCount, 0u);
+}
+
+TEST(ChanHB, WithCapacityRuleOrdersSlotReuse) {
+  // Go: "the k-th receive on a channel with capacity C happens before
+  // the (k+C)-th send completes" — even when the later send never
+  // blocks. The channel-as-mutex idiom depends on exactly this edge.
+  RunResult Result = runBody(20, [&] {
+    auto Token = std::make_shared<Chan<Unit>>(1, "token");
+    auto Guarded = std::make_shared<Shared<int>>("guarded", 0);
+    WaitGroup Wg;
+    Wg.add(1);
+    go("first-holder", [Token, Guarded, &Wg] {
+      Token->send(Unit{});                  // Send #1 (take token).
+      Guarded->store(1);                    // Critical section.
+      Token->recv();                        // Receive #1 (release).
+      Wg.done();
+    });
+    gosched();
+    Token->send(Unit{}); // Send #2: happens-after receive #1...
+    EXPECT_GE(Guarded->load(), 0); // ...so this access is ORDERED.
+    Token->recv();
+    Wg.wait();
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(ChanHB, SlotPrecisionDoesNotOrderUnrelatedSenders) {
+  // Two producers filling DIFFERENT slots of a capacity-2 channel must
+  // not become ordered against each other through the channel.
+  size_t Detections = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RunResult Result = runBody(Seed, [&] {
+      auto Ch = std::make_shared<Chan<int>>(2, "ch");
+      auto X = std::make_shared<Shared<int>>("x", 0);
+      WaitGroup Wg;
+      Wg.add(2);
+      go("producer-a", [Ch, X, &Wg] {
+        X->store(1); // Unordered with producer-b's store.
+        Ch->send(1);
+        Wg.done();
+      });
+      go("producer-b", [Ch, X, &Wg] {
+        X->store(2);
+        Ch->send(2);
+        Wg.done();
+      });
+      Ch->recv();
+      Ch->recv();
+      Wg.wait();
+    });
+    Detections += Result.RaceCount > 0;
+  }
+  EXPECT_EQ(Detections, 10u); // The X race must never be masked.
+}
+
+//===----------------------------------------------------------------------===//
+// Select
+//===----------------------------------------------------------------------===//
+
+TEST(Select, TakesTheOnlyReadyArm) {
+  RunResult Result = runBody(12, [&] {
+    Chan<int> A(1), B(1);
+    A.send(5);
+    int Got = -1;
+    Selector Sel;
+    Sel.onRecv<int>(A, [&](int V, bool) { Got = V; });
+    Sel.onRecv<int>(B, [&](int V, bool) { Got = 100 + V; });
+    EXPECT_EQ(Sel.run(), 0);
+    EXPECT_EQ(Got, 5);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Select, DefaultFiresWhenNothingReady) {
+  RunResult Result = runBody(13, [&] {
+    Chan<int> A(0);
+    bool Defaulted = false;
+    Selector Sel;
+    Sel.onRecv<int>(A, [](int, bool) {});
+    Sel.onDefault([&] { Defaulted = true; });
+    EXPECT_EQ(Sel.run(), -1);
+    EXPECT_TRUE(Defaulted);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Select, BlocksUntilAnArmBecomesReady) {
+  RunResult Result = runBody(14, [&] {
+    Chan<int> A(0);
+    go("sender", [&] { A.send(7); });
+    int Got = 0;
+    Selector Sel;
+    Sel.onRecv<int>(A, [&](int V, bool) { Got = V; });
+    Sel.run();
+    EXPECT_EQ(Got, 7);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Select, SendArmDeliversToWaitingReceiver) {
+  int Got = 0;
+  RunResult Result = runBody(15, [&] {
+    auto A = std::make_shared<Chan<int>>(0);
+    Chan<Unit> Done(0);
+    go("receiver", [&, A] {
+      Got = A->recvValue();
+      Done.send(Unit{});
+    });
+    gosched(); // Let the receiver park.
+    Selector Sel;
+    Sel.onSend<int>(*A, 11);
+    EXPECT_EQ(Sel.run(), 0);
+    Done.recv();
+  });
+  EXPECT_EQ(Got, 11);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Select, ChoiceAmongReadyArmsIsSeedDependent) {
+  auto PickArm = [](uint64_t Seed) {
+    int Arm = -2;
+    runBody(Seed, [&] {
+      Chan<int> A(1), B(1);
+      A.send(1);
+      B.send(2);
+      Selector Sel;
+      Sel.onRecv<int>(A, [](int, bool) {});
+      Sel.onRecv<int>(B, [](int, bool) {});
+      Arm = Sel.run();
+    });
+    return Arm;
+  };
+  bool SawA = false, SawB = false;
+  for (uint64_t Seed = 1; Seed <= 32 && !(SawA && SawB); ++Seed) {
+    int Arm = PickArm(Seed);
+    SawA |= Arm == 0;
+    SawB |= Arm == 1;
+  }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB); // "one is chosen non-deterministically" (§4.6).
+}
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+TEST(Context, WithCancelClosesDone) {
+  RunResult Result = runBody(16, [&] {
+    auto [Ctx, Cancel] = Context::withCancel(Context::background());
+    EXPECT_FALSE(Ctx.cancelled());
+    Cancel();
+    EXPECT_TRUE(Ctx.cancelled());
+    EXPECT_EQ(Ctx.err(), "context canceled");
+    auto [V, Ok] = Ctx.doneChan().recv();
+    (void)V;
+    EXPECT_FALSE(Ok); // Closed channel broadcast.
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(Context, TimeoutFiresInVirtualTime) {
+  RunResult Result = runBody(17, [&] {
+    auto [Ctx, Cancel] = Context::withTimeout(Context::background(), 50);
+    (void)Cancel;
+    Ctx.doneChan().recv(); // Blocks until the timer goroutine fires.
+    EXPECT_EQ(Ctx.err(), "context deadline exceeded");
+  });
+  EXPECT_TRUE(Result.MainFinished);
+  EXPECT_FALSE(Result.Deadlocked);
+}
+
+TEST(Context, CancelIsIdempotent) {
+  RunResult Result = runBody(18, [&] {
+    auto [Ctx, Cancel] = Context::withTimeout(Context::background(), 30);
+    Cancel();
+    Cancel(); // No double-close panic.
+    Runtime::current().sleepUntilStep(Runtime::current().stepCount() + 60);
+    EXPECT_EQ(Ctx.err(), "context canceled"); // Timer found it cancelled.
+  });
+  EXPECT_TRUE(Result.Panics.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Seed-sweep property: a producer/consumer pipeline over channels is
+// always race-free and always delivers every item, on every schedule.
+//===----------------------------------------------------------------------===//
+
+class ChanSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChanSeedSweep, PipelineDeliversAllItemsRaceFree) {
+  int Sum = 0;
+  RunResult Result = runBody(GetParam(), [&] {
+    Chan<int> Work(2, "work");
+    Chan<int> Results(2, "results");
+    go("producer", [&] {
+      for (int I = 1; I <= 8; ++I)
+        Work.send(I);
+      Work.close();
+    });
+    go("worker", [&] {
+      for (;;) {
+        auto [Item, Ok] = Work.recv();
+        if (!Ok)
+          break;
+        Results.send(Item * 10);
+      }
+      Results.close();
+    });
+    for (;;) {
+      auto [R, Ok] = Results.recv();
+      if (!Ok)
+        break;
+      Sum += R;
+    }
+  });
+  EXPECT_EQ(Sum, 360); // 10 * (1 + ... + 8)
+  EXPECT_TRUE(Result.clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChanSeedSweep,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/CorpusTest.cpp - Pattern corpus validation --------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// The central validation of Section 4's reproduction: every pattern's
+// racy variant must be detected (on at least a solid majority of seeds —
+// some patterns, like the Listing 9 Future, are schedule-dependent by
+// design), and every pattern's FIXED variant must be race-free on every
+// seed (the detector's no-false-positives check over real synchronization
+// idioms).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "corpus/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::corpus;
+
+namespace {
+
+class PatternTest : public ::testing::TestWithParam<const char *> {
+protected:
+  const Pattern &pattern() const {
+    const Pattern *P = findPattern(GetParam());
+    EXPECT_NE(P, nullptr) << "unregistered pattern id " << GetParam();
+    return *P;
+  }
+};
+
+constexpr uint64_t SeedCount = 20;
+
+TEST_P(PatternTest, RacyVariantIsDetectedAcrossSeeds) {
+  const Pattern &P = pattern();
+  size_t Detected = 0;
+  for (uint64_t Seed = 1; Seed <= SeedCount; ++Seed) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    rt::RunResult Result = P.RunRacy(Opts);
+    EXPECT_FALSE(Result.Deadlocked)
+        << P.Id << " deadlocked at seed " << Seed;
+    EXPECT_FALSE(Result.StepLimitHit)
+        << P.Id << " hit the step limit at seed " << Seed;
+    if (Result.RaceCount > 0)
+      ++Detected;
+  }
+  // Schedule-dependent patterns won't hit 20/20; every pattern must be
+  // caught on at least a third of seeds, and most are caught on all.
+  EXPECT_GE(Detected, SeedCount / 3)
+      << P.Id << " racy variant detected on only " << Detected << "/"
+      << SeedCount << " seeds";
+}
+
+TEST_P(PatternTest, FixedVariantIsCleanOnEverySeed) {
+  const Pattern &P = pattern();
+  for (uint64_t Seed = 1; Seed <= SeedCount; ++Seed) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    rt::RunResult Result = P.RunFixed(Opts);
+    EXPECT_EQ(Result.RaceCount, 0u)
+        << P.Id << " fixed variant raced at seed " << Seed;
+    EXPECT_FALSE(Result.Deadlocked)
+        << P.Id << " fixed variant deadlocked at seed " << Seed;
+    EXPECT_TRUE(Result.Panics.empty())
+        << P.Id << " fixed variant panicked at seed " << Seed << ": "
+        << Result.Panics.front();
+  }
+}
+
+TEST_P(PatternTest, RacyVariantNeverPanics) {
+  const Pattern &P = pattern();
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    rt::RunResult Result = P.RunRacy(Opts);
+    EXPECT_TRUE(Result.Panics.empty())
+        << P.Id << " panicked at seed " << Seed << ": "
+        << (Result.Panics.empty() ? "" : Result.Panics.front());
+  }
+}
+
+std::vector<const char *> allPatternIds() {
+  std::vector<const char *> Ids;
+  for (const Pattern &P : allPatterns())
+    Ids.push_back(P.Id.c_str());
+  return Ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
+                         ::testing::ValuesIn(allPatternIds()),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(Corpus, HasEveryPaperCategory) {
+  bool Seen[32] = {};
+  for (const Pattern &P : allPatterns())
+    Seen[static_cast<size_t>(P.Cat)] = true;
+  for (const CategoryCount &Row : table2Counts())
+    EXPECT_TRUE(Seen[static_cast<size_t>(Row.Cat)])
+        << "no pattern for " << categoryName(Row.Cat);
+  for (const CategoryCount &Row : table3Counts())
+    EXPECT_TRUE(Seen[static_cast<size_t>(Row.Cat)])
+        << "no pattern for " << categoryName(Row.Cat);
+}
+
+TEST(Corpus, ListingNinePatternLeaksGoroutine) {
+  const Pattern *P = findPattern("future-ctx-timeout");
+  ASSERT_NE(P, nullptr);
+  size_t Leaks = 0;
+  for (uint64_t Seed = 1; Seed <= SeedCount; ++Seed) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    rt::RunResult Result = P->RunRacy(Opts);
+    if (!Result.LeakedGoroutines.empty())
+      ++Leaks;
+  }
+  // "the goroutine will block forever on line 6 when there is no receiver"
+  EXPECT_GT(Leaks, 0u);
+}
+
+TEST(Corpus, SamplerDrawsExactCategoryCounts) {
+  auto Population = samplePopulation(7, table2Counts());
+  size_t Expected = 0;
+  for (const CategoryCount &Row : table2Counts())
+    Expected += Row.PaperCount;
+  EXPECT_EQ(Population.size(), Expected);
+
+  size_t PerCat[32] = {};
+  for (const StudyInstance &Instance : Population)
+    ++PerCat[static_cast<size_t>(Instance.Cat)];
+  for (const CategoryCount &Row : table2Counts())
+    EXPECT_EQ(PerCat[static_cast<size_t>(Row.Cat)], Row.PaperCount);
+}
+
+TEST(Corpus, SamplerIsDeterministic) {
+  auto A = samplePopulation(99, table3Counts());
+  auto B = samplePopulation(99, table3Counts());
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Patt, B[I].Patt);
+    EXPECT_EQ(A[I].Seed, B[I].Seed);
+  }
+}
+
+} // namespace

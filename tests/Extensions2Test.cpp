@@ -1,0 +1,232 @@
+//===- tests/Extensions2Test.cpp - Semaphore, Pool, Sweep tests ------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Sweep.h"
+#include "rt/Channel.h"
+#include "rt/Instr.h"
+#include "rt/Pool.h"
+#include "rt/Runtime.h"
+#include "rt/Semaphore.h"
+#include "rt/Sync.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+RunResult runBody(uint64_t Seed, std::function<void()> Body) {
+  Runtime RT(withSeed(Seed));
+  return RT.run(std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Semaphore
+//===----------------------------------------------------------------------===//
+
+TEST(SemaphoreT, BoundsConcurrency) {
+  int Inside = 0, MaxInside = 0;
+  RunResult Result = runBody(1, [&] {
+    Semaphore Sem(2);
+    WaitGroup Wg;
+    for (int I = 0; I < 6; ++I) {
+      Wg.add(1);
+      go("worker", [&] {
+        Sem.acquire();
+        ++Inside;
+        MaxInside = std::max(MaxInside, Inside);
+        gosched();
+        --Inside;
+        Sem.release();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_LE(MaxInside, 2);
+  EXPECT_GE(MaxInside, 2); // The capacity was actually used.
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(SemaphoreT, CapacityOneActsAsMutexForDetector) {
+  RunResult Result = runBody(2, [&] {
+    Semaphore Sem(1);
+    Shared<int> Data("data", 0);
+    WaitGroup Wg;
+    for (int I = 0; I < 4; ++I) {
+      Wg.add(1);
+      go("worker", [&] {
+        Sem.acquire();
+        Data = Data.load() + 1; // HB-ordered by acquire/release chains.
+        Sem.release();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+    EXPECT_EQ(Data.load(), 4);
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(SemaphoreT, TryAcquireFailsWhenExhausted) {
+  RunResult Result = runBody(3, [&] {
+    Semaphore Sem(1);
+    EXPECT_TRUE(Sem.tryAcquire());
+    EXPECT_FALSE(Sem.tryAcquire());
+    Sem.release();
+    EXPECT_TRUE(Sem.tryAcquire());
+    Sem.release();
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(SemaphoreT, OverWeightAcquirePanics) {
+  RunResult Result = runBody(4, [&] {
+    Semaphore Sem(2);
+    Sem.acquire(3);
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+}
+
+TEST(SemaphoreT, OverReleasePanics) {
+  RunResult Result = runBody(5, [&] {
+    Semaphore Sem(1);
+    Sem.release();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// sync.Pool
+//===----------------------------------------------------------------------===//
+
+struct Buffer {
+  explicit Buffer() : Cell(std::make_shared<Shared<int>>("buf", 0)) {}
+  std::shared_ptr<Shared<int>> Cell;
+};
+
+TEST(PoolT, GetReturnsPooledObjectWithHappensBefore) {
+  RunResult Result = runBody(6, [&] {
+    Pool<Buffer> P([] { return std::make_shared<Buffer>(); });
+    auto A = P.get();
+    A->Cell->store(7);
+    P.put(A);
+    A.reset(); // Correct use: drop the reference after Put.
+
+    WaitGroup Wg;
+    Wg.add(1);
+    go("next-user", [&P, &Wg] {
+      auto B = P.get();
+      EXPECT_EQ(B->Cell->load(), 7); // Previous owner's write, ordered.
+      Wg.done();
+    });
+    Wg.wait();
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(PoolT, EmptyPoolUsesFactory) {
+  int Made = 0;
+  RunResult Result = runBody(7, [&] {
+    Pool<Buffer> P([&Made] {
+      ++Made;
+      return std::make_shared<Buffer>();
+    });
+    auto A = P.get();
+    auto B = P.get();
+    EXPECT_EQ(P.idle(), 0u);
+    P.put(A);
+    EXPECT_EQ(P.idle(), 1u);
+  });
+  EXPECT_EQ(Made, 2);
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(PoolT, UseAfterPutRaces) {
+  size_t Detections = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RunResult Result = runBody(Seed, [&] {
+      auto P = std::make_shared<Pool<Buffer>>(
+          [] { return std::make_shared<Buffer>(); });
+      auto Held = P->get();
+      P->put(Held); // BUG: reference retained past Put...
+      WaitGroup Wg;
+      Wg.add(1);
+      go("next-user", [P, &Wg] {
+        auto Fresh = P->get();
+        Fresh->Cell->store(1);
+        Wg.done();
+      });
+      Held->Cell->store(2); // ...and mutated: races with the new owner.
+      Wg.wait();
+    });
+    Detections += Result.RaceCount > 0;
+  }
+  EXPECT_GT(Detections, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep (pipeline)
+//===----------------------------------------------------------------------===//
+
+TEST(SweepT, CleanProgramSweepsClean) {
+  pipeline::SweepResult Result = pipeline::sweep(20, [] {
+    Mutex Mu;
+    Shared<int> X("x", 0);
+    WaitGroup Wg;
+    for (int I = 0; I < 3; ++I) {
+      Wg.add(1);
+      go("w", [&] {
+        Mu.lock();
+        X = X.load() + 1;
+        Mu.unlock();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_TRUE(Result.clean());
+  EXPECT_EQ(Result.SeedsRun, 20u);
+  EXPECT_EQ(Result.detectionRate(), 0.0);
+}
+
+TEST(SweepT, RacyProgramYieldsDedupedFinding) {
+  pipeline::SweepResult Result = pipeline::sweep(20, [] {
+    auto X = std::make_shared<Shared<int>>("x", 0);
+    WaitGroup Wg;
+    Wg.add(1);
+    go("writer", [X, &Wg] {
+      FuncScope Fn("writerFn", "w.go", 2);
+      X->store(1);
+      Wg.done();
+    });
+    FuncScope Fn("mainFn", "m.go", 8);
+    X->store(2);
+    Wg.wait();
+  });
+  EXPECT_EQ(Result.SeedsWithRaces, 20u);
+  EXPECT_EQ(Result.detectionRate(), 1.0);
+  // 20 raw reports, ONE §3.3.1 fingerprint.
+  ASSERT_EQ(Result.Findings.size(), 1u);
+  EXPECT_EQ(Result.Findings.begin()->second.Occurrences, 20u);
+  EXPECT_NE(Result.Findings.begin()->second.SampleReport.find(
+                "WARNING: DATA RACE"),
+            std::string::npos);
+}
+
+TEST(SweepT, CountsLeaksAndPanics) {
+  pipeline::SweepOptions Opts;
+  Opts.NumSeeds = 5;
+  pipeline::SweepResult Result = pipeline::sweep(Opts, [] {
+    auto Ch = std::make_shared<Chan<int>>(0, "orphan");
+    go("leaker", [Ch] { Ch->send(1); }); // Leaks every run.
+  });
+  EXPECT_EQ(Result.SeedsWithLeaks, 5u);
+}
+
+} // namespace

@@ -1,0 +1,278 @@
+//===- tests/ExtensionsTest.cpp - Cond, SyncMap, ErrGroup, Time tests ------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Cond.h"
+#include "rt/ErrGroup.h"
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Select.h"
+#include "rt/SyncMap.h"
+#include "rt/Time.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+RunResult runBody(uint64_t Seed, std::function<void()> Body) {
+  Runtime RT(withSeed(Seed));
+  return RT.run(std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// sync.Cond
+//===----------------------------------------------------------------------===//
+
+TEST(Cond, WaitBlocksUntilSignalAndPublishes) {
+  RunResult Result = runBody(1, [&] {
+    Mutex Mu;
+    Cond Ready(Mu);
+    Shared<int> Queue("queue", 0);
+    WaitGroup Wg;
+    Wg.add(1);
+    go("consumer", [&] {
+      Mu.lock();
+      while (Queue.load() == 0) {
+        if (Runtime::current().aborting())
+          return;
+        Ready.wait();
+      }
+      EXPECT_EQ(Queue.load(), 5); // Producer's write visible, ordered.
+      Mu.unlock();
+      Wg.done();
+    });
+    gosched();
+    Mu.lock();
+    Queue = 5;
+    Ready.signal();
+    Mu.unlock();
+    Wg.wait();
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Cond, WaitWithoutLockPanics) {
+  RunResult Result = runBody(2, [&] {
+    Mutex Mu;
+    Cond C(Mu);
+    C.wait();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_NE(Result.Panics[0].find("without holding"), std::string::npos);
+}
+
+TEST(Cond, BroadcastWakesEveryWaiter) {
+  int Woken = 0;
+  RunResult Result = runBody(3, [&] {
+    Mutex Mu;
+    Cond Gate(Mu);
+    bool Open = false; // Plain state under Mu.
+    WaitGroup Wg;
+    for (int I = 0; I < 4; ++I) {
+      Wg.add(1);
+      go("waiter", [&] {
+        Mu.lock();
+        while (!Open) {
+          if (Runtime::current().aborting())
+            return;
+          Gate.wait();
+        }
+        ++Woken;
+        Mu.unlock();
+        Wg.done();
+      });
+    }
+    gosched();
+    Mu.lock();
+    Open = true;
+    Gate.broadcast();
+    Mu.unlock();
+    Wg.wait();
+  });
+  EXPECT_EQ(Woken, 4);
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+//===----------------------------------------------------------------------===//
+// sync.Map
+//===----------------------------------------------------------------------===//
+
+TEST(SyncMapT, ConcurrentMixedUseIsRaceFree) {
+  RunResult Result = runBody(4, [&] {
+    auto M = std::make_shared<SyncMap<int, int>>("m");
+    WaitGroup Wg;
+    for (int W = 0; W < 6; ++W) {
+      Wg.add(1);
+      go("worker", [M, W, &Wg] {
+        M->store(W, W * 10);
+        auto [V, Ok] = M->load(W);
+        EXPECT_TRUE(Ok);
+        EXPECT_EQ(V, W * 10);
+        if (W % 2 == 0)
+          M->erase(W);
+        Wg.done();
+      });
+    }
+    Wg.wait();
+    EXPECT_EQ(M->len(), 3u);
+  });
+  // The exact contrast with GoMap, Observation 5's fix.
+  EXPECT_EQ(Result.RaceCount, 0u);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(SyncMapT, LoadOrStoreIsAtomic) {
+  int Stores = 0;
+  RunResult Result = runBody(5, [&] {
+    auto M = std::make_shared<SyncMap<std::string, int>>("m");
+    WaitGroup Wg;
+    for (int W = 0; W < 5; ++W) {
+      Wg.add(1);
+      go("initer", [M, W, &Wg, &Stores] {
+        auto [Value, Loaded] = M->loadOrStore("config", W);
+        if (!Loaded)
+          ++Stores;
+        EXPECT_EQ(Value, M->load("config").first); // Converged.
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_EQ(Stores, 1); // Exactly one goroutine initialized.
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(SyncMapT, RangeVisitsAllAndCanStopEarly) {
+  RunResult Result = runBody(6, [&] {
+    SyncMap<int, int> M("m");
+    for (int I = 0; I < 5; ++I)
+      M.store(I, I);
+    int Visited = 0;
+    M.range([&](int, int) {
+      ++Visited;
+      return true;
+    });
+    EXPECT_EQ(Visited, 5);
+    Visited = 0;
+    M.range([&](int, int) {
+      ++Visited;
+      return Visited < 2;
+    });
+    EXPECT_EQ(Visited, 2);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+//===----------------------------------------------------------------------===//
+// errgroup
+//===----------------------------------------------------------------------===//
+
+TEST(ErrGroupT, WaitJoinsAllAndReturnsFirstError) {
+  RunResult Result = runBody(7, [&] {
+    auto G = std::make_shared<ErrGroup>();
+    auto Sum = std::make_shared<GoAtomic<int>>("sum", 0);
+    for (int W = 0; W < 5; ++W)
+      G->spawn([Sum, W]() -> std::string {
+        Sum->add(W);
+        return W == 3 ? "fetch failed" : "";
+      });
+    std::string Err = G->wait();
+    EXPECT_EQ(Err, "fetch failed");
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(ErrGroupT, SuccessReturnsEmpty) {
+  RunResult Result = runBody(8, [&] {
+    auto G = std::make_shared<ErrGroup>();
+    for (int W = 0; W < 3; ++W)
+      G->spawn([]() -> std::string { return ""; });
+    EXPECT_EQ(G->wait(), "");
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(ErrGroupT, WaitEstablishesHappensBefore) {
+  RunResult Result = runBody(9, [&] {
+    auto G = std::make_shared<ErrGroup>();
+    auto Data = std::make_shared<Shared<int>>("data", 0);
+    G->spawn([Data]() -> std::string {
+      Data->store(11);
+      return "";
+    });
+    G->wait();
+    EXPECT_EQ(Data->load(), 11); // Ordered; no race.
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// time: sleep / after / ticker (virtual time)
+//===----------------------------------------------------------------------===//
+
+TEST(VirtualTime, SleepAdvancesVirtualClock) {
+  RunResult Result = runBody(10, [&] {
+    uint64_t Before = Runtime::current().stepCount();
+    sleepFor(100);
+    EXPECT_GE(Runtime::current().stepCount(), Before + 100);
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(VirtualTime, AfterDeliversOnce) {
+  RunResult Result = runBody(11, [&] {
+    auto Done = after(50);
+    auto [V, Ok] = Done->recv();
+    (void)V;
+    EXPECT_TRUE(Ok);
+  });
+  EXPECT_TRUE(Result.MainFinished);
+  EXPECT_TRUE(Result.LeakedGoroutines.empty());
+}
+
+TEST(VirtualTime, AfterUnusedDoesNotLeak) {
+  RunResult Result = runBody(12, [&] {
+    after(30); // Nobody receives; buffered send must not block forever.
+    sleepFor(100);
+  });
+  EXPECT_TRUE(Result.LeakedGoroutines.empty());
+}
+
+TEST(VirtualTime, TickerTicksUntilStopped) {
+  int Ticks = 0;
+  RunResult Result = runBody(13, [&] {
+    Ticker T(20);
+    for (int I = 0; I < 3; ++I) {
+      T.chan().recv();
+      ++Ticks;
+    }
+    T.stop();
+  });
+  EXPECT_EQ(Ticks, 3);
+  EXPECT_TRUE(Result.MainFinished);
+  EXPECT_TRUE(Result.LeakedGoroutines.empty());
+}
+
+TEST(VirtualTime, SelectWithTimeoutIdiom) {
+  // The `select { case <-work: ... case <-time.After(d): ... }` idiom.
+  bool TimedOut = false;
+  RunResult Result = runBody(14, [&] {
+    Chan<int> Work(0, "work"); // Nobody ever sends.
+    auto Timeout = after(40);
+    Selector Sel;
+    Sel.onRecv<int>(Work, [](int, bool) {});
+    Sel.onRecv<Unit>(*Timeout, [&](Unit, bool) { TimedOut = true; });
+    Sel.run();
+  });
+  EXPECT_TRUE(TimedOut);
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+//===- tests/FuzzTest.cpp - Randomized property tests ----------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Two fuzzers:
+//
+//  1. Detector-level: random well-formed event traces fed to detectors in
+//     different configurations, checking representation-independence
+//     (FastTrack epochs vs always-full vector clocks report the same racy
+//     addresses) and lock-discipline soundness (fully lock-protected
+//     traces are never flagged by either engine).
+//
+//  2. Runtime-level: random concurrent programs in safe (every shared
+//     access under one mutex) and bugged (one access site skips the lock)
+//     variants, swept across schedules: safe programs must be clean on
+//     EVERY seed; bugged programs must be caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/Detector.h"
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Sync.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace grs;
+using namespace grs::race;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Detector-level trace fuzzing
+//===----------------------------------------------------------------------===//
+
+/// One recorded event of a synthetic trace.
+struct TraceEvent {
+  enum Kind { Read, Write, Acquire, Release, Fork } K;
+  Tid Thread;       // Acting thread (index into trace's thread list).
+  uint32_t Object;  // Address index or lock index.
+};
+
+/// A random but well-formed trace: lock acquire/release properly nested
+/// per thread, forks before use of the forked thread.
+struct Trace {
+  size_t NumThreads;
+  size_t NumLocks;
+  size_t NumAddrs;
+  std::vector<TraceEvent> Events;
+  /// When true, every access to address I was made under lock (I %
+  /// NumLocks) — the lock-discipline-safe generator mode.
+  bool LockDisciplined;
+};
+
+Trace makeTrace(uint64_t Seed, bool LockDisciplined) {
+  support::Rng Rng(Seed);
+  Trace T;
+  T.NumThreads = 2 + Rng.nextBelow(3);
+  T.NumLocks = 1 + Rng.nextBelow(3);
+  T.NumAddrs = 1 + Rng.nextBelow(6);
+  T.LockDisciplined = LockDisciplined;
+
+  // Thread 0 exists; fork the rest up front (events interleaved later
+  // would need happens-before bookkeeping in the generator).
+  for (Tid Child = 1; Child < T.NumThreads; ++Child)
+    T.Events.push_back({TraceEvent::Fork, 0, Child});
+
+  // Per-thread held lock and global holder table: a feasible interleaving
+  // never has two threads inside the same lock at once.
+  std::vector<int> HeldLock(T.NumThreads, -1);
+  std::vector<int> LockHolder(T.NumLocks, -1);
+  auto DoRelease = [&](Tid Actor) {
+    T.Events.push_back({TraceEvent::Release, Actor,
+                        static_cast<uint32_t>(HeldLock[Actor])});
+    LockHolder[static_cast<size_t>(HeldLock[Actor])] = -1;
+    HeldLock[Actor] = -1;
+  };
+  size_t Steps = 40 + Rng.nextBelow(120);
+  for (size_t I = 0; I < Steps; ++I) {
+    Tid Actor = static_cast<Tid>(Rng.nextBelow(T.NumThreads));
+    if (HeldLock[Actor] >= 0 && Rng.chance(0.35)) {
+      DoRelease(Actor);
+      continue;
+    }
+    uint32_t Addr = static_cast<uint32_t>(Rng.nextBelow(T.NumAddrs));
+    uint32_t NeededLock = Addr % T.NumLocks;
+    if (LockDisciplined) {
+      if (HeldLock[Actor] != static_cast<int>(NeededLock)) {
+        if (HeldLock[Actor] >= 0)
+          DoRelease(Actor);
+        if (LockHolder[NeededLock] >= 0)
+          continue; // Lock busy: a real thread would block here.
+        T.Events.push_back({TraceEvent::Acquire, Actor, NeededLock});
+        LockHolder[NeededLock] = static_cast<int>(Actor);
+        HeldLock[Actor] = static_cast<int>(NeededLock);
+      }
+    } else if (HeldLock[Actor] < 0 && Rng.chance(0.3)) {
+      uint32_t L = static_cast<uint32_t>(Rng.nextBelow(T.NumLocks));
+      if (LockHolder[L] < 0) {
+        T.Events.push_back({TraceEvent::Acquire, Actor, L});
+        LockHolder[L] = static_cast<int>(Actor);
+        HeldLock[Actor] = static_cast<int>(L);
+      }
+    }
+    T.Events.push_back({Rng.chance(0.5) ? TraceEvent::Read
+                                        : TraceEvent::Write,
+                        Actor, Addr});
+  }
+  for (Tid Actor = 0; Actor < T.NumThreads; ++Actor)
+    if (HeldLock[Actor] >= 0)
+      DoRelease(Actor);
+  return T;
+}
+
+/// Replays \p T through a detector built with \p Opts; returns the set of
+/// racy addresses.
+std::set<Addr> replay(const Trace &T, DetectorOptions Opts) {
+  Detector D(Opts);
+  std::vector<Tid> Threads{D.newRootGoroutine()};
+  std::vector<SyncId> Locks;
+  for (size_t I = 0; I < T.NumLocks; ++I)
+    Locks.push_back(D.newSyncVar("lock" + std::to_string(I)));
+
+  constexpr Addr Base = 0x5000;
+  for (const TraceEvent &E : T.Events) {
+    switch (E.K) {
+    case TraceEvent::Fork:
+      Threads.push_back(D.fork(Threads[E.Thread]));
+      break;
+    case TraceEvent::Acquire:
+      D.acquire(Threads[E.Thread], Locks[E.Object]);
+      D.lockAcquired(Threads[E.Thread], Locks[E.Object], true);
+      break;
+    case TraceEvent::Release:
+      D.release(Threads[E.Thread], Locks[E.Object]);
+      D.lockReleased(Threads[E.Thread], Locks[E.Object], true);
+      break;
+    case TraceEvent::Read:
+      D.onRead(Threads[E.Thread], Base + E.Object);
+      break;
+    case TraceEvent::Write:
+      D.onWrite(Threads[E.Thread], Base + E.Object);
+      break;
+    }
+  }
+  std::set<Addr> Racy;
+  for (const RaceReport &R : D.reports())
+    Racy.insert(R.Address);
+  return Racy;
+}
+
+class TraceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceFuzz, EpochAndFullVcModesAgreeOnRacyAddresses) {
+  for (uint64_t Sub = 0; Sub < 20; ++Sub) {
+    Trace T = makeTrace(GetParam() * 1000 + Sub, /*LockDisciplined=*/false);
+    DetectorOptions Epochs;
+    DetectorOptions FullVc;
+    FullVc.EpochOptimization = false;
+    EXPECT_EQ(replay(T, Epochs), replay(T, FullVc))
+        << "trace seed " << GetParam() * 1000 + Sub;
+  }
+}
+
+TEST_P(TraceFuzz, LockDisciplinedTracesAreCleanInBothEngines) {
+  for (uint64_t Sub = 0; Sub < 20; ++Sub) {
+    Trace T = makeTrace(GetParam() * 1000 + Sub, /*LockDisciplined=*/true);
+    DetectorOptions Hb;
+    EXPECT_TRUE(replay(T, Hb).empty())
+        << "HB false positive, trace seed " << GetParam() * 1000 + Sub;
+    DetectorOptions Ls;
+    Ls.Mode = DetectMode::LockSetOnly;
+    EXPECT_TRUE(replay(T, Ls).empty())
+        << "Eraser false positive, trace seed " << GetParam() * 1000 + Sub;
+  }
+}
+
+TEST_P(TraceFuzz, HybridReportsAtLeastHbAddresses) {
+  for (uint64_t Sub = 0; Sub < 10; ++Sub) {
+    Trace T = makeTrace(GetParam() * 977 + Sub, /*LockDisciplined=*/false);
+    DetectorOptions Hb;
+    DetectorOptions Hybrid;
+    Hybrid.Mode = DetectMode::Hybrid;
+    std::set<Addr> HbRacy = replay(T, Hb);
+    std::set<Addr> HybridRacy = replay(T, Hybrid);
+    for (Addr A : HbRacy)
+      EXPECT_TRUE(HybridRacy.count(A))
+          << "hybrid missed an HB race, trace seed "
+          << GetParam() * 977 + Sub;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz, ::testing::Range<uint64_t>(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Runtime-level program fuzzing
+//===----------------------------------------------------------------------===//
+
+/// A random program: \p Goroutines workers each performing \p OpsPerG
+/// operations on a few shared cells. In the safe variant every access is
+/// under the single mutex; in the bugged variant exactly one (goroutine,
+/// op) site skips the lock.
+struct ProgramShape {
+  int Goroutines;
+  int OpsPerG;
+  int Cells;
+  int BugGoroutine; // -1 = safe program.
+  int BugOp;
+};
+
+ProgramShape makeShape(uint64_t Seed, bool Bugged) {
+  support::Rng Rng(Seed);
+  ProgramShape S;
+  S.Goroutines = 2 + static_cast<int>(Rng.nextBelow(3));
+  S.OpsPerG = 2 + static_cast<int>(Rng.nextBelow(4));
+  S.Cells = 1 + static_cast<int>(Rng.nextBelow(3));
+  S.BugGoroutine =
+      Bugged ? static_cast<int>(Rng.nextBelow(S.Goroutines)) : -1;
+  S.BugOp = static_cast<int>(Rng.nextBelow(S.OpsPerG));
+  return S;
+}
+
+rt::RunResult runShape(const ProgramShape &S, uint64_t ScheduleSeed) {
+  rt::Runtime RT(rt::withSeed(ScheduleSeed));
+  return RT.run([&S] {
+    std::vector<std::shared_ptr<rt::Shared<int>>> Cells;
+    for (int C = 0; C < S.Cells; ++C)
+      Cells.push_back(std::make_shared<rt::Shared<int>>(
+          "cell" + std::to_string(C), 0));
+    auto Mu = std::make_shared<rt::Mutex>("mu");
+    rt::WaitGroup Wg;
+    for (int G = 0; G < S.Goroutines; ++G) {
+      Wg.add(1);
+      rt::go("worker", [&S, &Wg, Cells, Mu, G] {
+        for (int Op = 0; Op < S.OpsPerG; ++Op) {
+          auto &Cell = *Cells[(G + Op) % S.Cells];
+          bool SkipLock = G == S.BugGoroutine && Op == S.BugOp;
+          if (!SkipLock)
+            Mu->lock();
+          Cell.store(Cell.load() + 1);
+          if (!SkipLock)
+            Mu->unlock();
+        }
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+}
+
+class ProgramFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProgramFuzz, SafeProgramsCleanOnEverySchedule) {
+  ProgramShape S = makeShape(GetParam(), /*Bugged=*/false);
+  for (uint64_t Schedule = 1; Schedule <= 12; ++Schedule) {
+    rt::RunResult Result = runShape(S, Schedule);
+    EXPECT_EQ(Result.RaceCount, 0u)
+        << "shape " << GetParam() << " schedule " << Schedule;
+    EXPECT_TRUE(Result.MainFinished);
+    EXPECT_FALSE(Result.Deadlocked);
+  }
+}
+
+TEST_P(ProgramFuzz, BuggedProgramsAreCaughtBySweep) {
+  ProgramShape S = makeShape(GetParam(), /*Bugged=*/true);
+  size_t Detected = 0;
+  for (uint64_t Schedule = 1; Schedule <= 24; ++Schedule)
+    Detected += runShape(S, Schedule).RaceCount > 0;
+  // The sweep must catch the bug, but NOT necessarily on every schedule:
+  // the unlocked access is often happens-before-ordered with everything
+  // through the buggy goroutine's own surrounding lock operations — the
+  // §3.1 attribute-1 phenomenon ("it may not report all races ... as it
+  // is dependent on the analyzed executions") reproduced in miniature.
+  EXPECT_GE(Detected, 1u) << "shape " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ProgramFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tests/ParserTest.cpp - Go-subset parser tests -----------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs::analysis;
+using namespace grs::analysis::ast;
+
+namespace {
+
+const FuncDecl *findFunc(const File &F, std::string_view Name) {
+  for (const FuncDecl &Fn : F.Funcs)
+    if (Fn.Name == Name)
+      return &Fn;
+  return nullptr;
+}
+
+/// Counts statements of \p K anywhere under \p Body.
+size_t countStmts(const Stmt &Body, Stmt::Kind K) {
+  size_t N = 0;
+  walk(
+      Body,
+      [&](const Stmt &S) { N += S.K == K; },
+      [](const Expr &) {});
+  return N;
+}
+
+TEST(Parser, PackageAndFunctionNames) {
+  File F = parseGo(R"go(
+package orders
+
+func Process(id string) error {
+  return nil
+}
+
+func helper() {}
+)go");
+  EXPECT_EQ(F.PackageName, "orders");
+  ASSERT_EQ(F.Funcs.size(), 2u);
+  EXPECT_EQ(F.Funcs[0].Name, "Process");
+  EXPECT_EQ(F.Funcs[1].Name, "helper");
+  ASSERT_EQ(F.Funcs[0].Params.size(), 1u);
+  EXPECT_EQ(F.Funcs[0].Params[0].Name, "id");
+  EXPECT_EQ(F.Funcs[0].Params[0].Type, "string");
+  ASSERT_EQ(F.Funcs[0].Results.size(), 1u);
+  EXPECT_EQ(F.Funcs[0].Results[0].Type, "error");
+}
+
+TEST(Parser, MethodReceiver) {
+  File F = parseGo(R"go(
+package p
+func (g *HealthGate) updateGate() { }
+func (v Counter) Get() int { return 0 }
+)go");
+  ASSERT_EQ(F.Funcs.size(), 2u);
+  EXPECT_EQ(F.Funcs[0].ReceiverName, "g");
+  EXPECT_EQ(F.Funcs[0].ReceiverType, "*HealthGate");
+  EXPECT_EQ(F.Funcs[1].ReceiverType, "Counter");
+}
+
+TEST(Parser, NamedResults) {
+  File F = parseGo(R"go(
+package p
+func Redeem(request Entity) (resp Response, err error) { return }
+)go");
+  const FuncDecl *Fn = findFunc(F, "Redeem");
+  ASSERT_NE(Fn, nullptr);
+  ASSERT_EQ(Fn->Results.size(), 2u);
+  EXPECT_EQ(Fn->Results[0].Name, "resp");
+  EXPECT_EQ(Fn->Results[0].Type, "Response");
+  EXPECT_EQ(Fn->Results[1].Name, "err");
+  EXPECT_TRUE(Fn->hasNamedResults());
+}
+
+TEST(Parser, GroupedParamNames) {
+  File F = parseGo(R"go(
+package p
+func add(a, b int, s string) int { return a }
+)go");
+  const FuncDecl *Fn = findFunc(F, "add");
+  ASSERT_NE(Fn, nullptr);
+  ASSERT_EQ(Fn->Params.size(), 3u);
+  EXPECT_EQ(Fn->Params[0].Name, "a");
+  EXPECT_EQ(Fn->Params[0].Type, "int"); // Resolved from the group.
+  EXPECT_EQ(Fn->Params[1].Name, "b");
+  EXPECT_EQ(Fn->Params[2].Type, "string");
+}
+
+TEST(Parser, PointerTypesFlattened) {
+  File F = parseGo(R"go(
+package p
+func CriticalSection(m sync.Mutex, p *sync.Mutex) {}
+)go");
+  const FuncDecl *Fn = findFunc(F, "CriticalSection");
+  ASSERT_NE(Fn, nullptr);
+  ASSERT_EQ(Fn->Params.size(), 2u);
+  EXPECT_EQ(Fn->Params[0].Type, "sync.Mutex");
+  EXPECT_EQ(Fn->Params[1].Type, "*sync.Mutex");
+}
+
+TEST(Parser, GoStatementWithClosure) {
+  File F = parseGo(R"go(
+package p
+func spawnAll(jobs []Job) {
+  for _, job := range jobs {
+    go func() {
+      ProcessJob(job)
+    }()
+  }
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "spawnAll");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::RangeFor), 1u);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::Go), 1u);
+}
+
+TEST(Parser, RangeNamesRecorded) {
+  File F = parseGo(R"go(
+package p
+func iterate(m map[string]int) {
+  for k, v := range m {
+    use(k, v)
+  }
+  for i := 0; i < 10; i++ {
+    use(i)
+  }
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "iterate");
+  ASSERT_NE(Fn, nullptr);
+  std::vector<std::vector<std::string>> LoopNames;
+  walk(
+      *Fn->Body,
+      [&](const Stmt &S) {
+        if (S.K == Stmt::Kind::RangeFor || S.K == Stmt::Kind::For)
+          LoopNames.push_back(S.Names);
+      },
+      [](const Expr &) {});
+  ASSERT_EQ(LoopNames.size(), 2u);
+  EXPECT_EQ(LoopNames[0], (std::vector<std::string>{"k", "v"}));
+  EXPECT_EQ(LoopNames[1], (std::vector<std::string>{"i"}));
+}
+
+TEST(Parser, ShortVarDeclAndAssign) {
+  File F = parseGo(R"go(
+package p
+func f() {
+  x, err := Foo()
+  y := 1
+  err = Bar()
+  x += y
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "f");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::ShortVarDecl), 2u);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::Assign), 2u);
+}
+
+TEST(Parser, DeferAndReturn) {
+  File F = parseGo(R"go(
+package p
+func g(mu *sync.Mutex) int {
+  mu.Lock()
+  defer mu.Unlock()
+  return 42
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "g");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::DeferStmt), 1u);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::Return), 1u);
+}
+
+TEST(Parser, ChannelSendAndRecv) {
+  File F = parseGo(R"go(
+package p
+func pump(ch chan int) {
+  ch <- 1
+  v := <-ch
+  use(v)
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "pump");
+  ASSERT_NE(Fn, nullptr);
+  size_t Sends = 0, Recvs = 0;
+  walk(
+      *Fn->Body, [](const Stmt &) {},
+      [&](const Expr &E) {
+        if (E.K == Expr::Kind::Binary && E.Text == "<-")
+          ++Sends;
+        if (E.K == Expr::Kind::Unary && E.Text == "<-")
+          ++Recvs;
+      });
+  EXPECT_EQ(Sends, 1u);
+  EXPECT_EQ(Recvs, 1u);
+}
+
+TEST(Parser, IfElseChain) {
+  File F = parseGo(R"go(
+package p
+func h(x int) int {
+  if x > 10 {
+    return 1
+  } else if x > 5 {
+    return 2
+  } else {
+    return 3
+  }
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "h");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::If), 2u);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::Return), 3u);
+}
+
+TEST(Parser, IfWithInitStatement) {
+  File F = parseGo(R"go(
+package p
+func h() {
+  if err := check(); err != nil {
+    handle(err)
+  }
+}
+)go");
+  const FuncDecl *Fn = findFunc(F, "h");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::If), 1u);
+  EXPECT_EQ(countStmts(*Fn->Body, Stmt::Kind::ShortVarDecl), 1u);
+}
+
+TEST(Parser, SkipsTypeDeclsAndRecovers) {
+  File F = parseGo(R"go(
+package p
+
+type Future struct {
+  response interface{}
+  err      error
+  ch       chan int
+}
+
+const limit = 10
+
+func after() {}
+)go");
+  EXPECT_NE(findFunc(F, "after"), nullptr);
+}
+
+TEST(Parser, SelectBlockIsSkippedNotFatal) {
+  File F = parseGo(R"go(
+package p
+func (f *Future) Wait(ctx context.Context) error {
+  select {
+  case <-f.ch:
+    return nil
+  case <-ctx.Done():
+    f.err = ErrCancelled
+    return ErrCancelled
+  }
+}
+func sentinel() {}
+)go");
+  EXPECT_NE(findFunc(F, "Wait"), nullptr);
+  EXPECT_NE(findFunc(F, "sentinel"), nullptr);
+}
+
+TEST(Parser, RandomBytesNeverCrash) {
+  // Robustness fuzz: arbitrary printable garbage must parse (to
+  // Stmt/Expr::Other + recovered errors) without hanging or crashing —
+  // the industrial-linter survival property.
+  grs::support::Rng Rng(99);
+  const std::string Alphabet =
+      "abgof {}()[];:=<->.,*&+\"'`\n\t_19%!|/ funcgoreturniferr";
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Garbage;
+    size_t Length = 20 + Rng.nextBelow(400);
+    for (size_t I = 0; I < Length; ++I)
+      Garbage.push_back(
+          Alphabet[static_cast<size_t>(Rng.nextBelow(Alphabet.size()))]);
+    EXPECT_NO_FATAL_FAILURE({ parseGo(Garbage); }) << "round " << Round;
+  }
+}
+
+TEST(Parser, MalformedInputNeverCrashes) {
+  const char *Broken[] = {
+      "func {{{{",
+      "package",
+      "func f( { }",
+      "func f() { x := }",
+      "func f() { go }",
+      "}}}} func g() {}",
+      "func f() { for { }",
+  };
+  for (const char *Source : Broken)
+    EXPECT_NO_FATAL_FAILURE({ parseGo(Source); }) << Source;
+}
+
+} // namespace

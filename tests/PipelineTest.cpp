@@ -1,0 +1,388 @@
+//===- tests/PipelineTest.cpp - Deployment pipeline tests ------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BugDatabase.h"
+#include "pipeline/Deployment.h"
+#include "pipeline/Fingerprint.h"
+#include "pipeline/Monorepo.h"
+#include "pipeline/Ownership.h"
+
+#include "corpus/Patterns.h"
+#include "corpus/Sampler.h"
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace grs;
+using namespace grs::pipeline;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting (§3.3.1 laws)
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, OrderOfChainsDoesNotMatter) {
+  NameChain A{"P", "Q", "R"};
+  NameChain B{"A", "B", "C"};
+  EXPECT_EQ(fingerprintChains(A, B), fingerprintChains(B, A));
+}
+
+TEST(Fingerprint, DifferentChainsDiffer) {
+  NameChain A{"P", "Q"};
+  NameChain B{"A", "B"};
+  NameChain C{"A", "X"};
+  EXPECT_NE(fingerprintChains(A, B), fingerprintChains(A, C));
+}
+
+TEST(Fingerprint, ChainBoundaryMatters) {
+  // ({P,Q}, {R}) must differ from ({P}, {Q,R}).
+  EXPECT_NE(fingerprintChains({"P", "Q"}, {"R"}),
+            fingerprintChains({"P"}, {"Q", "R"}));
+}
+
+TEST(Fingerprint, LineNumbersAreIgnoredEndToEnd) {
+  // Two reports with identical chains except for line numbers (and
+  // reversed access order) must collide.
+  race::StringInterner Interner;
+  auto Mk = [&Interner](uint32_t L1, uint32_t L2) {
+    race::CallChain Chain;
+    Chain.push_back(race::Frame{Interner.intern("Root"),
+                                Interner.intern("a.go"), L1});
+    Chain.push_back(race::Frame{Interner.intern("Leaf"),
+                                Interner.intern("a.go"), L2});
+    return Chain;
+  };
+  race::RaceReport R1, R2;
+  R1.Previous.Chain = Mk(10, 20);
+  R1.Current.Chain = Mk(30, 40);
+  // Same race, later revision: lines shifted AND sides swapped.
+  R2.Previous.Chain = Mk(33, 44);
+  R2.Current.Chain = Mk(11, 22);
+  EXPECT_EQ(raceFingerprint(Interner, R1), raceFingerprint(Interner, R2));
+}
+
+TEST(Fingerprint, DetectorReportsFromSameRaceCollideAcrossSeeds) {
+  // Run the same racy program at different seeds; the manifested race has
+  // the same two chains, so the fingerprint is stable even though the
+  // schedule (and the observation order of the two sides) differs.
+  std::set<uint64_t> Fingerprints;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    rt::Runtime RT(Opts);
+    RT.run([] {
+      auto X = std::make_shared<rt::Shared<int>>("x", 0);
+      rt::go("writer", [X] {
+        rt::FuncScope F("writer", "w.go", 3);
+        X->store(1);
+      });
+      rt::FuncScope F("main.body", "m.go", 9);
+      X->store(2);
+    });
+    ASSERT_GE(RT.det().reports().size(), 1u) << "seed " << Seed;
+    Fingerprints.insert(
+        raceFingerprint(RT.det().interner(), RT.det().reports()[0]));
+  }
+  EXPECT_EQ(Fingerprints.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bug database (suppress-iff-open, refiling)
+//===----------------------------------------------------------------------===//
+
+TEST(BugDatabase, SuppressesWhileOpenRefilesAfterFix) {
+  BugDatabase Db;
+  FileOutcome First = Db.fileReport(0xabc, 7, 1, {"log"});
+  EXPECT_TRUE(First.Created);
+  FileOutcome Dup = Db.fileReport(0xabc, 9, 2, {});
+  EXPECT_TRUE(Dup.Suppressed);
+  EXPECT_EQ(Dup.Id, First.Id);
+  EXPECT_EQ(Db.numOutstanding(), 1u);
+
+  Db.markFixed(First.Id, 3);
+  EXPECT_EQ(Db.numOutstanding(), 0u);
+  EXPECT_EQ(Db.openTaskFor(0xabc), nullptr);
+
+  // "As soon as the open defect with the same hash is fixed, our system
+  // files another defect with the same hash."
+  FileOutcome Refiled = Db.fileReport(0xabc, 7, 4, {});
+  EXPECT_TRUE(Refiled.Created);
+  EXPECT_NE(Refiled.Id, First.Id);
+  EXPECT_EQ(Db.numCreated(), 2u);
+  EXPECT_EQ(Db.numSuppressedDuplicates(), 1u);
+}
+
+TEST(BugDatabase, DistinctHashesCoexist) {
+  BugDatabase Db;
+  Db.fileReport(1, 0, 0, {});
+  Db.fileReport(2, 0, 0, {});
+  Db.fileReport(3, 0, 0, {});
+  EXPECT_EQ(Db.numOutstanding(), 3u);
+  EXPECT_EQ(Db.numFixed(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ownership (§3.3.2 heuristics)
+//===----------------------------------------------------------------------===//
+
+TEST(Ownership, PrefersRootFrameLastModifier) {
+  MonorepoConfig Config;
+  Config.Seed = 11;
+  MonorepoModel Repo(Config);
+  OwnershipResolver Resolver(Repo);
+  support::Rng Rng(1);
+
+  ReportSites Sites;
+  Sites.RootA = 5;
+  Sites.RootB = 6;
+  Sites.LeafA = 7;
+  Sites.LeafB = 8;
+  Resolution R = Resolver.resolve(Sites, Rng);
+  EXPECT_EQ(R.Assignee, Repo.lastModifier(5));
+  EXPECT_FALSE(R.Log.empty());
+  EXPECT_FALSE(R.Candidates.empty());
+}
+
+TEST(Ownership, FallsBackWhenRootAuthorsLeft) {
+  MonorepoConfig Config;
+  Config.Seed = 12;
+  Config.DailyDeveloperChurn = 1.0; // Everyone leaves after one day.
+  MonorepoModel Repo(Config);
+  support::Rng Rng(1);
+  Repo.advanceDay(Rng); // All developers depart.
+  OwnershipResolver Resolver(Repo);
+
+  ReportSites Sites{1, 2, 3, 4};
+  Resolution R = Resolver.resolve(Sites, Rng);
+  // Still yields SOME assignee (triage), with an explanation trail.
+  EXPECT_FALSE(R.Log.empty());
+  bool MentionsLeft = false;
+  for (const std::string &Line : R.Log)
+    MentionsLeft |= Line.find("left the organization") != std::string::npos;
+  EXPECT_TRUE(MentionsLeft);
+}
+
+TEST(Ownership, LogExplainsDecision) {
+  MonorepoConfig Config;
+  Config.Seed = 13;
+  MonorepoModel Repo(Config);
+  OwnershipResolver Resolver(Repo);
+  support::Rng Rng(2);
+  Resolution R = Resolver.resolve(ReportSites{0, 1, 2, 3}, Rng);
+  bool Assigning = false;
+  for (const std::string &Line : R.Log)
+    Assigning |= Line.find("assigning to") != std::string::npos ||
+                 Line.find("triage") != std::string::npos;
+  EXPECT_TRUE(Assigning);
+}
+
+//===----------------------------------------------------------------------===//
+// Deployment simulation (Figures 3-4, §3.5 statistics)
+//===----------------------------------------------------------------------===//
+
+class DeploymentSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeploymentSweep, ReproducesPaperScaleStatistics) {
+  DeploymentConfig Config;
+  Config.Seed = GetParam();
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+
+  // §3.5: "detect ~2000 data races" — "over 2000" with daily arrivals.
+  EXPECT_GT(O.TotalDetectedRaces, 1800u);
+  EXPECT_LT(O.TotalDetectedRaces, 3200u);
+  // "1011 races are fixed".
+  EXPECT_GT(O.TotalFixedTasks, 700u);
+  EXPECT_LT(O.TotalFixedTasks, 1500u);
+  // "790 unique patches ... ~78% unique root causes".
+  EXPECT_GT(O.PatchesPerFixedTask, 0.65);
+  EXPECT_LT(O.PatchesPerFixedTask, 0.95);
+  // "210 different engineers" (order of magnitude, skewed ownership).
+  EXPECT_GT(O.UniqueFixers, 120u);
+  EXPECT_LT(O.UniqueFixers, 420u);
+  // "about five new race reports, on average, every day".
+  EXPECT_GT(O.AvgNewReportsPerDayLate, 2.0);
+  EXPECT_LT(O.AvgNewReportsPerDayLate, 10.0);
+}
+
+TEST_P(DeploymentSweep, FigureThreeShapeDropThenRise) {
+  DeploymentConfig Config;
+  Config.Seed = GetParam();
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+  const auto &Out = O.Outstanding.Values;
+  ASSERT_EQ(Out.size(), Config.Days);
+
+  // Peak during the discovery phase, then a drop while shepherded...
+  double Peak = 0;
+  for (uint32_t Day = 0; Day < Config.ShepherdingEndDay; ++Day)
+    Peak = std::max(Peak, Out[Day]);
+  double AtShepherdEnd = Out[Config.ShepherdingEndDay + 15];
+  EXPECT_LT(AtShepherdEnd, Peak * 0.92)
+      << "no visible drop during the shepherded phase";
+  // ...then a gradual rise once the authors disengage.
+  double End = Out.back();
+  EXPECT_GT(End, AtShepherdEnd * 1.05)
+      << "no gradual rise after shepherding stopped";
+}
+
+TEST_P(DeploymentSweep, FigureFourShapeSurgeAndGradientGap) {
+  DeploymentConfig Config;
+  Config.Seed = GetParam();
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+  const auto &Created = O.CreatedCumulative.Values;
+  const auto &Resolved = O.ResolvedCumulative.Values;
+
+  // Slow ramp before the floodgates, surge after (July).
+  double RampRate = Created[Config.FloodgateDay - 1] /
+                    static_cast<double>(Config.FloodgateDay);
+  double SurgeRate = (Created[Config.FloodgateDay + 9] -
+                      Created[Config.FloodgateDay - 1]) /
+                     10.0;
+  EXPECT_GT(SurgeRate, RampRate * 3.0) << "no July filing surge";
+
+  // Late phase: creation gradient exceeds resolution gradient ("the
+  // authors disengaged from shepherding").
+  size_t Last = Created.size() - 1;
+  size_t From = Config.FloodgateDay + 30;
+  double LateCreatedRate =
+      (Created[Last] - Created[From]) / static_cast<double>(Last - From);
+  double LateResolvedRate =
+      (Resolved[Last] - Resolved[From]) / static_cast<double>(Last - From);
+  EXPECT_GT(LateCreatedRate, LateResolvedRate);
+
+  // Cumulative curves are monotone.
+  for (size_t I = 1; I < Created.size(); ++I) {
+    EXPECT_GE(Created[I], Created[I - 1]);
+    EXPECT_GE(Resolved[I], Resolved[I - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeploymentSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Deployment, DeterministicPerSeed) {
+  DeploymentConfig Config;
+  Config.Seed = 77;
+  DeploymentOutcome A = DeploymentSimulator(Config).run();
+  DeploymentOutcome B = DeploymentSimulator(Config).run();
+  EXPECT_EQ(A.TotalDetectedRaces, B.TotalDetectedRaces);
+  EXPECT_EQ(A.TotalFixedTasks, B.TotalFixedTasks);
+  EXPECT_EQ(A.Outstanding.Values, B.Outstanding.Values);
+}
+
+//===----------------------------------------------------------------------===//
+// Remark 1 counterfactual: CI-blocking deployment
+//===----------------------------------------------------------------------===//
+
+TEST(CiCounterfactual, AccountsForEveryArrival) {
+  DeploymentConfig Config;
+  Config.Seed = 3;
+  Config.Mode = DeployMode::CiBlocking;
+  DeploymentOutcome O = DeploymentSimulator(Config).run();
+  // Every newly introduced race is either blocked or leaks through.
+  EXPECT_GT(O.PreventedAtCi, 0u);
+  EXPECT_GT(O.LeakedPastCi, 0u);
+  // Expected catch rate: stable races (~55%, p≈0.95) are almost always
+  // caught by 2 runs; flaky ones (~45%, mean p≈0.18) mostly leak.
+  double Rate = static_cast<double>(O.PreventedAtCi) /
+                static_cast<double>(O.PreventedAtCi + O.LeakedPastCi);
+  EXPECT_GT(Rate, 0.5);
+  EXPECT_LT(Rate, 0.9);
+}
+
+TEST(CiCounterfactual, ReducesLatePhaseOutstanding) {
+  DeploymentConfig Base;
+  Base.Seed = 4;
+  DeploymentConfig Ci = Base;
+  Ci.Mode = DeployMode::CiBlocking;
+  DeploymentOutcome PostFacto = DeploymentSimulator(Base).run();
+  DeploymentOutcome Blocking = DeploymentSimulator(Ci).run();
+  // "the presence of race detection as part of a CI workflow will help
+  // address this problem by preventing new races from being introduced".
+  EXPECT_LT(Blocking.Outstanding.back(),
+            PostFacto.Outstanding.back() * 0.85);
+  EXPECT_LT(Blocking.AvgNewReportsPerDayLate,
+            PostFacto.AvgNewReportsPerDayLate);
+}
+
+TEST(CiCounterfactual, MoreCiRunsCatchMore) {
+  auto RateWithRuns = [](unsigned Runs) {
+    DeploymentConfig Config;
+    Config.Seed = 5;
+    Config.Mode = DeployMode::CiBlocking;
+    Config.CiRunsPerChange = Runs;
+    DeploymentOutcome O = DeploymentSimulator(Config).run();
+    return static_cast<double>(O.PreventedAtCi) /
+           static_cast<double>(O.PreventedAtCi + O.LeakedPastCi);
+  };
+  EXPECT_LT(RateWithRuns(1), RateWithRuns(6));
+}
+
+TEST(Deployment, ChurnedAssigneesGetTriaged) {
+  DeploymentConfig Config;
+  Config.Seed = 7;
+  Config.Repo.DailyDeveloperChurn = 0.004; // Noticeable churn.
+  DeploymentSimulator Sim(Config);
+  DeploymentOutcome O = Sim.run();
+  EXPECT_GT(O.Reassignments, 0u);
+  // Every still-open task points at an ACTIVE developer after triage
+  // passes (modulo the final partial week).
+  size_t StaleOpen = 0;
+  for (TaskId Id : Sim.bugs().openTasks())
+    StaleOpen += !Sim.repo().isActive(Sim.bugs().task(Id).Assignee);
+  EXPECT_LT(StaleOpen, Sim.bugs().openTasks().size() / 4 + 8);
+}
+
+TEST(Deployment, FixedCategoryBreakdownTracksPaperMass) {
+  DeploymentConfig Config;
+  Config.Seed = 6;
+  DeploymentOutcome O = DeploymentSimulator(Config).run();
+  auto CountFor = [&O](corpus::Category Cat) -> uint64_t {
+    size_t Index = static_cast<size_t>(Cat);
+    return Index < O.FixedByCategory.size() ? O.FixedByCategory[Index] : 0;
+  };
+  uint64_t Total = 0;
+  for (uint64_t N : O.FixedByCategory)
+    Total += N;
+  EXPECT_EQ(Total, O.TotalFixedTasks);
+  // The two dominant paper categories dominate here too.
+  uint64_t MissingLock = CountFor(corpus::Category::MissingLock);
+  uint64_t Slice = CountFor(corpus::Category::SliceConcurrent);
+  uint64_t NamedReturn = CountFor(corpus::Category::CaptureNamedReturn);
+  EXPECT_GT(MissingLock, Slice / 2);
+  EXPECT_GT(Slice, NamedReturn * 5); // 391 vs 4 in the paper.
+  // Rough proportionality: missing-lock is ~28% of the Table 2+3 mass.
+  double Fraction =
+      static_cast<double>(MissingLock) / static_cast<double>(Total);
+  EXPECT_GT(Fraction, 0.18);
+  EXPECT_LT(Fraction, 0.38);
+}
+
+TEST(Monorepo, ChurnDeactivatesDevelopersOverTime) {
+  MonorepoConfig Config;
+  Config.Seed = 5;
+  Config.DailyDeveloperChurn = 0.01;
+  MonorepoModel Repo(Config);
+  support::Rng Rng(9);
+  size_t ActiveBefore = 0;
+  for (DevId Dev = 0; Dev < Repo.numDevelopers(); ++Dev)
+    ActiveBefore += Repo.isActive(Dev);
+  for (int Day = 0; Day < 100; ++Day)
+    Repo.advanceDay(Rng);
+  size_t ActiveAfter = 0;
+  for (DevId Dev = 0; Dev < Repo.numDevelopers(); ++Dev)
+    ActiveAfter += Repo.isActive(Dev);
+  EXPECT_LT(ActiveAfter, ActiveBefore);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- tests/SupportTest.cpp - Support library unit tests ------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+#include "support/Render.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace grs::support;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(123), B(123), C(124);
+  bool Diverged = false;
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    Diverged |= VA != C.next();
+  }
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 7ULL, 1000ULL})
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability) {
+  Rng R(13);
+  int Hits = 0;
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng R(17);
+  for (double Lambda : {0.5, 5.0, 100.0}) {
+    RunningStat S;
+    for (int I = 0; I < 5000; ++I)
+      S.add(static_cast<double>(R.poisson(Lambda)));
+    EXPECT_NEAR(S.mean(), Lambda, Lambda * 0.1 + 0.1) << Lambda;
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng R(19);
+  RunningStat S;
+  for (int I = 0; I < 20000; ++I)
+    S.add(R.gaussian());
+  EXPECT_NEAR(S.mean(), 0.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng R(23);
+  std::vector<double> Weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> Counts(4, 0);
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.weightedIndex(Weights)];
+  EXPECT_EQ(Counts[2], 0);
+  EXPECT_NEAR(Counts[0] / double(N), 0.1, 0.02);
+  EXPECT_NEAR(Counts[1] / double(N), 0.3, 0.02);
+  EXPECT_NEAR(Counts[3] / double(N), 0.6, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng Root(31);
+  Rng A = Root.fork(1);
+  Rng B = Root.fork(2);
+  bool Diverged = false;
+  for (int I = 0; I < 32; ++I)
+    Diverged |= A.next() != B.next();
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng R(37);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Sorted = V;
+  R.shuffle(V);
+  std::vector<int> Resorted = V;
+  std::sort(Resorted.begin(), Resorted.end());
+  EXPECT_EQ(Resorted, Sorted);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, FnvMatchesKnownVector) {
+  // FNV-1a 64-bit of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a().digest(), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, FieldSeparationPreventsConcatenationCollisions) {
+  uint64_t AB_C = Fnv1a().addString("ab").addString("c").digest();
+  uint64_t A_BC = Fnv1a().addString("a").addString("bc").digest();
+  EXPECT_NE(AB_C, A_BC);
+}
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(hashString("gorace"), hashString("gorace"));
+  EXPECT_NE(hashString("gorace"), hashString("gorace "));
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Render, TextTableAlignsColumns) {
+  TextTable T("Title");
+  T.setHeader({"a", "long-header"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-cell", "2"});
+  std::ostringstream OS;
+  T.render(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Title"), std::string::npos);
+  EXPECT_NE(Out.find("| longer-cell | 2"), std::string::npos);
+  // Every body line has the same width.
+  std::istringstream In(Out);
+  std::string Line;
+  std::getline(In, Line); // Title.
+  size_t Width = 0;
+  while (std::getline(In, Line)) {
+    if (Width == 0)
+      Width = Line.size();
+    EXPECT_EQ(Line.size(), Width) << Line;
+  }
+}
+
+TEST(Render, SeriesChartMentionsAllSeries) {
+  Series A{"alpha", {1, 2, 3, 4}};
+  Series B{"beta", {4, 3, 2, 1}};
+  std::ostringstream OS;
+  renderSeriesChart(OS, "Chart", {A, B}, 40, 10);
+  EXPECT_NE(OS.str().find("alpha"), std::string::npos);
+  EXPECT_NE(OS.str().find("beta"), std::string::npos);
+}
+
+TEST(Render, WithThousands) {
+  EXPECT_EQ(withThousands(0), "0");
+  EXPECT_EQ(withThousands(999), "999");
+  EXPECT_EQ(withThousands(1000), "1,000");
+  EXPECT_EQ(withThousands(46000000), "46,000,000");
+}
+
+TEST(Render, FixedFormatting) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+} // namespace

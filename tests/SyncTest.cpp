@@ -1,0 +1,300 @@
+//===- tests/SyncTest.cpp - Go sync primitive tests ------------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Sync.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+RunResult runBody(uint64_t Seed, std::function<void()> Body) {
+  Runtime RT(withSeed(Seed));
+  return RT.run(std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Mutex
+//===----------------------------------------------------------------------===//
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  int MaxInside = 0;
+  RunResult Result = runBody(1, [&] {
+    Mutex Mu;
+    int Inside = 0;
+    WaitGroup Wg;
+    for (int I = 0; I < 6; ++I) {
+      Wg.add(1);
+      go("cs", [&] {
+        Mu.lock();
+        ++Inside;
+        MaxInside = std::max(MaxInside, Inside);
+        gosched(); // Try hard to overlap critical sections.
+        --Inside;
+        Mu.unlock();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_EQ(MaxInside, 1);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(Mutex, UnlockOfUnlockedPanics) {
+  RunResult Result = runBody(2, [&] {
+    Mutex Mu;
+    Mu.unlock();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_NE(Result.Panics[0].find("unlock of unlocked"), std::string::npos);
+}
+
+TEST(Mutex, TryLockFailsWhenHeld) {
+  RunResult Result = runBody(3, [&] {
+    Mutex Mu;
+    Mu.lock();
+    EXPECT_FALSE(Mu.tryLock());
+    Mu.unlock();
+    EXPECT_TRUE(Mu.tryLock());
+    Mu.unlock();
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(Mutex, CopyIsAnIndependentLock) {
+  // The Listing 7 semantics: a copied mutex excludes nobody.
+  RunResult Result = runBody(4, [&] {
+    Mutex Original;
+    Mutex Copy(Original);
+    Original.lock();
+    EXPECT_TRUE(Copy.tryLock()); // Different lock: acquire succeeds.
+    Copy.unlock();
+    Original.unlock();
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+//===----------------------------------------------------------------------===//
+// RWMutex
+//===----------------------------------------------------------------------===//
+
+TEST(RWMutex, ReadersOverlapWritersExclude) {
+  int MaxReaders = 0;
+  int MaxWriters = 0;
+  RunResult Result = runBody(5, [&] {
+    RWMutex Mu;
+    int Readers = 0, Writers = 0;
+    WaitGroup Wg;
+    for (int I = 0; I < 4; ++I) {
+      Wg.add(1);
+      go("reader", [&] {
+        Mu.rlock();
+        ++Readers;
+        MaxReaders = std::max(MaxReaders, Readers);
+        gosched();
+        EXPECT_EQ(Writers, 0); // Never overlap a writer.
+        --Readers;
+        Mu.runlock();
+        Wg.done();
+      });
+    }
+    for (int I = 0; I < 2; ++I) {
+      Wg.add(1);
+      go("writer", [&] {
+        Mu.lock();
+        ++Writers;
+        MaxWriters = std::max(MaxWriters, Writers);
+        gosched();
+        EXPECT_EQ(Readers, 0);
+        --Writers;
+        Mu.unlock();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_GE(MaxReaders, 2); // Concurrency among readers happened.
+  EXPECT_EQ(MaxWriters, 1);
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(RWMutex, WriterSeesAllReaderEffectsWithoutRace) {
+  RunResult Result = runBody(6, [&] {
+    RWMutex Mu;
+    Shared<int> Data("data", 0);
+    Shared<int> Log0("log0", 0);
+    WaitGroup Wg;
+    Wg.add(2);
+    go("reader", [&] {
+      Mu.rlock();
+      Log0 = Data.load(); // Reader-local write, protected by HB to writer.
+      Mu.runlock();
+      Wg.done();
+    });
+    go("writer", [&] {
+      Mu.lock();
+      Data = 7;
+      Mu.unlock();
+      Wg.done();
+    });
+    Wg.wait();
+  });
+  // Data read under rlock vs write under lock: never a race; and Log0
+  // (written by the reader) is ordered before any later writer.
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(RWMutex, RUnlockOfUnlockedPanics) {
+  RunResult Result = runBody(7, [&] {
+    RWMutex Mu;
+    Mu.runlock();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// WaitGroup
+//===----------------------------------------------------------------------===//
+
+TEST(WaitGroup, WaitBlocksUntilAllDone) {
+  int Completed = 0; // Plain int: scheduler-serialized, not a race.
+  RunResult Result = runBody(8, [&] {
+    WaitGroup Wg;
+    for (int I = 0; I < 5; ++I) {
+      Wg.add(1);
+      go("worker", [&] {
+        gosched();
+        ++Completed;
+        Wg.done();
+      });
+    }
+    Wg.wait();
+    EXPECT_EQ(Completed, 5); // Every worker finished before Wait returned.
+  });
+  EXPECT_TRUE(Result.MainFinished);
+}
+
+TEST(WaitGroup, EstablishesHappensBefore) {
+  RunResult Result = runBody(9, [&] {
+    WaitGroup Wg;
+    Shared<int> A("a", 0);
+    Shared<int> B("b", 0);
+    Wg.add(2);
+    go("w1", [&] {
+      A = 1;
+      Wg.done();
+    });
+    go("w2", [&] {
+      B = 2;
+      Wg.done();
+    });
+    Wg.wait();
+    EXPECT_EQ(A.load(), 1); // Both visible, race-free, after Wait().
+    EXPECT_EQ(B.load(), 2);
+  });
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+TEST(WaitGroup, NegativeCounterPanics) {
+  RunResult Result = runBody(10, [&] {
+    WaitGroup Wg;
+    Wg.done();
+  });
+  ASSERT_EQ(Result.Panics.size(), 1u);
+  EXPECT_NE(Result.Panics[0].find("negative WaitGroup"), std::string::npos);
+}
+
+TEST(WaitGroup, WaitReturnsImmediatelyAtZero) {
+  // The Listing 10 precondition: Wait() with counter zero returns at
+  // once, even if goroutines carrying Add() calls exist but haven't run.
+  RunResult Result = runBody(11, [&] {
+    WaitGroup Wg;
+    Wg.wait(); // Counter is 0: no block.
+  });
+  EXPECT_TRUE(Result.MainFinished);
+  EXPECT_FALSE(Result.Deadlocked);
+}
+
+//===----------------------------------------------------------------------===//
+// Once
+//===----------------------------------------------------------------------===//
+
+TEST(Once, RunsExactlyOnceAndPublishes) {
+  int Runs = 0;
+  RunResult Result = runBody(12, [&] {
+    Once O;
+    Shared<int> Config("config", 0);
+    WaitGroup Wg;
+    for (int I = 0; I < 6; ++I) {
+      Wg.add(1);
+      go("init", [&] {
+        O.doOnce([&] {
+          ++Runs;
+          Config = 99;
+        });
+        EXPECT_EQ(Config.load(), 99); // Visible + race-free after Do().
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_EQ(Runs, 1);
+  EXPECT_EQ(Result.RaceCount, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Seed-sweep property: mutual exclusion invariants hold on EVERY schedule.
+//===----------------------------------------------------------------------===//
+
+class SyncSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyncSeedSweep, LockedCounterIsExactAndRaceFree) {
+  RunResult Result = runBody(GetParam(), [&] {
+    Mutex Mu;
+    Shared<int> Counter("counter", 0);
+    WaitGroup Wg;
+    for (int I = 0; I < 7; ++I) {
+      Wg.add(1);
+      go("inc", [&] {
+        Mu.lock();
+        Counter = Counter.load() + 1;
+        Mu.unlock();
+        Wg.done();
+      });
+    }
+    Wg.wait();
+    EXPECT_EQ(Counter.load(), 7);
+  });
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST_P(SyncSeedSweep, OnceNeverRunsTwice) {
+  int Runs = 0;
+  runBody(GetParam(), [&] {
+    Once O;
+    WaitGroup Wg;
+    for (int I = 0; I < 5; ++I) {
+      Wg.add(1);
+      go("once", [&] {
+        O.doOnce([&] { ++Runs; });
+        Wg.done();
+      });
+    }
+    Wg.wait();
+  });
+  EXPECT_EQ(Runs, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncSeedSweep,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

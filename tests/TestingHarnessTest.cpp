@@ -1,0 +1,147 @@
+//===- tests/TestingHarnessTest.cpp - Go testing package semantics ---------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Instr.h"
+#include "rt/Testing.h"
+
+#include <gtest/gtest.h>
+
+using namespace grs;
+using namespace grs::rt;
+
+namespace {
+
+TEST(GoTesting, SerialSubtestsRunInOrder) {
+  std::vector<int> Order;
+  SuiteResult Result = runTestSuite(
+      withSeed(1), {{"TestSerial", [&Order](GoTest &T) {
+                       for (int I = 0; I < 3; ++I)
+                         T.run("sub" + std::to_string(I),
+                               [&Order, I](GoTest &) { Order.push_back(I); });
+                     }}});
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(Result.Failures.empty());
+  EXPECT_EQ(Result.TestsExecuted, 4u); // Top + 3 subtests.
+}
+
+TEST(GoTesting, ParallelSubtestsWaitForSerialPhase) {
+  // Go semantics: parallel subtests resume only after the parent body
+  // completes, so SerialPhaseDone is always true inside them.
+  bool SerialPhaseDone = false;
+  bool Violation = false;
+  SuiteResult Result = runTestSuite(
+      withSeed(2),
+      {{"TestParallel", [&](GoTest &T) {
+          for (int I = 0; I < 3; ++I)
+            T.run("sub" + std::to_string(I), [&](GoTest &Sub) {
+              Sub.parallel();
+              if (!SerialPhaseDone)
+                Violation = true;
+            });
+          SerialPhaseDone = true; // Last statement of the serial phase.
+        }}});
+  EXPECT_FALSE(Violation);
+  EXPECT_TRUE(Result.Run.MainFinished);
+}
+
+TEST(GoTesting, ParallelSubtestsActuallyInterleave) {
+  // At least two parallel subtests must be simultaneously in-flight on
+  // some schedule (here: each yields between two phases).
+  int InFlight = 0, MaxInFlight = 0;
+  runTestSuite(withSeed(3),
+               {{"TestOverlap", [&](GoTest &T) {
+                   for (int I = 0; I < 4; ++I)
+                     T.run("sub" + std::to_string(I), [&](GoTest &Sub) {
+                       Sub.parallel();
+                       ++InFlight;
+                       MaxInFlight = std::max(MaxInFlight, InFlight);
+                       gosched();
+                       --InFlight;
+                     });
+                 }}});
+  EXPECT_GE(MaxInFlight, 2);
+}
+
+TEST(GoTesting, ErrorfRecordsFailureWithFullPath) {
+  SuiteResult Result = runTestSuite(
+      withSeed(4), {{"TestFailing", [](GoTest &T) {
+                       T.run("inner", [](GoTest &Sub) {
+                         Sub.errorf("expected 4, got 5");
+                       });
+                     }}});
+  ASSERT_EQ(Result.Failures.size(), 1u);
+  EXPECT_EQ(Result.Failures[0], "TestFailing/inner: expected 4, got 5");
+}
+
+TEST(GoTesting, PanicInSubtestFailsOnlyThatTest) {
+  SuiteResult Result = runTestSuite(
+      withSeed(5),
+      {{"TestPanics", [](GoTest &T) {
+          T.run("boom", [](GoTest &) {
+            Runtime::current().panicNow("kaboom");
+          });
+          T.run("fine", [](GoTest &) {});
+        }},
+       {"TestHealthy", [](GoTest &) {}}});
+  ASSERT_EQ(Result.Failures.size(), 1u);
+  EXPECT_NE(Result.Failures[0].find("TestPanics/boom"), std::string::npos);
+  EXPECT_NE(Result.Failures[0].find("kaboom"), std::string::npos);
+  EXPECT_TRUE(Result.Run.MainFinished);
+}
+
+TEST(GoTesting, NestedSubtestsJoinBeforeParentCompletes) {
+  bool GrandchildRan = false;
+  SuiteResult Result = runTestSuite(
+      withSeed(6), {{"TestNested", [&](GoTest &T) {
+                       T.run("child", [&](GoTest &Sub) {
+                         Sub.run("grandchild", [&](GoTest &SubSub) {
+                           SubSub.parallel();
+                           GrandchildRan = true;
+                         });
+                       });
+                     }}});
+  EXPECT_TRUE(GrandchildRan);
+  EXPECT_TRUE(Result.Run.MainFinished);
+  EXPECT_EQ(Result.TestsExecuted, 3u);
+}
+
+TEST(GoTesting, DetectsRacesAcrossParallelSubtests) {
+  // The §4.8 scenario end-to-end through the harness.
+  size_t Detections = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SuiteResult Result = runTestSuite(
+        withSeed(Seed),
+        {{"TestShared", [](GoTest &T) {
+            auto Counter = std::make_shared<Shared<int>>("hits", 0);
+            for (int I = 0; I < 3; ++I)
+              T.run("sub" + std::to_string(I), [Counter](GoTest &Sub) {
+                Sub.parallel();
+                Counter->store(Counter->load() + 1); // Unsynchronized.
+              });
+          }}});
+    if (Result.Run.RaceCount > 0)
+      ++Detections;
+  }
+  EXPECT_GT(Detections, 5u);
+}
+
+TEST(GoTesting, SerialSubtestsWithSharedStateAreRaceFree) {
+  SuiteResult Result = runTestSuite(
+      withSeed(7), {{"TestSharedSerial", [](GoTest &T) {
+                       auto Counter =
+                           std::make_shared<Shared<int>>("hits", 0);
+                       for (int I = 0; I < 3; ++I)
+                         T.run("sub" + std::to_string(I),
+                               [Counter](GoTest &) {
+                                 Counter->store(Counter->load() + 1);
+                               });
+                     }}});
+  // No Parallel() call: Go runs subtests serially; t.Run joins each.
+  EXPECT_EQ(Result.Run.RaceCount, 0u);
+}
+
+} // namespace
