@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ci_counterfactual.dir/bench_ci_counterfactual.cpp.o"
+  "CMakeFiles/bench_ci_counterfactual.dir/bench_ci_counterfactual.cpp.o.d"
+  "bench_ci_counterfactual"
+  "bench_ci_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ci_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector.dir/bench_detector.cpp.o"
+  "CMakeFiles/bench_detector.dir/bench_detector.cpp.o.d"
+  "bench_detector"
+  "bench_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_sim.dir/deployment_sim.cpp.o"
+  "CMakeFiles/deployment_sim.dir/deployment_sim.cpp.o.d"
+  "deployment_sim"
+  "deployment_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_future.dir/explore_future.cpp.o"
+  "CMakeFiles/explore_future.dir/explore_future.cpp.o.d"
+  "explore_future"
+  "explore_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_lint.dir/static_lint.cpp.o"
+  "CMakeFiles/static_lint.dir/static_lint.cpp.o.d"
+  "static_lint"
+  "static_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

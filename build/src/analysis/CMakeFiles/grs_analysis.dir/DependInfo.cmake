@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ConstructCounter.cpp" "src/analysis/CMakeFiles/grs_analysis.dir/ConstructCounter.cpp.o" "gcc" "src/analysis/CMakeFiles/grs_analysis.dir/ConstructCounter.cpp.o.d"
+  "/root/repo/src/analysis/Lexer.cpp" "src/analysis/CMakeFiles/grs_analysis.dir/Lexer.cpp.o" "gcc" "src/analysis/CMakeFiles/grs_analysis.dir/Lexer.cpp.o.d"
+  "/root/repo/src/analysis/Parser.cpp" "src/analysis/CMakeFiles/grs_analysis.dir/Parser.cpp.o" "gcc" "src/analysis/CMakeFiles/grs_analysis.dir/Parser.cpp.o.d"
+  "/root/repo/src/analysis/SourceGen.cpp" "src/analysis/CMakeFiles/grs_analysis.dir/SourceGen.cpp.o" "gcc" "src/analysis/CMakeFiles/grs_analysis.dir/SourceGen.cpp.o.d"
+  "/root/repo/src/analysis/StaticChecks.cpp" "src/analysis/CMakeFiles/grs_analysis.dir/StaticChecks.cpp.o" "gcc" "src/analysis/CMakeFiles/grs_analysis.dir/StaticChecks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_analysis.dir/ConstructCounter.cpp.o"
+  "CMakeFiles/grs_analysis.dir/ConstructCounter.cpp.o.d"
+  "CMakeFiles/grs_analysis.dir/Lexer.cpp.o"
+  "CMakeFiles/grs_analysis.dir/Lexer.cpp.o.d"
+  "CMakeFiles/grs_analysis.dir/Parser.cpp.o"
+  "CMakeFiles/grs_analysis.dir/Parser.cpp.o.d"
+  "CMakeFiles/grs_analysis.dir/SourceGen.cpp.o"
+  "CMakeFiles/grs_analysis.dir/SourceGen.cpp.o.d"
+  "CMakeFiles/grs_analysis.dir/StaticChecks.cpp.o"
+  "CMakeFiles/grs_analysis.dir/StaticChecks.cpp.o.d"
+  "libgrs_analysis.a"
+  "libgrs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

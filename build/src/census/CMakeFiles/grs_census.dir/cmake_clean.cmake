@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_census.dir/FleetCensus.cpp.o"
+  "CMakeFiles/grs_census.dir/FleetCensus.cpp.o.d"
+  "libgrs_census.a"
+  "libgrs_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

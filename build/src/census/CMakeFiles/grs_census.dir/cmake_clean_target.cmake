@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrs_census.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/CapturePatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/CapturePatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/CapturePatterns.cpp.o.d"
+  "/root/repo/src/corpus/ChannelPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/ChannelPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/ChannelPatterns.cpp.o.d"
+  "/root/repo/src/corpus/LockingPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/LockingPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/LockingPatterns.cpp.o.d"
+  "/root/repo/src/corpus/MapPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/MapPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/MapPatterns.cpp.o.d"
+  "/root/repo/src/corpus/Patterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/Patterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/Patterns.cpp.o.d"
+  "/root/repo/src/corpus/Sampler.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/Sampler.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/Sampler.cpp.o.d"
+  "/root/repo/src/corpus/SlicePatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/SlicePatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/SlicePatterns.cpp.o.d"
+  "/root/repo/src/corpus/TestingPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/TestingPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/TestingPatterns.cpp.o.d"
+  "/root/repo/src/corpus/ValueSemPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/ValueSemPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/ValueSemPatterns.cpp.o.d"
+  "/root/repo/src/corpus/WaitGroupPatterns.cpp" "src/corpus/CMakeFiles/grs_corpus.dir/WaitGroupPatterns.cpp.o" "gcc" "src/corpus/CMakeFiles/grs_corpus.dir/WaitGroupPatterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/grs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/grs_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

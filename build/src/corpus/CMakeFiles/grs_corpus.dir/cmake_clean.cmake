@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_corpus.dir/CapturePatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/CapturePatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/ChannelPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/ChannelPatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/LockingPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/LockingPatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/MapPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/MapPatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/Patterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/Patterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/Sampler.cpp.o"
+  "CMakeFiles/grs_corpus.dir/Sampler.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/SlicePatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/SlicePatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/TestingPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/TestingPatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/ValueSemPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/ValueSemPatterns.cpp.o.d"
+  "CMakeFiles/grs_corpus.dir/WaitGroupPatterns.cpp.o"
+  "CMakeFiles/grs_corpus.dir/WaitGroupPatterns.cpp.o.d"
+  "libgrs_corpus.a"
+  "libgrs_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrs_corpus.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/BugDatabase.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/BugDatabase.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/BugDatabase.cpp.o.d"
+  "/root/repo/src/pipeline/Deployment.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/Deployment.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/Deployment.cpp.o.d"
+  "/root/repo/src/pipeline/Fingerprint.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/Fingerprint.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/Fingerprint.cpp.o.d"
+  "/root/repo/src/pipeline/Monorepo.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/Monorepo.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/Monorepo.cpp.o.d"
+  "/root/repo/src/pipeline/Ownership.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/Ownership.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/Ownership.cpp.o.d"
+  "/root/repo/src/pipeline/RootCause.cpp" "src/pipeline/CMakeFiles/grs_pipeline.dir/RootCause.cpp.o" "gcc" "src/pipeline/CMakeFiles/grs_pipeline.dir/RootCause.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/grs_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/grs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/grs_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

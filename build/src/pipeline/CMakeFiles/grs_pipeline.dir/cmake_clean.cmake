@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_pipeline.dir/BugDatabase.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/BugDatabase.cpp.o.d"
+  "CMakeFiles/grs_pipeline.dir/Deployment.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/Deployment.cpp.o.d"
+  "CMakeFiles/grs_pipeline.dir/Fingerprint.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/Fingerprint.cpp.o.d"
+  "CMakeFiles/grs_pipeline.dir/Monorepo.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/Monorepo.cpp.o.d"
+  "CMakeFiles/grs_pipeline.dir/Ownership.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/Ownership.cpp.o.d"
+  "CMakeFiles/grs_pipeline.dir/RootCause.cpp.o"
+  "CMakeFiles/grs_pipeline.dir/RootCause.cpp.o.d"
+  "libgrs_pipeline.a"
+  "libgrs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/Detector.cpp" "src/race/CMakeFiles/grs_race.dir/Detector.cpp.o" "gcc" "src/race/CMakeFiles/grs_race.dir/Detector.cpp.o.d"
+  "/root/repo/src/race/LockSet.cpp" "src/race/CMakeFiles/grs_race.dir/LockSet.cpp.o" "gcc" "src/race/CMakeFiles/grs_race.dir/LockSet.cpp.o.d"
+  "/root/repo/src/race/Report.cpp" "src/race/CMakeFiles/grs_race.dir/Report.cpp.o" "gcc" "src/race/CMakeFiles/grs_race.dir/Report.cpp.o.d"
+  "/root/repo/src/race/Source.cpp" "src/race/CMakeFiles/grs_race.dir/Source.cpp.o" "gcc" "src/race/CMakeFiles/grs_race.dir/Source.cpp.o.d"
+  "/root/repo/src/race/VectorClock.cpp" "src/race/CMakeFiles/grs_race.dir/VectorClock.cpp.o" "gcc" "src/race/CMakeFiles/grs_race.dir/VectorClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

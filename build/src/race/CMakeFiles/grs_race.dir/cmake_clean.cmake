@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_race.dir/Detector.cpp.o"
+  "CMakeFiles/grs_race.dir/Detector.cpp.o.d"
+  "CMakeFiles/grs_race.dir/LockSet.cpp.o"
+  "CMakeFiles/grs_race.dir/LockSet.cpp.o.d"
+  "CMakeFiles/grs_race.dir/Report.cpp.o"
+  "CMakeFiles/grs_race.dir/Report.cpp.o.d"
+  "CMakeFiles/grs_race.dir/Source.cpp.o"
+  "CMakeFiles/grs_race.dir/Source.cpp.o.d"
+  "CMakeFiles/grs_race.dir/VectorClock.cpp.o"
+  "CMakeFiles/grs_race.dir/VectorClock.cpp.o.d"
+  "libgrs_race.a"
+  "libgrs_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/Context.cpp" "src/rt/CMakeFiles/grs_rt.dir/Context.cpp.o" "gcc" "src/rt/CMakeFiles/grs_rt.dir/Context.cpp.o.d"
+  "/root/repo/src/rt/Runtime.cpp" "src/rt/CMakeFiles/grs_rt.dir/Runtime.cpp.o" "gcc" "src/rt/CMakeFiles/grs_rt.dir/Runtime.cpp.o.d"
+  "/root/repo/src/rt/Sync.cpp" "src/rt/CMakeFiles/grs_rt.dir/Sync.cpp.o" "gcc" "src/rt/CMakeFiles/grs_rt.dir/Sync.cpp.o.d"
+  "/root/repo/src/rt/Testing.cpp" "src/rt/CMakeFiles/grs_rt.dir/Testing.cpp.o" "gcc" "src/rt/CMakeFiles/grs_rt.dir/Testing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/race/CMakeFiles/grs_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

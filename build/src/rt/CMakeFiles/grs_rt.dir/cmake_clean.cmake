@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_rt.dir/Context.cpp.o"
+  "CMakeFiles/grs_rt.dir/Context.cpp.o.d"
+  "CMakeFiles/grs_rt.dir/Runtime.cpp.o"
+  "CMakeFiles/grs_rt.dir/Runtime.cpp.o.d"
+  "CMakeFiles/grs_rt.dir/Sync.cpp.o"
+  "CMakeFiles/grs_rt.dir/Sync.cpp.o.d"
+  "CMakeFiles/grs_rt.dir/Testing.cpp.o"
+  "CMakeFiles/grs_rt.dir/Testing.cpp.o.d"
+  "libgrs_rt.a"
+  "libgrs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grs_support.dir/Render.cpp.o"
+  "CMakeFiles/grs_support.dir/Render.cpp.o.d"
+  "CMakeFiles/grs_support.dir/Rng.cpp.o"
+  "CMakeFiles/grs_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/grs_support.dir/Stats.cpp.o"
+  "CMakeFiles/grs_support.dir/Stats.cpp.o.d"
+  "libgrs_support.a"
+  "libgrs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CensusTest.dir/CensusTest.cpp.o"
+  "CMakeFiles/CensusTest.dir/CensusTest.cpp.o.d"
+  "CensusTest"
+  "CensusTest.pdb"
+  "CensusTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CensusTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

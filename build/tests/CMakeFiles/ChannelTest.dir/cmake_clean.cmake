@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ChannelTest.dir/ChannelTest.cpp.o"
+  "CMakeFiles/ChannelTest.dir/ChannelTest.cpp.o.d"
+  "ChannelTest"
+  "ChannelTest.pdb"
+  "ChannelTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ChannelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ChannelTest.
+# This may be replaced when dependencies are built.

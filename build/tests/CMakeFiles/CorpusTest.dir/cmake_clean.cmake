@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CorpusTest.dir/CorpusTest.cpp.o"
+  "CMakeFiles/CorpusTest.dir/CorpusTest.cpp.o.d"
+  "CorpusTest"
+  "CorpusTest.pdb"
+  "CorpusTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CorpusTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CoverageTest.dir/CoverageTest.cpp.o"
+  "CMakeFiles/CoverageTest.dir/CoverageTest.cpp.o.d"
+  "CoverageTest"
+  "CoverageTest.pdb"
+  "CoverageTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CoverageTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DetectorTest.dir/DetectorTest.cpp.o"
+  "CMakeFiles/DetectorTest.dir/DetectorTest.cpp.o.d"
+  "DetectorTest"
+  "DetectorTest.pdb"
+  "DetectorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DetectorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExploreTest.dir/ExploreTest.cpp.o"
+  "CMakeFiles/ExploreTest.dir/ExploreTest.cpp.o.d"
+  "ExploreTest"
+  "ExploreTest.pdb"
+  "ExploreTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExploreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

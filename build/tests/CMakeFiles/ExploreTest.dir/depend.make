@@ -1,0 +1,2 @@
+# Empty dependencies file for ExploreTest.
+# This may be replaced when dependencies are built.

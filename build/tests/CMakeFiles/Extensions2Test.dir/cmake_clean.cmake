@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Extensions2Test.dir/Extensions2Test.cpp.o"
+  "CMakeFiles/Extensions2Test.dir/Extensions2Test.cpp.o.d"
+  "Extensions2Test"
+  "Extensions2Test.pdb"
+  "Extensions2Test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Extensions2Test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for Extensions2Test.
+# This may be replaced when dependencies are built.

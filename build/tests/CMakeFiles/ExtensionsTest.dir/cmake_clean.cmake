@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExtensionsTest.dir/ExtensionsTest.cpp.o"
+  "CMakeFiles/ExtensionsTest.dir/ExtensionsTest.cpp.o.d"
+  "ExtensionsTest"
+  "ExtensionsTest.pdb"
+  "ExtensionsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExtensionsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/RootCauseTest.cpp" "tests/CMakeFiles/RootCauseTest.dir/RootCauseTest.cpp.o" "gcc" "tests/CMakeFiles/RootCauseTest.dir/RootCauseTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/grs_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/grs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/grs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/census/CMakeFiles/grs_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/grs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/grs_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RootCauseTest.dir/RootCauseTest.cpp.o"
+  "CMakeFiles/RootCauseTest.dir/RootCauseTest.cpp.o.d"
+  "RootCauseTest"
+  "RootCauseTest.pdb"
+  "RootCauseTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RootCauseTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SliceMapTest.dir/SliceMapTest.cpp.o"
+  "CMakeFiles/SliceMapTest.dir/SliceMapTest.cpp.o.d"
+  "SliceMapTest"
+  "SliceMapTest.pdb"
+  "SliceMapTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SliceMapTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StaticChecksTest.dir/StaticChecksTest.cpp.o"
+  "CMakeFiles/StaticChecksTest.dir/StaticChecksTest.cpp.o.d"
+  "StaticChecksTest"
+  "StaticChecksTest.pdb"
+  "StaticChecksTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StaticChecksTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SyncTest.dir/SyncTest.cpp.o"
+  "CMakeFiles/SyncTest.dir/SyncTest.cpp.o.d"
+  "SyncTest"
+  "SyncTest.pdb"
+  "SyncTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SyncTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

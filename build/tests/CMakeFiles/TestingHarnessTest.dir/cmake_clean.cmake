@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestingHarnessTest.dir/TestingHarnessTest.cpp.o"
+  "CMakeFiles/TestingHarnessTest.dir/TestingHarnessTest.cpp.o.d"
+  "TestingHarnessTest"
+  "TestingHarnessTest.pdb"
+  "TestingHarnessTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestingHarnessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

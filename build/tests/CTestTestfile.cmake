@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/RuntimeTest[1]_include.cmake")
+include("/root/repo/build/tests/CorpusTest[1]_include.cmake")
+include("/root/repo/build/tests/DetectorTest[1]_include.cmake")
+include("/root/repo/build/tests/SyncTest[1]_include.cmake")
+include("/root/repo/build/tests/ChannelTest[1]_include.cmake")
+include("/root/repo/build/tests/SliceMapTest[1]_include.cmake")
+include("/root/repo/build/tests/TestingHarnessTest[1]_include.cmake")
+include("/root/repo/build/tests/PipelineTest[1]_include.cmake")
+include("/root/repo/build/tests/AnalysisTest[1]_include.cmake")
+include("/root/repo/build/tests/CensusTest[1]_include.cmake")
+include("/root/repo/build/tests/FuzzTest[1]_include.cmake")
+include("/root/repo/build/tests/ExtensionsTest[1]_include.cmake")
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/RootCauseTest[1]_include.cmake")
+include("/root/repo/build/tests/Extensions2Test[1]_include.cmake")
+include("/root/repo/build/tests/ParserTest[1]_include.cmake")
+include("/root/repo/build/tests/StaticChecksTest[1]_include.cmake")
+include("/root/repo/build/tests/ExploreTest[1]_include.cmake")
+include("/root/repo/build/tests/CoverageTest[1]_include.cmake")
