@@ -63,10 +63,35 @@ Detector::ShadowCell &Detector::shadowCell(Addr A) {
 }
 
 //===----------------------------------------------------------------------===//
+// Event stream
+//===----------------------------------------------------------------------===//
+
+void Detector::observe(EventKind Kind, Tid T, uint64_t A, uint64_t B,
+                       bool Flag, const std::string *Str1,
+                       const std::string *Str2) {
+  if (!Observer_)
+    return;
+  TraceEvent Event;
+  Event.Kind = Kind;
+  Event.T = T;
+  Event.A = A;
+  Event.B = B;
+  Event.Flag = Flag;
+  Event.Str1 = Str1;
+  Event.Str2 = Str2;
+  Observer_->onTraceEvent(Event);
+}
+
+void Detector::annotate(EventKind Kind, Tid T, uint64_t A, bool Flag,
+                        const std::string *Name) {
+  observe(Kind, T, A, /*B=*/0, Flag, Name);
+}
+
+//===----------------------------------------------------------------------===//
 // Goroutine lifecycle
 //===----------------------------------------------------------------------===//
 
-Tid Detector::newRootGoroutine() {
+Tid Detector::allocThread() {
   Tid T = static_cast<Tid>(Threads.size());
   Threads.emplace_back();
   // Every goroutine starts at epoch (T, 1) so a fresh epoch is never
@@ -75,8 +100,14 @@ Tid Detector::newRootGoroutine() {
   return T;
 }
 
+Tid Detector::newRootGoroutine() {
+  observe(EventKind::RootGoroutine, static_cast<Tid>(Threads.size()));
+  return allocThread();
+}
+
 Tid Detector::fork(Tid Parent) {
-  Tid Child = newRootGoroutine();
+  observe(EventKind::Fork, Parent);
+  Tid Child = allocThread();
   // The `go` statement happens-before the child's first action.
   Threads[Child].C.joinWith(thread(Parent).C);
   Threads[Child].C.set(Child, thread(Child).C.get(Child));
@@ -88,11 +119,13 @@ Tid Detector::fork(Tid Parent) {
 size_t Detector::numGoroutines() const { return Threads.size(); }
 
 void Detector::finish(Tid T) {
+  observe(EventKind::Finish, T);
   thread(T).Finished = true;
   ++Stats.SyncOps;
 }
 
 void Detector::join(Tid Waiter, Tid Target) {
+  observe(EventKind::Join, Waiter, Target);
   thread(Waiter).C.joinWith(thread(Target).C);
   ++Stats.SyncOps;
 }
@@ -102,6 +135,7 @@ void Detector::join(Tid Waiter, Tid Target) {
 //===----------------------------------------------------------------------===//
 
 SyncId Detector::newSyncVar(const std::string &Name) {
+  observe(EventKind::NewSync, 0, 0, 0, false, &Name);
   SyncId S = static_cast<SyncId>(SyncClocks.size());
   SyncClocks.emplace_back();
   SyncNames.push_back(Name);
@@ -110,12 +144,14 @@ SyncId Detector::newSyncVar(const std::string &Name) {
 
 void Detector::acquire(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  observe(EventKind::Acquire, T, S);
   thread(T).C.joinWith(SyncClocks[S]);
   ++Stats.SyncOps;
 }
 
 void Detector::release(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  observe(EventKind::Release, T, S);
   SyncClocks[S] = thread(T).C;
   thread(T).C.tick(T);
   ++Stats.SyncOps;
@@ -123,6 +159,7 @@ void Detector::release(Tid T, SyncId S) {
 
 void Detector::releaseMerge(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  observe(EventKind::ReleaseMerge, T, S);
   SyncClocks[S].joinWith(thread(T).C);
   thread(T).C.tick(T);
   ++Stats.SyncOps;
@@ -131,11 +168,13 @@ void Detector::releaseMerge(Tid T, SyncId S) {
 void Detector::transferSync(SyncId From, SyncId To) {
   assert(From < SyncClocks.size() && To < SyncClocks.size() &&
          "unknown sync object");
+  observe(EventKind::TransferSync, 0, From, To);
   SyncClocks[To].joinWith(SyncClocks[From]);
   ++Stats.SyncOps;
 }
 
 void Detector::lockAcquired(Tid T, SyncId S, bool WriteMode) {
+  observe(EventKind::LockAcquire, T, S, 0, WriteMode);
   ThreadState &TS = thread(T);
   TS.HeldAll = LockSets.withLock(TS.HeldAll, S);
   if (WriteMode)
@@ -143,6 +182,7 @@ void Detector::lockAcquired(Tid T, SyncId S, bool WriteMode) {
 }
 
 void Detector::lockReleased(Tid T, SyncId S, bool WriteMode) {
+  observe(EventKind::LockRelease, T, S, 0, WriteMode);
   ThreadState &TS = thread(T);
   TS.HeldAll = LockSets.withoutLock(TS.HeldAll, S);
   if (WriteMode)
@@ -165,16 +205,21 @@ Frame Detector::makeFrame(const std::string &Function, const std::string &File,
 }
 
 void Detector::pushFrame(Tid T, const Frame &F) {
+  if (Observer_)
+    observe(EventKind::PushFrame, T, 0, F.Line, false,
+            &Interner.text(F.Function), &Interner.text(F.File));
   thread(T).Chain.push_back(F);
 }
 
 void Detector::popFrame(Tid T) {
+  observe(EventKind::PopFrame, T);
   CallChain &Chain = thread(T).Chain;
   assert(!Chain.empty() && "popFrame() on empty chain");
   Chain.pop_back();
 }
 
 void Detector::setLine(Tid T, uint32_t Line) {
+  observe(EventKind::SetLine, T, Line);
   CallChain &Chain = thread(T).Chain;
   if (!Chain.empty())
     Chain.back().Line = Line;
@@ -414,6 +459,7 @@ bool Detector::applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell) {
 //===----------------------------------------------------------------------===//
 
 bool Detector::onRead(Tid T, Addr A, const std::string &Name) {
+  observe(EventKind::Read, T, A, 0, false, &Name);
   ++Stats.Reads;
   ShadowCell &Cell = shadowCell(A);
   if (Cell.Name.empty() && !Name.empty())
@@ -427,6 +473,7 @@ bool Detector::onRead(Tid T, Addr A, const std::string &Name) {
 }
 
 bool Detector::onWrite(Tid T, Addr A, const std::string &Name) {
+  observe(EventKind::Write, T, A, 0, false, &Name);
   ++Stats.Writes;
   ShadowCell &Cell = shadowCell(A);
   if (Cell.Name.empty() && !Name.empty())

@@ -28,6 +28,7 @@
 #ifndef GRS_RACE_DETECTOR_H
 #define GRS_RACE_DETECTOR_H
 
+#include "race/Event.h"
 #include "race/Ids.h"
 #include "race/LockSet.h"
 #include "race/Report.h"
@@ -191,6 +192,24 @@ public:
   /// internal report list.
   void setReportSink(ReportSink Sink) { Sink_ = std::move(Sink); }
 
+  //===------------------------------------------------------------------===//
+  // Event stream (trace capture)
+  //===------------------------------------------------------------------===//
+
+  /// Installs an observer that sees every detector event (see
+  /// race/Event.h) immediately before it is applied; pass nullptr to
+  /// detach. The observer is borrowed and must outlive its installation.
+  /// Replaying the observed sequence into a fresh Detector with the same
+  /// DetectorOptions reproduces this detector's verdicts exactly.
+  void setEventObserver(EventObserver *Observer) { Observer_ = Observer; }
+  EventObserver *eventObserver() const { return Observer_; }
+
+  /// Forwards a pure annotation event (channel ops, atomic ops) to the
+  /// observer. No detector state changes; no-op when no observer is
+  /// installed. \p Name is borrowed for the duration of the call.
+  void annotate(EventKind Kind, Tid T, uint64_t A, bool Flag = false,
+                const std::string *Name = nullptr);
+
   const std::vector<RaceReport> &reports() const { return Reports; }
   const DetectorStats &stats() const { return Stats; }
 
@@ -214,6 +233,13 @@ private:
   const ThreadState &thread(Tid T) const;
   ShadowCell &shadowCell(Addr A);
 
+  /// Allocates the thread-state slot shared by newRootGoroutine() and
+  /// fork() (so each emits exactly one event for the allocation).
+  Tid allocThread();
+  void observe(EventKind Kind, Tid T, uint64_t A = 0, uint64_t B = 0,
+               bool Flag = false, const std::string *Str1 = nullptr,
+               const std::string *Str2 = nullptr);
+
   void emitReport(RaceReport Report, ShadowCell &Cell);
   bool checkHbRead(Tid T, Addr A, ShadowCell &Cell);
   bool checkHbWrite(Tid T, Addr A, ShadowCell &Cell);
@@ -229,6 +255,7 @@ private:
   StringInterner Interner;
   std::vector<RaceReport> Reports;
   ReportSink Sink_;
+  EventObserver *Observer_ = nullptr;
   DetectorStats Stats;
 };
 

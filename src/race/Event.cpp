@@ -1,0 +1,51 @@
+//===- race/Event.cpp - Detector event stream vocabulary ------------------===//
+
+#include "race/Event.h"
+
+using namespace grs::race;
+
+const char *grs::race::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::RootGoroutine:
+    return "root-goroutine";
+  case EventKind::Fork:
+    return "fork";
+  case EventKind::Finish:
+    return "finish";
+  case EventKind::Join:
+    return "join";
+  case EventKind::NewSync:
+    return "new-sync";
+  case EventKind::Acquire:
+    return "acquire";
+  case EventKind::Release:
+    return "release";
+  case EventKind::ReleaseMerge:
+    return "release-merge";
+  case EventKind::TransferSync:
+    return "transfer-sync";
+  case EventKind::LockAcquire:
+    return "lock-acquire";
+  case EventKind::LockRelease:
+    return "lock-release";
+  case EventKind::PushFrame:
+    return "push-frame";
+  case EventKind::PopFrame:
+    return "pop-frame";
+  case EventKind::SetLine:
+    return "set-line";
+  case EventKind::Read:
+    return "read";
+  case EventKind::Write:
+    return "write";
+  case EventKind::ChannelSend:
+    return "chan-send";
+  case EventKind::ChannelRecv:
+    return "chan-recv";
+  case EventKind::ChannelClose:
+    return "chan-close";
+  case EventKind::AtomicOp:
+    return "atomic-op";
+  }
+  return "unknown";
+}

@@ -1,0 +1,108 @@
+//===- race/Event.h - Detector event stream vocabulary ----------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detector's event vocabulary, exposed as an observable stream.
+///
+/// Every happens-before-relevant action the runtime reports to the
+/// detector (fork/join, sync acquire/release, lock-set bookkeeping, call
+/// chain maintenance, memory accesses) is describable as one TraceEvent.
+/// An EventObserver installed on a Detector sees the exact event sequence
+/// the detector consumes, in consumption order — which makes detection a
+/// pure function of the stream: replaying a recorded stream into a fresh
+/// Detector reproduces its verdicts (see trace/Offline.h), mirroring the
+/// record-once/analyze-at-scale shape of the paper's §3 deployment.
+///
+/// Annotation kinds (channel send/recv/close, atomic ops) carry no
+/// detector state transition of their own — the HB edges they imply are
+/// separately visible as Acquire/Release* events — but are recorded so a
+/// trace preserves the program-level operation structure GoAT-style
+/// offline analyses key on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_RACE_EVENT_H
+#define GRS_RACE_EVENT_H
+
+#include "race/Ids.h"
+
+#include <string>
+
+namespace grs {
+namespace race {
+
+/// One detector event kind. Values are stable across versions of the
+/// binary trace format (append new kinds at the end; never renumber).
+enum class EventKind : uint8_t {
+  // Goroutine lifecycle.
+  RootGoroutine = 0, ///< newRootGoroutine(); allocates the next Tid.
+  Fork,              ///< fork(T): T spawns the next Tid.
+  Finish,            ///< finish(T).
+  Join,              ///< join(T, A): waiter T joins finished goroutine A.
+  // Synchronization.
+  NewSync,      ///< newSyncVar(Str1): allocates the next SyncId.
+  Acquire,      ///< acquire(T, A).
+  Release,      ///< release(T, A) — store semantics.
+  ReleaseMerge, ///< releaseMerge(T, A) — merge semantics.
+  TransferSync, ///< transferSync(A, B).
+  LockAcquire,  ///< lockAcquired(T, A, Flag=write-mode).
+  LockRelease,  ///< lockReleased(T, A, Flag=write-mode).
+  // Call-chain maintenance.
+  PushFrame, ///< pushFrame(T, {Str1=function, Str2=file, B=line}).
+  PopFrame,  ///< popFrame(T).
+  SetLine,   ///< setLine(T, A=line).
+  // Memory accesses.
+  Read,  ///< onRead(T, A, Str1=variable name).
+  Write, ///< onWrite(T, A, Str1=variable name).
+  // Pure annotations (no detector state transition; skipped on replay).
+  ChannelSend,  ///< T sent on the channel identified by sync id A.
+  ChannelRecv,  ///< T received (or began a receive) on channel A.
+  ChannelClose, ///< T closed channel A.
+  AtomicOp,     ///< T performed an atomic op on address A (Flag=write).
+};
+
+/// Number of EventKind values (bounds-checks decoded kinds).
+inline constexpr uint8_t NumEventKinds =
+    static_cast<uint8_t>(EventKind::AtomicOp) + 1;
+
+/// \returns a short printable name for \p Kind.
+const char *eventKindName(EventKind Kind);
+
+/// One detector event. A tagged record: which of the generic operand
+/// fields are meaningful depends on Kind (see EventKind's comments).
+/// String operands are borrowed pointers valid only for the duration of
+/// the observer callback — observers that retain events must copy or
+/// intern them (trace::TraceSink interns into the trace string table).
+struct TraceEvent {
+  EventKind Kind = EventKind::RootGoroutine;
+  /// Acting goroutine (forking parent for Fork, waiter for Join).
+  Tid T = 0;
+  /// First operand: address, sync id, target tid, or line, per Kind.
+  uint64_t A = 0;
+  /// Second operand: transfer destination or frame line, per Kind.
+  uint64_t B = 0;
+  /// Write-mode bit for lock events; write bit for AtomicOp.
+  bool Flag = false;
+  /// Borrowed name operands (nullptr means "empty"): variable or sync or
+  /// function name in Str1, file name in Str2.
+  const std::string *Str1 = nullptr;
+  const std::string *Str2 = nullptr;
+};
+
+/// Observer interface for the detector's event stream. Installed via
+/// Detector::setEventObserver(); called synchronously BEFORE the detector
+/// applies each event, so the observed order equals the application order.
+class EventObserver {
+public:
+  virtual ~EventObserver() = default;
+  virtual void onTraceEvent(const TraceEvent &Event) = 0;
+};
+
+} // namespace race
+} // namespace grs
+
+#endif // GRS_RACE_EVENT_H

@@ -93,6 +93,8 @@ public:
     RT.preemptPoint();
     if (Closed)
       RT.panicNow("close of closed channel (" + Name + ")");
+    RT.det().annotate(race::EventKind::ChannelClose, RT.tid(), CloseSync,
+                      false, &Name);
     RT.det().releaseMerge(RT.tid(), CloseSync);
     Closed = true;
     Waiters.wakeAll();
@@ -120,6 +122,11 @@ public:
   /// Receive without a leading preemption point.
   std::pair<T, bool> recvNow() {
     Runtime &RT = Runtime::current();
+    // Trace annotation: one record per receive operation (the channel is
+    // identified by its close-sync id), whether it completes promptly or
+    // parks first.
+    RT.det().annotate(race::EventKind::ChannelRecv, RT.tid(), CloseSync,
+                      false, &Name);
     for (;;) {
       if (!Buffer.empty()) {
         // Slot handoff: the send into this slot happens-before this
@@ -163,6 +170,8 @@ public:
     Runtime &RT = Runtime::current();
     if (Closed)
       RT.panicNow("send on closed channel (" + Name + ")");
+    RT.det().annotate(race::EventKind::ChannelSend, RT.tid(), CloseSync,
+                      false, &Name);
     if (Buffer.size() < Capacity) {
       // Slot handoff: ordered after the slot's previous receive (Go's
       // "receive k happens-before send k+C completes"), ordered before

@@ -139,6 +139,8 @@ public:
   T load() const {
     Runtime &RT = Runtime::current();
     RT.preemptPoint();
+    RT.det().annotate(race::EventKind::AtomicOp, RT.tid(), A,
+                      /*Flag=*/false, &Name);
     RT.det().acquire(RT.tid(), Sync);
     if (RT.options().DetectRaces)
       RT.det().onRead(RT.tid(), A, Name);
@@ -150,6 +152,8 @@ public:
   void store(T NewValue) {
     Runtime &RT = Runtime::current();
     RT.preemptPoint();
+    RT.det().annotate(race::EventKind::AtomicOp, RT.tid(), A,
+                      /*Flag=*/true, &Name);
     RT.det().acquire(RT.tid(), Sync);
     if (RT.options().DetectRaces)
       RT.det().onWrite(RT.tid(), A, Name);
@@ -161,6 +165,8 @@ public:
   T add(T Delta) {
     Runtime &RT = Runtime::current();
     RT.preemptPoint();
+    RT.det().annotate(race::EventKind::AtomicOp, RT.tid(), A,
+                      /*Flag=*/true, &Name);
     RT.det().acquire(RT.tid(), Sync);
     if (RT.options().DetectRaces) {
       RT.det().onRead(RT.tid(), A, Name);

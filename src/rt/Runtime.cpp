@@ -48,6 +48,8 @@ Runtime::Runtime(RunOptions Opts)
     Det->setReportSink([this](const race::RaceReport &Report) {
       this->Opts.OnReport(*Det, Report);
     });
+  if (this->Opts.Trace)
+    Det->setEventObserver(this->Opts.Trace);
 }
 
 Runtime::~Runtime() = default;

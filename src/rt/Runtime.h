@@ -88,6 +88,11 @@ struct RunOptions {
   /// render or fingerprint the reports.
   std::function<void(const race::Detector &, const race::RaceReport &)>
       OnReport;
+  /// Optional event-trace tee (borrowed; must outlive the run): installed
+  /// on the detector so every instrumentation event of the run is also
+  /// streamed to the observer. Attach a trace::TraceSink to capture a
+  /// replayable binary trace of the execution (see trace/Trace.h).
+  race::EventObserver *Trace = nullptr;
   /// Optional deterministic choice hook: when set, EVERY scheduling
   /// choice point (which runnable goroutine to resume, which ready select
   /// arm to take) calls it with the number of options and uses the

@@ -1,0 +1,134 @@
+//===- trace/ParallelSweep.cpp - Multi-core seed-sweep engine -------------===//
+
+#include "trace/ParallelSweep.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace grs;
+using namespace grs::trace;
+
+namespace {
+
+/// Per-worker aggregation, merged under the result mutex at worker exit.
+/// Sample selection tracks (seed, report index within the run) so the
+/// merged result is the one the ascending serial sweep would have kept,
+/// independent of worker interleaving.
+struct LocalFinding {
+  size_t Occurrences = 0;
+  uint64_t FirstSeed = ~0ULL;
+  uint64_t FirstIndex = ~0ULL;
+  std::string Sample;
+};
+
+struct LocalResult {
+  pipeline::SweepResult Counters;
+  std::map<uint64_t, LocalFinding> Findings;
+};
+
+void runSeed(const rt::RunOptions &Base, uint64_t Seed,
+             const std::function<void()> &Body, LocalResult &Local) {
+  rt::RunOptions RunOpts = Base;
+  RunOpts.Seed = Seed;
+  uint64_t ReportIndex = 0;
+  RunOpts.OnReport = [&](const race::Detector &D,
+                         const race::RaceReport &Report) {
+    uint64_t Fp = pipeline::raceFingerprint(D.interner(), Report);
+    LocalFinding &Finding = Local.Findings[Fp];
+    ++Finding.Occurrences;
+    if (std::make_pair(Seed, ReportIndex) <
+        std::make_pair(Finding.FirstSeed, Finding.FirstIndex)) {
+      Finding.FirstSeed = Seed;
+      Finding.FirstIndex = ReportIndex;
+      Finding.Sample = race::reportToString(D.interner(), Report);
+    }
+    ++ReportIndex;
+  };
+  rt::Runtime RT(RunOpts);
+  rt::RunResult Run = RT.run(Body);
+  pipeline::SweepResult &R = Local.Counters;
+  ++R.SeedsRun;
+  R.SeedsWithRaces += Run.RaceCount > 0;
+  R.SeedsWithLeaks += !Run.LeakedGoroutines.empty();
+  R.SeedsWithPanics += !Run.Panics.empty();
+  R.SeedsDeadlocked += Run.Deadlocked;
+  R.TotalReports += Run.RaceCount;
+}
+
+} // namespace
+
+pipeline::SweepResult
+trace::parallelSweep(const ParallelSweepOptions &Opts,
+                     const std::function<void()> &Body) {
+  unsigned Threads = Opts.Threads ? Opts.Threads
+                                  : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  if (Threads > Opts.NumSeeds)
+    Threads = static_cast<unsigned>(Opts.NumSeeds ? Opts.NumSeeds : 1);
+
+  // Merged state. Findings carry the serial-sweep sample-selection
+  // metadata until the final projection into SweepResult.
+  std::mutex MergeMutex;
+  pipeline::SweepResult Merged;
+  std::map<uint64_t, LocalFinding> MergedFindings;
+
+  // Dynamic work stealing over the seed range: an atomic cursor instead
+  // of static striping, so one long-running seed (e.g. a step-limit run)
+  // does not idle the rest of the pool.
+  std::atomic<uint64_t> NextOffset{0};
+
+  auto Worker = [&] {
+    LocalResult Local;
+    for (;;) {
+      uint64_t Offset = NextOffset.fetch_add(1, std::memory_order_relaxed);
+      if (Offset >= Opts.NumSeeds)
+        break;
+      runSeed(Opts.Run, Opts.FirstSeed + Offset, Body, Local);
+    }
+    std::lock_guard<std::mutex> Lock(MergeMutex);
+    Merged.SeedsRun += Local.Counters.SeedsRun;
+    Merged.SeedsWithRaces += Local.Counters.SeedsWithRaces;
+    Merged.SeedsWithLeaks += Local.Counters.SeedsWithLeaks;
+    Merged.SeedsWithPanics += Local.Counters.SeedsWithPanics;
+    Merged.SeedsDeadlocked += Local.Counters.SeedsDeadlocked;
+    Merged.TotalReports += Local.Counters.TotalReports;
+    for (auto &[Fp, Finding] : Local.Findings) {
+      LocalFinding &Into = MergedFindings[Fp];
+      Into.Occurrences += Finding.Occurrences;
+      if (std::make_pair(Finding.FirstSeed, Finding.FirstIndex) <
+          std::make_pair(Into.FirstSeed, Into.FirstIndex)) {
+        Into.FirstSeed = Finding.FirstSeed;
+        Into.FirstIndex = Finding.FirstIndex;
+        Into.Sample = std::move(Finding.Sample);
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (auto &[Fp, Finding] : MergedFindings) {
+    pipeline::SweepResult::Finding &Out = Merged.Findings[Fp];
+    Out.Occurrences = Finding.Occurrences;
+    Out.SampleReport = std::move(Finding.Sample);
+  }
+  return Merged;
+}
+
+pipeline::SweepResult trace::parallelSweep(uint64_t NumSeeds,
+                                           unsigned Threads,
+                                           const std::function<void()> &Body) {
+  ParallelSweepOptions Opts;
+  Opts.NumSeeds = NumSeeds;
+  Opts.Threads = Threads;
+  return parallelSweep(Opts, Body);
+}

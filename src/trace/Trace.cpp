@@ -1,0 +1,324 @@
+//===- trace/Trace.cpp - Binary event-trace capture format ----------------===//
+
+#include "trace/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace grs;
+using namespace grs::trace;
+
+//===----------------------------------------------------------------------===//
+// Field layout
+//===----------------------------------------------------------------------===//
+
+EventFields trace::eventFields(race::EventKind Kind) {
+  using K = race::EventKind;
+  EventFields F;
+  switch (Kind) {
+  case K::RootGoroutine:
+  case K::Finish:
+  case K::PopFrame:
+    F.HasT = true;
+    break;
+  case K::Fork:
+    F.HasT = true;
+    break;
+  case K::Join:
+  case K::SetLine:
+    F.HasT = true;
+    F.HasA = true;
+    break;
+  case K::NewSync:
+    F.HasStr1 = true;
+    break;
+  case K::Acquire:
+  case K::Release:
+  case K::ReleaseMerge:
+    F.HasT = true;
+    F.HasA = true;
+    break;
+  case K::TransferSync:
+    F.HasA = true;
+    F.HasB = true;
+    break;
+  case K::LockAcquire:
+  case K::LockRelease:
+    F.HasT = true;
+    F.HasA = true;
+    F.HasFlag = true;
+    break;
+  case K::PushFrame:
+    F.HasT = true;
+    F.HasB = true;
+    F.HasStr1 = true;
+    F.HasStr2 = true;
+    break;
+  case K::Read:
+  case K::Write:
+    F.HasT = true;
+    F.HasA = true;
+    F.HasStr1 = true;
+    break;
+  case K::ChannelSend:
+  case K::ChannelRecv:
+  case K::ChannelClose:
+    F.HasT = true;
+    F.HasA = true;
+    F.HasStr1 = true;
+    break;
+  case K::AtomicOp:
+    F.HasT = true;
+    F.HasA = true;
+    F.HasFlag = true;
+    F.HasStr1 = true;
+    break;
+  }
+  return F;
+}
+
+const std::string &Trace::text(TraceStrId Id) const {
+  static const std::string Empty;
+  if (Id == NoTraceStr || Id >= Strings.size())
+    return Empty;
+  return Strings[Id];
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSink
+//===----------------------------------------------------------------------===//
+
+TraceSink::TraceSink() { reset(); }
+
+void TraceSink::reset() {
+  Buffer.clear();
+  StringIds.clear();
+  Events = 0;
+  Buffer.insert(Buffer.end(), TraceMagic, TraceMagic + sizeof(TraceMagic));
+  putVarint(TraceVersion);
+}
+
+void TraceSink::putVarint(uint64_t Value) {
+  while (Value >= 0x80) {
+    Buffer.push_back(static_cast<uint8_t>(Value) | 0x80);
+    Value >>= 7;
+  }
+  Buffer.push_back(static_cast<uint8_t>(Value));
+}
+
+TraceStrId TraceSink::internString(const std::string &Text) {
+  auto [It, Inserted] =
+      StringIds.try_emplace(Text, static_cast<TraceStrId>(StringIds.size()));
+  if (Inserted) {
+    // strdef record: tag 0, dense id, length, bytes.
+    putVarint(0);
+    putVarint(It->second);
+    putVarint(Text.size());
+    Buffer.insert(Buffer.end(), Text.begin(), Text.end());
+  }
+  return It->second;
+}
+
+void TraceSink::onTraceEvent(const race::TraceEvent &Event) {
+  static const std::string Empty;
+  EventFields F = eventFields(Event.Kind);
+  // Intern before the event tag so strdefs always precede their use.
+  TraceStrId S1 = NoTraceStr, S2 = NoTraceStr;
+  if (F.HasStr1)
+    S1 = internString(Event.Str1 ? *Event.Str1 : Empty);
+  if (F.HasStr2)
+    S2 = internString(Event.Str2 ? *Event.Str2 : Empty);
+  putVarint(static_cast<uint64_t>(Event.Kind) + 1);
+  if (F.HasT)
+    putVarint(Event.T);
+  if (F.HasA)
+    putVarint(Event.A);
+  if (F.HasB)
+    putVarint(Event.B);
+  if (F.HasFlag)
+    putVarint(Event.Flag ? 1 : 0);
+  if (F.HasStr1)
+    putVarint(S1);
+  if (F.HasStr2)
+    putVarint(S2);
+  ++Events;
+}
+
+std::vector<uint8_t> TraceSink::take() {
+  std::vector<uint8_t> Out = std::move(Buffer);
+  reset();
+  return Out;
+}
+
+bool TraceSink::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  bool Ok = Written == Buffer.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceReader
+//===----------------------------------------------------------------------===//
+
+TraceReader::TraceReader(const uint8_t *Data, size_t Size)
+    : Data(Data), Size(Size) {}
+
+bool TraceReader::fail(const std::string &Message) {
+  if (Error.empty())
+    Error = Message + " (at byte " + std::to_string(Pos) + ")";
+  return false;
+}
+
+bool TraceReader::readVarint(uint64_t &Value) {
+  Value = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Size)
+      return fail("truncated varint");
+    uint8_t Byte = Data[Pos++];
+    uint64_t Bits = static_cast<uint64_t>(Byte & 0x7f);
+    if (Shift == 63 && Bits > 1)
+      return fail("varint overflows 64 bits");
+    Value |= Bits << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return fail("varint longer than 10 bytes");
+}
+
+bool TraceReader::readHeader(Trace &Out) {
+  if (Size - Pos < sizeof(TraceMagic))
+    return fail("truncated header");
+  if (std::memcmp(Data + Pos, TraceMagic, sizeof(TraceMagic)) != 0)
+    return fail("bad magic (not a GRSTRACE file)");
+  Pos += sizeof(TraceMagic);
+  uint64_t Version = 0;
+  if (!readVarint(Version))
+    return false;
+  if (Version != TraceVersion)
+    return fail("unsupported trace version " + std::to_string(Version));
+  Out.Version = static_cast<uint32_t>(Version);
+  return true;
+}
+
+bool TraceReader::readRecord(Trace &Out, bool &Done) {
+  Done = false;
+  if (Pos >= Size) {
+    Done = true;
+    return true;
+  }
+  uint64_t Tag = 0;
+  if (!readVarint(Tag))
+    return false;
+
+  if (Tag == 0) {
+    // strdef: id must be dense (== current table size).
+    uint64_t Id = 0, Length = 0;
+    if (!readVarint(Id) || !readVarint(Length))
+      return false;
+    if (Id != Out.Strings.size())
+      return fail("non-dense string id " + std::to_string(Id) +
+                  " (expected " + std::to_string(Out.Strings.size()) + ")");
+    if (Length > Size - Pos)
+      return fail("truncated string payload");
+    Out.Strings.emplace_back(reinterpret_cast<const char *>(Data + Pos),
+                             static_cast<size_t>(Length));
+    Pos += static_cast<size_t>(Length);
+    return true;
+  }
+
+  uint64_t KindValue = Tag - 1;
+  if (KindValue >= race::NumEventKinds)
+    return fail("unknown event tag " + std::to_string(Tag));
+  TraceRecord Record;
+  Record.Kind = static_cast<race::EventKind>(KindValue);
+  EventFields F = eventFields(Record.Kind);
+  uint64_t Value = 0;
+  if (F.HasT) {
+    if (!readVarint(Value))
+      return false;
+    if (Value > ~static_cast<race::Tid>(0))
+      return fail("goroutine id out of range");
+    Record.T = static_cast<race::Tid>(Value);
+  }
+  if (F.HasA && !readVarint(Record.A))
+    return false;
+  if (F.HasB && !readVarint(Record.B))
+    return false;
+  if (F.HasFlag) {
+    if (!readVarint(Value))
+      return false;
+    if (Value > 1)
+      return fail("flag operand not 0/1");
+    Record.Flag = Value != 0;
+  }
+  auto ReadStr = [&](TraceStrId &Slot) {
+    if (!readVarint(Value))
+      return false;
+    if (Value >= Out.Strings.size())
+      return fail("dangling string id " + std::to_string(Value));
+    Slot = static_cast<TraceStrId>(Value);
+    return true;
+  };
+  if (F.HasStr1 && !ReadStr(Record.Str1))
+    return false;
+  if (F.HasStr2 && !ReadStr(Record.Str2))
+    return false;
+  Out.Events.push_back(Record);
+  return true;
+}
+
+bool TraceReader::readAll(Trace &Out) {
+  if (!readHeader(Out))
+    return false;
+  bool Done = false;
+  while (!Done)
+    if (!readRecord(Out, Done))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience entry points
+//===----------------------------------------------------------------------===//
+
+Trace trace::decodeOrDie(const std::vector<uint8_t> &Bytes) {
+  Trace Out;
+  TraceReader Reader(Bytes);
+  if (!Reader.readAll(Out)) {
+    std::fprintf(stderr, "fatal: undecodable trace: %s\n",
+                 Reader.error().c_str());
+    std::abort();
+  }
+  return Out;
+}
+
+bool trace::readTraceFile(const std::string &Path, Trace &Out,
+                          std::string &Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Chunk[64 * 1024];
+  size_t Got = 0;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Bytes.insert(Bytes.end(), Chunk, Chunk + Got);
+  bool ReadOk = std::ferror(File) == 0;
+  std::fclose(File);
+  if (!ReadOk) {
+    Error = "I/O error reading " + Path;
+    return false;
+  }
+  TraceReader Reader(Bytes);
+  if (!Reader.readAll(Out)) {
+    Error = Reader.error();
+    return false;
+  }
+  return true;
+}

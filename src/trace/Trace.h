@@ -1,0 +1,188 @@
+//===- trace/Trace.h - Binary event-trace capture format --------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact append-only binary format for detector event traces, plus
+/// the capture sink and checked reader. This is the record half of the
+/// paper-style record-once/analyze-at-scale pipeline (§3): the runtime's
+/// instrumentation tees its detector event stream into a TraceSink during
+/// one execution, and any number of offline analyses (trace/Offline.h)
+/// re-consume the bytes later without re-running the scheduler.
+///
+/// Format (all integers unsigned LEB128 varints unless noted):
+///
+///   header  := magic[8] = "GRSTRACE", version varint (currently 1)
+///   record  := strdef | event
+///   strdef  := tag(0), id varint, length varint, bytes[length]
+///   event   := tag(kind+1), operands...   (operand set depends on kind,
+///              see eventFields(); string operands are string-table ids)
+///
+/// String operands are interned: the first occurrence of a string emits a
+/// strdef record whose id is checked to be dense (== table size), so a
+/// reader can never observe a dangling reference. The trace is therefore
+/// streamable — records can be decoded one at a time as bytes arrive —
+/// and self-contained.
+///
+/// Guarantees:
+///  * Round trip: decode(encode(events)) yields the identical event
+///    sequence (property-tested in tests/TraceTest.cpp).
+///  * Checked decoding: truncated input, bad magic, unknown versions or
+///    tags, oversized varints, and dangling string ids are reported as
+///    errors with byte offsets, never undefined behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_TRACE_TRACE_H
+#define GRS_TRACE_TRACE_H
+
+#include "race/Event.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grs {
+namespace trace {
+
+/// Magic bytes opening every trace.
+inline constexpr char TraceMagic[8] = {'G', 'R', 'S', 'T',
+                                       'R', 'A', 'C', 'E'};
+
+/// Current (and only) format version.
+inline constexpr uint32_t TraceVersion = 1;
+
+/// Id into a trace's string table.
+using TraceStrId = uint32_t;
+
+/// Sentinel for "kind has no such string operand".
+inline constexpr TraceStrId NoTraceStr = ~static_cast<TraceStrId>(0);
+
+/// Which operand fields an event kind serializes. Field order on the wire
+/// is T, A, B, Flag, Str1, Str2 (present fields only).
+struct EventFields {
+  bool HasT = false;
+  bool HasA = false;
+  bool HasB = false;
+  bool HasFlag = false;
+  bool HasStr1 = false;
+  bool HasStr2 = false;
+};
+
+/// \returns the operand layout of \p Kind.
+EventFields eventFields(race::EventKind Kind);
+
+/// A decoded event: like race::TraceEvent but with string operands
+/// resolved into string-table ids owned by the enclosing Trace.
+struct TraceRecord {
+  race::EventKind Kind = race::EventKind::RootGoroutine;
+  race::Tid T = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  bool Flag = false;
+  TraceStrId Str1 = NoTraceStr;
+  TraceStrId Str2 = NoTraceStr;
+
+  friend bool operator==(const TraceRecord &X, const TraceRecord &Y) {
+    return X.Kind == Y.Kind && X.T == Y.T && X.A == Y.A && X.B == Y.B &&
+           X.Flag == Y.Flag && X.Str1 == Y.Str1 && X.Str2 == Y.Str2;
+  }
+};
+
+/// A fully decoded trace: the string table plus the event sequence.
+struct Trace {
+  uint32_t Version = TraceVersion;
+  std::vector<std::string> Strings;
+  std::vector<TraceRecord> Events;
+
+  /// \returns the text of \p Id ("" for NoTraceStr).
+  const std::string &text(TraceStrId Id) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Capture
+//===----------------------------------------------------------------------===//
+
+/// Append-only trace encoder and capture sink. Install on a detector
+/// (race::Detector::setEventObserver) or a runtime run
+/// (rt::RunOptions::Trace) to tee the event stream into a byte buffer.
+class TraceSink final : public race::EventObserver {
+public:
+  TraceSink();
+
+  /// Records one event (EventObserver interface).
+  void onTraceEvent(const race::TraceEvent &Event) override;
+
+  /// Encoded bytes so far (header included; always decodable as-is).
+  const std::vector<uint8_t> &bytes() const { return Buffer; }
+
+  /// Number of events recorded (string definitions excluded).
+  uint64_t eventCount() const { return Events; }
+
+  /// Extracts the buffer, leaving the sink ready for a fresh capture.
+  std::vector<uint8_t> take();
+
+  /// Writes bytes() to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  void reset();
+  void putVarint(uint64_t Value);
+  TraceStrId internString(const std::string &Text);
+
+  std::vector<uint8_t> Buffer;
+  std::unordered_map<std::string, TraceStrId> StringIds;
+  uint64_t Events = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+/// Checked streaming decoder over an in-memory byte buffer.
+class TraceReader {
+public:
+  TraceReader(const uint8_t *Data, size_t Size);
+  explicit TraceReader(const std::vector<uint8_t> &Bytes)
+      : TraceReader(Bytes.data(), Bytes.size()) {}
+
+  /// Decodes the whole buffer into \p Out. \returns false on malformed
+  /// input, with the failure in error(); \p Out then holds everything
+  /// decoded before the error.
+  bool readAll(Trace &Out);
+
+  /// True once a decoding error occurred; decoding stops at that point.
+  bool failed() const { return !Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  /// Byte offset of the next unread record (diagnostics).
+  size_t offset() const { return Pos; }
+
+private:
+  bool readHeader(Trace &Out);
+  bool readRecord(Trace &Out, bool &Done);
+  bool readVarint(uint64_t &Value);
+  bool fail(const std::string &Message);
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+/// Convenience: decodes \p Bytes, aborting the process on malformed input
+/// (for callers that just produced the bytes themselves).
+Trace decodeOrDie(const std::vector<uint8_t> &Bytes);
+
+/// Reads and decodes a trace file. \returns false on I/O or decode
+/// failure (message in \p Error).
+bool readTraceFile(const std::string &Path, Trace &Out, std::string &Error);
+
+} // namespace trace
+} // namespace grs
+
+#endif // GRS_TRACE_TRACE_H
