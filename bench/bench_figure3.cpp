@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Sampler.h"
+#include "obs/Metrics.h"
 #include "pipeline/Deployment.h"
 #include "support/Render.h"
 
@@ -37,24 +38,38 @@ int main(int Argc, char **Argv) {
   DeploymentSimulator Sim(Config);
   DeploymentOutcome O = Sim.run();
 
-  support::renderSeriesChart(std::cout, "Total outstanding detected races",
-                             {O.Outstanding});
+  // The daily series and the §3.5 statistics come from the simulator's
+  // grs_pipeline_* instruments (the simulator no longer keeps parallel
+  // counts; the Outcome itself is derived from the same registry).
+  obs::Registry &Reg = Sim.metrics();
+  support::renderSeriesChart(
+      std::cout, "Total outstanding detected races",
+      {Reg.findTimeseries("grs_pipeline_outstanding_races")
+           ->toSeries("outstanding races")});
+
+  uint64_t Detected =
+      Reg.findCounter("grs_pipeline_tasks_filed_total")->value();
+  uint64_t Fixed = Reg.findCounter("grs_pipeline_tasks_fixed_total")->value();
+  uint64_t Patches = Reg.findCounter("grs_pipeline_patches_total")->value();
+  uint64_t Duplicates =
+      Reg.findCounter("grs_pipeline_duplicates_suppressed_total")->value();
+  double Fixers = Reg.findGauge("grs_pipeline_unique_fixers")->value();
 
   support::TextTable Table("\nDeployment statistics (paper §3.5 -> measured)");
   Table.setHeader({"Statistic", "Paper", "Measured"});
   Table.addRow({"data races detected (tasks filed)", "~2000 (\"over 2000\")",
-                std::to_string(O.TotalDetectedRaces)});
-  Table.addRow({"races fixed", "1011",
-                std::to_string(O.TotalFixedTasks)});
-  Table.addRow({"unique patches", "790", std::to_string(O.UniquePatches)});
+                std::to_string(Detected)});
+  Table.addRow({"races fixed", "1011", std::to_string(Fixed)});
+  Table.addRow({"unique patches", "790", std::to_string(Patches)});
   Table.addRow({"unique patches / fixed (root-cause uniqueness)", "~0.78",
-                fixed(O.PatchesPerFixedTask, 2)});
-  Table.addRow({"unique fixing engineers", "210",
-                std::to_string(O.UniqueFixers)});
+                fixed(Fixed ? double(Patches) / double(Fixed) : 0.0, 2)});
+  Table.addRow({"unique fixing engineers", "210", fixed(Fixers, 0)});
   Table.addRow({"new race reports per day (steady state)", "~5",
                 fixed(O.AvgNewReportsPerDayLate, 1)});
   Table.addRow({"suppressed duplicate reports", "(not reported)",
-                std::to_string(O.SuppressedDuplicates)});
+                std::to_string(Duplicates)});
+  Table.addRow({"duplicate suppression ratio", "(not reported)",
+                fixed(Reg.findGauge("grs_pipeline_dedup_ratio")->value(), 2)});
   Table.render(std::cout);
 
   // Root-cause category breakdown of the fixed races: the simulated

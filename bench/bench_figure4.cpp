@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "pipeline/Deployment.h"
 #include "support/Render.h"
 
@@ -33,14 +34,22 @@ int main(int Argc, char **Argv) {
             << Config.FloodgateDay << "\n\n";
 
   DeploymentSimulator Sim(Config);
-  DeploymentOutcome O = Sim.run();
+  Sim.run();
 
-  support::renderSeriesChart(std::cout,
-                             "Cumulative race tasks: created vs resolved",
-                             {O.CreatedCumulative, O.ResolvedCumulative});
+  // Both curves are read from the simulator's grs_pipeline_* timeseries
+  // instruments; this bench keeps no counts of its own.
+  obs::Registry &Reg = Sim.metrics();
+  const obs::Timeseries *TsCreated =
+      Reg.findTimeseries("grs_pipeline_tasks_created_cumulative");
+  const obs::Timeseries *TsResolved =
+      Reg.findTimeseries("grs_pipeline_tasks_resolved_cumulative");
+  support::renderSeriesChart(
+      std::cout, "Cumulative race tasks: created vs resolved",
+      {TsCreated->toSeries("tasks created (cumulative)"),
+       TsResolved->toSeries("tasks resolved (cumulative)")});
 
-  const auto &Created = O.CreatedCumulative.Values;
-  const auto &Resolved = O.ResolvedCumulative.Values;
+  const auto &Created = TsCreated->values();
+  const auto &Resolved = TsResolved->values();
   size_t Last = Created.size() - 1;
   double RampRate =
       Created[Config.FloodgateDay - 1] / double(Config.FloodgateDay);

@@ -1,0 +1,90 @@
+//===- obs/DetectorMetrics.cpp - Metrics-backed detector observer ---------===//
+
+#include "obs/DetectorMetrics.h"
+
+#include <algorithm>
+
+using namespace grs;
+using namespace grs::obs;
+using race::EventKind;
+
+DetectorObserver::DetectorObserver(Registry &Reg, const race::Detector *Det,
+                                   race::EventObserver *Next)
+    : Reg(Reg), Det(Det), Next(Next) {
+  for (uint8_t K = 0; K < race::NumEventKinds; ++K)
+    EventsByKind[K] = Reg.counter(
+        "grs_race_events_total",
+        {{"kind", race::eventKindName(static_cast<EventKind>(K))}});
+
+  Reads = Reg.counter("grs_race_reads_total");
+  Writes = Reg.counter("grs_race_writes_total");
+  SyncOps = Reg.counter("grs_race_sync_ops_total");
+  FastPathHits = Reg.counter("grs_race_same_epoch_fastpath_total");
+  ReadPromotions = Reg.counter("grs_race_read_vc_promotions_total");
+  EraserTransitions = Reg.counter("grs_race_eraser_transitions_total");
+  ReportsEmitted = Reg.counter("grs_race_reports_emitted_total");
+  ReportsSuppressed = Reg.counter("grs_race_reports_suppressed_total");
+  ShadowCells = Reg.gauge("grs_race_shadow_cells");
+  Goroutines = Reg.gauge("grs_race_goroutines");
+  VcMax = Reg.gauge("grs_race_vector_clock_max_size");
+  VcMean = Reg.gauge("grs_race_vector_clock_mean_size");
+  LockSetsInterned = Reg.gauge("grs_race_locksets_interned");
+  LockSetInternHits = Reg.counter("grs_race_lockset_intern_hits_total");
+  LockSetInternMisses = Reg.counter("grs_race_lockset_intern_misses_total");
+  LockSetMemoHits = Reg.counter("grs_race_lockset_memo_hits_total");
+  VcSizes = Reg.histogram("grs_race_vector_clock_size", {},
+                          {/*FirstBucketUpper=*/1.0, /*Growth=*/2.0,
+                           /*MaxBuckets=*/24});
+}
+
+void DetectorObserver::onTraceEvent(const race::TraceEvent &Event) {
+  uint8_t K = static_cast<uint8_t>(Event.Kind);
+  if (K < race::NumEventKinds)
+    inc(EventsByKind[K]);
+  if (Next)
+    Next->onTraceEvent(Event);
+}
+
+void DetectorObserver::sync() {
+  if (!Det)
+    return;
+  const race::DetectorStats &S = Det->stats();
+  if (Reads) {
+    Reads->inc(S.Reads - LastStats.Reads);
+    Writes->inc(S.Writes - LastStats.Writes);
+    SyncOps->inc(S.SyncOps - LastStats.SyncOps);
+    FastPathHits->inc(S.SameEpochFastPath - LastStats.SameEpochFastPath);
+    ReadPromotions->inc(S.ReadSharePromotions -
+                        LastStats.ReadSharePromotions);
+    EraserTransitions->inc(S.EraserTransitions - LastStats.EraserTransitions);
+    ReportsEmitted->inc(S.RacesReported - LastStats.RacesReported);
+    ReportsSuppressed->inc(S.ReportsSuppressed - LastStats.ReportsSuppressed);
+  }
+  LastStats = S;
+  set(ShadowCells, static_cast<double>(S.ShadowCells));
+  set(Goroutines, static_cast<double>(Det->numGoroutines()));
+
+  size_t MaxSize = 0;
+  size_t TotalSize = 0;
+  size_t N = Det->numGoroutines();
+  for (size_t T = 0; T < N; ++T) {
+    size_t Size = Det->clockOf(static_cast<race::Tid>(T)).size();
+    MaxSize = std::max(MaxSize, Size);
+    TotalSize += Size;
+    observe(VcSizes, static_cast<double>(Size));
+  }
+  set(VcMax, static_cast<double>(MaxSize));
+  set(VcMean, N ? static_cast<double>(TotalSize) / static_cast<double>(N)
+                : 0.0);
+
+  const race::LockSetRegistry &LS = Det->lockSets();
+  set(LockSetsInterned, static_cast<double>(LS.numInternedSets()));
+  const race::LockSetStats &LStats = LS.stats();
+  if (LockSetInternHits) {
+    LockSetInternHits->inc(LStats.InternHits - LastLockStats.InternHits);
+    LockSetInternMisses->inc(LStats.InternMisses -
+                             LastLockStats.InternMisses);
+    LockSetMemoHits->inc(LStats.MemoHits - LastLockStats.MemoHits);
+  }
+  LastLockStats = LStats;
+}

@@ -1,0 +1,89 @@
+//===- obs/DetectorMetrics.h - Metrics-backed detector observer -*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detector instrumentation that leaves the detector core untouched: a
+/// race::EventObserver that counts every event of the detector's stream
+/// into `grs_race_*` / `grs_rt_chan_*` instruments, and a sync() pass that
+/// mirrors the aggregate DetectorStats (shadow-cell transitions, epoch→VC
+/// promotions, report throttling), vector-clock sizes, and lock-set
+/// interning efficiency into the registry.
+///
+/// The observer chains: a trace::TraceSink (or any other observer)
+/// installed as Next still sees the identical event stream, so metrics and
+/// trace capture compose on the single Detector::setEventObserver() seam.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_OBS_DETECTORMETRICS_H
+#define GRS_OBS_DETECTORMETRICS_H
+
+#include "obs/Metrics.h"
+#include "race/Detector.h"
+#include "race/Event.h"
+
+namespace grs {
+namespace obs {
+
+/// See file comment.
+class DetectorObserver final : public race::EventObserver {
+public:
+  /// \p Det may be null when only event counts are wanted (sync() then
+  /// skips the stats mirror). \p Next receives every event after counting.
+  explicit DetectorObserver(Registry &Reg,
+                            const race::Detector *Det = nullptr,
+                            race::EventObserver *Next = nullptr);
+
+  void onTraceEvent(const race::TraceEvent &Event) override;
+
+  /// Folds the detector's aggregate state into the registry: call after a
+  /// run (or periodically) — per-event mirroring would defeat the plain-
+  /// increment fast path. Counters are advanced by the delta since the
+  /// previous sync(), so several observers (one per Runtime) sharing one
+  /// registry aggregate fleet-wide instead of overwriting each other;
+  /// gauges and the vector-clock size histogram reflect the state at each
+  /// sync.
+  void sync();
+
+  void setDetector(const race::Detector *NewDet) { Det = NewDet; }
+
+private:
+  Registry &Reg;
+  const race::Detector *Det;
+  race::EventObserver *Next;
+
+  /// Per-kind event counters, resolved once at construction.
+  Counter *EventsByKind[race::NumEventKinds] = {nullptr};
+
+  // sync() targets.
+  Counter *Reads = nullptr;
+  Counter *Writes = nullptr;
+  Counter *SyncOps = nullptr;
+  Counter *FastPathHits = nullptr;
+  Counter *ReadPromotions = nullptr;
+  Counter *EraserTransitions = nullptr;
+  Counter *ReportsEmitted = nullptr;
+  Counter *ReportsSuppressed = nullptr;
+  Gauge *ShadowCells = nullptr;
+  Gauge *Goroutines = nullptr;
+  Gauge *VcMax = nullptr;
+  Gauge *VcMean = nullptr;
+  Gauge *LockSetsInterned = nullptr;
+  Counter *LockSetInternHits = nullptr;
+  Counter *LockSetInternMisses = nullptr;
+  Counter *LockSetMemoHits = nullptr;
+  Histogram *VcSizes = nullptr;
+
+  /// State at the previous sync(), for delta accumulation.
+  race::DetectorStats LastStats;
+  race::LockSetStats LastLockStats;
+};
+
+} // namespace obs
+} // namespace grs
+
+#endif // GRS_OBS_DETECTORMETRICS_H

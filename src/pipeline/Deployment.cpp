@@ -3,6 +3,7 @@
 #include "pipeline/Deployment.h"
 
 #include "corpus/Sampler.h"
+#include "obs/Metrics.h"
 #include "pipeline/Fingerprint.h"
 
 #include <set>
@@ -38,6 +39,14 @@ DeploymentSimulator::DeploymentSimulator(const DeploymentConfig &Config)
       Resolver(Repo) {}
 
 DeploymentSimulator::~DeploymentSimulator() = default;
+
+obs::Registry &DeploymentSimulator::metrics() {
+  if (Config.Metrics && Config.Metrics->enabled())
+    return *Config.Metrics;
+  if (!OwnedMetrics)
+    OwnedMetrics = std::make_unique<obs::Registry>(/*Enabled=*/true);
+  return *OwnedMetrics;
+}
 
 DeploymentSimulator::LatentRace
 DeploymentSimulator::makeLatentRace(uint32_t Day) {
@@ -99,100 +108,136 @@ DeploymentSimulator::makeLatentRace(uint32_t Day) {
 
 DeploymentOutcome DeploymentSimulator::run() {
   DeploymentOutcome Outcome;
-  Outcome.Outstanding.Name = "outstanding races";
-  Outcome.CreatedCumulative.Name = "tasks created (cumulative)";
-  Outcome.ResolvedCumulative.Name = "tasks resolved (cumulative)";
+
+  // The grs_pipeline_* instruments are the single source of truth for the
+  // run's telemetry; the Outcome series/counts are read back from them at
+  // the end (metrics() is always an enabled registry, so every handle is
+  // non-null).
+  obs::Registry &Reg = metrics();
+  obs::Timeseries *SOutstanding =
+      Reg.timeseries("grs_pipeline_outstanding_races");
+  obs::Timeseries *SCreated =
+      Reg.timeseries("grs_pipeline_tasks_created_cumulative");
+  obs::Timeseries *SResolved =
+      Reg.timeseries("grs_pipeline_tasks_resolved_cumulative");
+  obs::Counter *CIntroduced =
+      Reg.counter("grs_pipeline_races_introduced_total");
+  obs::Counter *CFiled = Reg.counter("grs_pipeline_tasks_filed_total");
+  obs::Counter *CFixed = Reg.counter("grs_pipeline_tasks_fixed_total");
+  obs::Counter *CPatches = Reg.counter("grs_pipeline_patches_total");
+  obs::Counter *CDuplicates =
+      Reg.counter("grs_pipeline_duplicates_suppressed_total");
+  obs::Counter *CReassigned =
+      Reg.counter("grs_pipeline_reassignments_total");
+  obs::Counter *CCiPrevented = Reg.counter("grs_pipeline_ci_prevented_total");
+  obs::Counter *CCiLeaked = Reg.counter("grs_pipeline_ci_leaked_total");
+  obs::Gauge *GDedupRatio = Reg.gauge("grs_pipeline_dedup_ratio");
+  obs::Gauge *GUniqueFixers = Reg.gauge("grs_pipeline_unique_fixers");
 
   Races.reserve(Config.InitialLatentRaces + 1024);
   for (uint32_t I = 0; I < Config.InitialLatentRaces; ++I)
     Races.push_back(makeLatentRace(0));
 
   std::set<DevId> Fixers;
-  uint64_t Patches = 0;
-  uint64_t FixedTasks = 0;
   uint64_t LateCreated = 0;
   uint32_t LateDays = 0;
 
   for (uint32_t Day = 0; Day < Config.Days; ++Day) {
+    obs::Span DaySpan = Reg.span("day");
     // (1) Code change lands: new latent races are introduced. In
     // CiBlocking mode the PR gate runs the detector first; a race lands
     // only if it stays dormant in every CI run — the §3.2 flakiness
     // objection made quantitative.
-    uint64_t Arrivals = Rng.poisson(Config.NewRacesPerDay);
-    for (uint64_t I = 0; I < Arrivals; ++I) {
-      LatentRace Race = makeLatentRace(Day);
-      if (Config.Mode == DeployMode::CiBlocking) {
-        bool Caught = false;
-        for (unsigned Run = 0; Run < Config.CiRunsPerChange && !Caught;
-             ++Run)
-          Caught = Rng.chance(Race.ManifestProb);
-        if (Caught) {
-          ++Outcome.PreventedAtCi;
-          continue; // Author fixes before merging; never lands.
+    {
+      obs::Span S = Reg.span("arrivals");
+      uint64_t Arrivals = Rng.poisson(Config.NewRacesPerDay);
+      for (uint64_t I = 0; I < Arrivals; ++I) {
+        LatentRace Race = makeLatentRace(Day);
+        if (Config.Mode == DeployMode::CiBlocking) {
+          bool Caught = false;
+          for (unsigned Run = 0; Run < Config.CiRunsPerChange && !Caught;
+               ++Run)
+            Caught = Rng.chance(Race.ManifestProb);
+          if (Caught) {
+            CCiPrevented->inc();
+            continue; // Author fixes before merging; never lands.
+          }
+          CCiLeaked->inc();
         }
-        ++Outcome.LeakedPastCi;
+        CIntroduced->inc();
+        Races.push_back(std::move(Race));
       }
-      Races.push_back(std::move(Race));
     }
 
     // (2) Developers enable/disable tests; the organization churns.
-    for (LatentRace &Race : Races) {
-      if (Race.TestEnabled) {
-        if (Rng.chance(Config.TestDisableProb))
-          Race.TestEnabled = false;
-      } else if (Rng.chance(Config.TestReenableProb)) {
-        Race.TestEnabled = true;
+    {
+      obs::Span S = Reg.span("test-churn");
+      for (LatentRace &Race : Races) {
+        if (Race.TestEnabled) {
+          if (Rng.chance(Config.TestDisableProb))
+            Race.TestEnabled = false;
+        } else if (Rng.chance(Config.TestReenableProb)) {
+          Race.TestEnabled = true;
+        }
       }
+      Repo.advanceDay(Rng);
     }
-    Repo.advanceDay(Rng);
 
     // (3) The daily snapshot run: execute all unit tests with the race
     // detector on; collect manifested races.
     std::vector<size_t> Manifested;
-    for (size_t I = 0; I < Races.size(); ++I) {
-      LatentRace &Race = Races[I];
-      if (!Race.Present || !Race.TestEnabled)
-        continue;
-      if (!Rng.chance(Race.ManifestProb))
-        continue;
-      Race.EverDetected = true;
-      Race.LastSeenDay = Day;
-      if (Race.TaskOpen) {
-        // Same hash already open: suppressed duplicate (§3.3.1).
-        Bugs.fileReport(Race.Fingerprint, 0, Day, {});
-        continue;
+    {
+      obs::Span S = Reg.span("snapshot");
+      for (size_t I = 0; I < Races.size(); ++I) {
+        LatentRace &Race = Races[I];
+        if (!Race.Present || !Race.TestEnabled)
+          continue;
+        if (!Rng.chance(Race.ManifestProb))
+          continue;
+        Race.EverDetected = true;
+        Race.LastSeenDay = Day;
+        if (Race.TaskOpen) {
+          // Same hash already open: suppressed duplicate (§3.3.1).
+          Bugs.fileReport(Race.Fingerprint, 0, Day, {});
+          continue;
+        }
+        Manifested.push_back(I);
       }
-      Manifested.push_back(I);
     }
 
     // (4) File tasks, throttled during the ramp-up period.
-    uint64_t FilingBudget = Day >= Config.FloodgateDay
-                                ? Manifested.size()
-                                : Config.RampFilingsPerDay;
-    uint32_t DayCreated = 0;
-    for (size_t Index : Manifested) {
-      if (FilingBudget == 0)
-        break;
-      LatentRace &Race = Races[Index];
-      Resolution Who = Resolver.resolve(Race.Sites, Rng);
-      FileOutcome Filed =
-          Bugs.fileReport(Race.Fingerprint, Who.Assignee, Day,
-                          std::move(Who.Log));
-      if (Filed.Created) {
-        Race.TaskOpen = true;
-        Race.OpenTask = Filed.Id;
-        --FilingBudget;
-        ++DayCreated;
+    {
+      obs::Span S = Reg.span("filing");
+      uint64_t FilingBudget = Day >= Config.FloodgateDay
+                                  ? Manifested.size()
+                                  : Config.RampFilingsPerDay;
+      uint32_t DayCreated = 0;
+      for (size_t Index : Manifested) {
+        if (FilingBudget == 0)
+          break;
+        LatentRace &Race = Races[Index];
+        Resolution Who = Resolver.resolve(Race.Sites, Rng);
+        FileOutcome Filed =
+            Bugs.fileReport(Race.Fingerprint, Who.Assignee, Day,
+                            std::move(Who.Log));
+        if (Filed.Created) {
+          Race.TaskOpen = true;
+          Race.OpenTask = Filed.Id;
+          CFiled->inc();
+          --FilingBudget;
+          ++DayCreated;
+        }
       }
-    }
-    if (Day >= Config.FloodgateDay + 30) {
-      LateCreated += DayCreated;
-      ++LateDays;
+      if (Day >= Config.FloodgateDay + 30) {
+        LateCreated += DayCreated;
+        ++LateDays;
+      }
     }
 
     // (4b) Triage: open tasks whose assignee has left are re-routed to
     // an active member of the owning team (weekly pass).
     if (Day % 7 == 0) {
+      obs::Span S = Reg.span("triage");
       for (TaskId Id : Bugs.openTasks()) {
         Task &T = Bugs.task(Id);
         if (Repo.isActive(T.Assignee))
@@ -205,46 +250,49 @@ DeploymentOutcome DeploymentSimulator::run() {
             Repo.developerName(T.Assignee) +
             " left; triaged to " + Repo.developerName(NewOwner));
         T.Assignee = NewOwner;
-        ++Outcome.Reassignments;
+        CReassigned->inc();
       }
     }
 
     // (5) Developers fix open tasks; one patch may close a whole
     // root-cause cluster; some fixes do not stick.
-    double FixProb = Day <= Config.ShepherdingEndDay
-                         ? Config.ShepherdedFixProb
-                         : Config.DisengagedFixProb;
-    std::vector<TaskId> ToFix;
-    for (TaskId Id : Bugs.openTasks())
-      if (Rng.chance(FixProb))
-        ToFix.push_back(Id);
+    {
+      obs::Span S = Reg.span("fixing");
+      double FixProb = Day <= Config.ShepherdingEndDay
+                           ? Config.ShepherdedFixProb
+                           : Config.DisengagedFixProb;
+      std::vector<TaskId> ToFix;
+      for (TaskId Id : Bugs.openTasks())
+        if (Rng.chance(FixProb))
+          ToFix.push_back(Id);
 
-    for (TaskId Id : ToFix) {
-      if (Bugs.task(Id).Status == TaskStatus::Fixed)
-        continue; // Already closed by a sibling's patch today.
-      ++Patches;
-      Fixers.insert(Bugs.task(Id).Assignee);
+      for (TaskId Id : ToFix) {
+        if (Bugs.task(Id).Status == TaskStatus::Fixed)
+          continue; // Already closed by a sibling's patch today.
+        CPatches->inc();
+        Fixers.insert(Bugs.task(Id).Assignee);
 
-      // Find the race this task tracks, then close its whole cluster.
-      uint32_t Cluster = ~0u;
-      for (LatentRace &Race : Races)
-        if (Race.TaskOpen && Race.OpenTask == Id)
-          Cluster = Race.Cluster;
-      for (LatentRace &Race : Races) {
-        if (Race.Cluster != Cluster || !Race.Present)
-          continue;
-        if (Race.TaskOpen) {
-          Bugs.markFixed(Race.OpenTask, Day);
-          ++FixedTasks;
-          Race.TaskOpen = false;
-          if (Race.Category >= Outcome.FixedByCategory.size())
-            Outcome.FixedByCategory.resize(Race.Category + 1, 0);
-          ++Outcome.FixedByCategory[Race.Category];
+        // Find the race this task tracks, then close its whole cluster.
+        uint32_t Cluster = ~0u;
+        for (LatentRace &Race : Races)
+          if (Race.TaskOpen && Race.OpenTask == Id)
+            Cluster = Race.Cluster;
+        for (LatentRace &Race : Races) {
+          if (Race.Cluster != Cluster || !Race.Present)
+            continue;
+          if (Race.TaskOpen) {
+            Bugs.markFixed(Race.OpenTask, Day);
+            CFixed->inc();
+            Race.TaskOpen = false;
+            if (Race.Category >= Outcome.FixedByCategory.size())
+              Outcome.FixedByCategory.resize(Race.Category + 1, 0);
+            ++Outcome.FixedByCategory[Race.Category];
+          }
+          // Most fixes eliminate the race; a few do not stick, and the
+          // same hash will be re-filed once re-detected.
+          if (!Rng.chance(Config.BadFixProb))
+            Race.Present = false;
         }
-        // Most fixes eliminate the race; a few do not stick, and the
-        // same hash will be re-filed once re-detected.
-        if (!Rng.chance(Config.BadFixProb))
-          Race.Present = false;
       }
     }
 
@@ -252,28 +300,48 @@ DeploymentOutcome DeploymentSimulator::run() {
     // rolling view: unfixed races the daily runs saw recently — so the
     // series fluctuates with flaky manifestation and test churn, as in
     // Figure 3.
-    uint64_t Outstanding = 0;
-    for (const LatentRace &Race : Races) {
-      if (!Race.Present || !Race.EverDetected)
-        continue;
-      if (Day - Race.LastSeenDay <= Config.OutstandingWindow)
-        ++Outstanding;
+    {
+      obs::Span S = Reg.span("telemetry");
+      uint64_t Outstanding = 0;
+      for (const LatentRace &Race : Races) {
+        if (!Race.Present || !Race.EverDetected)
+          continue;
+        if (Day - Race.LastSeenDay <= Config.OutstandingWindow)
+          ++Outstanding;
+      }
+      SOutstanding->append(static_cast<double>(Outstanding));
+      SCreated->append(static_cast<double>(Bugs.numCreated()));
+      SResolved->append(static_cast<double>(Bugs.numFixed()));
+      CDuplicates->mirror(Bugs.numSuppressedDuplicates());
+      uint64_t Reports = Bugs.numCreated() + Bugs.numSuppressedDuplicates();
+      GDedupRatio->set(Reports ? static_cast<double>(
+                                     Bugs.numSuppressedDuplicates()) /
+                                     static_cast<double>(Reports)
+                               : 0.0);
+      GUniqueFixers->set(static_cast<double>(Fixers.size()));
     }
-    Outcome.Outstanding.Values.push_back(static_cast<double>(Outstanding));
-    Outcome.CreatedCumulative.Values.push_back(
-        static_cast<double>(Bugs.numCreated()));
-    Outcome.ResolvedCumulative.Values.push_back(
-        static_cast<double>(Bugs.numFixed()));
   }
 
+  // Read the outcome back from the instruments (the series get their
+  // legacy display names so downstream rendering is unchanged).
+  Outcome.Outstanding = SOutstanding->toSeries("outstanding races");
+  Outcome.CreatedCumulative =
+      SCreated->toSeries("tasks created (cumulative)");
+  Outcome.ResolvedCumulative =
+      SResolved->toSeries("tasks resolved (cumulative)");
   Outcome.TotalDetectedRaces = Bugs.numCreated();
-  Outcome.TotalFixedTasks = FixedTasks;
-  Outcome.UniquePatches = Patches;
+  Outcome.TotalFixedTasks = CFixed->value();
+  Outcome.UniquePatches = CPatches->value();
   Outcome.UniqueFixers = Fixers.size();
   Outcome.SuppressedDuplicates = Bugs.numSuppressedDuplicates();
+  Outcome.PreventedAtCi = CCiPrevented->value();
+  Outcome.LeakedPastCi = CCiLeaked->value();
+  Outcome.Reassignments = CReassigned->value();
   Outcome.AvgNewReportsPerDayLate =
       LateDays ? static_cast<double>(LateCreated) / LateDays : 0.0;
   Outcome.PatchesPerFixedTask =
-      FixedTasks ? static_cast<double>(Patches) / FixedTasks : 0.0;
+      Outcome.TotalFixedTasks ? static_cast<double>(Outcome.UniquePatches) /
+                                    static_cast<double>(Outcome.TotalFixedTasks)
+                              : 0.0;
   return Outcome;
 }

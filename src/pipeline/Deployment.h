@@ -41,9 +41,15 @@
 #include "support/Stats.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace grs {
+
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace pipeline {
 
 /// How detection is deployed (§3.2's design space).
@@ -96,6 +102,13 @@ struct DeploymentConfig {
   /// race is caught (and blocked) with probability
   /// 1 - (1 - manifestProb)^CiRunsPerChange.
   unsigned CiRunsPerChange = 2;
+  /// Optional metrics registry (borrowed; must outlive the simulator).
+  /// The simulator records its daily series, counters, and per-phase
+  /// timings as `grs_pipeline_*` instruments. When null — or when the
+  /// registry is disabled — the simulator falls back to a private enabled
+  /// registry, because the instruments double as its own bookkeeping (the
+  /// DeploymentOutcome series are read back from them).
+  obs::Registry *Metrics = nullptr;
   MonorepoConfig Repo;
 };
 
@@ -139,6 +152,12 @@ public:
   const BugDatabase &bugs() const { return Bugs; }
   const MonorepoModel &repo() const { return Repo; }
 
+  /// The registry holding this deployment's `grs_pipeline_*` instruments:
+  /// DeploymentConfig::Metrics when that is an enabled registry, else a
+  /// lazily created private one. The Figure 3/4 benches read their series
+  /// from here instead of recounting.
+  obs::Registry &metrics();
+
 private:
   struct LatentRace;
 
@@ -152,6 +171,8 @@ private:
   BugDatabase Bugs;
   std::vector<LatentRace> Races;
   uint32_t NextClusterId = 0;
+  /// Fallback registry when no (enabled) external one is configured.
+  std::unique_ptr<obs::Registry> OwnedMetrics;
 };
 
 } // namespace pipeline

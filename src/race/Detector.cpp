@@ -245,16 +245,22 @@ AccessSnapshot Detector::snapshotCurrent(Tid T, AccessKind Kind) const {
 
 void Detector::emitReport(RaceReport Report, ShadowCell &Cell) {
   if (Report.Evidence == RaceEvidence::HappensBefore) {
-    if (Opts.ReportOncePerAddress && Cell.ReportedHb)
+    if (Opts.ReportOncePerAddress && Cell.ReportedHb) {
+      ++Stats.ReportsSuppressed;
       return;
+    }
     Cell.ReportedHb = true;
   } else {
-    if (Opts.ReportOncePerAddress && Cell.ReportedLs)
+    if (Opts.ReportOncePerAddress && Cell.ReportedLs) {
+      ++Stats.ReportsSuppressed;
       return;
+    }
     Cell.ReportedLs = true;
   }
-  if (Opts.MaxReports && Reports.size() >= Opts.MaxReports)
+  if (Opts.MaxReports && Reports.size() >= Opts.MaxReports) {
+    ++Stats.ReportsSuppressed;
     return;
+  }
   ++Stats.RacesReported;
   if (Sink_)
     Sink_(Report);
@@ -404,6 +410,7 @@ bool Detector::applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell) {
   switch (Cell.State) {
   case EraserState::Virgin:
     Cell.State = EraserState::Exclusive;
+    ++Stats.EraserTransitions;
     Cell.Owner = T;
     // C(v) := all-locks ∩ held — Eraser refines from the first access;
     // the Exclusive state only suppresses REPORTING, not refinement.
@@ -417,12 +424,14 @@ bool Detector::applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell) {
     Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
     Cell.State = Kind == AccessKind::Read ? EraserState::Shared
                                           : EraserState::SharedModified;
+    ++Stats.EraserTransitions;
     BecameReportable = Cell.State == EraserState::SharedModified;
     break;
   case EraserState::Shared:
     Cell.Candidate = LockSets.intersect(Cell.Candidate, Held);
     if (Kind == AccessKind::Write) {
       Cell.State = EraserState::SharedModified;
+      ++Stats.EraserTransitions;
       BecameReportable = true;
     }
     break;

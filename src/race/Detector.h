@@ -83,6 +83,12 @@ struct DetectorStats {
   uint64_t ReadSharePromotions = 0;
   uint64_t RacesReported = 0;
   uint64_t ShadowCells = 0;
+  /// Eraser shadow-state transitions (Virgin->Exclusive, ->Shared,
+  /// ->SharedModified); only the lock-set algorithm drives these.
+  uint64_t EraserTransitions = 0;
+  /// Reports dropped by the once-per-address / MaxReports throttles —
+  /// the §3.3.1 per-run analogue of the pipeline's dedup suppression.
+  uint64_t ReportsSuppressed = 0;
 };
 
 /// The dynamic race detector. See file comment.
@@ -217,6 +223,7 @@ public:
   const StringInterner &interner() const { return Interner; }
 
   LockSetRegistry &lockSets() { return LockSets; }
+  const LockSetRegistry &lockSets() const { return LockSets; }
 
   /// Direct read of \p T's vector clock (tests and diagnostics).
   const VectorClock &clockOf(Tid T) const;

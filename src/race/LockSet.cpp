@@ -18,8 +18,11 @@ LockSetId LockSetRegistry::intern(std::vector<SyncId> Locks) {
   std::sort(Locks.begin(), Locks.end());
   Locks.erase(std::unique(Locks.begin(), Locks.end()), Locks.end());
   auto Found = Index.find(Locks);
-  if (Found != Index.end())
+  if (Found != Index.end()) {
+    ++Stats.InternHits;
     return Found->second;
+  }
+  ++Stats.InternMisses;
   LockSetId Id = static_cast<LockSetId>(Sets.size());
   Index.emplace(Locks, Id);
   Sets.push_back(std::move(Locks));
@@ -50,8 +53,11 @@ LockSetId LockSetRegistry::intersect(LockSetId A, LockSetId B) {
     return EmptyId;
   auto Key = std::minmax(A, B);
   auto Memo = IntersectMemo.find({Key.first, Key.second});
-  if (Memo != IntersectMemo.end())
+  if (Memo != IntersectMemo.end()) {
+    ++Stats.MemoHits;
     return Memo->second;
+  }
+  ++Stats.MemoMisses;
   const std::vector<SyncId> &SetA = locks(A);
   const std::vector<SyncId> &SetB = locks(B);
   std::vector<SyncId> Result;

@@ -29,6 +29,17 @@ namespace race {
 /// Id of an interned lock set. Id 0 is always the empty set.
 using LockSetId = uint32_t;
 
+/// Interning/memoization efficiency counters, mirrored into the
+/// observability registry by obs::DetectorObserver::sync().
+struct LockSetStats {
+  /// intern() found the set already hash-consed / allocated a new one.
+  uint64_t InternHits = 0;
+  uint64_t InternMisses = 0;
+  /// intersect() answered from the memo table / computed and memoized.
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+};
+
 /// Hash-consing registry of lock sets, so shadow cells store a 32-bit id
 /// instead of a vector, and intersections of common sets are memoized.
 class LockSetRegistry {
@@ -59,6 +70,8 @@ public:
 
   size_t numInternedSets() const { return Sets.size(); }
 
+  const LockSetStats &stats() const { return Stats; }
+
   /// Debug rendering like "{m1, m7}".
   std::string str(LockSetId Id) const;
 
@@ -66,6 +79,7 @@ private:
   std::vector<std::vector<SyncId>> Sets;
   std::map<std::vector<SyncId>, LockSetId> Index;
   std::map<std::pair<LockSetId, LockSetId>, LockSetId> IntersectMemo;
+  LockSetStats Stats;
 };
 
 /// Eraser per-variable ownership state [76]: a variable starts Virgin,

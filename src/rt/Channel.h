@@ -93,6 +93,7 @@ public:
     RT.preemptPoint();
     if (Closed)
       RT.panicNow("close of closed channel (" + Name + ")");
+    RT.noteChanClose();
     RT.det().annotate(race::EventKind::ChannelClose, RT.tid(), CloseSync,
                       false, &Name);
     RT.det().releaseMerge(RT.tid(), CloseSync);
@@ -125,6 +126,7 @@ public:
     // Trace annotation: one record per receive operation (the channel is
     // identified by its close-sync id), whether it completes promptly or
     // parks first.
+    RT.noteChanRecv();
     RT.det().annotate(race::EventKind::ChannelRecv, RT.tid(), CloseSync,
                       false, &Name);
     for (;;) {
@@ -170,6 +172,7 @@ public:
     Runtime &RT = Runtime::current();
     if (Closed)
       RT.panicNow("send on closed channel (" + Name + ")");
+    RT.noteChanSend();
     RT.det().annotate(race::EventKind::ChannelSend, RT.tid(), CloseSync,
                       false, &Name);
     if (Buffer.size() < Capacity) {

@@ -2,6 +2,9 @@
 
 #include "rt/Runtime.h"
 
+#include "obs/DetectorMetrics.h"
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <exception>
@@ -48,8 +51,35 @@ Runtime::Runtime(RunOptions Opts)
     Det->setReportSink([this](const race::RaceReport &Report) {
       this->Opts.OnReport(*Det, Report);
     });
-  if (this->Opts.Trace)
+  // A disabled registry takes the same path as no registry at all: no
+  // handles, no observer — the zero-overhead-when-disabled contract.
+  obs::Registry *Reg = this->Opts.Metrics;
+  if (Reg && !Reg->enabled())
+    Reg = nullptr;
+  if (Reg) {
+    MCtxSwitches = Reg->counter("grs_rt_context_switches_total");
+    MSpawns = Reg->counter("grs_rt_goroutines_spawned_total");
+    MBlocks = Reg->counter("grs_rt_blocks_total");
+    MPreemptions = Reg->counter(
+        "grs_rt_preemptions_total",
+        {{"seed", std::to_string(this->Opts.Seed)}});
+    MYields = Reg->counter("grs_rt_yields_total");
+    MSteps = Reg->counter("grs_rt_steps_total");
+    MSelects = Reg->counter("grs_rt_selects_total");
+    MChanSends = Reg->counter("grs_rt_chan_sends_total");
+    MChanRecvs = Reg->counter("grs_rt_chan_recvs_total");
+    MChanCloses = Reg->counter("grs_rt_chan_closes_total");
+    MSelectReady = Reg->histogram("grs_rt_select_ready_arms", {},
+                                  {/*FirstBucketUpper=*/1.0, /*Growth=*/2.0,
+                                   /*MaxBuckets=*/8});
+    // Detector metrics ride the event-observer seam so the detector core
+    // stays untouched; a trace sink chains behind it unchanged.
+    MetricsObserver = std::make_unique<obs::DetectorObserver>(
+        *Reg, Det.get(), this->Opts.Trace);
+    Det->setEventObserver(MetricsObserver.get());
+  } else if (this->Opts.Trace) {
     Det->setEventObserver(this->Opts.Trace);
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -141,6 +171,9 @@ RunResult Runtime::run(std::function<void()> Main) {
   Result.MainFinished = MainDone;
   Result.Steps = Steps;
   Result.RaceCount = Det->reports().size();
+  obs::inc(MSteps, Steps);
+  if (MetricsObserver)
+    MetricsObserver->sync();
   ActiveRuntime = nullptr;
   return Result;
 }
@@ -202,6 +235,7 @@ void Runtime::schedulerLoop() {
 
 void Runtime::resumeGoroutine(size_t Index) {
   Goroutine &G = *Goroutines[Index];
+  obs::inc(MCtxSwitches);
   CurrentIndex = Index;
   if (G.State == GState::NeverStarted) {
     getcontext(&G.Ctx);
@@ -244,6 +278,7 @@ race::Tid Runtime::go(const std::string &Name, std::function<void()> Body) {
   race::Tid NewTid = G->Id;
   assert(NewTid == Goroutines.size() && "tid / goroutine index skew");
   Goroutines.push_back(std::move(G));
+  obs::inc(MSpawns);
   return NewTid;
 }
 
@@ -253,23 +288,35 @@ void Runtime::preemptPoint() {
   checkAbort();
   if (!SchedRng.chance(Opts.PreemptProbability))
     return;
+  obs::inc(MPreemptions);
   Goroutines[CurrentIndex]->State = GState::Runnable;
   switchToScheduler();
 }
 
 void Runtime::yieldNow() {
   checkAbort();
+  obs::inc(MYields);
   Goroutines[CurrentIndex]->State = GState::Runnable;
   switchToScheduler();
 }
 
 void Runtime::blockCurrent(const char *Reason) {
   checkAbort();
+  obs::inc(MBlocks);
   Goroutine &G = *Goroutines[CurrentIndex];
   G.State = GState::Blocked;
   G.BlockReason = Reason;
   switchToScheduler();
 }
+
+void Runtime::noteSelect(size_t ReadyArms) {
+  obs::inc(MSelects);
+  obs::observe(MSelectReady, static_cast<double>(ReadyArms));
+}
+
+void Runtime::noteChanSend() { obs::inc(MChanSends); }
+void Runtime::noteChanRecv() { obs::inc(MChanRecvs); }
+void Runtime::noteChanClose() { obs::inc(MChanCloses); }
 
 void Runtime::unblock(race::Tid T) {
   assert(T < Goroutines.size() && "unblock() of unknown goroutine");

@@ -47,6 +47,14 @@
 #include <vector>
 
 namespace grs {
+
+namespace obs {
+class Counter;
+class DetectorObserver;
+class Histogram;
+class Registry;
+} // namespace obs
+
 namespace rt {
 
 /// A Go panic ("send on closed channel", negative WaitGroup counter, or a
@@ -93,6 +101,14 @@ struct RunOptions {
   /// streamed to the observer. Attach a trace::TraceSink to capture a
   /// replayable binary trace of the execution (see trace/Trace.h).
   race::EventObserver *Trace = nullptr;
+  /// Optional metrics registry (borrowed; must outlive the run). When
+  /// set, the runtime instruments its scheduler seams (`grs_rt_*`:
+  /// context switches, spawns, blocks, preemptions per seed, channel and
+  /// select operations) and installs a metrics-backed EventObserver on
+  /// the detector (`grs_race_*`), chaining to Trace when both are set.
+  /// When null — the default — every instrumentation site collapses to a
+  /// null-handle check (the zero-overhead-when-disabled contract).
+  obs::Registry *Metrics = nullptr;
   /// Optional deterministic choice hook: when set, EVERY scheduling
   /// choice point (which runnable goroutine to resume, which ready select
   /// arm to take) calls it with the number of options and uses the
@@ -212,6 +228,19 @@ public:
   race::Detector &det() { return *Det; }
   const race::Detector &det() const { return *Det; }
 
+  /// The metrics registry of this run, or nullptr (RunOptions::Metrics).
+  obs::Registry *metrics() const { return Opts.Metrics; }
+
+  /// Records one select statement resolving with \p ReadyArms ready arms
+  /// (0 for the default arm). Called by rt::Selector.
+  void noteSelect(size_t ReadyArms);
+
+  /// Records channel operations (called by rt::Chan alongside the trace
+  /// annotations; kept separate so counts exist without an observer).
+  void noteChanSend();
+  void noteChanRecv();
+  void noteChanClose();
+
   support::Rng &rng() { return SchedRng; }
 
   const RunOptions &options() const { return Opts; }
@@ -233,6 +262,21 @@ private:
   RunOptions Opts;
   std::unique_ptr<race::Detector> Det;
   support::Rng SchedRng;
+  /// Metrics handles, cached once so the hot path is a plain increment
+  /// (all null when RunOptions::Metrics is null).
+  obs::Counter *MCtxSwitches = nullptr;
+  obs::Counter *MSpawns = nullptr;
+  obs::Counter *MBlocks = nullptr;
+  obs::Counter *MPreemptions = nullptr;
+  obs::Counter *MYields = nullptr;
+  obs::Counter *MSteps = nullptr;
+  obs::Counter *MSelects = nullptr;
+  obs::Counter *MChanSends = nullptr;
+  obs::Counter *MChanRecvs = nullptr;
+  obs::Counter *MChanCloses = nullptr;
+  obs::Histogram *MSelectReady = nullptr;
+  /// Owned metrics-backed detector observer (see RunOptions::Metrics).
+  std::unique_ptr<obs::DetectorObserver> MetricsObserver;
   std::vector<std::unique_ptr<Goroutine>> Goroutines;
   size_t CurrentIndex = 0;
   uint64_t Steps = 0;

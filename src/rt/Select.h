@@ -89,11 +89,13 @@ public:
       if (!Ready.empty()) {
         // Non-deterministic choice among ready arms: seeded RNG, or the
         // exploration hook when one drives the run.
+        RT.noteSelect(Ready.size());
         size_t Pick = Ready[RT.pickChoice(Ready.size())];
         Arms[Pick].Fire();
         return static_cast<int>(Pick);
       }
       if (HasDefault) {
+        RT.noteSelect(0);
         if (Default)
           Default();
         return -1;

@@ -5,10 +5,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace grs::support;
 
 void RunningStat::add(double Value) {
+  if (std::isnan(Value))
+    return;
   if (Count == 0) {
     Min = Max = Value;
   } else {
@@ -30,8 +33,14 @@ double RunningStat::variance() const {
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double grs::support::quantile(std::vector<double> Values, double Q) {
-  assert(!Values.empty() && "quantile() of empty sample");
-  assert(Q >= 0.0 && Q <= 1.0 && "quantile order out of range");
+  // Drop NaN samples first: one NaN would otherwise poison std::sort's
+  // ordering and make every quantile garbage.
+  Values.erase(std::remove_if(Values.begin(), Values.end(),
+                              [](double V) { return std::isnan(V); }),
+               Values.end());
+  if (Values.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  Q = std::min(std::max(Q, 0.0), 1.0);
   std::sort(Values.begin(), Values.end());
   if (Values.size() == 1)
     return Values.front();

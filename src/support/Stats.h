@@ -23,12 +23,16 @@ namespace grs {
 namespace support {
 
 /// Online mean/variance/min/max accumulator (Welford's algorithm).
+/// NaN samples are rejected (ignored) so one poisoned measurement cannot
+/// corrupt the aggregate.
 class RunningStat {
 public:
   void add(double Value);
 
   uint64_t count() const { return Count; }
   double mean() const { return Count ? Mean : 0.0; }
+  /// Sample variance (Bessel-corrected); 0.0 with fewer than two samples
+  /// — a single observation has no spread, not an undefined one.
   double variance() const;
   double stddev() const;
   double min() const { return Count ? Min : 0.0; }
@@ -42,8 +46,10 @@ private:
   double Max = 0.0;
 };
 
-/// \returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
-/// interpolation between order statistics. Copies and sorts internally.
+/// \returns the \p Q quantile of \p Values using linear interpolation
+/// between order statistics. Copies and sorts internally. NaN samples are
+/// dropped; an empty (or all-NaN) sample yields NaN; \p Q is clamped to
+/// [0, 1].
 double quantile(std::vector<double> Values, double Q);
 
 /// A single point of an empirical CDF: the fraction of samples <= X.

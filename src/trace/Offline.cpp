@@ -2,6 +2,7 @@
 
 #include "trace/Offline.h"
 
+#include "obs/Metrics.h"
 #include "pipeline/Fingerprint.h"
 
 #include <algorithm>
@@ -11,6 +12,11 @@ using namespace grs::trace;
 using race::EventKind;
 
 OfflineDetector::OfflineDetector(race::DetectorOptions Opts) : Det(Opts) {}
+
+void OfflineDetector::setMetrics(obs::Registry *Reg) {
+  Metrics = Reg;
+  MEvents = Reg ? Reg->counter("grs_trace_replay_events_total") : nullptr;
+}
 
 bool OfflineDetector::fail(std::string Message) {
   if (Error.empty())
@@ -129,10 +135,12 @@ bool OfflineDetector::apply(const Trace &T, const TraceRecord &Record) {
 }
 
 bool OfflineDetector::replay(const Trace &T) {
+  obs::Span S = Metrics ? Metrics->span("replay") : obs::Span();
   for (const TraceRecord &Record : T.Events) {
     if (!apply(T, Record))
       return false;
     ++EventsReplayed;
+    obs::inc(MEvents);
   }
   return true;
 }

@@ -33,12 +33,24 @@
 #include <vector>
 
 namespace grs {
+
+namespace obs {
+class Counter;
+class Registry;
+} // namespace obs
+
 namespace trace {
 
 /// Replays decoded traces through a private race::Detector.
 class OfflineDetector {
 public:
   explicit OfflineDetector(race::DetectorOptions Opts = {});
+
+  /// Attaches a metrics registry (borrowed; must outlive the detector).
+  /// Each replay then bumps `grs_trace_replay_events_total` per applied
+  /// event and runs under a "replay" phase span, so events/sec falls out
+  /// of the exported phase timings. Null detaches.
+  void setMetrics(obs::Registry *Reg);
 
   /// Feeds every event of \p T into the detector, in order. Annotation
   /// events (channel/atomic markers) carry no detector transition and are
@@ -76,6 +88,9 @@ private:
   uint64_t NumSyncVars = 0;
   uint64_t EventsReplayed = 0;
   std::string Error;
+  /// Optional telemetry (see setMetrics).
+  obs::Registry *Metrics = nullptr;
+  obs::Counter *MEvents = nullptr;
 };
 
 /// One-shot helper: replay \p T under \p Opts and return the sorted

@@ -1,0 +1,457 @@
+//===- tests/ObsTest.cpp - Observability layer unit tests ------------------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Covers the obs instruments and registry, the zero-overhead-when-disabled
+// contract (null handles), the hierarchical phase profiler under an
+// injected clock, exporter golden outputs, and the determinism property:
+// the same seed produces a bit-identical exported snapshot — for runtime
+// fleet runs, for deployment simulations, and for offline trace replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "obs/DetectorMetrics.h"
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "pipeline/Deployment.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "trace/Offline.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace grs;
+using namespace grs::obs;
+
+namespace {
+
+/// Installs a deterministic clock on \p R: each call advances \p StepNs.
+void installFakeClock(Registry &R, uint64_t StepNs = 100) {
+  auto T = std::make_shared<uint64_t>(0);
+  R.setClock([T, StepNs] { return *T += StepNs; });
+}
+
+//===----------------------------------------------------------------------===//
+// Instrument basics
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, CounterIncAndMirror) {
+  Registry R;
+  Counter *C = R.counter("grs_test_ops_total");
+  ASSERT_NE(C, nullptr);
+  C->inc();
+  C->inc(4);
+  EXPECT_EQ(C->value(), 5u);
+  C->mirror(17);
+  EXPECT_EQ(C->value(), 17u);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(R.counter("grs_test_ops_total"), C);
+}
+
+TEST(Obs, GaugeSetAndAdd) {
+  Registry R;
+  Gauge *G = R.gauge("grs_test_depth");
+  G->set(2.5);
+  G->add(-1.0);
+  EXPECT_DOUBLE_EQ(G->value(), 1.5);
+}
+
+TEST(Obs, TimeseriesAppendAndToSeries) {
+  Registry R;
+  Timeseries *S = R.timeseries("grs_test_daily");
+  EXPECT_DOUBLE_EQ(S->back(), 0.0);
+  S->append(1.0);
+  S->append(2.5);
+  EXPECT_EQ(S->size(), 2u);
+  EXPECT_DOUBLE_EQ(S->back(), 2.5);
+  support::Series Out = S->toSeries("daily");
+  EXPECT_EQ(Out.Name, "daily");
+  EXPECT_EQ(Out.Values, (std::vector<double>{1.0, 2.5}));
+}
+
+TEST(Obs, LabelsAreSortedIntoOneInstrument) {
+  Registry R;
+  Counter *A = R.counter("grs_test_total", {{"b", "2"}, {"a", "1"}});
+  Counter *B = R.counter("grs_test_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(A, B);
+  InstrumentKey Key{"grs_test_total", {{"a", "1"}, {"b", "2"}}};
+  EXPECT_EQ(Key.str(), "grs_test_total{a=\"1\",b=\"2\"}");
+}
+
+TEST(Obs, CounterTotalSumsAcrossLabelSets) {
+  Registry R;
+  R.counter("grs_test_total", {{"seed", "1"}})->inc(3);
+  R.counter("grs_test_total", {{"seed", "2"}})->inc(4);
+  R.counter("grs_other_total")->inc(100);
+  EXPECT_EQ(R.counterTotal("grs_test_total"), 7u);
+  EXPECT_EQ(R.counterTotal("grs_missing_total"), 0u);
+}
+
+TEST(Obs, FindersReturnNullWhenAbsent) {
+  Registry R;
+  EXPECT_EQ(R.findCounter("grs_nope_total"), nullptr);
+  EXPECT_EQ(R.findGauge("grs_nope"), nullptr);
+  EXPECT_EQ(R.findHistogram("grs_nope"), nullptr);
+  EXPECT_EQ(R.findTimeseries("grs_nope"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, HistogramBasicStatsAndNaNRejection) {
+  Histogram H({/*FirstBucketUpper=*/1.0, /*Growth=*/2.0, /*MaxBuckets=*/8});
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_TRUE(std::isnan(H.quantile(0.5)));
+  H.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(H.count(), 0u);
+  H.observe(0.5);
+  H.observe(3.0);
+  H.observe(3.0);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_DOUBLE_EQ(H.sum(), 6.5);
+  EXPECT_DOUBLE_EQ(H.min(), 0.5);
+  EXPECT_DOUBLE_EQ(H.max(), 3.0);
+  EXPECT_NEAR(H.mean(), 6.5 / 3.0, 1e-12);
+  // Quantiles never leave the observed envelope.
+  EXPECT_GE(H.quantile(0.0), 0.5);
+  EXPECT_LE(H.quantile(1.0), 3.0);
+}
+
+TEST(Obs, HistogramOverflowBucketAbsorbsLargeValues) {
+  Histogram H({/*FirstBucketUpper=*/1.0, /*Growth=*/2.0, /*MaxBuckets=*/4});
+  H.observe(0.5);   // bucket 0: (-inf, 1]
+  H.observe(3.0);   // bucket 2: (2, 4]
+  H.observe(1e9);   // overflow bucket 3
+  ASSERT_EQ(H.numBuckets(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 0u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_TRUE(std::isinf(H.bucketUpperEdge(3)));
+}
+
+TEST(Obs, HistogramQuantileMatchesExactWithinBucketResolution) {
+  // Fine-grained buckets (5% growth): the histogram quantile must agree
+  // with support::quantile to within roughly one bucket's relative width.
+  Histogram H({/*FirstBucketUpper=*/1.0, /*Growth=*/1.05,
+               /*MaxBuckets=*/160});
+  support::Rng Rng(42);
+  std::vector<double> Samples;
+  for (int I = 0; I < 2000; ++I) {
+    double V = std::exp(std::log(1000.0) * Rng.nextDouble());
+    Samples.push_back(V);
+    H.observe(V);
+  }
+  for (double Q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double Exact = support::quantile(Samples, Q);
+    double Approx = H.quantile(Q);
+    EXPECT_NEAR(Approx, Exact, 0.08 * Exact + 0.01)
+        << "quantile " << Q << " diverged";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled registry: the zero-overhead contract
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, DisabledRegistryHandsOutNullHandles) {
+  Registry R(/*Enabled=*/false);
+  EXPECT_FALSE(R.enabled());
+  EXPECT_EQ(R.counter("grs_x_total"), nullptr);
+  EXPECT_EQ(R.gauge("grs_x"), nullptr);
+  EXPECT_EQ(R.histogram("grs_x"), nullptr);
+  EXPECT_EQ(R.timeseries("grs_x"), nullptr);
+  EXPECT_TRUE(R.counters().empty());
+  // Null-safe helpers are no-ops, not crashes.
+  inc(nullptr);
+  set(nullptr, 1.0);
+  observe(nullptr, 1.0);
+  append(nullptr, 1.0);
+  // Disabled spans never touch the clock.
+  R.setClock([]() -> uint64_t {
+    ADD_FAILURE() << "disabled registry read the clock";
+    return 0;
+  });
+  {
+    Span S = R.span("phase");
+    S.end();
+  }
+  EXPECT_TRUE(R.phaseRoot().Children.empty());
+  // Exports of an empty registry are empty strings.
+  EXPECT_EQ(prometheusText(R), "");
+  EXPECT_EQ(jsonLines(R), "");
+}
+
+TEST(Obs, RuntimeTreatsDisabledRegistryAsAbsent) {
+  Registry Disabled(/*Enabled=*/false);
+  rt::RunOptions Opts;
+  Opts.Seed = 3;
+  Opts.Metrics = &Disabled;
+  rt::RunResult Result = corpus::allPatterns().front().RunRacy(Opts);
+  (void)Result;
+  EXPECT_TRUE(Disabled.counters().empty());
+  EXPECT_TRUE(Disabled.histograms().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Phase profiler
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, SpanTreeSelfVsCumulativeUnderFakeClock) {
+  Registry R;
+  installFakeClock(R); // now() = 100, 200, 300, ...
+  {
+    Span A = R.span("a"); // start 100
+    {
+      Span B = R.span("b"); // start 200
+    }                       // end 300 -> b cum 100
+  }                         // end 400 -> a cum 300
+  const PhaseNode *A = R.phaseRoot().find("a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Count, 1u);
+  EXPECT_EQ(A->CumulativeNs, 300u);
+  EXPECT_EQ(A->selfNs(), 200u);
+  const PhaseNode *B = A->find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Count, 1u);
+  EXPECT_EQ(B->CumulativeNs, 100u);
+  EXPECT_EQ(B->selfNs(), 100u);
+  // Re-entering a phase accumulates into the same node.
+  { Span A2 = R.span("a"); } // start 500, end 600 -> cum 300+100
+  EXPECT_EQ(A->Count, 2u);
+  EXPECT_EQ(A->CumulativeNs, 400u);
+}
+
+TEST(Obs, SpanMoveTransfersOwnership) {
+  Registry R;
+  installFakeClock(R);
+  Span Outer;
+  {
+    Span Inner = R.span("moved");
+    Outer = std::move(Inner);
+  } // Inner's destructor must not close the phase.
+  EXPECT_EQ(R.phaseRoot().find("moved")->CumulativeNs, 0u);
+  Outer.end();
+  EXPECT_EQ(R.phaseRoot().find("moved")->CumulativeNs, 100u);
+  Outer.end(); // idempotent
+  EXPECT_EQ(R.phaseRoot().find("moved")->CumulativeNs, 100u);
+}
+
+TEST(Obs, RenderPhaseTableIndentsChildren) {
+  Registry R;
+  installFakeClock(R);
+  {
+    Span A = R.span("outer");
+    Span B = R.span("inner");
+  }
+  std::ostringstream OS;
+  renderPhaseTable(OS, R, "Phases");
+  EXPECT_NE(OS.str().find("| outer"), std::string::npos);
+  EXPECT_NE(OS.str().find("|   inner"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter goldens
+//===----------------------------------------------------------------------===//
+
+/// Builds the small fixed registry both golden tests snapshot.
+void buildGoldenRegistry(Registry &R) {
+  installFakeClock(R);
+  R.counter("grs_test_ops_total")->inc(3);
+  R.counter("grs_test_ops_total", {{"kind", "write"}})->inc(2);
+  R.gauge("grs_test_ratio")->set(0.5);
+  Histogram *H = R.histogram(
+      "grs_test_latency", {},
+      {/*FirstBucketUpper=*/1.0, /*Growth=*/2.0, /*MaxBuckets=*/4});
+  H->observe(0.5);
+  H->observe(3.0);
+  H->observe(100.0);
+  Timeseries *S = R.timeseries("grs_test_series");
+  S->append(1.0);
+  S->append(2.5);
+  {
+    Span A = R.span("a");
+    Span B = R.span("b");
+  }
+}
+
+TEST(Obs, PrometheusGolden) {
+  Registry R;
+  buildGoldenRegistry(R);
+  EXPECT_EQ(prometheusText(R),
+            "# TYPE grs_test_ops_total counter\n"
+            "grs_test_ops_total 3\n"
+            "grs_test_ops_total{kind=\"write\"} 2\n"
+            "# TYPE grs_test_ratio gauge\n"
+            "grs_test_ratio 0.5\n"
+            "# TYPE grs_test_latency histogram\n"
+            "grs_test_latency_bucket{le=\"1\"} 1\n"
+            "grs_test_latency_bucket{le=\"2\"} 1\n"
+            "grs_test_latency_bucket{le=\"4\"} 2\n"
+            "grs_test_latency_bucket{le=\"+Inf\"} 3\n"
+            "grs_test_latency_sum 103.5\n"
+            "grs_test_latency_count 3\n"
+            "# TYPE grs_test_series gauge\n"
+            "grs_test_series 2.5\n"
+            "grs_test_series_points 2\n"
+            "# TYPE grs_obs_phase_ns_total counter\n"
+            "# TYPE grs_obs_phase_calls_total counter\n"
+            "grs_obs_phase_ns_total{path=\"a\"} 300\n"
+            "grs_obs_phase_calls_total{path=\"a\"} 1\n"
+            "grs_obs_phase_ns_total{path=\"a/b\"} 100\n"
+            "grs_obs_phase_calls_total{path=\"a/b\"} 1\n");
+}
+
+TEST(Obs, JsonLinesGolden) {
+  Registry R;
+  buildGoldenRegistry(R);
+  EXPECT_EQ(
+      jsonLines(R),
+      "{\"type\":\"counter\",\"name\":\"grs_test_ops_total\",\"labels\":{},"
+      "\"value\":3}\n"
+      "{\"type\":\"counter\",\"name\":\"grs_test_ops_total\",\"labels\":{"
+      "\"kind\":\"write\"},\"value\":2}\n"
+      "{\"type\":\"gauge\",\"name\":\"grs_test_ratio\",\"labels\":{},"
+      "\"value\":0.5}\n"
+      "{\"type\":\"histogram\",\"name\":\"grs_test_latency\",\"labels\":{},"
+      "\"count\":3,\"sum\":103.5,\"min\":0.5,\"max\":100,\"buckets\":["
+      "{\"le\":\"1\",\"count\":1},{\"le\":\"2\",\"count\":0},"
+      "{\"le\":\"4\",\"count\":1},{\"le\":\"+Inf\",\"count\":1}]}\n"
+      "{\"type\":\"series\",\"name\":\"grs_test_series\",\"labels\":{},"
+      "\"values\":[1,2.5]}\n"
+      "{\"type\":\"phase\",\"path\":\"a\",\"calls\":1,\"cum_ns\":300,"
+      "\"self_ns\":200}\n"
+      "{\"type\":\"phase\",\"path\":\"a/b\",\"calls\":1,\"cum_ns\":100,"
+      "\"self_ns\":100}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: same seed => bit-identical snapshot
+//===----------------------------------------------------------------------===//
+
+/// Runs every corpus pattern once (racy variant) against \p R.
+void runFleetInto(Registry &R, uint64_t Seed) {
+  for (const corpus::Pattern &P : corpus::allPatterns()) {
+    rt::RunOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Metrics = &R;
+    P.RunRacy(Opts);
+  }
+}
+
+TEST(Obs, FleetSnapshotIsSeedDeterministic) {
+  Registry R1, R2;
+  runFleetInto(R1, 7);
+  runFleetInto(R2, 7);
+  std::string Snap = jsonLines(R1);
+  EXPECT_EQ(Snap, jsonLines(R2));
+  EXPECT_EQ(prometheusText(R1), prometheusText(R2));
+  // The snapshot actually covers the runtime and detector layers.
+  EXPECT_NE(Snap.find("grs_rt_context_switches_total"), std::string::npos);
+  EXPECT_NE(Snap.find("grs_race_reads_total"), std::string::npos);
+}
+
+TEST(Obs, DeploymentSnapshotIsSeedDeterministic) {
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 11;
+  Config.Days = 40;
+  Config.InitialLatentRaces = 120;
+  Registry R1, R2;
+  installFakeClock(R1);
+  installFakeClock(R2);
+
+  Config.Metrics = &R1;
+  pipeline::DeploymentSimulator Sim1(Config);
+  pipeline::DeploymentOutcome O1 = Sim1.run();
+  Config.Metrics = &R2;
+  pipeline::DeploymentSimulator Sim2(Config);
+  pipeline::DeploymentOutcome O2 = Sim2.run();
+
+  EXPECT_EQ(jsonLines(R1), jsonLines(R2));
+  // And the Outcome is a view of the same instruments.
+  EXPECT_EQ(O1.TotalFixedTasks,
+            R1.findCounter("grs_pipeline_tasks_fixed_total")->value());
+  EXPECT_EQ(O1.UniquePatches,
+            R1.findCounter("grs_pipeline_patches_total")->value());
+  EXPECT_EQ(O1.Outstanding.Values,
+            R1.findTimeseries("grs_pipeline_outstanding_races")->values());
+  EXPECT_EQ(O2.TotalDetectedRaces, O1.TotalDetectedRaces);
+}
+
+TEST(Obs, ReplaySnapshotIsDeterministicAndMatchesOnlineVerdicts) {
+  // Record one instrumented run, with online metrics and a trace tee.
+  trace::TraceSink Sink;
+  Registry Online;
+  for (const corpus::Pattern &P : corpus::allPatterns()) {
+    rt::RunOptions Opts;
+    Opts.Seed = 13;
+    Opts.Metrics = &Online;
+    Opts.Trace = &Sink;
+    P.RunRacy(Opts);
+  }
+
+  auto ReplayInto = [&](Registry &R, const trace::TraceSink &From) {
+    installFakeClock(R);
+    trace::OfflineDetector Offline;
+    DetectorObserver Observer(R, &Offline.det());
+    Offline.det().setEventObserver(&Observer);
+    Offline.setMetrics(&R);
+    ASSERT_TRUE(Offline.replayBytes(From.bytes())) << Offline.error();
+    Observer.sync();
+  };
+  Registry R1, R2;
+  ReplayInto(R1, Sink);
+  ReplayInto(R2, Sink);
+  EXPECT_EQ(jsonLines(R1), jsonLines(R2));
+
+  // Replay consumed exactly the recorded events, and re-derived the same
+  // memory-access stream the online detectors saw.
+  EXPECT_EQ(R1.findCounter("grs_trace_replay_events_total")->value(),
+            Sink.eventCount());
+  for (const char *Name :
+       {"grs_race_reads_total", "grs_race_writes_total",
+        "grs_race_eraser_transitions_total"})
+    EXPECT_EQ(R1.findCounter(Name)->value(),
+              Online.findCounter(Name)->value())
+        << Name;
+  // Report-count parity only holds per-execution: concatenating the whole
+  // fleet into one offline detector dedups race fingerprints across runs.
+  // Replay a single pattern's trace and demand exact verdict parity there.
+  trace::TraceSink OneSink;
+  Registry OneOnline;
+  rt::RunOptions OneOpts;
+  OneOpts.Seed = 13;
+  OneOpts.Metrics = &OneOnline;
+  OneOpts.Trace = &OneSink;
+  corpus::allPatterns().front().RunRacy(OneOpts);
+  Registry OneReplay;
+  ReplayInto(OneReplay, OneSink);
+  uint64_t Emitted =
+      OneOnline.findCounter("grs_race_reports_emitted_total")->value();
+  EXPECT_GT(Emitted, 0u) << "pattern produced no race report to compare";
+  EXPECT_EQ(OneReplay.findCounter("grs_race_reports_emitted_total")->value(),
+            Emitted);
+}
+
+TEST(Obs, DetectorObserverAccumulatesAcrossRuntimes) {
+  // Two identical runs sharing one registry: fleet counters must sum, not
+  // overwrite (delta-sync semantics).
+  Registry Once, Twice;
+  runFleetInto(Once, 9);
+  runFleetInto(Twice, 9);
+  runFleetInto(Twice, 9);
+  EXPECT_EQ(Twice.findCounter("grs_race_reads_total")->value(),
+            2 * Once.findCounter("grs_race_reads_total")->value());
+  EXPECT_EQ(Twice.findCounter("grs_rt_context_switches_total")->value(),
+            2 * Once.findCounter("grs_rt_context_switches_total")->value());
+}
+
+} // namespace

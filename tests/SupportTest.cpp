@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 using namespace grs::support;
@@ -183,6 +185,65 @@ TEST(Render, WithThousands) {
 TEST(Render, FixedFormatting) {
   EXPECT_EQ(fixed(3.14159, 2), "3.14");
   EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Stats edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, QuantileOfEmptySampleIsNaN) {
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  // All-NaN degenerates to empty once the NaNs are dropped.
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(quantile({NaN, NaN}, 0.5)));
+}
+
+TEST(Stats, QuantileIgnoresNaNSamples) {
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(quantile({1.0, NaN, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({NaN, 5.0}, 0.0), 5.0);
+}
+
+TEST(Stats, QuantileClampsOrder) {
+  std::vector<double> V{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(V, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.5), 3.0);
+}
+
+TEST(Stats, QuantileSingleSample) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 1.0), 42.0);
+}
+
+TEST(Stats, RunningStatEmptyAndSingleSample) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+
+  S.add(7.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 7.0);
+  // One observation has no spread: variance is defined as 0, not NaN.
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(Stats, RunningStatRejectsNaN) {
+  RunningStat S;
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  S.add(NaN);
+  EXPECT_EQ(S.count(), 0u);
+  S.add(2.0);
+  S.add(NaN);
+  S.add(4.0);
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 4.0);
 }
 
 } // namespace
