@@ -1,0 +1,189 @@
+//===- corpus/ScheduleDeps.cpp - Schedule-dependent pattern registry ------===//
+
+#include "corpus/ScheduleDeps.h"
+
+#include "corpus/Patterns.h"
+#include "rt/Channel.h"
+#include "rt/Instr.h"
+#include "rt/Select.h"
+#include "rt/Sync.h"
+
+#include <memory>
+
+using namespace grs;
+using namespace grs::corpus;
+using namespace grs::rt;
+
+//===----------------------------------------------------------------------===//
+// Needle bodies
+//
+// Each needle's racy pair executes only when the scheduler interleaved a
+// helper goroutine into a specific window of main's execution, so the
+// manifestation rate RISES monotonically with the preemption probability
+// (rates in the registry rows below). That monotone response is what
+// gives an adaptive sweep a gradient to climb; a pattern whose rate is
+// flat in the knob (e.g. one gated purely on select arm draws) gains
+// nothing from adaptation and is deliberately not a needle here.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The racy write happens only if the worker was scheduled during main's
+/// single-probe window: main checks the advertisement flag exactly once,
+/// immediately after the spawn.
+void stalledWorkerBody() {
+  auto Flag = std::make_shared<GoAtomic<int>>("flag", 0);
+  auto Data = std::make_shared<Shared<int>>("data", 0);
+  WaitGroup Wg;
+  Wg.add(1);
+  go("stall-worker", [Flag, Data, &Wg] {
+    Flag->store(1);
+    int Seen = Data->load();
+    (void)Seen;
+    Wg.done();
+  });
+  if (Flag->load() == 1)
+    Data->store(7);
+  Wg.wait();
+}
+
+/// Two advertisement flags must BOTH be up at main's probes: two workers
+/// have to be interleaved ahead of main independently.
+void doubleStallBody() {
+  auto FlagA = std::make_shared<GoAtomic<int>>("flagA", 0);
+  auto FlagB = std::make_shared<GoAtomic<int>>("flagB", 0);
+  auto Data = std::make_shared<Shared<int>>("data", 0);
+  WaitGroup Wg;
+  Wg.add(2);
+  // Both workers share one goroutine name on purpose: the §3.3.1
+  // fingerprint keys on name chains, so this folds their symmetric racy
+  // reads into a single expected fingerprint.
+  go("stall-pair", [FlagA, Data, &Wg] {
+    FlagA->store(1);
+    int Seen = Data->load();
+    (void)Seen;
+    Wg.done();
+  });
+  go("stall-pair", [FlagB, Data, &Wg] {
+    FlagB->store(1);
+    int Seen = Data->load();
+    (void)Seen;
+    Wg.done();
+  });
+  if (FlagA->load() == 1 && FlagB->load() == 1)
+    Data->store(7);
+  Wg.wait();
+}
+
+/// The prober races only when it samples the counter mid-loop at exactly
+/// 5 of 10 — a one-value window.
+void windowNeedleBody() {
+  auto Counter = std::make_shared<GoAtomic<int>>("counter", 0);
+  auto Data = std::make_shared<Shared<int>>("data", 0);
+  WaitGroup Wg;
+  Wg.add(1);
+  go("prober", [Counter, Data, &Wg] {
+    if (Counter->load() == 5) {
+      int Seen = Data->load();
+      (void)Seen;
+    }
+    Wg.done();
+  });
+  for (int I = 1; I <= 10; ++I)
+    Counter->store(I);
+  Data->store(42);
+  Wg.wait();
+}
+
+/// Channel-shaped needle: the worker hands over a token and only THEN
+/// reads Data (the send->recv edge orders the pre-send part, not the
+/// read). Main polls with select+default; the racy store happens only
+/// when the worker's send was interleaved before the poll.
+void tokenSelectBody() {
+  auto Token = std::make_shared<Chan<int>>(1, "token");
+  auto Data = std::make_shared<Shared<int>>("data", 0);
+  WaitGroup Wg;
+  Wg.add(1);
+  go("token-sender", [Token, Data, &Wg] {
+    Token->send(1);
+    int Seen = Data->load();
+    (void)Seen;
+    Wg.done();
+  });
+  bool Got = false;
+  Selector Sel;
+  Sel.onRecv<int>(*Token, [&Got](int, bool) { Got = true; });
+  Sel.onDefault([] {});
+  Sel.run();
+  if (Got)
+    Data->store(7);
+  Wg.wait();
+}
+
+ScheduleDep needle(std::string Id, std::string Description, double BaseRate,
+                   unsigned CoverageSeeds, std::vector<uint64_t> Fps,
+                   void (*Body)()) {
+  ScheduleDep D;
+  D.Id = std::move(Id);
+  D.Description = std::move(Description);
+  D.Always = false;
+  D.MeasuredBaseRate = BaseRate;
+  D.CoverageSeeds = CoverageSeeds;
+  D.ExpectedFps = std::move(Fps);
+  D.Run = hostBody(Body);
+  D.Body = Body;
+  return D;
+}
+
+ScheduleDep corpusRow(const std::string &Id, bool Always, double BaseRate,
+                      unsigned CoverageSeeds, std::vector<uint64_t> Fps) {
+  const Pattern *P = findPattern(Id);
+  ScheduleDep D;
+  D.Id = Id;
+  D.Description = P ? P->Description : "";
+  D.Always = Always;
+  D.MeasuredBaseRate = BaseRate;
+  D.CoverageSeeds = CoverageSeeds;
+  D.ExpectedFps = std::move(Fps);
+  D.Run = P ? P->RunRacy : nullptr;
+  return D;
+}
+
+} // namespace
+
+const std::vector<ScheduleDep> &corpus::scheduleDeps() {
+  // Rates: detection frequency at default options (PreemptProbability
+  // 0.2) over 200-800 seeds; see EXPERIMENTS.md for the per-knob curves.
+  static const std::vector<ScheduleDep> All = {
+      needle("stalled-worker",
+             "racy publish gated on the worker winning a one-probe window",
+             0.088, 64, {0x14a01c5fe330875bULL}, stalledWorkerBody),
+      needle("double-stall",
+             "two workers must both be interleaved ahead of main's probes",
+             0.057, 96, {0x1c8dd83d44a52b99ULL}, doubleStallBody),
+      needle("window-needle",
+             "prober races only on sampling counter==5 of a 10-step loop",
+             0.048, 64, {0x402a5175ae642a7eULL}, windowNeedleBody),
+      needle("token-select",
+             "post-send read races only when the token beat a select poll",
+             0.088, 64, {0xac5ce4a815ca1f2dULL}, tokenSelectBody),
+      corpusRow("slice-pass-by-value", /*Always=*/false, 0.875, 20,
+                {0xe0a5572cea8c1e03ULL}),
+      corpusRow("future-ctx-timeout", /*Always=*/false, 0.865, 20,
+                {0x9ad428ba5d75f67eULL}),
+      corpusRow("waitgroup-add-inside", /*Always=*/false, 0.925, 20,
+                {0x3a8ea963e56e4adeULL}),
+      corpusRow("loop-index-capture", /*Always=*/true, 1.0, 8,
+                {0x860f1163c052aab8ULL}),
+      corpusRow("partial-locking", /*Always=*/true, 1.0, 8,
+                {0x7f6e138b8cec32c6ULL}),
+  };
+  return All;
+}
+
+const ScheduleDep *corpus::findScheduleDep(const std::string &Id) {
+  for (const ScheduleDep &D : scheduleDeps())
+    if (D.Id == Id)
+      return &D;
+  return nullptr;
+}

@@ -51,6 +51,18 @@ public:
 
   void setDetector(const race::Detector *NewDet) { Det = NewDet; }
 
+  /// Re-targets a pooled observer at a fresh detector/chain and resets
+  /// the delta-sync state (a new detector's stats restart at zero, so
+  /// stale LastStats would produce huge unsigned deltas). Used by
+  /// RuntimeInstruments' observer pool; the resolved instrument handles
+  /// are the whole point of reuse and are left untouched.
+  void rebind(const race::Detector *NewDet, race::EventObserver *NewNext) {
+    Det = NewDet;
+    Next = NewNext;
+    LastStats = race::DetectorStats();
+    LastLockStats = race::LockSetStats();
+  }
+
 private:
   Registry &Reg;
   const race::Detector *Det;

@@ -2,6 +2,8 @@
 
 #include "obs/Metrics.h"
 
+#include "obs/RuntimeMetrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>

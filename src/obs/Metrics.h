@@ -164,6 +164,7 @@ struct PhaseNode {
 };
 
 class Registry;
+class RuntimeInstruments;
 
 /// RAII handle for one timed phase. Obtained from Registry::span(); the
 /// phase ends at destruction (or an explicit end()). Nested spans build
@@ -253,6 +254,12 @@ public:
   /// over every seed).
   uint64_t counterTotal(const std::string &Name) const;
 
+  /// The cached `grs_rt_*` handle bundle (see obs/RuntimeMetrics.h),
+  /// built lazily on first use so rt::Runtime construction amortizes
+  /// instrument registration to one resolution per registry. nullptr
+  /// when the registry is disabled.
+  RuntimeInstruments *runtimeInstruments();
+
   //===------------------------------------------------------------------===//
   // Phase profiler
   //===------------------------------------------------------------------===//
@@ -293,6 +300,7 @@ private:
 
   bool Enabled;
   std::function<uint64_t()> Clock;
+  std::unique_ptr<RuntimeInstruments> RtInstruments;
   std::map<InstrumentKey, std::unique_ptr<Counter>> Counters;
   std::map<InstrumentKey, std::unique_ptr<Gauge>> Gauges;
   std::map<InstrumentKey, std::unique_ptr<Histogram>> Histograms;

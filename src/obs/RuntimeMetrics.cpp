@@ -1,0 +1,58 @@
+//===- obs/RuntimeMetrics.cpp - Cached rt::Runtime handle bundle ----------===//
+
+#include "obs/RuntimeMetrics.h"
+
+using namespace grs;
+using namespace grs::obs;
+
+RuntimeInstruments::RuntimeInstruments(Registry &Reg) : Reg(Reg) {
+  CtxSwitches = Reg.counter("grs_rt_context_switches_total");
+  Spawns = Reg.counter("grs_rt_goroutines_spawned_total");
+  Blocks = Reg.counter("grs_rt_blocks_total");
+  Yields = Reg.counter("grs_rt_yields_total");
+  Steps = Reg.counter("grs_rt_steps_total");
+  Selects = Reg.counter("grs_rt_selects_total");
+  ChanSends = Reg.counter("grs_rt_chan_sends_total");
+  ChanRecvs = Reg.counter("grs_rt_chan_recvs_total");
+  ChanCloses = Reg.counter("grs_rt_chan_closes_total");
+  SelectReady = Reg.histogram("grs_rt_select_ready_arms", {},
+                              {/*FirstBucketUpper=*/1.0, /*Growth=*/2.0,
+                               /*MaxBuckets=*/8});
+}
+
+Counter *RuntimeInstruments::preemptionsForSeed(uint64_t Seed) {
+  auto It = PreemptBySeed.find(Seed);
+  if (It != PreemptBySeed.end())
+    return It->second;
+  Counter *C = Reg.counter("grs_rt_preemptions_total",
+                           {{"seed", std::to_string(Seed)}});
+  PreemptBySeed.emplace(Seed, C);
+  return C;
+}
+
+DetectorObserver *RuntimeInstruments::acquireObserver(
+    const race::Detector *Det, race::EventObserver *Next) {
+  if (Free.empty()) {
+    Pool.push_back(std::make_unique<DetectorObserver>(Reg));
+    Free.push_back(Pool.back().get());
+  }
+  DetectorObserver *Obs = Free.back();
+  Free.pop_back();
+  Obs->rebind(Det, Next);
+  return Obs;
+}
+
+void RuntimeInstruments::releaseObserver(DetectorObserver *Obs) {
+  // Detach from the dying Runtime's detector so a stale sync() cannot
+  // dereference it, then recycle.
+  Obs->rebind(nullptr, nullptr);
+  Free.push_back(Obs);
+}
+
+RuntimeInstruments *Registry::runtimeInstruments() {
+  if (!Enabled)
+    return nullptr;
+  if (!RtInstruments)
+    RtInstruments = std::make_unique<RuntimeInstruments>(*this);
+  return RtInstruments.get();
+}

@@ -40,8 +40,16 @@ struct SweepResult {
   struct Finding {
     size_t Occurrences = 0;
     std::string SampleReport;
+
+    bool operator==(const Finding &) const = default;
   };
   std::map<uint64_t, Finding> Findings;
+
+  /// Bit-for-bit equality, including every finding's sample report; the
+  /// sweep engines (trace::parallelSweep, sweep::adaptive) are specified
+  /// as indistinguishable from the serial sweep, and their parity tests
+  /// compare through this.
+  bool operator==(const SweepResult &) const = default;
 
   /// Detection rate across schedules — 1.0 for always-manifesting bugs,
   /// fractional for the schedule-dependent ones.

@@ -4,6 +4,7 @@
 
 #include "obs/DetectorMetrics.h"
 #include "obs/Metrics.h"
+#include "obs/RuntimeMetrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -57,32 +58,36 @@ Runtime::Runtime(RunOptions Opts)
   if (Reg && !Reg->enabled())
     Reg = nullptr;
   if (Reg) {
-    MCtxSwitches = Reg->counter("grs_rt_context_switches_total");
-    MSpawns = Reg->counter("grs_rt_goroutines_spawned_total");
-    MBlocks = Reg->counter("grs_rt_blocks_total");
-    MPreemptions = Reg->counter(
-        "grs_rt_preemptions_total",
-        {{"seed", std::to_string(this->Opts.Seed)}});
-    MYields = Reg->counter("grs_rt_yields_total");
-    MSteps = Reg->counter("grs_rt_steps_total");
-    MSelects = Reg->counter("grs_rt_selects_total");
-    MChanSends = Reg->counter("grs_rt_chan_sends_total");
-    MChanRecvs = Reg->counter("grs_rt_chan_recvs_total");
-    MChanCloses = Reg->counter("grs_rt_chan_closes_total");
-    MSelectReady = Reg->histogram("grs_rt_select_ready_arms", {},
-                                  {/*FirstBucketUpper=*/1.0, /*Growth=*/2.0,
-                                   /*MaxBuckets=*/8});
+    // All handles come from the registry's cached bundle: one
+    // registration pass per registry instead of per Runtime (the
+    // amortization measured in EXPERIMENTS.md).
+    MInstruments = Reg->runtimeInstruments();
+    MCtxSwitches = MInstruments->CtxSwitches;
+    MSpawns = MInstruments->Spawns;
+    MBlocks = MInstruments->Blocks;
+    MPreemptions = MInstruments->preemptionsForSeed(this->Opts.Seed);
+    MYields = MInstruments->Yields;
+    MSteps = MInstruments->Steps;
+    MSelects = MInstruments->Selects;
+    MChanSends = MInstruments->ChanSends;
+    MChanRecvs = MInstruments->ChanRecvs;
+    MChanCloses = MInstruments->ChanCloses;
+    MSelectReady = MInstruments->SelectReady;
     // Detector metrics ride the event-observer seam so the detector core
-    // stays untouched; a trace sink chains behind it unchanged.
-    MetricsObserver = std::make_unique<obs::DetectorObserver>(
-        *Reg, Det.get(), this->Opts.Trace);
-    Det->setEventObserver(MetricsObserver.get());
+    // stays untouched; a trace sink chains behind it unchanged. The
+    // observer is pooled on the bundle and rebound to this detector.
+    MetricsObserver =
+        MInstruments->acquireObserver(Det.get(), this->Opts.Trace);
+    Det->setEventObserver(MetricsObserver);
   } else if (this->Opts.Trace) {
     Det->setEventObserver(this->Opts.Trace);
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (MetricsObserver)
+    MInstruments->releaseObserver(MetricsObserver);
+}
 
 Runtime &Runtime::current() {
   assert(ActiveRuntime && "no runtime active on this thread");

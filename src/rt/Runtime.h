@@ -53,6 +53,7 @@ class Counter;
 class DetectorObserver;
 class Histogram;
 class Registry;
+class RuntimeInstruments;
 } // namespace obs
 
 namespace rt {
@@ -262,8 +263,10 @@ private:
   RunOptions Opts;
   std::unique_ptr<race::Detector> Det;
   support::Rng SchedRng;
-  /// Metrics handles, cached once so the hot path is a plain increment
-  /// (all null when RunOptions::Metrics is null).
+  /// Metrics handles, copied from the registry's cached
+  /// obs::RuntimeInstruments bundle so the hot path is a plain increment
+  /// and repeated Runtime construction skips re-registration (all null
+  /// when RunOptions::Metrics is null).
   obs::Counter *MCtxSwitches = nullptr;
   obs::Counter *MSpawns = nullptr;
   obs::Counter *MBlocks = nullptr;
@@ -275,8 +278,12 @@ private:
   obs::Counter *MChanRecvs = nullptr;
   obs::Counter *MChanCloses = nullptr;
   obs::Histogram *MSelectReady = nullptr;
-  /// Owned metrics-backed detector observer (see RunOptions::Metrics).
-  std::unique_ptr<obs::DetectorObserver> MetricsObserver;
+  /// The registry's handle bundle (null without metrics); also the pool
+  /// the detector observer is returned to at destruction.
+  obs::RuntimeInstruments *MInstruments = nullptr;
+  /// Pooled metrics-backed detector observer, borrowed from MInstruments
+  /// for this Runtime's lifetime (see RunOptions::Metrics).
+  obs::DetectorObserver *MetricsObserver = nullptr;
   std::vector<std::unique_ptr<Goroutine>> Goroutines;
   size_t CurrentIndex = 0;
   uint64_t Steps = 0;

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "corpus/ScheduleDeps.h"
 #include "rt/Channel.h"
 #include "rt/Context.h"
 #include "rt/GoMap.h"
@@ -17,8 +18,11 @@
 #include "rt/Select.h"
 #include "rt/Sync.h"
 #include "rt/Time.h"
+#include "sweep/Adaptive.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace grs;
 using namespace grs::rt;
@@ -270,6 +274,53 @@ TEST(Edges, MapIterationRacesWithConcurrentInsert) {
     Detections += Result.RaceCount > 0;
   }
   EXPECT_GT(Detections, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule-dependence registry coverage
+//
+// Every corpus::scheduleDeps() row carries the exact §3.3.1 fingerprints
+// its racy pair is expected to produce and a seed budget measured to
+// reach them. Sweeping each row pins three things at once: the needle
+// bodies actually manifest (no silently-dead benchmark rows), the
+// fingerprints are stable (goroutine-name chains, so any rename breaks
+// loudly here rather than quietly skewing bench_adaptive), and no row
+// produces fingerprints beyond its declared set.
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleDepCoverage, EveryRowManifestsExactlyItsExpectedFingerprints) {
+  for (const corpus::ScheduleDep &Dep : corpus::scheduleDeps()) {
+    ASSERT_TRUE(Dep.Run) << Dep.Id << ": no runner";
+    sweep::AdaptiveOptions A;
+    A.FirstSeed = 1;
+    A.NumRuns = Dep.CoverageSeeds;
+    A.ExploitWeight = 0.0; // Uniform sweep: the budget was measured so.
+    A.Body = Dep.Run;
+    sweep::AdaptiveResult R = sweep::adaptive(A);
+
+    EXPECT_GE(R.Sweep.SeedsWithRaces, 1u)
+        << Dep.Id << ": never manifested in " << Dep.CoverageSeeds
+        << " seeds";
+    std::set<uint64_t> Observed;
+    for (const auto &[Fp, Finding] : R.Sweep.Findings)
+      Observed.insert(Fp);
+    std::set<uint64_t> Expected(Dep.ExpectedFps.begin(),
+                                Dep.ExpectedFps.end());
+    EXPECT_EQ(Observed, Expected) << Dep.Id;
+  }
+}
+
+TEST(ScheduleDepCoverage, AlwaysRowsManifestOnEverySeed) {
+  for (const corpus::ScheduleDep &Dep : corpus::scheduleDeps()) {
+    if (!Dep.Always)
+      continue;
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      rt::RunOptions Opts;
+      Opts.Seed = Seed;
+      EXPECT_GT(Dep.Run(Opts).RaceCount, 0u)
+          << Dep.Id << " missed on seed " << Seed;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

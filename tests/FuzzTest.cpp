@@ -18,11 +18,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "corpus/Patterns.h"
 #include "race/Detector.h"
 #include "rt/Instr.h"
 #include "rt/Runtime.h"
 #include "rt/Sync.h"
 #include "support/Rng.h"
+#include "sweep/Adaptive.h"
 
 #include <gtest/gtest.h>
 
@@ -224,9 +226,10 @@ ProgramShape makeShape(uint64_t Seed, bool Bugged) {
   return S;
 }
 
-rt::RunResult runShape(const ProgramShape &S, uint64_t ScheduleSeed) {
-  rt::Runtime RT(rt::withSeed(ScheduleSeed));
-  return RT.run([&S] {
+/// The shape's program as a reusable body, so the same random corpus
+/// drives both direct Runtime runs and the sweep engines.
+std::function<void()> makeBody(const ProgramShape &S) {
+  return [S] {
     std::vector<std::shared_ptr<rt::Shared<int>>> Cells;
     for (int C = 0; C < S.Cells; ++C)
       Cells.push_back(std::make_shared<rt::Shared<int>>(
@@ -235,7 +238,7 @@ rt::RunResult runShape(const ProgramShape &S, uint64_t ScheduleSeed) {
     rt::WaitGroup Wg;
     for (int G = 0; G < S.Goroutines; ++G) {
       Wg.add(1);
-      rt::go("worker", [&S, &Wg, Cells, Mu, G] {
+      rt::go("worker", [S, &Wg, Cells, Mu, G] {
         for (int Op = 0; Op < S.OpsPerG; ++Op) {
           auto &Cell = *Cells[(G + Op) % S.Cells];
           bool SkipLock = G == S.BugGoroutine && Op == S.BugOp;
@@ -249,7 +252,12 @@ rt::RunResult runShape(const ProgramShape &S, uint64_t ScheduleSeed) {
       });
     }
     Wg.wait();
-  });
+  };
+}
+
+rt::RunResult runShape(const ProgramShape &S, uint64_t ScheduleSeed) {
+  rt::Runtime RT(rt::withSeed(ScheduleSeed));
+  return RT.run(makeBody(S));
 }
 
 class ProgramFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -280,5 +288,44 @@ TEST_P(ProgramFuzz, BuggedProgramsAreCaughtBySweep) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ProgramFuzz,
                          ::testing::Range<uint64_t>(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Adaptive-sweep properties over the randomized program corpus
+//
+// The AdaptiveSweepTest battery pins parity and determinism on the
+// hand-built registry patterns; here the same properties are hammered
+// with random program shapes, where nobody tuned the bodies to behave.
+//===----------------------------------------------------------------------===//
+
+class AdaptiveFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdaptiveFuzz, WeightZeroParityOnRandomBodies) {
+  ProgramShape S = makeShape(GetParam(), /*Bugged=*/true);
+  pipeline::SweepOptions Sw;
+  Sw.FirstSeed = GetParam();
+  Sw.NumSeeds = 24;
+  pipeline::SweepResult Uniform = pipeline::sweep(Sw, makeBody(S));
+
+  sweep::AdaptiveOptions A =
+      sweep::adaptiveFrom(Sw, corpus::hostBody(makeBody(S)));
+  A.ExploitWeight = 0.0;
+  EXPECT_EQ(sweep::adaptive(A).Sweep, Uniform) << "shape " << GetParam();
+}
+
+TEST_P(AdaptiveFuzz, ThreadCountInvarianceOnRandomBodies) {
+  ProgramShape S = makeShape(GetParam() * 31, /*Bugged=*/true);
+  sweep::AdaptiveOptions A;
+  A.FirstSeed = 1;
+  A.NumRuns = 30;
+  A.PlannerSeed = GetParam();
+  A.Body = corpus::hostBody(makeBody(S));
+  A.Threads = 1;
+  sweep::AdaptiveResult Serial = sweep::adaptive(A);
+  A.Threads = 4;
+  EXPECT_EQ(sweep::adaptive(A), Serial) << "shape " << GetParam() * 31;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AdaptiveFuzz,
+                         ::testing::Range<uint64_t>(1, 7));
 
 } // namespace

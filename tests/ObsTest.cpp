@@ -13,9 +13,13 @@
 
 #include "corpus/Patterns.h"
 #include "obs/DetectorMetrics.h"
+#include "obs/RuntimeMetrics.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "pipeline/Deployment.h"
+#include "rt/Instr.h"
+#include "rt/Runtime.h"
+#include "rt/Sync.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "trace/Offline.h"
@@ -439,6 +443,57 @@ TEST(Obs, ReplaySnapshotIsDeterministicAndMatchesOnlineVerdicts) {
   EXPECT_GT(Emitted, 0u) << "pattern produced no race report to compare";
   EXPECT_EQ(OneReplay.findCounter("grs_race_reports_emitted_total")->value(),
             Emitted);
+}
+
+TEST(Obs, RuntimeInstrumentRegistrationIsAmortized) {
+  // 1000 Runtimes against ONE registry: the handle bundle is resolved
+  // once, the per-seed preemption counter is memoized, a single pooled
+  // DetectorObserver is recycled, and the registry's instrument
+  // population stops growing after the first run.
+  Registry R;
+  RuntimeInstruments *Bundle = R.runtimeInstruments();
+  ASSERT_NE(Bundle, nullptr);
+  EXPECT_EQ(R.runtimeInstruments(), Bundle); // lazy singleton, stable
+  Counter *Preempt = Bundle->preemptionsForSeed(21);
+  EXPECT_EQ(Bundle->preemptionsForSeed(21), Preempt);
+
+  auto RunOnce = [&R] {
+    rt::RunOptions Opts;
+    Opts.Seed = 21;
+    Opts.Metrics = &R;
+    rt::Runtime RT(Opts);
+    return RT.run([] {
+      auto X = std::make_shared<rt::Shared<int>>("x", 0);
+      rt::WaitGroup Wg;
+      Wg.add(1);
+      rt::go("w", [X, &Wg] {
+        X->store(1);
+        Wg.done();
+      });
+      X->store(2);
+      Wg.wait();
+    });
+  };
+
+  RunOnce();
+  uint64_t OneRunSwitches =
+      R.findCounter("grs_rt_context_switches_total")->value();
+  size_t CountersAfterOne = R.counters().size();
+  size_t HistogramsAfterOne = R.histograms().size();
+
+  for (int I = 0; I < 999; ++I)
+    RunOnce();
+
+  // Serial Runtime churn recycles one pooled observer...
+  EXPECT_EQ(Bundle->observersCreated(), 1u);
+  // ...resolves no new instruments...
+  EXPECT_EQ(R.counters().size(), CountersAfterOne);
+  EXPECT_EQ(R.histograms().size(), HistogramsAfterOne);
+  // ...and the cached handles still accumulate every run (the runs are
+  // seed-deterministic, so totals are exact multiples).
+  EXPECT_EQ(R.findCounter("grs_rt_context_switches_total")->value(),
+            1000 * OneRunSwitches);
+  EXPECT_EQ(Preempt, Bundle->preemptionsForSeed(21));
 }
 
 TEST(Obs, DetectorObserverAccumulatesAcrossRuntimes) {
