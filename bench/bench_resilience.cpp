@@ -1,0 +1,348 @@
+//===- bench/bench_resilience.cpp - Hardened fleet execution benchmark ----===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Measures what the robustness layer costs and guarantees — the §3.5
+// operational questions for a fleet that ran daily sweeps over 100K+ real
+// unit tests for six months:
+//
+//  1. watchdog recovery latency — wall-clock to reap a never-yielding
+//     CPU-spin body (median over trials; the budget bounds it, the poll
+//     interval is the slack);
+//  2. sweep completion + wasted work under injected fault rates
+//     0 / 1 / 5 / 20% — completion rate (non-quarantined slots), retry
+//     overhead, and the CONTAINMENT INVARIANT: no non-faulted run's
+//     result may differ from the fault-free sweep's (checked per slot
+//     through the checkpoint journals);
+//  3. checkpoint resume parity — a journal truncated mid-record must
+//     resume to a bit-identical result.
+//
+// Violating the containment invariant or resume parity exits nonzero, so
+// CI can gate on the exit code without parsing JSON.
+//
+// Results are emitted as one JSON object on stdout; progress to stderr.
+//
+// Usage: bench_resilience [--smoke] [--out FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "inject/Fault.h"
+#include "rt/Instr.h"
+#include "sweep/Resilient.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace grs;
+
+namespace {
+
+struct BenchConfig {
+  uint64_t NumSeeds = 160;  // slots per sweep, per fault rate
+  uint32_t MaxAttempts = 3; // retry policy under test
+  unsigned Threads = 4;
+  // Generous relative to innocent run durations on purpose: a tight
+  // budget lets concurrent CPU-spin saboteurs slow INNOCENT runs into
+  // the soft watchdog path, which breaks determinism (DESIGN.md §9).
+  uint64_t WatchdogMillis = 400;
+  unsigned WatchdogTrials = 5;
+  uint64_t WatchdogBudgetMillis = 60; // budget for the latency probe
+};
+
+/// The program under sweep: schedule-dependent race so the sweeps have
+/// real verdict structure for the containment check to compare.
+void racyBody() {
+  auto X = std::make_shared<rt::Shared<int>>("x", 0);
+  rt::Runtime &RT = rt::Runtime::current();
+  RT.go("writer", [X] { X->store(1); });
+  X->store(2);
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// One watchdog latency probe: a never-yielding spin recovered by the
+/// hard path. Returns recovery wall-clock in milliseconds.
+double watchdogProbe(uint64_t BudgetMillis) {
+  rt::RunOptions Opts;
+  Opts.Seed = 1;
+  Opts.WatchdogMillis = BudgetMillis;
+  auto Start = std::chrono::steady_clock::now();
+  rt::Runtime RT(Opts);
+  rt::RunResult R = RT.run([] {
+    rt::Runtime::current().go("spinner", [] {
+      volatile uint64_t Spin = 0;
+      for (;;)
+        Spin = Spin + 1;
+    });
+    rt::gosched();
+  });
+  double Ms = elapsedMs(Start);
+  if (!R.WatchdogFired) {
+    std::fprintf(stderr, "bench_resilience: watchdog probe did not fire\n");
+    std::exit(1);
+  }
+  return Ms;
+}
+
+struct RateResult {
+  double Rate = 0.0;
+  uint64_t PlannedFaults = 0;
+  uint64_t InfraFaults = 0;
+  uint64_t Quarantined = 0;
+  uint64_t Retries = 0;
+  double CompletionRate = 1.0;
+  double WastedAttemptsRatio = 0.0;
+  uint64_t LostNonFaultedSlots = 0;
+  double ElapsedMs = 0.0;
+};
+
+void emitJson(FILE *Out, const BenchConfig &Cfg, double WatchdogMedianMs,
+              const std::vector<RateResult> &Rates, bool ResumeParity,
+              uint64_t ResumedSlots) {
+  std::fprintf(Out,
+               "{\n  \"num_seeds\": %llu,\n  \"max_attempts\": %u,\n"
+               "  \"threads\": %u,\n  \"watchdog_ms\": %llu,\n",
+               static_cast<unsigned long long>(Cfg.NumSeeds),
+               Cfg.MaxAttempts, Cfg.Threads,
+               static_cast<unsigned long long>(Cfg.WatchdogMillis));
+  std::fprintf(Out,
+               "  \"watchdog\": {\"budget_ms\": %llu, "
+               "\"recovery_ms_median\": %.1f, \"trials\": %u},\n",
+               static_cast<unsigned long long>(Cfg.WatchdogBudgetMillis),
+               WatchdogMedianMs, Cfg.WatchdogTrials);
+  std::fprintf(Out, "  \"fault_rates\": [\n");
+  for (size_t I = 0; I < Rates.size(); ++I) {
+    const RateResult &R = Rates[I];
+    std::fprintf(
+        Out,
+        "    {\"rate\": %.2f, \"planned_faults\": %llu, "
+        "\"infra_faults\": %llu, \"quarantined\": %llu, "
+        "\"retries\": %llu, \"completion_rate\": %.4f, "
+        "\"wasted_attempts_ratio\": %.4f, "
+        "\"lost_nonfaulted_slots\": %llu, \"elapsed_ms\": %.1f}%s\n",
+        R.Rate, static_cast<unsigned long long>(R.PlannedFaults),
+        static_cast<unsigned long long>(R.InfraFaults),
+        static_cast<unsigned long long>(R.Quarantined),
+        static_cast<unsigned long long>(R.Retries), R.CompletionRate,
+        R.WastedAttemptsRatio,
+        static_cast<unsigned long long>(R.LostNonFaultedSlots), R.ElapsedMs,
+        I + 1 < Rates.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out,
+               "  \"checkpoint\": {\"resume_parity\": %s, "
+               "\"resumed_slots\": %llu}\n}\n",
+               ResumeParity ? "true" : "false",
+               static_cast<unsigned long long>(ResumedSlots));
+}
+
+std::string tempJournal(const std::string &Name) {
+  return (std::filesystem::temp_directory_path() /
+          ("grs-bench-resilience-" + Name + ".ckpt"))
+      .string();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg;
+  const char *OutPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--smoke")) {
+      Cfg.NumSeeds = 48;
+      Cfg.WatchdogTrials = 3;
+    } else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_resilience [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // 1. Watchdog recovery latency.
+  //===--------------------------------------------------------------------===//
+  std::vector<double> Probes;
+  for (unsigned T = 0; T < Cfg.WatchdogTrials; ++T)
+    Probes.push_back(watchdogProbe(Cfg.WatchdogBudgetMillis));
+  std::sort(Probes.begin(), Probes.end());
+  double WatchdogMedianMs = Probes[Probes.size() / 2];
+  std::fprintf(stderr, "watchdog: budget %llums, median recovery %.1fms\n",
+               static_cast<unsigned long long>(Cfg.WatchdogBudgetMillis),
+               WatchdogMedianMs);
+
+  //===--------------------------------------------------------------------===//
+  // 2. Sweep completion + containment under fault rates.
+  //===--------------------------------------------------------------------===//
+  auto MakeOptions = [&Cfg](sweep::Runner Body) {
+    sweep::ResilientOptions RO;
+    RO.FirstSeed = 1;
+    RO.NumSeeds = Cfg.NumSeeds;
+    RO.Threads = Cfg.Threads;
+    RO.MaxAttempts = Cfg.MaxAttempts;
+    RO.RetryBackoffMicros = 0;
+    RO.Run.WatchdogMillis = Cfg.WatchdogMillis;
+    RO.Run.MaxSteps = 20000;
+    RO.Body = std::move(Body);
+    return RO;
+  };
+
+  // Fault-free baseline, journaled: the per-slot ground truth every
+  // faulted sweep's non-faulted slots must reproduce bit-for-bit.
+  std::string BaselinePath = tempJournal("baseline");
+  std::remove(BaselinePath.c_str());
+  sweep::ResilientOptions Baseline = MakeOptions(corpus::hostBody(racyBody));
+  Baseline.CheckpointPath = BaselinePath;
+  sweep::ResilientResult BaselineResult = sweep::resilient(Baseline);
+  sweep::CheckpointLoad BaselineLoad;
+  std::string Error;
+  if (!BaselineResult.CheckpointError.empty() ||
+      !sweep::loadCheckpoint(BaselinePath, BaselineLoad, Error)) {
+    std::fprintf(stderr, "bench_resilience: baseline journal failed: %s%s\n",
+                 BaselineResult.CheckpointError.c_str(), Error.c_str());
+    return 1;
+  }
+  std::map<uint64_t, sweep::SlotRecord> BaselineBySlot;
+  for (const sweep::SlotRecord &R : BaselineLoad.Records)
+    BaselineBySlot[R.Slot] = R;
+
+  int Status = 0;
+  std::vector<RateResult> Rates;
+  for (double Rate : {0.0, 0.01, 0.05, 0.20}) {
+    inject::FaultPlanOptions PO;
+    PO.PlanSeed = 1009;
+    PO.FirstSeed = 1;
+    PO.NumSeeds = Cfg.NumSeeds;
+    PO.FaultRate = Rate;
+    PO.LatencyMicros = 100;
+    inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+
+    std::string Path = tempJournal("rate");
+    std::remove(Path.c_str());
+    sweep::ResilientOptions RO =
+        MakeOptions(inject::instrumentedRunner(racyBody, Plan));
+    RO.CheckpointPath = Path;
+    auto Start = std::chrono::steady_clock::now();
+    sweep::ResilientResult R = sweep::resilient(RO);
+
+    RateResult Row;
+    Row.Rate = Rate;
+    Row.ElapsedMs = elapsedMs(Start);
+    Row.PlannedFaults = Plan.size();
+    for (const auto &[Seed, Spec] : Plan.BySeed)
+      Row.InfraFaults += inject::isInfraFault(Spec.Kind);
+    Row.Quarantined = R.Quarantined.size();
+    Row.Retries = R.Retries;
+    Row.CompletionRate =
+        static_cast<double>(Cfg.NumSeeds - Row.Quarantined) /
+        static_cast<double>(Cfg.NumSeeds);
+    // Wasted work: attempts that did not produce the slot's result —
+    // every retry, plus the first attempt of each quarantined slot.
+    Row.WastedAttemptsRatio =
+        static_cast<double>(R.Retries + Row.Quarantined) /
+        static_cast<double>(Cfg.NumSeeds + R.Retries);
+
+    // Containment invariant: every slot the plan did not infra-fault
+    // must match the fault-free baseline bit-for-bit (GoPanic slots get
+    // their planned panic verdict, so only un-faulted and LatencySpike
+    // slots are comparable).
+    sweep::CheckpointLoad Load;
+    if (R.CheckpointError.empty() &&
+        sweep::loadCheckpoint(Path, Load, Error)) {
+      for (const sweep::SlotRecord &Rec : Load.Records) {
+        const inject::FaultSpec *Spec = Plan.faultFor(Rec.Seed);
+        if (Spec && Spec->Kind != inject::FaultKind::LatencySpike)
+          continue;
+        auto It = BaselineBySlot.find(Rec.Slot);
+        if (It == BaselineBySlot.end() || !(It->second == Rec))
+          ++Row.LostNonFaultedSlots;
+      }
+      if (Load.Records.size() < Cfg.NumSeeds)
+        Row.LostNonFaultedSlots +=
+            Cfg.NumSeeds - Load.Records.size(); // journal lost slots
+    } else {
+      std::fprintf(stderr, "bench_resilience: journal failed at rate "
+                           "%.2f: %s%s\n",
+                   Rate, R.CheckpointError.c_str(), Error.c_str());
+      Status = 1;
+    }
+    std::remove(Path.c_str());
+
+    if (Row.LostNonFaultedSlots) {
+      std::fprintf(stderr,
+                   "CONTAINMENT VIOLATION: rate %.2f lost %llu "
+                   "non-faulted slots\n",
+                   Rate,
+                   static_cast<unsigned long long>(Row.LostNonFaultedSlots));
+      Status = 1;
+    }
+    std::fprintf(stderr,
+                 "rate %.2f: %llu faults, completion %.3f, retries %llu, "
+                 "%.0fms\n",
+                 Rate, static_cast<unsigned long long>(Row.PlannedFaults),
+                 Row.CompletionRate,
+                 static_cast<unsigned long long>(Row.Retries),
+                 Row.ElapsedMs);
+    Rates.push_back(Row);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // 3. Checkpoint resume parity: truncate the baseline journal
+  //    mid-record and resume; the result must be bit-identical.
+  //===--------------------------------------------------------------------===//
+  bool ResumeParity = false;
+  uint64_t ResumedSlots = 0;
+  {
+    std::ifstream In(BaselinePath, std::ios::binary);
+    std::vector<char> Bytes((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+    In.close();
+    if (Bytes.size() > 7) {
+      std::ofstream OutF(BaselinePath, std::ios::binary | std::ios::trunc);
+      OutF.write(Bytes.data(),
+                 static_cast<std::streamsize>(Bytes.size() - 7));
+    }
+    sweep::ResilientOptions Resumed = Baseline;
+    Resumed.Resume = true;
+    sweep::ResilientResult RR = sweep::resilient(Resumed);
+    ResumedSlots = RR.ResumedSlots;
+    ResumeParity = RR.CheckpointError.empty() &&
+                   RR.Sweep == BaselineResult.Sweep &&
+                   RR.Quarantined == BaselineResult.Quarantined;
+    if (!ResumeParity) {
+      std::fprintf(stderr, "RESUME PARITY VIOLATION: %s\n",
+                   RR.CheckpointError.c_str());
+      Status = 1;
+    }
+    std::fprintf(stderr, "resume: %llu slots from journal, parity %s\n",
+                 static_cast<unsigned long long>(ResumedSlots),
+                 ResumeParity ? "ok" : "BROKEN");
+  }
+  std::remove(BaselinePath.c_str());
+
+  emitJson(stdout, Cfg, WatchdogMedianMs, Rates, ResumeParity, ResumedSlots);
+  if (OutPath) {
+    if (FILE *F = std::fopen(OutPath, "w")) {
+      emitJson(F, Cfg, WatchdogMedianMs, Rates, ResumeParity, ResumedSlots);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "bench_resilience: cannot write %s\n", OutPath);
+      return 2;
+    }
+  }
+  return Status;
+}

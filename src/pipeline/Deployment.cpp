@@ -133,6 +133,21 @@ DeploymentOutcome DeploymentSimulator::run() {
   obs::Counter *CCiLeaked = Reg.counter("grs_pipeline_ci_leaked_total");
   obs::Gauge *GDedupRatio = Reg.gauge("grs_pipeline_dedup_ratio");
   obs::Gauge *GUniqueFixers = Reg.gauge("grs_pipeline_unique_fixers");
+  obs::Counter *CHangs = Reg.counter("grs_pipeline_snapshot_hangs_total");
+  obs::Counter *CCrashes =
+      Reg.counter("grs_pipeline_snapshot_crashes_total");
+  obs::Counter *CFlaky = Reg.counter("grs_pipeline_snapshot_flaky_total");
+  obs::Gauge *GSnapshotLoss =
+      Reg.gauge("grs_pipeline_snapshot_loss_ratio");
+
+  // The fault model consumes RNG draws only when some rate is positive:
+  // Rng::chance always advances the stream, so an unconditional draw
+  // would perturb every downstream decision even at rate 0.0 and break
+  // the default config's bit-for-bit reproducibility.
+  const bool FaultModel = Config.TestHangProb > 0.0 ||
+                          Config.TestCrashProb > 0.0 ||
+                          Config.FlakyInfraProb > 0.0;
+  uint64_t SnapshotRunsConsidered = 0;
 
   Races.reserve(Config.InitialLatentRaces + 1024);
   for (uint32_t I = 0; I < Config.InitialLatentRaces; ++I)
@@ -192,6 +207,24 @@ DeploymentOutcome DeploymentSimulator::run() {
         LatentRace &Race = Races[I];
         if (!Race.Present || !Race.TestEnabled)
           continue;
+        if (FaultModel) {
+          // A lost run is contained to this test, today: the race simply
+          // cannot manifest until tomorrow's snapshot — the §3.5 fleet's
+          // per-run quarantine, seen from the simulator's altitude.
+          ++SnapshotRunsConsidered;
+          if (Rng.chance(Config.TestHangProb)) {
+            CHangs->inc();
+            continue;
+          }
+          if (Rng.chance(Config.TestCrashProb)) {
+            CCrashes->inc();
+            continue;
+          }
+          if (Rng.chance(Config.FlakyInfraProb)) {
+            CFlaky->inc();
+            continue;
+          }
+        }
         if (!Rng.chance(Race.ManifestProb))
           continue;
         Race.EverDetected = true;
@@ -343,5 +376,14 @@ DeploymentOutcome DeploymentSimulator::run() {
       Outcome.TotalFixedTasks ? static_cast<double>(Outcome.UniquePatches) /
                                     static_cast<double>(Outcome.TotalFixedTasks)
                               : 0.0;
+  Outcome.SnapshotHangs = CHangs->value();
+  Outcome.SnapshotCrashes = CCrashes->value();
+  Outcome.SnapshotFlaky = CFlaky->value();
+  uint64_t SnapshotLost =
+      Outcome.SnapshotHangs + Outcome.SnapshotCrashes + Outcome.SnapshotFlaky;
+  GSnapshotLoss->set(SnapshotRunsConsidered
+                         ? static_cast<double>(SnapshotLost) /
+                               static_cast<double>(SnapshotRunsConsidered)
+                         : 0.0);
   return Outcome;
 }

@@ -8,7 +8,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <csignal>
 #include <exception>
+#include <mutex>
+#include <pthread.h>
+#include <thread>
 #include <ucontext.h>
 
 using namespace grs;
@@ -42,6 +47,61 @@ struct Runtime::Goroutine {
 
 /// The runtime active on this thread, if any.
 static thread_local Runtime *ActiveRuntime = nullptr;
+
+//===----------------------------------------------------------------------===//
+// Hard watchdog machinery
+//
+// A goroutine that never reaches a scheduling point (a tight CPU spin, or
+// foreign code that blocks forever) cannot be recovered cooperatively:
+// the scheduler and the fiber share one OS thread, and control only comes
+// back at yield points the fiber never executes. The hard path regains
+// the thread with a signal: a monitor thread watches the runtime's
+// progress stamp, and when it stays frozen for the whole wall-clock
+// budget, signals the runtime's thread; the handler siglongjmps from the
+// stuck fiber's stack back into Runtime::runScheduler(), abandoning the
+// fiber mid-frame. Everything the handler touches is thread-local, and
+// the jump is armed only between two points on the SAME thread the signal
+// targets, so a late signal after disarm is a harmless no-op.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Nonzero only while the current thread's runtime accepts a hard abort
+/// (i.e. while a watchdog-armed fiber may be running). Checked and
+/// cleared by the handler so the jump fires at most once per arm.
+thread_local volatile sig_atomic_t HardAbortArmed = 0;
+} // namespace
+
+namespace grs {
+namespace rt {
+/// Out-of-line so the signal handler can reach the private jump buffer.
+void watchdogSignalJump(Runtime &RT) { siglongjmp(RT.WatchdogJmp, 1); }
+} // namespace rt
+} // namespace grs
+
+namespace {
+
+void watchdogSignalHandler(int /*Signo*/) {
+  if (!HardAbortArmed || !ActiveRuntime)
+    return;
+  HardAbortArmed = 0;
+  watchdogSignalJump(*ActiveRuntime);
+}
+
+/// Installs the process-wide SIGURG handler once. SIGURG matches Go's own
+/// async-preemption choice: ignored by default, rarely used elsewhere,
+/// and delivered to the precise thread pthread_kill names.
+void installWatchdogHandler() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    SA.sa_handler = watchdogSignalHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0;
+    sigaction(SIGURG, &SA, nullptr);
+  });
+}
+
+} // namespace
 
 Runtime::Runtime(RunOptions Opts)
     : Opts(std::move(Opts)),
@@ -115,6 +175,15 @@ void Runtime::fiberEntry() {
     Result.Panics.push_back(G.Name + ": panic: " + P.message());
   } catch (AbortFiber &) {
     // Teardown unwinding; nothing to record.
+  } catch (const std::exception &E) {
+    // A C++ exception from foreign code inside the body. Captured here —
+    // at the fiber boundary — so it degrades this one run instead of
+    // unwinding through the scheduler and killing the whole sweep.
+    Result.ForeignExceptions.push_back(G.Name + ": foreign exception: " +
+                                       E.what());
+  } catch (...) {
+    Result.ForeignExceptions.push_back(G.Name +
+                                       ": foreign exception: <non-std>");
   }
   // Release captured state eagerly; the Goroutine record outlives the run.
   G.Body = nullptr;
@@ -143,7 +212,7 @@ RunResult Runtime::run(std::function<void()> Main) {
   MainG->Stack = std::make_unique<char[]>(Opts.StackBytes);
   Goroutines.push_back(std::move(MainG));
 
-  schedulerLoop();
+  runScheduler();
   bool MainDone =
       !Goroutines.empty() && Goroutines[0]->State == GState::Finished;
 
@@ -183,12 +252,92 @@ RunResult Runtime::run(std::function<void()> Main) {
   return Result;
 }
 
+void Runtime::runScheduler() {
+  if (Opts.WatchdogMillis == 0) {
+    schedulerLoop();
+    return;
+  }
+
+  // Arm the watchdog: soft deadline for the scheduler's own checks, plus
+  // a monitor thread for the hard path. The monitor only signals when
+  // the progress stamp has been frozen for the WHOLE budget — a body
+  // that yields at all lets the soft path handle the deadline instead.
+  installWatchdogHandler();
+  using Clock = std::chrono::steady_clock;
+  auto Budget = std::chrono::milliseconds(Opts.WatchdogMillis);
+  auto Poll = std::chrono::milliseconds(
+      Opts.WatchdogPollMillis ? Opts.WatchdogPollMillis : 1);
+  WatchdogDeadline = Clock::now() + Budget;
+  WatchdogArmed = true;
+  WatchdogProgress.store(0, std::memory_order_relaxed);
+
+  std::atomic<bool> MonitorStop{false};
+  pthread_t Target = pthread_self();
+  std::thread Monitor([this, &MonitorStop, Target, Budget, Poll] {
+    uint64_t LastStamp = WatchdogProgress.load(std::memory_order_relaxed);
+    auto LastChange = Clock::now();
+    while (!MonitorStop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(Poll);
+      uint64_t Stamp = WatchdogProgress.load(std::memory_order_relaxed);
+      auto Now = Clock::now();
+      if (Stamp != LastStamp) {
+        LastStamp = Stamp;
+        LastChange = Now;
+        continue;
+      }
+      if (Now - LastChange >= Budget) {
+        pthread_kill(Target, SIGURG);
+        return;
+      }
+    }
+  });
+
+  HardAbortArmed = 1;
+  if (sigsetjmp(WatchdogJmp, /*savemask=*/1) == 0)
+    schedulerLoop();
+  else
+    hardWatchdogAbort();
+  // Disarm on this thread FIRST: any signal the monitor already sent and
+  // that lands after this line sees HardAbortArmed == 0 and is a no-op.
+  HardAbortArmed = 0;
+  WatchdogArmed = false;
+  MonitorStop.store(true, std::memory_order_relaxed);
+  Monitor.join();
+}
+
+void Runtime::hardWatchdogAbort() {
+  // We longjmp'd here from the signal handler: some goroutine held the
+  // thread past the whole budget without reaching a scheduling point.
+  // Its fiber stack is abandoned exactly as the signal left it — never
+  // resumed, never unwound — and the goroutine is marked finished so
+  // teardown skips it. Other goroutines still unwind normally.
+  Goroutine &G = *Goroutines[CurrentIndex];
+  G.State = GState::Finished;
+  Result.WatchdogFired = true;
+  Result.WatchdogDetail =
+      "hard: goroutine '" + G.Name +
+      "' exceeded the wall-clock budget without reaching a scheduling point";
+}
+
 void Runtime::schedulerLoop() {
   std::vector<size_t> Runnable;
   for (;;) {
     if (Steps >= Opts.MaxSteps) {
       Result.StepLimitHit = true;
       return;
+    }
+    if (WatchdogArmed) {
+      WatchdogProgress.store(Steps + 1, std::memory_order_relaxed);
+      // Soft path: the system is still scheduling, just past its
+      // wall-clock budget. Checked every few steps — a clock read is
+      // cheap next to a context switch, but not free.
+      if ((Steps & 0x3f) == 0 &&
+          std::chrono::steady_clock::now() >= WatchdogDeadline) {
+        Result.WatchdogFired = true;
+        Result.WatchdogDetail = "soft: wall-clock budget exhausted while "
+                                "goroutines were still being scheduled";
+        return;
+      }
     }
 
     // Wake sleepers whose deadline arrived.

@@ -40,6 +40,9 @@
 #include "race/Detector.h"
 #include "support/Rng.h"
 
+#include <atomic>
+#include <chrono>
+#include <csetjmp>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -110,6 +113,23 @@ struct RunOptions {
   /// When null — the default — every instrumentation site collapses to a
   /// null-handle check (the zero-overhead-when-disabled contract).
   obs::Registry *Metrics = nullptr;
+  /// Wall-clock watchdog budget in milliseconds; 0 (the default)
+  /// disables the watchdog entirely. When set, the run is bounded in
+  /// REAL time, not just virtual steps: the scheduler checks the
+  /// deadline at scheduling points (the soft path, for bodies that
+  /// yield but run long), and a monitor thread aborts a goroutine that
+  /// burns CPU without ever reaching a scheduling point (the hard path
+  /// — a tight spin never consumes steps, so MaxSteps alone cannot
+  /// fire). Either path surfaces as RunResult::WatchdogFired instead of
+  /// a hang. Note the hard path abandons the offending fiber's stack
+  /// without unwinding it (its destructors never run), which is the
+  /// price of recovering the thread from non-cooperative code; the
+  /// fiber's memory itself is still released with the Runtime.
+  uint64_t WatchdogMillis = 0;
+  /// Monitor-thread poll interval for the hard watchdog path. The
+  /// worst-case recovery latency for a never-yielding body is about
+  /// WatchdogMillis + WatchdogPollMillis.
+  uint64_t WatchdogPollMillis = 5;
   /// Optional deterministic choice hook: when set, EVERY scheduling
   /// choice point (which runnable goroutine to resume, which ready select
   /// arm to take) calls it with the number of options and uses the
@@ -137,14 +157,28 @@ struct RunResult {
   std::vector<std::string> LeakedGoroutines;
   /// Panic messages from any goroutine.
   std::vector<std::string> Panics;
+  /// Non-Go exceptions (C++ exceptions from foreign code called inside a
+  /// goroutine body) captured at the fiber boundary. Like Panics these
+  /// never escape run(): a misbehaving body loses its own run, not the
+  /// whole sweep that hosts it.
+  std::vector<std::string> ForeignExceptions;
+  /// True if the wall-clock watchdog (RunOptions::WatchdogMillis) ended
+  /// the run — soft (deadline seen at a scheduling point) or hard (a
+  /// goroutine never yielded and was abandoned by the monitor thread).
+  bool WatchdogFired = false;
+  /// Which watchdog path fired and on what ("soft: ..." / "hard: ...").
+  /// Deliberately free of step counts and timings so the field is
+  /// deterministic for deterministic faults.
+  std::string WatchdogDetail;
   /// Scheduling steps consumed.
   uint64_t Steps = 0;
   /// Number of race reports emitted by the detector.
   size_t RaceCount = 0;
 
   bool clean() const {
-    return MainFinished && !Deadlocked && !StepLimitHit &&
-           LeakedGoroutines.empty() && Panics.empty() && RaceCount == 0;
+    return MainFinished && !Deadlocked && !StepLimitHit && !WatchdogFired &&
+           LeakedGoroutines.empty() && Panics.empty() &&
+           ForeignExceptions.empty() && RaceCount == 0;
   }
 };
 
@@ -259,6 +293,9 @@ private:
   void fiberEntry();
   void checkAbort();
   static void fiberTrampoline();
+  void runScheduler();
+  void hardWatchdogAbort();
+  friend void watchdogSignalJump(Runtime &RT);
 
   RunOptions Opts;
   std::unique_ptr<race::Detector> Det;
@@ -293,6 +330,20 @@ private:
   RunResult Result;
   /// Opaque storage for the scheduler's own ucontext.
   std::unique_ptr<char[]> SchedCtxStorage;
+  //===------------------------------------------------------------------===//
+  // Watchdog state (all inert when RunOptions::WatchdogMillis == 0)
+  //===------------------------------------------------------------------===//
+  /// Monotone progress stamp the monitor thread watches: bumped at every
+  /// scheduling step, so "unchanged for the whole budget" means the
+  /// current goroutine never reached a scheduling point.
+  std::atomic<uint64_t> WatchdogProgress{0};
+  /// Soft-path deadline, checked at scheduling points.
+  std::chrono::steady_clock::time_point WatchdogDeadline;
+  bool WatchdogArmed = false;
+  /// Recovery point for the hard path: the monitor thread signals this
+  /// runtime's thread and the handler siglongjmps here, abandoning the
+  /// stuck fiber's stack.
+  sigjmp_buf WatchdogJmp;
 };
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,92 @@
+//===- support/Varint.h - Unsigned LEB128 encode/decode ---------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one unsigned-LEB128 codec shared by every append-only binary
+/// format in the project: the event-trace format (trace/Trace.h) and the
+/// crash-consistent sweep checkpoint journal (sweep/Checkpoint.h). Both
+/// formats advertise "reusing the trace varint encoding"; hoisting the
+/// codec here makes that literal — one encoder, one checked decoder, one
+/// set of failure modes.
+///
+/// Encoding: 7 data bits per byte, low bits first, high bit set on every
+/// byte except the last. A uint64_t takes at most 10 bytes.
+///
+/// Decoding is checked, never UB: truncation, 64-bit overflow and
+/// over-long encodings are distinct error codes the caller renders into
+/// its own diagnostics (byte offsets etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_VARINT_H
+#define GRS_SUPPORT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grs {
+namespace support {
+
+/// Appends \p Value to \p Out as an unsigned LEB128 varint.
+inline void putVarint(std::vector<uint8_t> &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(Value) | 0x80);
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(Value));
+}
+
+/// Why a checked decode failed.
+enum class VarintError {
+  Ok,        ///< Decoded successfully.
+  Truncated, ///< Input ended mid-varint.
+  Overflow,  ///< Tenth byte carries bits beyond the 64th.
+  TooLong,   ///< More than 10 continuation bytes.
+};
+
+/// Stable human-readable text for \p E ("" for Ok). The texts are part of
+/// the trace reader's error-message contract; do not reword casually.
+inline const char *varintErrorText(VarintError E) {
+  switch (E) {
+  case VarintError::Ok:
+    return "";
+  case VarintError::Truncated:
+    return "truncated varint";
+  case VarintError::Overflow:
+    return "varint overflows 64 bits";
+  case VarintError::TooLong:
+    return "varint longer than 10 bytes";
+  }
+  return "";
+}
+
+/// Decodes one varint from Data[Pos..Size). On success stores into
+/// \p Value, advances \p Pos past the varint, and returns Ok. On failure
+/// \p Pos is left at the offending byte (end of buffer for Truncated) so
+/// the caller can report an exact offset.
+inline VarintError readVarint(const uint8_t *Data, size_t Size, size_t &Pos,
+                              uint64_t &Value) {
+  Value = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Size)
+      return VarintError::Truncated;
+    uint8_t Byte = Data[Pos++];
+    uint64_t Bits = static_cast<uint64_t>(Byte & 0x7f);
+    if (Shift == 63 && Bits > 1)
+      return VarintError::Overflow;
+    Value |= Bits << Shift;
+    if (!(Byte & 0x80))
+      return VarintError::Ok;
+  }
+  return VarintError::TooLong;
+}
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_VARINT_H

@@ -169,7 +169,19 @@ struct RunRecord {
   rt::RunResult Run;
   FeatureVector Features;
   std::map<uint64_t, FpEntry> ByFp;
+  /// Attempts consumed (deterministic: the run is a pure function of
+  /// its options, so a disturbed run is disturbed on every retry of the
+  /// SAME options — retries pay off when the disturbance is environmental,
+  /// and cost exactly MaxAttempts when it is not).
+  uint32_t Attempts = 1;
 };
+
+/// True when the run's machinery — not the program under test — failed:
+/// the watchdog fired or a foreign exception crossed the fiber boundary.
+/// Step limits stay a scheduling verdict, as they always were here.
+bool disturbed(const rt::RunResult &Run) {
+  return Run.WatchdogFired || !Run.ForeignExceptions.empty();
+}
 
 struct ArmStat {
   uint64_t Pulls = 0;
@@ -188,8 +200,8 @@ struct ParentInfo {
   double Reward = -1.0;
 };
 
-RunRecord execPlanned(const PlannedRun &P, const AdaptiveOptions &Opts,
-                      obs::Registry &Reg) {
+RunRecord execOnce(const PlannedRun &P, const AdaptiveOptions &Opts,
+                   obs::Registry &Reg) {
   rt::RunOptions RunOpts = Opts.Run;
   RunOpts.Seed = P.Seed;
   RunOpts.PreemptProbability = P.Prob;
@@ -204,6 +216,17 @@ RunRecord execPlanned(const PlannedRun &P, const AdaptiveOptions &Opts,
   };
   Rec.Run = probeRun(std::move(RunOpts), Opts.Body, Reg, Rec.Features);
   return Rec;
+}
+
+RunRecord execPlanned(const PlannedRun &P, const AdaptiveOptions &Opts,
+                      obs::Registry &Reg) {
+  uint32_t MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    RunRecord Rec = execOnce(P, Opts, Reg);
+    Rec.Attempts = Attempt;
+    if (!disturbed(Rec.Run) || Attempt >= MaxAttempts)
+      return Rec;
+  }
 }
 
 double rewardOf(const RunRecord &Rec, size_t NewFps) {
@@ -250,6 +273,8 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
   obs::Timeseries *MRoundNew =
       SweepReg ? SweepReg->timeseries("grs_sweep_round_new_fingerprints")
                : nullptr;
+  obs::Counter *MFaulted =
+      SweepReg ? SweepReg->counter("grs_sweep_faulted_runs_total") : nullptr;
 
   // One probe registry per worker, persisting across rounds so the
   // amortized handle bundle (obs/RuntimeMetrics.h) pays off; features
@@ -407,6 +432,15 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
       RoundNewFps += NewFps;
       (Plan[Slot].Exploit ? Result.ExploitRuns : Result.ExploreRuns) += 1;
 
+      if (disturbed(Rec.Run)) {
+        // A disturbed run's feature vector describes a half-executed
+        // schedule; feeding it to the bandit would poison the arm
+        // statistics (and a watchdogged parent would seed exploit
+        // children that watchdog too). Count it and move on.
+        ++Result.FaultedRuns;
+        continue;
+      }
+
       // Feed the bandit.
       double Reward = rewardOf(Rec, NewFps);
       size_t Bucket = featureBucket(Rec.Features);
@@ -432,6 +466,7 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
 
   obs::inc(MExplore, Result.ExploreRuns);
   obs::inc(MExploit, Result.ExploitRuns);
+  obs::inc(MFaulted, Result.FaultedRuns);
   obs::set(MRatio, Result.Sweep.SeedsRun
                        ? static_cast<double>(Result.ExploitRuns) /
                              static_cast<double>(Result.Sweep.SeedsRun)

@@ -133,6 +133,15 @@ struct AdaptiveOptions {
   /// Worker threads; 0 = hardware concurrency. The result is
   /// bit-identical regardless.
   unsigned Threads = 1;
+  /// Tries per planned run when the run is DISTURBED — the watchdog
+  /// fired or a foreign C++ exception crossed the fiber boundary (step
+  /// limits are a scheduling verdict here, as before). 1 (the default)
+  /// keeps the pre-hardening behavior exactly. Whatever the last attempt
+  /// returns is the run's record; disturbed records still count toward
+  /// the aggregate (the budget is runs, not successes) but are excluded
+  /// from bandit feedback — a half-executed schedule's feature vector
+  /// would poison the arm statistics. See AdaptiveResult::FaultedRuns.
+  uint32_t MaxAttempts = 1;
   /// Base options applied to every run (Seed, PreemptProbability for
   /// exploit runs, OnReport, and Metrics are overwritten per run).
   rt::RunOptions Run;
@@ -157,6 +166,10 @@ struct AdaptiveResult {
   uint64_t FirstRacyRun = 0;
   /// Fingerprint -> 1-based run index of its first occurrence.
   std::map<uint64_t, uint64_t> FirstHitRun;
+  /// Runs still disturbed (watchdog / foreign exception) after
+  /// MaxAttempts tries: counted in the aggregate, excluded from bandit
+  /// feedback, mirrored to grs_sweep_faulted_runs_total.
+  uint64_t FaultedRuns = 0;
 
   bool operator==(const AdaptiveResult &) const = default;
 };

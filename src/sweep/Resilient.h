@@ -1,0 +1,132 @@
+//===- sweep/Resilient.h - Hardened sweep execution -------------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet's containment layer: a sweep executor that survives
+/// misbehaving bodies the way the paper's deployment pipeline survived
+/// six months of daily runs over 100K+ real unit tests (§3) — a hanging,
+/// crashing or flaky test loses its own run, never the sweep.
+///
+/// Per slot (seed), the executor:
+///
+///  1. runs the body with the slot's seed (watchdog armed if the caller
+///     set RunOptions::WatchdogMillis);
+///  2. classifies the outcome: races / leaks / panics / deadlocks are
+///     VERDICTS (the sweep's whole purpose) and complete the slot, while
+///     watchdog fires, foreign C++ exceptions and step-limit trips are
+///     INFRASTRUCTURE faults (FaultClass) that invalidate it;
+///  3. retries infra-faulted slots up to MaxAttempts with exponential
+///     wall-clock backoff — retry is deterministic: the run is a pure
+///     function of the seed, so the retry trajectory (and therefore the
+///     final SlotRecord) is identical across thread counts and reruns;
+///  4. quarantines slots whose every attempt faulted: they are excluded
+///     from the SweepResult aggregate and surfaced separately, in slot
+///     order, with their fault class and deterministic detail.
+///
+/// Completed SlotRecords are merged IN SLOT ORDER, which replays
+/// pipeline::sweep's serial aggregation exactly: for any Threads value,
+/// the aggregate over non-quarantined slots is bit-identical (operator==,
+/// sample reports included) to the serial sweep over those same slots —
+/// and with no faults, to pipeline::sweep itself. The chaos suite
+/// (tests/ResilienceTest.cpp, FuzzTest ChaosFuzz) pins this.
+///
+/// With CheckpointPath set, every completed slot is appended to a
+/// crash-consistent journal (sweep/Checkpoint.h) as soon as it finishes;
+/// Resume loads complete records, reruns only the missing slots, and
+/// produces a bit-identical ResilientResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SWEEP_RESILIENT_H
+#define GRS_SWEEP_RESILIENT_H
+
+#include "sweep/Adaptive.h"
+#include "sweep/Checkpoint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace sweep {
+
+struct ResilientOptions {
+  /// Seed range, pipeline::SweepOptions-style: slot I runs seed
+  /// FirstSeed + I.
+  uint64_t FirstSeed = 1;
+  uint64_t NumSeeds = 50;
+  /// Worker threads; 0 = hardware concurrency. The result is
+  /// bit-identical regardless.
+  unsigned Threads = 1;
+  /// Tries per slot before quarantine (min 1). Matters for faults that
+  /// are nondeterministic in real deployments; against the deterministic
+  /// injector a faulted slot consumes exactly MaxAttempts tries.
+  uint32_t MaxAttempts = 3;
+  /// Base of the exponential backoff between attempts, in microseconds
+  /// (attempt N sleeps Base << (N-1)); 0 disables the sleep. Wall-clock
+  /// only — never affects verdicts.
+  uint64_t RetryBackoffMicros = 100;
+  /// Base options for every run (Seed and OnReport overwritten per run).
+  /// Set WatchdogMillis: without it a CpuSpin-style body hangs the
+  /// worker forever, which no executor policy can contain.
+  rt::RunOptions Run;
+  /// The program under sweep. Required.
+  Runner Body;
+  /// Optional registry for `grs_resilience_*` instruments, written
+  /// serially after the merge (obs::Registry is not thread-safe).
+  obs::Registry *Metrics = nullptr;
+  /// Journal path; empty disables checkpointing.
+  std::string CheckpointPath;
+  /// Load CheckpointPath first and rerun only the missing slots. A
+  /// missing file degrades to a fresh journaled sweep; a meta mismatch
+  /// (different recipe) disables journaling and reports CheckpointError
+  /// rather than clobbering someone else's journal.
+  bool Resume = false;
+};
+
+struct ResilientResult {
+  /// Aggregate over non-quarantined slots, merged in slot order —
+  /// bit-identical to the serial sweep over those slots.
+  pipeline::SweepResult Sweep;
+  /// Quarantined slots, slot order.
+  std::vector<SlotRecord> Quarantined;
+  /// Extra attempts beyond the first, summed over executed slots.
+  uint64_t Retries = 0;
+  /// Slots satisfied from the checkpoint instead of executed.
+  uint64_t ResumedSlots = 0;
+  /// Non-fatal checkpoint problem ("" when none): meta mismatch, I/O
+  /// failure. The sweep itself still completes.
+  std::string CheckpointError;
+
+  bool operator==(const ResilientResult &) const = default;
+};
+
+/// Fnv1a over the verdict-relevant recipe (seed range, retry policy,
+/// scheduler-visible RunOptions). Binds checkpoint journals to recipes.
+uint64_t resilientOptionsHash(const ResilientOptions &Opts);
+
+/// Runs the hardened sweep. See file comment.
+ResilientResult resilient(const ResilientOptions &Opts);
+
+//===----------------------------------------------------------------------===//
+// Plug-in constructors for the existing sweep engines' option structs
+//===----------------------------------------------------------------------===//
+
+/// Hardened form of a serial pipeline::sweep of \p S (Threads = 1).
+ResilientOptions resilientFrom(const pipeline::SweepOptions &S, Runner Body);
+
+/// Hardened form of a trace::parallelSweep of \p S (same pool width).
+ResilientOptions resilientFrom(const trace::ParallelSweepOptions &S,
+                               Runner Body);
+
+/// Hardened form of an adaptive sweep's explore prefix is NOT provided:
+/// sweep::adaptive hardens itself (AdaptiveOptions::MaxAttempts).
+
+} // namespace sweep
+} // namespace grs
+
+#endif // GRS_SWEEP_RESILIENT_H

@@ -2,6 +2,8 @@
 
 #include "trace/Trace.h"
 
+#include "support/Varint.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,11 +102,7 @@ void TraceSink::reset() {
 }
 
 void TraceSink::putVarint(uint64_t Value) {
-  while (Value >= 0x80) {
-    Buffer.push_back(static_cast<uint8_t>(Value) | 0x80);
-    Value >>= 7;
-  }
-  Buffer.push_back(static_cast<uint8_t>(Value));
+  support::putVarint(Buffer, Value);
 }
 
 TraceStrId TraceSink::internString(const std::string &Text) {
@@ -175,19 +173,10 @@ bool TraceReader::fail(const std::string &Message) {
 }
 
 bool TraceReader::readVarint(uint64_t &Value) {
-  Value = 0;
-  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
-    if (Pos >= Size)
-      return fail("truncated varint");
-    uint8_t Byte = Data[Pos++];
-    uint64_t Bits = static_cast<uint64_t>(Byte & 0x7f);
-    if (Shift == 63 && Bits > 1)
-      return fail("varint overflows 64 bits");
-    Value |= Bits << Shift;
-    if (!(Byte & 0x80))
-      return true;
-  }
-  return fail("varint longer than 10 bytes");
+  support::VarintError E = support::readVarint(Data, Size, Pos, Value);
+  if (E == support::VarintError::Ok)
+    return true;
+  return fail(support::varintErrorText(E));
 }
 
 bool TraceReader::readHeader(Trace &Out) {

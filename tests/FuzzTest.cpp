@@ -19,15 +19,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Patterns.h"
+#include "inject/Fault.h"
 #include "race/Detector.h"
 #include "rt/Instr.h"
 #include "rt/Runtime.h"
 #include "rt/Sync.h"
 #include "support/Rng.h"
 #include "sweep/Adaptive.h"
+#include "sweep/Resilient.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
 #include <set>
 
 using namespace grs;
@@ -327,5 +331,103 @@ TEST_P(AdaptiveFuzz, ThreadCountInvarianceOnRandomBodies) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, AdaptiveFuzz,
                          ::testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// Chaos fuzzing: randomized FaultPlans against the resilient executor
+//
+// The ResilienceTest battery pins containment on one hand-built body and
+// one plan; here BOTH the program and the fault schedule are randomized,
+// and the acceptance properties must hold for every combination: no slot
+// record is ever lost, retry/quarantine outcomes are identical for any
+// thread count, and every non-faulted run's verdict is bit-identical to
+// the fault-free sweep's.
+//===----------------------------------------------------------------------===//
+
+class ChaosFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFuzz, RandomFaultPlansNeverCorruptTheSweep) {
+  ProgramShape S = makeShape(GetParam() * 101, /*Bugged=*/true);
+  const uint64_t NumSeeds = 14;
+
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = GetParam() * 13 + 1;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = NumSeeds;
+  PO.FaultRate = 0.3;
+  PO.LatencyMicros = 20;
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+
+  sweep::ResilientOptions RO;
+  RO.FirstSeed = PO.FirstSeed;
+  RO.NumSeeds = NumSeeds;
+  RO.Body = inject::instrumentedRunner(makeBody(S), Plan);
+  // Generous watchdog budget: with concurrent CPU-spin saboteurs on
+  // sibling workers a tight budget trips the soft path on INNOCENT runs
+  // nondeterministically and breaks thread parity (DESIGN.md §9).
+  RO.Run.WatchdogMillis = 500;
+  RO.Run.MaxSteps = 20000;
+  RO.MaxAttempts = 2;
+  RO.RetryBackoffMicros = 0;
+  std::string Journal = ::testing::TempDir() + "grs-chaos-" +
+                        std::to_string(GetParam()) + ".ckpt";
+  std::remove(Journal.c_str());
+  RO.CheckpointPath = Journal;
+  sweep::ResilientResult Serial = sweep::resilient(RO);
+  ASSERT_TRUE(Serial.CheckpointError.empty()) << Serial.CheckpointError;
+
+  // No lost slot records: the journal covers every slot exactly once.
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, Load, Error)) << Error;
+  std::set<uint64_t> Slots;
+  for (const sweep::SlotRecord &R : Load.Records) {
+    EXPECT_LT(R.Slot, NumSeeds);
+    EXPECT_TRUE(Slots.insert(R.Slot).second)
+        << "slot " << R.Slot << " journaled twice";
+  }
+  EXPECT_EQ(Slots.size(), NumSeeds);
+
+  // Deterministic retry/quarantine outcomes for any thread count.
+  RO.CheckpointPath.clear();
+  for (unsigned Threads : {2u, 8u}) {
+    RO.Threads = Threads;
+    EXPECT_EQ(sweep::resilient(RO), Serial)
+        << "shape " << GetParam() << ", " << Threads
+        << " threads diverged";
+  }
+
+  // Verdict parity: every slot the plan did not disturb (un-faulted or
+  // benign latency spike) is bit-identical to the fault-free sweep's
+  // record for that slot.
+  sweep::ResilientOptions Clean = RO;
+  Clean.Threads = 1;
+  Clean.Body = corpus::hostBody(makeBody(S));
+  std::remove(Journal.c_str());
+  Clean.CheckpointPath = Journal;
+  sweep::ResilientResult CleanResult = sweep::resilient(Clean);
+  ASSERT_TRUE(CleanResult.CheckpointError.empty())
+      << CleanResult.CheckpointError;
+  EXPECT_TRUE(CleanResult.Quarantined.empty());
+  sweep::CheckpointLoad CleanLoad;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, CleanLoad, Error)) << Error;
+
+  std::map<uint64_t, sweep::SlotRecord> Faulted;
+  for (const sweep::SlotRecord &R : Load.Records)
+    Faulted[R.Slot] = R;
+  size_t Compared = 0;
+  for (const sweep::SlotRecord &CleanRec : CleanLoad.Records) {
+    const inject::FaultSpec *Spec = Plan.faultFor(CleanRec.Seed);
+    if (Spec && Spec->Kind != inject::FaultKind::LatencySpike)
+      continue;
+    ASSERT_TRUE(Faulted.count(CleanRec.Slot));
+    EXPECT_EQ(Faulted[CleanRec.Slot], CleanRec)
+        << "shape " << GetParam() << " slot " << CleanRec.Slot;
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 0u);
+  std::remove(Journal.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChaosFuzz, ::testing::Range<uint64_t>(1, 4));
 
 } // namespace

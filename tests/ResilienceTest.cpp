@@ -1,0 +1,788 @@
+//===- tests/ResilienceTest.cpp - Fault injection + hardened sweeps --------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// The containment battery for the robustness layer: the paper's pipeline
+// survived six months of daily sweeps over 100K+ real unit tests because a
+// hanging, crashing or flaky test lost its own run, never the sweep (§3).
+// These tests pin our version of that property end to end:
+//
+//  * WATCHDOG — a tight CPU spin never reaches a scheduling point, so
+//    MaxSteps alone can NEVER fire; only the hard watchdog recovers the
+//    thread, in bounded wall-clock time, with a deterministic detail
+//    string. The soft path fires for yield-forever bodies, and an armed
+//    watchdog over a healthy body changes nothing.
+//  * FIBER BOUNDARY — a foreign C++ exception thrown inside a goroutine
+//    body is captured into RunResult::ForeignExceptions instead of
+//    escaping Runtime::run() and killing the host sweep.
+//  * INJECTION — FaultPlans are pure functions of their options, and
+//    instrumenting a body changes NOTHING for non-faulted seeds.
+//  * CHECKPOINT — the record codec round-trips, a journal truncated at
+//    any byte boundary keeps every complete record (crash consistency),
+//    and resume reproduces the original result bit-for-bit.
+//  * RESILIENT EXECUTOR — fault-free parity with pipeline::sweep,
+//    bit-identical results for Threads ∈ {1, 2, 8} under injected
+//    faults, deterministic quarantine/retry, and verdict parity with the
+//    fault-free sweep on every non-faulted slot.
+//
+// Calibration note (learned the hard way): watchdog budgets in the
+// threaded tests are GENEROUS (500ms) relative to innocent run durations.
+// With a tight budget, concurrent CPU-spin saboteurs on sibling workers
+// slow innocent runs enough to trip the soft path nondeterministically,
+// which breaks thread-count parity. See DESIGN.md §9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "inject/Fault.h"
+#include "obs/Metrics.h"
+#include "pipeline/Deployment.h"
+#include "rt/Instr.h"
+#include "support/Rng.h"
+#include "support/Varint.h"
+#include "sweep/Resilient.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+using namespace grs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared bodies
+//===----------------------------------------------------------------------===//
+
+/// A schedule-dependent racy body: the unlocked sibling store manifests
+/// only under some interleavings, so sweeps over it have real structure
+/// (some seeds race, some don't) for the parity tests to bite on.
+void racyBody() {
+  auto X = std::make_shared<rt::Shared<int>>("x", 0);
+  rt::Runtime &RT = rt::Runtime::current();
+  RT.go("writer", [X] { X->store(1); });
+  X->store(2);
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "grs-resilience-" + Name;
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog: the satellite-1 regression
+//===----------------------------------------------------------------------===//
+
+// A tight spin never consumes scheduling steps, so the step limit CANNOT
+// fire — before the watchdog existed this hung the host thread forever.
+// The hard path must recover it in bounded wall-clock time.
+TEST(Watchdog, HardPathRecoversNonYieldingSpin) {
+  rt::RunOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxSteps = 500; // Would fire instantly IF the spin consumed steps.
+  Opts.WatchdogMillis = 100;
+  auto Start = std::chrono::steady_clock::now();
+  rt::Runtime RT(Opts);
+  rt::RunResult R = RT.run([] {
+    rt::Runtime::current().go("spinner", [] {
+      volatile uint64_t Spin = 0;
+      for (;;)
+        Spin = Spin + 1;
+    });
+    rt::gosched();
+  });
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_TRUE(R.WatchdogFired);
+  EXPECT_FALSE(R.StepLimitHit) << "a non-yielding body cannot burn steps";
+  EXPECT_EQ(R.WatchdogDetail,
+            "hard: goroutine 'spinner' exceeded the wall-clock budget "
+            "without reaching a scheduling point");
+  EXPECT_FALSE(R.clean());
+  // Bounded recovery: budget + poll + slack, far below "forever".
+  EXPECT_LT(Elapsed, std::chrono::seconds(10));
+}
+
+TEST(Watchdog, SoftPathFiresForYieldForeverBody) {
+  rt::RunOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxSteps = 1ull << 40; // Steps alone would take hours to trip.
+  Opts.WatchdogMillis = 50;
+  rt::Runtime RT(Opts);
+  rt::RunResult R = RT.run([] {
+    rt::Runtime::current().go("yielder", [] {
+      for (;;)
+        rt::gosched();
+    });
+  });
+  EXPECT_TRUE(R.WatchdogFired);
+  EXPECT_EQ(R.WatchdogDetail,
+            "soft: wall-clock budget exhausted while goroutines were "
+            "still being scheduled");
+  EXPECT_FALSE(R.clean());
+}
+
+TEST(Watchdog, ArmedWatchdogLeavesHealthyRunUntouched) {
+  auto RunOnce = [](uint64_t WatchdogMillis) {
+    rt::RunOptions Opts;
+    Opts.Seed = 3;
+    Opts.WatchdogMillis = WatchdogMillis;
+    rt::Runtime RT(Opts);
+    return RT.run(racyBody);
+  };
+  rt::RunResult Bare = RunOnce(0);
+  rt::RunResult Armed = RunOnce(5000);
+  EXPECT_FALSE(Armed.WatchdogFired);
+  EXPECT_TRUE(Armed.WatchdogDetail.empty());
+  // The armed run is the same run: scheduling is untouched.
+  EXPECT_EQ(Armed.MainFinished, Bare.MainFinished);
+  EXPECT_EQ(Armed.Deadlocked, Bare.Deadlocked);
+  EXPECT_EQ(Armed.Steps, Bare.Steps);
+  EXPECT_EQ(Armed.RaceCount, Bare.RaceCount);
+  EXPECT_EQ(Armed.Panics, Bare.Panics);
+  EXPECT_EQ(Armed.LeakedGoroutines, Bare.LeakedGoroutines);
+}
+
+//===----------------------------------------------------------------------===//
+// Fiber boundary: the satellite-2 regression
+//===----------------------------------------------------------------------===//
+
+// A std::exception from foreign code inside a goroutine body used to
+// propagate out of the fiber and terminate the process; now it is a
+// contained, named verdict on the run.
+TEST(ForeignException, CapturedIntoRunResult) {
+  rt::Runtime RT(rt::withSeed(1));
+  rt::RunResult R = RT.run([] {
+    rt::Runtime::current().go("thrower",
+                              [] { throw std::runtime_error("boom"); });
+  });
+  ASSERT_EQ(R.ForeignExceptions.size(), 1u);
+  EXPECT_EQ(R.ForeignExceptions[0], "thrower: foreign exception: boom");
+  EXPECT_TRUE(R.MainFinished) << "main must survive the sibling's throw";
+  EXPECT_FALSE(R.clean());
+}
+
+TEST(ForeignException, NonStdThrowCapturedToo) {
+  rt::Runtime RT(rt::withSeed(1));
+  rt::RunResult R = RT.run([] {
+    rt::Runtime::current().go("rogue", [] { throw 42; });
+  });
+  ASSERT_EQ(R.ForeignExceptions.size(), 1u);
+  EXPECT_EQ(R.ForeignExceptions[0], "rogue: foreign exception: <non-std>");
+}
+
+//===----------------------------------------------------------------------===//
+// Fault plans and injection
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, DeterministicAndRateGoverned) {
+  inject::FaultPlanOptions Opts;
+  Opts.PlanSeed = 11;
+  Opts.FirstSeed = 5;
+  Opts.NumSeeds = 200;
+  Opts.FaultRate = 0.25;
+  inject::FaultPlan A = inject::makeFaultPlan(Opts);
+  inject::FaultPlan B = inject::makeFaultPlan(Opts);
+  EXPECT_EQ(A.BySeed, B.BySeed) << "same options must give the same plan";
+  EXPECT_GT(A.size(), 0u);
+  EXPECT_LT(A.size(), Opts.NumSeeds);
+  for (const auto &[Seed, Spec] : A.BySeed) {
+    EXPECT_GE(Seed, Opts.FirstSeed);
+    EXPECT_LT(Seed, Opts.FirstSeed + Opts.NumSeeds);
+  }
+
+  Opts.FaultRate = 0.0;
+  EXPECT_EQ(inject::makeFaultPlan(Opts).size(), 0u);
+  Opts.FaultRate = 1.0;
+  EXPECT_EQ(inject::makeFaultPlan(Opts).size(), Opts.NumSeeds);
+}
+
+TEST(FaultPlan, WeightsGateKinds) {
+  inject::FaultPlanOptions Opts;
+  Opts.NumSeeds = 100;
+  Opts.FaultRate = 1.0;
+  for (size_t K = 0; K < inject::NumFaultKinds; ++K)
+    Opts.Weights[K] = 0.0;
+  Opts.Weights[static_cast<size_t>(inject::FaultKind::GoPanic)] = 1.0;
+  inject::FaultPlan Plan = inject::makeFaultPlan(Opts);
+  ASSERT_EQ(Plan.size(), Opts.NumSeeds);
+  for (const auto &[Seed, Spec] : Plan.BySeed)
+    EXPECT_EQ(Spec.Kind, inject::FaultKind::GoPanic);
+}
+
+TEST(FaultPlan, InfraClassification) {
+  using inject::FaultKind;
+  EXPECT_FALSE(inject::isInfraFault(FaultKind::GoPanic));
+  EXPECT_TRUE(inject::isInfraFault(FaultKind::ForeignException));
+  EXPECT_TRUE(inject::isInfraFault(FaultKind::SchedulerStall));
+  EXPECT_TRUE(inject::isInfraFault(FaultKind::CpuSpin));
+  EXPECT_FALSE(inject::isInfraFault(FaultKind::LatencySpike));
+}
+
+/// Runs \p Spec injected at seed 1 over racyBody and returns the result.
+rt::RunResult detonateOnce(inject::FaultSpec Spec, rt::RunOptions Opts) {
+  inject::FaultPlan Plan;
+  Plan.BySeed[Opts.Seed] = Spec;
+  return inject::instrumentedRunner(racyBody, Plan)(Opts);
+}
+
+TEST(FaultInjection, EachKindSurfacesAsDocumented) {
+  rt::RunOptions Opts;
+  Opts.Seed = 1;
+
+  inject::FaultSpec Panic;
+  Panic.Kind = inject::FaultKind::GoPanic;
+  Panic.Site = inject::PanicSite::Channel;
+  rt::RunResult R = detonateOnce(Panic, Opts);
+  ASSERT_FALSE(R.Panics.empty());
+  EXPECT_NE(R.Panics[0].find("closed channel"), std::string::npos);
+
+  inject::FaultSpec Foreign;
+  Foreign.Kind = inject::FaultKind::ForeignException;
+  R = detonateOnce(Foreign, Opts);
+  ASSERT_EQ(R.ForeignExceptions.size(), 1u);
+  EXPECT_NE(R.ForeignExceptions[0].find("injected foreign fault"),
+            std::string::npos);
+
+  inject::FaultSpec Stall;
+  Stall.Kind = inject::FaultKind::SchedulerStall;
+  rt::RunOptions Short = Opts;
+  Short.MaxSteps = 5000;
+  R = detonateOnce(Stall, Short);
+  EXPECT_TRUE(R.StepLimitHit);
+
+  inject::FaultSpec Spin;
+  Spin.Kind = inject::FaultKind::CpuSpin;
+  rt::RunOptions Watched = Opts;
+  Watched.WatchdogMillis = 100;
+  R = detonateOnce(Spin, Watched);
+  EXPECT_TRUE(R.WatchdogFired);
+
+  inject::FaultSpec Spike;
+  Spike.Kind = inject::FaultKind::LatencySpike;
+  Spike.LatencyMicros = 100;
+  rt::RunResult Slow = detonateOnce(Spike, Opts);
+  rt::Runtime Plain(Opts);
+  rt::RunResult Fast = Plain.run(racyBody);
+  EXPECT_EQ(Slow.Steps, Fast.Steps) << "a latency spike is a benign run";
+  EXPECT_EQ(Slow.RaceCount, Fast.RaceCount);
+}
+
+// The core injection invariant: a plan that faults OTHER seeds adds zero
+// runtime interaction to this one, so the instrumented sweep is
+// bit-identical to the plain one over any non-faulted range.
+TEST(FaultInjection, NonFaultedSeedsAreBitIdentical) {
+  inject::FaultPlanOptions PO;
+  PO.FirstSeed = 1000; // Faults planned entirely outside the swept range.
+  PO.NumSeeds = 50;
+  PO.FaultRate = 1.0;
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+
+  pipeline::SweepOptions S;
+  S.FirstSeed = 1;
+  S.NumSeeds = 32;
+  pipeline::SweepResult Plain = pipeline::sweep(S, racyBody);
+
+  sweep::ResilientOptions RO =
+      sweep::resilientFrom(S, inject::instrumentedRunner(racyBody, Plan));
+  EXPECT_EQ(sweep::resilient(RO).Sweep, Plain);
+}
+
+TEST(FaultInjection, InstrumentsCountPlansAndDetonations) {
+  obs::Registry Reg;
+  inject::FaultInstruments Ins = inject::faultInstruments(&Reg);
+  inject::FaultPlanOptions PO;
+  PO.NumSeeds = 40;
+  PO.FaultRate = 0.5;
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+  inject::countPlan(Ins, Plan);
+  EXPECT_EQ(Reg.findCounter("grs_fault_planned_total")->value(),
+            Plan.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint codec
+//===----------------------------------------------------------------------===//
+
+sweep::SlotRecord randomRecord(support::Rng &Rng) {
+  sweep::SlotRecord R;
+  R.Slot = Rng.nextBelow(1 << 20);
+  R.Seed = R.Slot + 1;
+  R.Attempts = 1 + static_cast<uint32_t>(Rng.nextBelow(4));
+  R.Quarantined = Rng.chance(0.3);
+  if (R.Quarantined) {
+    R.Fault = static_cast<sweep::FaultClass>(
+        1 + Rng.nextBelow(sweep::NumFaultClasses - 1));
+    R.FaultDetail = "detail-" + std::to_string(Rng.nextBelow(1000));
+  }
+  R.Leaked = Rng.chance(0.2);
+  R.Panicked = Rng.chance(0.2);
+  R.Deadlocked = Rng.chance(0.1);
+  R.RaceCount = Rng.nextBelow(10);
+  uint64_t NumReports = Rng.nextBelow(4);
+  for (uint64_t I = 0; I < NumReports; ++I) {
+    sweep::SlotRecord::Report Rep;
+    Rep.Fp = Rng.nextBelow(~0ull >> 1);
+    Rep.Occurrences = 1 + Rng.nextBelow(5);
+    Rep.Sample = "sample report #" + std::to_string(I) + "\nwith newline";
+    R.Reports.push_back(Rep);
+  }
+  return R;
+}
+
+TEST(CheckpointCodec, RandomRecordsRoundTrip) {
+  support::Rng Rng(42);
+  for (int Case = 0; Case < 200; ++Case) {
+    sweep::SlotRecord In = randomRecord(Rng);
+    std::vector<uint8_t> Bytes;
+    sweep::encodeSlotRecord(Bytes, In);
+    sweep::SlotRecord Out;
+    size_t Pos = 0;
+    std::string Error;
+    ASSERT_TRUE(
+        sweep::decodeSlotRecord(Bytes.data(), Bytes.size(), Pos, Out, Error))
+        << "case " << Case << ": " << Error;
+    EXPECT_EQ(Pos, Bytes.size());
+    EXPECT_EQ(Out, In) << "case " << Case;
+  }
+}
+
+TEST(CheckpointCodec, TruncatedPayloadIsAnError) {
+  support::Rng Rng(7);
+  sweep::SlotRecord In = randomRecord(Rng);
+  std::vector<uint8_t> Bytes;
+  sweep::encodeSlotRecord(Bytes, In);
+  ASSERT_GT(Bytes.size(), 2u);
+  sweep::SlotRecord Out;
+  size_t Pos = 0;
+  std::string Error;
+  EXPECT_FALSE(sweep::decodeSlotRecord(Bytes.data(), Bytes.size() - 1, Pos,
+                                       Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint journal: crash consistency
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointJournal, WriteLoadRoundTrip) {
+  std::string Path = tempPath("roundtrip.ckpt");
+  sweep::CheckpointMeta Meta;
+  Meta.FirstSeed = 3;
+  Meta.NumSeeds = 10;
+  Meta.OptionsHash = 0xfeedface;
+
+  support::Rng Rng(9);
+  std::vector<sweep::SlotRecord> Records;
+  for (int I = 0; I < 8; ++I)
+    Records.push_back(randomRecord(Rng));
+
+  sweep::CheckpointWriter Writer;
+  ASSERT_TRUE(Writer.create(Path, Meta));
+  for (const sweep::SlotRecord &R : Records)
+    ASSERT_TRUE(Writer.append(R));
+  Writer.close();
+
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Path, Load, Error)) << Error;
+  EXPECT_EQ(Load.Meta, Meta);
+  EXPECT_EQ(Load.Records, Records);
+  EXPECT_EQ(Load.DroppedTailBytes, 0u);
+  std::remove(Path.c_str());
+}
+
+// Crash consistency: cut the journal anywhere inside the LAST record and
+// every earlier record survives; the partial tail is dropped, counted,
+// and NEVER an error — resume degrades to "rerun the last slot".
+TEST(CheckpointJournal, AnyTailTruncationKeepsCompleteRecords) {
+  std::string Path = tempPath("truncate.ckpt");
+  sweep::CheckpointMeta Meta;
+  Meta.FirstSeed = 1;
+  Meta.NumSeeds = 4;
+  Meta.OptionsHash = 77;
+
+  support::Rng Rng(13);
+  std::vector<sweep::SlotRecord> Records;
+  for (int I = 0; I < 4; ++I)
+    Records.push_back(randomRecord(Rng));
+
+  sweep::CheckpointWriter Writer;
+  ASSERT_TRUE(Writer.create(Path, Meta));
+  for (const sweep::SlotRecord &R : Records)
+    ASSERT_TRUE(Writer.append(R));
+  Writer.close();
+  std::vector<uint8_t> Full = readFileBytes(Path);
+
+  // The last record's on-disk footprint: length prefix + payload.
+  std::vector<uint8_t> LastPayload;
+  sweep::encodeSlotRecord(LastPayload, Records.back());
+  std::vector<uint8_t> Prefix;
+  support::putVarint(Prefix, LastPayload.size());
+  size_t LastFootprint = Prefix.size() + LastPayload.size();
+
+  for (size_t Cut = 1; Cut <= LastFootprint; ++Cut) {
+    std::vector<uint8_t> Image(Full.begin(), Full.end() - Cut);
+    sweep::CheckpointLoad Load;
+    std::string Error;
+    ASSERT_TRUE(sweep::decodeCheckpoint(Image, Load, Error))
+        << "cut " << Cut << ": " << Error;
+    ASSERT_EQ(Load.Records.size(), Records.size() - 1) << "cut " << Cut;
+    for (size_t I = 0; I + 1 < Records.size(); ++I)
+      EXPECT_EQ(Load.Records[I], Records[I]) << "cut " << Cut;
+    if (Cut < LastFootprint) {
+      EXPECT_GT(Load.DroppedTailBytes, 0u) << "cut " << Cut;
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointJournal, BadMagicIsAnError) {
+  std::vector<uint8_t> Junk = {'N', 'O', 'T', 'A', 'C', 'K', 'P', 'T',
+                               1,   0,   0,   0};
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  EXPECT_FALSE(sweep::decodeCheckpoint(Junk, Load, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Resilient executor
+//===----------------------------------------------------------------------===//
+
+TEST(Resilient, FaultFreeParityWithPipelineSweep) {
+  pipeline::SweepOptions S;
+  S.FirstSeed = 7;
+  S.NumSeeds = 40;
+  pipeline::SweepResult Base = pipeline::sweep(S, racyBody);
+  ASSERT_GT(Base.SeedsWithRaces, 0u) << "body must actually race somewhere";
+
+  sweep::ResilientOptions RO =
+      sweep::resilientFrom(S, corpus::hostBody(racyBody));
+  sweep::ResilientResult Serial = sweep::resilient(RO);
+  EXPECT_EQ(Serial.Sweep, Base);
+  EXPECT_TRUE(Serial.Quarantined.empty());
+  EXPECT_EQ(Serial.Retries, 0u);
+
+  for (unsigned Threads : {2u, 8u}) {
+    RO.Threads = Threads;
+    EXPECT_EQ(sweep::resilient(RO), Serial)
+        << Threads << " threads diverged";
+  }
+}
+
+/// The chaos recipe shared by the executor tests: a moderately faulted
+/// plan over racyBody with every fault kind enabled. Watchdog budget is
+/// generous on purpose — see the calibration note in the file comment.
+sweep::ResilientOptions chaosOptions(inject::FaultPlan &PlanOut) {
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = 7;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = 40;
+  PO.FaultRate = 0.3;
+  PO.LatencyMicros = 50;
+  PlanOut = inject::makeFaultPlan(PO);
+
+  sweep::ResilientOptions RO;
+  RO.FirstSeed = PO.FirstSeed;
+  RO.NumSeeds = PO.NumSeeds;
+  RO.Body = inject::instrumentedRunner(racyBody, PlanOut);
+  RO.Run.WatchdogMillis = 500;
+  RO.Run.MaxSteps = 20000;
+  RO.MaxAttempts = 3;
+  RO.RetryBackoffMicros = 0;
+  return RO;
+}
+
+TEST(Resilient, QuarantineIsDeterministicAndClassified) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions RO = chaosOptions(Plan);
+  ASSERT_GT(Plan.size(), 0u);
+  sweep::ResilientResult R = sweep::resilient(RO);
+
+  // Exactly the infra-faulted seeds are quarantined — panics, latency
+  // spikes and clean seeds all complete with verdicts.
+  std::set<uint64_t> Expected;
+  for (const auto &[Seed, Spec] : Plan.BySeed)
+    if (inject::isInfraFault(Spec.Kind))
+      Expected.insert(Seed);
+  std::set<uint64_t> Actual;
+  for (const sweep::SlotRecord &Q : R.Quarantined) {
+    Actual.insert(Q.Seed);
+    EXPECT_TRUE(Q.Quarantined);
+    EXPECT_NE(Q.Fault, sweep::FaultClass::None);
+    EXPECT_FALSE(Q.FaultDetail.empty());
+    EXPECT_EQ(Q.Attempts, RO.MaxAttempts)
+        << "deterministic faults must consume every attempt";
+  }
+  EXPECT_EQ(Actual, Expected);
+  // Retries: every quarantined slot burned MaxAttempts - 1 extras.
+  EXPECT_EQ(R.Retries, R.Quarantined.size() * (RO.MaxAttempts - 1));
+  // The aggregate never counts quarantined slots.
+  EXPECT_EQ(R.Sweep.SeedsRun, RO.NumSeeds - R.Quarantined.size());
+}
+
+TEST(Resilient, ThreadCountInvarianceUnderFaults) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions RO = chaosOptions(Plan);
+  sweep::ResilientResult Serial = sweep::resilient(RO);
+  ASSERT_GT(Serial.Quarantined.size(), 0u);
+  for (unsigned Threads : {2u, 8u}) {
+    RO.Threads = Threads;
+    EXPECT_EQ(sweep::resilient(RO), Serial)
+        << Threads << " threads diverged";
+  }
+}
+
+// The acceptance property: under ANY seeded FaultPlan, every slot whose
+// run was not disturbed produces a record bit-identical to the fault-free
+// sweep's record for that slot. Checked through the journals, which hold
+// the full per-slot evidence.
+TEST(Resilient, NonFaultedSlotsBitIdenticalToFaultFreeSweep) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions Faulted = chaosOptions(Plan);
+  std::string FaultedPath = tempPath("faulted.ckpt");
+  std::string CleanPath = tempPath("clean.ckpt");
+  std::remove(FaultedPath.c_str());
+  std::remove(CleanPath.c_str());
+  Faulted.CheckpointPath = FaultedPath;
+
+  sweep::ResilientOptions Clean = Faulted;
+  Clean.Body = corpus::hostBody(racyBody);
+  Clean.CheckpointPath = CleanPath;
+
+  sweep::ResilientResult FR = sweep::resilient(Faulted);
+  sweep::ResilientResult CR = sweep::resilient(Clean);
+  ASSERT_TRUE(FR.CheckpointError.empty()) << FR.CheckpointError;
+  ASSERT_TRUE(CR.CheckpointError.empty()) << CR.CheckpointError;
+  EXPECT_TRUE(CR.Quarantined.empty());
+
+  sweep::CheckpointLoad FaultedLoad, CleanLoad;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(FaultedPath, FaultedLoad, Error))
+      << Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(CleanPath, CleanLoad, Error)) << Error;
+  ASSERT_EQ(FaultedLoad.Records.size(), Faulted.NumSeeds);
+  ASSERT_EQ(CleanLoad.Records.size(), Faulted.NumSeeds);
+
+  std::map<uint64_t, sweep::SlotRecord> BySlotFaulted, BySlotClean;
+  for (const sweep::SlotRecord &R : FaultedLoad.Records)
+    BySlotFaulted[R.Slot] = R;
+  for (const sweep::SlotRecord &R : CleanLoad.Records)
+    BySlotClean[R.Slot] = R;
+
+  size_t Compared = 0;
+  for (const auto &[Slot, CleanRec] : BySlotClean) {
+    const inject::FaultSpec *Spec = Plan.faultFor(CleanRec.Seed);
+    // Latency spikes are benign: those slots must be identical too.
+    if (Spec && Spec->Kind != inject::FaultKind::LatencySpike)
+      continue;
+    ASSERT_TRUE(BySlotFaulted.count(Slot)) << "slot " << Slot << " lost";
+    EXPECT_EQ(BySlotFaulted[Slot], CleanRec) << "slot " << Slot;
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 0u);
+  std::remove(FaultedPath.c_str());
+  std::remove(CleanPath.c_str());
+}
+
+TEST(Resilient, TruncatedJournalResumesBitIdentical) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions RO = chaosOptions(Plan);
+  std::string Path = tempPath("resume.ckpt");
+  std::remove(Path.c_str());
+  RO.CheckpointPath = Path;
+  sweep::ResilientResult Original = sweep::resilient(RO);
+  ASSERT_TRUE(Original.CheckpointError.empty()) << Original.CheckpointError;
+
+  // Simulate a crash mid-append: chop bytes off the journal tail.
+  std::vector<uint8_t> Full = readFileBytes(Path);
+  ASSERT_GT(Full.size(), 7u);
+  writeFileBytes(Path, std::vector<uint8_t>(Full.begin(), Full.end() - 7));
+
+  sweep::ResilientOptions Resumed = RO;
+  Resumed.Resume = true;
+  sweep::ResilientResult R = sweep::resilient(Resumed);
+  EXPECT_TRUE(R.CheckpointError.empty()) << R.CheckpointError;
+  EXPECT_EQ(R.ResumedSlots, RO.NumSeeds - 1)
+      << "only the slot whose record was cut should rerun";
+  EXPECT_EQ(R.Sweep, Original.Sweep);
+  EXPECT_EQ(R.Quarantined, Original.Quarantined);
+
+  // No lost slot records: after the resume the journal covers every slot.
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Path, Load, Error)) << Error;
+  std::set<uint64_t> Slots;
+  for (const sweep::SlotRecord &Rec : Load.Records)
+    Slots.insert(Rec.Slot);
+  EXPECT_EQ(Slots.size(), RO.NumSeeds);
+  std::remove(Path.c_str());
+}
+
+TEST(Resilient, MetaMismatchRefusesToClobber) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions RO = chaosOptions(Plan);
+  std::string Path = tempPath("mismatch.ckpt");
+  std::remove(Path.c_str());
+  RO.CheckpointPath = Path;
+  sweep::ResilientResult Original = sweep::resilient(RO);
+  ASSERT_TRUE(Original.CheckpointError.empty());
+  std::vector<uint8_t> Before = readFileBytes(Path);
+
+  // A different recipe must not reuse (or destroy) this journal.
+  sweep::ResilientOptions Other = RO;
+  Other.NumSeeds = RO.NumSeeds / 2;
+  Other.Resume = true;
+  sweep::ResilientResult R = sweep::resilient(Other);
+  EXPECT_FALSE(R.CheckpointError.empty());
+  EXPECT_EQ(R.ResumedSlots, 0u);
+  EXPECT_EQ(R.Sweep.SeedsRun + R.Quarantined.size(), Other.NumSeeds)
+      << "the sweep itself must still complete";
+  EXPECT_EQ(readFileBytes(Path), Before)
+      << "a foreign journal must never be modified";
+  std::remove(Path.c_str());
+}
+
+TEST(Resilient, InstrumentsExported) {
+  inject::FaultPlan Plan;
+  sweep::ResilientOptions RO = chaosOptions(Plan);
+  obs::Registry Reg;
+  RO.Metrics = &Reg;
+  sweep::ResilientResult R = sweep::resilient(RO);
+  ASSERT_GT(R.Quarantined.size(), 0u);
+
+  EXPECT_EQ(Reg.findCounter("grs_resilience_runs_total")->value(),
+            RO.NumSeeds);
+  EXPECT_EQ(Reg.findCounter("grs_resilience_retries_total")->value(),
+            R.Retries);
+  uint64_t Quarantined = 0;
+  for (size_t C = 1; C < sweep::NumFaultClasses; ++C)
+    if (const obs::Counter *Counter = Reg.findCounter(
+            "grs_resilience_quarantined_total",
+            {{"class",
+              sweep::faultClassName(static_cast<sweep::FaultClass>(C))}}))
+      Quarantined += Counter->value();
+  EXPECT_EQ(Quarantined, R.Quarantined.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive sweep hardening
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptiveHardening, DisturbedRunsCountedAndExcludedFromFeedback) {
+  // Foreign-exception faults only: cheap (no watchdog waits) and
+  // unambiguous — every faulted run is disturbed, nothing else is.
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = 3;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = 40;
+  PO.FaultRate = 0.25;
+  for (size_t K = 0; K < inject::NumFaultKinds; ++K)
+    PO.Weights[K] = 0.0;
+  PO.Weights[static_cast<size_t>(inject::FaultKind::ForeignException)] = 1.0;
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+  ASSERT_GT(Plan.size(), 0u);
+
+  sweep::AdaptiveOptions A;
+  A.FirstSeed = 1;
+  A.NumRuns = 40;
+  A.PlannerSeed = 5;
+  A.Body = inject::instrumentedRunner(racyBody, Plan);
+  obs::Registry Reg;
+  A.Metrics = &Reg;
+  sweep::AdaptiveResult R = sweep::adaptive(A);
+
+  EXPECT_GT(R.FaultedRuns, 0u);
+  EXPECT_EQ(R.Sweep.SeedsRun, A.NumRuns)
+      << "disturbed runs still spend budget";
+  EXPECT_EQ(Reg.findCounter("grs_sweep_faulted_runs_total")->value(),
+            R.FaultedRuns);
+
+  // Deterministic injector: retrying a disturbed run reproduces it, so
+  // MaxAttempts must not change the result at all.
+  sweep::AdaptiveOptions Retry = A;
+  Retry.Metrics = nullptr;
+  Retry.MaxAttempts = 3;
+  EXPECT_EQ(sweep::adaptive(Retry), R);
+
+  // And the hardened planner stays thread-invariant under faults.
+  sweep::AdaptiveOptions Threaded = A;
+  Threaded.Metrics = nullptr;
+  sweep::AdaptiveResult Serial = sweep::adaptive(Threaded);
+  Threaded.Threads = 8;
+  EXPECT_EQ(sweep::adaptive(Threaded), Serial);
+}
+
+//===----------------------------------------------------------------------===//
+// Deployment fault model
+//===----------------------------------------------------------------------===//
+
+TEST(DeploymentFaults, DefaultsStayFaultFree) {
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  pipeline::DeploymentSimulator Sim(Config);
+  pipeline::DeploymentOutcome O = Sim.run();
+  EXPECT_EQ(O.SnapshotHangs, 0u);
+  EXPECT_EQ(O.SnapshotCrashes, 0u);
+  EXPECT_EQ(O.SnapshotFlaky, 0u);
+}
+
+TEST(DeploymentFaults, RatesSurfaceDeterministically) {
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  Config.TestHangProb = 0.002;
+  Config.TestCrashProb = 0.003;
+  Config.FlakyInfraProb = 0.01;
+
+  auto RunOnce = [&Config] {
+    pipeline::DeploymentSimulator Sim(Config);
+    return Sim.run();
+  };
+  pipeline::DeploymentOutcome A = RunOnce();
+  EXPECT_GT(A.SnapshotHangs + A.SnapshotCrashes + A.SnapshotFlaky, 0u)
+      << "positive rates over 60 days of runs must lose something";
+  EXPECT_GE(A.TotalDetectedRaces, A.TotalFixedTasks);
+
+  pipeline::DeploymentOutcome B = RunOnce();
+  EXPECT_EQ(A.SnapshotHangs, B.SnapshotHangs);
+  EXPECT_EQ(A.SnapshotCrashes, B.SnapshotCrashes);
+  EXPECT_EQ(A.SnapshotFlaky, B.SnapshotFlaky);
+  EXPECT_EQ(A.TotalDetectedRaces, B.TotalDetectedRaces);
+  EXPECT_EQ(A.TotalFixedTasks, B.TotalFixedTasks);
+  EXPECT_EQ(A.Outstanding.Values, B.Outstanding.Values);
+
+  pipeline::DeploymentSimulator Sim(Config);
+  Sim.run();
+  obs::Registry &Reg = Sim.metrics();
+  EXPECT_EQ(Reg.findCounter("grs_pipeline_snapshot_hangs_total")->value(),
+            A.SnapshotHangs);
+  EXPECT_EQ(Reg.findCounter("grs_pipeline_snapshot_crashes_total")->value(),
+            A.SnapshotCrashes);
+  EXPECT_EQ(Reg.findCounter("grs_pipeline_snapshot_flaky_total")->value(),
+            A.SnapshotFlaky);
+  double Loss = Reg.findGauge("grs_pipeline_snapshot_loss_ratio")->value();
+  EXPECT_GE(Loss, 0.0);
+  EXPECT_LE(Loss, 1.0);
+}
+
+} // namespace
