@@ -1,0 +1,329 @@
+//===- bench/bench_isolation.cpp - Fork-per-slot sandbox benchmark --------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Measures what PROCESS-level isolation costs and guarantees — the §3.5
+// question once tests can die in ways no in-process machinery survives:
+//
+//  1. fork/pipe overhead — fault-free sweep wall-clock under
+//     sweep::isolated vs the in-process sweep::resilient path, plus the
+//     PARITY CHECK: {isolated serial, isolated parallel, fork-free}
+//     merged results must be bit-identical for fault-free sweeps;
+//  2. containment under LETHAL fault rates 0 / 1 / 5 / 20% — child
+//     deaths by class, respawns, completion rate, and the invariant that
+//     no non-faulted slot's record is ever lost or altered (checked per
+//     slot through the checkpoint journals).
+//
+// Gates (exit nonzero, so CI needs no JSON parsing):
+//  * any parity violation;
+//  * at the 5% lethal rate: completion < 0.99 or any lost/altered
+//    non-faulted slot record (the PR's acceptance criterion — transient
+//    crashers respawn and complete, only chronic ones may quarantine);
+//  * any lost/altered non-faulted record at ANY rate.
+//
+// Results are emitted as one JSON object on stdout; progress to stderr.
+//
+// Usage: bench_isolation [--smoke] [--out FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "inject/Fault.h"
+#include "rt/Instr.h"
+#include "sweep/Isolated.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace grs;
+
+namespace {
+
+struct BenchConfig {
+  uint64_t NumSeeds = 160; // slots per sweep, per lethal rate
+  uint32_t MaxAttempts = 3;
+  unsigned Threads = 4;
+  uint64_t SlotsPerChild = 8;
+};
+
+/// Schedule-dependent race: the sweeps need real verdict structure for
+/// the containment comparison to bite on.
+void racyBody() {
+  auto X = std::make_shared<rt::Shared<int>>("x", 0);
+  rt::Runtime &RT = rt::Runtime::current();
+  RT.go("writer", [X] { X->store(1); });
+  X->store(2);
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+std::string tempJournal(const std::string &Name) {
+  return (std::filesystem::temp_directory_path() /
+          ("grs-bench-isolation-" + Name + ".ckpt"))
+      .string();
+}
+
+sweep::IsolatedOptions makeOptions(const BenchConfig &Cfg,
+                                   sweep::Runner Body) {
+  sweep::IsolatedOptions IO;
+  IO.Base.FirstSeed = 1;
+  IO.Base.NumSeeds = Cfg.NumSeeds;
+  IO.Base.Threads = Cfg.Threads;
+  IO.Base.MaxAttempts = Cfg.MaxAttempts;
+  IO.Base.RetryBackoffMicros = 0;
+  IO.Base.Body = std::move(Body);
+  IO.SlotsPerChild = Cfg.SlotsPerChild;
+  return IO;
+}
+
+/// A fault plan of ONLY process-lethal kinds (equal weights) at \p Rate.
+inject::FaultPlan lethalPlan(const BenchConfig &Cfg, double Rate) {
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = 2027;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = Cfg.NumSeeds;
+  PO.FaultRate = Rate;
+  for (size_t K = 0; K < inject::NumFaultKinds; ++K)
+    PO.Weights[K] =
+        inject::isLethalFault(static_cast<inject::FaultKind>(K)) ? 1.0 : 0.0;
+  return inject::makeFaultPlan(PO);
+}
+
+struct RateResult {
+  double Rate = 0.0;
+  uint64_t PlannedFaults = 0;
+  uint64_t ChronicFaults = 0;
+  uint64_t ChildSpawns = 0;
+  uint64_t Deaths = 0;
+  uint64_t DeathsSignal = 0;
+  uint64_t DeathsOom = 0;
+  uint64_t Respawns = 0;
+  uint64_t Quarantined = 0;
+  double CompletionRate = 1.0;
+  uint64_t LostNonFaultedSlots = 0;
+  double ElapsedMs = 0.0;
+};
+
+void emitJson(FILE *Out, const BenchConfig &Cfg, double InProcessMs,
+              double IsolatedMs, bool Parity,
+              const std::vector<RateResult> &Rates) {
+  std::fprintf(Out,
+               "{\n  \"num_seeds\": %llu,\n  \"max_attempts\": %u,\n"
+               "  \"threads\": %u,\n  \"slots_per_child\": %llu,\n",
+               static_cast<unsigned long long>(Cfg.NumSeeds),
+               Cfg.MaxAttempts, Cfg.Threads,
+               static_cast<unsigned long long>(Cfg.SlotsPerChild));
+  double PerSlotUs = Cfg.NumSeeds
+                         ? (IsolatedMs - InProcessMs) * 1000.0 /
+                               static_cast<double>(Cfg.NumSeeds)
+                         : 0.0;
+  std::fprintf(Out,
+               "  \"overhead\": {\"in_process_ms\": %.1f, "
+               "\"isolated_ms\": %.1f, \"per_slot_us\": %.1f, "
+               "\"parity\": %s},\n",
+               InProcessMs, IsolatedMs, PerSlotUs, Parity ? "true" : "false");
+  std::fprintf(Out, "  \"lethal_rates\": [\n");
+  for (size_t I = 0; I < Rates.size(); ++I) {
+    const RateResult &R = Rates[I];
+    std::fprintf(
+        Out,
+        "    {\"rate\": %.2f, \"planned_faults\": %llu, "
+        "\"chronic_faults\": %llu, \"child_spawns\": %llu, "
+        "\"deaths\": %llu, \"deaths_signal\": %llu, \"deaths_oom\": %llu, "
+        "\"respawns\": %llu, \"quarantined\": %llu, "
+        "\"completion_rate\": %.4f, \"lost_nonfaulted_slots\": %llu, "
+        "\"elapsed_ms\": %.1f}%s\n",
+        R.Rate, static_cast<unsigned long long>(R.PlannedFaults),
+        static_cast<unsigned long long>(R.ChronicFaults),
+        static_cast<unsigned long long>(R.ChildSpawns),
+        static_cast<unsigned long long>(R.Deaths),
+        static_cast<unsigned long long>(R.DeathsSignal),
+        static_cast<unsigned long long>(R.DeathsOom),
+        static_cast<unsigned long long>(R.Respawns),
+        static_cast<unsigned long long>(R.Quarantined), R.CompletionRate,
+        static_cast<unsigned long long>(R.LostNonFaultedSlots), R.ElapsedMs,
+        I + 1 < Rates.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg;
+  const char *OutPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--smoke")) {
+      Cfg.NumSeeds = 100; // still enough slots for the 1% rate to bite
+    } else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: bench_isolation [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (!sweep::forkAvailable()) {
+    std::fprintf(stderr, "bench_isolation: no fork() on this platform; "
+                         "nothing to measure\n");
+    return 0;
+  }
+
+  int Status = 0;
+
+  //===--------------------------------------------------------------------===//
+  // 1. Overhead + fault-free parity across executors.
+  //===--------------------------------------------------------------------===//
+  sweep::IsolatedOptions Base =
+      makeOptions(Cfg, corpus::hostBody(racyBody));
+
+  auto StartIP = std::chrono::steady_clock::now();
+  sweep::ResilientResult InProcess = sweep::resilient(Base.Base);
+  double InProcessMs = elapsedMs(StartIP);
+
+  auto StartIso = std::chrono::steady_clock::now();
+  sweep::IsolatedResult Parallel = sweep::isolated(Base);
+  double IsolatedMs = elapsedMs(StartIso);
+
+  sweep::IsolatedOptions SerialOpts = Base;
+  SerialOpts.Base.Threads = 1;
+  sweep::IsolatedResult Serial = sweep::isolated(SerialOpts);
+
+  sweep::IsolatedOptions ForkFreeOpts = Base;
+  ForkFreeOpts.ForceForkFree = true;
+  sweep::IsolatedResult ForkFree = sweep::isolated(ForkFreeOpts);
+
+  bool Parity = Parallel.Res == InProcess && Serial.Res == InProcess &&
+                ForkFree.Res == InProcess;
+  if (!Parity) {
+    std::fprintf(stderr, "PARITY VIOLATION: fault-free {serial, parallel, "
+                         "fork-free} results diverged\n");
+    Status = 1;
+  }
+  std::fprintf(stderr,
+               "overhead: in-process %.0fms, isolated %.0fms "
+               "(%llu children), parity %s\n",
+               InProcessMs, IsolatedMs,
+               static_cast<unsigned long long>(Parallel.ChildSpawns),
+               Parity ? "ok" : "BROKEN");
+
+  //===--------------------------------------------------------------------===//
+  // 2. Containment under lethal fault rates. Ground truth: the
+  //    fault-free journal, compared per slot.
+  //===--------------------------------------------------------------------===//
+  std::string BaselinePath = tempJournal("baseline");
+  std::remove(BaselinePath.c_str());
+  sweep::IsolatedOptions Baseline = Base;
+  Baseline.Base.CheckpointPath = BaselinePath;
+  sweep::IsolatedResult BaselineResult = sweep::isolated(Baseline);
+  sweep::CheckpointLoad BaselineLoad;
+  std::string Error;
+  if (!BaselineResult.Res.CheckpointError.empty() ||
+      !sweep::loadCheckpoint(BaselinePath, BaselineLoad, Error)) {
+    std::fprintf(stderr, "bench_isolation: baseline journal failed: %s%s\n",
+                 BaselineResult.Res.CheckpointError.c_str(), Error.c_str());
+    return 1;
+  }
+  std::map<uint64_t, sweep::SlotRecord> BaselineBySlot;
+  for (const sweep::SlotRecord &R : BaselineLoad.Records)
+    BaselineBySlot[R.Slot] = R;
+  std::remove(BaselinePath.c_str());
+
+  std::vector<RateResult> Rates;
+  for (double Rate : {0.0, 0.01, 0.05, 0.20}) {
+    inject::FaultPlan Plan = lethalPlan(Cfg, Rate);
+    std::string Path = tempJournal("rate");
+    std::remove(Path.c_str());
+    sweep::IsolatedOptions IO =
+        makeOptions(Cfg, inject::instrumentedRunner(racyBody, Plan));
+    IO.Base.CheckpointPath = Path;
+    auto Start = std::chrono::steady_clock::now();
+    sweep::IsolatedResult R = sweep::isolated(IO);
+
+    RateResult Row;
+    Row.Rate = Rate;
+    Row.ElapsedMs = elapsedMs(Start);
+    Row.PlannedFaults = Plan.size();
+    for (const auto &[Seed, Spec] : Plan.BySeed)
+      Row.ChronicFaults += Spec.LethalAttempts == UINT32_MAX;
+    Row.ChildSpawns = R.ChildSpawns;
+    Row.Deaths = R.deaths();
+    Row.DeathsSignal =
+        R.DeathsByClass[static_cast<size_t>(sweep::FaultClass::Signal)];
+    Row.DeathsOom =
+        R.DeathsByClass[static_cast<size_t>(sweep::FaultClass::OomKill)];
+    Row.Respawns = R.Respawns;
+    Row.Quarantined = R.Res.Quarantined.size();
+    Row.CompletionRate =
+        static_cast<double>(Cfg.NumSeeds - Row.Quarantined) /
+        static_cast<double>(Cfg.NumSeeds);
+
+    // The containment invariant: every non-faulted slot's record is
+    // bit-identical to the fault-free baseline's.
+    sweep::CheckpointLoad Load;
+    if (R.Res.CheckpointError.empty() &&
+        sweep::loadCheckpoint(Path, Load, Error)) {
+      std::map<uint64_t, sweep::SlotRecord> BySlot;
+      for (const sweep::SlotRecord &Rec : Load.Records)
+        BySlot[Rec.Slot] = Rec;
+      for (const auto &[Slot, BaseRec] : BaselineBySlot) {
+        if (Plan.faulted(BaseRec.Seed))
+          continue;
+        auto It = BySlot.find(Slot);
+        if (It == BySlot.end() || !(It->second == BaseRec))
+          ++Row.LostNonFaultedSlots;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "bench_isolation: journal failed at rate %.2f: %s%s\n",
+                   Rate, R.Res.CheckpointError.c_str(), Error.c_str());
+      Status = 1;
+    }
+    std::remove(Path.c_str());
+
+    if (Row.LostNonFaultedSlots) {
+      std::fprintf(stderr,
+                   "CONTAINMENT VIOLATION: rate %.2f lost %llu "
+                   "non-faulted slots\n",
+                   Rate,
+                   static_cast<unsigned long long>(Row.LostNonFaultedSlots));
+      Status = 1;
+    }
+    if (Rate == 0.05 && Row.CompletionRate < 0.99) {
+      std::fprintf(stderr,
+                   "COMPLETION VIOLATION: rate 0.05 completed %.4f < 0.99\n",
+                   Row.CompletionRate);
+      Status = 1;
+    }
+    std::fprintf(stderr,
+                 "rate %.2f: %llu faults (%llu chronic), %llu deaths, "
+                 "%llu respawns, completion %.4f, %.0fms\n",
+                 Rate, static_cast<unsigned long long>(Row.PlannedFaults),
+                 static_cast<unsigned long long>(Row.ChronicFaults),
+                 static_cast<unsigned long long>(Row.Deaths),
+                 static_cast<unsigned long long>(Row.Respawns),
+                 Row.CompletionRate, Row.ElapsedMs);
+    Rates.push_back(Row);
+  }
+
+  emitJson(stdout, Cfg, InProcessMs, IsolatedMs, Parity, Rates);
+  if (OutPath) {
+    if (FILE *F = std::fopen(OutPath, "w")) {
+      emitJson(F, Cfg, InProcessMs, IsolatedMs, Parity, Rates);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "bench_isolation: cannot write %s\n", OutPath);
+      return 2;
+    }
+  }
+  return Status;
+}

@@ -53,7 +53,9 @@ struct BenchConfig {
   // Generous relative to innocent run durations on purpose: a tight
   // budget lets concurrent CPU-spin saboteurs slow INNOCENT runs into
   // the soft watchdog path, which breaks determinism (DESIGN.md §9).
-  uint64_t WatchdogMillis = 400;
+  // Calibrated: 400ms floor, scaled up by the startup scheduler probe
+  // on slow hosts so the determinism margin survives CI (DESIGN.md §10).
+  uint64_t WatchdogMillis = rt::calibratedWatchdogBudgetMillis(400);
   unsigned WatchdogTrials = 5;
   uint64_t WatchdogBudgetMillis = 60; // budget for the latency probe
 };

@@ -5,9 +5,15 @@
 #include "rt/Channel.h"
 #include "support/Rng.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <stdexcept>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace grs;
 using namespace grs::inject;
@@ -24,6 +30,14 @@ const char *inject::faultKindName(FaultKind Kind) {
     return "cpu_spin";
   case FaultKind::LatencySpike:
     return "latency_spike";
+  case FaultKind::HeapExhaustion:
+    return "heap_exhaustion";
+  case FaultKind::WildWrite:
+    return "wild_write";
+  case FaultKind::StackOverflow:
+    return "stack_overflow";
+  case FaultKind::AbortCall:
+    return "abort_call";
   }
   return "unknown";
 }
@@ -33,6 +47,10 @@ bool inject::isInfraFault(FaultKind Kind) {
   case FaultKind::ForeignException:
   case FaultKind::SchedulerStall:
   case FaultKind::CpuSpin:
+  case FaultKind::HeapExhaustion:
+  case FaultKind::WildWrite:
+  case FaultKind::StackOverflow:
+  case FaultKind::AbortCall:
     return true;
   case FaultKind::GoPanic:
   case FaultKind::LatencySpike:
@@ -40,6 +58,25 @@ bool inject::isInfraFault(FaultKind Kind) {
   }
   return false;
 }
+
+bool inject::isLethalFault(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::HeapExhaustion:
+  case FaultKind::WildWrite:
+  case FaultKind::StackOverflow:
+  case FaultKind::AbortCall:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+std::atomic<bool> SandboxFlag{false};
+} // namespace
+
+void inject::enterSandbox() { SandboxFlag.store(true); }
+bool inject::inSandbox() { return SandboxFlag.load(); }
 
 FaultPlan inject::makeFaultPlan(const FaultPlanOptions &Opts) {
   FaultPlan Plan;
@@ -62,6 +99,11 @@ FaultPlan inject::makeFaultPlan(const FaultPlanOptions &Opts) {
       Spec.Site = static_cast<PanicSite>(Rng.nextBelow(NumPanicSites));
     if (Spec.Kind == FaultKind::LatencySpike)
       Spec.LatencyMicros = Opts.LatencyMicros;
+    // The chronic draw consumes RNG only for lethal kinds, which default
+    // to weight 0: plans without them are bit-identical to PR-4 plans.
+    if (isLethalFault(Spec.Kind))
+      Spec.LethalAttempts =
+          Rng.chance(Opts.LethalChronicFraction) ? UINT32_MAX : 1;
     Plan.BySeed.emplace(Seed, Spec);
   }
   return Plan;
@@ -100,6 +142,59 @@ void panicAtSite(PanicSite Site) {
   }
 }
 
+/// Unbounded large-frame recursion. The volatile stores defeat tail-call
+/// and frame collapsing; the fiber stack is a dedicated mapping, so the
+/// runaway frames exit it into unmapped pages for a clean SIGSEGV.
+[[gnu::noinline]] uint64_t burnStack(uint64_t Depth) {
+  volatile char Frame[4096];
+  Frame[0] = static_cast<char>(Depth);
+  Frame[sizeof(Frame) - 1] = Frame[0];
+  // Never true at runtime, but the volatile read is opaque to the
+  // compiler, so the recursion is not provably (or warnably) infinite.
+  if (Frame[0] != static_cast<char>(Depth))
+    return Depth;
+  return burnStack(Depth + 1) + Frame[sizeof(Frame) - 1];
+}
+
+/// Allocates until the allocator fails (RLIMIT_AS in a sandboxed child),
+/// then exits with OomExitCode — the deterministic stand-in for a kernel
+/// OOM kill. The new_handler keeps bad_alloc from unwinding into the
+/// fiber machinery.
+[[noreturn]] void exhaustHeap() {
+  std::set_new_handler([] { _exit(OomExitCode); });
+  for (;;) {
+    char *Block = new char[1 << 20];
+    std::memset(Block, 0x5A, 1 << 20); // force commit; deliberately leaked
+  }
+}
+
+/// Detonates a lethal fault for real: the process does not survive this.
+[[noreturn]] void detonateLethal(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::HeapExhaustion:
+    exhaustHeap();
+  case FaultKind::WildWrite: {
+    // Page zero is never mapped; the store is a guaranteed SIGSEGV. The
+    // volatile address cell keeps the optimizer from proving (and
+    // warning about) the dereference target.
+    static volatile uintptr_t WildAddress = 8;
+    *reinterpret_cast<volatile uint64_t *>(WildAddress) = 0xDEADBEEF;
+    break;
+  }
+  case FaultKind::StackOverflow:
+    burnStack(0);
+    break;
+  case FaultKind::AbortCall:
+    std::abort();
+  default:
+    break;
+  }
+  // A lethal fault that somehow returned (e.g. the wild store was
+  // tolerated) must still kill the process: the parent's classification
+  // depends on it.
+  std::abort();
+}
+
 } // namespace
 
 void inject::detonate(const FaultSpec &Spec) {
@@ -110,6 +205,24 @@ void inject::detonate(const FaultSpec &Spec) {
     return;
   }
   rt::Runtime &RT = rt::Runtime::current();
+  if (isLethalFault(Spec.Kind)) {
+    // Attempt-gated: past LethalAttempts the crasher has "recovered" and
+    // the run is the unmodified body (bit-identical to fault-free).
+    if (RT.options().Attempt > Spec.LethalAttempts)
+      return;
+    if (!inSandbox()) {
+      // No sandbox to die in: downgrade to a foreign C++ exception so the
+      // in-process resilient path quarantines the slot instead of the
+      // harness dying.
+      RT.go("inject.lethal-downgrade", [Kind = Spec.Kind] {
+        throw std::runtime_error(
+            std::string("injected lethal fault (no sandbox): ") +
+            faultKindName(Kind));
+      });
+      return;
+    }
+    detonateLethal(Spec.Kind);
+  }
   switch (Spec.Kind) {
   case FaultKind::GoPanic:
     RT.go("inject.panicker", [Site = Spec.Site] { panicAtSite(Site); });
@@ -137,6 +250,10 @@ void inject::detonate(const FaultSpec &Spec) {
     });
     break;
   case FaultKind::LatencySpike:
+  case FaultKind::HeapExhaustion:
+  case FaultKind::WildWrite:
+  case FaultKind::StackOverflow:
+  case FaultKind::AbortCall:
     break; // handled above
   }
 }

@@ -39,6 +39,26 @@
 ///   LatencySpike     wall-clock sleep before the body, no runtime calls
 ///                    -> result bit-identical (a benign slow run)
 ///
+/// PROCESS-LETHAL kinds (PR 5): faults no in-process machinery can
+/// contain — the paper's fleet survived them only because each test ran
+/// in its own process, and so does our sweep::isolated executor. Inside
+/// a sandboxed child (inject::enterSandbox) they kill the process and
+/// the parent classifies the death; outside a sandbox they DOWNGRADE to
+/// a foreign C++ exception so the PR-4 in-process path quarantines the
+/// slot instead of the harness dying:
+///
+///   HeapExhaustion   allocate until RLIMIT_AS fails the allocator
+///                    -> child _exit(OomExitCode) (FaultClass::OomKill)
+///   WildWrite        store through a wild pointer -> SIGSEGV
+///   StackOverflow    unbounded recursion off the fiber stack -> SIGSEGV
+///   AbortCall        std::abort() -> SIGABRT
+///
+/// Lethal faults model real-world crash flakiness: FaultSpec::
+/// LethalAttempts bounds the attempts (RunOptions::Attempt) on which the
+/// fault detonates — a TRANSIENT crasher recovers on the next attempt in
+/// a fresh child, a CHRONIC one (UINT32_MAX) dies every time and is
+/// quarantined. Detonation stays a pure function of (seed, attempt).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRS_INJECT_FAULT_H
@@ -63,9 +83,15 @@ enum class FaultKind : uint8_t {
   SchedulerStall,
   CpuSpin,
   LatencySpike,
+  // Process-lethal kinds: only sweep::isolated can contain these (see
+  // file comment; outside a sandbox they downgrade to ForeignException).
+  HeapExhaustion,
+  WildWrite,
+  StackOverflow,
+  AbortCall,
 };
 
-inline constexpr size_t NumFaultKinds = 5;
+inline constexpr size_t NumFaultKinds = 9;
 
 /// Stable lower-case name of \p Kind (instrument label / diagnostics).
 const char *faultKindName(FaultKind Kind);
@@ -88,15 +114,46 @@ struct FaultSpec {
   PanicSite Site = PanicSite::Channel;
   /// LatencySpike only: how long the inline wall-clock sleep lasts.
   uint64_t LatencyMicros = 0;
+  /// Lethal kinds only: the fault detonates while RunOptions::Attempt <=
+  /// LethalAttempts. 1 models a transient crasher (recovers on the first
+  /// respawn), UINT32_MAX a chronic one (dies every attempt). Ignored by
+  /// non-lethal kinds, which detonate on every attempt as before.
+  uint32_t LethalAttempts = 1;
 
   bool operator==(const FaultSpec &) const = default;
 };
 
 /// True for kinds that invalidate the run's verdict (the run's outcome
 /// reflects infrastructure misbehaviour, not the program under test):
-/// ForeignException, SchedulerStall, CpuSpin. GoPanic is a legitimate
-/// program verdict and LatencySpike does not change the result at all.
+/// ForeignException, SchedulerStall, CpuSpin, and every lethal kind.
+/// GoPanic is a legitimate program verdict and LatencySpike does not
+/// change the result at all.
 bool isInfraFault(FaultKind Kind);
+
+/// True for kinds that kill the whole process when sandboxed:
+/// HeapExhaustion, WildWrite, StackOverflow, AbortCall.
+bool isLethalFault(FaultKind Kind);
+
+//===----------------------------------------------------------------------===//
+// Sandbox gating
+//
+// Lethal faults must only actually kill a process whose death something
+// contains. sweep::isolated's forked child calls enterSandbox() before
+// running its slots; detonate() consults inSandbox() and, outside one,
+// downgrades lethal kinds to a foreign C++ exception the PR-4 in-process
+// machinery quarantines. The flag is process-global and one-way (a child
+// never leaves its sandbox; the fork-free parent never enters one).
+//===----------------------------------------------------------------------===//
+
+/// Marks this process as a sandboxed sweep child: lethal faults are now
+/// allowed to kill it.
+void enterSandbox();
+bool inSandbox();
+
+/// Process exit code a sandboxed child uses for allocation failure under
+/// RLIMIT_AS (the deterministic stand-in for a kernel OOM kill, which
+/// cannot be provoked safely). Parents map it to FaultClass::OomKill.
+inline constexpr int OomExitCode = 97;
 
 /// Recipe for a FaultPlan over a sweep's seed range.
 struct FaultPlanOptions {
@@ -109,10 +166,17 @@ struct FaultPlanOptions {
   /// Probability that a given run seed is faulted.
   double FaultRate = 0.05;
   /// Relative weights of the fault kinds (0 disables a kind). Defaults
-  /// exercise everything equally.
-  double Weights[NumFaultKinds] = {1, 1, 1, 1, 1};
+  /// exercise the PR-4 in-process kinds equally and DISABLE the lethal
+  /// kinds (weights and plan draws are unchanged for pre-isolation
+  /// callers); enable lethal kinds explicitly for sandboxed sweeps.
+  double Weights[NumFaultKinds] = {1, 1, 1, 1, 1, 0, 0, 0, 0};
   /// Duration of LatencySpike sleeps.
   uint64_t LatencyMicros = 200;
+  /// Fraction of lethal faults that are CHRONIC (LethalAttempts =
+  /// UINT32_MAX, die on every attempt); the rest are transient
+  /// (LethalAttempts = 1). The chronic draw consumes RNG only for lethal
+  /// kinds, so plans without them are bit-identical to PR-4 plans.
+  double LethalChronicFraction = 0.1;
 };
 
 /// A precomputed, immutable schedule of faults for one sweep.
@@ -141,6 +205,9 @@ FaultPlan makeFaultPlan(const FaultPlanOptions &Opts);
 /// goroutine (uses rt::Runtime::current()). GoPanic / ForeignException /
 /// SchedulerStall / CpuSpin spawn a "saboteur" goroutine so the host body
 /// still runs; LatencySpike sleeps inline without touching the runtime.
+/// Lethal kinds consult RunOptions::Attempt (no detonation past
+/// LethalAttempts — the run is then the unmodified body) and inSandbox()
+/// (outside a sandbox they throw instead of killing the process).
 void detonate(const FaultSpec &Spec);
 
 /// Wraps \p Body so each run consults \p Plan by its own seed

@@ -1,0 +1,164 @@
+//===- obs/Http.cpp - Minimal Prometheus /metrics endpoint ----------------===//
+
+#include "obs/Http.h"
+
+#include "obs/Export.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRS_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define GRS_HAVE_SOCKETS 0
+#endif
+
+using namespace grs;
+using namespace grs::obs;
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::publish(std::string Text) {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  Snapshot = std::move(Text);
+}
+
+void MetricsServer::publishRegistry(const Registry &Reg) {
+  // Render outside the lock: prometheusText walks the registry, which
+  // belongs to the calling thread, and can be arbitrarily large.
+  publish(prometheusText(Reg));
+}
+
+#if GRS_HAVE_SOCKETS
+
+bool MetricsServer::start(uint16_t Port) {
+  if (Running.load())
+    return false;
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // loopback only
+  Addr.sin_port = htons(Port);
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      listen(Fd, 8) != 0) {
+    close(Fd);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    close(Fd);
+    return false;
+  }
+  ListenFd = Fd;
+  BoundPort = ntohs(Addr.sin_port);
+  StopRequested.store(false);
+  Running.store(true);
+  Server = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void MetricsServer::stop() {
+  if (!Running.load())
+    return;
+  StopRequested.store(true);
+  // The serve loop polls with a timeout, so the flag alone suffices; the
+  // shutdown just shortens the wait when it is blocked in accept().
+  shutdown(ListenFd, SHUT_RDWR);
+  Server.join();
+  close(ListenFd);
+  ListenFd = -1;
+  BoundPort = 0;
+  Running.store(false);
+}
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t Size) {
+  while (Size) {
+    ssize_t N = write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+void MetricsServer::serveLoop() {
+  while (!StopRequested.load()) {
+    struct pollfd PFD;
+    PFD.fd = ListenFd;
+    PFD.events = POLLIN;
+    PFD.revents = 0;
+    int PR = poll(&PFD, 1, /*timeout ms=*/200);
+    if (PR <= 0)
+      continue; // timeout (re-check the stop flag) or EINTR
+    int Client = accept(ListenFd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    // One read is enough for any real scrape request line; anything
+    // pathological just yields a 404 or a dropped connection.
+    char Buf[2048];
+    ssize_t N = read(Client, Buf, sizeof(Buf) - 1);
+    if (N <= 0) {
+      close(Client);
+      continue;
+    }
+    Buf[N] = '\0';
+    // Parse "GET <target> ..." — the only line we care about.
+    std::string Target;
+    if (std::strncmp(Buf, "GET ", 4) == 0) {
+      const char *Start = Buf + 4;
+      const char *End = Start;
+      while (*End && *End != ' ' && *End != '\r' && *End != '\n')
+        ++End;
+      Target.assign(Start, End);
+    }
+    std::string Response;
+    if (Target == "/metrics" || Target == "/") {
+      std::string Body;
+      {
+        std::lock_guard<std::mutex> Lock(SnapshotMutex);
+        Body = Snapshot;
+      }
+      Response = "HTTP/1.1 200 OK\r\n"
+                 "Content-Type: text/plain; version=0.0.4; "
+                 "charset=utf-8\r\n"
+                 "Content-Length: " +
+                 std::to_string(Body.size()) +
+                 "\r\n"
+                 "Connection: close\r\n\r\n" +
+                 Body;
+      Scrapes.fetch_add(1);
+    } else {
+      Response = "HTTP/1.1 404 Not Found\r\n"
+                 "Content-Length: 0\r\n"
+                 "Connection: close\r\n\r\n";
+    }
+    writeAll(Client, Response.data(), Response.size());
+    close(Client);
+  }
+}
+
+#else // !GRS_HAVE_SOCKETS
+
+bool MetricsServer::start(uint16_t) { return false; }
+void MetricsServer::stop() {}
+void MetricsServer::serveLoop() {}
+
+#endif // GRS_HAVE_SOCKETS

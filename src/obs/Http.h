@@ -1,0 +1,95 @@
+//===- obs/Http.h - Minimal Prometheus /metrics endpoint --------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free HTTP server for the Prometheus text exposition
+/// (obs/Export.h): one blocking-socket thread, loopback only, so a real
+/// Prometheus can scrape a long-running sweep — e.g. sweep::isolated
+/// grinding a multi-hour fleet — instead of waiting for the end-of-run
+/// snapshot dump.
+///
+/// Threading model: obs::Registry is single-threaded by design, so the
+/// serving thread NEVER touches a registry. The owner of the registry
+/// calls publish()/publishRegistry() at its own serial points (round
+/// barriers, day boundaries); the server hands out the most recently
+/// published snapshot under a mutex. A scrape therefore observes a
+/// consistent snapshot that may be one publish interval stale — exactly
+/// Prometheus's own sampling model.
+///
+/// Protocol support is deliberately minimal: any request whose target is
+/// `/metrics` (or `/`) gets `200 text/plain; version=0.0.4` with the
+/// snapshot; anything else gets 404. Connections are `Connection: close`
+/// one-shots — scrape traffic, not serving traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_OBS_HTTP_H
+#define GRS_OBS_HTTP_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace grs {
+namespace obs {
+
+class Registry;
+
+class MetricsServer {
+public:
+  MetricsServer() = default;
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port, see port()) and
+  /// starts the serving thread. \returns false when the bind fails or
+  /// the platform has no sockets; the process runs on unobserved either
+  /// way — metrics serving must never be load-bearing.
+  bool start(uint16_t Port = 0);
+
+  /// Stops the serving thread and closes the socket. Idempotent; also
+  /// run by the destructor.
+  void stop();
+
+  bool running() const { return Running.load(); }
+
+  /// The bound port (useful with start(0)); 0 when not running.
+  uint16_t port() const { return BoundPort; }
+
+  /// Publishes \p Text as the snapshot subsequent scrapes receive.
+  /// Thread-safe against the serving thread and other publishers.
+  void publish(std::string Text);
+
+  /// Renders prometheusText(\p Reg) and publishes it. Call from the
+  /// thread that owns \p Reg (Registry is not thread-safe); the render
+  /// happens on the caller's thread, only the hand-off is locked.
+  void publishRegistry(const Registry &Reg);
+
+  /// Scrapes served so far (tests / diagnostics).
+  uint64_t scrapeCount() const { return Scrapes.load(); }
+
+private:
+  void serveLoop();
+
+  std::thread Server;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopRequested{false};
+  std::atomic<uint64_t> Scrapes{0};
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::mutex SnapshotMutex;
+  std::string Snapshot;
+};
+
+} // namespace obs
+} // namespace grs
+
+#endif // GRS_OBS_HTTP_H

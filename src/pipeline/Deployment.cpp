@@ -137,6 +137,12 @@ DeploymentOutcome DeploymentSimulator::run() {
   obs::Counter *CCrashes =
       Reg.counter("grs_pipeline_snapshot_crashes_total");
   obs::Counter *CFlaky = Reg.counter("grs_pipeline_snapshot_flaky_total");
+  obs::Counter *CSegvs = Reg.counter("grs_pipeline_snapshot_segvs_total");
+  obs::Counter *COoms = Reg.counter("grs_pipeline_snapshot_ooms_total");
+  obs::Counter *CRespawns =
+      Reg.counter("grs_pipeline_isolation_respawns_total");
+  obs::Counter *CAbortedDays =
+      Reg.counter("grs_pipeline_snapshot_aborted_days_total");
   obs::Gauge *GSnapshotLoss =
       Reg.gauge("grs_pipeline_snapshot_loss_ratio");
 
@@ -147,6 +153,10 @@ DeploymentOutcome DeploymentSimulator::run() {
   const bool FaultModel = Config.TestHangProb > 0.0 ||
                           Config.TestCrashProb > 0.0 ||
                           Config.FlakyInfraProb > 0.0;
+  // The lethal model is gated separately so configs that enable only the
+  // non-lethal rates keep their exact pre-lethal RNG stream.
+  const bool LethalModel =
+      Config.TestSegvProb > 0.0 || Config.TestOomProb > 0.0;
   uint64_t SnapshotRunsConsidered = 0;
 
   Races.reserve(Config.InitialLatentRaces + 1024);
@@ -203,15 +213,39 @@ DeploymentOutcome DeploymentSimulator::run() {
     std::vector<size_t> Manifested;
     {
       obs::Span S = Reg.span("snapshot");
-      for (size_t I = 0; I < Races.size(); ++I) {
+      bool DayAborted = false;
+      for (size_t I = 0; I < Races.size() && !DayAborted; ++I) {
         LatentRace &Race = Races[I];
         if (!Race.Present || !Race.TestEnabled)
           continue;
+        if (FaultModel || LethalModel)
+          ++SnapshotRunsConsidered;
+        if (LethalModel) {
+          bool Segv = Rng.chance(Config.TestSegvProb);
+          bool Oom = !Segv && Rng.chance(Config.TestOomProb);
+          if (Segv)
+            CSegvs->inc();
+          if (Oom)
+            COoms->inc();
+          if (Segv || Oom) {
+            if (Config.IsolateTestRuns) {
+              // Fork-per-slot isolation: only the dead child's run is
+              // lost; the supervisor respawns and the snapshot marches
+              // on to the next test.
+              CRespawns->inc();
+              continue;
+            }
+            // Un-isolated: the dying test kills the snapshot harness,
+            // and every test after it is lost for the day.
+            CAbortedDays->inc();
+            DayAborted = true;
+            continue;
+          }
+        }
         if (FaultModel) {
           // A lost run is contained to this test, today: the race simply
           // cannot manifest until tomorrow's snapshot — the §3.5 fleet's
           // per-run quarantine, seen from the simulator's altitude.
-          ++SnapshotRunsConsidered;
           if (Rng.chance(Config.TestHangProb)) {
             CHangs->inc();
             continue;
@@ -379,8 +413,13 @@ DeploymentOutcome DeploymentSimulator::run() {
   Outcome.SnapshotHangs = CHangs->value();
   Outcome.SnapshotCrashes = CCrashes->value();
   Outcome.SnapshotFlaky = CFlaky->value();
-  uint64_t SnapshotLost =
-      Outcome.SnapshotHangs + Outcome.SnapshotCrashes + Outcome.SnapshotFlaky;
+  Outcome.SnapshotSegvs = CSegvs->value();
+  Outcome.SnapshotOoms = COoms->value();
+  Outcome.IsolationRespawns = CRespawns->value();
+  Outcome.AbortedSnapshotDays = CAbortedDays->value();
+  uint64_t SnapshotLost = Outcome.SnapshotHangs + Outcome.SnapshotCrashes +
+                          Outcome.SnapshotFlaky + Outcome.SnapshotSegvs +
+                          Outcome.SnapshotOoms;
   GSnapshotLoss->set(SnapshotRunsConsidered
                          ? static_cast<double>(SnapshotLost) /
                                static_cast<double>(SnapshotRunsConsidered)

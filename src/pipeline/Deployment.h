@@ -109,6 +109,25 @@ struct DeploymentConfig {
   double TestHangProb = 0.0;   ///< Test hangs; the fleet watchdog reaps it.
   double TestCrashProb = 0.0;  ///< Test binary crashes (foreign fault).
   double FlakyInfraProb = 0.0; ///< Infra flake; the result is discarded.
+  /// Process-LETHAL faults in the daily snapshot runs: the test does not
+  /// merely fail, it takes its host process down (a wild write's SIGSEGV,
+  /// heap exhaustion's OOM kill — sweep::isolated's fault classes, seen
+  /// from the simulator's altitude). Per covering-test per day, and like
+  /// the three rates above the draws are consumed only when some lethal
+  /// rate is positive — configs using only the non-lethal fault model
+  /// reproduce their pre-lethal results bit-for-bit.
+  ///
+  /// What a lethal death COSTS depends on IsolateTestRuns: with
+  /// isolation (the sweep::isolated deployment), the dead process was a
+  /// fork-per-slot child, the loss is contained to that one run, and the
+  /// supervisor respawns for the next slot; without isolation the dying
+  /// test takes the whole snapshot harness with it and the REMAINDER of
+  /// that day's snapshot is lost — exactly the blast-radius difference
+  /// the isolation layer exists to buy.
+  double TestSegvProb = 0.0; ///< Lethal signal (wild write, stack overflow).
+  double TestOomProb = 0.0;  ///< Heap exhaustion; the kernel OOM-kills.
+  /// Run the daily snapshot under fork-per-slot process isolation.
+  bool IsolateTestRuns = false;
   /// Deployment mode (see DeployMode).
   DeployMode Mode = DeployMode::PostFacto;
   /// CiBlocking only: how many detector runs the PR gate executes; a
@@ -156,6 +175,16 @@ struct DeploymentOutcome {
   uint64_t SnapshotHangs = 0;
   uint64_t SnapshotCrashes = 0;
   uint64_t SnapshotFlaky = 0;
+  /// Lethal-fault losses (0 unless TestSegvProb / TestOomProb are set):
+  /// test runs killed by a lethal signal / OOM.
+  uint64_t SnapshotSegvs = 0;
+  uint64_t SnapshotOoms = 0;
+  /// IsolateTestRuns=true: children respawned after a lethal death (one
+  /// per death — the per-run containment the isolation layer buys).
+  uint64_t IsolationRespawns = 0;
+  /// IsolateTestRuns=false: days whose snapshot was cut short because a
+  /// lethal test death took the un-isolated harness down with it.
+  uint64_t AbortedSnapshotDays = 0;
 };
 
 /// See file comment.

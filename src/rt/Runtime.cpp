@@ -523,3 +523,67 @@ void Runtime::write(race::Addr A, const std::string &Name) {
   if (Opts.DetectRaces)
     Det->onWrite(tid(), A, Name);
 }
+
+//===----------------------------------------------------------------------===//
+// Process-fork support and watchdog calibration
+//===----------------------------------------------------------------------===//
+
+void rt::prepareChildAfterFork() {
+  // fork() clones only the calling thread: any Runtime active on ANOTHER
+  // thread of the parent is gone, but this thread's own thread-locals are
+  // inherited. The caller forks from supervisor code (never from inside a
+  // run), so an inherited ActiveRuntime would be a supervisor bug — still,
+  // clear the hard-abort latch and restore SIGURG's default (ignored)
+  // disposition so a stray signal cannot jump into a jmp_buf that belongs
+  // to a parent stack frame. installWatchdogHandler()'s std::once_flag is
+  // also inherited in its "done" state, so re-arming the handler for the
+  // child's own runs must not rely on it; reset by re-installing directly
+  // on the first armed run (sigaction below leaves it correct either way).
+  HardAbortArmed = 0;
+  ActiveRuntime = nullptr;
+  struct sigaction SA;
+  SA.sa_handler = watchdogSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGURG, &SA, nullptr);
+}
+
+uint64_t rt::calibratedWatchdogBudgetMillis(uint64_t FloorMillis) {
+  // The documented calibration caveat (DESIGN.md §9): a static budget
+  // tuned on an idle machine trips the soft path on innocent runs when
+  // the host is loaded (CI neighbors, saboteur spins on sibling threads).
+  // Instead of guessing, measure: time a fixed micro-run of the scheduler
+  // itself — spawn/yield churn touching the same code the budget guards —
+  // and scale it by a generous safety factor. The probe runs once per
+  // process (first caller pays ~a few ms) and is monotone under load:
+  // a slow machine yields a bigger budget, which is exactly the point.
+  static const uint64_t Probe = [] {
+    using Clock = std::chrono::steady_clock;
+    auto Start = Clock::now();
+    for (int Rep = 0; Rep < 4; ++Rep) {
+      RunOptions PO;
+      PO.Seed = 1;
+      PO.PreemptProbability = 0.5;
+      PO.MaxSteps = 20'000;
+      PO.DetectRaces = false;
+      Runtime RT(PO);
+      RT.run([] {
+        for (int I = 0; I < 8; ++I)
+          Runtime::current().go("probe", [] {
+            for (int Y = 0; Y < 200; ++Y)
+              gosched();
+          });
+        for (int Y = 0; Y < 200; ++Y)
+          gosched();
+      });
+    }
+    auto Micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - Start)
+                      .count();
+    // 50x the probe: wide enough that concurrent CPU-spin saboteurs on
+    // sibling threads do not starve an innocent run past its budget, yet
+    // derived from this machine's actual speed rather than a constant.
+    return static_cast<uint64_t>(Micros) * 50 / 1000;
+  }();
+  return std::max<uint64_t>(Probe, FloorMillis);
+}

@@ -84,6 +84,14 @@ struct RunOptions {
   uint64_t Seed = 1;
   /// Probability of switching goroutines at each instrumented access.
   double PreemptProbability = 0.2;
+  /// Which execution attempt of this (program, seed) this run is, 1-based.
+  /// Purely informational for the scheduler (it does NOT perturb any
+  /// scheduling decision — retries of deterministic runs stay
+  /// bit-identical); fault injection reads it so attempt-gated faults
+  /// (inject::FaultSpec::LethalAttempts) model transient crashers that
+  /// recover on a retry. Executors that re-run a slot (sweep::resilient,
+  /// sweep::isolated) set it to the current attempt number.
+  uint32_t Attempt = 1;
   /// Guard against livelock: abort after this many scheduling steps.
   uint64_t MaxSteps = 2'000'000;
   /// Per-goroutine fiber stack size in bytes.
@@ -365,6 +373,23 @@ inline RunOptions withSeed(uint64_t Seed) {
   Opts.Seed = Seed;
   return Opts;
 }
+
+/// Re-initializes this runtime's process-global state in a freshly forked
+/// child (sweep::isolated's sandbox children call this first): clears any
+/// inherited active-runtime thread-locals and hard-watchdog latches and
+/// re-installs the SIGURG disposition so the child's own watchdog-armed
+/// runs behave exactly like a fresh process. Async-signal-safety is not
+/// required here — the child is single-threaded right after fork() and has
+/// not yet run anything.
+void prepareChildAfterFork();
+
+/// Self-calibrated hard-watchdog budget: times a fixed scheduler micro-run
+/// once per process and returns 50x that measurement (at least
+/// \p FloorMillis), so budgets scale with actual machine speed instead of
+/// a static guess that trips the soft path on loaded hosts (the DESIGN.md
+/// §9 calibration caveat). Deterministic runs are unaffected — the budget
+/// only bounds wall-clock recovery, never scheduling decisions.
+uint64_t calibratedWatchdogBudgetMillis(uint64_t FloorMillis = 200);
 
 } // namespace rt
 } // namespace grs

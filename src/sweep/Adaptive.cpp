@@ -2,6 +2,8 @@
 
 #include "sweep/Adaptive.h"
 
+#include "sweep/Resilient.h"
+
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -155,6 +157,9 @@ struct PlannedRun {
   uint64_t Seed = 0;
   double Prob = 0.2;
   bool Exploit = false;
+  /// Bandit arm that planned this exploit run (SIZE_MAX for explore
+  /// runs): the arm a FaultPenalty lands on when the run is disturbed.
+  size_t Arm = SIZE_MAX;
 };
 
 /// One fingerprint's contribution from a single run: occurrence count
@@ -357,6 +362,7 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
                               0x9e3779b97f4a7c15ULL * ++ExploitCounter);
       PlannedRun P;
       P.Exploit = true;
+      P.Arm = Arm;
       P.Seed = Mix.next();
       // Mutate the preemption knob along the ladder from the arm's
       // cursor, drifting upward (occasionally two steps): more
@@ -436,8 +442,21 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
         // A disturbed run's feature vector describes a half-executed
         // schedule; feeding it to the bandit would poison the arm
         // statistics (and a watchdogged parent would seed exploit
-        // children that watchdog too). Count it and move on.
+        // children that watchdog too). With FaultPenalty set, the arm
+        // that PLANNED a disturbed exploit run is charged negative
+        // reward — chronically faulting schedule regions drift to the
+        // bottom of the greedy ranking instead of staying "unknown".
         ++Result.FaultedRuns;
+        if (Opts.FaultPenalty > 0.0 && Plan[Slot].Arm != SIZE_MAX) {
+          size_t Arm = Plan[Slot].Arm;
+          ++Arms[Arm].Pulls;
+          Arms[Arm].TotalReward -= Opts.FaultPenalty;
+          ++Result.FaultPenalties;
+          if (SweepReg)
+            obs::inc(SweepReg->counter(
+                "grs_sweep_fault_penalties_total",
+                {{"class", faultClassName(classifyRunFault(Rec.Run))}}));
+        }
         continue;
       }
 

@@ -142,6 +142,16 @@ struct AdaptiveOptions {
   /// from bandit feedback — a half-executed schedule's feature vector
   /// would poison the arm statistics. See AdaptiveResult::FaultedRuns.
   uint32_t MaxAttempts = 1;
+  /// Reward subtracted from the PLANNED arm of an exploit run that is
+  /// still disturbed after MaxAttempts tries. 0 (the default) keeps the
+  /// PR-4 behavior exactly: disturbed runs are merely excluded from
+  /// feedback. Positive values close the loop on the fault taxonomy
+  /// (sweep::FaultClass): an arm whose schedule region chronically
+  /// watchdogs / throws / dies gets its mean reward pushed DOWN with
+  /// every fault, so the greedy branch stops returning to it instead of
+  /// treating it as merely unknown. Explore runs are never penalized —
+  /// they are not the bandit's choice.
+  double FaultPenalty = 0.0;
   /// Base options applied to every run (Seed, PreemptProbability for
   /// exploit runs, OnReport, and Metrics are overwritten per run).
   rt::RunOptions Run;
@@ -170,6 +180,10 @@ struct AdaptiveResult {
   /// MaxAttempts tries: counted in the aggregate, excluded from bandit
   /// feedback, mirrored to grs_sweep_faulted_runs_total.
   uint64_t FaultedRuns = 0;
+  /// Fault penalties applied to bandit arms (disturbed exploit runs with
+  /// FaultPenalty > 0); mirrored by class to
+  /// grs_sweep_fault_penalties_total{class=...}.
+  uint64_t FaultPenalties = 0;
 
   bool operator==(const AdaptiveResult &) const = default;
 };

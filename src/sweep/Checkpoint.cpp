@@ -20,6 +20,14 @@ const char *sweep::faultClassName(FaultClass C) {
     return "foreign_exception";
   case FaultClass::StepLimit:
     return "step_limit";
+  case FaultClass::Signal:
+    return "signal";
+  case FaultClass::OomKill:
+    return "oom_kill";
+  case FaultClass::Rlimit:
+    return "rlimit";
+  case FaultClass::PartialExit:
+    return "partial_exit";
   }
   return "unknown";
 }

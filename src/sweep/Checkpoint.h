@@ -57,12 +57,23 @@ inline constexpr uint32_t CheckpointVersion = 1;
 /// (as opposed to the program under test legitimately racing/panicking).
 enum class FaultClass : uint8_t {
   None = 0,         ///< Completed: the verdict below is the result.
-  Watchdog,         ///< rt watchdog fired (soft or hard path).
+  Watchdog,         ///< rt watchdog fired (soft or hard path) — or the
+                    ///< sweep::isolated supervisor killed a stalled child.
   ForeignException, ///< A C++ exception crossed the fiber boundary.
   StepLimit,        ///< MaxSteps tripped (livelock / scheduler stall).
+  // Process-death classes (PR 5): only sweep::isolated produces these —
+  // they describe how a sandboxed child DIED, observed by the parent via
+  // waitpid(). Appended (never reordered) so journals written before the
+  // extension still decode.
+  Signal,      ///< Child killed by a signal (SIGSEGV/SIGBUS/SIGABRT/...).
+  OomKill,     ///< Allocation failure under RLIMIT_AS (child exited
+               ///< inject::OomExitCode) or an external SIGKILL presumed
+               ///< to be the kernel OOM killer.
+  Rlimit,      ///< A resource limit fired (SIGXCPU from RLIMIT_CPU).
+  PartialExit, ///< Child exited without producing every expected record.
 };
 
-inline constexpr size_t NumFaultClasses = 4;
+inline constexpr size_t NumFaultClasses = 8;
 
 /// Stable lower-case name of \p C (instrument label / diagnostics).
 const char *faultClassName(FaultClass C);

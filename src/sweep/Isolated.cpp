@@ -1,0 +1,459 @@
+//===- sweep/Isolated.cpp - Fork-per-slot sandboxed execution -------------===//
+
+#include "sweep/Isolated.h"
+
+#include "inject/Fault.h"
+#include "obs/Metrics.h"
+#include "support/Varint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRS_HAVE_FORK 1
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define GRS_HAVE_FORK 0
+#endif
+
+using namespace grs;
+using namespace grs::sweep;
+
+bool sweep::forkAvailable() { return GRS_HAVE_FORK != 0; }
+
+#if GRS_HAVE_FORK
+
+namespace {
+
+/// Serializes {pipe(); fork(); close parent write end}. Without it, a
+/// child forked by a sibling supervisor thread mid-window would inherit
+/// this batch's pipe WRITE end and keep it open for its whole life —
+/// the parent would then never see EOF after this batch's child died.
+/// Inherited READ ends are harmless (the parent is the only reader).
+std::mutex ForkMutex;
+
+void setLimit(int Resource, uint64_t Value) {
+  if (!Value)
+    return;
+  struct rlimit RL;
+  RL.rlim_cur = static_cast<rlim_t>(Value);
+  RL.rlim_max = static_cast<rlim_t>(Value);
+  setrlimit(Resource, &RL);
+}
+
+/// EINTR-retrying full write; the child's only output channel.
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  while (Size) {
+    ssize_t N = write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// The sandboxed child: runs its share of the batch through the SAME
+/// slot code as the in-process executor and streams each completed
+/// SlotRecord as a length-prefixed checkpoint-codec frame. Never
+/// returns; never calls exit() (stdio buffers inherited from the parent
+/// must not be flushed twice).
+[[noreturn]] void childMain(int WriteFd, const IsolatedOptions &Opts,
+                            const std::vector<uint64_t> &Batch, size_t First,
+                            uint32_t FirstAttempt) {
+  rt::prepareChildAfterFork();
+  inject::enterSandbox();
+  setLimit(RLIMIT_AS, Opts.RlimitAsBytes);
+  setLimit(RLIMIT_CPU, Opts.RlimitCpuSeconds);
+  setLimit(RLIMIT_STACK, Opts.RlimitStackBytes);
+  // Children die by signal ON PURPOSE (that is the containment being
+  // tested); writing a core file per death would dominate the sweep.
+  struct rlimit NoCore = {0, 0};
+  setrlimit(RLIMIT_CORE, &NoCore);
+  // Registries and journals inherited across fork() belong to the
+  // parent; the child reports ONLY through the pipe. (Results are
+  // unaffected: metrics are observational and the journal is written by
+  // the parent as records arrive.)
+  ResilientOptions Base = Opts.Base;
+  Base.Metrics = nullptr;
+  Base.Run.Metrics = nullptr;
+  Base.CheckpointPath.clear();
+  for (size_t I = First; I < Batch.size(); ++I) {
+    SlotRecord R =
+        runResilientSlot(Base, Batch[I], I == First ? FirstAttempt : 1);
+    std::vector<uint8_t> Frame;
+    {
+      std::vector<uint8_t> Payload;
+      encodeSlotRecord(Payload, R);
+      support::putVarint(Frame, Payload.size());
+      Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+    }
+    if (!writeAll(WriteFd, Frame.data(), Frame.size()))
+      _exit(3); // the parent went away; nothing left to report to
+  }
+  _exit(0);
+}
+
+/// Per-thread supervision tallies, merged serially at the end
+/// (obs::Registry is not thread-safe, and neither is IsolatedResult).
+struct BatchTally {
+  uint64_t Spawns = 0;
+  uint64_t Respawns = 0;
+  uint64_t SupervisorKills = 0;
+  uint64_t PipeBytes = 0;
+  uint64_t DeathsByClass[NumFaultClasses] = {};
+};
+
+struct Death {
+  FaultClass Class = FaultClass::None;
+  std::string Detail;
+};
+
+/// Maps a waitpid() status (or a supervisor kill) to the death taxonomy.
+/// Details are deterministic for deterministic faults: signal numbers
+/// and exit codes, never timings.
+Death classifyDeath(int Status, bool SupervisorKilled) {
+  if (SupervisorKilled)
+    return {FaultClass::Watchdog, "supervisor killed stalled child"};
+  if (WIFSIGNALED(Status)) {
+    int Sig = WTERMSIG(Status);
+    if (Sig == SIGXCPU)
+      return {FaultClass::Rlimit, "child hit RLIMIT_CPU (SIGXCPU)"};
+    if (Sig == SIGKILL)
+      return {FaultClass::OomKill,
+              "child SIGKILLed externally (presumed kernel OOM kill)"};
+    return {FaultClass::Signal,
+            "child killed by signal " + std::to_string(Sig)};
+  }
+  if (WIFEXITED(Status)) {
+    int Code = WEXITSTATUS(Status);
+    if (Code == inject::OomExitCode)
+      return {FaultClass::OomKill,
+              "child exit " + std::to_string(Code) +
+                  ": allocation failure under RLIMIT_AS"};
+    return {FaultClass::PartialExit,
+            "child exited with code " + std::to_string(Code) +
+                " before completing its batch"};
+  }
+  return {FaultClass::Signal, "child ended unrecognizably"};
+}
+
+/// Charges one process-level attempt to the first slot without a record
+/// (the one that was in flight when the child died). Budget left ->
+/// respawn from it with the next attempt number; exhausted -> synthesize
+/// a quarantined record, exactly the shape the in-process executor
+/// produces for a chronic fault, and move past it.
+void chargeVictim(const IsolatedOptions &Opts,
+                  const std::vector<uint64_t> &Batch, const Death &D,
+                  uint32_t MaxAttempts, size_t &Next, size_t ChildStart,
+                  uint32_t ChildFA, uint32_t &FirstAttempt,
+                  const std::function<void(SlotRecord)> &Deliver) {
+  uint32_t Used = Next == ChildStart ? ChildFA : 1;
+  if (Used >= MaxAttempts) {
+    SlotRecord Q;
+    Q.Slot = Batch[Next];
+    Q.Seed = Opts.Base.FirstSeed + Batch[Next];
+    Q.Attempts = Used;
+    Q.Quarantined = true;
+    Q.Fault = D.Class;
+    Q.FaultDetail = D.Detail;
+    Deliver(std::move(Q));
+    ++Next;
+    FirstAttempt = 1;
+  } else {
+    FirstAttempt = Used + 1;
+  }
+}
+
+/// Supervises one batch to completion: fork, stream, classify deaths,
+/// charge the first record-less slot one attempt, respawn or quarantine.
+/// \p Deliver journals + stores a completed (or quarantined) record.
+void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
+              const std::function<void(SlotRecord)> &Deliver,
+              BatchTally &Tally) {
+  using Clock = std::chrono::steady_clock;
+  uint32_t MaxAttempts = Opts.Base.MaxAttempts ? Opts.Base.MaxAttempts : 1;
+  size_t Next = 0;          // next batch index expecting a record
+  uint32_t FirstAttempt = 1; // process-level attempt number of Batch[Next]
+  bool FirstSpawn = true;
+
+  while (Next < Batch.size()) {
+    size_t ChildStart = Next;
+    uint32_t ChildFA = FirstAttempt;
+    int Fds[2] = {-1, -1};
+    pid_t Pid = -1;
+    {
+      std::lock_guard<std::mutex> Lock(ForkMutex);
+      if (pipe(Fds) == 0) {
+        Pid = fork();
+        if (Pid == 0) {
+          close(Fds[0]);
+          childMain(Fds[1], Opts, Batch, ChildStart, ChildFA);
+        }
+        close(Fds[1]);
+        if (Pid < 0)
+          close(Fds[0]);
+      }
+    }
+    if (Pid < 0) {
+      // Cannot sandbox (fd/process exhaustion): degrade to in-process
+      // execution for the rest of the batch rather than losing slots.
+      for (size_t I = Next; I < Batch.size(); ++I)
+        Deliver(runResilientSlot(Opts.Base, Batch[I],
+                                 I == Next ? FirstAttempt : 1));
+      return;
+    }
+    ++Tally.Spawns;
+    if (!FirstSpawn)
+      ++Tally.Respawns;
+    FirstSpawn = false;
+
+    //===------------------------------------------------------------------===//
+    // Stream records until EOF or the stall deadline. Any completed
+    // record resets the deadline: "stalled" means no PROGRESS, not
+    // merely a slow slot mid-run.
+    //===------------------------------------------------------------------===//
+    bool Killed = false;
+    std::vector<uint8_t> Buf;
+    size_t BufPos = 0;
+    auto Stall = std::chrono::milliseconds(Opts.ChildStallMillis);
+    auto Deadline = Clock::now() + Stall;
+    for (;;) {
+      int TimeoutMs = -1;
+      if (Opts.ChildStallMillis) {
+        auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Deadline - Clock::now())
+                        .count();
+        TimeoutMs = Left > 0 ? static_cast<int>(Left) : 0;
+      }
+      struct pollfd PFD;
+      PFD.fd = Fds[0];
+      PFD.events = POLLIN;
+      PFD.revents = 0;
+      int PR = poll(&PFD, 1, TimeoutMs);
+      if (PR < 0) {
+        if (errno == EINTR)
+          continue;
+        kill(Pid, SIGKILL);
+        Killed = true;
+        break;
+      }
+      if (PR == 0) {
+        kill(Pid, SIGKILL);
+        Killed = true;
+        break;
+      }
+      uint8_t Tmp[64 * 1024];
+      ssize_t N = read(Fds[0], Tmp, sizeof(Tmp));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break; // EOF: the child exited (or its pipe broke)
+      Tally.PipeBytes += static_cast<uint64_t>(N);
+      Buf.insert(Buf.end(), Tmp, Tmp + N);
+      // Deliver every complete frame; a partial tail waits for more.
+      bool Corrupt = false;
+      for (;;) {
+        size_t Pos = BufPos;
+        uint64_t Len = 0;
+        support::VarintError E =
+            support::readVarint(Buf.data(), Buf.size(), Pos, Len);
+        if (E == support::VarintError::Truncated)
+          break;
+        if (E != support::VarintError::Ok || Len > Buf.size() - Pos) {
+          if (E != support::VarintError::Ok)
+            Corrupt = true;
+          break;
+        }
+        SlotRecord R;
+        size_t PayloadPos = 0;
+        std::string Error;
+        if (!decodeSlotRecord(Buf.data() + Pos,
+                              static_cast<size_t>(Len), PayloadPos, R,
+                              Error) ||
+            PayloadPos != Len || Next >= Batch.size() ||
+            R.Slot != Batch[Next]) {
+          Corrupt = true;
+          break;
+        }
+        Deliver(std::move(R));
+        ++Next;
+        FirstAttempt = 1;
+        BufPos = Pos + static_cast<size_t>(Len);
+        Deadline = Clock::now() + Stall;
+      }
+      if (Corrupt) {
+        // A child writing garbage is as dead as a crashed one.
+        kill(Pid, SIGKILL);
+        Killed = true;
+        break;
+      }
+      if (BufPos == Buf.size()) {
+        Buf.clear();
+        BufPos = 0;
+      }
+    }
+    close(Fds[0]);
+    int Status = 0;
+    while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+      ;
+
+    bool CleanExit =
+        !Killed && WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+    if (Next >= Batch.size()) {
+      // Batch complete. A death AFTER the last record (e.g. a fault
+      // detonating during teardown) costs nothing.
+      if (!CleanExit) {
+        Death D = classifyDeath(Status, Killed);
+        ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
+        if (Killed)
+          ++Tally.SupervisorKills;
+      }
+      return;
+    }
+    if (CleanExit) {
+      // Exit 0 with records missing: the child lost its way. Charge the
+      // first missing slot like any other death.
+      Death D{FaultClass::PartialExit,
+              "child exited cleanly before completing its batch"};
+      ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
+      chargeVictim(Opts, Batch, D, MaxAttempts, Next, ChildStart, ChildFA,
+                   FirstAttempt, Deliver);
+      continue;
+    }
+    Death D = classifyDeath(Status, Killed);
+    ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
+    if (Killed)
+      ++Tally.SupervisorKills;
+    chargeVictim(Opts, Batch, D, MaxAttempts, Next, ChildStart, ChildFA,
+                 FirstAttempt, Deliver);
+  }
+}
+
+} // namespace
+
+IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
+  IsolatedResult Result;
+  if (Opts.ForceForkFree) {
+    Result.Res = resilient(Opts.Base);
+    Result.ForkFree = true;
+  } else {
+    size_t N = static_cast<size_t>(Opts.Base.NumSeeds);
+    std::vector<SlotRecord> Slots(N);
+    std::vector<uint8_t> Done(N, 0);
+    CheckpointWriter Writer;
+    openResilientCheckpoint(Opts.Base, Writer, Slots, Done, Result.Res);
+
+    // Batch the pending slots in slot order. Contiguity is not required
+    // (resume can leave holes); delivery order within a batch is.
+    std::vector<uint64_t> Pending;
+    for (size_t I = 0; I < N; ++I)
+      if (!Done[I])
+        Pending.push_back(I);
+    uint64_t Chunk = Opts.SlotsPerChild ? Opts.SlotsPerChild : 1;
+    std::vector<std::vector<uint64_t>> Batches;
+    for (size_t I = 0; I < Pending.size(); I += Chunk)
+      Batches.emplace_back(
+          Pending.begin() + I,
+          Pending.begin() +
+              std::min(Pending.size(), I + static_cast<size_t>(Chunk)));
+
+    unsigned Threads = Opts.Base.Threads ? Opts.Base.Threads
+                                         : std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+    if (Threads > Batches.size())
+      Threads = static_cast<unsigned>(Batches.empty() ? 1 : Batches.size());
+
+    std::atomic<size_t> NextBatch{0};
+    std::mutex JournalMutex;
+    std::vector<BatchTally> Tallies(Threads);
+    auto Deliver = [&](SlotRecord R) {
+      std::lock_guard<std::mutex> Lock(JournalMutex);
+      if (Writer.isOpen() && !Writer.append(R))
+        Result.Res.CheckpointError =
+            "journal append failed; checkpointing stopped";
+      Slots[R.Slot] = std::move(R);
+    };
+    auto Worker = [&](unsigned Tid) {
+      for (;;) {
+        size_t B = NextBatch.fetch_add(1, std::memory_order_relaxed);
+        if (B >= Batches.size())
+          break;
+        runBatch(Opts, Batches[B], Deliver, Tallies[Tid]);
+      }
+    };
+    if (Threads <= 1) {
+      Worker(0);
+    } else {
+      std::vector<std::thread> Pool;
+      Pool.reserve(Threads);
+      for (unsigned I = 0; I < Threads; ++I)
+        Pool.emplace_back(Worker, I);
+      for (std::thread &T : Pool)
+        T.join();
+    }
+    Writer.close();
+
+    for (const BatchTally &T : Tallies) {
+      Result.ChildSpawns += T.Spawns;
+      Result.Respawns += T.Respawns;
+      Result.SupervisorKills += T.SupervisorKills;
+      Result.PipeBytes += T.PipeBytes;
+      for (size_t C = 0; C < NumFaultClasses; ++C)
+        Result.DeathsByClass[C] += T.DeathsByClass[C];
+    }
+    mergeSlotRecords(Slots, Result.Res);
+    for (size_t I = 0; I < N; ++I)
+      if (!Done[I])
+        Result.Res.Retries += Slots[I].Attempts - 1;
+  }
+
+  if (obs::Registry *Reg = Opts.Base.Metrics) {
+    obs::inc(Reg->counter("grs_isolated_child_spawns_total"),
+             Result.ChildSpawns);
+    obs::inc(Reg->counter("grs_isolated_respawns_total"), Result.Respawns);
+    obs::inc(Reg->counter("grs_isolated_supervisor_kills_total"),
+             Result.SupervisorKills);
+    obs::inc(Reg->counter("grs_isolated_pipe_bytes_total"),
+             Result.PipeBytes);
+    for (size_t C = 0; C < NumFaultClasses; ++C)
+      if (Result.DeathsByClass[C])
+        obs::inc(Reg->counter(
+                     "grs_isolated_child_deaths_total",
+                     {{"class", faultClassName(static_cast<FaultClass>(C))}}),
+                 Result.DeathsByClass[C]);
+    obs::set(Reg->gauge("grs_isolated_fork_free"),
+             Result.ForkFree ? 1.0 : 0.0);
+  }
+  return Result;
+}
+
+#else // !GRS_HAVE_FORK
+
+IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
+  // No fork() on this platform: the documented graceful degradation to
+  // the in-process path (lethal faults downgrade, see inject::inSandbox).
+  IsolatedResult Result;
+  Result.Res = resilient(Opts.Base);
+  Result.ForkFree = true;
+  if (obs::Registry *Reg = Opts.Base.Metrics)
+    obs::set(Reg->gauge("grs_isolated_fork_free"), 1.0);
+  return Result;
+}
+
+#endif // GRS_HAVE_FORK

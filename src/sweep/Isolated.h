@@ -1,0 +1,127 @@
+//===- sweep/Isolated.h - Fork-per-slot sandboxed execution -----*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level containment for the sweep fleet: each batch of sweep
+/// slots runs in a forked child under rlimits, streaming completed
+/// SlotRecords back over a pipe, so faults NO in-process machinery can
+/// survive — OOM, SIGSEGV, stack corruption, abort() — kill one child
+/// and lose at most the in-flight record. The paper's pipeline (§3) ran
+/// six months of daily sweeps over 100K+ real unit tests only because a
+/// dying test process could never take the harness with it; this layer
+/// gives our deployment simulator the same property.
+///
+/// Layering: isolated() is sweep::resilient with the slot execution
+/// pushed across a process boundary. Children run the SAME
+/// runResilientSlot() the in-process path runs (in-process retry of
+/// non-lethal infra faults included), records cross the pipe in the
+/// SAME sweep/Checkpoint.h codec the journal uses, and the parent runs
+/// the SAME mergeSlotRecords() in slot order — so for fault-free sweeps
+/// {serial, parallel, fork-free in-process} are bit-identical by
+/// construction (pinned by tests/IsolationTest.cpp and bench_isolation).
+///
+/// Supervision: the parent poll()s each child's pipe with a
+/// progress-based stall deadline (any completed record resets it). A
+/// stalled child is SIGKILLed and classified FaultClass::Watchdog; other
+/// deaths classify from waitpid() status — SIGXCPU -> Rlimit, an
+/// external SIGKILL -> OomKill (the kernel OOM killer), any other
+/// signal -> Signal, exit(inject::OomExitCode) -> OomKill, and an exit
+/// without every expected record -> PartialExit. The first slot without
+/// a complete record is charged one process-level attempt; the child is
+/// respawned from that slot with the NEXT attempt number
+/// (RunOptions::Attempt), so the per-slot attempt budget
+/// (ResilientOptions::MaxAttempts) is unified across respawns and a
+/// chronically dying slot is quarantined exactly like an in-process
+/// chronic fault.
+///
+/// Degradation: where fork() is unavailable (or ForceForkFree is set),
+/// isolated() runs the plain in-process sweep::resilient path —
+/// process-lethal injected faults then downgrade to quarantinable
+/// foreign exceptions (see inject::inSandbox), so the harness still
+/// survives, merely with weaker containment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SWEEP_ISOLATED_H
+#define GRS_SWEEP_ISOLATED_H
+
+#include "sweep/Resilient.h"
+
+#include <cstdint>
+
+namespace grs {
+namespace sweep {
+
+struct IsolatedOptions {
+  /// The underlying recipe: body, seed range, per-slot attempt budget,
+  /// in-process retry/backoff (applies inside children too), journal
+  /// path + resume, metrics registry. Base.Threads is the number of
+  /// SUPERVISOR threads; each runs at most one child at a time.
+  ResilientOptions Base;
+  /// Slots per child process (min 1). Larger batches amortize fork()
+  /// cost; a child death discards only the in-flight slot regardless.
+  uint64_t SlotsPerChild = 8;
+  /// RLIMIT_AS for children, bytes; 0 leaves it unlimited. The bound
+  /// that turns runaway allocation into a clean _exit(OomExitCode)
+  /// instead of stressing the host.
+  uint64_t RlimitAsBytes = 256ull << 20;
+  /// RLIMIT_CPU for children, seconds; 0 leaves it unlimited. Fires
+  /// SIGXCPU (classified Rlimit) on CPU-bound runaways.
+  uint64_t RlimitCpuSeconds = 0;
+  /// RLIMIT_STACK for children, bytes; 0 leaves it inherited. Fiber
+  /// stacks are heap allocations, so this bounds only the child's main
+  /// thread stack.
+  uint64_t RlimitStackBytes = 0;
+  /// Supervisor stall deadline, ms: a child producing no complete
+  /// record for this long is SIGKILLed (FaultClass::Watchdog). 0
+  /// disables the kill (EOF-only supervision). Wall-clock only — never
+  /// affects verdicts of surviving runs.
+  uint64_t ChildStallMillis = 30'000;
+  /// Skip fork() and run the in-process resilient path (the degradation
+  /// mode, forced; also used on platforms without fork()).
+  bool ForceForkFree = false;
+};
+
+struct IsolatedResult {
+  /// Sweep aggregate + quarantine, same shape and same bit-for-bit
+  /// guarantees as the in-process executor.
+  ResilientResult Res;
+  /// Children forked (initial spawns + respawns).
+  uint64_t ChildSpawns = 0;
+  /// Child deaths observed, by classification (indexed by FaultClass;
+  /// only the process-death classes and Watchdog are ever nonzero).
+  uint64_t DeathsByClass[NumFaultClasses] = {};
+  /// Respawns after a death with attempt budget remaining.
+  uint64_t Respawns = 0;
+  /// Stalled children the supervisor SIGKILLed (also counted in
+  /// DeathsByClass[Watchdog]).
+  uint64_t SupervisorKills = 0;
+  /// SlotRecord bytes received over pipes (frames included).
+  uint64_t PipeBytes = 0;
+  /// True when the fork-free degradation path ran instead.
+  bool ForkFree = false;
+
+  /// Total child deaths across classes.
+  uint64_t deaths() const {
+    uint64_t N = 0;
+    for (uint64_t D : DeathsByClass)
+      N += D;
+    return N;
+  }
+};
+
+/// True when this build/platform can fork sandbox children. The fork-free
+/// fallback keeps isolated() callable everywhere.
+bool forkAvailable();
+
+/// Runs the sandboxed sweep. See file comment.
+IsolatedResult isolated(const IsolatedOptions &Opts);
+
+} // namespace sweep
+} // namespace grs
+
+#endif // GRS_SWEEP_ISOLATED_H

@@ -28,12 +28,7 @@ uint64_t sweep::resilientOptionsHash(const ResilientOptions &Opts) {
   return H.digest();
 }
 
-namespace {
-
-/// Infra-fault classification of one run. Watchdog beats foreign beats
-/// step limit when several fired in one run (a spinning goroutine can
-/// also have left an exception behind).
-FaultClass classify(const rt::RunResult &Run) {
+FaultClass sweep::classifyRunFault(const rt::RunResult &Run) {
   if (Run.WatchdogFired)
     return FaultClass::Watchdog;
   if (!Run.ForeignExceptions.empty())
@@ -42,6 +37,8 @@ FaultClass classify(const rt::RunResult &Run) {
     return FaultClass::StepLimit;
   return FaultClass::None;
 }
+
+namespace {
 
 std::string faultDetail(const rt::RunResult &Run, FaultClass F) {
   switch (F) {
@@ -52,21 +49,27 @@ std::string faultDetail(const rt::RunResult &Run, FaultClass F) {
   case FaultClass::StepLimit:
     return "step limit hit";
   case FaultClass::None:
-    break;
+  case FaultClass::Signal:
+  case FaultClass::OomKill:
+  case FaultClass::Rlimit:
+  case FaultClass::PartialExit:
+    break; // process-death classes never come from a RunResult
   }
   return "";
 }
 
-/// Executes one slot, retrying infra faults. Runs on worker threads:
-/// touches nothing shared.
-SlotRecord runSlot(const ResilientOptions &Opts, uint64_t Slot) {
+} // namespace
+
+SlotRecord sweep::runResilientSlot(const ResilientOptions &Opts,
+                                   uint64_t Slot, uint32_t FirstAttempt) {
   SlotRecord R;
   R.Slot = Slot;
   R.Seed = Opts.FirstSeed + Slot;
   uint32_t MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
-  for (uint32_t Attempt = 1;; ++Attempt) {
+  for (uint32_t Attempt = FirstAttempt ? FirstAttempt : 1;; ++Attempt) {
     rt::RunOptions RunOpts = Opts.Run;
     RunOpts.Seed = R.Seed;
+    RunOpts.Attempt = Attempt;
     // Per-run report dedup in first-occurrence order — the shape slot-
     // order merging needs to replay the serial sweep's aggregation.
     std::vector<SlotRecord::Report> Reports;
@@ -83,7 +86,7 @@ SlotRecord runSlot(const ResilientOptions &Opts, uint64_t Slot) {
     };
     rt::RunResult Run = Opts.Body(RunOpts);
     R.Attempts = Attempt;
-    FaultClass F = classify(Run);
+    FaultClass F = classifyRunFault(Run);
     if (F == FaultClass::None) {
       R.Fault = FaultClass::None;
       R.FaultDetail.clear();
@@ -106,10 +109,8 @@ SlotRecord runSlot(const ResilientOptions &Opts, uint64_t Slot) {
   }
 }
 
-/// Merges completed slots in slot order — pipeline::sweep's aggregation,
-/// restricted to non-quarantined slots.
-void mergeSlots(const std::vector<SlotRecord> &Slots,
-                ResilientResult &Result) {
+void sweep::mergeSlotRecords(const std::vector<SlotRecord> &Slots,
+                             ResilientResult &Result) {
   for (const SlotRecord &R : Slots) {
     if (R.Quarantined) {
       Result.Quarantined.push_back(R);
@@ -131,18 +132,12 @@ void mergeSlots(const std::vector<SlotRecord> &Slots,
   }
 }
 
-} // namespace
-
-ResilientResult sweep::resilient(const ResilientOptions &Opts) {
-  ResilientResult Result;
+void sweep::openResilientCheckpoint(const ResilientOptions &Opts,
+                                    CheckpointWriter &Writer,
+                                    std::vector<SlotRecord> &Slots,
+                                    std::vector<uint8_t> &Done,
+                                    ResilientResult &Result) {
   size_t N = static_cast<size_t>(Opts.NumSeeds);
-  std::vector<SlotRecord> Slots(N);
-  std::vector<uint8_t> Done(N, 0);
-
-  //===--------------------------------------------------------------------===//
-  // Checkpoint setup: load (resume) and/or open the journal.
-  //===--------------------------------------------------------------------===//
-  CheckpointWriter Writer;
   CheckpointMeta Meta;
   Meta.FirstSeed = Opts.FirstSeed;
   Meta.NumSeeds = Opts.NumSeeds;
@@ -182,6 +177,15 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
             "cannot create journal: " + Opts.CheckpointPath;
     }
   }
+}
+
+ResilientResult sweep::resilient(const ResilientOptions &Opts) {
+  ResilientResult Result;
+  size_t N = static_cast<size_t>(Opts.NumSeeds);
+  std::vector<SlotRecord> Slots(N);
+  std::vector<uint8_t> Done(N, 0);
+  CheckpointWriter Writer;
+  openResilientCheckpoint(Opts, Writer, Slots, Done, Result);
 
   //===--------------------------------------------------------------------===//
   // Execute the missing slots.
@@ -202,7 +206,7 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
         break;
       if (Done[Slot])
         continue; // satisfied from the checkpoint
-      SlotRecord R = runSlot(Opts, Slot);
+      SlotRecord R = runResilientSlot(Opts, Slot);
       std::lock_guard<std::mutex> Lock(JournalMutex);
       if (Writer.isOpen() && !Writer.append(R))
         Result.CheckpointError =
@@ -225,7 +229,7 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
   //===--------------------------------------------------------------------===//
   // Serial merge + instruments.
   //===--------------------------------------------------------------------===//
-  mergeSlots(Slots, Result);
+  mergeSlotRecords(Slots, Result);
   for (size_t I = 0; I < N; ++I)
     if (!Done[I])
       Result.Retries += Slots[I].Attempts - 1;

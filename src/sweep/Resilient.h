@@ -113,6 +113,53 @@ uint64_t resilientOptionsHash(const ResilientOptions &Opts);
 ResilientResult resilient(const ResilientOptions &Opts);
 
 //===----------------------------------------------------------------------===//
+// Building blocks shared with sweep::isolated
+//
+// The fork-per-slot executor (sweep/Isolated.h) runs the SAME slot code
+// inside its sandboxed children and the SAME merge on the parent side, so
+// parallel == serial == fork-free stays bit-for-bit by construction
+// rather than by reimplementation.
+//===----------------------------------------------------------------------===//
+
+/// Infra-fault classification of one in-process run. Watchdog beats
+/// foreign exception beats step limit when several fired in one run (a
+/// spinning goroutine can also have left an exception behind). Process
+/// deaths (Signal/OomKill/Rlimit/PartialExit) are classified by the
+/// isolated supervisor from waitpid(), never from a RunResult.
+FaultClass classifyRunFault(const rt::RunResult &Run);
+
+/// Executes one slot of \p Opts: runs seed FirstSeed + Slot, retrying
+/// in-process infra faults up to Opts.MaxAttempts with backoff, then
+/// quarantines. \p FirstAttempt numbers the first try (RunOptions::
+/// Attempt); a respawned sandbox child passes the process-level attempt
+/// so the per-slot attempt budget is unified across process boundaries
+/// (in-process retries and respawns draw from the same MaxAttempts).
+/// Thread-safe: touches nothing shared.
+SlotRecord runResilientSlot(const ResilientOptions &Opts, uint64_t Slot,
+                            uint32_t FirstAttempt = 1);
+
+/// Merges completed slots in slot order into \p Result — pipeline::
+/// sweep's serial aggregation restricted to non-quarantined slots;
+/// quarantined ones are appended to Result.Quarantined.
+void mergeSlotRecords(const std::vector<SlotRecord> &Slots,
+                      ResilientResult &Result);
+
+/// Checkpoint setup shared by resilient() and isolated(): when
+/// Opts.CheckpointPath is set, loads a resumable journal (filling
+/// \p Slots / \p Done for each complete record and counting
+/// Result.ResumedSlots) and leaves \p Writer open for appends — or
+/// reports via Result.CheckpointError without touching a journal that
+/// belongs to a different recipe. \p Slots and \p Done must have
+/// Opts.NumSeeds elements. The two executors share one journal format
+/// and meta hash, so a sweep interrupted under one executor resumes
+/// under the other.
+void openResilientCheckpoint(const ResilientOptions &Opts,
+                             CheckpointWriter &Writer,
+                             std::vector<SlotRecord> &Slots,
+                             std::vector<uint8_t> &Done,
+                             ResilientResult &Result);
+
+//===----------------------------------------------------------------------===//
 // Plug-in constructors for the existing sweep engines' option structs
 //===----------------------------------------------------------------------===//
 

@@ -26,6 +26,7 @@
 #include "rt/Sync.h"
 #include "support/Rng.h"
 #include "sweep/Adaptive.h"
+#include "sweep/Isolated.h"
 #include "sweep/Resilient.h"
 
 #include <gtest/gtest.h>
@@ -363,8 +364,10 @@ TEST_P(ChaosFuzz, RandomFaultPlansNeverCorruptTheSweep) {
   RO.Body = inject::instrumentedRunner(makeBody(S), Plan);
   // Generous watchdog budget: with concurrent CPU-spin saboteurs on
   // sibling workers a tight budget trips the soft path on INNOCENT runs
-  // nondeterministically and breaks thread parity (DESIGN.md §9).
-  RO.Run.WatchdogMillis = 500;
+  // nondeterministically and breaks thread parity (DESIGN.md §9). The
+  // calibrated budget keeps 500ms as the floor and scales it up on slow
+  // (CI, sanitizer) hosts where 500ms of wall clock buys fewer steps.
+  RO.Run.WatchdogMillis = rt::calibratedWatchdogBudgetMillis(500);
   RO.Run.MaxSteps = 20000;
   RO.MaxAttempts = 2;
   RO.RetryBackoffMicros = 0;
@@ -429,5 +432,127 @@ TEST_P(ChaosFuzz, RandomFaultPlansNeverCorruptTheSweep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, ChaosFuzz, ::testing::Range<uint64_t>(1, 4));
+
+//===----------------------------------------------------------------------===//
+// Lethal chaos fuzzing (PR-5): random fault plans drawn from the
+// PROCESS-LETHAL kinds (plus GoPanic for in-process contrast) against the
+// fork-per-slot sandbox. The properties under test are the isolation
+// layer's acceptance criteria: child deaths never lose a slot record, the
+// unified attempt budget makes the forked and fork-free (downgrade) paths
+// agree on every quarantine decision, and every slot the plan did not
+// touch is bit-identical to the fault-free sweep's record.
+//===----------------------------------------------------------------------===//
+
+class LethalChaosFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LethalChaosFuzz, RandomLethalPlansAreContainedByIsolation) {
+  if (!sweep::forkAvailable())
+    GTEST_SKIP() << "no fork() on this platform";
+  ProgramShape S = makeShape(GetParam() * 211, /*Bugged=*/true);
+  const uint64_t NumSeeds = 12;
+
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = GetParam() * 29 + 7;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = NumSeeds;
+  PO.FaultRate = 0.35;
+  PO.LethalChronicFraction = 0.3;
+  // GoPanic plus the four lethal kinds; the stall/spin kinds are disabled
+  // because each would cost a full watchdog budget of wall clock.
+  for (size_t K = 0; K < inject::NumFaultKinds; ++K) {
+    auto Kind = static_cast<inject::FaultKind>(K);
+    PO.Weights[K] = (Kind == inject::FaultKind::GoPanic ||
+                     inject::isLethalFault(Kind))
+                        ? 1.0
+                        : 0.0;
+  }
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+
+  sweep::IsolatedOptions IO;
+  IO.Base.FirstSeed = PO.FirstSeed;
+  IO.Base.NumSeeds = NumSeeds;
+  IO.Base.Threads = 2;
+  IO.Base.MaxAttempts = 2;
+  IO.Base.RetryBackoffMicros = 0;
+  IO.Base.Run.MaxSteps = 20000;
+  IO.Base.Body = inject::instrumentedRunner(makeBody(S), Plan);
+  IO.SlotsPerChild = 3;
+  // Roomy: the child inherits the gtest parent's address space, and only
+  // HeapExhaustion should be able to hit the cap (see IsolationTest).
+  IO.RlimitAsBytes = 768ull << 20;
+  std::string Journal = ::testing::TempDir() + "grs-lethal-chaos-" +
+                        std::to_string(GetParam()) + ".ckpt";
+  std::remove(Journal.c_str());
+  IO.Base.CheckpointPath = Journal;
+  sweep::IsolatedResult Forked = sweep::isolated(IO);
+  ASSERT_TRUE(Forked.Res.CheckpointError.empty())
+      << Forked.Res.CheckpointError;
+  EXPECT_FALSE(Forked.ForkFree);
+
+  // No lost slot records: despite child deaths, the journal covers every
+  // slot exactly once.
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, Load, Error)) << Error;
+  std::set<uint64_t> Slots;
+  for (const sweep::SlotRecord &R : Load.Records) {
+    EXPECT_LT(R.Slot, NumSeeds);
+    EXPECT_TRUE(Slots.insert(R.Slot).second)
+        << "slot " << R.Slot << " journaled twice";
+  }
+  EXPECT_EQ(Slots.size(), NumSeeds);
+
+  // Unified attempt budget: the fork-free downgrade path must reach the
+  // same quarantine decisions (same seeds, same attempt counts) and the
+  // same merged sweep, even though its lethal faults become in-process
+  // throws instead of process deaths.
+  sweep::IsolatedOptions FF = IO;
+  FF.ForceForkFree = true;
+  FF.Base.CheckpointPath.clear();
+  sweep::IsolatedResult Degraded = sweep::isolated(FF);
+  EXPECT_TRUE(Degraded.ForkFree);
+  EXPECT_EQ(Degraded.ChildSpawns, 0u);
+  EXPECT_EQ(Degraded.Res.Sweep, Forked.Res.Sweep);
+  EXPECT_EQ(Degraded.Res.Retries, Forked.Res.Retries);
+  auto QuarantineMap = [](const sweep::ResilientResult &R) {
+    std::map<uint64_t, uint32_t> M;
+    for (const sweep::SlotRecord &Q : R.Quarantined)
+      M[Q.Seed] = Q.Attempts;
+    return M;
+  };
+  EXPECT_EQ(QuarantineMap(Forked.Res), QuarantineMap(Degraded.Res))
+      << "plan " << GetParam()
+      << ": forked vs fork-free quarantines diverged";
+
+  // Verdict parity: every slot the plan did not touch is bit-identical
+  // to the fault-free sweep's record.
+  sweep::ResilientOptions Clean = IO.Base;
+  Clean.Threads = 1;
+  Clean.Body = corpus::hostBody(makeBody(S));
+  std::remove(Journal.c_str());
+  Clean.CheckpointPath = Journal;
+  sweep::ResilientResult CleanResult = sweep::resilient(Clean);
+  ASSERT_TRUE(CleanResult.CheckpointError.empty())
+      << CleanResult.CheckpointError;
+  sweep::CheckpointLoad CleanLoad;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, CleanLoad, Error)) << Error;
+  std::map<uint64_t, sweep::SlotRecord> Faulted;
+  for (const sweep::SlotRecord &R : Load.Records)
+    Faulted[R.Slot] = R;
+  size_t Compared = 0;
+  for (const sweep::SlotRecord &CleanRec : CleanLoad.Records) {
+    if (Plan.faulted(CleanRec.Seed))
+      continue;
+    ASSERT_TRUE(Faulted.count(CleanRec.Slot));
+    EXPECT_EQ(Faulted[CleanRec.Slot], CleanRec)
+        << "plan " << GetParam() << " slot " << CleanRec.Slot;
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 0u);
+  std::remove(Journal.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, LethalChaosFuzz,
+                         ::testing::Range<uint64_t>(1, 3));
 
 } // namespace

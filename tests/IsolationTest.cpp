@@ -1,0 +1,384 @@
+//===- tests/IsolationTest.cpp - Fork-per-slot sandboxed execution ---------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// The containment battery for the PROCESS-level robustness layer
+// (sweep::isolated). The in-process executor (PR 4, ResilienceTest)
+// quarantines faults that surface as C++ control flow; this layer must
+// additionally survive faults no in-process machinery can contain — the
+// child dies by SIGSEGV, SIGABRT, or allocation failure, and the parent
+// must classify the death, charge exactly one slot, respawn, and keep the
+// merged result bit-identical to the in-process paths wherever the
+// program itself was untouched. Pinned here:
+//
+//  * PARITY — for fault-free sweeps, {isolated serial, isolated parallel,
+//    ForceForkFree, in-process resilient, pipeline::sweep} agree
+//    bit-for-bit (the sweep::isolated file-comment guarantee);
+//  * CLASSIFICATION — each lethal fault kind maps to its documented
+//    FaultClass through waitpid(): abort/SIGSEGV -> Signal, allocation
+//    failure under RLIMIT_AS -> OomKill, supervisor stall kill ->
+//    Watchdog;
+//  * ATTEMPT UNIFICATION — a transient crasher consumes one process-level
+//    attempt and completes on the respawn with the same Attempts count
+//    the fork-free downgrade path records; chronic crashers quarantine at
+//    MaxAttempts in both paths with the same seed set;
+//  * CONTAINMENT — a child death never loses a non-faulted slot's record,
+//    and every non-faulted record is bit-identical to the fault-free
+//    sweep's;
+//  * RESUME — journals are shared with sweep::resilient: a truncated
+//    journal written by either executor resumes under isolated() to a
+//    bit-identical result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "inject/Fault.h"
+#include "obs/Metrics.h"
+#include "rt/Instr.h"
+#include "sweep/Isolated.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+using namespace grs;
+
+namespace {
+
+/// Schedule-dependent racy body (the ResilienceTest workhorse): sweeps
+/// over it have real verdict structure for the parity checks to bite on.
+void racyBody() {
+  auto X = std::make_shared<rt::Shared<int>>("x", 0);
+  rt::Runtime &RT = rt::Runtime::current();
+  RT.go("writer", [X] { X->store(1); });
+  X->store(2);
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "grs-isolation-" + Name;
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+sweep::IsolatedOptions baseOptions(sweep::Runner Body, uint64_t NumSeeds) {
+  sweep::IsolatedOptions IO;
+  IO.Base.FirstSeed = 1;
+  IO.Base.NumSeeds = NumSeeds;
+  IO.Base.Body = std::move(Body);
+  IO.Base.MaxAttempts = 2;
+  IO.Base.RetryBackoffMicros = 0;
+  IO.SlotsPerChild = 4;
+  return IO;
+}
+
+/// A hand-built lethal plan: exact kinds and chronicity per seed, no RNG.
+/// Chronic seeds 3 (AbortCall), 6 (WildWrite), 9 (StackOverflow),
+/// 12 (HeapExhaustion); transient seed 15 (AbortCall, dies once).
+inject::FaultPlan lethalPlan() {
+  inject::FaultPlan Plan;
+  auto Chronic = [](inject::FaultKind Kind) {
+    inject::FaultSpec S;
+    S.Kind = Kind;
+    S.LethalAttempts = UINT32_MAX;
+    return S;
+  };
+  Plan.BySeed[3] = Chronic(inject::FaultKind::AbortCall);
+  Plan.BySeed[6] = Chronic(inject::FaultKind::WildWrite);
+  Plan.BySeed[9] = Chronic(inject::FaultKind::StackOverflow);
+  Plan.BySeed[12] = Chronic(inject::FaultKind::HeapExhaustion);
+  inject::FaultSpec Transient;
+  Transient.Kind = inject::FaultKind::AbortCall;
+  Transient.LethalAttempts = 1;
+  Plan.BySeed[15] = Transient;
+  return Plan;
+}
+
+sweep::IsolatedOptions lethalOptions(const inject::FaultPlan &Plan) {
+  sweep::IsolatedOptions IO =
+      baseOptions(inject::instrumentedRunner(racyBody, Plan), 20);
+  // Generous address-space cap: the gtest parent's inherited mappings
+  // plus the child's own working set must fit UNDER it, so only the
+  // HeapExhaustion saboteur's deliberate allocation storm hits it.
+  IO.RlimitAsBytes = 768ull << 20;
+  return IO;
+}
+
+TEST(Isolated, ForkIsAvailableOnThisPlatform) {
+  // The containment guarantees below are only meaningful where children
+  // can actually fork; the fallback path is covered separately.
+  EXPECT_TRUE(sweep::forkAvailable());
+}
+
+//===----------------------------------------------------------------------===//
+// Parity: fault-free sweeps agree across every executor
+//===----------------------------------------------------------------------===//
+
+TEST(Isolated, FaultFreeParityAcrossExecutors) {
+  pipeline::SweepOptions S;
+  S.FirstSeed = 1;
+  S.NumSeeds = 32;
+  pipeline::SweepResult Uniform = pipeline::sweep(S, racyBody);
+  ASSERT_GT(Uniform.SeedsWithRaces, 0u) << "body must actually race";
+
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(racyBody), 32);
+  sweep::ResilientResult InProcess = sweep::resilient(IO.Base);
+  EXPECT_EQ(InProcess.Sweep, Uniform);
+
+  sweep::IsolatedResult Serial = sweep::isolated(IO);
+  EXPECT_EQ(Serial.Res, InProcess) << "forked serial diverged";
+  EXPECT_FALSE(Serial.ForkFree);
+  EXPECT_GT(Serial.ChildSpawns, 0u);
+  EXPECT_EQ(Serial.deaths(), 0u) << "a fault-free sweep kills no child";
+  EXPECT_EQ(Serial.Respawns, 0u);
+  EXPECT_GT(Serial.PipeBytes, 0u);
+
+  sweep::IsolatedOptions Parallel = IO;
+  Parallel.Base.Threads = 4;
+  EXPECT_EQ(sweep::isolated(Parallel).Res, InProcess)
+      << "parallel supervisors diverged";
+
+  sweep::IsolatedOptions ForkFree = IO;
+  ForkFree.ForceForkFree = true;
+  sweep::IsolatedResult FF = sweep::isolated(ForkFree);
+  EXPECT_TRUE(FF.ForkFree);
+  EXPECT_EQ(FF.Res, InProcess) << "fork-free fallback diverged";
+  EXPECT_EQ(FF.ChildSpawns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lethal faults: classification, attempt charging, containment
+//===----------------------------------------------------------------------===//
+
+TEST(Isolated, LethalDeathsClassifiedAndContained) {
+  inject::FaultPlan Plan = lethalPlan();
+  sweep::IsolatedOptions IO = lethalOptions(Plan);
+  std::string Journal = tempPath("lethal.ckpt");
+  std::remove(Journal.c_str());
+  IO.Base.CheckpointPath = Journal;
+  sweep::IsolatedResult R = sweep::isolated(IO);
+  ASSERT_TRUE(R.Res.CheckpointError.empty()) << R.Res.CheckpointError;
+
+  // Chronic crashers quarantine with their documented class; the
+  // transient one completes on the respawn and is NOT quarantined.
+  std::map<uint64_t, sweep::FaultClass> ExpectedClass = {
+      {3, sweep::FaultClass::Signal},
+      {6, sweep::FaultClass::Signal},
+      {9, sweep::FaultClass::Signal},
+      {12, sweep::FaultClass::OomKill},
+  };
+  ASSERT_EQ(R.Res.Quarantined.size(), ExpectedClass.size());
+  for (const sweep::SlotRecord &Q : R.Res.Quarantined) {
+    ASSERT_TRUE(ExpectedClass.count(Q.Seed)) << "seed " << Q.Seed;
+    EXPECT_EQ(Q.Fault, ExpectedClass[Q.Seed]) << "seed " << Q.Seed;
+    EXPECT_EQ(Q.Attempts, IO.Base.MaxAttempts)
+        << "chronic faults must consume the whole attempt budget";
+    EXPECT_FALSE(Q.FaultDetail.empty());
+  }
+  EXPECT_EQ(R.DeathsByClass[static_cast<size_t>(sweep::FaultClass::Signal)],
+            3u * IO.Base.MaxAttempts + 1 /* the transient's single death */);
+  EXPECT_EQ(R.DeathsByClass[static_cast<size_t>(sweep::FaultClass::OomKill)],
+            1u * IO.Base.MaxAttempts);
+  // Every death either respawns the batch or was its final slot; either
+  // way the batch still completes (checked via the journal below).
+  EXPECT_GT(R.Respawns, 0u);
+  EXPECT_LE(R.Respawns, R.deaths());
+  EXPECT_EQ(R.SupervisorKills, 0u) << "crashes are not stalls";
+
+  // Containment: every slot the plan did not touch is bit-identical to
+  // the fault-free sweep's record; the transient slot completed with the
+  // process-level attempt counted.
+  sweep::IsolatedOptions Clean = IO;
+  Clean.Base.Body = corpus::hostBody(racyBody);
+  std::string CleanJournal = tempPath("lethal-clean.ckpt");
+  std::remove(CleanJournal.c_str());
+  Clean.Base.CheckpointPath = CleanJournal;
+  sweep::IsolatedResult CleanR = sweep::isolated(Clean);
+  ASSERT_TRUE(CleanR.Res.Quarantined.empty());
+
+  sweep::CheckpointLoad Faulted, CleanLoad;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, Faulted, Error)) << Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(CleanJournal, CleanLoad, Error)) << Error;
+  ASSERT_EQ(Faulted.Records.size(), IO.Base.NumSeeds)
+      << "no slot record may be lost to a child death";
+  std::map<uint64_t, sweep::SlotRecord> BySlot;
+  for (const sweep::SlotRecord &Rec : Faulted.Records)
+    BySlot[Rec.Slot] = Rec;
+  for (const sweep::SlotRecord &CleanRec : CleanLoad.Records) {
+    ASSERT_TRUE(BySlot.count(CleanRec.Slot));
+    const sweep::SlotRecord &Rec = BySlot[CleanRec.Slot];
+    if (!Plan.faulted(CleanRec.Seed)) {
+      EXPECT_EQ(Rec, CleanRec) << "non-faulted slot " << CleanRec.Slot;
+    } else if (CleanRec.Seed == 15) {
+      // The transient crasher: one process death, then the respawn ran
+      // the unmodified body — same verdict, one extra attempt on the
+      // record.
+      EXPECT_FALSE(Rec.Quarantined);
+      EXPECT_EQ(Rec.Attempts, 2u);
+      EXPECT_EQ(Rec.RaceCount, CleanRec.RaceCount);
+      EXPECT_EQ(Rec.Reports, CleanRec.Reports);
+    }
+  }
+  std::remove(Journal.c_str());
+  std::remove(CleanJournal.c_str());
+}
+
+TEST(Isolated, AttemptBudgetUnifiedWithForkFreeDowngrade) {
+  inject::FaultPlan Plan = lethalPlan();
+  sweep::IsolatedOptions IO = lethalOptions(Plan);
+  sweep::IsolatedResult Forked = sweep::isolated(IO);
+
+  sweep::IsolatedOptions FF = IO;
+  FF.ForceForkFree = true;
+  sweep::IsolatedResult Downgraded = sweep::isolated(FF);
+  ASSERT_TRUE(Downgraded.ForkFree);
+
+  // Same quarantined seeds, same attempt counts, same retry totals —
+  // the process-level attempt numbering (RunOptions::Attempt) unifies
+  // the budget across respawn and downgrade. Only the fault TAXONOMY
+  // differs: a real death classifies from waitpid(), the downgrade
+  // surfaces as the documented foreign exception.
+  auto Seeds = [](const sweep::ResilientResult &R) {
+    std::map<uint64_t, uint32_t> S;
+    for (const sweep::SlotRecord &Q : R.Quarantined)
+      S[Q.Seed] = Q.Attempts;
+    return S;
+  };
+  EXPECT_EQ(Seeds(Forked.Res), Seeds(Downgraded.Res));
+  EXPECT_EQ(Forked.Res.Retries, Downgraded.Res.Retries);
+  EXPECT_EQ(Forked.Res.Sweep, Downgraded.Res.Sweep)
+      << "surviving slots must aggregate identically";
+  for (const sweep::SlotRecord &Q : Downgraded.Res.Quarantined) {
+    EXPECT_EQ(Q.Fault, sweep::FaultClass::ForeignException);
+    EXPECT_NE(Q.FaultDetail.find("no sandbox"), std::string::npos)
+        << Q.FaultDetail;
+  }
+  EXPECT_EQ(Downgraded.ChildSpawns, 0u);
+}
+
+TEST(Isolated, SupervisorKillsStalledChild) {
+  // Seed 2's body spins without ever reaching a scheduling point and the
+  // child watchdog is DISARMED — only the parent's progress deadline can
+  // recover the batch.
+  auto Body = [] {
+    if (rt::Runtime::current().options().Seed == 2) {
+      volatile uint64_t Spin = 0;
+      for (;;)
+        Spin = Spin + 1;
+    }
+    racyBody();
+  };
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(Body), 4);
+  IO.Base.MaxAttempts = 1; // one stall kill, not one per attempt
+  IO.ChildStallMillis = 400;
+  sweep::IsolatedResult R = sweep::isolated(IO);
+
+  ASSERT_EQ(R.Res.Quarantined.size(), 1u);
+  EXPECT_EQ(R.Res.Quarantined[0].Seed, 2u);
+  EXPECT_EQ(R.Res.Quarantined[0].Fault, sweep::FaultClass::Watchdog);
+  EXPECT_NE(R.Res.Quarantined[0].FaultDetail.find("supervisor"),
+            std::string::npos);
+  EXPECT_EQ(R.SupervisorKills, 1u);
+  EXPECT_EQ(
+      R.DeathsByClass[static_cast<size_t>(sweep::FaultClass::Watchdog)], 1u);
+  // The other three slots completed despite sharing the stalled child's
+  // batch (the respawn picked up after the victim).
+  EXPECT_EQ(R.Res.Sweep.SeedsRun, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal sharing with the in-process executor
+//===----------------------------------------------------------------------===//
+
+TEST(Isolated, TruncatedJournalResumesBitIdentical) {
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(racyBody), 24);
+  std::string Journal = tempPath("resume.ckpt");
+  std::remove(Journal.c_str());
+  IO.Base.CheckpointPath = Journal;
+  sweep::IsolatedResult Original = sweep::isolated(IO);
+  ASSERT_TRUE(Original.Res.CheckpointError.empty());
+
+  std::vector<uint8_t> Full = readFileBytes(Journal);
+  ASSERT_GT(Full.size(), 7u);
+  writeFileBytes(Journal, std::vector<uint8_t>(Full.begin(), Full.end() - 7));
+
+  sweep::IsolatedOptions Resumed = IO;
+  Resumed.Base.Resume = true;
+  sweep::IsolatedResult R = sweep::isolated(Resumed);
+  EXPECT_TRUE(R.Res.CheckpointError.empty()) << R.Res.CheckpointError;
+  EXPECT_EQ(R.Res.ResumedSlots, IO.Base.NumSeeds - 1);
+  EXPECT_EQ(R.Res.Sweep, Original.Res.Sweep);
+  EXPECT_EQ(R.Res.Quarantined, Original.Res.Quarantined);
+  std::remove(Journal.c_str());
+}
+
+TEST(Isolated, ResumesAJournalWrittenByResilient) {
+  // The journal format and meta hash are SHARED: a sweep interrupted
+  // under the in-process executor resumes under the sandboxed one.
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(racyBody), 16);
+  std::string Journal = tempPath("cross.ckpt");
+  std::remove(Journal.c_str());
+  IO.Base.CheckpointPath = Journal;
+  sweep::ResilientResult InProcess = sweep::resilient(IO.Base);
+  ASSERT_TRUE(InProcess.CheckpointError.empty());
+
+  std::vector<uint8_t> Full = readFileBytes(Journal);
+  ASSERT_GT(Full.size(), 5u);
+  writeFileBytes(Journal, std::vector<uint8_t>(Full.begin(), Full.end() - 5));
+
+  sweep::IsolatedOptions Resumed = IO;
+  Resumed.Base.Resume = true;
+  sweep::IsolatedResult R = sweep::isolated(Resumed);
+  EXPECT_TRUE(R.Res.CheckpointError.empty()) << R.Res.CheckpointError;
+  EXPECT_EQ(R.Res.ResumedSlots, IO.Base.NumSeeds - 1);
+  EXPECT_EQ(R.Res.Sweep, InProcess.Sweep);
+  std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+TEST(Isolated, InstrumentsExported) {
+  inject::FaultPlan Plan = lethalPlan();
+  sweep::IsolatedOptions IO = lethalOptions(Plan);
+  obs::Registry Reg;
+  IO.Base.Metrics = &Reg;
+  sweep::IsolatedResult R = sweep::isolated(IO);
+
+  EXPECT_EQ(Reg.findCounter("grs_isolated_child_spawns_total")->value(),
+            R.ChildSpawns);
+  EXPECT_EQ(Reg.findCounter("grs_isolated_respawns_total")->value(),
+            R.Respawns);
+  EXPECT_EQ(Reg.findCounter("grs_isolated_supervisor_kills_total")->value(),
+            R.SupervisorKills);
+  EXPECT_EQ(Reg.findCounter("grs_isolated_pipe_bytes_total")->value(),
+            R.PipeBytes);
+  EXPECT_EQ(Reg.findGauge("grs_isolated_fork_free")->value(), 0.0);
+  uint64_t Deaths = 0;
+  for (size_t C = 0; C < sweep::NumFaultClasses; ++C)
+    if (const obs::Counter *Counter = Reg.findCounter(
+            "grs_isolated_child_deaths_total",
+            {{"class",
+              sweep::faultClassName(static_cast<sweep::FaultClass>(C))}}))
+      Deaths += Counter->value();
+  EXPECT_EQ(Deaths, R.deaths());
+  EXPECT_GT(Deaths, 0u);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 #include "obs/DetectorMetrics.h"
 #include "obs/RuntimeMetrics.h"
 #include "obs/Export.h"
+#include "obs/Http.h"
 #include "obs/Metrics.h"
 #include "pipeline/Deployment.h"
 #include "rt/Instr.h"
@@ -30,6 +31,13 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 using namespace grs;
 using namespace grs::obs;
@@ -508,5 +516,85 @@ TEST(Obs, DetectorObserverAccumulatesAcrossRuntimes) {
   EXPECT_EQ(Twice.findCounter("grs_rt_context_switches_total")->value(),
             2 * Once.findCounter("grs_rt_context_switches_total")->value());
 }
+
+//===----------------------------------------------------------------------===//
+// Prometheus /metrics endpoint (PR-5)
+//===----------------------------------------------------------------------===//
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// One-shot HTTP GET against 127.0.0.1:\p Port; returns the raw response
+/// (status line, headers, body) or "" on connection failure.
+std::string httpGet(uint16_t Port, const std::string &Target) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = "GET " + Target + " HTTP/1.1\r\nHost: l\r\n\r\n";
+  size_t Off = 0;
+  while (Off < Req.size()) {
+    ssize_t N = ::write(Fd, Req.data() + Off, Req.size() - Off);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  std::string Resp;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Resp.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Resp;
+}
+
+TEST(MetricsServer, ServesPublishedSnapshotsOverLoopback) {
+  Registry R;
+  R.counter("grs_demo_total")->inc(7);
+
+  MetricsServer S;
+  ASSERT_TRUE(S.start(0)) << "ephemeral loopback bind must succeed";
+  EXPECT_TRUE(S.running());
+  ASSERT_NE(S.port(), 0);
+  S.publishRegistry(R);
+
+  // A scrape sees exactly the published snapshot, as Prometheus text.
+  std::string Resp = httpGet(S.port(), "/metrics");
+  EXPECT_NE(Resp.find("HTTP/1.1 200"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Resp.find(prometheusText(R)), std::string::npos);
+  EXPECT_EQ(S.scrapeCount(), 1u);
+
+  // "/" is an alias; anything else is 404 and not counted as a scrape.
+  EXPECT_NE(httpGet(S.port(), "/").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(httpGet(S.port(), "/teapot").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_EQ(S.scrapeCount(), 2u);
+
+  // Re-publishing swaps the snapshot the next scrape sees (the owner's
+  // serial point; the serving thread never touches the registry).
+  R.counter("grs_demo_total")->inc(1);
+  S.publishRegistry(R);
+  EXPECT_NE(httpGet(S.port(), "/metrics").find("grs_demo_total 8"),
+            std::string::npos);
+
+  // The port is genuinely held: a second server cannot bind it.
+  MetricsServer Squatter;
+  EXPECT_FALSE(Squatter.start(S.port()));
+
+  S.stop();
+  EXPECT_FALSE(S.running());
+  S.stop(); // idempotent, like the destructor
+}
+
+#endif // sockets
 
 } // namespace

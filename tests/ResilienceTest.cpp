@@ -27,10 +27,14 @@
 //    fault-free sweep on every non-faulted slot.
 //
 // Calibration note (learned the hard way): watchdog budgets in the
-// threaded tests are GENEROUS (500ms) relative to innocent run durations.
-// With a tight budget, concurrent CPU-spin saboteurs on sibling workers
-// slow innocent runs enough to trip the soft path nondeterministically,
-// which breaks thread-count parity. See DESIGN.md §9.
+// threaded tests are GENEROUS (500ms floor) relative to innocent run
+// durations. With a tight budget, concurrent CPU-spin saboteurs on
+// sibling workers slow innocent runs enough to trip the soft path
+// nondeterministically, which breaks thread-count parity. Since PR-5 the
+// budgets come from rt::calibratedWatchdogBudgetMillis(500): a startup
+// scheduler micro-probe scales the budget UP on slow (CI, sanitizer)
+// hosts while the floor keeps it at the historical 500ms everywhere
+// else. See DESIGN.md §9 and §10.
 //
 //===----------------------------------------------------------------------===//
 
@@ -158,6 +162,23 @@ TEST(Watchdog, ArmedWatchdogLeavesHealthyRunUntouched) {
   EXPECT_EQ(Armed.RaceCount, Bare.RaceCount);
   EXPECT_EQ(Armed.Panics, Bare.Panics);
   EXPECT_EQ(Armed.LeakedGoroutines, Bare.LeakedGoroutines);
+}
+
+// PR-5's answer to the calibration caveat at the top of this file: the
+// budget is derived from a once-per-process scheduler micro-probe, so a
+// slow host (CI box, sanitizer build) gets a proportionally larger
+// budget instead of a flaky one.
+TEST(Watchdog, CalibratedBudgetRespectsFloorAndIsStable) {
+  uint64_t B500 = rt::calibratedWatchdogBudgetMillis(500);
+  EXPECT_GE(B500, 500u);
+  // The probe runs once; repeat calls must return the same budget (tests
+  // that consult it in several places agree on one number).
+  EXPECT_EQ(rt::calibratedWatchdogBudgetMillis(500), B500);
+  // Monotone in the floor, and the probe component is floor-independent.
+  uint64_t B200 = rt::calibratedWatchdogBudgetMillis(200);
+  EXPECT_LE(B200, B500);
+  uint64_t Probe = rt::calibratedWatchdogBudgetMillis(0);
+  EXPECT_EQ(B500, std::max<uint64_t>(Probe, 500));
 }
 
 //===----------------------------------------------------------------------===//
@@ -504,7 +525,7 @@ sweep::ResilientOptions chaosOptions(inject::FaultPlan &PlanOut) {
   RO.FirstSeed = PO.FirstSeed;
   RO.NumSeeds = PO.NumSeeds;
   RO.Body = inject::instrumentedRunner(racyBody, PlanOut);
-  RO.Run.WatchdogMillis = 500;
+  RO.Run.WatchdogMillis = rt::calibratedWatchdogBudgetMillis(500);
   RO.Run.MaxSteps = 20000;
   RO.MaxAttempts = 3;
   RO.RetryBackoffMicros = 0;
@@ -731,6 +752,64 @@ TEST(AdaptiveHardening, DisturbedRunsCountedAndExcludedFromFeedback) {
   EXPECT_EQ(sweep::adaptive(Threaded), Serial);
 }
 
+TEST(AdaptiveHardening, FaultPenaltyChargesDisturbedExploitArms) {
+  // The base seed range is clean (establishing bandit parents); every
+  // seed OUTSIDE it throws. Exploit children run on SplitMix64-derived
+  // seeds far outside the base range, so exactly the exploit runs are
+  // disturbed — the shape of a chronically hostile schedule region that
+  // FaultPenalty exists to push out of the greedy ranking.
+  auto Body = [] {
+    rt::Runtime &RT = rt::Runtime::current();
+    if (RT.options().Seed >= 1000) {
+      RT.go("thrower",
+            [] { throw std::runtime_error("hostile region"); });
+      return;
+    }
+    racyBody();
+  };
+
+  sweep::AdaptiveOptions A;
+  A.FirstSeed = 1;
+  A.NumRuns = 40;
+  A.PlannerSeed = 5;
+  A.FaultPenalty = 0.5;
+  A.Body = corpus::hostBody(Body);
+  obs::Registry Reg;
+  A.Metrics = &Reg;
+  sweep::AdaptiveResult R = sweep::adaptive(A);
+
+  // Every exploit run was disturbed and charged; explore runs never are
+  // (they are not the bandit's choice).
+  EXPECT_GT(R.ExploitRuns, 0u);
+  EXPECT_EQ(R.FaultedRuns, R.ExploitRuns);
+  EXPECT_EQ(R.FaultPenalties, R.ExploitRuns);
+  EXPECT_EQ(R.Sweep.SeedsRun, A.NumRuns);
+  const obs::Counter *C = Reg.findCounter(
+      "grs_sweep_fault_penalties_total",
+      {{"class",
+        sweep::faultClassName(sweep::FaultClass::ForeignException)}});
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->value(), R.FaultPenalties);
+
+  // Penalized planning is thread-invariant like every other adaptive
+  // decision.
+  sweep::AdaptiveOptions Threaded = A;
+  Threaded.Metrics = nullptr;
+  sweep::AdaptiveResult Serial = sweep::adaptive(Threaded);
+  Threaded.Threads = 8;
+  EXPECT_EQ(sweep::adaptive(Threaded), Serial);
+
+  // On a fault-free sweep a positive penalty is an exact no-op: no run
+  // is disturbed, so no arm is ever charged.
+  sweep::AdaptiveOptions Clean = A;
+  Clean.Metrics = nullptr;
+  Clean.Body = corpus::hostBody(racyBody);
+  sweep::AdaptiveResult Penalized = sweep::adaptive(Clean);
+  Clean.FaultPenalty = 0.0;
+  EXPECT_EQ(Penalized, sweep::adaptive(Clean));
+  EXPECT_EQ(Penalized.FaultPenalties, 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Deployment fault model
 //===----------------------------------------------------------------------===//
@@ -783,6 +862,74 @@ TEST(DeploymentFaults, RatesSurfaceDeterministically) {
   double Loss = Reg.findGauge("grs_pipeline_snapshot_loss_ratio")->value();
   EXPECT_GE(Loss, 0.0);
   EXPECT_LE(Loss, 1.0);
+}
+
+TEST(DeploymentFaults, LethalCountersStayZeroByDefault) {
+  // Both for fault-free configs and for configs using only the PR-4
+  // non-lethal rates: the lethal model must not consume RNG draws or
+  // count anything until a lethal rate is set.
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  Config.TestHangProb = 0.002;
+  Config.FlakyInfraProb = 0.01;
+  pipeline::DeploymentSimulator Sim(Config);
+  pipeline::DeploymentOutcome O = Sim.run();
+  EXPECT_EQ(O.SnapshotSegvs, 0u);
+  EXPECT_EQ(O.SnapshotOoms, 0u);
+  EXPECT_EQ(O.IsolationRespawns, 0u);
+  EXPECT_EQ(O.AbortedSnapshotDays, 0u);
+}
+
+TEST(DeploymentFaults, IsolationContainsLethalDeathsToOneRun) {
+  // Same config, same seed, one switch: with fork-per-slot isolation a
+  // lethal test death costs that one run (a respawn); without it the
+  // dying test takes the snapshot harness down and the REST of the day
+  // is lost. The blast-radius difference is the whole point of the
+  // isolation layer, seen at the simulator's altitude.
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  Config.TestSegvProb = 0.0015;
+  Config.TestOomProb = 0.0005;
+
+  Config.IsolateTestRuns = true;
+  pipeline::DeploymentOutcome Isolated = [&Config] {
+    pipeline::DeploymentSimulator Sim(Config);
+    return Sim.run();
+  }();
+  EXPECT_GT(Isolated.SnapshotSegvs + Isolated.SnapshotOoms, 0u)
+      << "positive lethal rates over 60 days must kill something";
+  EXPECT_EQ(Isolated.IsolationRespawns,
+            Isolated.SnapshotSegvs + Isolated.SnapshotOoms)
+      << "isolation: one respawn per death, nothing else lost";
+  EXPECT_EQ(Isolated.AbortedSnapshotDays, 0u);
+
+  Config.IsolateTestRuns = false;
+  pipeline::DeploymentOutcome Bare = [&Config] {
+    pipeline::DeploymentSimulator Sim(Config);
+    return Sim.run();
+  }();
+  EXPECT_GT(Bare.AbortedSnapshotDays, 0u)
+      << "without isolation a lethal death aborts the day's snapshot";
+  EXPECT_EQ(Bare.IsolationRespawns, 0u);
+
+  // Deterministic: the lethal model is part of the seeded simulation.
+  Config.IsolateTestRuns = true;
+  pipeline::DeploymentSimulator Repeat(Config);
+  pipeline::DeploymentOutcome R = Repeat.run();
+  EXPECT_EQ(R.SnapshotSegvs, Isolated.SnapshotSegvs);
+  EXPECT_EQ(R.SnapshotOoms, Isolated.SnapshotOoms);
+  EXPECT_EQ(R.IsolationRespawns, Isolated.IsolationRespawns);
+  EXPECT_EQ(R.Outstanding.Values, Isolated.Outstanding.Values);
+  obs::Registry &Reg = Repeat.metrics();
+  EXPECT_EQ(Reg.findCounter("grs_pipeline_snapshot_segvs_total")->value(),
+            R.SnapshotSegvs);
+  EXPECT_EQ(Reg.findCounter("grs_pipeline_snapshot_ooms_total")->value(),
+            R.SnapshotOoms);
+  EXPECT_EQ(
+      Reg.findCounter("grs_pipeline_isolation_respawns_total")->value(),
+      R.IsolationRespawns);
 }
 
 } // namespace
