@@ -1,0 +1,227 @@
+//===- lang/Generator.cpp - Seeded grs program fuzzer ----------------------===//
+
+#include "lang/Generator.h"
+
+#include "lang/Interp.h"
+#include "pipeline/Sweep.h"
+#include "support/Rng.h"
+
+#include <sstream>
+
+using namespace grs;
+using namespace grs::lang;
+
+namespace {
+
+/// Per-shared-variable safety policy in benign programs.
+enum class Policy : uint8_t {
+  Guarded,  ///< Every access from any worker holds the mutex.
+  Owned,    ///< Exactly one worker touches it (unguarded).
+  ReadOnly, ///< Written only by main before any spawn.
+};
+
+struct VarPlan {
+  std::string Name;
+  Policy Pol;
+  int Owner = -1; ///< Worker index for Policy::Owned.
+};
+
+/// Emits one worker op. Racy programs never draw channel ops: a channel
+/// edge from one racy worker to the other would order the victim
+/// increments and turn the guaranteed race into a schedule-dependent
+/// one, breaking ground truth.
+void emitOp(std::ostringstream &Out, support::Rng &R,
+            const std::vector<VarPlan> &Vars, int Worker, bool AllowChan,
+            bool HaveChan) {
+  for (int Attempt = 0; Attempt < 8; ++Attempt) {
+    switch (R.nextBelow(5)) {
+    case 0: { // Guarded increment.
+      std::vector<const VarPlan *> Cand;
+      for (const VarPlan &V : Vars)
+        if (V.Pol == Policy::Guarded)
+          Cand.push_back(&V);
+      if (Cand.empty())
+        break;
+      const VarPlan &V = *Cand[R.nextBelow(Cand.size())];
+      Out << "\t\tmu.lock()\n"
+          << "\t\t" << V.Name << " = " << V.Name << " + 1\n"
+          << "\t\tmu.unlock()\n";
+      return;
+    }
+    case 1: { // Owner-only increment.
+      std::vector<const VarPlan *> Cand;
+      for (const VarPlan &V : Vars)
+        if (V.Pol == Policy::Owned && V.Owner == Worker)
+          Cand.push_back(&V);
+      if (Cand.empty())
+        break;
+      const VarPlan &V = *Cand[R.nextBelow(Cand.size())];
+      Out << "\t\t" << V.Name << " = " << V.Name << " + "
+          << R.rangeInclusive(1, 3) << "\n";
+      return;
+    }
+    case 2: { // Read-only read into a worker-local.
+      std::vector<const VarPlan *> Cand;
+      for (const VarPlan &V : Vars)
+        if (V.Pol == Policy::ReadOnly)
+          Cand.push_back(&V);
+      if (Cand.empty())
+        break;
+      const VarPlan &V = *Cand[R.nextBelow(Cand.size())];
+      Out << "\t\tsnapshot := " << V.Name << " + local\n"
+          << "\t\tlocal = snapshot\n";
+      return;
+    }
+    case 3: { // Local loop (pure fiber-local compute).
+      int64_t N = R.rangeInclusive(2, 5);
+      Out << "\t\tfor j := 0; j < " << N << "; j = j + 1 {\n"
+          << "\t\t\tlocal = local + j\n"
+          << "\t\t}\n";
+      return;
+    }
+    case 4: { // Non-blocking channel traffic (benign programs only).
+      if (!AllowChan || !HaveChan)
+        break;
+      if (R.chance(0.5)) {
+        Out << "\t\tch <- local\n"; // Buffered, capacity covers all sends.
+      } else {
+        Out << "\t\tselect {\n"
+            << "\t\tcase got := <-ch:\n"
+            << "\t\t\tlocal = got\n"
+            << "\t\tdefault:\n"
+            << "\t\t\tlocal = local + 1\n"
+            << "\t\t}\n";
+      }
+      return;
+    }
+    }
+  }
+  // Every draw hit an empty candidate pool; fall back to local work.
+  Out << "\t\tlocal = local + 1\n";
+}
+
+} // namespace
+
+GeneratedProgram grs::lang::generateProgram(uint64_t ProgramSeed) {
+  support::Rng R(ProgramSeed ^ 0x6772732d67656eULL); // "grs-gen"
+
+  GeneratedProgram G;
+  G.ProgramSeed = ProgramSeed;
+  G.Racy = R.chance(0.5);
+
+  int NumVars = static_cast<int>(R.rangeInclusive(2, 4));
+  int NumWorkers = static_cast<int>(R.rangeInclusive(2, 3));
+  bool UseChan = !G.Racy && R.chance(0.6);
+  int OpsPerWorker = static_cast<int>(R.rangeInclusive(1, 4));
+
+  std::vector<VarPlan> Vars;
+  for (int I = 0; I < NumVars; ++I) {
+    VarPlan V;
+    V.Name = "v" + std::to_string(I);
+    switch (R.nextBelow(3)) {
+    case 0:
+      V.Pol = Policy::Guarded;
+      break;
+    case 1:
+      V.Pol = Policy::Owned;
+      V.Owner = static_cast<int>(R.nextBelow(NumWorkers));
+      break;
+    default:
+      V.Pol = Policy::ReadOnly;
+      break;
+    }
+    Vars.push_back(V);
+  }
+
+  // The racy pair: two distinct workers end with an unguarded increment
+  // of a dedicated victim cell. Being each worker's final op, the
+  // increment follows every unlock that worker performs, so no mutex
+  // edge can order the two increments; wg.done() only releases toward
+  // main's wait. Unordered on every schedule => flagged on every seed.
+  int RacyA = 0, RacyB = 0;
+  if (G.Racy) {
+    RacyA = static_cast<int>(R.nextBelow(NumWorkers));
+    RacyB = static_cast<int>(R.nextBelow(NumWorkers - 1));
+    if (RacyB >= RacyA)
+      ++RacyB;
+  }
+
+  // Channel capacity must cover every send that can happen: each op
+  // slot of each worker could be a send.
+  int ChanCap = NumWorkers * OpsPerWorker + 1;
+
+  std::ostringstream Out;
+  Out << "// grs-gen program " << ProgramSeed << " ("
+      << (G.Racy ? "racy" : "benign") << ")\n";
+  Out << "func main() {\n";
+  for (const VarPlan &V : Vars)
+    Out << "\t" << V.Name << " := " << R.rangeInclusive(0, 9) << "\n";
+  if (G.Racy)
+    Out << "\tvictim := 0\n";
+  Out << "\tmu := mutex(\"mu\")\n";
+  Out << "\twg := waitgroup(\"wg\")\n";
+  if (UseChan)
+    Out << "\tch := make(chan, " << ChanCap << ")\n";
+
+  for (int W = 0; W < NumWorkers; ++W) {
+    Out << "\twg.add(1)\n";
+    Out << "\tgo \"w" << W << "\" func worker" << W << "() {\n";
+    Out << "\t\tlocal := " << W << "\n";
+    for (int Op = 0; Op < OpsPerWorker; ++Op)
+      emitOp(Out, R, Vars, W, /*AllowChan=*/!G.Racy, UseChan);
+    if (G.Racy && (W == RacyA || W == RacyB))
+      Out << "\t\tvictim = victim + local\n";
+    Out << "\t\twg.done()\n";
+    Out << "\t}()\n";
+  }
+  Out << "\twg.wait()\n";
+  // Post-wait audit reads are ordered behind every worker via the
+  // done->wait edges (add precedes each spawn), so they never race.
+  Out << "\ttotal := 0\n";
+  for (const VarPlan &V : Vars)
+    Out << "\ttotal = total + " << V.Name << "\n";
+  if (G.Racy)
+    Out << "\ttotal = total + victim\n";
+  Out << "}\n";
+
+  G.Source = Out.str();
+  G.Parsed = parseProgram(G.Source,
+                          "gen-" + std::to_string(ProgramSeed) + ".grs");
+  return G;
+}
+
+DifferentialOutcome
+grs::lang::differentialSweep(const DifferentialOptions &Opts) {
+  DifferentialOutcome Outcome;
+  for (unsigned I = 0; I < Opts.NumPrograms; ++I) {
+    uint64_t ProgramSeed = Opts.FirstProgram + I;
+    GeneratedProgram G = generateProgram(ProgramSeed);
+    ++Outcome.Programs;
+    if (!G.Parsed.ok()) {
+      ++Outcome.ParseFailures;
+      continue;
+    }
+    (G.Racy ? Outcome.RacyPrograms : Outcome.BenignPrograms) += 1;
+
+    pipeline::SweepOptions SweepOpts;
+    SweepOpts.NumSeeds = Opts.SweepSeeds;
+    std::shared_ptr<const Program> P = G.Parsed.Prog;
+    pipeline::SweepResult Sweep = pipeline::sweep(SweepOpts, body(P));
+
+    Outcome.Panics += static_cast<unsigned>(Sweep.SeedsWithPanics);
+    Outcome.Deadlocks += static_cast<unsigned>(Sweep.SeedsDeadlocked);
+    Outcome.Leaks += static_cast<unsigned>(Sweep.SeedsWithLeaks);
+
+    bool Flagged = Sweep.SeedsWithRaces > 0;
+    if (G.Racy && Sweep.SeedsWithRaces != Sweep.SeedsRun) {
+      // Constructed races have no ordering escape hatch: every seed
+      // must flag, not merely one.
+      ++Outcome.Misses;
+      Outcome.MissSeeds.push_back(ProgramSeed);
+    } else if (!G.Racy && Flagged) {
+      ++Outcome.FalsePositives;
+      Outcome.FalsePositiveSeeds.push_back(ProgramSeed);
+    }
+  }
+  return Outcome;
+}

@@ -1,0 +1,437 @@
+//===- lang/Lexer.cpp - Tokenizer for the grs race-program DSL ------------===//
+
+#include "lang/Lexer.h"
+
+#include <limits>
+
+using namespace grs;
+using namespace grs::lang;
+
+std::string lang::renderDiag(const std::string &File, const Diag &D) {
+  return File + ":" + std::to_string(D.Line) + ":" + std::to_string(D.Col) +
+         ": " + D.Message;
+}
+
+const char *lang::tokName(Tok K) {
+  switch (K) {
+  case Tok::Eof:
+    return "end of file";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::Int:
+    return "integer literal";
+  case Tok::Str:
+    return "string literal";
+  case Tok::KwFunc:
+    return "'func'";
+  case Tok::KwGo:
+    return "'go'";
+  case Tok::KwDefer:
+    return "'defer'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwFor:
+    return "'for'";
+  case Tok::KwSelect:
+    return "'select'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwDefault:
+    return "'default'";
+  case Tok::KwBreak:
+    return "'break'";
+  case Tok::KwContinue:
+    return "'continue'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwNil:
+    return "'nil'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::Assign:
+    return "'='";
+  case Tok::Define:
+    return "':='";
+  case Tok::Eq:
+    return "'=='";
+  case Tok::Ne:
+    return "'!='";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::AndAnd:
+    return "'&&'";
+  case Tok::OrOr:
+    return "'||'";
+  case Tok::Not:
+    return "'!'";
+  case Tok::Arrow:
+    return "'<-'";
+  }
+  return "token";
+}
+
+namespace {
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentCont(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+Tok keywordOf(const std::string &S) {
+  if (S == "func")
+    return Tok::KwFunc;
+  if (S == "go")
+    return Tok::KwGo;
+  if (S == "defer")
+    return Tok::KwDefer;
+  if (S == "return")
+    return Tok::KwReturn;
+  if (S == "if")
+    return Tok::KwIf;
+  if (S == "else")
+    return Tok::KwElse;
+  if (S == "for")
+    return Tok::KwFor;
+  if (S == "select")
+    return Tok::KwSelect;
+  if (S == "case")
+    return Tok::KwCase;
+  if (S == "default")
+    return Tok::KwDefault;
+  if (S == "break")
+    return Tok::KwBreak;
+  if (S == "continue")
+    return Tok::KwContinue;
+  if (S == "true")
+    return Tok::KwTrue;
+  if (S == "false")
+    return Tok::KwFalse;
+  if (S == "nil")
+    return Tok::KwNil;
+  return Tok::Ident;
+}
+
+/// Go's rule: insert ';' at a newline when the line's last token could
+/// end a statement.
+bool endsStatement(Tok K) {
+  switch (K) {
+  case Tok::Ident:
+  case Tok::Int:
+  case Tok::Str:
+  case Tok::KwTrue:
+  case Tok::KwFalse:
+  case Tok::KwNil:
+  case Tok::KwReturn:
+  case Tok::KwBreak:
+  case Tok::KwContinue:
+  case Tok::RParen:
+  case Tok::RBrace:
+  case Tok::RBracket:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+LexResult lang::lex(const std::string &Source) {
+  LexResult R;
+  uint32_t Line = 1, Col = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto push = [&](Tok K, uint32_t L, uint32_t C) {
+    Token T;
+    T.K = K;
+    T.Line = L;
+    T.Col = C;
+    R.Tokens.push_back(std::move(T));
+    return &R.Tokens.back();
+  };
+  auto diag = [&](uint32_t L, uint32_t C, std::string Msg) {
+    R.Diags.push_back(Diag{L, C, std::move(Msg)});
+  };
+  auto maybeInsertSemi = [&] {
+    if (!R.Tokens.empty() && endsStatement(R.Tokens.back().K))
+      push(Tok::Semi, Line, Col);
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      maybeInsertSemi();
+      ++I;
+      ++Line;
+      Col = 1;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++I;
+      ++Col;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n') {
+        ++I;
+        ++Col;
+      }
+      continue; // The '\n' (if any) handles semicolon insertion.
+    }
+
+    uint32_t TokLine = Line, TokCol = Col;
+
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentCont(Source[I])) {
+        ++I;
+        ++Col;
+      }
+      std::string Text = Source.substr(Start, I - Start);
+      Token *T = push(keywordOf(Text), TokLine, TokCol);
+      if (T->K == Tok::Ident)
+        T->Text = std::move(Text);
+      continue;
+    }
+
+    if (isDigit(C)) {
+      int64_t Value = 0;
+      bool Overflow = false;
+      while (I < N && isDigit(Source[I])) {
+        int Digit = Source[I] - '0';
+        if (Value > (std::numeric_limits<int64_t>::max() - Digit) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + Digit;
+        ++I;
+        ++Col;
+      }
+      if (Overflow)
+        diag(TokLine, TokCol, "integer literal overflows int64");
+      Token *T = push(Tok::Int, TokLine, TokCol);
+      T->IntValue = Value;
+      continue;
+    }
+
+    if (C == '"') {
+      ++I;
+      ++Col;
+      std::string Text;
+      bool Terminated = false;
+      while (I < N) {
+        char S = Source[I];
+        if (S == '"') {
+          ++I;
+          ++Col;
+          Terminated = true;
+          break;
+        }
+        if (S == '\n')
+          break; // Unterminated: do not swallow the rest of the file.
+        if (S == '\\' && I + 1 < N) {
+          char E = Source[I + 1];
+          switch (E) {
+          case 'n':
+            Text.push_back('\n');
+            break;
+          case 't':
+            Text.push_back('\t');
+            break;
+          case '"':
+            Text.push_back('"');
+            break;
+          case '\\':
+            Text.push_back('\\');
+            break;
+          default:
+            diag(Line, Col, std::string("unknown escape '\\") + E +
+                                "' in string literal");
+            Text.push_back(E);
+            break;
+          }
+          I += 2;
+          Col += 2;
+          continue;
+        }
+        Text.push_back(S);
+        ++I;
+        ++Col;
+      }
+      if (!Terminated)
+        diag(TokLine, TokCol, "unterminated string literal");
+      Token *T = push(Tok::Str, TokLine, TokCol);
+      T->Text = std::move(Text);
+      continue;
+    }
+
+    auto two = [&](char Next) {
+      return I + 1 < N && Source[I + 1] == Next;
+    };
+    Tok K = Tok::Eof;
+    size_t Len = 1;
+    switch (C) {
+    case '(':
+      K = Tok::LParen;
+      break;
+    case ')':
+      K = Tok::RParen;
+      break;
+    case '{':
+      K = Tok::LBrace;
+      break;
+    case '}':
+      K = Tok::RBrace;
+      break;
+    case '[':
+      K = Tok::LBracket;
+      break;
+    case ']':
+      K = Tok::RBracket;
+      break;
+    case ',':
+      K = Tok::Comma;
+      break;
+    case ';':
+      K = Tok::Semi;
+      break;
+    case '.':
+      K = Tok::Dot;
+      break;
+    case ':':
+      if (two('=')) {
+        K = Tok::Define;
+        Len = 2;
+      } else {
+        K = Tok::Colon;
+      }
+      break;
+    case '=':
+      if (two('=')) {
+        K = Tok::Eq;
+        Len = 2;
+      } else {
+        K = Tok::Assign;
+      }
+      break;
+    case '!':
+      if (two('=')) {
+        K = Tok::Ne;
+        Len = 2;
+      } else {
+        K = Tok::Not;
+      }
+      break;
+    case '<':
+      if (two('-')) {
+        K = Tok::Arrow;
+        Len = 2;
+      } else if (two('=')) {
+        K = Tok::Le;
+        Len = 2;
+      } else {
+        K = Tok::Lt;
+      }
+      break;
+    case '>':
+      if (two('=')) {
+        K = Tok::Ge;
+        Len = 2;
+      } else {
+        K = Tok::Gt;
+      }
+      break;
+    case '+':
+      K = Tok::Plus;
+      break;
+    case '-':
+      K = Tok::Minus;
+      break;
+    case '*':
+      K = Tok::Star;
+      break;
+    case '/':
+      K = Tok::Slash;
+      break;
+    case '%':
+      K = Tok::Percent;
+      break;
+    case '&':
+      if (two('&')) {
+        K = Tok::AndAnd;
+        Len = 2;
+      } else {
+        diag(TokLine, TokCol, "unexpected character '&' (did you mean '&&'?)");
+        ++I;
+        ++Col;
+        continue;
+      }
+      break;
+    case '|':
+      if (two('|')) {
+        K = Tok::OrOr;
+        Len = 2;
+      } else {
+        diag(TokLine, TokCol, "unexpected character '|' (did you mean '||'?)");
+        ++I;
+        ++Col;
+        continue;
+      }
+      break;
+    default:
+      diag(TokLine, TokCol,
+           std::string("unexpected character '") + C + "'");
+      ++I;
+      ++Col;
+      continue;
+    }
+    push(K, TokLine, TokCol);
+    I += Len;
+    Col += static_cast<uint32_t>(Len);
+  }
+
+  // A file ending without a newline still terminates its last statement.
+  maybeInsertSemi();
+  push(Tok::Eof, Line, Col);
+  return R;
+}

@@ -1,0 +1,129 @@
+//===- lang/Lexer.h - Tokenizer for the grs race-program DSL ----*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for "grs", the interpreted race-program language (ROADMAP
+/// item 3): a Go-shaped surface whose primitives are exactly the rt/
+/// layer, so the §4 corpus patterns become data files instead of C++
+/// bodies.
+///
+/// The lexer follows Go's concrete decisions where they matter for
+/// writing programs that LOOK like the paper's listings:
+///
+///  * `//` line comments;
+///  * double-quoted strings with \n \t \" \\ escapes;
+///  * automatic semicolon insertion — a newline terminates the statement
+///    when the previous token could end one (identifier, literal, `)`,
+///    `}`, `]`, `return`, `break`, `continue`), which is why `} else {`
+///    must share a line, exactly as in Go.
+///
+/// Lexing never fails hard: unknown characters, unterminated strings and
+/// overflowing integers produce Diags with line:col positions and the
+/// lexer keeps going, so the parser always receives a well-formed token
+/// stream ending in Eof. This is the first half of the "no crash on any
+/// truncation" robustness contract LangTest enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_LANG_LEXER_H
+#define GRS_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace lang {
+
+/// A source diagnostic (lexer or parser). Positions are 1-based.
+struct Diag {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string Message;
+};
+
+/// Renders \p D as "file:line:col: message" (the clickable format).
+std::string renderDiag(const std::string &File, const Diag &D);
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  Int,
+  Str,
+  // Keywords.
+  KwFunc,
+  KwGo,
+  KwDefer,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwSelect,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  // Operators.
+  Assign,  // =
+  Define,  // :=
+  Eq,      // ==
+  Ne,      // !=
+  Lt,      // <
+  Le,      // <=
+  Gt,      // >
+  Ge,      // >=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  AndAnd,
+  OrOr,
+  Not,
+  Arrow, // <-
+};
+
+/// Stable spelling of \p K for diagnostics ("identifier", "':='", ...).
+const char *tokName(Tok K);
+
+struct Token {
+  Tok K = Tok::Eof;
+  /// Identifier spelling / string literal value (after escapes).
+  std::string Text;
+  /// Integer literal value.
+  int64_t IntValue = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+struct LexResult {
+  std::vector<Token> Tokens; ///< Always non-empty; last token is Eof.
+  std::vector<Diag> Diags;
+};
+
+/// Tokenizes \p Source. Total: every byte sequence yields a token stream
+/// plus possibly diagnostics, never an exception.
+LexResult lex(const std::string &Source);
+
+} // namespace lang
+} // namespace grs
+
+#endif // GRS_LANG_LEXER_H

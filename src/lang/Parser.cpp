@@ -1,0 +1,883 @@
+//===- lang/Parser.cpp - Recursive-descent parser for grs -----------------===//
+
+#include "lang/Parser.h"
+
+#include <utility>
+
+using namespace grs;
+using namespace grs::lang;
+
+namespace {
+
+/// Internal control-flow sentinel: thrown on a parse error, caught at the
+/// nearest statement boundary where recovery resumes. Never escapes
+/// parseProgram.
+struct Bail {};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<Diag> LexDiags,
+         std::string FileName)
+      : Toks(std::move(Tokens)), Diags(std::move(LexDiags)) {
+    Prog = std::make_shared<Program>();
+    Prog->FileName = std::move(FileName);
+  }
+
+  ParseResult run() {
+    while (cur().K != Tok::Eof) {
+      if (cur().K == Tok::Semi) {
+        advance();
+        continue;
+      }
+      if (cur().K != Tok::KwFunc) {
+        // diag(), not error(): there is no enclosing statement boundary
+        // to catch a Bail here, so record and sync in place.
+        diag(cur(), std::string("expected 'func' at top level, found ") +
+                        tokName(cur().K));
+        while (cur().K != Tok::Eof && cur().K != Tok::KwFunc)
+          advance();
+        continue;
+      }
+      try {
+        Prog->Funcs.push_back(parseFuncLit(/*TopLevel=*/true));
+      } catch (const Bail &) {
+        syncTopLevel();
+      }
+    }
+    ParseResult R;
+    R.Prog = std::move(Prog);
+    R.Diags = std::move(Diags);
+    return R;
+  }
+
+private:
+  std::vector<Token> Toks;
+  std::vector<Diag> Diags;
+  std::shared_ptr<Program> Prog;
+  size_t P = 0;
+  /// Defensive backstop so no malformed input can loop forever; every
+  /// recovery path consumes a token, so real programs never get close.
+  int Fuel = 1 << 20;
+  static constexpr size_t MaxDiags = 50;
+
+  const Token &cur() const { return Toks[P]; }
+  const Token &peek() const {
+    return Toks[P + 1 < Toks.size() ? P + 1 : Toks.size() - 1];
+  }
+
+  void advance() {
+    if (--Fuel <= 0)
+      P = Toks.size() - 1; // Jump to Eof.
+    else if (P + 1 < Toks.size())
+      ++P;
+  }
+
+  void diag(const Token &At, std::string Msg) {
+    if (Diags.size() >= MaxDiags) {
+      P = Toks.size() - 1; // Diag flood: stop parsing, keep what we have.
+      return;
+    }
+    Diags.push_back(Diag{At.Line, At.Col, std::move(Msg)});
+  }
+
+  [[noreturn]] void error(const Token &At, std::string Msg) {
+    diag(At, std::move(Msg));
+    throw Bail{};
+  }
+
+  Token expect(Tok K, const char *Context) {
+    if (cur().K != K)
+      error(cur(), std::string("expected ") + tokName(K) + " " + Context +
+                       ", found " + tokName(cur().K));
+    Token T = cur();
+    advance();
+    return T;
+  }
+
+  /// Statement-level recovery: skip to the next ';' or '}' boundary,
+  /// always consuming at least one token.
+  void syncStmt() {
+    if (cur().K != Tok::Eof)
+      advance();
+    while (cur().K != Tok::Eof && cur().K != Tok::Semi &&
+           cur().K != Tok::RBrace)
+      advance();
+    if (cur().K == Tok::Semi)
+      advance();
+  }
+
+  void syncTopLevel() {
+    while (cur().K != Tok::Eof && cur().K != Tok::KwFunc)
+      advance();
+  }
+
+  static Pos posOf(const Token &T) { return Pos{T.Line, T.Col}; }
+
+  // --- Functions ---------------------------------------------------------
+
+  std::shared_ptr<FuncLit> parseFuncLit(bool TopLevel) {
+    Token FuncTok = expect(Tok::KwFunc, "to begin function");
+    auto F = std::make_shared<FuncLit>();
+    F->P = posOf(FuncTok);
+    if (cur().K == Tok::Ident) {
+      F->Name = cur().Text;
+      advance();
+    } else if (TopLevel) {
+      error(cur(), std::string("expected function name, found ") +
+                       tokName(cur().K));
+    }
+    expect(Tok::LParen, "after function name");
+    while (cur().K != Tok::RParen && cur().K != Tok::Eof) {
+      Token PTok = expect(Tok::Ident, "in parameter list");
+      F->Params.push_back(PTok.Text);
+      if (cur().K == Tok::Comma)
+        advance();
+      else
+        break;
+    }
+    expect(Tok::RParen, "to close parameter list");
+    F->Body = parseBlock();
+    return F;
+  }
+
+  Block parseBlock() {
+    Block B;
+    expect(Tok::LBrace, "to open block");
+    while (cur().K != Tok::RBrace && cur().K != Tok::Eof) {
+      if (cur().K == Tok::Semi) {
+        advance();
+        continue;
+      }
+      try {
+        B.Stmts.push_back(parseStmt());
+      } catch (const Bail &) {
+        syncStmt();
+      }
+    }
+    expect(Tok::RBrace, "to close block");
+    return B;
+  }
+
+  // --- Statements --------------------------------------------------------
+
+  std::unique_ptr<Stmt> parseStmt() {
+    switch (cur().K) {
+    case Tok::KwIf:
+      return parseIf();
+    case Tok::KwFor:
+      return parseFor();
+    case Tok::KwGo:
+      return parseGo();
+    case Tok::KwDefer:
+      return parseDefer();
+    case Tok::KwReturn:
+      return parseReturn();
+    case Tok::KwSelect:
+      return parseSelect();
+    case Tok::KwBreak: {
+      auto S = std::make_unique<Stmt>();
+      S->K = StmtKind::Break;
+      S->P = posOf(cur());
+      advance();
+      return S;
+    }
+    case Tok::KwContinue: {
+      auto S = std::make_unique<Stmt>();
+      S->K = StmtKind::Continue;
+      S->P = posOf(cur());
+      advance();
+      return S;
+    }
+    case Tok::LBrace: {
+      auto S = std::make_unique<Stmt>();
+      S->K = StmtKind::BlockStmt;
+      S->P = posOf(cur());
+      S->Body = parseBlock();
+      return S;
+    }
+    default:
+      return parseSimpleStmt();
+    }
+  }
+
+  /// decl / assign / index-assign / send / bare expression — the statement
+  /// forms legal as a `for` init or post clause.
+  std::unique_ptr<Stmt> parseSimpleStmt() {
+    Token Start = cur();
+    auto E = parseExpr();
+    auto S = std::make_unique<Stmt>();
+    S->P = posOf(Start);
+    switch (cur().K) {
+    case Tok::Define: {
+      advance();
+      if (E->K != ExprKind::Ident)
+        error(Start, "left side of ':=' must be an identifier");
+      S->K = StmtKind::Decl;
+      S->Name = E->Str;
+      S->E = parseExpr();
+      return S;
+    }
+    case Tok::Assign: {
+      advance();
+      if (E->K == ExprKind::Ident) {
+        S->K = StmtKind::Assign;
+        S->Name = E->Str;
+        S->E = parseExpr();
+        return S;
+      }
+      if (E->K == ExprKind::Index) {
+        S->K = StmtKind::IndexAssign;
+        S->E = std::move(E->Kids[0]);
+        S->E2 = std::move(E->Kids[1]);
+        S->E3 = parseExpr();
+        return S;
+      }
+      error(Start, "left side of '=' must be an identifier or index");
+    }
+    case Tok::Arrow: {
+      advance();
+      S->K = StmtKind::Send;
+      S->E = std::move(E);
+      S->E2 = parseExpr();
+      return S;
+    }
+    default:
+      S->K = StmtKind::ExprStmt;
+      S->E = std::move(E);
+      return S;
+    }
+  }
+
+  std::unique_ptr<Stmt> parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::If;
+    S->P = posOf(cur());
+    expect(Tok::KwIf, "");
+    S->E = parseExpr();
+    S->Body = parseBlock();
+    if (cur().K == Tok::KwElse) {
+      advance();
+      if (cur().K == Tok::KwIf) {
+        S->ElseBody.Stmts.push_back(parseIf());
+      } else {
+        S->ElseBody = parseBlock();
+      }
+    }
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseFor() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::For;
+    S->P = posOf(cur());
+    expect(Tok::KwFor, "");
+    if (cur().K == Tok::LBrace) { // for { }
+      S->Body = parseBlock();
+      return S;
+    }
+    auto First = parseSimpleStmt();
+    if (cur().K == Tok::LBrace) { // for cond { }
+      if (First->K != StmtKind::ExprStmt)
+        error(cur(), "for condition must be an expression");
+      S->E = std::move(First->E);
+      S->Body = parseBlock();
+      return S;
+    }
+    // for init; cond; post { }
+    expect(Tok::Semi, "after for-loop init");
+    S->Init = std::move(First);
+    if (cur().K != Tok::Semi)
+      S->E = parseExpr();
+    expect(Tok::Semi, "after for-loop condition");
+    if (cur().K != Tok::LBrace)
+      S->Post = parseSimpleStmt();
+    S->Body = parseBlock();
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseGo() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Go;
+    S->P = posOf(cur());
+    expect(Tok::KwGo, "");
+    if (cur().K == Tok::Str) { // Optional goroutine label.
+      S->Name = cur().Text;
+      advance();
+    }
+    Token Start = cur();
+    S->E = parseExpr();
+    if (S->E->K != ExprKind::Call && S->E->K != ExprKind::Method)
+      error(Start, "go requires a call expression");
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseDefer() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Defer;
+    S->P = posOf(cur());
+    expect(Tok::KwDefer, "");
+    Token Start = cur();
+    S->E = parseExpr();
+    if (S->E->K != ExprKind::Call && S->E->K != ExprKind::Method)
+      error(Start, "defer requires a call expression");
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseReturn() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Return;
+    S->P = posOf(cur());
+    expect(Tok::KwReturn, "");
+    if (cur().K != Tok::Semi && cur().K != Tok::RBrace &&
+        cur().K != Tok::Eof)
+      S->E = parseExpr();
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseSelect() {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Select;
+    S->P = posOf(cur());
+    expect(Tok::KwSelect, "");
+    expect(Tok::LBrace, "after 'select'");
+    while (cur().K != Tok::RBrace && cur().K != Tok::Eof) {
+      if (cur().K == Tok::Semi) {
+        advance();
+        continue;
+      }
+      SelectCase C;
+      C.P = posOf(cur());
+      if (cur().K == Tok::KwDefault) {
+        advance();
+        C.K = SelectCase::Kind::Default;
+      } else {
+        expect(Tok::KwCase, "in select body");
+        if (cur().K == Tok::Ident && peek().K == Tok::Define) {
+          // case v := <-ch:
+          C.K = SelectCase::Kind::Recv;
+          C.BindName = cur().Text;
+          advance(); // ident
+          advance(); // :=
+          expect(Tok::Arrow, "in receive case");
+          C.Ch = parseExpr();
+        } else {
+          Token Start = cur();
+          auto E = parseExpr();
+          if (E->K == ExprKind::Recv) { // case <-ch:
+            C.K = SelectCase::Kind::Recv;
+            C.Ch = std::move(E->Kids[0]);
+          } else if (cur().K == Tok::Arrow) { // case ch <- v:
+            advance();
+            C.K = SelectCase::Kind::Send;
+            C.Ch = std::move(E);
+            C.Val = parseExpr();
+          } else {
+            error(Start, "select case must be a channel send or receive");
+          }
+        }
+      }
+      expect(Tok::Colon, "after select case");
+      while (cur().K != Tok::KwCase && cur().K != Tok::KwDefault &&
+             cur().K != Tok::RBrace && cur().K != Tok::Eof) {
+        if (cur().K == Tok::Semi) {
+          advance();
+          continue;
+        }
+        try {
+          C.Body.Stmts.push_back(parseStmt());
+        } catch (const Bail &) {
+          syncStmt();
+        }
+      }
+      S->Cases.push_back(std::move(C));
+    }
+    expect(Tok::RBrace, "to close select");
+    return S;
+  }
+
+  // --- Expressions -------------------------------------------------------
+
+  std::unique_ptr<Expr> parseExpr() { return parseOr(); }
+
+  std::unique_ptr<Expr> binary(const char *Op, Pos At,
+                               std::unique_ptr<Expr> L,
+                               std::unique_ptr<Expr> R) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::Binary;
+    E->P = At;
+    E->Str = Op;
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(std::move(R));
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseOr() {
+    auto L = parseAnd();
+    while (cur().K == Tok::OrOr) {
+      Pos At = posOf(cur());
+      advance();
+      L = binary("||", At, std::move(L), parseAnd());
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseAnd() {
+    auto L = parseCmp();
+    while (cur().K == Tok::AndAnd) {
+      Pos At = posOf(cur());
+      advance();
+      L = binary("&&", At, std::move(L), parseCmp());
+    }
+    return L;
+  }
+
+  const char *cmpOp() const {
+    switch (cur().K) {
+    case Tok::Eq:
+      return "==";
+    case Tok::Ne:
+      return "!=";
+    case Tok::Lt:
+      return "<";
+    case Tok::Le:
+      return "<=";
+    case Tok::Gt:
+      return ">";
+    case Tok::Ge:
+      return ">=";
+    default:
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<Expr> parseCmp() {
+    auto L = parseAdd();
+    while (const char *Op = cmpOp()) {
+      Pos At = posOf(cur());
+      advance();
+      L = binary(Op, At, std::move(L), parseAdd());
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseAdd() {
+    auto L = parseMul();
+    while (cur().K == Tok::Plus || cur().K == Tok::Minus) {
+      const char *Op = cur().K == Tok::Plus ? "+" : "-";
+      Pos At = posOf(cur());
+      advance();
+      L = binary(Op, At, std::move(L), parseMul());
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseMul() {
+    auto L = parseUnary();
+    while (cur().K == Tok::Star || cur().K == Tok::Slash ||
+           cur().K == Tok::Percent) {
+      const char *Op = cur().K == Tok::Star    ? "*"
+                       : cur().K == Tok::Slash ? "/"
+                                               : "%";
+      Pos At = posOf(cur());
+      advance();
+      L = binary(Op, At, std::move(L), parseUnary());
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseUnary() {
+    if (cur().K == Tok::Not || cur().K == Tok::Minus) {
+      auto E = std::make_unique<Expr>();
+      E->K = ExprKind::Unary;
+      E->P = posOf(cur());
+      E->Str = cur().K == Tok::Not ? "!" : "-";
+      advance();
+      E->Kids.push_back(parseUnary());
+      return E;
+    }
+    if (cur().K == Tok::Arrow) { // <-ch receive expression.
+      auto E = std::make_unique<Expr>();
+      E->K = ExprKind::Recv;
+      E->P = posOf(cur());
+      advance();
+      E->Kids.push_back(parseUnary());
+      return E;
+    }
+    return parsePostfix();
+  }
+
+  std::unique_ptr<Expr> parsePostfix() {
+    auto E = parsePrimary();
+    for (;;) {
+      if (cur().K == Tok::LParen) {
+        auto Call = std::make_unique<Expr>();
+        Call->K = ExprKind::Call;
+        Call->P = posOf(cur());
+        Call->Kids.push_back(std::move(E));
+        parseArgs(*Call);
+        E = std::move(Call);
+        continue;
+      }
+      if (cur().K == Tok::Dot) {
+        Pos At = posOf(cur());
+        advance();
+        Token Name = expect(Tok::Ident, "after '.'");
+        auto M = std::make_unique<Expr>();
+        M->K = ExprKind::Method;
+        M->P = At;
+        M->Str = Name.Text;
+        M->Kids.push_back(std::move(E));
+        if (cur().K != Tok::LParen)
+          error(cur(), "method reference must be called: expected '('");
+        parseArgs(*M);
+        E = std::move(M);
+        continue;
+      }
+      if (cur().K == Tok::LBracket) {
+        auto Ix = std::make_unique<Expr>();
+        Ix->K = ExprKind::Index;
+        Ix->P = posOf(cur());
+        advance();
+        Ix->Kids.push_back(std::move(E));
+        Ix->Kids.push_back(parseExpr());
+        expect(Tok::RBracket, "to close index");
+        E = std::move(Ix);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  void parseArgs(Expr &Call) {
+    expect(Tok::LParen, "to open argument list");
+    while (cur().K != Tok::RParen && cur().K != Tok::Eof) {
+      Call.Kids.push_back(parseExpr());
+      if (cur().K == Tok::Comma)
+        advance();
+      else
+        break;
+    }
+    expect(Tok::RParen, "to close argument list");
+  }
+
+  std::unique_ptr<Expr> parsePrimary() {
+    auto E = std::make_unique<Expr>();
+    E->P = posOf(cur());
+    switch (cur().K) {
+    case Tok::Int:
+      E->K = ExprKind::IntLit;
+      E->IntValue = cur().IntValue;
+      advance();
+      return E;
+    case Tok::Str:
+      E->K = ExprKind::StrLit;
+      E->Str = cur().Text;
+      advance();
+      return E;
+    case Tok::KwTrue:
+    case Tok::KwFalse:
+      E->K = ExprKind::BoolLit;
+      E->BoolValue = cur().K == Tok::KwTrue;
+      advance();
+      return E;
+    case Tok::KwNil:
+      E->K = ExprKind::NilLit;
+      advance();
+      return E;
+    case Tok::Ident:
+      if (cur().Text == "make" && peek().K == Tok::LParen)
+        return parseMake();
+      E->K = ExprKind::Ident;
+      E->Str = cur().Text;
+      advance();
+      return E;
+    case Tok::LParen: {
+      advance();
+      auto Inner = parseExpr();
+      expect(Tok::RParen, "to close parenthesized expression");
+      return Inner;
+    }
+    case Tok::KwFunc: {
+      E->K = ExprKind::Func;
+      E->Fn = parseFuncLit(/*TopLevel=*/false);
+      E->P = E->Fn->P;
+      return E;
+    }
+    default:
+      error(cur(), std::string("expected expression, found ") +
+                       tokName(cur().K));
+    }
+  }
+
+  std::unique_ptr<Expr> parseMake() {
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::Make;
+    E->P = posOf(cur());
+    advance(); // make
+    expect(Tok::LParen, "after 'make'");
+    Token Kind = expect(Tok::Ident, "as make() type");
+    if (Kind.Text != "chan" && Kind.Text != "map" && Kind.Text != "slice")
+      error(Kind, "make() type must be 'chan', 'map' or 'slice', found '" +
+                      Kind.Text + "'");
+    E->Str = Kind.Text;
+    while (cur().K == Tok::Comma) {
+      advance();
+      E->Kids.push_back(parseExpr());
+    }
+    expect(Tok::RParen, "to close make()");
+    return E;
+  }
+};
+
+// --- Dump ----------------------------------------------------------------
+
+void dumpExpr(const Expr &E, std::string &Out);
+void dumpStmt(const Stmt &S, std::string &Out);
+
+void dumpBlockInline(const Block &B, std::string &Out) {
+  for (const auto &S : B.Stmts) {
+    Out += " ";
+    dumpStmt(*S, Out);
+  }
+}
+
+void dumpFuncLit(const FuncLit &F, std::string &Out) {
+  Out += "(func ";
+  Out += F.Name.empty() ? "_" : F.Name;
+  Out += " (";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      Out += " ";
+    Out += F.Params[I];
+  }
+  Out += ")";
+  dumpBlockInline(F.Body, Out);
+  Out += ")";
+}
+
+void dumpExpr(const Expr &E, std::string &Out) {
+  switch (E.K) {
+  case ExprKind::IntLit:
+    Out += "(int " + std::to_string(E.IntValue) + ")";
+    return;
+  case ExprKind::BoolLit:
+    Out += E.BoolValue ? "(bool true)" : "(bool false)";
+    return;
+  case ExprKind::StrLit:
+    Out += "(str \"" + E.Str + "\")";
+    return;
+  case ExprKind::NilLit:
+    Out += "nil";
+    return;
+  case ExprKind::Ident:
+    Out += "(id " + E.Str + ")";
+    return;
+  case ExprKind::Unary:
+    Out += "(un " + E.Str + " ";
+    dumpExpr(*E.Kids[0], Out);
+    Out += ")";
+    return;
+  case ExprKind::Binary:
+    Out += "(bin " + E.Str + " ";
+    dumpExpr(*E.Kids[0], Out);
+    Out += " ";
+    dumpExpr(*E.Kids[1], Out);
+    Out += ")";
+    return;
+  case ExprKind::Call:
+    Out += "(call";
+    for (const auto &K : E.Kids) {
+      Out += " ";
+      dumpExpr(*K, Out);
+    }
+    Out += ")";
+    return;
+  case ExprKind::Method:
+    Out += "(method " + E.Str;
+    for (const auto &K : E.Kids) {
+      Out += " ";
+      dumpExpr(*K, Out);
+    }
+    Out += ")";
+    return;
+  case ExprKind::Index:
+    Out += "(index ";
+    dumpExpr(*E.Kids[0], Out);
+    Out += " ";
+    dumpExpr(*E.Kids[1], Out);
+    Out += ")";
+    return;
+  case ExprKind::Recv:
+    Out += "(recv ";
+    dumpExpr(*E.Kids[0], Out);
+    Out += ")";
+    return;
+  case ExprKind::Func:
+    dumpFuncLit(*E.Fn, Out);
+    return;
+  case ExprKind::Make:
+    Out += "(make " + E.Str;
+    for (const auto &K : E.Kids) {
+      Out += " ";
+      dumpExpr(*K, Out);
+    }
+    Out += ")";
+    return;
+  }
+}
+
+void dumpStmt(const Stmt &S, std::string &Out) {
+  switch (S.K) {
+  case StmtKind::Decl:
+    Out += "(decl " + S.Name + " ";
+    dumpExpr(*S.E, Out);
+    Out += ")";
+    return;
+  case StmtKind::Assign:
+    Out += "(assign " + S.Name + " ";
+    dumpExpr(*S.E, Out);
+    Out += ")";
+    return;
+  case StmtKind::IndexAssign:
+    Out += "(setindex ";
+    dumpExpr(*S.E, Out);
+    Out += " ";
+    dumpExpr(*S.E2, Out);
+    Out += " ";
+    dumpExpr(*S.E3, Out);
+    Out += ")";
+    return;
+  case StmtKind::ExprStmt:
+    Out += "(expr ";
+    dumpExpr(*S.E, Out);
+    Out += ")";
+    return;
+  case StmtKind::If:
+    Out += "(if ";
+    dumpExpr(*S.E, Out);
+    Out += " (then";
+    dumpBlockInline(S.Body, Out);
+    Out += ")";
+    if (!S.ElseBody.Stmts.empty()) {
+      Out += " (else";
+      dumpBlockInline(S.ElseBody, Out);
+      Out += ")";
+    }
+    Out += ")";
+    return;
+  case StmtKind::For:
+    Out += "(for ";
+    if (S.Init)
+      dumpStmt(*S.Init, Out);
+    else
+      Out += "_";
+    Out += " ";
+    if (S.E)
+      dumpExpr(*S.E, Out);
+    else
+      Out += "_";
+    Out += " ";
+    if (S.Post)
+      dumpStmt(*S.Post, Out);
+    else
+      Out += "_";
+    Out += " (body";
+    dumpBlockInline(S.Body, Out);
+    Out += "))";
+    return;
+  case StmtKind::Go:
+    Out += "(go ";
+    if (!S.Name.empty())
+      Out += "\"" + S.Name + "\" ";
+    dumpExpr(*S.E, Out);
+    Out += ")";
+    return;
+  case StmtKind::Defer:
+    Out += "(defer ";
+    dumpExpr(*S.E, Out);
+    Out += ")";
+    return;
+  case StmtKind::Return:
+    if (S.E) {
+      Out += "(return ";
+      dumpExpr(*S.E, Out);
+      Out += ")";
+    } else {
+      Out += "(return)";
+    }
+    return;
+  case StmtKind::Send:
+    Out += "(send ";
+    dumpExpr(*S.E, Out);
+    Out += " ";
+    dumpExpr(*S.E2, Out);
+    Out += ")";
+    return;
+  case StmtKind::Select:
+    Out += "(select";
+    for (const auto &C : S.Cases) {
+      switch (C.K) {
+      case SelectCase::Kind::Recv:
+        Out += " (case-recv ";
+        Out += C.BindName.empty() ? "_" : C.BindName;
+        Out += " ";
+        dumpExpr(*C.Ch, Out);
+        break;
+      case SelectCase::Kind::Send:
+        Out += " (case-send ";
+        dumpExpr(*C.Ch, Out);
+        Out += " ";
+        dumpExpr(*C.Val, Out);
+        break;
+      case SelectCase::Kind::Default:
+        Out += " (case-default";
+        break;
+      }
+      dumpBlockInline(C.Body, Out);
+      Out += ")";
+    }
+    Out += ")";
+    return;
+  case StmtKind::Break:
+    Out += "(break)";
+    return;
+  case StmtKind::Continue:
+    Out += "(continue)";
+    return;
+  case StmtKind::BlockStmt:
+    Out += "(block";
+    dumpBlockInline(S.Body, Out);
+    Out += ")";
+    return;
+  }
+}
+
+} // namespace
+
+ParseResult lang::parseProgram(const std::string &Source,
+                               const std::string &FileName) {
+  LexResult L = lex(Source);
+  Parser Psr(std::move(L.Tokens), std::move(L.Diags), FileName);
+  return Psr.run();
+}
+
+std::string lang::dumpProgram(const Program &P) {
+  std::string Out;
+  for (const auto &F : P.Funcs) {
+    Out += "(func ";
+    Out += F->Name.empty() ? "_" : F->Name;
+    Out += " (";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        Out += " ";
+      Out += F->Params[I];
+    }
+    Out += ")";
+    for (const auto &S : F->Body.Stmts) {
+      Out += "\n  ";
+      dumpStmt(*S, Out);
+    }
+    Out += ")\n";
+  }
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- lang/Parser.h - Recursive-descent parser for grs ---------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the grs race-program DSL. Grammar sketch
+/// (DESIGN.md §11 has the full version):
+///
+///   program    := { funcDecl }
+///   funcDecl   := "func" Ident "(" params ")" block
+///   stmt       := decl | assign | send | exprStmt | if | for | go
+///               | defer | return | select | break | continue | block
+///   decl       := Ident ":=" expr
+///   assign     := Ident "=" expr | postfix "[" expr "]" "=" expr
+///   go         := "go" [ Str ] callExpr       // optional goroutine label
+///   expr       := orExpr (precedence: || < && < == != < > <= >= <
+///                 + - < * / % < unary ! - <- < postfix call/.m()/[i])
+///   primary    := Int | Str | true|false|nil | Ident | "(" expr ")"
+///               | "func" [Ident] "(" params ")" block    // named literal
+///               | "make" "(" ("chan"|"map"|"slice") {"," expr} ")"
+///
+/// The parser is total: malformed input yields diagnostics plus whatever
+/// partial Program could be recovered, never a crash or an exception.
+/// Recovery is statement-granular — on error it records a Diag naming the
+/// expected token, skips to the next ';' / '}' boundary, and resumes.
+/// LangTest drives every prefix-truncation of each corpus port through
+/// here to enforce that contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_LANG_PARSER_H
+#define GRS_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace lang {
+
+struct ParseResult {
+  /// Never null: on unrecoverable input this still holds the functions
+  /// parsed before the error cascade. Check ok() before interpreting.
+  std::shared_ptr<Program> Prog;
+  std::vector<Diag> Diags; ///< Lexer diags first, then parser diags.
+
+  bool ok() const { return Diags.empty(); }
+};
+
+/// Parses \p Source into a Program named \p FileName. Total over all
+/// inputs (see file comment).
+ParseResult parseProgram(const std::string &Source,
+                         const std::string &FileName = "program.grs");
+
+/// Renders \p P as a stable S-expression dump, one statement per line.
+/// LangTest's parser goldens compare against this.
+std::string dumpProgram(const Program &P);
+
+} // namespace lang
+} // namespace grs
+
+#endif // GRS_LANG_PARSER_H

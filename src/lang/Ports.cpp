@@ -1,0 +1,107 @@
+//===- lang/Ports.cpp - Registry of .grs corpus ports ----------------------===//
+
+#include "lang/Ports.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace grs;
+using namespace grs::lang;
+
+const std::vector<LangPort> &grs::lang::langPorts() {
+  // ExpectedFps are pinned from sweeps of the C++ twins (LangTest
+  // cross-checks them against both the twin and the interpreted port);
+  // chains-only §3.3.1 fingerprints, so they are stable across cosmetic
+  // edits to the .grs sources as long as function and goroutine names
+  // stay twin-exact.
+  static const std::vector<LangPort> All = {
+      {"loop-index-capture", "lang/loop_index_capture.grs",
+       "loop-index-capture", /*Always=*/true, /*RaceFree=*/false,
+       {0x860f1163c052aab8ULL}},
+      {"err-variable-capture", "lang/err_variable_capture.grs",
+       "err-variable-capture", /*Always=*/false, /*RaceFree=*/false,
+       {0xdb6f1d014e3e4e35ULL}},
+      {"named-return-capture", "lang/named_return_capture.grs",
+       "named-return-capture", /*Always=*/false, /*RaceFree=*/false,
+       {0x46c0800a8294f640ULL}},
+      {"defer-named-return", "lang/defer_named_return.grs",
+       "defer-named-return", /*Always=*/false, /*RaceFree=*/false,
+       {0xc68f11e85b3c1a94ULL}},
+      {"partial-locking", "lang/partial_locking.grs", "partial-locking",
+       /*Always=*/true, /*RaceFree=*/false, {0x7f6e138b8cec32c6ULL}},
+      {"rlock-mutation", "lang/rlock_mutation.grs", "rlock-mutation",
+       /*Always=*/false, /*RaceFree=*/false, {0xbe44c4c27305e6e9ULL}},
+      {"map-distinct-keys", "lang/map_distinct_keys.grs", "map-distinct-keys",
+       /*Always=*/false, /*RaceFree=*/false, {0xbdce3af9428874e3ULL}},
+      {"map-read-during-insert", "lang/map_read_during_insert.grs",
+       "map-read-during-insert", /*Always=*/false, /*RaceFree=*/false,
+       {0xe7783f182453c25eULL}},
+      {"global-mutation", "lang/global_mutation.grs", "global-mutation",
+       /*Always=*/false, /*RaceFree=*/false, {0x58241bb01be1090bULL}},
+      {"statement-order", "lang/statement_order.grs", "statement-order",
+       /*Always=*/true, /*RaceFree=*/false, {0xb25c0824e67c28aeULL}},
+      {"premature-unlock", "lang/premature_unlock.grs", "premature-unlock",
+       /*Always=*/false, /*RaceFree=*/false, {0xb954e03b92462bb1ULL}},
+      {"racy-metrics", "lang/racy_metrics.grs", "racy-metrics",
+       /*Always=*/false, /*RaceFree=*/false, {0xd1b7351d727a7641ULL}},
+      {"waitgroup-add-inside", "lang/waitgroup_add_inside.grs",
+       "waitgroup-add-inside", /*Always=*/false, /*RaceFree=*/false,
+       {0x3a8ea963e56e4adeULL}},
+      {"multi-component", "lang/multi_component.grs", "multi-component",
+       /*Always=*/false, /*RaceFree=*/false, {0x17b15a340f640069ULL}},
+      // Executable twins of the lint exemplars (testdata/*.go); no
+      // registered corpus twin, so fingerprints are pinned from the
+      // port itself.
+      {"racy-service", "lang/racy_service.grs", "", /*Always=*/false,
+       /*RaceFree=*/false, {0x67148bbae3094262ULL, 0x938612235f81b8d1ULL}},
+      {"clean-service", "lang/clean_service.grs", "", /*Always=*/false,
+       /*RaceFree=*/true, {}},
+  };
+  return All;
+}
+
+const LangPort *grs::lang::findLangPort(const std::string &Id) {
+  for (const LangPort &P : langPorts())
+    if (P.Id == Id)
+      return &P;
+  return nullptr;
+}
+
+std::string grs::lang::findTestdataPath(const std::string &Rel) {
+  // ctest runs from the build tree; testdata lives in the source tree.
+  for (const char *Prefix : {"testdata/", "../testdata/", "../../testdata/"}) {
+    std::string Candidate = std::string(Prefix) + Rel;
+    std::ifstream In(Candidate);
+    if (In.good())
+      return Candidate;
+  }
+  return "";
+}
+
+ParseResult grs::lang::loadProgramFile(const std::string &Path,
+                                       std::string *Error) {
+  std::ifstream In(Path);
+  if (!In.good()) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    ParseResult R;
+    R.Prog = std::make_shared<Program>();
+    R.Diags.push_back({0, 0, "cannot open " + Path});
+    return R;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string File = Path;
+  // Diagnostics render nicer with just the basename.
+  size_t Slash = File.find_last_of('/');
+  if (Slash != std::string::npos)
+    File = File.substr(Slash + 1);
+  ParseResult R = parseProgram(Buf.str(), File);
+  if (!R.ok() && Error) {
+    std::ostringstream Msg;
+    for (const Diag &D : R.Diags)
+      Msg << renderDiag(R.Prog->FileName, D) << "\n";
+    *Error = Msg.str();
+  }
+  return R;
+}

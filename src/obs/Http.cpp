@@ -5,6 +5,7 @@
 #include "obs/Export.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -28,10 +29,46 @@ void MetricsServer::publish(std::string Text) {
   Snapshot = std::move(Text);
 }
 
+void MetricsServer::publishJson(std::string Text) {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  JsonSnapshot = std::move(Text);
+}
+
 void MetricsServer::publishRegistry(const Registry &Reg) {
-  // Render outside the lock: prometheusText walks the registry, which
+  // Render outside the lock: the exporters walk the registry, which
   // belongs to the calling thread, and can be arbitrarily large.
-  publish(prometheusText(Reg));
+  std::string Prom = prometheusText(Reg);
+  std::string Json = jsonLines(Reg);
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  Snapshot = std::move(Prom);
+  JsonSnapshot = std::move(Json);
+}
+
+bool IntervalPublisher::tick(const Registry &Reg) {
+  uint64_t Now = now();
+  if (Started && Now - LastPublishMs < IntervalMillis)
+    return false;
+  Started = true;
+  LastPublishMs = Now;
+  Server.publishRegistry(Reg);
+  ++Publishes;
+  return true;
+}
+
+void IntervalPublisher::force(const Registry &Reg) {
+  Started = true;
+  LastPublishMs = now();
+  Server.publishRegistry(Reg);
+  ++Publishes;
+}
+
+uint64_t IntervalPublisher::now() const {
+  if (Clock)
+    return Clock();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 #if GRS_HAVE_SOCKETS
@@ -139,6 +176,20 @@ void MetricsServer::serveLoop() {
       Response = "HTTP/1.1 200 OK\r\n"
                  "Content-Type: text/plain; version=0.0.4; "
                  "charset=utf-8\r\n"
+                 "Content-Length: " +
+                 std::to_string(Body.size()) +
+                 "\r\n"
+                 "Connection: close\r\n\r\n" +
+                 Body;
+      Scrapes.fetch_add(1);
+    } else if (Target == "/metrics.jsonl") {
+      std::string Body;
+      {
+        std::lock_guard<std::mutex> Lock(SnapshotMutex);
+        Body = JsonSnapshot;
+      }
+      Response = "HTTP/1.1 200 OK\r\n"
+                 "Content-Type: application/jsonlines\r\n"
                  "Content-Length: " +
                  std::to_string(Body.size()) +
                  "\r\n"

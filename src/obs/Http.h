@@ -22,8 +22,16 @@
 ///
 /// Protocol support is deliberately minimal: any request whose target is
 /// `/metrics` (or `/`) gets `200 text/plain; version=0.0.4` with the
-/// snapshot; anything else gets 404. Connections are `Connection: close`
-/// one-shots — scrape traffic, not serving traffic.
+/// snapshot, and `/metrics.jsonl` gets the JSON-lines snapshot (the same
+/// diffable rendering CI uploads as a build artifact, for tooling that
+/// would rather not parse the exposition format); anything else gets
+/// 404. Connections are `Connection: close` one-shots — scrape traffic,
+/// not serving traffic.
+///
+/// IntervalPublisher wraps the owner-driven publish cadence: the owner
+/// calls tick(Reg) at its natural serial points (per seed, per round)
+/// and the helper re-renders only when the configured interval elapsed,
+/// so publish cost stays amortized no matter how hot the loop is.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -64,16 +73,23 @@ public:
   /// The bound port (useful with start(0)); 0 when not running.
   uint16_t port() const { return BoundPort; }
 
-  /// Publishes \p Text as the snapshot subsequent scrapes receive.
-  /// Thread-safe against the serving thread and other publishers.
+  /// Publishes \p Text as the snapshot subsequent /metrics scrapes
+  /// receive. Thread-safe against the serving thread and other
+  /// publishers.
   void publish(std::string Text);
 
-  /// Renders prometheusText(\p Reg) and publishes it. Call from the
-  /// thread that owns \p Reg (Registry is not thread-safe); the render
-  /// happens on the caller's thread, only the hand-off is locked.
+  /// Publishes \p Text as the snapshot /metrics.jsonl serves.
+  void publishJson(std::string Text);
+
+  /// Renders BOTH formats of \p Reg — prometheusText for /metrics and
+  /// jsonLines for /metrics.jsonl — and publishes them atomically
+  /// enough that each endpoint is individually consistent. Call from
+  /// the thread that owns \p Reg (Registry is not thread-safe); the
+  /// renders happen on the caller's thread, only the hand-off is
+  /// locked.
   void publishRegistry(const Registry &Reg);
 
-  /// Scrapes served so far (tests / diagnostics).
+  /// Scrapes served so far across both endpoints (tests / diagnostics).
   uint64_t scrapeCount() const { return Scrapes.load(); }
 
 private:
@@ -87,6 +103,47 @@ private:
   uint16_t BoundPort = 0;
   std::mutex SnapshotMutex;
   std::string Snapshot;
+  std::string JsonSnapshot;
+};
+
+/// Owner-driven publish-on-interval helper. The registry owner calls
+/// tick(Reg) wherever convenient — every seed, every round — and the
+/// helper republishes to the server only when IntervalMillis elapsed
+/// since the last publish, so rendering cost is bounded by the interval
+/// rather than the call rate. Time is injectable for determinism: tests
+/// (and deterministic hosts) supply a fake clock via setClock and the
+/// helper never consults the wall clock.
+class IntervalPublisher {
+public:
+  IntervalPublisher(MetricsServer &Server, uint64_t IntervalMillis)
+      : Server(Server), IntervalMillis(IntervalMillis) {}
+
+  /// Replaces the time source (milliseconds, monotone). The default is
+  /// std::chrono::steady_clock.
+  void setClock(std::function<uint64_t()> Clock) {
+    this->Clock = std::move(Clock);
+  }
+
+  /// Publishes \p Reg if at least the interval passed since the last
+  /// publish (the first tick always publishes). \returns true when a
+  /// publish happened.
+  bool tick(const Registry &Reg);
+
+  /// Unconditionally publishes \p Reg and resets the interval.
+  void force(const Registry &Reg);
+
+  /// Publishes performed so far.
+  uint64_t publishCount() const { return Publishes; }
+
+private:
+  uint64_t now() const;
+
+  MetricsServer &Server;
+  uint64_t IntervalMillis;
+  std::function<uint64_t()> Clock;
+  bool Started = false;
+  uint64_t LastPublishMs = 0;
+  uint64_t Publishes = 0;
 };
 
 } // namespace obs

@@ -141,6 +141,8 @@ DeploymentOutcome DeploymentSimulator::run() {
   obs::Counter *COoms = Reg.counter("grs_pipeline_snapshot_ooms_total");
   obs::Counter *CRespawns =
       Reg.counter("grs_pipeline_isolation_respawns_total");
+  obs::Counter *CAdaptiveBoosted =
+      Reg.counter("grs_pipeline_adaptive_boosted_runs_total");
   obs::Counter *CAbortedDays =
       Reg.counter("grs_pipeline_snapshot_aborted_days_total");
   obs::Gauge *GSnapshotLoss =
@@ -157,6 +159,12 @@ DeploymentOutcome DeploymentSimulator::run() {
   // non-lethal rates keep their exact pre-lethal RNG stream.
   const bool LethalModel =
       Config.TestSegvProb > 0.0 || Config.TestOomProb > 0.0;
+  // The bandit planner rides the fork-per-slot deployment; without
+  // isolation it stays off and the stream is the uniform baseline's.
+  // With it on, chance() still consumes exactly one draw per considered
+  // run (only the probability changes), so the draw COUNT matches the
+  // uniform snapshot and divergence comes solely from boosted verdicts.
+  const bool Adaptive = Config.AdaptiveSnapshot && Config.IsolateTestRuns;
   uint64_t SnapshotRunsConsidered = 0;
 
   Races.reserve(Config.InitialLatentRaces + 1024);
@@ -259,7 +267,15 @@ DeploymentOutcome DeploymentSimulator::run() {
             continue;
           }
         }
-        if (!Rng.chance(Race.ManifestProb))
+        double ManifestProb = Race.ManifestProb;
+        if (Adaptive && Race.ManifestProb < 0.5) {
+          // Flaky bucket: exploit runs concentrate schedule samples
+          // here, which at this altitude is a higher per-day chance of
+          // catching the interleaving. Stable races are left alone.
+          ManifestProb = std::min(1.0, Race.ManifestProb * Config.AdaptiveBoost);
+          CAdaptiveBoosted->inc();
+        }
+        if (!Rng.chance(ManifestProb))
           continue;
         Race.EverDetected = true;
         Race.LastSeenDay = Day;
@@ -416,6 +432,7 @@ DeploymentOutcome DeploymentSimulator::run() {
   Outcome.SnapshotSegvs = CSegvs->value();
   Outcome.SnapshotOoms = COoms->value();
   Outcome.IsolationRespawns = CRespawns->value();
+  Outcome.AdaptiveBoostedRuns = CAdaptiveBoosted->value();
   Outcome.AbortedSnapshotDays = CAbortedDays->value();
   uint64_t SnapshotLost = Outcome.SnapshotHangs + Outcome.SnapshotCrashes +
                           Outcome.SnapshotFlaky + Outcome.SnapshotSegvs +

@@ -128,6 +128,23 @@ struct DeploymentConfig {
   double TestOomProb = 0.0;  ///< Heap exhaustion; the kernel OOM-kills.
   /// Run the daily snapshot under fork-per-slot process isolation.
   bool IsolateTestRuns = false;
+  /// Run the daily snapshot's schedule sampling through sweep::adaptive's
+  /// bandit planner instead of the uniform sweep. Only effective when
+  /// IsolateTestRuns is set: the adaptive executor lives inside the
+  /// fork-per-slot deployment (its exploit runs re-execute slots with
+  /// mutated preemption ladders, which only the isolation supervisor can
+  /// schedule), so without isolation the planner stays off and the
+  /// simulation is bit-identical to the uniform baseline. At simulator
+  /// altitude the planner's effect is a manifestation boost for the
+  /// schedule-dependent (flaky) races — the bucket the bandit's reward
+  /// concentrates exploit runs on — while stable races, already at
+  /// ~certain detection, gain nothing.
+  bool AdaptiveSnapshot = false;
+  /// Multiplier applied to a flaky race's per-run manifestation
+  /// probability when the adaptive planner is active (clamped to 1.0).
+  /// 1.35 matches bench_adaptive's measured uplift of exploit-heavy
+  /// rounds over uniform explore at default ExploitWeight.
+  double AdaptiveBoost = 1.35;
   /// Deployment mode (see DeployMode).
   DeployMode Mode = DeployMode::PostFacto;
   /// CiBlocking only: how many detector runs the PR gate executes; a
@@ -182,6 +199,10 @@ struct DeploymentOutcome {
   /// IsolateTestRuns=true: children respawned after a lethal death (one
   /// per death — the per-run containment the isolation layer buys).
   uint64_t IsolationRespawns = 0;
+  /// AdaptiveSnapshot=true (with isolation): snapshot runs whose
+  /// manifestation draw was boosted by the adaptive planner (flaky races
+  /// only; stable races never need the bandit's help).
+  uint64_t AdaptiveBoostedRuns = 0;
   /// IsolateTestRuns=false: days whose snapshot was cut short because a
   /// lethal test death took the un-isolated harness down with it.
   uint64_t AbortedSnapshotDays = 0;

@@ -20,6 +20,7 @@
 
 #include "corpus/Patterns.h"
 #include "inject/Fault.h"
+#include "lang/Generator.h"
 #include "race/Detector.h"
 #include "rt/Instr.h"
 #include "rt/Runtime.h"
@@ -554,5 +555,34 @@ TEST_P(LethalChaosFuzz, RandomLethalPlansAreContainedByIsolation) {
 
 INSTANTIATE_TEST_SUITE_P(Plans, LethalChaosFuzz,
                          ::testing::Range<uint64_t>(1, 3));
+
+//===----------------------------------------------------------------------===//
+// Language-level differential fuzzing
+//===----------------------------------------------------------------------===//
+
+class LangFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+// The third fuzzer: lang::Generator emits grs programs with KNOWN ground
+// truth (racy programs race on every schedule; benign programs cannot
+// race, leak, panic, or deadlock) and the differential harness sweeps
+// each one through the interpreter. Any disagreement between the label
+// and the detector is a bug in the generator, the interpreter, or the
+// detector — all three are on trial. bench_lang runs >= 500 programs as
+// the CI gate; this keeps a fast slice in the unit suite.
+TEST_P(LangFuzz, GeneratedGroundTruthNeverDisagrees) {
+  lang::DifferentialOptions Opts;
+  Opts.FirstProgram = 1 + (GetParam() - 1) * 60;
+  Opts.NumPrograms = 60;
+  Opts.SweepSeeds = 5;
+  lang::DifferentialOutcome Out = lang::differentialSweep(Opts);
+  EXPECT_EQ(Out.Programs, 60u);
+  EXPECT_EQ(Out.ParseFailures, 0u);
+  EXPECT_TRUE(Out.ok()) << Out.Misses << " misses, " << Out.FalsePositives
+                        << " false positives, " << Out.Panics << " panics, "
+                        << Out.Deadlocks << " deadlocks, " << Out.Leaks
+                        << " leaks (window " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LangFuzz, ::testing::Range<uint64_t>(1, 3));
 
 } // namespace

@@ -595,6 +595,64 @@ TEST(MetricsServer, ServesPublishedSnapshotsOverLoopback) {
   S.stop(); // idempotent, like the destructor
 }
 
+TEST(MetricsServer, ServesJsonLinesSnapshot) {
+  Registry R;
+  R.counter("grs_demo_total")->inc(3);
+  R.gauge("grs_demo_depth")->set(2.5);
+
+  MetricsServer S;
+  ASSERT_TRUE(S.start(0));
+  S.publishRegistry(R); // renders BOTH formats from one walk
+
+  std::string Resp = httpGet(S.port(), "/metrics.jsonl");
+  EXPECT_NE(Resp.find("HTTP/1.1 200"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("application/jsonlines"), std::string::npos);
+  EXPECT_NE(Resp.find(jsonLines(R)), std::string::npos)
+      << "body must be the jsonLines render of the published registry";
+  EXPECT_EQ(S.scrapeCount(), 1u) << "jsonl scrapes count like text scrapes";
+
+  // publishJson alone swaps only the JSON snapshot; the text endpoint
+  // keeps serving the previous Prometheus render.
+  std::string PromBefore = httpGet(S.port(), "/metrics");
+  S.publishJson("{\"name\":\"custom\"}\n");
+  EXPECT_NE(httpGet(S.port(), "/metrics.jsonl").find("{\"name\":\"custom\"}"),
+            std::string::npos);
+  EXPECT_EQ(httpGet(S.port(), "/metrics"), PromBefore);
+
+  S.stop();
+}
+
 #endif // sockets
+
+TEST(MetricsServer, IntervalPublisherHonorsItsInterval) {
+  Registry R;
+  R.counter("grs_demo_total")->inc(1);
+
+  MetricsServer S; // not started: publishing only stores snapshots
+  IntervalPublisher Pub(S, /*IntervalMillis=*/1000);
+  uint64_t FakeNow = 5000;
+  Pub.setClock([&FakeNow] { return FakeNow; });
+
+  // The first tick always publishes (there is nothing to be stale
+  // relative to), then the interval gates.
+  EXPECT_TRUE(Pub.tick(R));
+  EXPECT_EQ(Pub.publishCount(), 1u);
+  FakeNow += 400;
+  EXPECT_FALSE(Pub.tick(R));
+  FakeNow += 400;
+  EXPECT_FALSE(Pub.tick(R));
+  EXPECT_EQ(Pub.publishCount(), 1u);
+  FakeNow += 300; // 1100ms since the last publish
+  EXPECT_TRUE(Pub.tick(R));
+  EXPECT_EQ(Pub.publishCount(), 2u);
+
+  // force() publishes regardless of the interval and resets the clock.
+  Pub.force(R);
+  EXPECT_EQ(Pub.publishCount(), 3u);
+  EXPECT_FALSE(Pub.tick(R));
+  FakeNow += 1000;
+  EXPECT_TRUE(Pub.tick(R));
+  EXPECT_EQ(Pub.publishCount(), 4u);
+}
 
 } // namespace

@@ -932,4 +932,64 @@ TEST(DeploymentFaults, IsolationContainsLethalDeathsToOneRun) {
       R.IsolationRespawns);
 }
 
+TEST(DeploymentAdaptive, RequiresIsolationToEngage) {
+  // AdaptiveSnapshot without IsolateTestRuns is a no-op: the adaptive
+  // executor lives inside the fork-per-slot deployment, so the planner
+  // stays off and the simulation is bit-identical to the baseline.
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  auto RunWith = [&Config](bool Adaptive) {
+    pipeline::DeploymentConfig C = Config;
+    C.AdaptiveSnapshot = Adaptive;
+    pipeline::DeploymentSimulator Sim(C);
+    return Sim.run();
+  };
+  pipeline::DeploymentOutcome Base = RunWith(false);
+  pipeline::DeploymentOutcome Flagged = RunWith(true);
+  EXPECT_EQ(Flagged.AdaptiveBoostedRuns, 0u);
+  EXPECT_EQ(Flagged.TotalDetectedRaces, Base.TotalDetectedRaces);
+  EXPECT_EQ(Flagged.TotalFixedTasks, Base.TotalFixedTasks);
+  EXPECT_EQ(Flagged.Outstanding.Values, Base.Outstanding.Values);
+  EXPECT_EQ(Flagged.CreatedCumulative.Values, Base.CreatedCumulative.Values);
+}
+
+TEST(DeploymentAdaptive, BoostsFlakyManifestationUnderIsolation) {
+  // With isolation the planner engages: flaky races (manifest prob
+  // < 0.5) get the bandit's exploit boost, stable races are untouched,
+  // and the whole thing stays seed-deterministic.
+  pipeline::DeploymentConfig Config;
+  Config.Seed = 5;
+  Config.Days = 60;
+  Config.IsolateTestRuns = true;
+  auto RunWith = [&Config](bool Adaptive) {
+    pipeline::DeploymentConfig C = Config;
+    C.AdaptiveSnapshot = Adaptive;
+    pipeline::DeploymentSimulator Sim(C);
+    return Sim.run();
+  };
+  pipeline::DeploymentOutcome Base = RunWith(false);
+  EXPECT_EQ(Base.AdaptiveBoostedRuns, 0u);
+
+  pipeline::DeploymentOutcome Adaptive = RunWith(true);
+  EXPECT_GT(Adaptive.AdaptiveBoostedRuns, 0u)
+      << "60 days of snapshots over flaky races must boost something";
+  EXPECT_GE(Adaptive.TotalDetectedRaces, Base.TotalDetectedRaces)
+      << "boosted flaky manifestation cannot find fewer races";
+
+  pipeline::DeploymentOutcome Repeat = RunWith(true);
+  EXPECT_EQ(Repeat.AdaptiveBoostedRuns, Adaptive.AdaptiveBoostedRuns);
+  EXPECT_EQ(Repeat.TotalDetectedRaces, Adaptive.TotalDetectedRaces);
+  EXPECT_EQ(Repeat.Outstanding.Values, Adaptive.Outstanding.Values);
+
+  pipeline::DeploymentConfig C = Config;
+  C.AdaptiveSnapshot = true;
+  pipeline::DeploymentSimulator Sim(C);
+  pipeline::DeploymentOutcome O = Sim.run();
+  EXPECT_EQ(Sim.metrics()
+                .findCounter("grs_pipeline_adaptive_boosted_runs_total")
+                ->value(),
+            O.AdaptiveBoostedRuns);
+}
+
 } // namespace
