@@ -11,14 +11,22 @@
 /// instance's racy program under the detector, verify its fixed variant,
 /// and print the category table with detection statistics.
 ///
+/// Also home of the shared `--trace-out <path>` flag: traceOutPath()
+/// parses it and writeTimelineTrace() dumps an obs::Timeline's Chrome
+/// trace JSON to the chosen path, so every bench exposes its flight
+/// recording the same way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRS_BENCH_TABLEBENCH_H
 #define GRS_BENCH_TABLEBENCH_H
 
 #include "corpus/Sampler.h"
+#include "obs/Timeline.h"
 #include "support/Render.h"
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -32,16 +40,51 @@ struct CategoryStats {
   unsigned Leaked = 0;
 };
 
+/// Parses the shared `--trace-out <path>` flag from \p Argv; empty when
+/// absent. Every bench that can record a timeline accepts this flag.
+inline std::string traceOutPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--trace-out") == 0)
+      return Argv[I + 1];
+  return std::string();
+}
+
+/// Writes \p Tl's Chrome trace-event JSON to \p Path (no-op on an empty
+/// path — the flag was not given). \returns false on I/O failure.
+inline bool writeTimelineTrace(const obs::Timeline &Tl,
+                               const std::string &Path) {
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Tl.chromeTraceJson();
+  Out.flush();
+  return static_cast<bool>(Out);
+}
+
 inline void runTableBench(const char *Title,
                           const std::vector<corpus::CategoryCount> &Rows,
-                          uint64_t Seed, bool CheckFixed) {
+                          uint64_t Seed, bool CheckFixed,
+                          const std::string &TraceOut = std::string()) {
   std::cout << Title << "\nPopulation sampled at the paper's per-category "
             << "counts; every instance executed under the detector (seed "
             << Seed << ")\n\n";
 
+  // Flight recorder: one span per executed instance, labelled with its
+  // category, so --trace-out shows where the regeneration's time went.
+  obs::Timeline Tl(/*Enabled=*/!TraceOut.empty());
+  obs::TimelineTrack *Track = Tl.track("table-bench");
+
   auto Population = corpus::samplePopulation(Seed, Rows);
   std::map<corpus::Category, CategoryStats> Stats;
+  size_t Index = 0;
   for (const corpus::StudyInstance &Instance : Population) {
+    obs::TimelineScope Span =
+        Track ? obs::TimelineScope(Track, corpus::categoryName(Instance.Cat),
+                                   "\"instance\":" + std::to_string(Index))
+              : obs::TimelineScope();
+    ++Index;
     corpus::StudyOutcome Outcome = corpus::runInstance(Instance, CheckFixed);
     CategoryStats &S = Stats[Instance.Cat];
     ++S.Sampled;
@@ -79,6 +122,15 @@ inline void runTableBench(const char *Title,
                    100.0 * TotalDetected / std::max(1u, TotalSampled), 1)
             << "% (schedule-dependent patterns are flaky by design, "
             << "§3.1 attribute 2).\n";
+
+  if (!TraceOut.empty()) {
+    if (writeTimelineTrace(Tl, TraceOut))
+      std::cout << "\nTimeline written to " << TraceOut
+                << " (load in chrome://tracing or ui.perfetto.dev).\n";
+    else
+      std::cout << "\nerror: could not write timeline to " << TraceOut
+                << "\n";
+  }
 }
 
 } // namespace bench

@@ -9,7 +9,7 @@
 // counts and regenerates the table by actually running each instance's
 // racy program under the happens-before detector.
 //
-// Usage: bench_table2 [seed] [--skip-fixed]
+// Usage: bench_table2 [seed] [--skip-fixed] [--trace-out <path>]
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +26,7 @@ int main(int Argc, char **Argv) {
       CheckFixed = false;
   grs::bench::runTableBench(
       "Reproducing Table 2 (races due to Go language features and idioms)",
-      grs::corpus::table2Counts(), Seed, CheckFixed);
+      grs::corpus::table2Counts(), Seed, CheckFixed,
+      grs::bench::traceOutPath(Argc, Argv));
   return 0;
 }

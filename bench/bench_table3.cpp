@@ -10,7 +10,7 @@
 // disabled tests / major refactor) have no race program by definition and
 // are carried through verbatim.
 //
-// Usage: bench_table3 [seed] [--skip-fixed]
+// Usage: bench_table3 [seed] [--skip-fixed] [--trace-out <path>]
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +27,8 @@ int main(int Argc, char **Argv) {
       CheckFixed = false;
   grs::bench::runTableBench(
       "Reproducing Table 3 (races due to language-agnostic reasons)",
-      grs::corpus::table3Counts(), Seed, CheckFixed);
+      grs::corpus::table3Counts(), Seed, CheckFixed,
+      grs::bench::traceOutPath(Argc, Argv));
 
   grs::corpus::UncategorizedCounts Tail;
   grs::support::TextTable Table(

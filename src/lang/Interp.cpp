@@ -3,6 +3,7 @@
 #include "lang/Interp.h"
 
 #include "obs/Metrics.h"
+#include "obs/Timeline.h"
 #include "rt/Channel.h"
 #include "rt/GoMap.h"
 #include "rt/GoSlice.h"
@@ -987,19 +988,35 @@ std::function<void()> lang::body(std::shared_ptr<const Program> P) {
 }
 
 rt::RunResult lang::run(std::shared_ptr<const Program> P, rt::Runtime &RT) {
+  // Flight recorder: interpretation rides the run's timeline lane when
+  // the caller wired one through RunOptions. The span brackets the whole
+  // scheduler run, so a sweep slot's trace shows where the interpreted
+  // program's time went.
+  obs::TimelineTrack *Track = RT.options().TimelineTrack;
+  obs::TimelineScope Tl =
+      Track ? obs::TimelineScope(Track, "interpret",
+                                 "\"seed\":" +
+                                     std::to_string(RT.options().Seed))
+            : obs::TimelineScope();
   return RT.run(body(std::move(P)));
 }
 
 rt::RunResult lang::run(const Program &P, rt::Runtime &RT) {
   // Non-owning alias; the caller guarantees P outlives RT.
-  return RT.run(body(std::shared_ptr<const Program>(
-      std::shared_ptr<const Program>(), &P)));
+  return run(std::shared_ptr<const Program>(std::shared_ptr<const Program>(),
+                                            &P),
+             RT);
 }
 
 std::function<rt::RunResult(const rt::RunOptions &)>
 lang::runner(std::shared_ptr<const Program> P) {
   return [P](const rt::RunOptions &Opts) {
     rt::Runtime RT(Opts);
+    obs::TimelineScope Tl =
+        Opts.TimelineTrack
+            ? obs::TimelineScope(Opts.TimelineTrack, "interpret",
+                                 "\"seed\":" + std::to_string(Opts.Seed))
+            : obs::TimelineScope();
     return RT.run(body(P));
   };
 }

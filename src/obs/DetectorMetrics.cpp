@@ -25,6 +25,9 @@ DetectorObserver::DetectorObserver(Registry &Reg, const race::Detector *Det,
   ReportsEmitted = Reg.counter("grs_race_reports_emitted_total");
   ReportsSuppressed = Reg.counter("grs_race_reports_suppressed_total");
   ShadowCells = Reg.gauge("grs_race_shadow_cells");
+  ShadowCellsPeak = Reg.gauge("grs_detector_shadow_cells_peak");
+  ShadowVcWordsPeak = Reg.gauge("grs_detector_shadow_vc_words_peak");
+  ShadowChainBytesPeak = Reg.gauge("grs_detector_shadow_chain_bytes_peak");
   Goroutines = Reg.gauge("grs_race_goroutines");
   VcMax = Reg.gauge("grs_race_vector_clock_max_size");
   VcMean = Reg.gauge("grs_race_vector_clock_mean_size");
@@ -63,6 +66,20 @@ void DetectorObserver::sync() {
   LastStats = S;
   set(ShadowCells, static_cast<double>(S.ShadowCells));
   set(Goroutines, static_cast<double>(Det->numGoroutines()));
+
+  // Footprint peaks: max-merge with the gauge's current value so the
+  // high-water mark survives rebind() across a pooled fleet — each
+  // detector's peak competes, the fleet-wide peak wins.
+  race::ShadowFootprint F = Det->footprint();
+  if (ShadowCellsPeak)
+    ShadowCellsPeak->set(std::max(ShadowCellsPeak->value(),
+                                  static_cast<double>(F.ShadowCells)));
+  if (ShadowVcWordsPeak)
+    ShadowVcWordsPeak->set(std::max(ShadowVcWordsPeak->value(),
+                                    static_cast<double>(F.VcWords)));
+  if (ShadowChainBytesPeak)
+    ShadowChainBytesPeak->set(std::max(ShadowChainBytesPeak->value(),
+                                       static_cast<double>(F.ChainBytes)));
 
   size_t MaxSize = 0;
   size_t TotalSize = 0;

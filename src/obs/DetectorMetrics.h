@@ -81,6 +81,12 @@ private:
   Counter *ReportsEmitted = nullptr;
   Counter *ReportsSuppressed = nullptr;
   Gauge *ShadowCells = nullptr;
+  /// Shadow-memory footprint peaks (Detector::footprint()); max-merged
+  /// with the existing gauge value at each sync so the high-water mark
+  /// survives observer rebinds across a pooled fleet.
+  Gauge *ShadowCellsPeak = nullptr;
+  Gauge *ShadowVcWordsPeak = nullptr;
+  Gauge *ShadowChainBytesPeak = nullptr;
   Gauge *Goroutines = nullptr;
   Gauge *VcMax = nullptr;
   Gauge *VcMean = nullptr;

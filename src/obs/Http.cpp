@@ -34,6 +34,11 @@ void MetricsServer::publishJson(std::string Text) {
   JsonSnapshot = std::move(Text);
 }
 
+void MetricsServer::publishTrace(std::string Text) {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  TraceSnapshot = std::move(Text);
+}
+
 void MetricsServer::publishRegistry(const Registry &Reg) {
   // Render outside the lock: the exporters walk the registry, which
   // belongs to the calling thread, and can be arbitrarily large.
@@ -108,9 +113,10 @@ void MetricsServer::stop() {
   if (!Running.load())
     return;
   StopRequested.store(true);
-  // The serve loop polls with a timeout, so the flag alone suffices; the
-  // shutdown just shortens the wait when it is blocked in accept().
-  shutdown(ListenFd, SHUT_RDWR);
+  // No shutdown() of the listening socket here: the serve loop polls
+  // with a bounded timeout, finishes whatever response it is writing,
+  // and drains the accept backlog before returning — a scrape racing
+  // this stop gets its bytes instead of a connection reset.
   Server.join();
   close(ListenFd);
   ListenFd = -1;
@@ -136,6 +142,81 @@ bool writeAll(int Fd, const char *Data, size_t Size) {
 
 } // namespace
 
+void MetricsServer::serveClient(int Client) {
+  // One read is enough for any real scrape request line; anything
+  // pathological just yields a 404 or a dropped connection.
+  char Buf[2048];
+  ssize_t N = read(Client, Buf, sizeof(Buf) - 1);
+  if (N <= 0) {
+    close(Client);
+    return;
+  }
+  Buf[N] = '\0';
+  // Parse "GET <target> ..." — the only line we care about.
+  std::string Target;
+  if (std::strncmp(Buf, "GET ", 4) == 0) {
+    const char *Start = Buf + 4;
+    const char *End = Start;
+    while (*End && *End != ' ' && *End != '\r' && *End != '\n')
+      ++End;
+    Target.assign(Start, End);
+  }
+  auto Ok = [](const std::string &ContentType, const std::string &Body) {
+    return "HTTP/1.1 200 OK\r\n"
+           "Content-Type: " +
+           ContentType +
+           "\r\n"
+           "Content-Length: " +
+           std::to_string(Body.size()) +
+           "\r\n"
+           "Connection: close\r\n\r\n" +
+           Body;
+  };
+  std::string Response;
+  if (Target == "/metrics" || Target == "/") {
+    std::string Body;
+    {
+      std::lock_guard<std::mutex> Lock(SnapshotMutex);
+      Body = Snapshot;
+    }
+    Response = Ok("text/plain; version=0.0.4; charset=utf-8", Body);
+    Scrapes.fetch_add(1);
+  } else if (Target == "/metrics.jsonl") {
+    std::string Body;
+    {
+      std::lock_guard<std::mutex> Lock(SnapshotMutex);
+      Body = JsonSnapshot;
+    }
+    Response = Ok("application/jsonlines", Body);
+    Scrapes.fetch_add(1);
+  } else if (Target == "/trace.json") {
+    std::string Body;
+    {
+      std::lock_guard<std::mutex> Lock(SnapshotMutex);
+      Body = TraceSnapshot;
+    }
+    Response = Ok("application/json", Body);
+    Scrapes.fetch_add(1);
+  } else if (Target == "/healthz") {
+    // Liveness, not snapshot state: answering at all means the serving
+    // thread is up, which is the whole question. Not counted as a
+    // scrape — probes would otherwise swamp the scrape counter.
+    Response = Ok("text/plain; charset=utf-8", "ok\n");
+  } else {
+    std::string Body = "404 not found; valid endpoints: /metrics, "
+                       "/metrics.jsonl, /trace.json, /healthz\n";
+    Response = "HTTP/1.1 404 Not Found\r\n"
+               "Content-Type: text/plain; charset=utf-8\r\n"
+               "Content-Length: " +
+               std::to_string(Body.size()) +
+               "\r\n"
+               "Connection: close\r\n\r\n" +
+               Body;
+  }
+  writeAll(Client, Response.data(), Response.size());
+  close(Client);
+}
+
 void MetricsServer::serveLoop() {
   while (!StopRequested.load()) {
     struct pollfd PFD;
@@ -148,61 +229,22 @@ void MetricsServer::serveLoop() {
     int Client = accept(ListenFd, nullptr, nullptr);
     if (Client < 0)
       continue;
-    // One read is enough for any real scrape request line; anything
-    // pathological just yields a 404 or a dropped connection.
-    char Buf[2048];
-    ssize_t N = read(Client, Buf, sizeof(Buf) - 1);
-    if (N <= 0) {
-      close(Client);
-      continue;
-    }
-    Buf[N] = '\0';
-    // Parse "GET <target> ..." — the only line we care about.
-    std::string Target;
-    if (std::strncmp(Buf, "GET ", 4) == 0) {
-      const char *Start = Buf + 4;
-      const char *End = Start;
-      while (*End && *End != ' ' && *End != '\r' && *End != '\n')
-        ++End;
-      Target.assign(Start, End);
-    }
-    std::string Response;
-    if (Target == "/metrics" || Target == "/") {
-      std::string Body;
-      {
-        std::lock_guard<std::mutex> Lock(SnapshotMutex);
-        Body = Snapshot;
-      }
-      Response = "HTTP/1.1 200 OK\r\n"
-                 "Content-Type: text/plain; version=0.0.4; "
-                 "charset=utf-8\r\n"
-                 "Content-Length: " +
-                 std::to_string(Body.size()) +
-                 "\r\n"
-                 "Connection: close\r\n\r\n" +
-                 Body;
-      Scrapes.fetch_add(1);
-    } else if (Target == "/metrics.jsonl") {
-      std::string Body;
-      {
-        std::lock_guard<std::mutex> Lock(SnapshotMutex);
-        Body = JsonSnapshot;
-      }
-      Response = "HTTP/1.1 200 OK\r\n"
-                 "Content-Type: application/jsonlines\r\n"
-                 "Content-Length: " +
-                 std::to_string(Body.size()) +
-                 "\r\n"
-                 "Connection: close\r\n\r\n" +
-                 Body;
-      Scrapes.fetch_add(1);
-    } else {
-      Response = "HTTP/1.1 404 Not Found\r\n"
-                 "Content-Length: 0\r\n"
-                 "Connection: close\r\n\r\n";
-    }
-    writeAll(Client, Response.data(), Response.size());
-    close(Client);
+    serveClient(Client);
+  }
+  // Drain: serve whatever connections the kernel already queued on the
+  // listen backlog, so a request that raced stop() is answered rather
+  // than reset when the socket closes.
+  for (;;) {
+    struct pollfd PFD;
+    PFD.fd = ListenFd;
+    PFD.events = POLLIN;
+    PFD.revents = 0;
+    if (poll(&PFD, 1, /*timeout ms=*/0) <= 0 || !(PFD.revents & POLLIN))
+      break;
+    int Client = accept(ListenFd, nullptr, nullptr);
+    if (Client < 0)
+      break;
+    serveClient(Client);
   }
 }
 
@@ -211,5 +253,6 @@ void MetricsServer::serveLoop() {
 bool MetricsServer::start(uint16_t) { return false; }
 void MetricsServer::stop() {}
 void MetricsServer::serveLoop() {}
+void MetricsServer::serveClient(int) {}
 
 #endif // GRS_HAVE_SOCKETS

@@ -22,11 +22,20 @@
 ///
 /// Protocol support is deliberately minimal: any request whose target is
 /// `/metrics` (or `/`) gets `200 text/plain; version=0.0.4` with the
-/// snapshot, and `/metrics.jsonl` gets the JSON-lines snapshot (the same
+/// snapshot, `/metrics.jsonl` gets the JSON-lines snapshot (the same
 /// diffable rendering CI uploads as a build artifact, for tooling that
-/// would rather not parse the exposition format); anything else gets
-/// 404. Connections are `Connection: close` one-shots — scrape traffic,
-/// not serving traffic.
+/// would rather not parse the exposition format), `/trace.json` gets the
+/// most recently published flight-recorder export (obs/Timeline.h's
+/// Chrome trace JSON — point chrome://tracing or Perfetto at the URL),
+/// and `/healthz` answers 200 "ok" while the serving thread is alive (a
+/// liveness probe that works even before the first publish). Anything
+/// else gets a 404 whose body lists the valid endpoints. Connections are
+/// `Connection: close` one-shots — scrape traffic, not serving traffic.
+///
+/// Shutdown drains: stop() signals the serving thread and then lets it
+/// finish the in-flight response and accept whatever already sits in the
+/// listen backlog before joining — a scrape racing shutdown gets its
+/// bytes, not a connection reset.
 ///
 /// IntervalPublisher wraps the owner-driven publish cadence: the owner
 /// calls tick(Reg) at its natural serial points (per seed, per round)
@@ -81,6 +90,12 @@ public:
   /// Publishes \p Text as the snapshot /metrics.jsonl serves.
   void publishJson(std::string Text);
 
+  /// Publishes \p Text as the document /trace.json serves — by contract
+  /// a Chrome trace-event JSON export (Timeline::chromeTraceJson()).
+  /// Until the first publish the endpoint serves an empty-but-valid
+  /// `{"traceEvents":[]}` document.
+  void publishTrace(std::string Text);
+
   /// Renders BOTH formats of \p Reg — prometheusText for /metrics and
   /// jsonLines for /metrics.jsonl — and publishes them atomically
   /// enough that each endpoint is individually consistent. Call from
@@ -94,6 +109,7 @@ public:
 
 private:
   void serveLoop();
+  void serveClient(int Client);
 
   std::thread Server;
   std::atomic<bool> Running{false};
@@ -104,6 +120,7 @@ private:
   std::mutex SnapshotMutex;
   std::string Snapshot;
   std::string JsonSnapshot;
+  std::string TraceSnapshot = "{\"traceEvents\":[]}";
 };
 
 /// Owner-driven publish-on-interval helper. The registry owner calls

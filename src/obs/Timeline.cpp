@@ -1,0 +1,440 @@
+//===- obs/Timeline.cpp - Flight-recorder execution timelines -------------===//
+
+#include "obs/Timeline.h"
+
+#include "support/Varint.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+using namespace grs;
+using namespace grs::obs;
+
+//===----------------------------------------------------------------------===//
+// TimelineTrack
+//===----------------------------------------------------------------------===//
+
+TimelineTrack::TimelineTrack(Timeline *Owner, std::string Name, uint32_t Pid,
+                             uint32_t Tid, size_t Capacity)
+    : Owner(Owner), TrackName(std::move(Name)), Pid(Pid), Tid(Tid),
+      Capacity(Capacity ? Capacity : 1) {
+  StringIds.emplace("", 0);
+}
+
+uint32_t TimelineTrack::intern(const std::string &S) {
+  auto [It, Inserted] =
+      StringIds.try_emplace(S, static_cast<uint32_t>(Strings.size()));
+  if (Inserted)
+    Strings.push_back(S);
+  return It->second;
+}
+
+const TimelineEvent &TimelineTrack::event(size_t I) const {
+  uint64_t Absolute = (Total - Retained) + I;
+  return Ring[static_cast<size_t>(Absolute % Capacity)];
+}
+
+void TimelineTrack::record(TimelineEventKind Kind, uint32_t NameId,
+                           uint32_t ArgsId, double Value, uint64_t TsNs) {
+  TimelineEvent E;
+  E.Kind = Kind;
+  E.TsNs = TsNs;
+  E.NameId = NameId;
+  E.ArgsId = ArgsId;
+  E.Value = Value;
+  if (Retained < Capacity) {
+    Ring.push_back(E);
+    ++Retained;
+  } else {
+    // Flight-recorder overwrite: the oldest event gives way.
+    Ring[static_cast<size_t>(Total % Capacity)] = E;
+  }
+  ++Total;
+}
+
+void TimelineTrack::begin(const std::string &Name, const std::string &Args) {
+  uint32_t NameId = intern(Name);
+  uint32_t ArgsId = Args.empty() ? 0 : intern(Args);
+  OpenSpans.push_back(NameId);
+  record(TimelineEventKind::SpanBegin, NameId, ArgsId, 0.0, Owner->now());
+}
+
+void TimelineTrack::end() {
+  if (OpenSpans.empty())
+    return;
+  uint32_t NameId = OpenSpans.back();
+  OpenSpans.pop_back();
+  record(TimelineEventKind::SpanEnd, NameId, 0, 0.0, Owner->now());
+}
+
+void TimelineTrack::instant(const std::string &Name, const std::string &Args) {
+  record(TimelineEventKind::Instant, intern(Name),
+         Args.empty() ? 0 : intern(Args), 0.0, Owner->now());
+}
+
+void TimelineTrack::counter(const std::string &Name, double Value) {
+  record(TimelineEventKind::Counter, intern(Name), 0, Value, Owner->now());
+}
+
+void TimelineTrack::import(TimelineEventKind Kind, uint64_t TsNs,
+                           const std::string &Name, const std::string &Args,
+                           double Value) {
+  record(Kind, intern(Name), Args.empty() ? 0 : intern(Args), Value, TsNs);
+}
+
+//===----------------------------------------------------------------------===//
+// Timeline
+//===----------------------------------------------------------------------===//
+
+static uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Timeline::Timeline(bool Enabled) : Timeline(Options{Enabled, 1 << 16}) {}
+
+Timeline::Timeline(Options Opts) : Opts(Opts), Clock(steadyNowNs) {}
+
+void Timeline::setClock(std::function<uint64_t()> Clock) {
+  this->Clock = Clock ? std::move(Clock) : steadyNowNs;
+}
+
+TimelineTrack *Timeline::track(const std::string &Name, uint32_t Pid) {
+  if (!Opts.Enabled)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  for (auto &T : Tracks)
+    if (T->name() == Name && T->pid() == Pid)
+      return T.get();
+  uint32_t Tid = static_cast<uint32_t>(Tracks.size()) + 1;
+  Tracks.push_back(std::unique_ptr<TimelineTrack>(
+      new TimelineTrack(this, Name, Pid, Tid, Opts.TrackCapacity)));
+  return Tracks.back().get();
+}
+
+size_t Timeline::numTracks() const {
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  return Tracks.size();
+}
+
+const TimelineTrack &Timeline::trackAt(size_t I) const {
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  return *Tracks[I];
+}
+
+uint64_t Timeline::droppedTotal() const {
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  uint64_t Dropped = 0;
+  for (const auto &T : Tracks)
+    Dropped += T->droppedEvents() + T->ImportedDropped;
+  return Dropped;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event export
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Nanoseconds -> the trace format's microsecond timestamps, printed
+/// with fixed sub-microsecond precision so exports are deterministic
+/// under a deterministic clock.
+void appendTs(std::string &Out, uint64_t TsNs) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64 ".%03u", TsNs / 1000,
+                static_cast<unsigned>(TsNs % 1000));
+  Out += Buf;
+}
+
+void appendValue(std::string &Out, double V) {
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    Out += Buf;
+  } else {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+    Out += Buf;
+  }
+}
+
+} // namespace
+
+std::string Timeline::chromeTraceJson() const {
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  auto Comma = [&] {
+    if (!First)
+      Out += ",\n";
+    else
+      Out += "\n";
+    First = false;
+  };
+  for (const auto &T : Tracks) {
+    Comma();
+    Out += "{\"ph\":\"M\",\"pid\":" + std::to_string(T->pid()) +
+           ",\"tid\":" + std::to_string(T->tid()) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    appendEscaped(Out, T->name());
+    Out += "\"}}";
+  }
+  for (const auto &T : Tracks) {
+    for (size_t I = 0; I < T->size(); ++I) {
+      const TimelineEvent &E = T->event(I);
+      Comma();
+      Out += "{\"ph\":\"";
+      switch (E.Kind) {
+      case TimelineEventKind::SpanBegin:
+        Out += 'B';
+        break;
+      case TimelineEventKind::SpanEnd:
+        Out += 'E';
+        break;
+      case TimelineEventKind::Instant:
+        Out += 'i';
+        break;
+      case TimelineEventKind::Counter:
+        Out += 'C';
+        break;
+      }
+      Out += "\",\"pid\":" + std::to_string(T->pid()) +
+             ",\"tid\":" + std::to_string(T->tid()) + ",\"ts\":";
+      appendTs(Out, E.TsNs);
+      Out += ",\"name\":\"";
+      appendEscaped(Out, T->str(E.NameId));
+      Out += '"';
+      if (E.Kind == TimelineEventKind::Instant)
+        Out += ",\"s\":\"t\"";
+      if (E.Kind == TimelineEventKind::Counter) {
+        Out += ",\"args\":{\"value\":";
+        appendValue(Out, E.Value);
+        Out += '}';
+      } else if (E.ArgsId) {
+        Out += ",\"args\":{" + T->str(E.ArgsId) + '}';
+      }
+      Out += '}';
+    }
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+void Timeline::renderSummary(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(TracksMutex);
+  uint64_t Events = 0, Dropped = 0;
+  for (const auto &T : Tracks) {
+    Events += T->totalEvents();
+    Dropped += T->droppedEvents() + T->ImportedDropped;
+  }
+  OS << "flight recorder: " << Tracks.size() << " tracks, " << Events
+     << " events";
+  if (Dropped)
+    OS << " (" << Dropped << " dropped)";
+  OS << "\n";
+  for (const auto &T : Tracks) {
+    OS << "  [pid " << T->pid() << "] " << T->name() << ": "
+       << T->totalEvents() << " events";
+    if (T->droppedEvents() + T->ImportedDropped)
+      OS << ", " << (T->droppedEvents() + T->ImportedDropped) << " dropped";
+    OS << "\n";
+    // Per-name span profile over the retained window, first-seen order.
+    struct Prof {
+      uint32_t NameId;
+      uint64_t Count = 0;
+      uint64_t Ns = 0;
+    };
+    std::vector<Prof> Spans;
+    std::map<uint32_t, size_t> SpanIndex;
+    std::vector<std::pair<uint32_t, uint64_t>> Open; // (NameId, BeginTs)
+    std::vector<Prof> Instants;
+    std::map<uint32_t, size_t> InstantIndex;
+    for (size_t I = 0; I < T->size(); ++I) {
+      const TimelineEvent &E = T->event(I);
+      switch (E.Kind) {
+      case TimelineEventKind::SpanBegin:
+        Open.emplace_back(E.NameId, E.TsNs);
+        break;
+      case TimelineEventKind::SpanEnd: {
+        if (Open.empty())
+          break; // the begin fell off the ring
+        auto [NameId, BeginTs] = Open.back();
+        Open.pop_back();
+        auto [It, Inserted] = SpanIndex.try_emplace(NameId, Spans.size());
+        if (Inserted)
+          Spans.push_back({NameId, 0, 0});
+        Prof &P = Spans[It->second];
+        ++P.Count;
+        P.Ns += E.TsNs > BeginTs ? E.TsNs - BeginTs : 0;
+        break;
+      }
+      case TimelineEventKind::Instant: {
+        auto [It, Inserted] =
+            InstantIndex.try_emplace(E.NameId, Instants.size());
+        if (Inserted)
+          Instants.push_back({E.NameId, 0, 0});
+        ++Instants[It->second].Count;
+        break;
+      }
+      case TimelineEventKind::Counter:
+        break;
+      }
+    }
+    for (const Prof &P : Spans)
+      OS << "      " << T->str(P.NameId) << ": " << P.Count << " spans, "
+         << (P.Ns / 1000) << " us\n";
+    for (const Prof &P : Instants)
+      OS << "      " << T->str(P.NameId) << ": " << P.Count << " instants\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-process chunks
+//
+// chunk := name-len varint, name bytes, pid varint, dropped varint,
+//          num-events varint, event*
+// event := kind varint, ts varint, name-len varint, name bytes,
+//          args-len varint, args bytes, [value-bits varint when Counter]
+//
+// Strings travel inline (no shared table), so a chunk is self-contained
+// and the parent can decode it with no per-child state.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putString(std::vector<uint8_t> &Out, const std::string &S) {
+  support::putVarint(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+bool readString(const uint8_t *Data, size_t Size, size_t &Pos,
+                std::string &S) {
+  uint64_t Len = 0;
+  if (support::readVarint(Data, Size, Pos, Len) != support::VarintError::Ok ||
+      Len > Size - Pos)
+    return false;
+  S.assign(reinterpret_cast<const char *>(Data) + Pos,
+           static_cast<size_t>(Len));
+  Pos += static_cast<size_t>(Len);
+  return true;
+}
+
+} // namespace
+
+void Timeline::encodeTrackChunk(std::vector<uint8_t> &Out,
+                                TimelineTrack &Track) {
+  uint64_t Oldest = Track.Total - Track.Retained;
+  uint64_t Start = Track.Flushed > Oldest ? Track.Flushed : Oldest;
+  putString(Out, Track.TrackName);
+  support::putVarint(Out, Track.Pid);
+  support::putVarint(Out, Start - Track.Flushed); // lost to the ring
+  support::putVarint(Out, Track.Total - Start);
+  for (uint64_t I = Start; I < Track.Total; ++I) {
+    const TimelineEvent &E =
+        Track.Ring[static_cast<size_t>(I % Track.Capacity)];
+    support::putVarint(Out, static_cast<uint64_t>(E.Kind));
+    support::putVarint(Out, E.TsNs);
+    putString(Out, Track.Strings[E.NameId]);
+    putString(Out, Track.Strings[E.ArgsId]);
+    if (E.Kind == TimelineEventKind::Counter) {
+      uint64_t Bits = 0;
+      static_assert(sizeof(Bits) == sizeof(E.Value));
+      std::memcpy(&Bits, &E.Value, sizeof(Bits));
+      support::putVarint(Out, Bits);
+    }
+  }
+  Track.Flushed = Track.Total;
+}
+
+bool Timeline::adoptTrackChunk(const uint8_t *Data, size_t Size, size_t &Pos,
+                               uint32_t Pid, const std::string &TrackPrefix) {
+  size_t P = Pos;
+  std::string Name;
+  uint64_t ChunkPid = 0, Dropped = 0, NumEvents = 0;
+  if (!readString(Data, Size, P, Name) ||
+      support::readVarint(Data, Size, P, ChunkPid) !=
+          support::VarintError::Ok ||
+      support::readVarint(Data, Size, P, Dropped) !=
+          support::VarintError::Ok ||
+      support::readVarint(Data, Size, P, NumEvents) !=
+          support::VarintError::Ok)
+    return false;
+  struct Decoded {
+    TimelineEventKind Kind;
+    uint64_t TsNs;
+    std::string Name;
+    std::string Args;
+    double Value;
+  };
+  std::vector<Decoded> Events;
+  Events.reserve(static_cast<size_t>(NumEvents));
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    uint64_t Kind = 0, Ts = 0;
+    Decoded D;
+    if (support::readVarint(Data, Size, P, Kind) !=
+            support::VarintError::Ok ||
+        Kind > static_cast<uint64_t>(TimelineEventKind::Counter) ||
+        support::readVarint(Data, Size, P, Ts) != support::VarintError::Ok ||
+        !readString(Data, Size, P, D.Name) ||
+        !readString(Data, Size, P, D.Args))
+      return false;
+    D.Kind = static_cast<TimelineEventKind>(Kind);
+    D.TsNs = Ts;
+    D.Value = 0.0;
+    if (D.Kind == TimelineEventKind::Counter) {
+      uint64_t Bits = 0;
+      if (support::readVarint(Data, Size, P, Bits) !=
+          support::VarintError::Ok)
+        return false;
+      std::memcpy(&D.Value, &Bits, sizeof(D.Value));
+    }
+    Events.push_back(std::move(D));
+  }
+  // Decoded cleanly: commit. (track() also takes TracksMutex, so the
+  // find-or-create is safe against sibling supervisor threads; the
+  // appends are safe because each child pid is owned by one supervisor.)
+  Pos = P;
+  TimelineTrack *T = track(TrackPrefix + Name, Pid);
+  if (!T)
+    return true; // disabled timeline: drop the chunk, it decoded fine
+  T->ImportedDropped += Dropped;
+  for (const Decoded &D : Events)
+    T->import(D.Kind, D.TsNs, D.Name, D.Args, D.Value);
+  return true;
+}

@@ -4,6 +4,7 @@
 
 #include "corpus/Sampler.h"
 #include "obs/Metrics.h"
+#include "obs/Timeline.h"
 #include "pipeline/Fingerprint.h"
 
 #include <set>
@@ -148,6 +149,12 @@ DeploymentOutcome DeploymentSimulator::run() {
   obs::Gauge *GSnapshotLoss =
       Reg.gauge("grs_pipeline_snapshot_loss_ratio");
 
+  // Flight recorder: the "deployment" track mirrors the day/phase span
+  // structure the registry profiles, so the Figure 2 architecture is
+  // visible as a timeline, not just as aggregate phase timings.
+  obs::TimelineTrack *Track =
+      Config.Timeline ? Config.Timeline->track("deployment") : nullptr;
+
   // The fault model consumes RNG draws only when some rate is positive:
   // Rng::chance always advances the stream, so an unconditional draw
   // would perturb every downstream decision even at rate 0.0 and break
@@ -177,12 +184,17 @@ DeploymentOutcome DeploymentSimulator::run() {
 
   for (uint32_t Day = 0; Day < Config.Days; ++Day) {
     obs::Span DaySpan = Reg.span("day");
+    obs::TimelineScope DayTl =
+        Track ? obs::TimelineScope(Track, "day",
+                                   "\"day\":" + std::to_string(Day))
+              : obs::TimelineScope();
     // (1) Code change lands: new latent races are introduced. In
     // CiBlocking mode the PR gate runs the detector first; a race lands
     // only if it stays dormant in every CI run — the §3.2 flakiness
     // objection made quantitative.
     {
       obs::Span S = Reg.span("arrivals");
+      obs::TimelineScope Tl(Track, "arrivals");
       uint64_t Arrivals = Rng.poisson(Config.NewRacesPerDay);
       for (uint64_t I = 0; I < Arrivals; ++I) {
         LatentRace Race = makeLatentRace(Day);
@@ -205,6 +217,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     // (2) Developers enable/disable tests; the organization churns.
     {
       obs::Span S = Reg.span("test-churn");
+      obs::TimelineScope Tl(Track, "test-churn");
       for (LatentRace &Race : Races) {
         if (Race.TestEnabled) {
           if (Rng.chance(Config.TestDisableProb))
@@ -221,6 +234,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     std::vector<size_t> Manifested;
     {
       obs::Span S = Reg.span("snapshot");
+      obs::TimelineScope Tl(Track, "snapshot");
       bool DayAborted = false;
       for (size_t I = 0; I < Races.size() && !DayAborted; ++I) {
         LatentRace &Race = Races[I];
@@ -291,6 +305,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     // (4) File tasks, throttled during the ramp-up period.
     {
       obs::Span S = Reg.span("filing");
+      obs::TimelineScope Tl(Track, "filing");
       uint64_t FilingBudget = Day >= Config.FloodgateDay
                                   ? Manifested.size()
                                   : Config.RampFilingsPerDay;
@@ -321,6 +336,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     // an active member of the owning team (weekly pass).
     if (Day % 7 == 0) {
       obs::Span S = Reg.span("triage");
+      obs::TimelineScope Tl(Track, "triage");
       for (TaskId Id : Bugs.openTasks()) {
         Task &T = Bugs.task(Id);
         if (Repo.isActive(T.Assignee))
@@ -341,6 +357,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     // root-cause cluster; some fixes do not stick.
     {
       obs::Span S = Reg.span("fixing");
+      obs::TimelineScope Tl(Track, "fixing");
       double FixProb = Day <= Config.ShepherdingEndDay
                            ? Config.ShepherdedFixProb
                            : Config.DisengagedFixProb;
@@ -385,6 +402,7 @@ DeploymentOutcome DeploymentSimulator::run() {
     // Figure 3.
     {
       obs::Span S = Reg.span("telemetry");
+      obs::TimelineScope Tl(Track, "telemetry");
       uint64_t Outstanding = 0;
       for (const LatentRace &Race : Races) {
         if (!Race.Present || !Race.EverDetected)

@@ -48,6 +48,7 @@ namespace grs {
 
 namespace obs {
 class Registry;
+class Timeline;
 } // namespace obs
 
 namespace pipeline {
@@ -158,6 +159,12 @@ struct DeploymentConfig {
   /// registry, because the instruments double as its own bookkeeping (the
   /// DeploymentOutcome series are read back from them).
   obs::Registry *Metrics = nullptr;
+  /// Optional flight recorder (borrowed): each simulated day records a
+  /// "day" span on the "deployment" track with the per-phase spans
+  /// (arrivals, test-churn, snapshot, filing, triage, fixing, telemetry)
+  /// nested inside it — the timeline twin of the `grs_obs_phase_*`
+  /// profile. Recording never consumes simulation RNG.
+  obs::Timeline *Timeline = nullptr;
   MonorepoConfig Repo;
 };
 

@@ -18,6 +18,7 @@
 #ifndef GRS_PIPELINE_SWEEP_H
 #define GRS_PIPELINE_SWEEP_H
 
+#include "obs/Timeline.h"
 #include "pipeline/Fingerprint.h"
 #include "rt/Runtime.h"
 
@@ -70,15 +71,29 @@ struct SweepOptions {
   uint64_t NumSeeds = 50;
   /// Base options applied to every run (Seed overwritten per run).
   rt::RunOptions Run;
+  /// Optional flight recorder (borrowed): each slot records a "slot"
+  /// span on the "sweep" track. Recording never perturbs the runs.
+  obs::Timeline *Timeline = nullptr;
 };
 
 /// Runs \p Body under NumSeeds schedules and aggregates.
 inline SweepResult sweep(const SweepOptions &Opts,
                          const std::function<void()> &Body) {
   SweepResult Result;
+  obs::TimelineTrack *Track =
+      Opts.Timeline ? Opts.Timeline->track("sweep") : nullptr;
   for (uint64_t I = 0; I < Opts.NumSeeds; ++I) {
     rt::RunOptions RunOpts = Opts.Run;
     RunOpts.Seed = Opts.FirstSeed + I;
+    RunOpts.TimelineTrack = Track;
+    // The args string is built only when a track exists, so an untraced
+    // sweep pays a single branch per slot.
+    obs::TimelineScope SlotSpan =
+        Track ? obs::TimelineScope(Track, "slot",
+                                   "\"slot\":" + std::to_string(I) +
+                                       ",\"seed\":" +
+                                       std::to_string(RunOpts.Seed))
+              : obs::TimelineScope();
     RunOpts.OnReport = [&Result](const race::Detector &D,
                                  const race::RaceReport &Report) {
       uint64_t Fp = raceFingerprint(D.interner(), Report);

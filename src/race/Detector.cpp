@@ -62,6 +62,28 @@ Detector::ShadowCell &Detector::shadowCell(Addr A) {
   return It->second;
 }
 
+ShadowFootprint Detector::footprint() const {
+  ShadowFootprint F;
+  F.ShadowCells = Shadow.size();
+  for (const ThreadState &TS : Threads) {
+    F.VcWords += TS.C.size();
+    F.ChainBytes += TS.Chain.size() * sizeof(Frame);
+  }
+  for (const VectorClock &VC : SyncClocks)
+    F.VcWords += VC.size();
+  for (const auto &[A, Cell] : Shadow) {
+    (void)A;
+    F.VcWords += Cell.ReadVC.size();
+    F.ChainBytes +=
+        (Cell.WriteChain.size() + Cell.ReadChain.size()) * sizeof(Frame);
+    for (const auto &[T, Chain] : Cell.SharedChains) {
+      (void)T;
+      F.ChainBytes += Chain.size() * sizeof(Frame);
+    }
+  }
+  return F;
+}
+
 //===----------------------------------------------------------------------===//
 // Event stream
 //===----------------------------------------------------------------------===//

@@ -91,6 +91,23 @@ struct DetectorStats {
   uint64_t ReportsSuppressed = 0;
 };
 
+/// Shadow-memory footprint: how much state the detector is holding RIGHT
+/// NOW, in the units the FastTrack cost model is priced in (§3.5's
+/// "significant memory overheads to maintain vector clocks"). Computed by
+/// Detector::footprint() as a walk over live state — a gauge, where
+/// DetectorStats carries monotone counters.
+struct ShadowFootprint {
+  /// Live shadow cells (one per instrumented address ever touched).
+  uint64_t ShadowCells = 0;
+  /// Allocated vector-clock components, summed over goroutine clocks,
+  /// sync-object clocks, and promoted read vector clocks. The number the
+  /// EpochOptimization ablation exists to shrink.
+  uint64_t VcWords = 0;
+  /// Bytes of retained call-chain frames: per-cell write/read/shared
+  /// chains plus the live per-goroutine stacks. 0 when KeepChains=false.
+  uint64_t ChainBytes = 0;
+};
+
 /// The dynamic race detector. See file comment.
 class Detector {
 public:
@@ -218,6 +235,10 @@ public:
 
   const std::vector<RaceReport> &reports() const { return Reports; }
   const DetectorStats &stats() const { return Stats; }
+
+  /// Current shadow-memory footprint (walks live state; O(cells +
+  /// goroutines + sync vars), so sample at serial points, not per access).
+  ShadowFootprint footprint() const;
 
   StringInterner &interner() { return Interner; }
   const StringInterner &interner() const { return Interner; }

@@ -57,6 +57,7 @@ class DetectorObserver;
 class Histogram;
 class Registry;
 class RuntimeInstruments;
+class TimelineTrack;
 } // namespace obs
 
 namespace rt {
@@ -121,6 +122,13 @@ struct RunOptions {
   /// When null — the default — every instrumentation site collapses to a
   /// null-handle check (the zero-overhead-when-disabled contract).
   obs::Registry *Metrics = nullptr;
+  /// Optional flight-recorder lane (borrowed; must outlive the run).
+  /// Executors set it to the worker's obs::Timeline track so run-scoped
+  /// spans (e.g. lang:: interpretation) land in the right timeline lane.
+  /// Recording never consumes scheduler RNG, so a traced run stays
+  /// bit-identical to an untraced one. Null by default — the timeline's
+  /// zero-overhead-when-disabled contract.
+  obs::TimelineTrack *TimelineTrack = nullptr;
   /// Wall-clock watchdog budget in milliseconds; 0 (the default)
   /// disables the watchdog entirely. When set, the run is bounded in
   /// REAL time, not just virtual steps: the scheduler checks the

@@ -288,6 +288,16 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
   for (unsigned I = 0; I < Threads; ++I)
     WorkerRegs.push_back(std::make_unique<obs::Registry>(true));
 
+  // Flight-recorder lanes: one planner track for round spans, one track
+  // per worker for slot spans, created up front for deterministic order.
+  obs::TimelineTrack *PlannerTrack =
+      Opts.Timeline ? Opts.Timeline->track("adaptive-planner") : nullptr;
+  std::vector<obs::TimelineTrack *> WorkerTracks(Threads, nullptr);
+  if (Opts.Timeline)
+    for (unsigned I = 0; I < Threads; ++I)
+      WorkerTracks[I] =
+          Opts.Timeline->track("adaptive-worker-" + std::to_string(I));
+
   // Bandit state, updated serially at each round barrier.
   support::Rng Planner(Opts.PlannerSeed);
   std::vector<ArmStat> Arms(numFeatureBuckets());
@@ -313,6 +323,12 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
   uint64_t RunIndex = 0;       // planned runs so far (1-based when used)
 
   while (Result.Sweep.SeedsRun < Opts.NumRuns) {
+    obs::TimelineScope RoundSpan =
+        PlannerTrack
+            ? obs::TimelineScope(PlannerTrack, "round",
+                                 "\"round\":" +
+                                     std::to_string(Result.Rounds))
+            : obs::TimelineScope();
     uint64_t Remaining = Opts.NumRuns - Result.Sweep.SeedsRun;
     size_t ThisRound =
         static_cast<size_t>(std::min<uint64_t>(RoundSize, Remaining));
@@ -390,22 +406,30 @@ AdaptiveResult sweep::adaptive(const AdaptiveOptions &Opts) {
     // write into their slot — completion order never matters.
     std::vector<RunRecord> Records(Plan.size());
     std::atomic<size_t> Cursor{0};
-    auto Work = [&](obs::Registry &Reg) {
+    auto Work = [&](obs::Registry &Reg, obs::TimelineTrack *Track) {
       for (;;) {
         size_t Slot = Cursor.fetch_add(1, std::memory_order_relaxed);
         if (Slot >= Plan.size())
           break;
+        obs::TimelineScope SlotSpan =
+            Track ? obs::TimelineScope(
+                        Track, "slot",
+                        "\"seed\":" + std::to_string(Plan[Slot].Seed) +
+                            ",\"exploit\":" +
+                            (Plan[Slot].Exploit ? "true" : "false"))
+                  : obs::TimelineScope();
         Records[Slot] = execPlanned(Plan[Slot], Opts, Reg);
       }
     };
     if (Threads == 1 || Plan.size() == 1) {
-      Work(*WorkerRegs[0]);
+      Work(*WorkerRegs[0], WorkerTracks[0]);
     } else {
       unsigned Spawn = std::min<size_t>(Threads, Plan.size());
       std::vector<std::thread> Pool;
       Pool.reserve(Spawn);
       for (unsigned I = 0; I < Spawn; ++I)
-        Pool.emplace_back([&, I] { Work(*WorkerRegs[I]); });
+        Pool.emplace_back(
+            [&, I] { Work(*WorkerRegs[I], WorkerTracks[I]); });
       for (std::thread &T : Pool)
         T.join();
     }

@@ -161,6 +161,12 @@ struct AdaptiveOptions {
   /// (rounds, explore/exploit split, first-hit run indices). Distinct
   /// from the per-worker probe registries the feature vectors use.
   obs::Registry *Metrics = nullptr;
+  /// Optional flight recorder (borrowed): the planner records one
+  /// "round" span per planning/merge cycle on the "adaptive-planner"
+  /// track, and each worker records "slot" spans on its own
+  /// "adaptive-worker-<i>" track. Recording never touches the planner
+  /// RNG or the probe registries, so parallel == serial is preserved.
+  obs::Timeline *Timeline = nullptr;
 };
 
 struct AdaptiveResult {

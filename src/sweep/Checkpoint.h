@@ -78,6 +78,17 @@ inline constexpr size_t NumFaultClasses = 8;
 /// Stable lower-case name of \p C (instrument label / diagnostics).
 const char *faultClassName(FaultClass C);
 
+/// Kind tags for the frames a sweep::isolated child streams over its
+/// result pipe. PIPE PROTOCOL ONLY — the on-disk journal keeps its
+/// original kind-less `length, payload` record framing. A pipe frame is
+/// `kind varint, length varint, payload[length]`; both pipe ends are
+/// always the same binary, so the tag needs no version negotiation.
+enum class FrameKind : uint8_t {
+  SlotRecord = 0,    ///< payload = encodeSlotRecord() of a completed slot.
+  TimelineChunk = 1, ///< payload = obs::Timeline::encodeTrackChunk() —
+                     ///< child flight-recorder events for stitching.
+};
+
 /// Everything the sweep aggregation needs from one completed run — the
 /// payload of one journal record and the unit the resilient executor's
 /// parity argument is built on: merge SlotRecords in slot order and you

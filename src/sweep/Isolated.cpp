@@ -4,6 +4,7 @@
 
 #include "inject/Fault.h"
 #include "obs/Metrics.h"
+#include "obs/Timeline.h"
 #include "support/Varint.h"
 
 #include <algorithm>
@@ -67,11 +68,23 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
   return true;
 }
 
+/// Writes one kind-tagged pipe frame (sweep/Checkpoint.h FrameKind).
+bool writeFrame(int Fd, FrameKind Kind, const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Frame;
+  support::putVarint(Frame, static_cast<uint64_t>(Kind));
+  support::putVarint(Frame, Payload.size());
+  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  return writeAll(Fd, Frame.data(), Frame.size());
+}
+
 /// The sandboxed child: runs its share of the batch through the SAME
 /// slot code as the in-process executor and streams each completed
-/// SlotRecord as a length-prefixed checkpoint-codec frame. Never
-/// returns; never calls exit() (stdio buffers inherited from the parent
-/// must not be flushed twice).
+/// SlotRecord as a kind-tagged checkpoint-codec frame. When the parent
+/// sweep is being flight-recorded, the child records the same slot /
+/// attempt spans into a child-local timeline and forwards the delta
+/// after every slot as a TimelineChunk frame. Never returns; never
+/// calls exit() (stdio buffers inherited from the parent must not be
+/// flushed twice).
 [[noreturn]] void childMain(int WriteFd, const IsolatedOptions &Opts,
                             const std::vector<uint64_t> &Batch, size_t First,
                             uint32_t FirstAttempt) {
@@ -84,26 +97,35 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
   // tested); writing a core file per death would dominate the sweep.
   struct rlimit NoCore = {0, 0};
   setrlimit(RLIMIT_CORE, &NoCore);
-  // Registries and journals inherited across fork() belong to the
-  // parent; the child reports ONLY through the pipe. (Results are
-  // unaffected: metrics are observational and the journal is written by
-  // the parent as records arrive.)
+  // Registries, journals, and the parent's timeline inherited across
+  // fork() belong to the parent; the child reports ONLY through the
+  // pipe. (Results are unaffected: metrics are observational and the
+  // journal is written by the parent as records arrive.)
+  bool Traced = Opts.Base.Timeline != nullptr;
   ResilientOptions Base = Opts.Base;
   Base.Metrics = nullptr;
   Base.Run.Metrics = nullptr;
+  Base.Run.TimelineTrack = nullptr;
+  Base.Timeline = nullptr;
   Base.CheckpointPath.clear();
+  // The child-local flight recorder; its events reach the parent only
+  // via TimelineChunk frames.
+  obs::Timeline ChildTimeline(Traced);
+  obs::TimelineTrack *Track =
+      Traced ? ChildTimeline.track("child") : nullptr;
   for (size_t I = First; I < Batch.size(); ++I) {
-    SlotRecord R =
-        runResilientSlot(Base, Batch[I], I == First ? FirstAttempt : 1);
-    std::vector<uint8_t> Frame;
-    {
-      std::vector<uint8_t> Payload;
-      encodeSlotRecord(Payload, R);
-      support::putVarint(Frame, Payload.size());
-      Frame.insert(Frame.end(), Payload.begin(), Payload.end());
-    }
-    if (!writeAll(WriteFd, Frame.data(), Frame.size()))
+    SlotRecord R = runResilientSlot(Base, Batch[I],
+                                    I == First ? FirstAttempt : 1, Track);
+    std::vector<uint8_t> Payload;
+    encodeSlotRecord(Payload, R);
+    if (!writeFrame(WriteFd, FrameKind::SlotRecord, Payload))
       _exit(3); // the parent went away; nothing left to report to
+    if (Track) {
+      std::vector<uint8_t> Chunk;
+      obs::Timeline::encodeTrackChunk(Chunk, *Track);
+      if (!writeFrame(WriteFd, FrameKind::TimelineChunk, Chunk))
+        _exit(3);
+    }
   }
   _exit(0);
 }
@@ -115,6 +137,7 @@ struct BatchTally {
   uint64_t Respawns = 0;
   uint64_t SupervisorKills = 0;
   uint64_t PipeBytes = 0;
+  uint64_t TimelineChunks = 0;
   uint64_t DeathsByClass[NumFaultClasses] = {};
 };
 
@@ -182,14 +205,23 @@ void chargeVictim(const IsolatedOptions &Opts,
 /// Supervises one batch to completion: fork, stream, classify deaths,
 /// charge the first record-less slot one attempt, respawn or quarantine.
 /// \p Deliver journals + stores a completed (or quarantined) record.
+/// \p Track (nullable) is this supervisor thread's flight-recorder lane
+/// for batch/child lifecycle spans; child TimelineChunk frames are
+/// stitched into Opts.Base.Timeline with the child's pid.
 void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
               const std::function<void(SlotRecord)> &Deliver,
-              BatchTally &Tally) {
+              BatchTally &Tally, obs::TimelineTrack *Track) {
   using Clock = std::chrono::steady_clock;
   uint32_t MaxAttempts = Opts.Base.MaxAttempts ? Opts.Base.MaxAttempts : 1;
   size_t Next = 0;          // next batch index expecting a record
   uint32_t FirstAttempt = 1; // process-level attempt number of Batch[Next]
   bool FirstSpawn = true;
+  obs::TimelineScope BatchSpan =
+      Track ? obs::TimelineScope(
+                  Track, "batch",
+                  "\"first_slot\":" + std::to_string(Batch.front()) +
+                      ",\"slots\":" + std::to_string(Batch.size()))
+            : obs::TimelineScope();
 
   while (Next < Batch.size()) {
     size_t ChildStart = Next;
@@ -212,15 +244,25 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
     if (Pid < 0) {
       // Cannot sandbox (fd/process exhaustion): degrade to in-process
       // execution for the rest of the batch rather than losing slots.
+      obs::tlInstant(Track, "fallback-inprocess");
       for (size_t I = Next; I < Batch.size(); ++I)
         Deliver(runResilientSlot(Opts.Base, Batch[I],
-                                 I == Next ? FirstAttempt : 1));
+                                 I == Next ? FirstAttempt : 1, Track));
       return;
     }
     ++Tally.Spawns;
-    if (!FirstSpawn)
+    if (!FirstSpawn) {
       ++Tally.Respawns;
+      if (Track)
+        Track->instant("respawn",
+                       "\"slot\":" + std::to_string(Batch[Next]) +
+                           ",\"attempt\":" + std::to_string(ChildFA));
+    }
     FirstSpawn = false;
+    obs::TimelineScope ChildSpan =
+        Track ? obs::TimelineScope(Track, "child",
+                                   "\"pid\":" + std::to_string(Pid))
+              : obs::TimelineScope();
 
     //===------------------------------------------------------------------===//
     // Stream records until EOF or the stall deadline. Any completed
@@ -269,15 +311,42 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
       bool Corrupt = false;
       for (;;) {
         size_t Pos = BufPos;
-        uint64_t Len = 0;
+        uint64_t Kind = 0, Len = 0;
         support::VarintError E =
-            support::readVarint(Buf.data(), Buf.size(), Pos, Len);
+            support::readVarint(Buf.data(), Buf.size(), Pos, Kind);
+        if (E == support::VarintError::Truncated)
+          break;
+        if (E != support::VarintError::Ok ||
+            Kind > static_cast<uint64_t>(FrameKind::TimelineChunk)) {
+          Corrupt = true;
+          break;
+        }
+        E = support::readVarint(Buf.data(), Buf.size(), Pos, Len);
         if (E == support::VarintError::Truncated)
           break;
         if (E != support::VarintError::Ok || Len > Buf.size() - Pos) {
           if (E != support::VarintError::Ok)
             Corrupt = true;
           break;
+        }
+        if (static_cast<FrameKind>(Kind) == FrameKind::TimelineChunk) {
+          // Stitch the child's flight-recorder delta into the parent
+          // timeline under the child's pid. Stitching never counts as
+          // batch progress — only completed records reset the stall
+          // deadline.
+          size_t ChunkPos = 0;
+          obs::Timeline *Tl = Opts.Base.Timeline;
+          if (!Tl ||
+              !Tl->adoptTrackChunk(Buf.data() + Pos,
+                                   static_cast<size_t>(Len), ChunkPos,
+                                   static_cast<uint32_t>(Pid), "") ||
+              ChunkPos != Len) {
+            Corrupt = true;
+            break;
+          }
+          ++Tally.TimelineChunks;
+          BufPos = Pos + static_cast<size_t>(Len);
+          continue;
         }
         SlotRecord R;
         size_t PayloadPos = 0;
@@ -314,6 +383,12 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
 
     bool CleanExit =
         !Killed && WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+    auto NoteDeath = [&](const Death &D) {
+      if (Track)
+        Track->instant("child-death",
+                       "\"pid\":" + std::to_string(Pid) + ",\"class\":\"" +
+                           faultClassName(D.Class) + "\"");
+    };
     if (Next >= Batch.size()) {
       // Batch complete. A death AFTER the last record (e.g. a fault
       // detonating during teardown) costs nothing.
@@ -322,6 +397,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
         ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
         if (Killed)
           ++Tally.SupervisorKills;
+        NoteDeath(D);
       }
       return;
     }
@@ -331,6 +407,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
       Death D{FaultClass::PartialExit,
               "child exited cleanly before completing its batch"};
       ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
+      NoteDeath(D);
       chargeVictim(Opts, Batch, D, MaxAttempts, Next, ChildStart, ChildFA,
                    FirstAttempt, Deliver);
       continue;
@@ -339,6 +416,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
     ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
     if (Killed)
       ++Tally.SupervisorKills;
+    NoteDeath(D);
     chargeVictim(Opts, Batch, D, MaxAttempts, Next, ChildStart, ChildFA,
                  FirstAttempt, Deliver);
   }
@@ -382,6 +460,13 @@ IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
     std::atomic<size_t> NextBatch{0};
     std::mutex JournalMutex;
     std::vector<BatchTally> Tallies(Threads);
+    // Supervisor flight-recorder lanes, created up front so exported
+    // track order is deterministic regardless of worker start order.
+    std::vector<obs::TimelineTrack *> Tracks(Threads, nullptr);
+    if (Opts.Base.Timeline)
+      for (unsigned I = 0; I < Threads; ++I)
+        Tracks[I] = Opts.Base.Timeline->track("isolated-supervisor-" +
+                                              std::to_string(I));
     auto Deliver = [&](SlotRecord R) {
       std::lock_guard<std::mutex> Lock(JournalMutex);
       if (Writer.isOpen() && !Writer.append(R))
@@ -394,7 +479,7 @@ IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
         size_t B = NextBatch.fetch_add(1, std::memory_order_relaxed);
         if (B >= Batches.size())
           break;
-        runBatch(Opts, Batches[B], Deliver, Tallies[Tid]);
+        runBatch(Opts, Batches[B], Deliver, Tallies[Tid], Tracks[Tid]);
       }
     };
     if (Threads <= 1) {
@@ -414,6 +499,7 @@ IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
       Result.Respawns += T.Respawns;
       Result.SupervisorKills += T.SupervisorKills;
       Result.PipeBytes += T.PipeBytes;
+      Result.TimelineChunks += T.TimelineChunks;
       for (size_t C = 0; C < NumFaultClasses; ++C)
         Result.DeathsByClass[C] += T.DeathsByClass[C];
     }
@@ -431,6 +517,8 @@ IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
              Result.SupervisorKills);
     obs::inc(Reg->counter("grs_isolated_pipe_bytes_total"),
              Result.PipeBytes);
+    obs::inc(Reg->counter("grs_isolated_timeline_chunks_total"),
+             Result.TimelineChunks);
     for (size_t C = 0; C < NumFaultClasses; ++C)
       if (Result.DeathsByClass[C])
         obs::inc(Reg->counter(

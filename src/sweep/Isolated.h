@@ -44,6 +44,16 @@
 /// foreign exceptions (see inject::inSandbox), so the harness still
 /// survives, merely with weaker containment.
 ///
+/// Flight recording: with Base.Timeline set, each supervisor thread
+/// records batch/child lifecycle spans (spawn, death classification,
+/// respawn) on its own track, and each child records the SAME slot /
+/// attempt spans the in-process path records into a child-local
+/// timeline, forwarding them over the pipe as kind-tagged frames
+/// (sweep/Checkpoint.h FrameKind) that the parent stitches into its
+/// timeline with pid attribution. The on-disk journal format is
+/// unchanged, and a traced sweep's records and journals stay
+/// bit-identical to an untraced run's.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRS_SWEEP_ISOLATED_H
@@ -102,6 +112,9 @@ struct IsolatedResult {
   uint64_t SupervisorKills = 0;
   /// SlotRecord bytes received over pipes (frames included).
   uint64_t PipeBytes = 0;
+  /// Flight-recorder chunks stitched from children into the parent
+  /// timeline (0 unless Base.Timeline is set).
+  uint64_t TimelineChunks = 0;
   /// True when the fork-free degradation path ran instead.
   bool ForkFree = false;
 

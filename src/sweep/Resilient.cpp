@@ -61,15 +61,26 @@ std::string faultDetail(const rt::RunResult &Run, FaultClass F) {
 } // namespace
 
 SlotRecord sweep::runResilientSlot(const ResilientOptions &Opts,
-                                   uint64_t Slot, uint32_t FirstAttempt) {
+                                   uint64_t Slot, uint32_t FirstAttempt,
+                                   obs::TimelineTrack *Track) {
   SlotRecord R;
   R.Slot = Slot;
   R.Seed = Opts.FirstSeed + Slot;
+  obs::TimelineScope SlotSpan =
+      Track ? obs::TimelineScope(Track, "slot",
+                                 "\"slot\":" + std::to_string(Slot) +
+                                     ",\"seed\":" + std::to_string(R.Seed))
+            : obs::TimelineScope();
   uint32_t MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
   for (uint32_t Attempt = FirstAttempt ? FirstAttempt : 1;; ++Attempt) {
     rt::RunOptions RunOpts = Opts.Run;
     RunOpts.Seed = R.Seed;
     RunOpts.Attempt = Attempt;
+    RunOpts.TimelineTrack = Track;
+    obs::TimelineScope AttemptSpan =
+        Track ? obs::TimelineScope(Track, "attempt",
+                                   "\"attempt\":" + std::to_string(Attempt))
+              : obs::TimelineScope();
     // Per-run report dedup in first-occurrence order — the shape slot-
     // order merging needs to replay the serial sweep's aggregation.
     std::vector<SlotRecord::Report> Reports;
@@ -99,10 +110,18 @@ SlotRecord sweep::runResilientSlot(const ResilientOptions &Opts,
     }
     R.Fault = F;
     R.FaultDetail = faultDetail(Run, F);
+    AttemptSpan.end();
     if (Attempt >= MaxAttempts) {
+      if (Track)
+        Track->instant("quarantine",
+                       "\"slot\":" + std::to_string(Slot) + ",\"class\":\"" +
+                           faultClassName(F) + "\"");
       R.Quarantined = true;
       return R;
     }
+    if (Track)
+      Track->instant("retry", "\"slot\":" + std::to_string(Slot) +
+                                  ",\"class\":\"" + faultClassName(F) + "\"");
     if (Opts.RetryBackoffMicros)
       std::this_thread::sleep_for(std::chrono::microseconds(
           Opts.RetryBackoffMicros << (Attempt - 1)));
@@ -199,14 +218,21 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
 
   std::atomic<uint64_t> Next{0};
   std::mutex JournalMutex;
-  auto Worker = [&] {
+  // Worker tracks are created up front so exported track order is
+  // deterministic regardless of worker start order.
+  std::vector<obs::TimelineTrack *> Tracks(Threads, nullptr);
+  if (Opts.Timeline)
+    for (unsigned I = 0; I < Threads; ++I)
+      Tracks[I] =
+          Opts.Timeline->track("resilient-worker-" + std::to_string(I));
+  auto Worker = [&](unsigned Wid) {
     for (;;) {
       uint64_t Slot = Next.fetch_add(1, std::memory_order_relaxed);
       if (Slot >= N)
         break;
       if (Done[Slot])
         continue; // satisfied from the checkpoint
-      SlotRecord R = runResilientSlot(Opts, Slot);
+      SlotRecord R = runResilientSlot(Opts, Slot, 1, Tracks[Wid]);
       std::lock_guard<std::mutex> Lock(JournalMutex);
       if (Writer.isOpen() && !Writer.append(R))
         Result.CheckpointError =
@@ -215,12 +241,12 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
     }
   };
   if (Threads <= 1) {
-    Worker();
+    Worker(0);
   } else {
     std::vector<std::thread> Pool;
     Pool.reserve(Threads);
     for (unsigned I = 0; I < Threads; ++I)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back(Worker, I);
     for (std::thread &T : Pool)
       T.join();
   }

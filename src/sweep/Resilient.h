@@ -79,6 +79,13 @@ struct ResilientOptions {
   /// Optional registry for `grs_resilience_*` instruments, written
   /// serially after the merge (obs::Registry is not thread-safe).
   obs::Registry *Metrics = nullptr;
+  /// Optional flight recorder (borrowed): each worker records slot spans
+  /// with nested attempt spans plus retry/quarantine instants on its own
+  /// "resilient-worker-<i>" track. Under sweep::isolated the SAME spans
+  /// are recorded child-side and stitched back over the pipe, so forked
+  /// and fork-free timelines agree on slot spans. Never perturbs runs,
+  /// retry trajectories, or checkpoint journals.
+  obs::Timeline *Timeline = nullptr;
   /// Journal path; empty disables checkpointing.
   std::string CheckpointPath;
   /// Load CheckpointPath first and rerun only the missing slots. A
@@ -134,9 +141,12 @@ FaultClass classifyRunFault(const rt::RunResult &Run);
 /// Attempt); a respawned sandbox child passes the process-level attempt
 /// so the per-slot attempt budget is unified across process boundaries
 /// (in-process retries and respawns draw from the same MaxAttempts).
-/// Thread-safe: touches nothing shared.
+/// \p Track, when set, receives the slot's flight-recorder spans (slot /
+/// attempt / retry / quarantine). Thread-safe: touches nothing shared
+/// (each track has one producer).
 SlotRecord runResilientSlot(const ResilientOptions &Opts, uint64_t Slot,
-                            uint32_t FirstAttempt = 1);
+                            uint32_t FirstAttempt = 1,
+                            obs::TimelineTrack *Track = nullptr);
 
 /// Merges completed slots in slot order into \p Result — pipeline::
 /// sweep's serial aggregation restricted to non-quarantined slots;

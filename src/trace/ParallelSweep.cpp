@@ -31,9 +31,15 @@ struct LocalResult {
 };
 
 void runSeed(const rt::RunOptions &Base, uint64_t Seed,
-             const std::function<void()> &Body, LocalResult &Local) {
+             const std::function<void()> &Body, LocalResult &Local,
+             obs::TimelineTrack *Track) {
   rt::RunOptions RunOpts = Base;
   RunOpts.Seed = Seed;
+  RunOpts.TimelineTrack = Track;
+  obs::TimelineScope SlotSpan =
+      Track ? obs::TimelineScope(Track, "slot",
+                                 "\"seed\":" + std::to_string(Seed))
+            : obs::TimelineScope();
   uint64_t ReportIndex = 0;
   RunOpts.OnReport = [&](const race::Detector &D,
                          const race::RaceReport &Report) {
@@ -82,13 +88,20 @@ trace::parallelSweep(const ParallelSweepOptions &Opts,
   // does not idle the rest of the pool.
   std::atomic<uint64_t> NextOffset{0};
 
-  auto Worker = [&] {
+  // Worker tracks are created up front on this thread so the exported
+  // track order is deterministic regardless of worker start order.
+  std::vector<obs::TimelineTrack *> Tracks(Threads, nullptr);
+  if (Opts.Timeline)
+    for (unsigned I = 0; I < Threads; ++I)
+      Tracks[I] = Opts.Timeline->track("sweep-worker-" + std::to_string(I));
+
+  auto Worker = [&](unsigned Wid) {
     LocalResult Local;
     for (;;) {
       uint64_t Offset = NextOffset.fetch_add(1, std::memory_order_relaxed);
       if (Offset >= Opts.NumSeeds)
         break;
-      runSeed(Opts.Run, Opts.FirstSeed + Offset, Body, Local);
+      runSeed(Opts.Run, Opts.FirstSeed + Offset, Body, Local, Tracks[Wid]);
     }
     std::lock_guard<std::mutex> Lock(MergeMutex);
     Merged.SeedsRun += Local.Counters.SeedsRun;
@@ -112,7 +125,7 @@ trace::parallelSweep(const ParallelSweepOptions &Opts,
   std::vector<std::thread> Pool;
   Pool.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, I);
   for (std::thread &T : Pool)
     T.join();
 

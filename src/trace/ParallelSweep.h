@@ -44,6 +44,10 @@ struct ParallelSweepOptions {
   /// Base options applied to every run (Seed overwritten per run). The
   /// OnReport/Trace hooks must be unset — each worker installs its own.
   rt::RunOptions Run;
+  /// Optional flight recorder (borrowed): each worker records its slots
+  /// as "slot" spans on its own "sweep-worker-<i>" track. Recording
+  /// never perturbs the runs or the parallel == serial invariant.
+  obs::Timeline *Timeline = nullptr;
 };
 
 /// Runs \p Body under NumSeeds schedules across the worker pool and

@@ -35,6 +35,7 @@
 #include "corpus/Patterns.h"
 #include "inject/Fault.h"
 #include "obs/Metrics.h"
+#include "obs/Timeline.h"
 #include "rt/Instr.h"
 #include "sweep/Isolated.h"
 
@@ -158,6 +159,77 @@ TEST(Isolated, FaultFreeParityAcrossExecutors) {
   EXPECT_TRUE(FF.ForkFree);
   EXPECT_EQ(FF.Res, InProcess) << "fork-free fallback diverged";
   EXPECT_EQ(FF.ChildSpawns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder stitching: forked and fork-free recordings agree
+//===----------------------------------------------------------------------===//
+
+/// All span-begin (name, args) pairs named "slot" or "attempt" across
+/// \p Tl's tracks, as a multiset — the executor-independent skeleton of
+/// a recording (batch/child lifecycle spans legitimately differ between
+/// the forked and fork-free paths; per-slot work must not).
+std::multiset<std::pair<std::string, std::string>>
+slotSpans(const obs::Timeline &Tl) {
+  std::multiset<std::pair<std::string, std::string>> Spans;
+  for (size_t I = 0; I < Tl.numTracks(); ++I) {
+    const obs::TimelineTrack &T = Tl.trackAt(I);
+    for (size_t E = 0; E < T.size(); ++E) {
+      const obs::TimelineEvent &Ev = T.event(E);
+      if (Ev.Kind != obs::TimelineEventKind::SpanBegin)
+        continue;
+      const std::string &Name = T.str(Ev.NameId);
+      if (Name == "slot" || Name == "attempt")
+        Spans.emplace(Name, T.str(Ev.ArgsId));
+    }
+  }
+  return Spans;
+}
+
+TEST(Isolated, StitchedTimelineMatchesForkFreeSlotSpans) {
+  // Because the slot/attempt spans are recorded inside runResilientSlot
+  // itself, the forked path (child records, chunks cross the pipe, the
+  // parent stitches) and the fork-free downgrade (supervisor records
+  // directly) must produce the SAME per-slot recording — only the
+  // attribution (child pid vs pid 0) differs.
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(racyBody), 24);
+
+  obs::Timeline Forked(/*Enabled=*/true);
+  IO.Base.Timeline = &Forked;
+  sweep::IsolatedResult FR = sweep::isolated(IO);
+  ASSERT_FALSE(FR.ForkFree);
+  EXPECT_GT(FR.TimelineChunks, 0u) << "children must forward their tracks";
+
+  sweep::IsolatedOptions FFIO = IO;
+  FFIO.ForceForkFree = true;
+  obs::Timeline ForkFree(/*Enabled=*/true);
+  FFIO.Base.Timeline = &ForkFree;
+  sweep::IsolatedResult FFR = sweep::isolated(FFIO);
+  ASSERT_TRUE(FFR.ForkFree);
+  EXPECT_EQ(FFR.TimelineChunks, 0u);
+
+  // Recording does not perturb execution, so the results stay equal...
+  EXPECT_EQ(FR.Res, FFR.Res);
+  // ...and the per-slot span skeletons agree across process boundaries.
+  auto ForkedSpans = slotSpans(Forked);
+  EXPECT_EQ(ForkedSpans.size(), 2u * IO.Base.NumSeeds)
+      << "one slot and one attempt span per fault-free seed";
+  EXPECT_EQ(ForkedSpans, slotSpans(ForkFree));
+
+  // The forked recording carries the cross-process attribution: every
+  // slot span lives on a track stitched under a real child pid.
+  bool SawChildTrack = false;
+  for (size_t I = 0; I < Forked.numTracks(); ++I) {
+    const obs::TimelineTrack &T = Forked.trackAt(I);
+    if (T.name() == "child") {
+      EXPECT_NE(T.pid(), 0u) << "stitched tracks carry the child pid";
+      SawChildTrack = true;
+    }
+  }
+  EXPECT_TRUE(SawChildTrack);
+  for (size_t I = 0; I < ForkFree.numTracks(); ++I)
+    EXPECT_EQ(ForkFree.trackAt(I).pid(), 0u)
+        << "fork-free recordings are single-process";
 }
 
 //===----------------------------------------------------------------------===//

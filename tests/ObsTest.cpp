@@ -17,6 +17,7 @@
 #include "obs/Export.h"
 #include "obs/Http.h"
 #include "obs/Metrics.h"
+#include "obs/Timeline.h"
 #include "pipeline/Deployment.h"
 #include "rt/Instr.h"
 #include "rt/Runtime.h"
@@ -622,6 +623,46 @@ TEST(MetricsServer, ServesJsonLinesSnapshot) {
   S.stop();
 }
 
+TEST(MetricsServer, HealthzTraceJsonAndEndpointListing404) {
+  MetricsServer S;
+  ASSERT_TRUE(S.start(0));
+
+  // /healthz is the liveness probe: always 200 "ok", and deliberately NOT
+  // counted as a scrape — a kubelet poking it every second must not
+  // drown out the "did Prometheus actually pull metrics" signal.
+  std::string Health = httpGet(S.port(), "/healthz");
+  EXPECT_NE(Health.find("HTTP/1.1 200"), std::string::npos) << Health;
+  EXPECT_NE(Health.find("\r\n\r\nok\n"), std::string::npos) << Health;
+  EXPECT_EQ(S.scrapeCount(), 0u);
+
+  // /trace.json serves an empty-but-loadable document before any
+  // publishTrace, so a dashboard can poll it unconditionally.
+  std::string Trace = httpGet(S.port(), "/trace.json");
+  EXPECT_NE(Trace.find("HTTP/1.1 200"), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("application/json"), std::string::npos);
+  EXPECT_NE(Trace.find("{\"traceEvents\":[]}"), std::string::npos);
+  EXPECT_EQ(S.scrapeCount(), 1u) << "trace pulls count like metric scrapes";
+
+  // publishTrace swaps the snapshot the next pull sees.
+  Timeline Tl(/*Enabled=*/true);
+  Tl.setClock([] { return uint64_t(1000); });
+  Tl.track("live")->instant("tick");
+  S.publishTrace(Tl.chromeTraceJson());
+  EXPECT_NE(httpGet(S.port(), "/trace.json").find("\"name\":\"tick\""),
+            std::string::npos);
+
+  // The 404 body names every valid endpoint, so a curl typo is
+  // self-diagnosing.
+  std::string Miss = httpGet(S.port(), "/metrics.json");
+  EXPECT_NE(Miss.find("HTTP/1.1 404"), std::string::npos) << Miss;
+  EXPECT_NE(Miss.find("valid endpoints"), std::string::npos) << Miss;
+  EXPECT_NE(Miss.find("/trace.json"), std::string::npos);
+  EXPECT_NE(Miss.find("/healthz"), std::string::npos);
+  EXPECT_NE(Miss.find("/metrics.jsonl"), std::string::npos);
+
+  S.stop();
+}
+
 #endif // sockets
 
 TEST(MetricsServer, IntervalPublisherHonorsItsInterval) {
@@ -653,6 +694,245 @@ TEST(MetricsServer, IntervalPublisherHonorsItsInterval) {
   FakeNow += 1000;
   EXPECT_TRUE(Pub.tick(R));
   EXPECT_EQ(Pub.publishCount(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder timelines (PR-7)
+//===----------------------------------------------------------------------===//
+
+/// Installs a deterministic clock on \p Tl: call N returns N * \p StepNs.
+void installTimelineClock(Timeline &Tl, uint64_t StepNs = 1000) {
+  auto T = std::make_shared<uint64_t>(0);
+  Tl.setClock([T, StepNs] { return *T += StepNs; });
+}
+
+TEST(Timeline, GoldenChromeTraceJsonUnderInjectedClock) {
+  Timeline Tl(/*Enabled=*/true);
+  installTimelineClock(Tl); // 1000, 2000, 3000, ... ns
+  TimelineTrack *T = Tl.track("worker-0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(Tl.track("worker-0"), T) << "track() is find-or-create";
+
+  T->begin("sweep", "\"slot\":3");
+  T->instant("retry");
+  T->counter("depth", 2.5);
+  T->end(); // closes "sweep"
+
+  // The export is byte-deterministic under a deterministic clock: one
+  // thread_name metadata record per track, then the events with
+  // microsecond timestamps at fixed sub-microsecond precision.
+  EXPECT_EQ(
+      Tl.chromeTraceJson(),
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"worker-0\"}},\n"
+      "{\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":1.000,\"name\":\"sweep\","
+      "\"args\":{\"slot\":3}},\n"
+      "{\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":2.000,\"name\":\"retry\","
+      "\"s\":\"t\"},\n"
+      "{\"ph\":\"C\",\"pid\":0,\"tid\":1,\"ts\":3.000,\"name\":\"depth\","
+      "\"args\":{\"value\":2.5}},\n"
+      "{\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":4.000,\"name\":\"sweep\"}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Timeline, DisabledTimelineIsInertAndNeverReadsTheClock) {
+  Timeline Off(/*Enabled=*/false);
+  // The zero-overhead contract: a disabled timeline never even samples
+  // time, so the fake clock doubles as a tripwire.
+  Off.setClock([]() -> uint64_t {
+    ADD_FAILURE() << "disabled timeline read the clock";
+    return 0;
+  });
+
+  EXPECT_FALSE(Off.enabled());
+  TimelineTrack *T = Off.track("worker-0");
+  EXPECT_EQ(T, nullptr) << "disabled timelines hand out null tracks";
+
+  // Every recording path is a no-op on a null track.
+  tlBegin(T, "span", "\"k\":1");
+  tlInstant(T, "point");
+  tlCounter(T, "gauge", 7.0);
+  tlEnd(T);
+  {
+    TimelineScope Scope(T, "scoped");
+    TimelineScope Default;
+    TimelineScope Moved = std::move(Scope);
+  }
+
+  EXPECT_EQ(Off.numTracks(), 0u);
+  EXPECT_EQ(Off.droppedTotal(), 0u);
+  EXPECT_EQ(Off.chromeTraceJson(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Timeline, RingOverwritesOldestAndCountsDropped) {
+  Timeline::Options Opts;
+  Opts.Enabled = true;
+  Opts.TrackCapacity = 4;
+  Timeline Tl(Opts);
+  installTimelineClock(Tl);
+  TimelineTrack *T = Tl.track("ring");
+
+  for (int I = 0; I < 10; ++I)
+    T->instant("e" + std::to_string(I));
+
+  // Flight-recorder semantics: the newest 4 survive, the loss is counted
+  // rather than silently absorbed.
+  EXPECT_EQ(T->totalEvents(), 10u);
+  EXPECT_EQ(T->size(), 4u);
+  EXPECT_EQ(T->droppedEvents(), 6u);
+  EXPECT_EQ(Tl.droppedTotal(), 6u);
+  EXPECT_EQ(T->str(T->event(0).NameId), "e6");
+  EXPECT_EQ(T->str(T->event(3).NameId), "e9");
+  EXPECT_EQ(T->event(3).TsNs, 10000u);
+}
+
+TEST(Timeline, TimelineScopeClosesSpansInNestingOrder) {
+  Timeline Tl(/*Enabled=*/true);
+  installTimelineClock(Tl);
+  TimelineTrack *T = Tl.track("scoped");
+  {
+    TimelineScope Outer(T, "outer");
+    TimelineScope Inner(T, "inner");
+  } // Inner destructs first
+  ASSERT_EQ(T->size(), 4u);
+  EXPECT_EQ(T->event(0).Kind, TimelineEventKind::SpanBegin);
+  EXPECT_EQ(T->str(T->event(0).NameId), "outer");
+  EXPECT_EQ(T->event(2).Kind, TimelineEventKind::SpanEnd);
+  EXPECT_EQ(T->str(T->event(2).NameId), "inner");
+  EXPECT_EQ(T->str(T->event(3).NameId), "outer");
+
+  // A stray end() with nothing open is swallowed, not UB.
+  T->end();
+  EXPECT_EQ(T->totalEvents(), 4u);
+}
+
+TEST(Timeline, ChunkRoundtripStitchesWithPidAttribution) {
+  // Child side: a recording in a (simulated) forked process.
+  Timeline Child(/*Enabled=*/true);
+  installTimelineClock(Child);
+  TimelineTrack *CT = Child.track("slot");
+  CT->begin("attempt", "\"slot\":5");
+  CT->counter("retries", 2.0);
+  CT->end();
+
+  std::vector<uint8_t> Wire;
+  Timeline::encodeTrackChunk(Wire, *CT);
+  ASSERT_FALSE(Wire.empty());
+
+  // Parent side: adoption stitches the events into a pid-attributed
+  // track without ever reading the parent's clock.
+  Timeline Parent(/*Enabled=*/true);
+  Parent.setClock([]() -> uint64_t {
+    ADD_FAILURE() << "adoption read the parent clock";
+    return 0;
+  });
+  size_t Pos = 0;
+  ASSERT_TRUE(Parent.adoptTrackChunk(Wire.data(), Wire.size(), Pos,
+                                     /*Pid=*/4242, "child-"));
+  EXPECT_EQ(Pos, Wire.size()) << "adoption consumes the whole chunk";
+
+  ASSERT_EQ(Parent.numTracks(), 1u);
+  const TimelineTrack &PT = Parent.trackAt(0);
+  EXPECT_EQ(PT.name(), "child-slot");
+  EXPECT_EQ(PT.pid(), 4242u);
+  ASSERT_EQ(PT.size(), 3u);
+  EXPECT_EQ(PT.event(0).Kind, TimelineEventKind::SpanBegin);
+  EXPECT_EQ(PT.str(PT.event(0).NameId), "attempt");
+  EXPECT_EQ(PT.str(PT.event(0).ArgsId), "\"slot\":5");
+  EXPECT_EQ(PT.event(0).TsNs, 1000u) << "child timestamps are preserved";
+  EXPECT_EQ(PT.event(1).Kind, TimelineEventKind::Counter);
+  EXPECT_DOUBLE_EQ(PT.event(1).Value, 2.0);
+  EXPECT_EQ(PT.event(2).Kind, TimelineEventKind::SpanEnd);
+
+  // The flush cursor makes chunks incremental: a second encode carries
+  // only the events recorded since, and adoption appends to the same
+  // stitched track.
+  std::vector<uint8_t> Empty;
+  Timeline::encodeTrackChunk(Empty, *CT);
+  size_t EmptyPos = 0;
+  ASSERT_TRUE(Parent.adoptTrackChunk(Empty.data(), Empty.size(), EmptyPos,
+                                     4242, "child-"));
+  EXPECT_EQ(Parent.trackAt(0).size(), 3u) << "no new events, no new imports";
+
+  CT->instant("heartbeat");
+  std::vector<uint8_t> Delta;
+  Timeline::encodeTrackChunk(Delta, *CT);
+  size_t DeltaPos = 0;
+  ASSERT_TRUE(Parent.adoptTrackChunk(Delta.data(), Delta.size(), DeltaPos,
+                                     4242, "child-"));
+  ASSERT_EQ(Parent.numTracks(), 1u) << "same (name, pid) -> same track";
+  ASSERT_EQ(Parent.trackAt(0).size(), 4u);
+  EXPECT_EQ(PT.str(PT.event(3).NameId), "heartbeat");
+
+  // A different pid is a different lane in the export.
+  size_t OtherPos = 0;
+  ASSERT_TRUE(Parent.adoptTrackChunk(Delta.data(), Delta.size(), OtherPos,
+                                     4243, "child-"));
+  EXPECT_EQ(Parent.numTracks(), 2u);
+  EXPECT_EQ(Parent.trackAt(1).pid(), 4243u);
+}
+
+TEST(Timeline, AdoptRejectsMalformedChunksWithoutSideEffects) {
+  Timeline Child(/*Enabled=*/true);
+  installTimelineClock(Child);
+  TimelineTrack *CT = Child.track("slot");
+  CT->begin("attempt");
+  CT->counter("retries", 1.5);
+  CT->end();
+  std::vector<uint8_t> Wire;
+  Timeline::encodeTrackChunk(Wire, *CT);
+
+  Timeline Parent(/*Enabled=*/true);
+  // Every strict prefix of a valid chunk must be rejected with the
+  // cursor untouched and no track materialized.
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    size_t Pos = 0;
+    EXPECT_FALSE(Parent.adoptTrackChunk(Wire.data(), Cut, Pos, 1, "c-"))
+        << "truncation at byte " << Cut << " must not decode";
+    EXPECT_EQ(Pos, 0u);
+  }
+  EXPECT_EQ(Parent.numTracks(), 0u);
+
+  // And the intact chunk still decodes after all those failures.
+  size_t Pos = 0;
+  EXPECT_TRUE(Parent.adoptTrackChunk(Wire.data(), Wire.size(), Pos, 1, "c-"));
+  EXPECT_EQ(Parent.numTracks(), 1u);
+}
+
+TEST(Timeline, ChunksCarryRingLossAndDisabledParentsDropCleanly) {
+  Timeline::Options Opts;
+  Opts.Enabled = true;
+  Opts.TrackCapacity = 2;
+  Timeline Child(Opts);
+  installTimelineClock(Child);
+  TimelineTrack *CT = Child.track("slot");
+  for (int I = 0; I < 5; ++I)
+    CT->instant("e" + std::to_string(I));
+
+  std::vector<uint8_t> Wire;
+  Timeline::encodeTrackChunk(Wire, *CT);
+
+  // The 3 events lost to the ring before the flush travel as a dropped
+  // count, so the parent's droppedTotal() stays honest across the pipe.
+  Timeline Parent(/*Enabled=*/true);
+  size_t Pos = 0;
+  ASSERT_TRUE(Parent.adoptTrackChunk(Wire.data(), Wire.size(), Pos, 7, ""));
+  ASSERT_EQ(Parent.numTracks(), 1u);
+  EXPECT_EQ(Parent.trackAt(0).size(), 2u);
+  EXPECT_EQ(Parent.droppedTotal(), 3u);
+
+  // A disabled parent consumes the chunk (the pipe must stay in sync)
+  // but records nothing.
+  Timeline Off(/*Enabled=*/false);
+  CT->instant("late");
+  std::vector<uint8_t> Delta;
+  Timeline::encodeTrackChunk(Delta, *CT);
+  size_t OffPos = 0;
+  EXPECT_TRUE(Off.adoptTrackChunk(Delta.data(), Delta.size(), OffPos, 7, ""));
+  EXPECT_EQ(OffPos, Delta.size());
+  EXPECT_EQ(Off.numTracks(), 0u);
 }
 
 } // namespace
