@@ -28,6 +28,16 @@ DetectorObserver::DetectorObserver(Registry &Reg, const race::Detector *Det,
   ShadowCellsPeak = Reg.gauge("grs_detector_shadow_cells_peak");
   ShadowVcWordsPeak = Reg.gauge("grs_detector_shadow_vc_words_peak");
   ShadowChainBytesPeak = Reg.gauge("grs_detector_shadow_chain_bytes_peak");
+  GcRuns = Reg.counter("grs_detector_gc_runs_total");
+  GcReclaimedCells = Reg.counter("grs_detector_gc_reclaimed_cells_total");
+  GcReclaimedVcWords =
+      Reg.counter("grs_detector_gc_reclaimed_vc_words_total");
+  GcReclaimedChainBytes =
+      Reg.counter("grs_detector_gc_reclaimed_chain_bytes_total");
+  GcReclaimedSyncClocks =
+      Reg.counter("grs_detector_gc_reclaimed_sync_clocks_total");
+  GcTrimmedThreads = Reg.counter("grs_detector_gc_trimmed_threads_total");
+  RetiredCells = Reg.gauge("grs_detector_retired_cells");
   Goroutines = Reg.gauge("grs_race_goroutines");
   VcMax = Reg.gauge("grs_race_vector_clock_max_size");
   VcMean = Reg.gauge("grs_race_vector_clock_mean_size");
@@ -62,6 +72,15 @@ void DetectorObserver::sync() {
     EraserTransitions->inc(S.EraserTransitions - LastStats.EraserTransitions);
     ReportsEmitted->inc(S.RacesReported - LastStats.RacesReported);
     ReportsSuppressed->inc(S.ReportsSuppressed - LastStats.ReportsSuppressed);
+    GcRuns->inc(S.GcRuns - LastStats.GcRuns);
+    GcReclaimedCells->inc(S.GcCellsRetired - LastStats.GcCellsRetired);
+    GcReclaimedVcWords->inc(S.GcVcWordsReclaimed -
+                            LastStats.GcVcWordsReclaimed);
+    GcReclaimedChainBytes->inc(S.GcChainBytesReclaimed -
+                               LastStats.GcChainBytesReclaimed);
+    GcReclaimedSyncClocks->inc(S.GcSyncClocksFreed -
+                               LastStats.GcSyncClocksFreed);
+    GcTrimmedThreads->inc(S.GcThreadsTrimmed - LastStats.GcThreadsTrimmed);
   }
   LastStats = S;
   set(ShadowCells, static_cast<double>(S.ShadowCells));
@@ -69,17 +88,21 @@ void DetectorObserver::sync() {
 
   // Footprint peaks: max-merge with the gauge's current value so the
   // high-water mark survives rebind() across a pooled fleet — each
-  // detector's peak competes, the fleet-wide peak wins.
+  // detector's peak competes, the fleet-wide peak wins. The detector-side
+  // Peak* fields are themselves monotone high-water marks sampled before
+  // every collection, so a scrape that straddles a GC cycle still
+  // observes the pre-GC peak instead of the just-collected trough.
   race::ShadowFootprint F = Det->footprint();
   if (ShadowCellsPeak)
     ShadowCellsPeak->set(std::max(ShadowCellsPeak->value(),
-                                  static_cast<double>(F.ShadowCells)));
+                                  static_cast<double>(F.PeakShadowCells)));
   if (ShadowVcWordsPeak)
     ShadowVcWordsPeak->set(std::max(ShadowVcWordsPeak->value(),
-                                    static_cast<double>(F.VcWords)));
+                                    static_cast<double>(F.PeakVcWords)));
   if (ShadowChainBytesPeak)
     ShadowChainBytesPeak->set(std::max(ShadowChainBytesPeak->value(),
-                                       static_cast<double>(F.ChainBytes)));
+                                       static_cast<double>(F.PeakChainBytes)));
+  set(RetiredCells, static_cast<double>(F.RetiredCells));
 
   size_t MaxSize = 0;
   size_t TotalSize = 0;

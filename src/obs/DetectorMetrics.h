@@ -87,6 +87,15 @@ private:
   Gauge *ShadowCellsPeak = nullptr;
   Gauge *ShadowVcWordsPeak = nullptr;
   Gauge *ShadowChainBytesPeak = nullptr;
+  /// Shadow-state GC: reclaimed-to-date counters plus the compact
+  /// retired-cell residue gauge.
+  Counter *GcRuns = nullptr;
+  Counter *GcReclaimedCells = nullptr;
+  Counter *GcReclaimedVcWords = nullptr;
+  Counter *GcReclaimedChainBytes = nullptr;
+  Counter *GcReclaimedSyncClocks = nullptr;
+  Counter *GcTrimmedThreads = nullptr;
+  Gauge *RetiredCells = nullptr;
   Gauge *Goroutines = nullptr;
   Gauge *VcMax = nullptr;
   Gauge *VcMean = nullptr;

@@ -2,6 +2,7 @@
 
 #include "race/Detector.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace grs::race;
@@ -16,6 +17,10 @@ struct Detector::ThreadState {
   LockSetId HeldWrite = LockSetRegistry::EmptyId;
   LockSetId HeldAll = LockSetRegistry::EmptyId;
   bool Finished = false;
+  /// Finished AND clock dominated by the min clock: clock and chain
+  /// storage released (every live thread already covers the clock, so a
+  /// join from it is a guaranteed no-op).
+  bool Trimmed = false;
 };
 
 struct Detector::ShadowCell {
@@ -57,17 +62,40 @@ const Detector::ThreadState &Detector::thread(Tid T) const {
 
 Detector::ShadowCell &Detector::shadowCell(Addr A) {
   auto [It, Inserted] = Shadow.try_emplace(A);
-  if (Inserted)
+  if (Inserted) {
     Stats.ShadowCells = Shadow.size();
+    // Rebuild from the compact residue if this address was retired by
+    // the GC: the ReportOnce flags, representation flag, and variable
+    // name are exactly the state a never-collected cell would still
+    // carry that a future access could observe.
+    if (!Retired.empty()) {
+      auto R = Retired.find(A);
+      if (R != Retired.end()) {
+        It->second.ReadShared = R->second.ReadShared;
+        It->second.ReportedHb = R->second.ReportedHb;
+        It->second.ReportedLs = R->second.ReportedLs;
+        It->second.Name = Interner.text(R->second.NameId);
+        Retired.erase(R);
+      }
+    }
+  }
   return It->second;
 }
 
 ShadowFootprint Detector::footprint() const {
   ShadowFootprint F;
   F.ShadowCells = Shadow.size();
-  for (const ThreadState &TS : Threads) {
-    F.VcWords += TS.C.size();
-    F.ChainBytes += TS.Chain.size() * sizeof(Frame);
+  // Trimmed goroutines hold no clock or chain, so walking the live and
+  // finished-untrimmed lists covers every nonzero contribution without
+  // touching each ThreadState ever created (notePeaks() calls this
+  // before every collection; an all-threads walk would make long
+  // fork/join workloads pay O(total goroutines) per collection).
+  for (const std::vector<Tid> *List : {&LiveThreads, &UntrimmedFinished}) {
+    for (Tid T : *List) {
+      const ThreadState &TS = Threads[T];
+      F.VcWords += TS.C.size();
+      F.ChainBytes += TS.Chain.size() * sizeof(Frame);
+    }
   }
   for (const VectorClock &VC : SyncClocks)
     F.VcWords += VC.size();
@@ -81,6 +109,18 @@ ShadowFootprint Detector::footprint() const {
       F.ChainBytes += Chain.size() * sizeof(Frame);
     }
   }
+  F.RetiredCells = Retired.size();
+  // Lazy max-merge: a scrape between collections may observe a live
+  // footprint above the last pre-GC sample.
+  PeakCells = std::max(PeakCells, F.ShadowCells);
+  PeakVcWords = std::max(PeakVcWords, F.VcWords);
+  PeakChainBytes = std::max(PeakChainBytes, F.ChainBytes);
+  F.PeakShadowCells = PeakCells;
+  F.PeakVcWords = PeakVcWords;
+  F.PeakChainBytes = PeakChainBytes;
+  F.ReclaimedCells = Stats.GcCellsRetired;
+  F.ReclaimedVcWords = Stats.GcVcWordsReclaimed;
+  F.ReclaimedChainBytes = Stats.GcChainBytesReclaimed;
   return F;
 }
 
@@ -119,15 +159,23 @@ Tid Detector::allocThread() {
   // Every goroutine starts at epoch (T, 1) so a fresh epoch is never
   // mistaken for the all-zero bottom.
   Threads[T].C.set(T, 1);
+  LiveThreads.push_back(T);
   return T;
 }
 
 Tid Detector::newRootGoroutine() {
   observe(EventKind::RootGoroutine, static_cast<Tid>(Threads.size()));
+  // A root has no happens-before predecessor, so it covers nothing: any
+  // maintained minimum is invalid from here on. (State already reclaimed
+  // under the old minimum assumed fork-descent from the existing roots —
+  // the single-root-then-accesses discipline every producer follows; see
+  // DESIGN.md §13.)
+  MinClock.clear();
   return allocThread();
 }
 
 Tid Detector::fork(Tid Parent) {
+  countEvent();
   observe(EventKind::Fork, Parent);
   Tid Child = allocThread();
   // The `go` statement happens-before the child's first action.
@@ -141,15 +189,36 @@ Tid Detector::fork(Tid Parent) {
 size_t Detector::numGoroutines() const { return Threads.size(); }
 
 void Detector::finish(Tid T) {
+  countEvent();
   observe(EventKind::Finish, T);
   thread(T).Finished = true;
+  for (size_t I = 0; I < LiveThreads.size(); ++I) {
+    if (LiveThreads[I] == T) {
+      LiveThreads[I] = LiveThreads.back();
+      LiveThreads.pop_back();
+      break;
+    }
+  }
+  UntrimmedFinished.push_back(T);
   ++Stats.SyncOps;
+  // One fewer live clock constrains the minimum: refresh so state the
+  // finished goroutine alone kept alive becomes collectable. Throttled —
+  // an eager refresh at EVERY finish/join is O(live clocks) and turns
+  // fork/join-heavy workloads quadratic; a trim landing a few hundred
+  // events late is invisible to the memory bound.
+  maybeRefreshMinClock();
 }
 
 void Detector::join(Tid Waiter, Tid Target) {
+  countEvent();
   observe(EventKind::Join, Waiter, Target);
   thread(Waiter).C.joinWith(thread(Target).C);
   ++Stats.SyncOps;
+  // The waiter's clock grew, which can only raise the minimum; a
+  // finished Target whose final clock is now covered by every live
+  // goroutine gets its per-thread state trimmed here (throttled, see
+  // finish()).
+  maybeRefreshMinClock();
 }
 
 //===----------------------------------------------------------------------===//
@@ -158,22 +227,48 @@ void Detector::join(Tid Waiter, Tid Target) {
 
 SyncId Detector::newSyncVar(const std::string &Name) {
   observe(EventKind::NewSync, 0, 0, 0, false, &Name);
+  // Reuse a destroyed never-locked slot when one is free: its clock is
+  // already empty, so the recycled id is indistinguishable from a fresh
+  // one to the happens-before analysis. Allocation is deliberately
+  // independent of DetectorOptions — a trace's recorded sync ids must
+  // resolve to the same objects no matter which options replay it.
+  if (!SyncFree.empty()) {
+    SyncId S = SyncFree.back();
+    SyncFree.pop_back();
+    SyncAlive[S] = 1;
+    SyncNames[S] = Name;
+    ++Stats.SyncIdsReused;
+    return S;
+  }
   SyncId S = static_cast<SyncId>(SyncClocks.size());
   SyncClocks.emplace_back();
   SyncNames.push_back(Name);
+  SyncAlive.push_back(1);
+  SyncEverLocked.push_back(0);
+  SyncGen.push_back(0);
   return S;
 }
 
 void Detector::acquire(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  countEvent();
   observe(EventKind::Acquire, T, S);
+  if (!SyncAlive[S]) {
+    ++Stats.DeadSyncOps;
+    return;
+  }
   thread(T).C.joinWith(SyncClocks[S]);
   ++Stats.SyncOps;
 }
 
 void Detector::release(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  countEvent();
   observe(EventKind::Release, T, S);
+  if (!SyncAlive[S]) {
+    ++Stats.DeadSyncOps;
+    return;
+  }
   SyncClocks[S] = thread(T).C;
   thread(T).C.tick(T);
   ++Stats.SyncOps;
@@ -181,7 +276,12 @@ void Detector::release(Tid T, SyncId S) {
 
 void Detector::releaseMerge(Tid T, SyncId S) {
   assert(S < SyncClocks.size() && "unknown sync object");
+  countEvent();
   observe(EventKind::ReleaseMerge, T, S);
+  if (!SyncAlive[S]) {
+    ++Stats.DeadSyncOps;
+    return;
+  }
   SyncClocks[S].joinWith(thread(T).C);
   thread(T).C.tick(T);
   ++Stats.SyncOps;
@@ -190,13 +290,51 @@ void Detector::releaseMerge(Tid T, SyncId S) {
 void Detector::transferSync(SyncId From, SyncId To) {
   assert(From < SyncClocks.size() && To < SyncClocks.size() &&
          "unknown sync object");
+  countEvent();
   observe(EventKind::TransferSync, 0, From, To);
+  if (!SyncAlive[From] || !SyncAlive[To]) {
+    ++Stats.DeadSyncOps;
+    return;
+  }
   SyncClocks[To].joinWith(SyncClocks[From]);
   ++Stats.SyncOps;
 }
 
+void Detector::destroySyncVar(Tid T, SyncId S) {
+  observe(EventKind::DestroySync, T, S);
+  // Benign on unknown/already-dead ids: runtime object teardown may
+  // legitimately race with abandoned-goroutine unwinding at end of run.
+  if (S >= SyncClocks.size() || !SyncAlive[S])
+    return;
+  SyncAlive[S] = 0;
+  ++SyncGen[S];
+  ++Stats.SyncVarsDestroyed;
+  Stats.GcVcWordsReclaimed += SyncClocks[S].size();
+  if (SyncClocks[S].size())
+    ++Stats.GcSyncClocksFreed;
+  SyncClocks[S].reset();
+  SyncNames[S].clear();
+  SyncNames[S].shrink_to_fit();
+  // Only ids never used as locks are recycled: a destroyed lock's id can
+  // linger inside interned Eraser candidate sets, where a recycled
+  // occupant would alias it and corrupt lock-set verdicts.
+  if (!SyncEverLocked[S])
+    SyncFree.push_back(S);
+}
+
+bool Detector::syncVarLive(SyncId S) const {
+  return S < SyncClocks.size() && SyncAlive[S];
+}
+
+SyncGeneration Detector::syncVarGeneration(SyncId S) const {
+  assert(S < SyncGen.size() && "unknown sync object");
+  return SyncGen[S];
+}
+
 void Detector::lockAcquired(Tid T, SyncId S, bool WriteMode) {
   observe(EventKind::LockAcquire, T, S, 0, WriteMode);
+  if (S < SyncEverLocked.size())
+    SyncEverLocked[S] = 1;
   ThreadState &TS = thread(T);
   TS.HeldAll = LockSets.withLock(TS.HeldAll, S);
   if (WriteMode)
@@ -490,6 +628,7 @@ bool Detector::applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell) {
 //===----------------------------------------------------------------------===//
 
 bool Detector::onRead(Tid T, Addr A, const std::string &Name) {
+  countEvent();
   observe(EventKind::Read, T, A, 0, false, &Name);
   ++Stats.Reads;
   ShadowCell &Cell = shadowCell(A);
@@ -504,6 +643,7 @@ bool Detector::onRead(Tid T, Addr A, const std::string &Name) {
 }
 
 bool Detector::onWrite(Tid T, Addr A, const std::string &Name) {
+  countEvent();
   observe(EventKind::Write, T, A, 0, false, &Name);
   ++Stats.Writes;
   ShadowCell &Cell = shadowCell(A);
@@ -520,3 +660,213 @@ bool Detector::onWrite(Tid T, Addr A, const std::string &Name) {
 const VectorClock &Detector::clockOf(Tid T) const { return thread(T).C; }
 
 bool Detector::hasShadow(Addr A) const { return Shadow.count(A) != 0; }
+
+//===----------------------------------------------------------------------===//
+// Min-clock shadow-state garbage collection
+//
+// Invariant everything below leans on: MinClock is a component-wise lower
+// bound on the clock of EVERY goroutine that can ever perform another
+// event. Live goroutines' clocks only grow; goroutines created later
+// inherit a parent's clock at fork, and the parent covers MinClock. So
+// any epoch covered by MinClock is covered by all future accessors
+// forever: it can never again be the uncovered side of a race check, and
+// a chain only reachable through it can never be quoted in a report.
+// Collection is therefore verdict-neutral — the differential battery in
+// tests/DetectorGcTest.cpp checks exactly that, and DESIGN.md §13 spells
+// out the cases (including the two representation hazards the sweeps
+// below explicitly guard against).
+//===----------------------------------------------------------------------===//
+
+void Detector::countEvent() {
+  if (Opts.Gc != GcMode::MinClock)
+    return;
+  ++EventsSinceRefresh;
+  if (Opts.GcIntervalEvents == 0)
+    return;
+  if (++EventsSinceGc >= Opts.GcIntervalEvents) {
+    EventsSinceGc = 0;
+    gcNow();
+  }
+}
+
+void Detector::maybeRefreshMinClock() {
+  // Amortization guard for the eager finish/join refresh: each refresh
+  // costs O(live clocks), so running one per event would make a
+  // fork/join loop quadratic in rounds. 256 events of slack keeps the
+  // refresh cost well under the per-event detector work while still
+  // trimming long-dead state orders of magnitude before the footprint
+  // could drift.
+  constexpr uint64_t EagerRefreshSlackEvents = 256;
+  if (Opts.Gc != GcMode::MinClock ||
+      EventsSinceRefresh < EagerRefreshSlackEvents)
+    return;
+  refreshMinClock();
+}
+
+void Detector::gcNow() {
+  if (Opts.Gc != GcMode::MinClock)
+    return;
+  ++Stats.GcRuns;
+  notePeaks();
+  refreshMinClock();
+  sweepSyncClocks();
+  sweepShadow();
+}
+
+void Detector::notePeaks() {
+  ShadowFootprint F = footprint(); // max-merges into Peak* itself
+  (void)F;
+}
+
+void Detector::refreshMinClock() {
+  if (Opts.Gc != GcMode::MinClock)
+    return;
+  EventsSinceRefresh = 0;
+  VectorClock NewMin;
+  bool Any = false;
+  for (Tid T : LiveThreads) {
+    const ThreadState &TS = Threads[T];
+    if (!Any) {
+      NewMin = TS.C;
+      Any = true;
+    } else {
+      NewMin.minWith(TS.C);
+    }
+  }
+  // With no live goroutine left the previous bound stays valid: only a
+  // later root could act, and newRootGoroutine() clears MinClock.
+  if (Any)
+    MinClock = std::move(NewMin);
+  trimDominatedThreads();
+}
+
+void Detector::trimDominatedThreads() {
+  // Only finished-but-untrimmed goroutines are candidates; walking the
+  // pending list (instead of every ThreadState ever created) keeps this
+  // O(recent finishes) on long fork/join workloads.
+  size_t Keep = 0;
+  for (size_t I = 0; I < UntrimmedFinished.size(); ++I) {
+    ThreadState &TS = Threads[UntrimmedFinished[I]];
+    if (!MinClock.coversAll(TS.C)) {
+      UntrimmedFinished[Keep++] = UntrimmedFinished[I];
+      continue;
+    }
+    // Every live goroutine already covers this final clock, so any
+    // remaining join(waiter, T) is a no-op with or without the state.
+    Stats.GcVcWordsReclaimed += TS.C.size();
+    Stats.GcChainBytesReclaimed += TS.Chain.size() * sizeof(Frame);
+    ++Stats.GcThreadsTrimmed;
+    TS.C.reset();
+    CallChain().swap(TS.Chain);
+    TS.Trimmed = true;
+  }
+  UntrimmedFinished.resize(Keep);
+}
+
+void Detector::sweepSyncClocks() {
+  for (SyncId S = 0; S < SyncClocks.size(); ++S) {
+    VectorClock &VC = SyncClocks[S];
+    if (!SyncAlive[S] || VC.size() == 0 || !MinClock.coversAll(VC))
+      continue;
+    // Every future acquirer covers this clock already; the join it
+    // would contribute is a no-op, so an empty clock behaves the same.
+    Stats.GcVcWordsReclaimed += VC.size();
+    ++Stats.GcSyncClocksFreed;
+    VC.reset();
+  }
+}
+
+void Detector::sweepShadow() {
+  bool CanRetire = Opts.Mode == DetectMode::HappensBefore;
+  for (auto It = Shadow.begin(); It != Shadow.end();) {
+    ShadowCell &Cell = It->second;
+    // "Dominated" on a side means: absent, or covered by MinClock (and
+    // hence by every future accessor's clock, forever).
+    bool WDom = !Cell.WriteEpoch.valid() || epochDominated(Cell.WriteEpoch);
+    bool RDom = Cell.ReadShared
+                    ? MinClock.coversAll(Cell.ReadVC)
+                    : (!Cell.ReadEpoch.valid() ||
+                       epochDominated(Cell.ReadEpoch));
+
+    // Representation hazard guard: while the last writer is live and
+    // still at the write epoch's clock, its next same-epoch write takes
+    // the fast path on the old cell (skipping the shared-read reset) but
+    // would take the slow path on a rebuilt cell — the two copies then
+    // disagree on ReadShared. Never retire such a cell; clocks only
+    // grow, so the guard clears as soon as the writer ticks or finishes.
+    bool WriterMayFastPath = false;
+    if (Cell.WriteEpoch.valid() && Cell.WriteEpoch.Id < Threads.size()) {
+      const ThreadState &WS = Threads[Cell.WriteEpoch.Id];
+      WriterMayFastPath =
+          !WS.Finished && WS.C.get(Cell.WriteEpoch.Id) == Cell.WriteEpoch.Time;
+    }
+
+    if (CanRetire && WDom && RDom &&
+        !(Cell.ReadShared && WriterMayFastPath)) {
+      // Fully dominated: no future access can race with any of this
+      // state, and the ReportOnce flags + name survive in the residue.
+      Stats.GcVcWordsReclaimed += Cell.ReadVC.size();
+      uint64_t Chains = Cell.WriteChain.size() + Cell.ReadChain.size();
+      for (const auto &[T, Chain] : Cell.SharedChains) {
+        (void)T;
+        Chains += Chain.size();
+      }
+      Stats.GcChainBytesReclaimed += Chains * sizeof(Frame);
+      ++Stats.GcCellsRetired;
+      bool NeedResidue = Cell.ReportedHb || Cell.ReportedLs ||
+                         !Cell.Name.empty() ||
+                         (Cell.ReadShared && Opts.EpochOptimization);
+      if (NeedResidue)
+        Retired[It->first] = RetiredCell{Interner.intern(Cell.Name),
+                                         Cell.ReadShared, Cell.ReportedHb,
+                                         Cell.ReportedLs};
+      It = Shadow.erase(It);
+      continue;
+    }
+
+    // Partial trims on a kept cell. Chains quoted in reports are only
+    // reachable via their epoch/VC entry; once that entry is dominated
+    // the chain is dead weight.
+    if (WDom && !Cell.WriteChain.empty()) {
+      Stats.GcChainBytesReclaimed += Cell.WriteChain.size() * sizeof(Frame);
+      CallChain().swap(Cell.WriteChain);
+    }
+    if (!Cell.ReadShared && RDom && !Cell.ReadChain.empty()) {
+      Stats.GcChainBytesReclaimed += Cell.ReadChain.size() * sizeof(Frame);
+      CallChain().swap(Cell.ReadChain);
+    }
+    if (Cell.ReadShared) {
+      if (RDom && WDom && Cell.ReadVC.size() != 0) {
+        // Tentpole (a): a fully dominated shared read set can never name
+        // an offender again. The epochs and the ReadShared flag are
+        // deliberately KEPT — collapsing the representation back to a
+        // read epoch could change which offender firstUncovered() names,
+        // and dropping epochs changes fast-path behavior (the second
+        // hazard in DESIGN.md §13). Only the storage is released.
+        Stats.GcVcWordsReclaimed += Cell.ReadVC.size();
+        for (const auto &[T, Chain] : Cell.SharedChains) {
+          (void)T;
+          Stats.GcChainBytesReclaimed += Chain.size() * sizeof(Frame);
+        }
+        Cell.ReadVC.reset();
+        std::unordered_map<Tid, CallChain>().swap(Cell.SharedChains);
+      } else if (!Cell.SharedChains.empty()) {
+        // Per-reader chain trim: drop chains whose VC entry is dominated
+        // (the entry itself stays, so fast paths and offender naming are
+        // untouched; a dominated entry is never named).
+        for (auto CIt = Cell.SharedChains.begin();
+             CIt != Cell.SharedChains.end();) {
+          Clock Entry = Cell.ReadVC.get(CIt->first);
+          if (Entry != 0 && MinClock.covers(Epoch{CIt->first, Entry})) {
+            Stats.GcChainBytesReclaimed += CIt->second.size() * sizeof(Frame);
+            CIt = Cell.SharedChains.erase(CIt);
+          } else {
+            ++CIt;
+          }
+        }
+      }
+    }
+    ++It;
+  }
+  Stats.ShadowCells = Shadow.size();
+}

@@ -56,6 +56,20 @@ enum class DetectMode : uint8_t {
   Hybrid,
 };
 
+/// Shadow-state garbage collection policy. MinClock is what Valgrind's
+/// DRD calls discarding "ordered segments": state ordered before the
+/// component-wise minimum over all live goroutines' clocks can never
+/// again participate in a race (every future accessor inherits at least
+/// that minimum via fork), so it is reclaimed. GC is verdict-neutral by
+/// construction — see DESIGN.md §13 for the safety argument.
+enum class GcMode : uint8_t {
+  /// Never reclaim (the detector exactly as it behaves with GC compiled
+  /// out; the differential battery's baseline).
+  Off,
+  /// Min-clock reclamation of dominated shadow state (default).
+  MinClock,
+};
+
 /// Detector construction options.
 struct DetectorOptions {
   DetectMode Mode = DetectMode::HappensBefore;
@@ -72,6 +86,14 @@ struct DetectorOptions {
   /// from the first read. Reports are identical; only cost differs. This
   /// is the "vector clocks are expensive in space and time" ablation.
   bool EpochOptimization = true;
+  /// Shadow-state garbage collection policy (see GcMode).
+  GcMode Gc = GcMode::MinClock;
+  /// Run a full collection every this many counted detector events
+  /// (memory accesses + sync ops); 0 disables the periodic sweep, leaving
+  /// only the cheap min-clock refresh at finish()/join(). GC never
+  /// changes verdicts, so this knob trades peak memory against sweep
+  /// overhead only.
+  uint64_t GcIntervalEvents = 4096;
 };
 
 /// Aggregate counters for the overhead study (§3.5) and ablation benches.
@@ -89,6 +111,31 @@ struct DetectorStats {
   /// Reports dropped by the once-per-address / MaxReports throttles —
   /// the §3.3.1 per-run analogue of the pipeline's dedup suppression.
   uint64_t ReportsSuppressed = 0;
+
+  // Shadow-state GC (GcMode::MinClock) and sync-object lifecycle.
+  /// Full min-clock collections performed.
+  uint64_t GcRuns = 0;
+  /// Shadow cells retired into the compact dominated set.
+  uint64_t GcCellsRetired = 0;
+  /// Vector-clock components freed (dominated read VCs, dead or dominated
+  /// sync clocks, trimmed finished-thread clocks).
+  uint64_t GcVcWordsReclaimed = 0;
+  /// Bytes of call-chain frames freed from dominated shadow state.
+  uint64_t GcChainBytesReclaimed = 0;
+  /// Sync-object clocks emptied (destroyed objects plus live clocks fully
+  /// dominated by the min clock).
+  uint64_t GcSyncClocksFreed = 0;
+  /// Finished goroutines whose clock + chain were trimmed after their
+  /// join edge was consumed (clock dominated by the min clock).
+  uint64_t GcThreadsTrimmed = 0;
+  /// destroySyncVar() notifications accepted.
+  uint64_t SyncVarsDestroyed = 0;
+  /// newSyncVar() allocations satisfied from the destroy free list.
+  uint64_t SyncIdsReused = 0;
+  /// Sync operations referencing an already-destroyed sync object
+  /// (benignly ignored; nonzero means the program under test used a
+  /// sync object after its owner destroyed it).
+  uint64_t DeadSyncOps = 0;
 };
 
 /// Shadow-memory footprint: how much state the detector is holding RIGHT
@@ -106,6 +153,23 @@ struct ShadowFootprint {
   /// Bytes of retained call-chain frames: per-cell write/read/shared
   /// chains plus the live per-goroutine stacks. 0 when KeepChains=false.
   uint64_t ChainBytes = 0;
+
+  /// Compact records of retired (fully dominated) cells — a few bytes
+  /// each, kept so re-access rebuilds deterministically with the original
+  /// ReportOnce flags and variable name.
+  uint64_t RetiredCells = 0;
+  /// Monotone high-water marks of the live numbers above. The detector
+  /// samples live state into these before every collection, so a gauge
+  /// scrape that straddles a GC cycle still sees the pre-GC peak — this
+  /// is what keeps the obs `grs_detector_shadow_*_peak` gauges monotone.
+  uint64_t PeakShadowCells = 0;
+  uint64_t PeakVcWords = 0;
+  uint64_t PeakChainBytes = 0;
+  /// Reclaimed-to-date counters (mirrors DetectorStats): live + reclaimed
+  /// is the GC-off footprint the detector WOULD be holding.
+  uint64_t ReclaimedCells = 0;
+  uint64_t ReclaimedVcWords = 0;
+  uint64_t ReclaimedChainBytes = 0;
 };
 
 /// The dynamic race detector. See file comment.
@@ -166,6 +230,26 @@ public:
   /// goroutine — used when buffered channel machinery moves a parked
   /// sender's publication into a buffer slot on its behalf.
   void transferSync(SyncId From, SyncId To);
+
+  /// Declares sync object \p S dead: the runtime calls this when the
+  /// owning channel/mutex/WaitGroup is destroyed, with \p T the goroutine
+  /// running the destructor. The slot's clock is freed immediately and
+  /// its generation bumped; ids never passed to lockAcquired() become
+  /// reusable by newSyncVar() (locked ids are NOT reused so a stale id in
+  /// an Eraser candidate set can never alias a new lock). Destroying an
+  /// already-dead or unknown id is a benign no-op. Independent of GcMode,
+  /// so a captured trace replays identically under either GC setting.
+  void destroySyncVar(Tid T, SyncId S);
+
+  /// \returns true if \p S names a currently-live sync object.
+  bool syncVarLive(SyncId S) const;
+
+  /// \returns the generation of slot \p S (bumped by each destroy).
+  SyncGeneration syncVarGeneration(SyncId S) const;
+
+  /// Number of sync-object slots ever allocated (free-list reuse keeps
+  /// this below the newSyncVar() call count).
+  size_t numSyncVarSlots() const { return SyncClocks.size(); }
 
   /// Mutex bookkeeping for the lock-set algorithm. \p WriteMode is true
   /// for Lock/Unlock and false for RLock/RUnlock. These do NOT create HB
@@ -253,6 +337,20 @@ public:
   /// for tests.
   bool hasShadow(Addr A) const;
 
+  //===------------------------------------------------------------------===//
+  // Shadow-state garbage collection
+  //===------------------------------------------------------------------===//
+
+  /// Forces a full collection right now (tests and benches; the detector
+  /// otherwise collects every GcIntervalEvents events). No-op when
+  /// Opts.Gc == GcMode::Off. GC is verdict-neutral, so forcing it at any
+  /// point never changes subsequent reports.
+  void gcNow();
+
+  /// The maintained component-wise minimum over live goroutines' clocks
+  /// (empty = nothing provably dominated yet); tests and diagnostics.
+  const VectorClock &minClock() const { return MinClock; }
+
 private:
   struct ThreadState;
   struct ShadowCell;
@@ -274,6 +372,29 @@ private:
   bool applyEraser(Tid T, Addr A, AccessKind Kind, ShadowCell &Cell);
   AccessSnapshot snapshotCurrent(Tid T, AccessKind Kind) const;
 
+  // Min-clock GC internals (Detector.cpp has the per-step safety
+  // argument; DESIGN.md §13 the full one).
+  void countEvent();
+  void maybeRefreshMinClock();
+  void refreshMinClock();
+  void trimDominatedThreads();
+  void sweepSyncClocks();
+  void sweepShadow();
+  void notePeaks();
+  bool epochDominated(const Epoch &E) const {
+    return E.valid() && MinClock.covers(E);
+  }
+
+  /// Compact residue of a retired shadow cell: everything a rebuilt cell
+  /// needs to behave identically to the never-collected one. Cells whose
+  /// residue would be all-default are not recorded at all.
+  struct RetiredCell {
+    uint32_t NameId = 0; ///< Interned variable name ("" when unnamed).
+    bool ReadShared = false;
+    bool ReportedHb = false;
+    bool ReportedLs = false;
+  };
+
   DetectorOptions Opts;
   std::vector<ThreadState> Threads;
   std::vector<VectorClock> SyncClocks;
@@ -285,6 +406,29 @@ private:
   ReportSink Sink_;
   EventObserver *Observer_ = nullptr;
   DetectorStats Stats;
+
+  // Sync-object lifecycle (active in every GcMode so traces replay
+  // identically across GC settings).
+  std::vector<uint8_t> SyncAlive;
+  std::vector<uint8_t> SyncEverLocked;
+  std::vector<SyncGeneration> SyncGen;
+  std::vector<SyncId> SyncFree;
+
+  // Min-clock GC state (GcMode::MinClock only). The two id lists are
+  // maintained in every mode (a push/pop per lifecycle event) so the
+  // refresh and trim walks touch only live or recently-finished
+  // goroutines instead of every ThreadState ever created.
+  std::vector<Tid> LiveThreads;
+  std::vector<Tid> UntrimmedFinished;
+  VectorClock MinClock;
+  uint64_t EventsSinceGc = 0;
+  /// Counted events since the last min-clock refresh; gates the eager
+  /// finish/join refresh so fork/join loops stay linear.
+  uint64_t EventsSinceRefresh = 0;
+  std::unordered_map<Addr, RetiredCell> Retired;
+  /// High-water marks of the live footprint, sampled before each
+  /// collection and lazily max-merged in footprint().
+  mutable uint64_t PeakCells = 0, PeakVcWords = 0, PeakChainBytes = 0;
 };
 
 } // namespace race

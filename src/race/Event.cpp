@@ -46,6 +46,8 @@ const char *grs::race::eventKindName(EventKind Kind) {
     return "chan-close";
   case EventKind::AtomicOp:
     return "atomic-op";
+  case EventKind::DestroySync:
+    return "destroy-sync";
   }
   return "unknown";
 }

@@ -63,11 +63,14 @@ enum class EventKind : uint8_t {
   ChannelRecv,  ///< T received (or began a receive) on channel A.
   ChannelClose, ///< T closed channel A.
   AtomicOp,     ///< T performed an atomic op on address A (Flag=write).
+  // Synchronization, continued (appended for trace-format stability;
+  // NOT an annotation — replay applies it like the events above).
+  DestroySync, ///< destroySyncVar(T, A): sync object A died.
 };
 
 /// Number of EventKind values (bounds-checks decoded kinds).
 inline constexpr uint8_t NumEventKinds =
-    static_cast<uint8_t>(EventKind::AtomicOp) + 1;
+    static_cast<uint8_t>(EventKind::DestroySync) + 1;
 
 /// \returns a short printable name for \p Kind.
 const char *eventKindName(EventKind Kind);

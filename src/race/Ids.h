@@ -35,6 +35,11 @@ using SyncId = uint32_t;
 /// synthetic workloads may use arbitrary distinct integers.
 using Addr = uint64_t;
 
+/// Generation counter of a sync-object slot. destroySyncVar() bumps the
+/// slot's generation, so a stale SyncId paired with an old generation is
+/// distinguishable from the slot's current occupant after free-list reuse.
+using SyncGeneration = uint32_t;
+
 /// Invalid/sentinel values.
 inline constexpr Tid InvalidTid = ~static_cast<Tid>(0);
 inline constexpr SyncId InvalidSyncId = ~static_cast<SyncId>(0);

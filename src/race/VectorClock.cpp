@@ -20,6 +20,13 @@ void VectorClock::joinWith(const VectorClock &Other) {
     Components[I] = std::max(Components[I], Other.Components[I]);
 }
 
+void VectorClock::minWith(const VectorClock &Other) {
+  if (Components.size() > Other.Components.size())
+    Components.resize(Other.Components.size());
+  for (size_t I = 0; I < Components.size(); ++I)
+    Components[I] = std::min(Components[I], Other.Components[I]);
+}
+
 bool VectorClock::coversAll(const VectorClock &Other) const {
   for (size_t I = 0; I < Other.Components.size(); ++I)
     if (Other.Components[I] > get(static_cast<Tid>(I)))

@@ -44,6 +44,12 @@ public:
   /// Element-wise maximum with \p Other (the join of the two clocks).
   void joinWith(const VectorClock &Other);
 
+  /// Element-wise minimum with \p Other (the meet of the two clocks).
+  /// Missing components are zero, so the result never outgrows the
+  /// shorter operand. Used by the detector's min-clock GC to maintain
+  /// the lower bound over all live goroutines' clocks.
+  void minWith(const VectorClock &Other);
+
   /// \returns true if epoch \p E happens-before (or equals) this clock,
   /// i.e. E.Time <= get(E.Id). The FastTrack "E <= C" test.
   bool covers(const Epoch &E) const {
@@ -60,6 +66,11 @@ public:
 
   /// Clears all components to zero.
   void clear() { Components.clear(); }
+
+  /// Clears all components AND releases the backing storage. clear()
+  /// keeps capacity (right for hot-path reuse); reset() is for the GC,
+  /// whose whole point is returning the memory.
+  void reset() { std::vector<Clock>().swap(Components); }
 
   /// Number of allocated components (highest touched tid + 1).
   size_t size() const { return Components.size(); }

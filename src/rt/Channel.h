@@ -69,6 +69,19 @@ public:
   Chan(const Chan &) = delete;
   Chan &operator=(const Chan &) = delete;
 
+  /// Notifies the detector that this channel's sync objects are dead so
+  /// their clocks can be reclaimed (and never-locked ids recycled). The
+  /// null check covers objects destroyed after their Runtime's run()
+  /// returned (e.g. leaked-goroutine bodies torn down with the Runtime).
+  ~Chan() {
+    if (Runtime *RT = Runtime::currentOrNull()) {
+      race::Detector &D = RT->det();
+      for (race::SyncId S : SlotSync)
+        D.destroySyncVar(RT->tid(), S);
+      D.destroySyncVar(RT->tid(), CloseSync);
+    }
+  }
+
   /// `ch <- v`. Blocks until the value is buffered or handed to a
   /// receiver. Panics if the channel is (or becomes) closed.
   void send(T Value) {
@@ -189,10 +202,22 @@ public:
     }
     // No space: park with the value until a receiver consumes it (covers
     // the unbuffered rendezvous and the full-buffer cases). The node
-    // carries its own sync pair so pairing is ordered pairwise.
+    // carries its own sync pair so pairing is ordered pairwise. The pair
+    // dies with the node on every exit (consumed, closed-panic, abort):
+    // without the destroy edge, rendezvous traffic grows detector sync
+    // state by two clocks per blocked send, forever.
     PendingSend Node{RT.tid(), std::move(Value), false,
                      RT.det().newSyncVar(Name + ".pend.s"),
                      RT.det().newSyncVar(Name + ".pend.r")};
+    struct PendingSyncReaper {
+      race::Detector &D;
+      race::Tid Sender;
+      race::SyncId SendSync, RecvSync;
+      ~PendingSyncReaper() {
+        D.destroySyncVar(Sender, SendSync);
+        D.destroySyncVar(Sender, RecvSync);
+      }
+    } Reaper{RT.det(), RT.tid(), Node.SendSync, Node.RecvSync};
     RT.det().releaseMerge(RT.tid(), Node.SendSync);
     PendingSends.push_back(&Node);
     Waiters.wakeAll();

@@ -18,6 +18,16 @@ Mutex::Mutex(const Mutex &Other)
       Id(Runtime::current().det().newSyncVar(Name)), Locked(Other.Locked),
       Holder(Other.Holder) {}
 
+/// Shared teardown: sync objects die with their owner, but owners of
+/// leaked goroutines can outlive run() — then there is no runtime (and no
+/// detector) left to notify.
+static void destroyIfRunning(race::SyncId S) {
+  if (Runtime *RT = Runtime::currentOrNull())
+    RT->det().destroySyncVar(RT->tid(), S);
+}
+
+Mutex::~Mutex() { destroyIfRunning(Id); }
+
 void Mutex::lock() {
   Runtime &RT = Runtime::current();
   RT.preemptPoint();
@@ -75,6 +85,12 @@ RWMutex::RWMutex(const RWMutex &Other)
       WriterSync(Runtime::current().det().newSyncVar(Name + ".w")),
       ReaderSync(Runtime::current().det().newSyncVar(Name + ".r")),
       Readers(Other.Readers), Writer(Other.Writer) {}
+
+RWMutex::~RWMutex() {
+  destroyIfRunning(Id);
+  destroyIfRunning(WriterSync);
+  destroyIfRunning(ReaderSync);
+}
 
 void RWMutex::lock() {
   Runtime &RT = Runtime::current();
@@ -137,6 +153,8 @@ WaitGroup::WaitGroup(std::string Name)
     : Name(std::move(Name)),
       Sync(Runtime::current().det().newSyncVar(this->Name)) {}
 
+WaitGroup::~WaitGroup() { destroyIfRunning(Sync); }
+
 void WaitGroup::add(int Delta) {
   Runtime &RT = Runtime::current();
   RT.preemptPoint();
@@ -177,6 +195,8 @@ void WaitGroup::wait() {
 Once::Once(std::string Name)
     : Name(std::move(Name)),
       Sync(Runtime::current().det().newSyncVar(this->Name)) {}
+
+Once::~Once() { destroyIfRunning(Sync); }
 
 void Once::doOnce(const std::function<void()> &Fn) {
   Runtime &RT = Runtime::current();

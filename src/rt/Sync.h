@@ -46,6 +46,11 @@ public:
   Mutex(const Mutex &Other);
   Mutex &operator=(const Mutex &) = delete;
 
+  /// Notifies the detector the lock object died (its clock is reclaimed;
+  /// the id is not recycled because it may linger in Eraser candidate
+  /// sets). Matters for value-semantics copies created in loops.
+  ~Mutex();
+
   void lock();
   void unlock();
 
@@ -83,6 +88,8 @@ public:
 
   RWMutex(const RWMutex &Other); // Same value-semantics footgun as Mutex.
   RWMutex &operator=(const RWMutex &) = delete;
+
+  ~RWMutex(); // Destroy notification for Id/WriterSync/ReaderSync.
 
   void lock();    // Lock: exclusive.
   void unlock();  // Unlock.
@@ -125,6 +132,8 @@ public:
   WaitGroup(const WaitGroup &) = delete;
   WaitGroup &operator=(const WaitGroup &) = delete;
 
+  ~WaitGroup(); // Destroy notification for the group's sync clock.
+
   /// Adds \p Delta participants (may be negative; panics below zero).
   void add(int Delta);
 
@@ -152,6 +161,8 @@ public:
 
   Once(const Once &) = delete;
   Once &operator=(const Once &) = delete;
+
+  ~Once(); // Destroy notification for the completion sync clock.
 
   /// Runs \p Fn if no call ran it before; otherwise blocks until the
   /// first call completes, then returns (with an acquire edge).

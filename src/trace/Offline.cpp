@@ -33,7 +33,10 @@ bool OfflineDetector::apply(const Trace &T, const TraceRecord &Record) {
                 std::to_string(Id));
   };
   auto CheckSync = [&](uint64_t Id) {
-    return Id < NumSyncVars ||
+    // Slot count, not NewSync count: destroy-driven free-list reuse
+    // means ids are recycled, so the detector's slot table is the
+    // authoritative bound.
+    return Id < Det.numSyncVarSlots() ||
            fail("event references unallocated sync var " +
                 std::to_string(Id));
   };
@@ -123,6 +126,14 @@ bool OfflineDetector::apply(const Trace &T, const TraceRecord &Record) {
     if (!CheckTid(Record.T))
       return false;
     Det.onWrite(Record.T, Record.A, T.text(Record.Str1));
+    break;
+  case EventKind::DestroySync:
+    if (!CheckTid(Record.T) || !CheckSync(Record.A))
+      return false;
+    // destroySyncVar is GcMode-independent, so the free-list state (and
+    // with it every subsequent NewSync id) matches the capture-time
+    // detector no matter which options this replay runs under.
+    Det.destroySyncVar(Record.T, static_cast<race::SyncId>(Record.A));
     break;
   case EventKind::ChannelSend:
   case EventKind::ChannelRecv:

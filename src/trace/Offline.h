@@ -83,8 +83,9 @@ private:
   bool fail(std::string Message);
 
   race::Detector Det;
-  /// Sync vars allocated so far (the detector does not expose a count;
-  /// tracked for the release-mode structural validation).
+  /// NewSync events replayed so far. Structural validation bounds sync
+  /// ids by Det.numSyncVarSlots() (free-list reuse makes the slot table,
+  /// not this count, authoritative); kept as a replay statistic.
   uint64_t NumSyncVars = 0;
   uint64_t EventsReplayed = 0;
   std::string Error;

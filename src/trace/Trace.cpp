@@ -76,6 +76,10 @@ EventFields trace::eventFields(race::EventKind Kind) {
     F.HasFlag = true;
     F.HasStr1 = true;
     break;
+  case K::DestroySync:
+    F.HasT = true;
+    F.HasA = true;
+    break;
   }
   return F;
 }

@@ -21,6 +21,7 @@
 #include "corpus/Patterns.h"
 #include "inject/Fault.h"
 #include "lang/Generator.h"
+#include "pipeline/Fingerprint.h"
 #include "race/Detector.h"
 #include "rt/Instr.h"
 #include "rt/Runtime.h"
@@ -199,6 +200,89 @@ TEST_P(TraceFuzz, HybridReportsAtLeastHbAddresses) {
       EXPECT_TRUE(HybridRacy.count(A))
           << "hybrid missed an HB race, trace seed "
           << GetParam() * 977 + Sub;
+  }
+}
+
+/// Full-verdict replay for the GC differential: every report's
+/// fingerprint plus the suppression counters, with optional forced
+/// collections injected every \p GcEvery events — on top of whatever
+/// periodic schedule Opts.GcIntervalEvents drives. Random traces hit
+/// dominated-state shapes (lock handoffs, post-fork writes) that the
+/// corpus does not.
+struct ReplayVerdict {
+  std::vector<uint64_t> Fingerprints;
+  uint64_t Reported = 0;
+  uint64_t Suppressed = 0;
+
+  bool operator==(const ReplayVerdict &) const = default;
+};
+
+ReplayVerdict replayFull(const Trace &T, DetectorOptions Opts,
+                         size_t GcEvery = 0) {
+  Detector D(Opts);
+  std::vector<Tid> Threads{D.newRootGoroutine()};
+  std::vector<SyncId> Locks;
+  for (size_t I = 0; I < T.NumLocks; ++I)
+    Locks.push_back(D.newSyncVar("lock" + std::to_string(I)));
+
+  constexpr Addr Base = 0x5000;
+  size_t Applied = 0;
+  for (const TraceEvent &E : T.Events) {
+    switch (E.K) {
+    case TraceEvent::Fork:
+      Threads.push_back(D.fork(Threads[E.Thread]));
+      break;
+    case TraceEvent::Acquire:
+      D.acquire(Threads[E.Thread], Locks[E.Object]);
+      D.lockAcquired(Threads[E.Thread], Locks[E.Object], true);
+      break;
+    case TraceEvent::Release:
+      D.release(Threads[E.Thread], Locks[E.Object]);
+      D.lockReleased(Threads[E.Thread], Locks[E.Object], true);
+      break;
+    case TraceEvent::Read:
+      D.onRead(Threads[E.Thread], Base + E.Object);
+      break;
+    case TraceEvent::Write:
+      D.onWrite(Threads[E.Thread], Base + E.Object);
+      break;
+    }
+    if (GcEvery && ++Applied % GcEvery == 0)
+      D.gcNow();
+  }
+  ReplayVerdict V;
+  for (const RaceReport &R : D.reports())
+    V.Fingerprints.push_back(pipeline::raceFingerprint(D.interner(), R));
+  std::sort(V.Fingerprints.begin(), V.Fingerprints.end());
+  V.Reported = D.stats().RacesReported;
+  V.Suppressed = D.stats().ReportsSuppressed;
+  return V;
+}
+
+TEST_P(TraceFuzz, GcDifferentialFuzz) {
+  for (uint64_t Sub = 0; Sub < 20; ++Sub) {
+    for (bool Disciplined : {false, true}) {
+      Trace T = makeTrace(GetParam() * 1000 + Sub, Disciplined);
+      DetectorOptions Off;
+      Off.Gc = GcMode::Off;
+      ReplayVerdict Base = replayFull(T, Off);
+      // Periodic collections at hostile intervals, plus forced gcNow()
+      // injections between arbitrary event pairs: all verdict-neutral.
+      for (uint64_t Interval : {1ull, 7ull, 64ull}) {
+        DetectorOptions On;
+        On.Gc = GcMode::MinClock;
+        On.GcIntervalEvents = Interval;
+        EXPECT_EQ(Base, replayFull(T, On))
+            << "trace seed " << GetParam() * 1000 + Sub
+            << " disciplined=" << Disciplined << " interval=" << Interval;
+      }
+      DetectorOptions Forced;
+      Forced.Gc = GcMode::MinClock;
+      Forced.GcIntervalEvents = 0;
+      EXPECT_EQ(Base, replayFull(T, Forced, /*GcEvery=*/3))
+          << "trace seed " << GetParam() * 1000 + Sub
+          << " disciplined=" << Disciplined << " forced";
+    }
   }
 }
 

@@ -518,6 +518,52 @@ TEST(Obs, DetectorObserverAccumulatesAcrossRuntimes) {
             2 * Once.findCounter("grs_rt_context_switches_total")->value());
 }
 
+TEST(Obs, PeakGaugesStayMonotoneWhenScrapeStraddlesGc) {
+  // A sync() before a collection and a sync() after it: the live
+  // shadow-cell gauge may fall, but the peak gauges must never — the
+  // detector samples its high-water marks before reclaiming, so a scrape
+  // landing just after a GC cycle still reports the pre-GC peak.
+  Registry Reg;
+  race::DetectorOptions Opts; // GC on by default; collect via gcNow().
+  Opts.GcIntervalEvents = 0;
+  race::Detector Det(Opts);
+  DetectorObserver Observer(Reg, &Det);
+
+  race::Tid T0 = Det.newRootGoroutine();
+  race::Tid T1 = Det.fork(T0);
+  for (race::Addr A = 0x700; A < 0x740; ++A)
+    Det.onWrite(T1, A, "w"); // Named: retirement must keep residue.
+  Observer.sync(); // Scrape 1: peak == live == 64 cells.
+  double Live1 = Reg.findGauge("grs_race_shadow_cells")->value();
+  double Peak1 = Reg.findGauge("grs_detector_shadow_cells_peak")->value();
+  EXPECT_EQ(Live1, 64.0);
+  EXPECT_GE(Peak1, 64.0);
+
+  Det.finish(T1);
+  Det.join(T0, T1);
+  Det.gcNow(); // Everything T1 wrote is dominated: retired.
+  Observer.sync(); // Scrape 2 straddles the collection.
+
+  EXPECT_LT(Reg.findGauge("grs_race_shadow_cells")->value(), Live1);
+  EXPECT_GE(Reg.findGauge("grs_detector_shadow_cells_peak")->value(),
+            Peak1);
+  EXPECT_GE(Reg.findGauge("grs_detector_shadow_vc_words_peak")->value(),
+            0.0);
+  EXPECT_GE(Reg.findGauge("grs_detector_retired_cells")->value(), 1.0);
+  EXPECT_GE(Reg.findCounter("grs_detector_gc_runs_total")->value(), 1.0);
+  EXPECT_GE(
+      Reg.findCounter("grs_detector_gc_reclaimed_cells_total")->value(),
+      1.0);
+
+  // A third scrape with no new work: counters must not double-count the
+  // same collection (delta-sync), peaks must hold.
+  double Runs = Reg.findCounter("grs_detector_gc_runs_total")->value();
+  Observer.sync();
+  EXPECT_EQ(Reg.findCounter("grs_detector_gc_runs_total")->value(), Runs);
+  EXPECT_GE(Reg.findGauge("grs_detector_shadow_cells_peak")->value(),
+            Peak1);
+}
+
 //===----------------------------------------------------------------------===//
 // Prometheus /metrics endpoint (PR-5)
 //===----------------------------------------------------------------------===//

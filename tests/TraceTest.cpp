@@ -362,6 +362,34 @@ TEST(OfflineParity, HybridModeParityAndAblationReuse) {
   }
 }
 
+TEST(OfflineParity, GcReplayReproducesOnlineVerdictsEitherWay) {
+  // The GC ablation row of EXPERIMENTS.md rests on this: a trace
+  // captured from a GC-on run (which records DestroySync events) replays
+  // to the online verdicts under GC-on AND under GC-off. Collections
+  // observe traced events but emit none, so replay reproduces the online
+  // GC schedule automatically; and destroy/free-list bookkeeping is
+  // GcMode-independent, so the recorded sync ids resolve identically
+  // whichever way the re-analysis runs.
+  race::DetectorOptions GcOn; // Gc = MinClock is the default.
+  GcOn.GcIntervalEvents = 32; // Hostile: collect every 32 events.
+  race::DetectorOptions GcOff;
+  GcOff.Gc = race::GcMode::Off;
+  for (const corpus::Pattern &P : corpus::allPatterns()) {
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      OnlineRun Online = runOnline(P, Seed, GcOn);
+      for (const race::DetectorOptions &ReplayOpts : {GcOn, GcOff}) {
+        trace::OfflineDetector Offline(ReplayOpts);
+        ASSERT_TRUE(Offline.replayBytes(Online.TraceBytes))
+            << P.Id << " seed " << Seed << ": " << Offline.error();
+        EXPECT_EQ(Offline.det().reports().size(), Online.Result.RaceCount)
+            << P.Id << " seed " << Seed;
+        EXPECT_EQ(Offline.fingerprints(), Online.Fingerprints)
+            << P.Id << " seed " << Seed;
+      }
+    }
+  }
+}
+
 TEST(OfflineParity, ReplayStatsMatchOnlineEventCounts) {
   const corpus::Pattern *P = corpus::findPattern(
       corpus::allPatterns().front().Id);
