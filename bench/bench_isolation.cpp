@@ -15,16 +15,22 @@
 //     no non-faulted slot's record is ever lost or altered (checked per
 //     slot through the checkpoint journals).
 //
+// With --pool, a third section repeats both measurements against the
+// persistent worker pool (sweep::pooled): fault-free overhead as a RATIO
+// to the in-process sweep (best of 3 each), parity, and the same lethal
+// containment battery through the shared-memory transport.
+//
 // Gates (exit nonzero, so CI needs no JSON parsing):
 //  * any parity violation;
 //  * at the 5% lethal rate: completion < 0.99 or any lost/altered
 //    non-faulted slot record (the PR's acceptance criterion — transient
 //    crashers respawn and complete, only chronic ones may quarantine);
-//  * any lost/altered non-faulted record at ANY rate.
+//  * any lost/altered non-faulted record at ANY rate;
+//  * with --pool: pooled fault-free wall clock > 3.0x in-process.
 //
 // Results are emitted as one JSON object on stdout; progress to stderr.
 //
-// Usage: bench_isolation [--smoke] [--out FILE]
+// Usage: bench_isolation [--smoke] [--pool] [--out FILE]
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,7 +38,9 @@
 #include "inject/Fault.h"
 #include "rt/Instr.h"
 #include "sweep/Isolated.h"
+#include "sweep/Pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -114,9 +122,45 @@ struct RateResult {
   double ElapsedMs = 0.0;
 };
 
+/// Results of the --pool section. Ratio compares best-of-3 fault-free
+/// wall clocks: pooled / in-process.
+struct PoolBench {
+  double InProcessMs = 0.0;
+  double PooledMs = 0.0;
+  double Ratio = 0.0;
+  bool Parity = true;
+  uint64_t WorkerSpawns = 0;
+  std::vector<RateResult> Rates;
+};
+
+void emitRateRows(FILE *Out, const std::vector<RateResult> &Rates,
+                  const char *Indent) {
+  for (size_t I = 0; I < Rates.size(); ++I) {
+    const RateResult &R = Rates[I];
+    std::fprintf(
+        Out,
+        "%s{\"rate\": %.2f, \"planned_faults\": %llu, "
+        "\"chronic_faults\": %llu, \"child_spawns\": %llu, "
+        "\"deaths\": %llu, \"deaths_signal\": %llu, \"deaths_oom\": %llu, "
+        "\"respawns\": %llu, \"quarantined\": %llu, "
+        "\"completion_rate\": %.4f, \"lost_nonfaulted_slots\": %llu, "
+        "\"elapsed_ms\": %.1f}%s\n",
+        Indent, R.Rate, static_cast<unsigned long long>(R.PlannedFaults),
+        static_cast<unsigned long long>(R.ChronicFaults),
+        static_cast<unsigned long long>(R.ChildSpawns),
+        static_cast<unsigned long long>(R.Deaths),
+        static_cast<unsigned long long>(R.DeathsSignal),
+        static_cast<unsigned long long>(R.DeathsOom),
+        static_cast<unsigned long long>(R.Respawns),
+        static_cast<unsigned long long>(R.Quarantined), R.CompletionRate,
+        static_cast<unsigned long long>(R.LostNonFaultedSlots), R.ElapsedMs,
+        I + 1 < Rates.size() ? "," : "");
+  }
+}
+
 void emitJson(FILE *Out, const BenchConfig &Cfg, double InProcessMs,
               double IsolatedMs, bool Parity,
-              const std::vector<RateResult> &Rates) {
+              const std::vector<RateResult> &Rates, const PoolBench *Pool) {
   std::fprintf(Out,
                "{\n  \"num_seeds\": %llu,\n  \"max_attempts\": %u,\n"
                "  \"threads\": %u,\n  \"slots_per_child\": %llu,\n",
@@ -133,28 +177,24 @@ void emitJson(FILE *Out, const BenchConfig &Cfg, double InProcessMs,
                "\"parity\": %s},\n",
                InProcessMs, IsolatedMs, PerSlotUs, Parity ? "true" : "false");
   std::fprintf(Out, "  \"lethal_rates\": [\n");
-  for (size_t I = 0; I < Rates.size(); ++I) {
-    const RateResult &R = Rates[I];
-    std::fprintf(
-        Out,
-        "    {\"rate\": %.2f, \"planned_faults\": %llu, "
-        "\"chronic_faults\": %llu, \"child_spawns\": %llu, "
-        "\"deaths\": %llu, \"deaths_signal\": %llu, \"deaths_oom\": %llu, "
-        "\"respawns\": %llu, \"quarantined\": %llu, "
-        "\"completion_rate\": %.4f, \"lost_nonfaulted_slots\": %llu, "
-        "\"elapsed_ms\": %.1f}%s\n",
-        R.Rate, static_cast<unsigned long long>(R.PlannedFaults),
-        static_cast<unsigned long long>(R.ChronicFaults),
-        static_cast<unsigned long long>(R.ChildSpawns),
-        static_cast<unsigned long long>(R.Deaths),
-        static_cast<unsigned long long>(R.DeathsSignal),
-        static_cast<unsigned long long>(R.DeathsOom),
-        static_cast<unsigned long long>(R.Respawns),
-        static_cast<unsigned long long>(R.Quarantined), R.CompletionRate,
-        static_cast<unsigned long long>(R.LostNonFaultedSlots), R.ElapsedMs,
-        I + 1 < Rates.size() ? "," : "");
+  emitRateRows(Out, Rates, "    ");
+  std::fprintf(Out, "  ]%s\n", Pool ? "," : "");
+  if (Pool) {
+    std::fprintf(Out,
+                 "  \"pool\": {\n"
+                 "    \"in_process_ms\": %.1f,\n"
+                 "    \"pooled_ms\": %.1f,\n"
+                 "    \"ratio\": %.2f,\n"
+                 "    \"parity\": %s,\n"
+                 "    \"worker_spawns\": %llu,\n"
+                 "    \"lethal_rates\": [\n",
+                 Pool->InProcessMs, Pool->PooledMs, Pool->Ratio,
+                 Pool->Parity ? "true" : "false",
+                 static_cast<unsigned long long>(Pool->WorkerSpawns));
+    emitRateRows(Out, Pool->Rates, "      ");
+    std::fprintf(Out, "    ]\n  }\n");
   }
-  std::fprintf(Out, "  ]\n}\n");
+  std::fprintf(Out, "}\n");
 }
 
 } // namespace
@@ -162,13 +202,17 @@ void emitJson(FILE *Out, const BenchConfig &Cfg, double InProcessMs,
 int main(int Argc, char **Argv) {
   BenchConfig Cfg;
   const char *OutPath = nullptr;
+  bool RunPool = false;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--smoke")) {
       Cfg.NumSeeds = 100; // still enough slots for the 1% rate to bite
+    } else if (!std::strcmp(Argv[I], "--pool")) {
+      RunPool = true;
     } else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc) {
       OutPath = Argv[++I];
     } else {
-      std::fprintf(stderr, "usage: bench_isolation [--smoke] [--out FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_isolation [--smoke] [--pool] [--out FILE]\n");
       return 2;
     }
   }
@@ -315,10 +359,146 @@ int main(int Argc, char **Argv) {
     Rates.push_back(Row);
   }
 
-  emitJson(stdout, Cfg, InProcessMs, IsolatedMs, Parity, Rates);
+  //===--------------------------------------------------------------------===//
+  // 3. --pool: the persistent worker pool through the same gauntlet.
+  //===--------------------------------------------------------------------===//
+  PoolBench Pool;
+  if (RunPool) {
+    auto MakePool = [&](sweep::Runner Body) {
+      sweep::PoolOptions PoolOpts;
+      PoolOpts.Base = makeOptions(Cfg, std::move(Body)).Base;
+      return PoolOpts;
+    };
+
+    // Fault-free overhead, best of 3 each: the pool amortizes its forks
+    // across the whole sweep, so its floor is the shm round-trip, not
+    // fork+exec — the acceptance bar is 3x the in-process sweep.
+    sweep::PoolOptions PoolBase = MakePool(corpus::hostBody(racyBody));
+    Pool.InProcessMs = 1e300;
+    Pool.PooledMs = 1e300;
+    sweep::PoolResult PoolParallel;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto StartRep = std::chrono::steady_clock::now();
+      sweep::ResilientResult IP = sweep::resilient(PoolBase.Base);
+      Pool.InProcessMs = std::min(Pool.InProcessMs, elapsedMs(StartRep));
+      StartRep = std::chrono::steady_clock::now();
+      PoolParallel = sweep::pooled(PoolBase);
+      Pool.PooledMs = std::min(Pool.PooledMs, elapsedMs(StartRep));
+      Pool.Parity = Pool.Parity && PoolParallel.Res == IP;
+    }
+    Pool.Ratio = Pool.InProcessMs > 0.0 ? Pool.PooledMs / Pool.InProcessMs
+                                        : 0.0;
+    Pool.WorkerSpawns = PoolParallel.Stats.WorkerSpawns;
+
+    sweep::PoolOptions PoolSerial = PoolBase;
+    PoolSerial.Base.Threads = 1;
+    Pool.Parity =
+        Pool.Parity && sweep::pooled(PoolSerial).Res == InProcess &&
+        PoolParallel.Res == InProcess;
+    if (!Pool.Parity) {
+      std::fprintf(stderr, "POOL PARITY VIOLATION: fault-free pooled "
+                           "results diverged from in-process\n");
+      Status = 1;
+    }
+    if (Pool.Ratio > 3.0) {
+      std::fprintf(stderr,
+                   "POOL OVERHEAD VIOLATION: pooled %.0fms is %.2fx "
+                   "in-process %.0fms (gate: 3.0x)\n",
+                   Pool.PooledMs, Pool.Ratio, Pool.InProcessMs);
+      Status = 1;
+    }
+    std::fprintf(stderr,
+                 "pool overhead: in-process %.0fms, pooled %.0fms "
+                 "(%.2fx, %llu workers), parity %s\n",
+                 Pool.InProcessMs, Pool.PooledMs, Pool.Ratio,
+                 static_cast<unsigned long long>(Pool.WorkerSpawns),
+                 Pool.Parity ? "ok" : "BROKEN");
+
+    // Containment through the shm transport, against the same fault-free
+    // baseline journal.
+    for (double Rate : {0.0, 0.01, 0.05, 0.20}) {
+      inject::FaultPlan Plan = lethalPlan(Cfg, Rate);
+      std::string Path = tempJournal("pool-rate");
+      std::remove(Path.c_str());
+      sweep::PoolOptions PoolIO =
+          MakePool(inject::instrumentedRunner(racyBody, Plan));
+      PoolIO.Base.CheckpointPath = Path;
+      auto Start = std::chrono::steady_clock::now();
+      sweep::PoolResult R = sweep::pooled(PoolIO);
+
+      RateResult Row;
+      Row.Rate = Rate;
+      Row.ElapsedMs = elapsedMs(Start);
+      Row.PlannedFaults = Plan.size();
+      for (const auto &[Seed, Spec] : Plan.BySeed)
+        Row.ChronicFaults += Spec.LethalAttempts == UINT32_MAX;
+      Row.ChildSpawns = R.Stats.WorkerSpawns;
+      Row.Deaths = R.Stats.deaths();
+      Row.DeathsSignal =
+          R.Stats.DeathsByClass[static_cast<size_t>(sweep::FaultClass::Signal)];
+      Row.DeathsOom = R.Stats.DeathsByClass[static_cast<size_t>(
+          sweep::FaultClass::OomKill)];
+      Row.Respawns = R.Stats.Respawns;
+      Row.Quarantined = R.Res.Quarantined.size();
+      Row.CompletionRate =
+          static_cast<double>(Cfg.NumSeeds - Row.Quarantined) /
+          static_cast<double>(Cfg.NumSeeds);
+
+      sweep::CheckpointLoad Load;
+      if (R.Res.CheckpointError.empty() &&
+          sweep::loadCheckpoint(Path, Load, Error)) {
+        std::map<uint64_t, sweep::SlotRecord> BySlot;
+        for (const sweep::SlotRecord &Rec : Load.Records)
+          BySlot[Rec.Slot] = Rec;
+        for (const auto &[Slot, BaseRec] : BaselineBySlot) {
+          if (Plan.faulted(BaseRec.Seed))
+            continue;
+          auto It = BySlot.find(Slot);
+          if (It == BySlot.end() || !(It->second == BaseRec))
+            ++Row.LostNonFaultedSlots;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "bench_isolation: pool journal failed at rate %.2f: "
+                     "%s%s\n",
+                     Rate, R.Res.CheckpointError.c_str(), Error.c_str());
+        Status = 1;
+      }
+      std::remove(Path.c_str());
+
+      if (Row.LostNonFaultedSlots) {
+        std::fprintf(
+            stderr,
+            "POOL CONTAINMENT VIOLATION: rate %.2f lost %llu "
+            "non-faulted slots\n",
+            Rate, static_cast<unsigned long long>(Row.LostNonFaultedSlots));
+        Status = 1;
+      }
+      if (Rate == 0.05 && Row.CompletionRate < 0.99) {
+        std::fprintf(
+            stderr,
+            "POOL COMPLETION VIOLATION: rate 0.05 completed %.4f < 0.99\n",
+            Row.CompletionRate);
+        Status = 1;
+      }
+      std::fprintf(stderr,
+                   "pool rate %.2f: %llu faults (%llu chronic), %llu deaths, "
+                   "%llu respawns, completion %.4f, %.0fms\n",
+                   Rate, static_cast<unsigned long long>(Row.PlannedFaults),
+                   static_cast<unsigned long long>(Row.ChronicFaults),
+                   static_cast<unsigned long long>(Row.Deaths),
+                   static_cast<unsigned long long>(Row.Respawns),
+                   Row.CompletionRate, Row.ElapsedMs);
+      Pool.Rates.push_back(Row);
+    }
+  }
+
+  emitJson(stdout, Cfg, InProcessMs, IsolatedMs, Parity, Rates,
+           RunPool ? &Pool : nullptr);
   if (OutPath) {
     if (FILE *F = std::fopen(OutPath, "w")) {
-      emitJson(F, Cfg, InProcessMs, IsolatedMs, Parity, Rates);
+      emitJson(F, Cfg, InProcessMs, IsolatedMs, Parity, Rates,
+               RunPool ? &Pool : nullptr);
       std::fclose(F);
     } else {
       std::fprintf(stderr, "bench_isolation: cannot write %s\n", OutPath);

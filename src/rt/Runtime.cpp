@@ -546,6 +546,16 @@ void rt::prepareChildAfterFork() {
   sigemptyset(&SA.sa_mask);
   SA.sa_flags = 0;
   sigaction(SIGURG, &SA, nullptr);
+  // A pool worker (sweep::pooled) lives through MANY runs, each arming
+  // its own watchdog, so the child must start with SIGURG deliverable:
+  // fork() inherits the calling thread's signal mask, and a supervisor
+  // that happened to block SIGURG (e.g. around its own poll loop) would
+  // otherwise silently disarm the hard-abort path for every run the
+  // worker ever executes.
+  sigset_t Unblock;
+  sigemptyset(&Unblock);
+  sigaddset(&Unblock, SIGURG);
+  pthread_sigmask(SIG_UNBLOCK, &Unblock, nullptr);
 }
 
 uint64_t rt::calibratedWatchdogBudgetMillis(uint64_t FloorMillis) {

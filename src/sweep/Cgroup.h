@@ -1,0 +1,90 @@
+//===- sweep/Cgroup.h - cgroup-v2 memory accounting for workers -*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Real memory accounting for pool workers, when the host allows it.
+///
+/// The PR-5 convention classifies worker OOM by RIDING ON A CONVENTION:
+/// RLIMIT_AS makes allocation fail inside the child, the injected
+/// allocator exits with code 97, and the supervisor maps exit-97 to
+/// FaultClass::OomKill. That works everywhere but measures address
+/// space, not memory, and can't tell a kernel OOM kill (SIGKILL) from
+/// any other external SIGKILL.
+///
+/// When a writable cgroup-v2 hierarchy with the `memory` controller is
+/// available, CgroupMemory does it properly: one sub-cgroup per worker
+/// under a per-pool parent, `memory.max` set to the configured budget,
+/// the worker attached at spawn. The kernel then delivers OOM as a real
+/// SIGKILL and counts it in `memory.events:oom_kill` — the supervisor
+/// reads the counter delta and classifies the death as OomKill with
+/// certainty, and the worker runs WITHOUT the RLIMIT_AS clamp (so
+/// fragmentation and address-space overhead stop causing false OOMs).
+///
+/// Availability is probed at setup: cgroup2 mount found in
+/// /proc/self/mounts, own cgroup path from /proc/self/cgroup, `memory`
+/// in cgroup.controllers, and mkdir permission. ANY failure — common in
+/// containers where the hierarchy is read-only or the controller is not
+/// delegated — disables the whole feature and the pool transparently
+/// falls back to the RLIMIT_AS + exit-97 convention. active() tells the
+/// caller (and PoolStats) which world it is in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SWEEP_CGROUP_H
+#define GRS_SWEEP_CGROUP_H
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace grs {
+namespace sweep {
+
+/// Per-pool cgroup-v2 memory controller. Methods are all no-ops
+/// reporting inactive when setup() failed or was never called — callers
+/// write straight-line code and let the fallback happen here.
+class CgroupMemory {
+public:
+  CgroupMemory() = default;
+  ~CgroupMemory();
+
+  CgroupMemory(const CgroupMemory &) = delete;
+  CgroupMemory &operator=(const CgroupMemory &) = delete;
+
+  /// Probes the host and, when possible, creates the per-pool parent
+  /// cgroup and \p Workers child cgroups with `memory.max` = \p
+  /// LimitBytes (0 = "max"). \returns active().
+  bool setup(unsigned Workers, uint64_t LimitBytes);
+
+  /// True when worker cgroups exist and accounting is live.
+  bool active() const { return Active; }
+
+  /// Attaches the calling process to worker \p Idx's cgroup. Called by
+  /// the parent between fork() and handing the worker its first slot
+  /// (attaching the child by pid avoids racing the child's own setup).
+  /// \returns false (harmless) when inactive or the write failed.
+  bool attach(unsigned Idx, pid_t Pid) const;
+
+  /// Reads the `oom_kill` counter from worker \p Idx's memory.events.
+  /// \returns UINT64_MAX when inactive/unreadable.
+  uint64_t oomKills(unsigned Idx) const;
+
+  /// Removes the worker and parent cgroups (best effort; a cgroup with
+  /// a live member cannot be removed, so teardown happens after reaping).
+  void teardown();
+
+private:
+  bool Active = false;
+  std::string PoolDir;                 // .../grs-pool-<pid>
+  std::vector<std::string> WorkerDirs; // .../grs-pool-<pid>/w<idx>
+};
+
+} // namespace sweep
+} // namespace grs
+
+#endif // GRS_SWEEP_CGROUP_H

@@ -131,6 +131,56 @@ bool sweep::decodeSlotRecord(const uint8_t *Data, size_t Size, size_t &Pos,
 }
 
 //===----------------------------------------------------------------------===//
+// Transport frame codec
+//===----------------------------------------------------------------------===//
+
+void sweep::encodeFrame(std::vector<uint8_t> &Out, FrameKind Kind,
+                        const uint8_t *Payload, size_t Size) {
+  support::putVarint(Out, static_cast<uint64_t>(Kind));
+  support::putVarint(Out, Size);
+  Out.insert(Out.end(), Payload, Payload + Size);
+}
+
+void FrameParser::feed(const uint8_t *Data, size_t Size) {
+  // Compact before growing: delivered bytes never need revisiting, and
+  // without compaction a long-lived worker stream grows without bound.
+  if (Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+FrameParser::Status FrameParser::next(FrameKind &Kind,
+                                      const uint8_t *&Payload, size_t &Size) {
+  size_t P = Pos;
+  uint64_t K = 0, Len = 0;
+  support::VarintError E = support::readVarint(Buf.data(), Buf.size(), P, K);
+  if (E == support::VarintError::Truncated)
+    return Status::NeedMore;
+  if (E != support::VarintError::Ok ||
+      K > static_cast<uint64_t>(FrameKind::TimelineChunk))
+    return Status::Corrupt;
+  E = support::readVarint(Buf.data(), Buf.size(), P, Len);
+  if (E == support::VarintError::Truncated)
+    return Status::NeedMore;
+  if (E != support::VarintError::Ok)
+    return Status::Corrupt;
+  if (Len > Buf.size() - P)
+    return Status::NeedMore;
+  Kind = static_cast<FrameKind>(K);
+  Payload = Buf.data() + P;
+  Size = static_cast<size_t>(Len);
+  Pos = P + static_cast<size_t>(Len);
+  return Status::Frame;
+}
+
+void FrameParser::reset() {
+  Buf.clear();
+  Pos = 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Writer
 //===----------------------------------------------------------------------===//
 

@@ -78,15 +78,57 @@ inline constexpr size_t NumFaultClasses = 8;
 /// Stable lower-case name of \p C (instrument label / diagnostics).
 const char *faultClassName(FaultClass C);
 
-/// Kind tags for the frames a sweep::isolated child streams over its
-/// result pipe. PIPE PROTOCOL ONLY — the on-disk journal keeps its
-/// original kind-less `length, payload` record framing. A pipe frame is
-/// `kind varint, length varint, payload[length]`; both pipe ends are
-/// always the same binary, so the tag needs no version negotiation.
+/// Kind tags for the frames a sandboxed child streams back to its
+/// supervisor — over the per-batch pipe (sweep::isolated) or the
+/// per-worker shm arena ring (sweep::pooled). TRANSPORT PROTOCOL ONLY —
+/// the on-disk journal keeps its original kind-less `length, payload`
+/// record framing. A frame is `kind varint, length varint,
+/// payload[length]`; both ends are always the same binary, so the tag
+/// needs no version negotiation.
 enum class FrameKind : uint8_t {
   SlotRecord = 0,    ///< payload = encodeSlotRecord() of a completed slot.
   TimelineChunk = 1, ///< payload = obs::Timeline::encodeTrackChunk() —
                      ///< child flight-recorder events for stitching.
+};
+
+/// Appends one kind-tagged transport frame to \p Out.
+void encodeFrame(std::vector<uint8_t> &Out, FrameKind Kind,
+                 const uint8_t *Payload, size_t Size);
+
+/// Incremental decoder for a kind-tagged frame stream. Bytes arrive in
+/// arbitrary slices (pipe reads, shm-ring drains); next() hands back
+/// each complete frame exactly once and reports a partial tail as
+/// NeedMore — which is also how a producer death mid-frame surfaces: the
+/// stream simply ends with buffered() > 0 and the supervisor discards
+/// the tail, the atomic half of the salvage-or-discard contract.
+///
+/// Shared by sweep::isolated (pipe) and sweep::pooled (arena) so the two
+/// transports cannot drift: one parser, one corruption policy.
+class FrameParser {
+public:
+  enum class Status {
+    NeedMore, ///< No complete frame buffered; feed more bytes.
+    Frame,    ///< Kind/Payload/Size describe one complete frame.
+    Corrupt,  ///< Malformed stream (bad varint, unknown kind). Terminal:
+              ///< the producer is as dead as a crashed one.
+  };
+
+  /// Appends a slice of the stream.
+  void feed(const uint8_t *Data, size_t Size);
+
+  /// Extracts the next complete frame. The payload pointer is valid
+  /// until the next feed()/next()/reset() call.
+  Status next(FrameKind &Kind, const uint8_t *&Payload, size_t &Size);
+
+  /// Bytes buffered but not yet delivered as frames — after EOF, the
+  /// size of the discarded partial tail.
+  size_t buffered() const { return Buf.size() - Pos; }
+
+  void reset();
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
 };
 
 /// Everything the sweep aggregation needs from one completed run — the

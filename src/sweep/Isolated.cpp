@@ -5,7 +5,9 @@
 #include "inject/Fault.h"
 #include "obs/Metrics.h"
 #include "obs/Timeline.h"
+#include "support/Shm.h"
 #include "support/Varint.h"
+#include "sweep/Sandbox.h"
 
 #include <algorithm>
 #include <atomic>
@@ -37,13 +39,6 @@ bool sweep::forkAvailable() { return GRS_HAVE_FORK != 0; }
 
 namespace {
 
-/// Serializes {pipe(); fork(); close parent write end}. Without it, a
-/// child forked by a sibling supervisor thread mid-window would inherit
-/// this batch's pipe WRITE end and keep it open for its whole life —
-/// the parent would then never see EOF after this batch's child died.
-/// Inherited READ ends are harmless (the parent is the only reader).
-std::mutex ForkMutex;
-
 void setLimit(int Resource, uint64_t Value) {
   if (!Value)
     return;
@@ -68,12 +63,10 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
   return true;
 }
 
-/// Writes one kind-tagged pipe frame (sweep/Checkpoint.h FrameKind).
+/// Writes one kind-tagged pipe frame (sweep/Checkpoint.h encodeFrame).
 bool writeFrame(int Fd, FrameKind Kind, const std::vector<uint8_t> &Payload) {
   std::vector<uint8_t> Frame;
-  support::putVarint(Frame, static_cast<uint64_t>(Kind));
-  support::putVarint(Frame, Payload.size());
-  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  encodeFrame(Frame, Kind, Payload.data(), Payload.size());
   return writeAll(Fd, Frame.data(), Frame.size());
 }
 
@@ -141,39 +134,10 @@ struct BatchTally {
   uint64_t DeathsByClass[NumFaultClasses] = {};
 };
 
-struct Death {
-  FaultClass Class = FaultClass::None;
-  std::string Detail;
-};
-
-/// Maps a waitpid() status (or a supervisor kill) to the death taxonomy.
-/// Details are deterministic for deterministic faults: signal numbers
-/// and exit codes, never timings.
-Death classifyDeath(int Status, bool SupervisorKilled) {
-  if (SupervisorKilled)
-    return {FaultClass::Watchdog, "supervisor killed stalled child"};
-  if (WIFSIGNALED(Status)) {
-    int Sig = WTERMSIG(Status);
-    if (Sig == SIGXCPU)
-      return {FaultClass::Rlimit, "child hit RLIMIT_CPU (SIGXCPU)"};
-    if (Sig == SIGKILL)
-      return {FaultClass::OomKill,
-              "child SIGKILLed externally (presumed kernel OOM kill)"};
-    return {FaultClass::Signal,
-            "child killed by signal " + std::to_string(Sig)};
-  }
-  if (WIFEXITED(Status)) {
-    int Code = WEXITSTATUS(Status);
-    if (Code == inject::OomExitCode)
-      return {FaultClass::OomKill,
-              "child exit " + std::to_string(Code) +
-                  ": allocation failure under RLIMIT_AS"};
-    return {FaultClass::PartialExit,
-            "child exited with code " + std::to_string(Code) +
-                " before completing its batch"};
-  }
-  return {FaultClass::Signal, "child ended unrecognizably"};
-}
+/// The waitpid -> FaultClass taxonomy lives in sweep/Sandbox.h now
+/// (classifyChildDeath), shared with sweep::pooled so both executors
+/// synthesize byte-identical quarantine records.
+using Death = ChildDeath;
 
 /// Charges one process-level attempt to the first slot without a record
 /// (the one that was in flight when the child died). Budget left ->
@@ -229,7 +193,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
     int Fds[2] = {-1, -1};
     pid_t Pid = -1;
     {
-      std::lock_guard<std::mutex> Lock(ForkMutex);
+      std::lock_guard<std::mutex> Lock(support::processForkMutex());
       if (pipe(Fds) == 0) {
         Pid = fork();
         if (Pid == 0) {
@@ -270,10 +234,49 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
     // merely a slow slot mid-run.
     //===------------------------------------------------------------------===//
     bool Killed = false;
-    std::vector<uint8_t> Buf;
-    size_t BufPos = 0;
+    bool Corrupt = false;
+    FrameParser Parser;
     auto Stall = std::chrono::milliseconds(Opts.ChildStallMillis);
     auto Deadline = Clock::now() + Stall;
+    // Delivers every complete buffered frame; false = corrupt stream.
+    auto DeliverFrames = [&]() -> bool {
+      for (;;) {
+        FrameKind Kind;
+        const uint8_t *Payload = nullptr;
+        size_t Len = 0;
+        FrameParser::Status S = Parser.next(Kind, Payload, Len);
+        if (S == FrameParser::Status::NeedMore)
+          return true; // partial tail waits for more bytes
+        if (S == FrameParser::Status::Corrupt)
+          return false;
+        if (Kind == FrameKind::TimelineChunk) {
+          // Stitch the child's flight-recorder delta into the parent
+          // timeline under the child's pid. Stitching never counts as
+          // batch progress — only completed records reset the stall
+          // deadline.
+          size_t ChunkPos = 0;
+          obs::Timeline *Tl = Opts.Base.Timeline;
+          if (!Tl ||
+              !Tl->adoptTrackChunk(Payload, Len, ChunkPos,
+                                   static_cast<uint32_t>(Pid), "") ||
+              ChunkPos != Len)
+            return false;
+          ++Tally.TimelineChunks;
+          continue;
+        }
+        SlotRecord R;
+        size_t PayloadPos = 0;
+        std::string Error;
+        if (!decodeSlotRecord(Payload, Len, PayloadPos, R, Error) ||
+            PayloadPos != Len || Next >= Batch.size() ||
+            R.Slot != Batch[Next])
+          return false;
+        Deliver(std::move(R));
+        ++Next;
+        FirstAttempt = 1;
+        Deadline = Clock::now() + Stall;
+      }
+    };
     for (;;) {
       int TimeoutMs = -1;
       if (Opts.ChildStallMillis) {
@@ -306,74 +309,35 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
       if (N <= 0)
         break; // EOF: the child exited (or its pipe broke)
       Tally.PipeBytes += static_cast<uint64_t>(N);
-      Buf.insert(Buf.end(), Tmp, Tmp + N);
-      // Deliver every complete frame; a partial tail waits for more.
-      bool Corrupt = false;
-      for (;;) {
-        size_t Pos = BufPos;
-        uint64_t Kind = 0, Len = 0;
-        support::VarintError E =
-            support::readVarint(Buf.data(), Buf.size(), Pos, Kind);
-        if (E == support::VarintError::Truncated)
-          break;
-        if (E != support::VarintError::Ok ||
-            Kind > static_cast<uint64_t>(FrameKind::TimelineChunk)) {
-          Corrupt = true;
-          break;
-        }
-        E = support::readVarint(Buf.data(), Buf.size(), Pos, Len);
-        if (E == support::VarintError::Truncated)
-          break;
-        if (E != support::VarintError::Ok || Len > Buf.size() - Pos) {
-          if (E != support::VarintError::Ok)
-            Corrupt = true;
-          break;
-        }
-        if (static_cast<FrameKind>(Kind) == FrameKind::TimelineChunk) {
-          // Stitch the child's flight-recorder delta into the parent
-          // timeline under the child's pid. Stitching never counts as
-          // batch progress — only completed records reset the stall
-          // deadline.
-          size_t ChunkPos = 0;
-          obs::Timeline *Tl = Opts.Base.Timeline;
-          if (!Tl ||
-              !Tl->adoptTrackChunk(Buf.data() + Pos,
-                                   static_cast<size_t>(Len), ChunkPos,
-                                   static_cast<uint32_t>(Pid), "") ||
-              ChunkPos != Len) {
-            Corrupt = true;
-            break;
-          }
-          ++Tally.TimelineChunks;
-          BufPos = Pos + static_cast<size_t>(Len);
-          continue;
-        }
-        SlotRecord R;
-        size_t PayloadPos = 0;
-        std::string Error;
-        if (!decodeSlotRecord(Buf.data() + Pos,
-                              static_cast<size_t>(Len), PayloadPos, R,
-                              Error) ||
-            PayloadPos != Len || Next >= Batch.size() ||
-            R.Slot != Batch[Next]) {
-          Corrupt = true;
-          break;
-        }
-        Deliver(std::move(R));
-        ++Next;
-        FirstAttempt = 1;
-        BufPos = Pos + static_cast<size_t>(Len);
-        Deadline = Clock::now() + Stall;
-      }
-      if (Corrupt) {
+      Parser.feed(Tmp, static_cast<size_t>(N));
+      if (!DeliverFrames()) {
         // A child writing garbage is as dead as a crashed one.
         kill(Pid, SIGKILL);
         Killed = true;
+        Corrupt = true;
         break;
       }
-      if (BufPos == Buf.size()) {
-        Buf.clear();
-        BufPos = 0;
+    }
+    if (Killed && !Corrupt) {
+      // Salvage drain: SIGKILL closed the child's write end, but records
+      // the child COMPLETED before the kill may still sit in the pipe
+      // (a stall kill races the child's final writes). Discarding them
+      // would re-execute a finished slot in the respawned child and
+      // charge it a death attempt it never earned — breaking Attempts
+      // parity with the in-process executor. Complete frames are
+      // delivered; the partial tail (a frame the child died mid-write)
+      // is dropped, exactly the journal's salvage-or-discard contract.
+      for (;;) {
+        uint8_t Tmp[64 * 1024];
+        ssize_t N = read(Fds[0], Tmp, sizeof(Tmp));
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break;
+        Tally.PipeBytes += static_cast<uint64_t>(N);
+        Parser.feed(Tmp, static_cast<size_t>(N));
+        if (!DeliverFrames())
+          break; // corrupt tail: stop salvaging, keep what was delivered
       }
     }
     close(Fds[0]);
@@ -393,7 +357,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
       // Batch complete. A death AFTER the last record (e.g. a fault
       // detonating during teardown) costs nothing.
       if (!CleanExit) {
-        Death D = classifyDeath(Status, Killed);
+        Death D = classifyChildDeath(Status, Killed);
         ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
         if (Killed)
           ++Tally.SupervisorKills;
@@ -412,7 +376,7 @@ void runBatch(const IsolatedOptions &Opts, const std::vector<uint64_t> &Batch,
                    FirstAttempt, Deliver);
       continue;
     }
-    Death D = classifyDeath(Status, Killed);
+    Death D = classifyChildDeath(Status, Killed);
     ++Tally.DeathsByClass[static_cast<size_t>(D.Class)];
     if (Killed)
       ++Tally.SupervisorKills;
@@ -467,8 +431,17 @@ IsolatedResult sweep::isolated(const IsolatedOptions &Opts) {
       for (unsigned I = 0; I < Threads; ++I)
         Tracks[I] = Opts.Base.Timeline->track("isolated-supervisor-" +
                                               std::to_string(I));
+    // Delivery dedup: a slot that already has a record (resumed from the
+    // journal, or salvaged from a killed child's pipe after its respawn
+    // was already charged) must never be journaled or overwritten again
+    // — the journal holds exactly one record per slot, first delivery
+    // wins, matching the resume loader's first-record-wins rule.
+    std::vector<uint8_t> Delivered = Done;
     auto Deliver = [&](SlotRecord R) {
       std::lock_guard<std::mutex> Lock(JournalMutex);
+      if (Delivered[R.Slot])
+        return;
+      Delivered[R.Slot] = 1;
       if (Writer.isOpen() && !Writer.append(R))
         Result.Res.CheckpointError =
             "journal append failed; checkpointing stopped";

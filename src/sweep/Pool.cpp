@@ -1,0 +1,884 @@
+//===- sweep/Pool.cpp - Persistent fork-server worker pool ----------------===//
+
+#include "sweep/Pool.h"
+
+#include "inject/Fault.h"
+#include "obs/Metrics.h"
+#include "obs/Timeline.h"
+#include "support/Shm.h"
+#include "sweep/Cgroup.h"
+#include "sweep/Isolated.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRS_HAVE_FORK 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define GRS_HAVE_FORK 0
+#endif
+
+using namespace grs;
+using namespace grs::sweep;
+
+bool sweep::pooledAvailable() {
+  return GRS_HAVE_FORK != 0 && support::shmAvailable();
+}
+
+#if GRS_HAVE_FORK
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared-memory layout
+//
+// One anonymous MAP_SHARED mapping, created before any fork so every
+// worker inherits it:
+//
+//   [ PoolControl | WorkEntry[MaxEntries] | WorkerShared[W] | arenas[W] ]
+//
+// WorkEntry slots are append-only (never reused): a slot republished for
+// a retry gets a NEW entry, so MaxEntries = pending * MaxAttempts bounds
+// the ring and claim cursors never wrap.
+//===----------------------------------------------------------------------===//
+
+/// Parent -> workers. Epoch is the eventcount idle workers sleep on: the
+/// parent BUMPS it (so the value changes) and wakes it on every event a
+/// sleeper must notice — a publish or shutdown. Waiting on a word whose
+/// value does not change at shutdown (e.g. Published) loses the wakeup
+/// when the wake lands between a worker's Shutdown check and its futex
+/// wait, stalling every pool teardown for the full wait timeout.
+struct PoolControl {
+  std::atomic<uint32_t> Published; ///< entries visible to workers
+  std::atomic<uint32_t> Claim;     ///< next entry index to claim (help-advanced)
+  std::atomic<uint32_t> Shutdown;  ///< nonzero -> workers _exit(0)
+  std::atomic<uint32_t> Epoch;     ///< bumped+woken on publish/shutdown
+};
+
+/// One published slot assignment.
+struct WorkEntry {
+  uint64_t Slot;     ///< written by the parent before publishing
+  uint32_t Attempt;  ///< process-level first-attempt number for the run
+  std::atomic<int32_t> Owner; ///< -1 free; else claiming worker's index
+};
+
+/// Per-worker shared state: the result-arena cursors plus the applied
+/// sandbox tier report (tier + 1; 0 = not reported yet).
+struct WorkerShared {
+  support::ShmRingCursors Ring;
+  std::atomic<uint32_t> AppliedTier;
+};
+
+constexpr size_t alignUp(size_t V, size_t A) { return (V + A - 1) & ~(A - 1); }
+
+/// Offsets of each layout section (64-byte aligned: keeps atomics off
+/// shared cache lines between workers).
+struct ShmLayout {
+  size_t ControlOff = 0;
+  size_t EntriesOff = 0;
+  size_t WorkersOff = 0;
+  size_t ArenaOff = 0;
+  size_t ArenaBytes = 0;
+  size_t Total = 0;
+
+  static ShmLayout compute(size_t MaxEntries, unsigned Workers,
+                           size_t ArenaBytes) {
+    ShmLayout L;
+    L.ControlOff = 0;
+    L.EntriesOff = alignUp(sizeof(PoolControl), 64);
+    L.WorkersOff = alignUp(L.EntriesOff + MaxEntries * sizeof(WorkEntry), 64);
+    L.ArenaOff =
+        alignUp(L.WorkersOff + Workers * alignUp(sizeof(WorkerShared), 64), 64);
+    L.ArenaBytes = ArenaBytes;
+    L.Total = L.ArenaOff + Workers * ArenaBytes;
+    return L;
+  }
+
+  PoolControl *control(uint8_t *Base) const {
+    return reinterpret_cast<PoolControl *>(Base + ControlOff);
+  }
+  WorkEntry *entries(uint8_t *Base) const {
+    return reinterpret_cast<WorkEntry *>(Base + EntriesOff);
+  }
+  WorkerShared *worker(uint8_t *Base, unsigned I) const {
+    return reinterpret_cast<WorkerShared *>(
+        Base + WorkersOff + I * alignUp(sizeof(WorkerShared), 64));
+  }
+  uint8_t *arena(uint8_t *Base, unsigned I) const {
+    return Base + ArenaOff + I * ArenaBytes;
+  }
+};
+
+void setLimit(int Resource, uint64_t Value) {
+  if (!Value)
+    return;
+  struct rlimit RL;
+  RL.rlim_cur = static_cast<rlim_t>(Value);
+  RL.rlim_max = static_cast<rlim_t>(Value);
+  setrlimit(Resource, &RL);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker (child side)
+//===----------------------------------------------------------------------===//
+
+struct WorkerCtx {
+  const PoolOptions *Opts;
+  ShmLayout Layout;
+  uint8_t *Shm;
+  unsigned Index;
+  int DoorbellFd; ///< write end; O_NONBLOCK (a full doorbell is still rung)
+  bool UseFutex;
+  bool SkipRlimitAs; ///< cgroup memory.max replaces RLIMIT_AS
+};
+
+/// Doorbell: one byte per arena advance. EAGAIN means the pipe already
+/// holds pending doorbells — the parent will drain regardless. EPIPE
+/// means the parent is gone; nothing useful left to do about it here.
+void ringDoorbell(void *Arg) {
+  int Fd = *static_cast<int *>(Arg);
+  uint8_t B = 1;
+  (void)!write(Fd, &B, 1);
+}
+
+/// The pool worker: claim a published entry, run it through the SAME
+/// runResilientSlot the in-process executor uses, frame the record (and
+/// traced timeline delta) into the shm arena, repeat until shutdown.
+/// Never returns; never calls exit() (inherited stdio buffers must not
+/// be flushed twice).
+[[noreturn]] void workerMain(const WorkerCtx &Ctx) {
+  rt::prepareChildAfterFork();
+  // The doorbell write must surface EPIPE, not kill the worker.
+  signal(SIGPIPE, SIG_IGN);
+  inject::enterSandbox();
+  if (!Ctx.SkipRlimitAs)
+    setLimit(RLIMIT_AS, Ctx.Opts->RlimitAsBytes);
+  setLimit(RLIMIT_CPU, Ctx.Opts->RlimitCpuSeconds);
+  setLimit(RLIMIT_STACK, Ctx.Opts->RlimitStackBytes);
+  // Workers die by signal ON PURPOSE; no core files.
+  struct rlimit NoCore = {0, 0};
+  setrlimit(RLIMIT_CORE, &NoCore);
+
+  PoolControl *Control = Ctx.Layout.control(Ctx.Shm);
+  WorkEntry *Entries = Ctx.Layout.entries(Ctx.Shm);
+  WorkerShared *WS = Ctx.Layout.worker(Ctx.Shm, Ctx.Index);
+  uint8_t *Arena = Ctx.Layout.arena(Ctx.Shm, Ctx.Index);
+  size_t Capacity = Ctx.Layout.ArenaBytes;
+  int Doorbell = Ctx.DoorbellFd;
+
+  // Optional hardening, applied LAST in the setup sequence (it may deny
+  // syscalls the setup itself needs). The achieved tier is reported
+  // through shared memory — no syscall required to tell the parent.
+  SandboxTier Tier = applyWorkerSandbox(Ctx.Opts->EnableSeccomp,
+                                        Ctx.Opts->EnableLandlock);
+  WS->AppliedTier.store(static_cast<uint32_t>(Tier) + 1,
+                        std::memory_order_release);
+
+  // Parent-owned machinery inherited across fork() stays with the
+  // parent; the worker reports ONLY through the arena.
+  bool Traced = Ctx.Opts->Base.Timeline != nullptr;
+  ResilientOptions Base = Ctx.Opts->Base;
+  Base.Metrics = nullptr;
+  Base.Run.Metrics = nullptr;
+  Base.Run.TimelineTrack = nullptr;
+  Base.Timeline = nullptr;
+  Base.CheckpointPath.clear();
+  obs::Timeline ChildTimeline(Traced);
+  obs::TimelineTrack *Track = Traced ? ChildTimeline.track("worker") : nullptr;
+
+  std::vector<uint8_t> Frame;
+  for (;;) {
+    // Eventcount discipline: sample the epoch BEFORE checking the
+    // conditions it covers. If the parent publishes or shuts down after
+    // this load, the epoch no longer matches and the wait below returns
+    // immediately instead of sleeping through the wake.
+    uint32_t Ep = Control->Epoch.load(std::memory_order_acquire);
+    if (Control->Shutdown.load(std::memory_order_acquire))
+      _exit(0);
+    uint32_t C = Control->Claim.load(std::memory_order_acquire);
+    uint32_t P = Control->Published.load(std::memory_order_acquire);
+    if (C >= P) {
+      // Nothing to claim: sleep on the epoch (bounded, so a futex-less
+      // host still re-checks Shutdown on a cadence).
+      support::waitOnU32(&Control->Epoch, Ep, 100'000, Ctx.UseFutex);
+      continue;
+    }
+    WorkEntry &E = Entries[C];
+    int32_t Free = -1;
+    bool Claimed = E.Owner.compare_exchange_strong(
+        Free, static_cast<int32_t>(Ctx.Index), std::memory_order_acq_rel);
+    // Help-advance the claim cursor whether or not we won; the winner
+    // may have been killed between its CAS and its advance, and work
+    // behind a stuck cursor would never be claimed.
+    uint32_t Cc = C;
+    Control->Claim.compare_exchange_strong(Cc, C + 1,
+                                           std::memory_order_acq_rel);
+    if (!Claimed)
+      continue;
+
+    SlotRecord R = runResilientSlot(Base, E.Slot, E.Attempt, Track);
+    Frame.clear();
+    {
+      std::vector<uint8_t> Payload;
+      encodeSlotRecord(Payload, R);
+      encodeFrame(Frame, FrameKind::SlotRecord, Payload.data(),
+                  Payload.size());
+    }
+    if (Track) {
+      std::vector<uint8_t> Chunk;
+      obs::Timeline::encodeTrackChunk(Chunk, *Track);
+      encodeFrame(Frame, FrameKind::TimelineChunk, Chunk.data(),
+                  Chunk.size());
+    }
+    // One produce call per slot: the record frame and its timeline
+    // chunk land contiguously; Produced advances only over written
+    // bytes (the commit cursor the salvage story rests on).
+    if (!support::shmRingProduce(WS->Ring, Arena, Capacity, Frame.data(),
+                                 Frame.size(), &Control->Shutdown,
+                                 Ctx.UseFutex, ringDoorbell, &Doorbell))
+      _exit(0); // shutdown raced our produce; parent no longer reading
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parent-side supervision state
+//===----------------------------------------------------------------------===//
+
+struct WorkerSup {
+  pid_t Pid = -1;
+  int DoorR = -1;          ///< doorbell read end, O_NONBLOCK
+  bool Alive = false;
+  bool KilledByUs = false; ///< SIGKILLed for stall or corrupt stream
+  FrameParser Parser;
+  std::chrono::steady_clock::time_point LastProgress;
+  int64_t ObservedEntry = -1; ///< last owned entry seen (stall tracking)
+  uint64_t OomKillBase = 0;   ///< cgroup oom_kill counter at spawn
+};
+
+/// Parent-side mirror of one published entry.
+struct PubEntry {
+  uint64_t Slot = 0;
+  uint32_t Attempt = 1;
+  bool Resolved = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// pooled()
+//===----------------------------------------------------------------------===//
+
+PoolResult sweep::pooled(const PoolOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  PoolResult Result;
+  PoolStats &Stats = Result.Stats;
+
+  //===--------------------------------------------------------------------===//
+  // Degradation rungs
+  //===--------------------------------------------------------------------===//
+  if (Opts.ForceForkFree || !forkAvailable()) {
+    Result.Res = resilient(Opts.Base);
+    Stats.ForkFree = true;
+  } else if (Opts.ForceNoShm || !support::shmAvailable()) {
+    // Fork works but shared memory does not: run the pipe-based
+    // executor. Same slot code, same merge, same journals.
+    IsolatedOptions IO;
+    IO.Base = Opts.Base;
+    IO.RlimitAsBytes = Opts.RlimitAsBytes;
+    IO.RlimitCpuSeconds = Opts.RlimitCpuSeconds;
+    IO.RlimitStackBytes = Opts.RlimitStackBytes;
+    IO.ChildStallMillis = Opts.WorkerStallMillis;
+    IsolatedResult IR = isolated(IO);
+    Result.Res = std::move(IR.Res);
+    Stats.FellBackToIsolated = true;
+    Stats.WorkerSpawns = IR.ChildSpawns;
+    Stats.Respawns = IR.Respawns;
+    Stats.SupervisorKills = IR.SupervisorKills;
+    Stats.TimelineChunks = IR.TimelineChunks;
+    Stats.ForkFree = IR.ForkFree;
+    for (size_t C = 0; C < NumFaultClasses; ++C)
+      Stats.DeathsByClass[C] = IR.DeathsByClass[C];
+  } else {
+    //===------------------------------------------------------------------===//
+    // The real pool
+    //===------------------------------------------------------------------===//
+    bool UseFutex = !Opts.ForceNoFutex && support::futexAvailable();
+    Stats.FutexSignalled = UseFutex;
+    uint32_t MaxAttempts = Opts.Base.MaxAttempts ? Opts.Base.MaxAttempts : 1;
+
+    size_t N = static_cast<size_t>(Opts.Base.NumSeeds);
+    std::vector<SlotRecord> Slots(N);
+    std::vector<uint8_t> Done(N, 0);
+    CheckpointWriter Writer;
+    openResilientCheckpoint(Opts.Base, Writer, Slots, Done, Result.Res);
+
+    std::vector<uint64_t> Pending;
+    for (size_t I = 0; I < N; ++I)
+      if (!Done[I])
+        Pending.push_back(I);
+
+    unsigned Workers = Opts.Base.Threads ? Opts.Base.Threads
+                                         : std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+    if (Workers > Pending.size())
+      Workers = static_cast<unsigned>(Pending.empty() ? 1 : Pending.size());
+
+    size_t MaxEntries = std::max<size_t>(
+        1, Pending.size() * static_cast<size_t>(MaxAttempts));
+    size_t ArenaBytes = std::max<uint64_t>(Opts.ArenaBytes, 256);
+    ShmLayout Layout =
+        ShmLayout::compute(MaxEntries, Workers, static_cast<size_t>(ArenaBytes));
+
+    support::ShmRegion Shm;
+    if (!Pending.empty() && !Shm.map(Layout.Total)) {
+      // mmap refused at this size: same rung as no-shm, minus the probe.
+      PoolOptions Fallback = Opts;
+      Fallback.ForceNoShm = true;
+      return pooled(Fallback);
+    }
+
+    if (!Pending.empty()) {
+      uint8_t *Base = Shm.data();
+      PoolControl *Control = new (Layout.control(Base)) PoolControl{};
+      WorkEntry *Entries = Layout.entries(Base);
+      for (size_t I = 0; I < MaxEntries; ++I) {
+        Entries[I].Slot = 0;
+        Entries[I].Attempt = 1;
+        new (&Entries[I].Owner) std::atomic<int32_t>(-1);
+      }
+      for (unsigned I = 0; I < Workers; ++I)
+        new (Layout.worker(Base, I)) WorkerShared{};
+
+      // cgroup memory accounting (opt-in; transparent fallback).
+      CgroupMemory Cg;
+      if (Opts.UseCgroupMemory)
+        Cg.setup(Workers, Opts.RlimitAsBytes);
+      Stats.CgroupMemory = Cg.active();
+
+      //===----------------------------------------------------------------===//
+      // Parent-side bookkeeping
+      //===----------------------------------------------------------------===//
+      std::vector<PubEntry> Pub;
+      Pub.reserve(MaxEntries);
+      std::vector<int64_t> EntryOfSlot(N, -1); // slot -> live entry index
+      std::vector<uint32_t> DeathsOfSlot(N, 0);
+      std::vector<WorkerSup> Sup(Workers);
+      size_t Resolved = 0;
+      const size_t Total = Pending.size();
+      uint32_t RespawnStreak = 0;
+      Clock::time_point RespawnReady = Clock::now();
+      bool RespawnWaiting = false;
+
+      obs::TimelineTrack *Track =
+          Opts.Base.Timeline ? Opts.Base.Timeline->track("pool-supervisor")
+                             : nullptr;
+      obs::TimelineScope PoolSpan =
+          Track ? obs::TimelineScope(Track, "pool",
+                                     "\"workers\":" + std::to_string(Workers) +
+                                         ",\"slots\":" + std::to_string(Total))
+                : obs::TimelineScope();
+
+      auto Deliver = [&](SlotRecord R) {
+        // First delivery wins; duplicates (impossible by protocol, but
+        // robustness code assumes its own bugs) resolve nothing.
+        uint64_t S = R.Slot;
+        if (S >= N || Done[S])
+          return false;
+        Done[S] = 1;
+        if (Writer.isOpen() && !Writer.append(R))
+          Result.Res.CheckpointError =
+              "journal append failed; checkpointing stopped";
+        Slots[S] = std::move(R);
+        if (EntryOfSlot[S] >= 0)
+          Pub[static_cast<size_t>(EntryOfSlot[S])].Resolved = true;
+        ++Resolved;
+        RespawnStreak = 0;
+        RespawnWaiting = false;
+        return true;
+      };
+
+      auto Publish = [&](uint64_t Slot, uint32_t Attempt) {
+        uint32_t Idx = Control->Published.load(std::memory_order_relaxed);
+        // MaxEntries bounds published work by construction; a slot is
+        // published at most MaxAttempts times.
+        WorkEntry &E = Entries[Idx];
+        E.Slot = Slot;
+        E.Attempt = Attempt;
+        E.Owner.store(-1, std::memory_order_relaxed);
+        Pub.push_back({Slot, Attempt, false});
+        EntryOfSlot[Slot] = static_cast<int64_t>(Idx);
+        Control->Published.store(Idx + 1, std::memory_order_release);
+        Control->Epoch.fetch_add(1, std::memory_order_release);
+        support::wakeU32(&Control->Epoch, UINT32_MAX, UseFutex);
+      };
+
+      auto Spawn = [&](unsigned W) -> bool {
+        WorkerSup &S = Sup[W];
+        // Fresh doorbell per spawn: created after every other live
+        // worker forked, so no sibling can inherit (and hold open) its
+        // write end — POLLHUP on death stays reliable.
+        int Fds[2] = {-1, -1};
+        WorkerShared *WS = Layout.worker(Base, W);
+        // The dead predecessor's stream is gone: drop any partial tail
+        // and restart the ring at zero (no concurrent producer exists).
+        WS->Ring.Produced.store(0, std::memory_order_relaxed);
+        WS->Ring.Consumed.store(0, std::memory_order_relaxed);
+        WS->Ring.ProducedW.store(0, std::memory_order_relaxed);
+        WS->Ring.ConsumedW.store(0, std::memory_order_relaxed);
+        S.Parser.reset();
+        pid_t Pid = -1;
+        {
+          std::lock_guard<std::mutex> Lock(support::processForkMutex());
+          if (pipe(Fds) != 0)
+            return false;
+          fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+          fcntl(Fds[1], F_SETFL, O_NONBLOCK);
+          Pid = fork();
+          if (Pid == 0) {
+            close(Fds[0]);
+            // Doorbell read ends of other workers belong to the parent.
+            for (unsigned J = 0; J < Workers; ++J)
+              if (J != W && Sup[J].DoorR >= 0)
+                close(Sup[J].DoorR);
+            WorkerCtx Ctx;
+            Ctx.Opts = &Opts;
+            Ctx.Layout = Layout;
+            Ctx.Shm = Base;
+            Ctx.Index = W;
+            Ctx.DoorbellFd = Fds[1];
+            Ctx.UseFutex = UseFutex;
+            Ctx.SkipRlimitAs = Cg.active();
+            workerMain(Ctx);
+          }
+          close(Fds[1]);
+          if (Pid < 0) {
+            close(Fds[0]);
+            return false;
+          }
+        }
+        if (Cg.active()) {
+          Cg.attach(W, Pid);
+          uint64_t Kills = Cg.oomKills(W);
+          S.OomKillBase = Kills == UINT64_MAX ? 0 : Kills;
+        }
+        S.Pid = Pid;
+        S.DoorR = Fds[0];
+        S.Alive = true;
+        S.KilledByUs = false;
+        S.LastProgress = Clock::now();
+        S.ObservedEntry = -1;
+        ++Stats.WorkerSpawns;
+        if (Track)
+          Track->instant("spawn", "\"worker\":" + std::to_string(W) +
+                                      ",\"pid\":" + std::to_string(Pid));
+        return true;
+      };
+
+      /// Drains worker W's arena and delivers every complete frame.
+      /// \returns false on a corrupt stream.
+      std::vector<uint8_t> DrainBuf;
+      auto DrainWorker = [&](unsigned W) -> bool {
+        WorkerSup &S = Sup[W];
+        WorkerShared *WS = Layout.worker(Base, W);
+        DrainBuf.clear();
+        size_t Got = support::shmRingDrain(WS->Ring, Layout.arena(Base, W),
+                                           Layout.ArenaBytes, DrainBuf,
+                                           UseFutex);
+        if (Got == 0)
+          return true;
+        Stats.ArenaBytesReceived += Got;
+        S.Parser.feed(DrainBuf.data(), DrainBuf.size());
+        for (;;) {
+          FrameKind Kind;
+          const uint8_t *Payload = nullptr;
+          size_t Len = 0;
+          FrameParser::Status St = S.Parser.next(Kind, Payload, Len);
+          if (St == FrameParser::Status::NeedMore)
+            return true;
+          if (St == FrameParser::Status::Corrupt)
+            return false;
+          if (Kind == FrameKind::TimelineChunk) {
+            size_t ChunkPos = 0;
+            obs::Timeline *Tl = Opts.Base.Timeline;
+            if (!Tl ||
+                !Tl->adoptTrackChunk(Payload, Len, ChunkPos,
+                                     static_cast<uint32_t>(S.Pid), "") ||
+                ChunkPos != Len)
+              return false;
+            ++Stats.TimelineChunks;
+            continue;
+          }
+          SlotRecord R;
+          size_t Pos = 0;
+          std::string Error;
+          if (!decodeSlotRecord(Payload, Len, Pos, R, Error) || Pos != Len)
+            return false;
+          if (Deliver(std::move(R)))
+            S.LastProgress = Clock::now();
+        }
+      };
+
+      /// Handles a worker that stopped (doorbell HUP, or reaped by the
+      /// WNOHANG sweep with \p Reaped already holding its status):
+      /// salvage the arena, classify, charge the victim slot, maybe
+      /// quarantine or republish.
+      auto HandleDeath = [&](unsigned W, bool Reaped, int ReapedStatus) {
+        WorkerSup &S = Sup[W];
+        // Salvage BEFORE classification: complete frames committed
+        // below the Produced cursor are real results; only the partial
+        // tail (a frame the worker died mid-write) is discarded.
+        bool StreamOk = DrainWorker(W);
+        int Status = ReapedStatus;
+        if (!Reaped)
+          while (waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR)
+            ;
+        close(S.DoorR);
+        S.DoorR = -1;
+        S.Alive = false;
+
+        bool CleanExit = !S.KilledByUs && WIFEXITED(Status) &&
+                         WEXITSTATUS(Status) == 0;
+        bool ShuttingDown = Control->Shutdown.load(std::memory_order_acquire);
+        // Find the victim: the (at most one) unresolved entry this
+        // worker owned. A worker claims entry K+1 only after fully
+        // committing entry K's frames, so after the salvage drain at
+        // most one owned entry can lack a record.
+        int64_t Victim = -1;
+        uint32_t Published = Control->Published.load(std::memory_order_acquire);
+        for (uint32_t I = 0; I < Published; ++I) {
+          if (Entries[I].Owner.load(std::memory_order_acquire) ==
+                  static_cast<int32_t>(W) &&
+              !Pub[I].Resolved) {
+            Victim = static_cast<int64_t>(I);
+            break;
+          }
+        }
+        if (ShuttingDown && CleanExit)
+          return; // orderly shutdown exit, not a death
+        if (Victim < 0 && CleanExit)
+          return; // idle worker obeying shutdown-by-produce-abort
+        ChildDeath D =
+            !StreamOk || S.KilledByUs
+                ? classifyChildDeath(Status, true)
+                : classifyChildDeath(Status, false);
+        if (Stats.CgroupMemory && !S.KilledByUs && StreamOk &&
+            WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL) {
+          // Real memory accounting: an external SIGKILL is the kernel
+          // OOM killer only if this worker's cgroup says so.
+          uint64_t Kills = Cg.oomKills(W);
+          if (Kills != UINT64_MAX && Kills <= S.OomKillBase)
+            D = {FaultClass::Signal,
+                 "child killed by signal " + std::to_string(SIGKILL)};
+        }
+        ++Stats.DeathsByClass[static_cast<size_t>(D.Class)];
+        if (S.KilledByUs || !StreamOk)
+          ++Stats.SupervisorKills;
+        if (Track)
+          Track->instant("worker-death",
+                         "\"worker\":" + std::to_string(W) + ",\"class\":\"" +
+                             faultClassName(D.Class) + "\"");
+        if (Victim < 0)
+          return; // death between slots: no record was in flight
+        PubEntry &V = Pub[static_cast<size_t>(Victim)];
+        uint64_t Slot = V.Slot;
+        uint32_t Used = V.Attempt;
+        V.Resolved = true; // this entry is spent either way
+        ++DeathsOfSlot[Slot];
+        bool Poisoned = Opts.PoisonWorkerDeaths &&
+                        DeathsOfSlot[Slot] >= Opts.PoisonWorkerDeaths;
+        if (Used >= MaxAttempts || Poisoned) {
+          SlotRecord Q;
+          Q.Slot = Slot;
+          Q.Seed = Opts.Base.FirstSeed + Slot;
+          Q.Attempts = Used;
+          Q.Quarantined = true;
+          Q.Fault = D.Class;
+          Q.FaultDetail = D.Detail;
+          Deliver(std::move(Q));
+          if (DeathsOfSlot[Slot] >= Used || Poisoned)
+            ++Stats.PoisonSlots;
+          if (Track)
+            Track->instant("quarantine", "\"slot\":" + std::to_string(Slot));
+        } else {
+          Publish(Slot, Used + 1);
+        }
+      };
+
+      //===----------------------------------------------------------------===//
+      // Fill the work ring, spawn the pool, supervise to completion
+      //===----------------------------------------------------------------===//
+      for (uint64_t Slot : Pending)
+        Publish(Slot, 1);
+      unsigned Spawned = 0;
+      for (unsigned W = 0; W < Workers; ++W)
+        if (Spawn(W))
+          ++Spawned;
+      if (Spawned == 0) {
+        // Cannot fork at all right now: finish in-process rather than
+        // losing the sweep (mirrors isolated's fork-failure fallback).
+        for (uint64_t Slot : Pending)
+          if (!Done[Slot])
+            Deliver(runResilientSlot(Opts.Base, Slot, 1, Track));
+      }
+
+      while (Resolved < Total) {
+        Clock::time_point Now = Clock::now();
+        // Stall supervision: progress = a delivered record OR a claim
+        // transition (a worker picking up new work resets its clock; a
+        // worker with no owned unresolved entry is idle, never stalled).
+        if (Opts.WorkerStallMillis) {
+          for (unsigned W = 0; W < Workers; ++W) {
+            WorkerSup &S = Sup[W];
+            if (!S.Alive || S.KilledByUs)
+              continue;
+            int64_t Owned = -1;
+            uint32_t Published =
+                Control->Published.load(std::memory_order_acquire);
+            for (uint32_t I = 0; I < Published; ++I)
+              if (Entries[I].Owner.load(std::memory_order_acquire) ==
+                      static_cast<int32_t>(W) &&
+                  !Pub[I].Resolved)
+                Owned = static_cast<int64_t>(I);
+            if (Owned != S.ObservedEntry) {
+              S.ObservedEntry = Owned;
+              S.LastProgress = Now;
+              continue;
+            }
+            if (Owned < 0)
+              continue;
+            auto Quiet = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Now - S.LastProgress)
+                             .count();
+            if (Quiet >= static_cast<int64_t>(Opts.WorkerStallMillis)) {
+              kill(S.Pid, SIGKILL);
+              S.KilledByUs = true;
+              if (Track)
+                Track->instant("stall-kill",
+                               "\"worker\":" + std::to_string(W));
+            }
+          }
+        }
+
+        // Lazy respawn with exponential backoff: only when published
+        // work sits unclaimed and a worker seat is empty.
+        uint32_t Claim = Control->Claim.load(std::memory_order_acquire);
+        uint32_t Published = Control->Published.load(std::memory_order_acquire);
+        bool UnclaimedWork = Claim < Published;
+        unsigned LiveWorkers = 0;
+        for (unsigned W = 0; W < Workers; ++W)
+          if (Sup[W].Alive)
+            ++LiveWorkers;
+        if (UnclaimedWork && LiveWorkers < Workers) {
+          if (!RespawnWaiting && RespawnStreak > 0 &&
+              Opts.RespawnBackoffMicros) {
+            uint64_t Wait = Opts.RespawnBackoffMicros
+                            << std::min<uint32_t>(RespawnStreak - 1, 32);
+            Wait = std::min(Wait, Opts.RespawnBackoffMaxMicros
+                                      ? Opts.RespawnBackoffMaxMicros
+                                      : Wait);
+            RespawnReady = Now + std::chrono::microseconds(Wait);
+            RespawnWaiting = true;
+            ++Stats.BackoffWaits;
+            Stats.BackoffMicros += Wait;
+            if (Track)
+              Track->instant("backoff",
+                             "\"micros\":" + std::to_string(Wait));
+          }
+          if (!RespawnWaiting || Now >= RespawnReady) {
+            RespawnWaiting = false;
+            for (unsigned W = 0; W < Workers; ++W)
+              if (!Sup[W].Alive) {
+                if (Spawn(W)) {
+                  ++Stats.Respawns;
+                  ++RespawnStreak;
+                  if (Track)
+                    Track->instant("respawn",
+                                   "\"worker\":" + std::to_string(W));
+                }
+                break; // one respawn per pass: storms stay paced
+              }
+          }
+        } else if (!UnclaimedWork && LiveWorkers == 0 && Resolved < Total) {
+          // Every unresolved entry is owned by a dead worker whose
+          // death was already handled — impossible by construction
+          // (HandleDeath republishes or quarantines the victim). If a
+          // kernel surprise gets us here anyway, finish in-process
+          // instead of spinning forever.
+          for (uint64_t Slot : Pending)
+            if (!Done[Slot])
+              Deliver(runResilientSlot(Opts.Base, Slot, 1, Track));
+          break;
+        }
+
+        // Poll every live doorbell; timeout short enough to notice
+        // stalls and backoff expiries.
+        std::vector<struct pollfd> PFDs;
+        std::vector<unsigned> PfdWorker;
+        for (unsigned W = 0; W < Workers; ++W)
+          if (Sup[W].Alive && Sup[W].DoorR >= 0) {
+            PFDs.push_back({Sup[W].DoorR, POLLIN, 0});
+            PfdWorker.push_back(W);
+          }
+        int TimeoutMs = 100;
+        if (RespawnWaiting) {
+          auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          RespawnReady - Clock::now())
+                          .count();
+          TimeoutMs = std::max<int>(0, std::min<int64_t>(TimeoutMs, Left));
+        }
+        if (PFDs.empty()) {
+          if (TimeoutMs > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(TimeoutMs, 10)));
+        } else {
+          int PR = poll(PFDs.data(), static_cast<nfds_t>(PFDs.size()),
+                        TimeoutMs);
+          if (PR < 0 && errno != EINTR)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+
+        for (size_t I = 0; I < PFDs.size(); ++I) {
+          unsigned W = PfdWorker[I];
+          WorkerSup &S = Sup[W];
+          if (!S.Alive)
+            continue;
+          if (PFDs[I].revents & POLLIN) {
+            uint8_t Junk[4096];
+            while (read(S.DoorR, Junk, sizeof(Junk)) > 0)
+              ;
+            if (!DrainWorker(W)) {
+              // Corrupt stream: the worker is as dead as a crashed one.
+              kill(S.Pid, SIGKILL);
+              S.KilledByUs = true;
+              HandleDeath(W, false, 0);
+              continue;
+            }
+          }
+          if (PFDs[I].revents & (POLLHUP | POLLERR))
+            HandleDeath(W, false, 0);
+        }
+        // Belt and braces: a worker that died without traffic on its
+        // doorbell this pass (e.g. killed while idle) shows up here.
+        for (unsigned W = 0; W < Workers; ++W) {
+          if (!Sup[W].Alive)
+            continue;
+          int Status = 0;
+          pid_t R = waitpid(Sup[W].Pid, &Status, WNOHANG);
+          if (R == Sup[W].Pid)
+            HandleDeath(W, true, Status);
+        }
+      }
+
+      //===----------------------------------------------------------------===//
+      // Orderly shutdown: wake everyone into the Shutdown check, give a
+      // grace window, then SIGKILL stragglers. Teardown deaths are not
+      // deaths — the work is done.
+      //===----------------------------------------------------------------===//
+      Control->Shutdown.store(1, std::memory_order_release);
+      Control->Epoch.fetch_add(1, std::memory_order_release);
+      support::wakeU32(&Control->Epoch, UINT32_MAX, UseFutex);
+      for (unsigned W = 0; W < Workers; ++W)
+        support::wakeU32(&Layout.worker(Base, W)->Ring.ConsumedW, UINT32_MAX,
+                         UseFutex);
+      Clock::time_point Grace = Clock::now() + std::chrono::seconds(2);
+      for (unsigned W = 0; W < Workers; ++W) {
+        WorkerSup &S = Sup[W];
+        if (!S.Alive)
+          continue;
+        int Status = 0;
+        for (;;) {
+          pid_t R = waitpid(S.Pid, &Status, WNOHANG);
+          if (R == S.Pid || (R < 0 && errno != EINTR))
+            break;
+          if (Clock::now() >= Grace) {
+            kill(S.Pid, SIGKILL);
+            while (waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR)
+              ;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (S.DoorR >= 0)
+          close(S.DoorR);
+        S.Alive = false;
+      }
+      // Weakest tier any worker reported (unreported workers died
+      // before setup finished; they don't weaken the floor).
+      uint32_t MinTier = UINT32_MAX;
+      for (unsigned W = 0; W < Workers; ++W) {
+        uint32_t T =
+            Layout.worker(Base, W)->AppliedTier.load(std::memory_order_acquire);
+        if (T != 0)
+          MinTier = std::min(MinTier, T - 1);
+      }
+      if (MinTier != UINT32_MAX)
+        Stats.Tier = static_cast<SandboxTier>(MinTier);
+      Cg.teardown();
+    }
+    Writer.close();
+    mergeSlotRecords(Slots, Result.Res);
+    for (uint64_t Slot : Pending)
+      Result.Res.Retries += Slots[Slot].Attempts - 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instruments
+  //===--------------------------------------------------------------------===//
+  if (obs::Registry *Reg = Opts.Base.Metrics) {
+    obs::inc(Reg->counter("grs_pool_worker_spawns_total"), Stats.WorkerSpawns);
+    obs::inc(Reg->counter("grs_pool_respawns_total"), Stats.Respawns);
+    obs::inc(Reg->counter("grs_pool_supervisor_kills_total"),
+             Stats.SupervisorKills);
+    obs::inc(Reg->counter("grs_pool_poison_slots_total"), Stats.PoisonSlots);
+    obs::inc(Reg->counter("grs_pool_arena_bytes_total"),
+             Stats.ArenaBytesReceived);
+    obs::inc(Reg->counter("grs_pool_timeline_chunks_total"),
+             Stats.TimelineChunks);
+    obs::inc(Reg->counter("grs_pool_backoff_waits_total"), Stats.BackoffWaits);
+    obs::inc(Reg->counter("grs_pool_backoff_micros_total"),
+             Stats.BackoffMicros);
+    for (size_t C = 0; C < NumFaultClasses; ++C)
+      if (Stats.DeathsByClass[C])
+        obs::inc(Reg->counter(
+                     "grs_pool_worker_deaths_total",
+                     {{"class", faultClassName(static_cast<FaultClass>(C))}}),
+                 Stats.DeathsByClass[C]);
+    obs::set(Reg->gauge("grs_isolation_sandbox_tier"),
+             static_cast<double>(Stats.Tier));
+    obs::set(Reg->gauge("grs_pool_cgroup_memory"),
+             Stats.CgroupMemory ? 1.0 : 0.0);
+    obs::set(Reg->gauge("grs_pool_futex_signalled"),
+             Stats.FutexSignalled ? 1.0 : 0.0);
+    obs::set(Reg->gauge("grs_pool_fork_free"), Stats.ForkFree ? 1.0 : 0.0);
+    obs::set(Reg->gauge("grs_pool_fell_back_isolated"),
+             Stats.FellBackToIsolated ? 1.0 : 0.0);
+  }
+  return Result;
+}
+
+#else // !GRS_HAVE_FORK
+
+PoolResult sweep::pooled(const PoolOptions &Opts) {
+  PoolResult Result;
+  Result.Res = resilient(Opts.Base);
+  Result.Stats.ForkFree = true;
+  if (obs::Registry *Reg = Opts.Base.Metrics)
+    obs::set(Reg->gauge("grs_pool_fork_free"), 1.0);
+  return Result;
+}
+
+#endif // GRS_HAVE_FORK

@@ -1,0 +1,187 @@
+//===- sweep/Pool.h - Persistent fork-server worker pool --------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet's fast containment layer: a pre-forked pool of sandboxed
+/// workers that OUTLIVE their slots. sweep::isolated (PR 5) buys process
+/// containment at ~5x the in-process cost — a fork per batch, a pipe
+/// round-trip per record, and a whole-batch refork on every death.
+/// sweep::pooled keeps the containment and sheds the per-slot syscalls:
+///
+///   - Workers are forked ONCE (lazily respawned on death) and pull slot
+///     assignments from a shared-memory work ring: the parent publishes
+///     (slot, attempt) entries, workers claim them with a CAS on the
+///     entry's Owner word, and sleep on a futex (or a sleep-poll
+///     fallback) when the ring is empty. No pipe write per assignment.
+///
+///   - Results flow back through a per-worker shared-memory arena: the
+///     worker appends kind-tagged checkpoint frames (SlotRecord +
+///     TimelineChunk, the same codec the isolated pipe uses) to a SPSC
+///     byte ring and rings a one-byte pipe doorbell so the parent's
+///     poll() wakes. The ring's Produced cursor is a COMMIT CURSOR:
+///     advanced only over fully-written bytes, so whatever the parent
+///     drains after a worker death is an intact stream prefix — complete
+///     frames are salvaged, the partial tail is discarded, and a record
+///     the worker finished is NEVER lost or re-executed (the
+///     zero-lost-non-faulted-records invariant, now syscall-free).
+///
+/// Robustness is the design, not a side effect:
+///
+///   - Lazy respawn with exponential backoff: a dead worker is replaced
+///     only when unclaimed work exists, and a crash storm stretches the
+///     respawn interval (RespawnBackoffMicros doubling up to the cap,
+///     reset by any delivered record) so a poison workload cannot
+///     fork-bomb the parent.
+///
+///   - Poison-slot containment: each worker death charges the victim
+///     slot one process-level attempt from the SAME MaxAttempts budget
+///     the in-process executor uses, so a slot that kills every worker
+///     it touches is quarantined after MaxAttempts deaths with the same
+///     record shape (and bytes) sweep::isolated would synthesize.
+///     PoisonWorkerDeaths tightens that to K consecutive deaths for
+///     hosts that want faster containment than the attempt budget.
+///
+///   - Death classification is shared with sweep::isolated
+///     (classifyChildDeath): Watchdog (stall-killed by the supervisor),
+///     Signal, OomKill, Rlimit, PartialExit — byte-identical detail
+///     strings, so cross-executor journal comparisons hold even for
+///     quarantined slots.
+///
+///   - Graceful degradation: no fork (or ForceForkFree) -> the plain
+///     in-process resilient path; fork but no usable shared memory
+///     (or ForceNoShm) -> sweep::isolated, pipes and all; no futex ->
+///     the pool runs with sleep-poll signalling. Every rung reaches
+///     bit-identical sweep aggregates and quarantine decisions through
+///     the unified attempt budget; only the containment strength and
+///     speed change. PoolStats reports which rung ran.
+///
+/// Sandboxing: workers enter the PR-4 inject sandbox, apply the PR-5
+/// rlimits, then optionally tighten with landlock (deny all filesystem
+/// writes) and seccomp (deny exec/fork/ptrace/network/mount/setuid and
+/// write-opens) — each layer probed at runtime and skipped without
+/// error where the kernel lacks it (sweep/Sandbox.h). With
+/// UseCgroupMemory and a writable cgroup-v2 memory controller, workers
+/// run under real `memory.max` accounting and OOM classification reads
+/// `memory.events` instead of the RLIMIT_AS + exit-97 convention
+/// (sweep/Cgroup.h); otherwise the convention stands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SWEEP_POOL_H
+#define GRS_SWEEP_POOL_H
+
+#include "sweep/Resilient.h"
+#include "sweep/Sandbox.h"
+
+#include <cstdint>
+
+namespace grs {
+namespace sweep {
+
+struct PoolOptions {
+  /// The underlying recipe: body, seed range, per-slot attempt budget,
+  /// in-process retry/backoff (applies inside workers too), journal
+  /// path + resume, metrics registry. Base.Threads is the number of
+  /// pool WORKERS (0 = hardware concurrency, clamped to pending slots).
+  ResilientOptions Base;
+  /// Per-worker result-arena capacity, bytes. Frames larger than the
+  /// arena still flow (the producer streams them in ring-sized pieces);
+  /// a smaller arena only costs wakeups.
+  uint64_t ArenaBytes = 256 << 10;
+  /// Worker rlimits, as in IsolatedOptions. RlimitAsBytes is skipped
+  /// when cgroup memory accounting is active (the cgroup bounds real
+  /// memory instead of address space).
+  uint64_t RlimitAsBytes = 256ull << 20;
+  uint64_t RlimitCpuSeconds = 0;
+  uint64_t RlimitStackBytes = 0;
+  /// Stall deadline, ms: a worker that owns a slot and delivers nothing
+  /// for this long is SIGKILLed (FaultClass::Watchdog). 0 disables.
+  uint64_t WorkerStallMillis = 30'000;
+  /// Quarantine a slot after this many worker deaths, even with attempt
+  /// budget left. 0 (default) leaves containment purely to MaxAttempts,
+  /// which is what keeps pooled quarantine decisions bit-identical to
+  /// the other executors; set K < MaxAttempts only when faster poison
+  /// containment is worth the documented divergence.
+  uint32_t PoisonWorkerDeaths = 0;
+  /// Respawn backoff: the first respawn of a death streak is immediate
+  /// (a transient crash should not slow the sweep), then the Nth
+  /// consecutive respawn (no delivered record in between) waits
+  /// Base << (N-2) microseconds, capped at Max. Base 0 disables the
+  /// wait entirely.
+  uint64_t RespawnBackoffMicros = 1'000;
+  uint64_t RespawnBackoffMaxMicros = 500'000;
+  /// Sandbox hardening opt-ins (sweep/Sandbox.h). Defaults off: the
+  /// rlimit-only sandbox is the behavior-compatible baseline.
+  bool EnableSeccomp = false;
+  bool EnableLandlock = false;
+  /// cgroup-v2 memory accounting opt-in (sweep/Cgroup.h). Silently
+  /// falls back to RLIMIT_AS + exit-97 when the host says no.
+  bool UseCgroupMemory = false;
+  /// Degradation forcing, for tests and hosts that know better:
+  bool ForceForkFree = false; ///< skip straight to in-process resilient
+  bool ForceNoShm = false;    ///< pretend mmap failed -> isolated()
+  bool ForceNoFutex = false;  ///< pool with sleep-poll signalling
+};
+
+struct PoolStats {
+  /// Workers forked (initial spawns + respawns).
+  uint64_t WorkerSpawns = 0;
+  /// Respawns after a worker death.
+  uint64_t Respawns = 0;
+  /// Stalled/corrupt workers the supervisor SIGKILLed.
+  uint64_t SupervisorKills = 0;
+  /// Worker deaths observed, by classification (indexed by FaultClass).
+  uint64_t DeathsByClass[NumFaultClasses] = {};
+  /// Slots quarantined where every charged attempt ended in a worker
+  /// death — the poison-slot containment firing.
+  uint64_t PoisonSlots = 0;
+  /// Frame bytes drained from worker arenas.
+  uint64_t ArenaBytesReceived = 0;
+  /// Flight-recorder chunks stitched from workers (0 unless traced).
+  uint64_t TimelineChunks = 0;
+  /// Respawns deferred by the backoff policy, and the total configured
+  /// wait they added.
+  uint64_t BackoffWaits = 0;
+  uint64_t BackoffMicros = 0;
+  /// Weakest sandbox tier any worker reported actually applying.
+  SandboxTier Tier = SandboxTier::RlimitOnly;
+  /// True when workers ran under cgroup-v2 memory accounting.
+  bool CgroupMemory = false;
+  /// True when pool signalling used futexes (false = sleep-poll rung).
+  bool FutexSignalled = false;
+  /// True when the fork-free degradation path ran instead of a pool.
+  bool ForkFree = false;
+  /// True when shm was unavailable and sweep::isolated ran instead.
+  bool FellBackToIsolated = false;
+
+  /// Total worker deaths across classes.
+  uint64_t deaths() const {
+    uint64_t N = 0;
+    for (uint64_t D : DeathsByClass)
+      N += D;
+    return N;
+  }
+};
+
+struct PoolResult {
+  /// Sweep aggregate + quarantine, same shape and same bit-for-bit
+  /// guarantees as the other executors.
+  ResilientResult Res;
+  PoolStats Stats;
+};
+
+/// True when this build/platform can run a real pool (fork + shared
+/// memory). False still leaves pooled() callable — it degrades.
+bool pooledAvailable();
+
+/// Runs the sweep on the worker pool. See file comment.
+PoolResult pooled(const PoolOptions &Opts);
+
+} // namespace sweep
+} // namespace grs
+
+#endif // GRS_SWEEP_POOL_H

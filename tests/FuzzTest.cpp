@@ -29,6 +29,7 @@
 #include "support/Rng.h"
 #include "sweep/Adaptive.h"
 #include "sweep/Isolated.h"
+#include "sweep/Pool.h"
 #include "sweep/Resilient.h"
 
 #include <gtest/gtest.h>
@@ -638,6 +639,131 @@ TEST_P(LethalChaosFuzz, RandomLethalPlansAreContainedByIsolation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, LethalChaosFuzz,
+                         ::testing::Range<uint64_t>(1, 3));
+
+//===----------------------------------------------------------------------===//
+// Pool chaos fuzzing (PR-9): the same lethal plan generator, pointed at
+// the persistent worker pool. The pool's acceptance criteria extend the
+// isolation layer's: worker deaths never lose a slot record even though
+// results travel through shared-memory rings with commit-cursor salvage
+// instead of one pipe per batch, the unified attempt budget keeps pooled
+// quarantine decisions identical to the fork-free downgrade's, and the
+// untouched slots stay bit-identical to the fault-free sweep. Tiny
+// arenas on half the plans force ring wraparound and mid-stream worker
+// deaths, so the salvage path runs under fire, not just in unit tests.
+//===----------------------------------------------------------------------===//
+
+class PoolChaosFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolChaosFuzz, RandomLethalPlansAreContainedByThePool) {
+  if (!sweep::pooledAvailable())
+    GTEST_SKIP() << "no fork()+shm on this platform";
+  ProgramShape S = makeShape(GetParam() * 223, /*Bugged=*/true);
+  const uint64_t NumSeeds = 12;
+
+  inject::FaultPlanOptions PO;
+  PO.PlanSeed = GetParam() * 31 + 11;
+  PO.FirstSeed = 1;
+  PO.NumSeeds = NumSeeds;
+  PO.FaultRate = 0.35;
+  PO.LethalChronicFraction = 0.3;
+  for (size_t K = 0; K < inject::NumFaultKinds; ++K) {
+    auto Kind = static_cast<inject::FaultKind>(K);
+    PO.Weights[K] = (Kind == inject::FaultKind::GoPanic ||
+                     inject::isLethalFault(Kind))
+                        ? 1.0
+                        : 0.0;
+  }
+  inject::FaultPlan Plan = inject::makeFaultPlan(PO);
+
+  sweep::PoolOptions Pool;
+  Pool.Base.FirstSeed = PO.FirstSeed;
+  Pool.Base.NumSeeds = NumSeeds;
+  Pool.Base.Threads = 2;
+  Pool.Base.MaxAttempts = 2;
+  Pool.Base.RetryBackoffMicros = 0;
+  Pool.Base.Run.MaxSteps = 20000;
+  Pool.Base.Body = inject::instrumentedRunner(makeBody(S), Plan);
+  Pool.RespawnBackoffMicros = 0; // deaths are the point; don't wait
+  // Roomy: workers inherit the gtest parent's address space, and only
+  // HeapExhaustion should be able to hit the cap (see IsolationTest).
+  Pool.RlimitAsBytes = 768ull << 20;
+  // Odd plans squeeze the arena so every worker's ring wraps and deaths
+  // land mid-stream; even plans run the comfortable default.
+  if (GetParam() % 2)
+    Pool.ArenaBytes = 256;
+  std::string Journal = ::testing::TempDir() + "grs-pool-chaos-" +
+                        std::to_string(GetParam()) + ".ckpt";
+  std::remove(Journal.c_str());
+  Pool.Base.CheckpointPath = Journal;
+  sweep::PoolResult Pooled = sweep::pooled(Pool);
+  ASSERT_TRUE(Pooled.Res.CheckpointError.empty())
+      << Pooled.Res.CheckpointError;
+  EXPECT_FALSE(Pooled.Stats.ForkFree);
+  EXPECT_FALSE(Pooled.Stats.FellBackToIsolated);
+
+  // No lost slot records: despite worker deaths and ring salvage, the
+  // journal covers every slot exactly once.
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, Load, Error)) << Error;
+  std::set<uint64_t> Slots;
+  for (const sweep::SlotRecord &R : Load.Records) {
+    EXPECT_LT(R.Slot, NumSeeds);
+    EXPECT_TRUE(Slots.insert(R.Slot).second)
+        << "slot " << R.Slot << " journaled twice";
+  }
+  EXPECT_EQ(Slots.size(), NumSeeds);
+
+  // Unified attempt budget: the fork-free downgrade reaches the same
+  // quarantine decisions, merged sweep, and retry totals.
+  sweep::PoolOptions FF = Pool;
+  FF.ForceForkFree = true;
+  FF.Base.CheckpointPath.clear();
+  sweep::PoolResult Degraded = sweep::pooled(FF);
+  EXPECT_TRUE(Degraded.Stats.ForkFree);
+  EXPECT_EQ(Degraded.Stats.WorkerSpawns, 0u);
+  EXPECT_EQ(Degraded.Res.Sweep, Pooled.Res.Sweep);
+  EXPECT_EQ(Degraded.Res.Retries, Pooled.Res.Retries);
+  auto QuarantineMap = [](const sweep::ResilientResult &R) {
+    std::map<uint64_t, uint32_t> M;
+    for (const sweep::SlotRecord &Q : R.Quarantined)
+      M[Q.Seed] = Q.Attempts;
+    return M;
+  };
+  EXPECT_EQ(QuarantineMap(Pooled.Res), QuarantineMap(Degraded.Res))
+      << "plan " << GetParam()
+      << ": pooled vs fork-free quarantines diverged";
+
+  // Verdict parity: every slot the plan did not touch is bit-identical
+  // to the fault-free sweep's record.
+  sweep::ResilientOptions Clean = Pool.Base;
+  Clean.Threads = 1;
+  Clean.Body = corpus::hostBody(makeBody(S));
+  std::remove(Journal.c_str());
+  Clean.CheckpointPath = Journal;
+  sweep::ResilientResult CleanResult = sweep::resilient(Clean);
+  ASSERT_TRUE(CleanResult.CheckpointError.empty())
+      << CleanResult.CheckpointError;
+  sweep::CheckpointLoad CleanLoad;
+  ASSERT_TRUE(sweep::loadCheckpoint(Journal, CleanLoad, Error)) << Error;
+  std::map<uint64_t, sweep::SlotRecord> Faulted;
+  for (const sweep::SlotRecord &R : Load.Records)
+    Faulted[R.Slot] = R;
+  size_t Compared = 0;
+  for (const sweep::SlotRecord &CleanRec : CleanLoad.Records) {
+    if (Plan.faulted(CleanRec.Seed))
+      continue;
+    ASSERT_TRUE(Faulted.count(CleanRec.Slot));
+    EXPECT_EQ(Faulted[CleanRec.Slot], CleanRec)
+        << "plan " << GetParam() << " slot " << CleanRec.Slot;
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 0u);
+  std::remove(Journal.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, PoolChaosFuzz,
                          ::testing::Range<uint64_t>(1, 3));
 
 //===----------------------------------------------------------------------===//

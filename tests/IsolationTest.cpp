@@ -373,6 +373,53 @@ TEST(Isolated, SupervisorKillsStalledChild) {
   EXPECT_EQ(R.Res.Sweep.SeedsRun, 3u);
 }
 
+TEST(Isolated, CompletedSlotsAreNeverReExecutedAcrossARespawn) {
+  // The respawn-accounting invariant behind the salvage drain: a slot
+  // whose record reached the supervisor is finished — the respawned
+  // child must start AFTER it, never re-run it, and never charge it an
+  // attempt for a death it did not cause. Pinned with a side-effect
+  // ledger the bodies append to: across a stall kill mid-batch, every
+  // seed's body runs EXACTLY once (the staller included — MaxAttempts=1
+  // quarantines it on the first death).
+  std::string Ledger = tempPath("respawn-ledger.txt");
+  std::remove(Ledger.c_str());
+  auto Body = [Ledger] {
+    uint64_t Seed = rt::Runtime::current().options().Seed;
+    {
+      std::ofstream Out(Ledger, std::ios::app);
+      Out << Seed << "\n";
+    }
+    if (Seed == 2) {
+      volatile uint64_t Spin = 0;
+      for (;;)
+        Spin = Spin + 1;
+    }
+    racyBody();
+  };
+  sweep::IsolatedOptions IO = baseOptions(corpus::hostBody(Body), 4);
+  IO.Base.MaxAttempts = 1;
+  IO.ChildStallMillis = 400;
+  sweep::IsolatedResult R = sweep::isolated(IO);
+
+  ASSERT_EQ(R.Res.Quarantined.size(), 1u);
+  EXPECT_EQ(R.Res.Quarantined[0].Seed, 2u);
+  EXPECT_EQ(R.Res.Sweep.SeedsRun, 3u);
+  for (const sweep::SlotRecord &Q : R.Res.Quarantined)
+    EXPECT_EQ(Q.Attempts, 1u);
+
+  std::map<uint64_t, unsigned> Runs;
+  std::ifstream In(Ledger);
+  uint64_t Seed;
+  while (In >> Seed)
+    ++Runs[Seed];
+  ASSERT_EQ(Runs.size(), 4u) << "every seed's body must have run";
+  for (const auto &[S, N] : Runs)
+    EXPECT_EQ(N, 1u) << "seed " << S
+                     << " re-executed across the respawn: completed work "
+                        "must survive a sibling's death";
+  std::remove(Ledger.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Journal sharing with the in-process executor
 //===----------------------------------------------------------------------===//
