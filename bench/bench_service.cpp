@@ -1,0 +1,504 @@
+//===- bench/bench_service.cpp - Sweep service operational benchmark ------===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+// Measures — and gates — the control plane's operational claims, the
+// properties a six-month daily-sweep deployment (paper §3) actually
+// depends on:
+//
+//  1. KILL -9 RESUME PARITY — SIGKILL the daemon at randomized points
+//     mid-job, restart, and require result.json AND the canonical
+//     journal to be bit-identical to an uninterrupted run, with zero
+//     committed slot records lost;
+//  2. GRACEFUL DRAIN LATENCY — with a million-seed job in flight, drain
+//     must park it (slot-granular cancel) within the budget;
+//  3. ADMISSION CONTROL — past the queue bound every admission answers
+//     429 + Retry-After and leaves NO trace in the store (nothing
+//     silently dropped, nothing silently kept);
+//  4. POOL AMORTIZATION — N jobs through one service must fork exactly
+//     pool-size workers in total (O(pool), not O(jobs));
+//  5. job turnaround — wall-clock per small job through the full
+//     admit -> schedule -> run -> persist path.
+//
+// Any violation of gates 1-4 exits nonzero, so CI can gate on the exit
+// code without parsing JSON.
+//
+// Results are emitted as one JSON object on stdout; progress to stderr.
+//
+// Usage: bench_service [--smoke] [--out FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "svc/Service.h"
+#include "sweep/Checkpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRS_BENCH_FORK 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define GRS_BENCH_FORK 0
+#endif
+
+using namespace grs;
+using namespace grs::svc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct BenchConfig {
+  int KillIterations = 8;
+  uint64_t KillJobSeeds = 96;
+  uint64_t KillSpin = 40;
+  uint64_t DrainBudgetMillis = 5'000;
+  unsigned AmortizeJobs = 6;
+  unsigned PoolWorkers = 2;
+  unsigned TurnaroundJobs = 8;
+};
+
+int Violations = 0;
+
+void violation(const char *What) {
+  std::fprintf(stderr, "VIOLATION: %s\n", What);
+  ++Violations;
+}
+
+std::string tempDir(const std::string &Name) {
+  static int Counter = 0;
+  return (std::filesystem::temp_directory_path() /
+          ("grs-bench-svc-" + Name + "-" + std::to_string(::getpid()) + "-" +
+           std::to_string(Counter++)))
+      .string();
+}
+
+double millisSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+      .count();
+}
+
+std::string slowGrsSpec(uint64_t NumSeeds, uint64_t Spin,
+                        const std::string &Executor) {
+  std::string Source = "func main() {\n"
+                       "\tx := 0\n"
+                       "\tgo \"w\" func w() { x = x + 1 }()\n"
+                       "\tfor i := 0; i < " +
+                       std::to_string(Spin) +
+                       "; i = i + 1 {\n"
+                       "\t\tx = x + 1\n"
+                       "\t}\n"
+                       "}\n";
+  support::Json Body = support::Json::object();
+  Body.set("kind", support::Json::string("grs"));
+  Body.set("source", support::Json::string(Source));
+  support::Json V = support::Json::object();
+  V.set("body", std::move(Body));
+  std::string S = support::renderJson(V);
+  return S.substr(0, S.size() - 1) + ",\"num_seeds\":" +
+         std::to_string(NumSeeds) + ",\"executor\":\"" + Executor +
+         "\",\"threads\":1}";
+}
+
+std::string patternSpec(uint64_t NumSeeds) {
+  return "{\"body\":{\"kind\":\"pattern\",\"pattern\":\"loop-index-capture\","
+         "\"variant\":\"racy\"},\"num_seeds\":" +
+         std::to_string(NumSeeds) + ",\"executor\":\"pool\",\"threads\":2}";
+}
+
+#if GRS_BENCH_FORK
+
+void removeTree(const std::string &Path) {
+  std::error_code Ec;
+  std::filesystem::remove_all(Path, Ec);
+}
+
+bool seedJob(const std::string &Dir, const std::string &SpecJson) {
+  JobStore Store(Dir);
+  std::string Error;
+  support::Json V;
+  JobSpec Spec;
+  if (!Store.init(Error) || !support::parseJson(SpecJson, V, Error) ||
+      !JobSpec::parse(V, Spec, Error))
+    return false;
+  return Store.writeAtomic(Store.paths("job-000001").Spec,
+                           support::renderJsonPretty(Spec.toJson()), Error);
+}
+
+bool canonicalJournal(const std::string &Path, sweep::CheckpointMeta &Meta,
+                      std::map<uint64_t, sweep::SlotRecord> &Out) {
+  sweep::CheckpointLoad Load;
+  std::string Error;
+  if (!sweep::loadCheckpoint(Path, Load, Error))
+    return false;
+  Meta = Load.Meta;
+  Out.clear();
+  for (const sweep::SlotRecord &R : Load.Records)
+    Out.emplace(R.Slot, R);
+  return true;
+}
+
+std::string runToTerminal(const std::string &Dir, unsigned PoolWorkers) {
+  ServiceOptions O;
+  O.StateDir = Dir;
+  O.PoolWorkers = PoolWorkers;
+  SweepService S(O);
+  std::string Error;
+  if (!S.start(Error) || !S.waitTerminal("job-000001", 120'000))
+    return "";
+  S.stop();
+  std::string Text;
+  JobStore::readFile(JobStore(Dir).paths("job-000001").Result, Text);
+  return Text;
+}
+
+std::string httpReq(uint16_t Port, const std::string &Method,
+                    const std::string &Target, const std::string &Body = "") {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = Method + " " + Target + " HTTP/1.1\r\nHost: l\r\n";
+  if (!Body.empty())
+    Req += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Req += "\r\n" + Body;
+  size_t Off = 0;
+  while (Off < Req.size()) {
+    ssize_t N = ::write(Fd, Req.data() + Off, Req.size() - Off);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  std::string Resp;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Resp.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate 1: kill -9 resume parity
+//===----------------------------------------------------------------------===//
+
+support::Json benchKillResume(const BenchConfig &Cfg) {
+  std::fprintf(stderr, "[kill-resume] reference run...\n");
+  std::string Spec =
+      slowGrsSpec(Cfg.KillJobSeeds, Cfg.KillSpin,
+                  sweep::pooledAvailable() ? "pool" : "resilient");
+  std::string RefDir = tempDir("kill-ref");
+  seedJob(RefDir, Spec);
+  std::string RefResult = runToTerminal(RefDir, Cfg.PoolWorkers);
+  sweep::CheckpointMeta RefMeta;
+  std::map<uint64_t, sweep::SlotRecord> RefRecords;
+  if (RefResult.empty() ||
+      !canonicalJournal(JobStore(RefDir).paths("job-000001").Journal, RefMeta,
+                        RefRecords)) {
+    violation("kill-resume reference run failed");
+    return support::Json::object();
+  }
+
+  support::Rng Rng(0xbadc0ffeULL);
+  int Interrupted = 0, ResultMismatches = 0, JournalMismatches = 0,
+      LostRecords = 0;
+  for (int It = 0; It < Cfg.KillIterations; ++It) {
+    std::string Dir = tempDir("kill-" + std::to_string(It));
+    seedJob(Dir, Spec);
+    pid_t Child = fork();
+    if (Child < 0) {
+      violation("fork failed");
+      break;
+    }
+    if (Child == 0) {
+      ServiceOptions O;
+      O.StateDir = Dir;
+      O.PoolWorkers = Cfg.PoolWorkers;
+      SweepService S(O);
+      std::string Error;
+      if (!S.start(Error))
+        _exit(97);
+      for (;;)
+        pause();
+    }
+    uint64_t DelayMillis = 5 + Rng.nextBelow(250);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMillis));
+    kill(Child, SIGKILL);
+    int Status = 0;
+    waitpid(Child, &Status, 0);
+
+    JobPaths P = JobStore(Dir).paths("job-000001");
+    bool WasMidJob = !JobStore::exists(P.Result);
+    Interrupted += WasMidJob;
+    sweep::CheckpointMeta Pre;
+    std::map<uint64_t, sweep::SlotRecord> Committed;
+    bool HadJournal = canonicalJournal(P.Journal, Pre, Committed);
+
+    std::string Resumed = runToTerminal(Dir, Cfg.PoolWorkers);
+    if (Resumed != RefResult) {
+      violation("resumed result.json differs from uninterrupted run");
+      ++ResultMismatches;
+    }
+    sweep::CheckpointMeta Meta;
+    std::map<uint64_t, sweep::SlotRecord> Records;
+    if (!canonicalJournal(P.Journal, Meta, Records) || !(Meta == RefMeta) ||
+        !(Records == RefRecords)) {
+      violation("resumed canonical journal differs from uninterrupted run");
+      ++JournalMismatches;
+    }
+    if (HadJournal)
+      for (const auto &E : Committed) {
+        auto Found = Records.find(E.first);
+        if (Found == Records.end() || !(Found->second == E.second)) {
+          violation("committed slot record lost or altered across restart");
+          ++LostRecords;
+        }
+      }
+    std::fprintf(stderr,
+                 "[kill-resume] iter %d: killed at %llums, mid-job=%d, "
+                 "committed=%zu\n",
+                 It, static_cast<unsigned long long>(DelayMillis), WasMidJob,
+                 Committed.size());
+    removeTree(Dir);
+  }
+  removeTree(RefDir);
+  if (!Interrupted)
+    std::fprintf(stderr, "[kill-resume] WARNING: no kill landed mid-job\n");
+
+  support::Json V = support::Json::object();
+  V.set("iterations", support::Json::unsignedInt(
+                          static_cast<uint64_t>(Cfg.KillIterations)));
+  V.set("interrupted_mid_job",
+        support::Json::unsignedInt(static_cast<uint64_t>(Interrupted)));
+  V.set("result_mismatches",
+        support::Json::unsignedInt(static_cast<uint64_t>(ResultMismatches)));
+  V.set("journal_mismatches",
+        support::Json::unsignedInt(static_cast<uint64_t>(JournalMismatches)));
+  V.set("lost_committed_records",
+        support::Json::unsignedInt(static_cast<uint64_t>(LostRecords)));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate 2: drain latency under load
+//===----------------------------------------------------------------------===//
+
+support::Json benchDrain(const BenchConfig &Cfg) {
+  std::fprintf(stderr, "[drain] million-seed job, then drain...\n");
+  std::string Dir = tempDir("drain");
+  seedJob(Dir, slowGrsSpec(1'000'000, 50, "resilient"));
+  ServiceOptions O;
+  O.StateDir = Dir;
+  O.ForceForkFree = true;
+  SweepService S(O);
+  std::string Error;
+  double DrainMillis = -1;
+  uint64_t Parked = 0;
+  if (!S.start(Error)) {
+    violation("drain service failed to start");
+  } else {
+    // Let it commit some slots first, so the drain has real work to park.
+    for (int Spin = 0; Spin < 10'000; ++Spin) {
+      JobStatus St;
+      if (S.status("job-000001", St) && St.SlotsDone >= 10)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Clock::time_point T0 = Clock::now();
+    S.drain();
+    if (!S.waitDrained(Cfg.DrainBudgetMillis)) {
+      violation("drain exceeded its budget");
+    } else {
+      DrainMillis = millisSince(T0);
+      JobStatus St;
+      if (!S.status("job-000001", St) || St.State != JobState::Queued)
+        violation("drain must PARK the in-flight job as queued");
+      Parked = St.SlotsDone;
+    }
+    S.stop();
+  }
+  removeTree(Dir);
+  support::Json V = support::Json::object();
+  V.set("budget_millis", support::Json::unsignedInt(Cfg.DrainBudgetMillis));
+  V.set("drain_millis", support::Json::number(DrainMillis));
+  V.set("slots_parked", support::Json::unsignedInt(Parked));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate 3: admission control
+//===----------------------------------------------------------------------===//
+
+support::Json benchAdmission(const BenchConfig &) {
+  std::fprintf(stderr, "[admission] overload past the queue bound...\n");
+  std::string Dir = tempDir("admission");
+  ServiceOptions O;
+  O.StateDir = Dir;
+  O.QueueBound = 2;
+  O.ForceForkFree = true;
+  SweepService S(O);
+  std::string Error;
+  uint64_t Admitted = 0, Shed = 0, MissingRetryAfter = 0;
+  if (!S.start(Error)) {
+    violation("admission service failed to start");
+  } else {
+    // One long job holds a queue seat; then hammer admissions.
+    std::string Slow = slowGrsSpec(1'000'000, 50, "resilient");
+    std::vector<std::string> AdmittedIds;
+    for (int I = 0; I < 12; ++I) {
+      std::string Resp =
+          httpReq(S.port(), "POST", "/jobs", I == 0 ? Slow : patternSpec(4));
+      if (Resp.find("HTTP/1.1 202") != std::string::npos) {
+        ++Admitted;
+        size_t At = Resp.find("job-");
+        if (At != std::string::npos)
+          AdmittedIds.push_back(Resp.substr(At, 10));
+      } else if (Resp.find("HTTP/1.1 429") != std::string::npos) {
+        ++Shed;
+        if (Resp.find("Retry-After:") == std::string::npos) {
+          violation("429 without a Retry-After header");
+          ++MissingRetryAfter;
+        }
+      } else {
+        violation("admission answered something other than 202/429");
+      }
+    }
+    if (Shed == 0)
+      violation("overload never shed despite a full queue");
+    if (Shed != S.shedCount())
+      violation("shed counter out of step with 429 responses");
+    // NOTHING silently dropped or kept: every 202 is in the store,
+    // every 429 is not.
+    std::vector<JobStatus> All = S.statusAll();
+    if (All.size() != Admitted)
+      violation("store job count != 202 count (silent drop or keep)");
+    S.drain();
+    if (!S.waitDrained(10'000))
+      violation("post-admission drain exceeded its budget");
+    S.stop();
+  }
+  removeTree(Dir);
+  support::Json V = support::Json::object();
+  V.set("admitted", support::Json::unsignedInt(Admitted));
+  V.set("shed", support::Json::unsignedInt(Shed));
+  V.set("missing_retry_after",
+        support::Json::unsignedInt(MissingRetryAfter));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate 4 + metric 5: amortization and turnaround
+//===----------------------------------------------------------------------===//
+
+support::Json benchAmortization(const BenchConfig &Cfg) {
+  support::Json V = support::Json::object();
+  if (!sweep::pooledAvailable()) {
+    std::fprintf(stderr, "[amortize] no fork; skipping\n");
+    V.set("skipped", support::Json::boolean(true));
+    return V;
+  }
+  std::fprintf(stderr, "[amortize] %u pool jobs through one service...\n",
+               Cfg.AmortizeJobs);
+  std::string Dir = tempDir("amortize");
+  ServiceOptions O;
+  O.StateDir = Dir;
+  O.PoolWorkers = Cfg.PoolWorkers;
+  SweepService S(O);
+  std::string Error;
+  double TotalMillis = 0;
+  if (!S.start(Error)) {
+    violation("amortization service failed to start");
+  } else {
+    for (unsigned J = 1; J <= Cfg.AmortizeJobs; ++J) {
+      Clock::time_point T0 = Clock::now();
+      std::string Resp = httpReq(S.port(), "POST", "/jobs", patternSpec(12));
+      if (Resp.find("HTTP/1.1 202") == std::string::npos ||
+          !S.waitTerminal(JobStore::idForSequence(J), 120'000)) {
+        violation("amortization job failed to run");
+        break;
+      }
+      TotalMillis += millisSince(T0);
+    }
+    sweep::PoolHostStats HS = S.poolStats();
+    V.set("jobs_run", support::Json::unsignedInt(HS.JobsRun));
+    V.set("total_spawns", support::Json::unsignedInt(HS.TotalSpawns));
+    V.set("pool_workers", support::Json::unsignedInt(Cfg.PoolWorkers));
+    V.set("job_turnaround_millis",
+          support::Json::number(TotalMillis / Cfg.AmortizeJobs));
+    if (HS.TotalSpawns > Cfg.PoolWorkers)
+      violation("pool forked more than pool-size workers across jobs");
+    S.stop();
+  }
+  removeTree(Dir);
+  return V;
+}
+
+#endif // GRS_BENCH_FORK
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc)
+      OutPath = Argv[++I];
+  }
+
+  support::Json Result = support::Json::object();
+  Result.set("mode", support::Json::string(Smoke ? "smoke" : "full"));
+
+#if GRS_BENCH_FORK
+  BenchConfig Cfg;
+  if (Smoke) {
+    Cfg.KillIterations = 5;
+    Cfg.AmortizeJobs = 4;
+    Cfg.TurnaroundJobs = 4;
+  }
+  Result.set("kill_resume", benchKillResume(Cfg));
+  Result.set("drain", benchDrain(Cfg));
+  Result.set("admission", benchAdmission(Cfg));
+  Result.set("amortization", benchAmortization(Cfg));
+#else
+  Result.set("skipped",
+             support::Json::string("no fork/sockets on this platform"));
+#endif
+
+  Result.set("violations",
+             support::Json::unsignedInt(static_cast<uint64_t>(Violations)));
+  std::string Text = support::renderJsonPretty(Result);
+  std::printf("%s\n", Text.c_str());
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    Out << Text << "\n";
+  }
+  if (Violations) {
+    std::fprintf(stderr, "bench_service: %d violation(s)\n", Violations);
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include "obs/Export.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -11,6 +13,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define GRS_HAVE_SOCKETS 1
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -116,7 +119,19 @@ void MetricsServer::stop() {
   // No shutdown() of the listening socket here: the serve loop polls
   // with a bounded timeout, finishes whatever response it is writing,
   // and drains the accept backlog before returning — a scrape racing
-  // this stop gets its bytes instead of a connection reset.
+  // this stop gets its bytes instead of a connection reset. A loopback
+  // self-connect wakes the poll NOW, so join doesn't wait out the poll
+  // interval (the connection lands in the drain pass and is closed).
+  int Wake = socket(AF_INET, SOCK_STREAM, 0);
+  if (Wake >= 0) {
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(BoundPort);
+    connect(Wake, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+    close(Wake);
+  }
   Server.join();
   close(ListenFd);
   ListenFd = -1;
@@ -126,94 +141,255 @@ void MetricsServer::stop() {
 
 namespace {
 
-bool writeAll(int Fd, const char *Data, size_t Size) {
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until \p Deadline, clamped to [0, INT_MAX] for poll().
+int millisUntil(Clock::time_point Deadline) {
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  if (Left <= 0)
+    return 0;
+  return static_cast<int>(std::min<int64_t>(Left, 1'000'000));
+}
+
+/// Deadline-bounded full write on a non-blocking socket. \returns false
+/// when the peer stopped reading (timeout) or the socket died.
+bool writeAllDeadline(int Fd, const char *Data, size_t Size,
+                      Clock::time_point Deadline, bool &TimedOut) {
+  TimedOut = false;
   while (Size) {
     ssize_t N = write(Fd, Data, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
+    if (N > 0) {
+      Data += N;
+      Size -= static_cast<size_t>(N);
+      continue;
     }
-    Data += N;
-    Size -= static_cast<size_t>(N);
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int Left = millisUntil(Deadline);
+      if (Left == 0) {
+        TimedOut = true;
+        return false;
+      }
+      struct pollfd PFD = {Fd, POLLOUT, 0};
+      if (poll(&PFD, 1, Left) < 0 && errno != EINTR)
+        return false;
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
   }
   return true;
+}
+
+const char *reasonPhrase(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 201: return "Created";
+  case 202: return "Accepted";
+  case 204: return "No Content";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 408: return "Request Timeout";
+  case 409: return "Conflict";
+  case 413: return "Payload Too Large";
+  case 429: return "Too Many Requests";
+  case 500: return "Internal Server Error";
+  case 503: return "Service Unavailable";
+  default:  return "Status";
+  }
+}
+
+std::string renderResponse(const HttpResponse &R) {
+  std::string Out = "HTTP/1.1 " + std::to_string(R.Status) + " " +
+                    reasonPhrase(R.Status) + "\r\n";
+  Out += "Content-Type: " + R.ContentType + "\r\n";
+  for (const auto &H : R.ExtraHeaders)
+    Out += H.first + ": " + H.second + "\r\n";
+  Out += "Content-Length: " + std::to_string(R.Body.size()) + "\r\n";
+  Out += "Connection: close\r\n\r\n";
+  Out += R.Body;
+  return Out;
+}
+
+enum class RecvStatus { Ok, TimedOut, TooLarge, Dead, Malformed };
+
+/// Reads one full request — headers, then exactly Content-Length body
+/// bytes — off a non-blocking socket, under one absolute deadline and a
+/// hard size cap. A client feeding one byte per poll interval (the
+/// slowloris shape) burns exactly ReadTimeoutMillis of the plane's
+/// time, never more.
+RecvStatus recvRequest(int Fd, const ServerLimits &Limits, HttpRequest &Req) {
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Limits.ReadTimeoutMillis);
+  std::string Data;
+  size_t HeaderEnd = std::string::npos;
+  size_t Want = 0; // headers + body, known once headers are complete
+  char Buf[4096];
+  for (;;) {
+    if (HeaderEnd == std::string::npos) {
+      HeaderEnd = Data.find("\r\n\r\n");
+      if (HeaderEnd != std::string::npos) {
+        HeaderEnd += 4;
+        // Sole framing header we honor; no chunked uploads here.
+        size_t Len = 0;
+        size_t Pos = 0;
+        while (Pos < HeaderEnd) {
+          size_t Eol = Data.find("\r\n", Pos);
+          if (Eol == std::string::npos || Eol >= HeaderEnd)
+            break;
+          std::string Line = Data.substr(Pos, Eol - Pos);
+          Pos = Eol + 2;
+          size_t Colon = Line.find(':');
+          if (Colon == std::string::npos)
+            continue;
+          std::string Name = Line.substr(0, Colon);
+          std::transform(Name.begin(), Name.end(), Name.begin(),
+                         [](unsigned char C) { return std::tolower(C); });
+          if (Name != "content-length")
+            continue;
+          size_t V = Colon + 1;
+          while (V < Line.size() && Line[V] == ' ')
+            ++V;
+          Len = 0;
+          for (; V < Line.size() && Line[V] >= '0' && Line[V] <= '9'; ++V)
+            Len = Len * 10 + static_cast<size_t>(Line[V] - '0');
+        }
+        Want = HeaderEnd + Len;
+        if (Want > Limits.MaxRequestBytes)
+          return RecvStatus::TooLarge;
+      }
+    }
+    if (HeaderEnd != std::string::npos && Data.size() >= Want)
+      break;
+    if (Data.size() >= Limits.MaxRequestBytes)
+      return RecvStatus::TooLarge;
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Data.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      return HeaderEnd == std::string::npos ? RecvStatus::Dead
+                                            : RecvStatus::Malformed;
+    if (errno == EINTR)
+      continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return RecvStatus::Dead;
+    int Left = millisUntil(Deadline);
+    if (Left == 0)
+      return RecvStatus::TimedOut;
+    struct pollfd PFD = {Fd, POLLIN, 0};
+    if (poll(&PFD, 1, Left) < 0 && errno != EINTR)
+      return RecvStatus::Dead;
+  }
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t Eol = Data.find("\r\n");
+  std::string Line = Data.substr(0, Eol);
+  size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string::npos)
+    return RecvStatus::Malformed;
+  size_t Sp2 = Line.find(' ', Sp1 + 1);
+  if (Sp2 == std::string::npos)
+    return RecvStatus::Malformed;
+  Req.Method = Line.substr(0, Sp1);
+  Req.Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  Req.Body = Data.substr(HeaderEnd, Want - HeaderEnd);
+  if (Req.Method.empty() || Req.Target.empty())
+    return RecvStatus::Malformed;
+  return RecvStatus::Ok;
 }
 
 } // namespace
 
 void MetricsServer::serveClient(int Client) {
-  // One read is enough for any real scrape request line; anything
-  // pathological just yields a 404 or a dropped connection.
-  char Buf[2048];
-  ssize_t N = read(Client, Buf, sizeof(Buf) - 1);
-  if (N <= 0) {
+  // Non-blocking from the first byte: the deadlines below are the ONLY
+  // thing bounding how long this client may hold the serving thread.
+  fcntl(Client, F_SETFL, fcntl(Client, F_GETFL, 0) | O_NONBLOCK);
+
+  HttpRequest Req;
+  HttpResponse Resp;
+  bool Handled = false;
+  switch (recvRequest(Client, Limits, Req)) {
+  case RecvStatus::Ok:
+    break;
+  case RecvStatus::TimedOut:
+    Timeouts.fetch_add(1);
+    Resp.Status = 408;
+    Resp.Body = "request not received in time\n";
+    Handled = true;
+    break;
+  case RecvStatus::TooLarge:
+    Overlarge.fetch_add(1);
+    Resp.Status = 413;
+    Resp.Body = "request exceeds " + std::to_string(Limits.MaxRequestBytes) +
+                " bytes\n";
+    Handled = true;
+    break;
+  case RecvStatus::Malformed:
+    Resp.Status = 400;
+    Resp.Body = "malformed request\n";
+    Handled = true;
+    break;
+  case RecvStatus::Dead:
+    shutdown(Client, SHUT_RDWR);
     close(Client);
     return;
   }
-  Buf[N] = '\0';
-  // Parse "GET <target> ..." — the only line we care about.
-  std::string Target;
-  if (std::strncmp(Buf, "GET ", 4) == 0) {
-    const char *Start = Buf + 4;
-    const char *End = Start;
-    while (*End && *End != ' ' && *End != '\r' && *End != '\n')
-      ++End;
-    Target.assign(Start, End);
+
+  // Control-plane hook first (the sweep service mounts /jobs here),
+  // then the built-in read-only endpoints.
+  if (!Handled && Handler && Handler(Req, Resp))
+    Handled = true;
+  if (!Handled && Req.Method != "GET") {
+    Resp.Status = 405;
+    Resp.Body = "only GET is served here\n";
+    Handled = true;
   }
-  auto Ok = [](const std::string &ContentType, const std::string &Body) {
-    return "HTTP/1.1 200 OK\r\n"
-           "Content-Type: " +
-           ContentType +
-           "\r\n"
-           "Content-Length: " +
-           std::to_string(Body.size()) +
-           "\r\n"
-           "Connection: close\r\n\r\n" +
-           Body;
-  };
-  std::string Response;
-  if (Target == "/metrics" || Target == "/") {
-    std::string Body;
-    {
+  if (!Handled) {
+    const std::string &Target = Req.Target;
+    if (Target == "/metrics" || Target == "/") {
       std::lock_guard<std::mutex> Lock(SnapshotMutex);
-      Body = Snapshot;
-    }
-    Response = Ok("text/plain; version=0.0.4; charset=utf-8", Body);
-    Scrapes.fetch_add(1);
-  } else if (Target == "/metrics.jsonl") {
-    std::string Body;
-    {
+      Resp.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+      Resp.Body = Snapshot;
+      Scrapes.fetch_add(1);
+    } else if (Target == "/metrics.jsonl") {
       std::lock_guard<std::mutex> Lock(SnapshotMutex);
-      Body = JsonSnapshot;
-    }
-    Response = Ok("application/jsonlines", Body);
-    Scrapes.fetch_add(1);
-  } else if (Target == "/trace.json") {
-    std::string Body;
-    {
+      Resp.ContentType = "application/jsonlines";
+      Resp.Body = JsonSnapshot;
+      Scrapes.fetch_add(1);
+    } else if (Target == "/trace.json") {
       std::lock_guard<std::mutex> Lock(SnapshotMutex);
-      Body = TraceSnapshot;
+      Resp.ContentType = "application/json";
+      Resp.Body = TraceSnapshot;
+      Scrapes.fetch_add(1);
+    } else if (Target == "/healthz") {
+      // Liveness, not snapshot state: answering at all means the
+      // serving thread is up, which is the whole question. Not counted
+      // as a scrape — probes would otherwise swamp the scrape counter.
+      Resp.Body = "ok\n";
+    } else {
+      Resp.Status = 404;
+      Resp.Body = "404 not found; valid endpoints: /metrics, "
+                  "/metrics.jsonl, /trace.json, /healthz\n";
     }
-    Response = Ok("application/json", Body);
-    Scrapes.fetch_add(1);
-  } else if (Target == "/healthz") {
-    // Liveness, not snapshot state: answering at all means the serving
-    // thread is up, which is the whole question. Not counted as a
-    // scrape — probes would otherwise swamp the scrape counter.
-    Response = Ok("text/plain; charset=utf-8", "ok\n");
-  } else {
-    std::string Body = "404 not found; valid endpoints: /metrics, "
-                       "/metrics.jsonl, /trace.json, /healthz\n";
-    Response = "HTTP/1.1 404 Not Found\r\n"
-               "Content-Type: text/plain; charset=utf-8\r\n"
-               "Content-Length: " +
-               std::to_string(Body.size()) +
-               "\r\n"
-               "Connection: close\r\n\r\n" +
-               Body;
   }
-  writeAll(Client, Response.data(), Response.size());
+
+  std::string Response = renderResponse(Resp);
+  Clock::time_point WriteDeadline =
+      Clock::now() + std::chrono::milliseconds(Limits.WriteTimeoutMillis);
+  bool WriteTimedOut = false;
+  if (!writeAllDeadline(Client, Response.data(), Response.size(),
+                        WriteDeadline, WriteTimedOut) &&
+      WriteTimedOut)
+    Timeouts.fetch_add(1);
+  // shutdown BEFORE close: a forked worker (sweep::PoolHost) may hold a
+  // duplicate of this fd from the instant of its fork, and close() alone
+  // would leave the connection open — wedging a client that reads to
+  // EOF. shutdown() acts on the socket itself, dup'd fds and all.
+  shutdown(Client, SHUT_RDWR);
   close(Client);
 }
 

@@ -37,6 +37,19 @@
 /// listen backlog before joining — a scrape racing shutdown gets its
 /// bytes, not a connection reset.
 ///
+/// Control-plane hosting: a handler installed with setHandler() (before
+/// start()) sees every parsed request FIRST and may claim it — the sweep
+/// service (svc/Service.h) mounts its /jobs API this way without owning
+/// sockets. Requests are parsed properly for that purpose: method,
+/// target, headers, and a Content-Length-delimited body. The parser is
+/// hardened against rude clients, because one serving thread means one
+/// slowloris holds the whole plane hostage: a connection that has not
+/// delivered its complete request within ServerLimits::ReadTimeoutMillis
+/// is answered 408 and dropped, one that will not accept response bytes
+/// within WriteTimeoutMillis is dropped mid-write, and one whose request
+/// (headers + declared body) exceeds MaxRequestBytes is answered 413
+/// without ever buffering the excess.
+///
 /// IntervalPublisher wraps the owner-driven publish cadence: the owner
 /// calls tick(Reg) at its natural serial points (per seed, per round)
 /// and the helper re-renders only when the configured interval elapsed,
@@ -53,11 +66,46 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace grs {
 namespace obs {
 
 class Registry;
+
+/// One parsed request, as a handler sees it.
+struct HttpRequest {
+  std::string Method; ///< uppercase as sent: "GET", "POST", ...
+  std::string Target; ///< raw request target, query string included
+  std::string Body;   ///< exactly Content-Length bytes ("" when absent)
+};
+
+/// What a handler fills in. Reason phrases for the usual statuses are
+/// supplied by the server; ExtraHeaders is for the occasional
+/// Retry-After, not for overriding the framing headers (Content-Length
+/// and Connection: close are always the server's).
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+  std::vector<std::pair<std::string, std::string>> ExtraHeaders;
+};
+
+/// First-look request hook. Runs ON the serving thread — block here and
+/// nothing else is served. Return true to claim the request (the filled
+/// response is sent); false falls through to the built-in endpoints.
+using HttpHandler = std::function<bool(const HttpRequest &, HttpResponse &)>;
+
+/// Per-connection hardening knobs (see file comment).
+struct ServerLimits {
+  /// Full request (headers + body) must arrive within this; else 408.
+  uint64_t ReadTimeoutMillis = 5'000;
+  /// Response bytes must drain within this; else the socket is dropped.
+  uint64_t WriteTimeoutMillis = 5'000;
+  /// Hard cap on headers + declared body; else 413.
+  uint64_t MaxRequestBytes = 1 << 20;
+};
 
 class MetricsServer {
 public:
@@ -107,6 +155,20 @@ public:
   /// Scrapes served so far across both endpoints (tests / diagnostics).
   uint64_t scrapeCount() const { return Scrapes.load(); }
 
+  /// Installs the control-plane hook. Call BEFORE start(): the serving
+  /// thread reads it unlocked.
+  void setHandler(HttpHandler H) { Handler = std::move(H); }
+
+  /// Replaces the hardening knobs. Call BEFORE start().
+  void setLimits(ServerLimits L) { Limits = L; }
+
+  /// Connections dropped for blowing ReadTimeoutMillis (slowloris) or
+  /// WriteTimeoutMillis (unread response).
+  uint64_t timeoutCount() const { return Timeouts.load(); }
+
+  /// Requests refused with 413 for exceeding MaxRequestBytes.
+  uint64_t overlargeCount() const { return Overlarge.load(); }
+
 private:
   void serveLoop();
   void serveClient(int Client);
@@ -115,6 +177,10 @@ private:
   std::atomic<bool> Running{false};
   std::atomic<bool> StopRequested{false};
   std::atomic<uint64_t> Scrapes{0};
+  std::atomic<uint64_t> Timeouts{0};
+  std::atomic<uint64_t> Overlarge{0};
+  HttpHandler Handler;
+  ServerLimits Limits;
   int ListenFd = -1;
   uint16_t BoundPort = 0;
   std::mutex SnapshotMutex;

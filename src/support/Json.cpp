@@ -1,0 +1,532 @@
+//===- support/Json.cpp - Minimal JSON value tree & codec -----------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace grs;
+using namespace grs::support;
+
+//===----------------------------------------------------------------------===//
+// Accessors
+//===----------------------------------------------------------------------===//
+
+uint64_t Json::asU64(uint64_t Default) const {
+  switch (K) {
+  case Kind::Uint:
+    return U;
+  case Kind::Int:
+    return I >= 0 ? static_cast<uint64_t>(I) : Default;
+  case Kind::Double:
+    return D >= 0 && D <= 18446744073709549568.0 && D == std::floor(D)
+               ? static_cast<uint64_t>(D)
+               : Default;
+  default:
+    return Default;
+  }
+}
+
+int64_t Json::asI64(int64_t Default) const {
+  switch (K) {
+  case Kind::Int:
+    return I;
+  case Kind::Uint:
+    return U <= static_cast<uint64_t>(INT64_MAX) ? static_cast<int64_t>(U)
+                                                 : Default;
+  case Kind::Double:
+    return D >= -9223372036854775808.0 && D <= 9223372036854774784.0 &&
+                   D == std::floor(D)
+               ? static_cast<int64_t>(D)
+               : Default;
+  default:
+    return Default;
+  }
+}
+
+double Json::asDouble(double Default) const {
+  switch (K) {
+  case Kind::Double:
+    return D;
+  case Kind::Int:
+    return static_cast<double>(I);
+  case Kind::Uint:
+    return static_cast<double>(U);
+  default:
+    return Default;
+  }
+}
+
+const Json &Json::get(std::string_view Key) const {
+  static const Json Nil;
+  for (const auto &[K2, V] : Members)
+    if (K2 == Key)
+      return V;
+  return Nil;
+}
+
+bool Json::has(std::string_view Key) const {
+  for (const auto &[K2, V] : Members)
+    if (K2 == Key)
+      return true;
+  return false;
+}
+
+Json &Json::set(std::string_view Key, Json V) {
+  K = Kind::Object;
+  for (auto &[K2, Old] : Members)
+    if (K2 == Key) {
+      Old = std::move(V);
+      return Old;
+    }
+  Members.emplace_back(std::string(Key), std::move(V));
+  return Members.back().second;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int MaxDepth = 64;
+
+struct Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Appends one Unicode code point as UTF-8.
+  static void putUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out.push_back(static_cast<char>(Cp));
+    } else if (Cp < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Cp >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else if (Cp < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Cp >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Cp >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    }
+  }
+
+  bool hex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else {
+        --Pos;
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    // Caller consumed the opening quote.
+    Out.clear();
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<uint8_t>(C) < 0x20) {
+        --Pos;
+        return fail("raw control character in string");
+      }
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        uint32_t Cp = 0;
+        if (!hex4(Cp))
+          return false;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          // High surrogate: a low surrogate escape must follow.
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired UTF-16 surrogate");
+          Pos += 2;
+          uint32_t Lo = 0;
+          if (!hex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("invalid low surrogate");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return fail("unpaired UTF-16 surrogate");
+        }
+        putUtf8(Out, Cp);
+        break;
+      }
+      default:
+        Pos -= 1;
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    bool Neg = consume('-');
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("malformed number");
+    // Leading zero may not be followed by more digits.
+    if (Text[Pos] == '0' && Pos + 1 < Text.size() && Text[Pos + 1] >= '0' &&
+        Text[Pos + 1] <= '9')
+      return fail("number has leading zero");
+    bool Fractional = false;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Fractional = true;
+      ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("malformed fraction");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Fractional = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("malformed exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Tok(Text.substr(Start, Pos - Start));
+    if (!Fractional) {
+      // Exact 64-bit integers: seeds and hashes must round-trip.
+      errno = 0;
+      if (Neg) {
+        char *End = nullptr;
+        long long V = std::strtoll(Tok.c_str(), &End, 10);
+        if (errno == 0 && End && *End == '\0') {
+          Out = Json::integer(V);
+          return true;
+        }
+      } else {
+        char *End = nullptr;
+        unsigned long long V = std::strtoull(Tok.c_str(), &End, 10);
+        if (errno == 0 && End && *End == '\0') {
+          Out = Json::unsignedInt(V);
+          return true;
+        }
+      }
+      // Out of 64-bit range: fall through to double.
+    }
+    Out = Json::number(std::strtod(Tok.c_str(), nullptr));
+    return true;
+  }
+
+  bool parseValue(Json &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = Json::object();
+      skipWs();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        skipWs();
+        if (!consume('"'))
+          return fail("expected object key");
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return fail("expected ':'");
+        Json V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.set(Key, std::move(V));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = Json::array();
+      skipWs();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        Json V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.push(std::move(V));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      ++Pos;
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json::string(std::move(S));
+      return true;
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out = Json::boolean(true);
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out = Json::boolean(false);
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      Out = Json::null();
+      return true;
+    }
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber(Out);
+    return fail("unexpected character");
+  }
+};
+
+} // namespace
+
+bool support::parseJson(std::string_view Text, Json &Out,
+                        std::string &Error) {
+  Parser P;
+  P.Text = Text;
+  if (!P.parseValue(Out, 0)) {
+    Error = P.Error;
+    return false;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    Error = "trailing content at byte " + std::to_string(P.Pos);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Renderer
+//===----------------------------------------------------------------------===//
+
+void support::appendJsonEscaped(std::string &Out, std::string_view Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<uint8_t>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+}
+
+namespace {
+
+void renderNumber(std::string &Out, double D) {
+  if (std::isnan(D) || std::isinf(D)) {
+    Out += "null"; // JSON has no NaN/Inf; null is the least-lying stand-in
+    return;
+  }
+  char Buf[32];
+  // Shortest text that round-trips a double.
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  double Back = std::strtod(Buf, nullptr);
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    char Short[32];
+    std::snprintf(Short, sizeof(Short), "%.*g", Prec, D);
+    if (std::strtod(Short, nullptr) == Back) {
+      std::memcpy(Buf, Short, sizeof(Short));
+      break;
+    }
+  }
+  Out += Buf;
+}
+
+void render(std::string &Out, const Json &V, int Indent, int Depth) {
+  auto Newline = [&](int D) {
+    if (Indent < 0)
+      return;
+    Out.push_back('\n');
+    Out.append(static_cast<size_t>(Indent * D), ' ');
+  };
+  switch (V.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Int:
+    Out += std::to_string(V.asI64());
+    break;
+  case Json::Kind::Uint:
+    Out += std::to_string(V.asU64());
+    break;
+  case Json::Kind::Double:
+    renderNumber(Out, V.asDouble());
+    break;
+  case Json::Kind::String:
+    Out.push_back('"');
+    appendJsonEscaped(Out, V.asString());
+    Out.push_back('"');
+    break;
+  case Json::Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Json &E : V.items()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Newline(Depth + 1);
+      render(Out, E, Indent, Depth + 1);
+    }
+    if (!First)
+      Newline(Depth);
+    Out.push_back(']');
+    break;
+  }
+  case Json::Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[K, E] : V.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Newline(Depth + 1);
+      Out.push_back('"');
+      appendJsonEscaped(Out, K);
+      Out += Indent < 0 ? "\":" : "\": ";
+      render(Out, E, Indent, Depth + 1);
+    }
+    if (!First)
+      Newline(Depth);
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string support::renderJson(const Json &V) {
+  std::string Out;
+  render(Out, V, -1, 0);
+  return Out;
+}
+
+std::string support::renderJsonPretty(const Json &V) {
+  std::string Out;
+  render(Out, V, 2, 0);
+  Out.push_back('\n');
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===- support/Json.h - Minimal JSON value tree & codec ---------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON codec in the project, added for the sweep service's job
+/// specs (svc/Job.h): `POST /jobs` bodies are parsed with it, job specs
+/// are persisted to disk with it, and the restarted daemon re-reads them
+/// with it — so parse(render(V)) == V is a load-bearing property, not a
+/// convenience.
+///
+/// Deliberately small and strict:
+///
+///   - A value tree (null / bool / integer / double / string / array /
+///     object). Integers are kept EXACT as int64/uint64 — sweep seeds and
+///     64-bit spec hashes must round-trip bit-for-bit, which a
+///     double-only JSON DOM cannot do. A number with '.', 'e' or one too
+///     large for 64 bits becomes a double.
+///   - Objects preserve insertion order on render (specs stay diffable)
+///     and look up by key linearly (specs have ~a dozen keys).
+///   - Strict RFC-8259 parsing: no comments, no trailing commas, no
+///     unquoted keys; UTF-16 escapes (incl. surrogate pairs) decode to
+///     UTF-8. Errors carry the byte offset. A depth cap (64) makes the
+///     recursive parser total over adversarial input — `POST /jobs` is a
+///     network-facing surface.
+///   - render() is deterministic for a given tree: minimal escapes,
+///     exact integer text, shortest round-tripping double text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SUPPORT_JSON_H
+#define GRS_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace grs {
+namespace support {
+
+/// One JSON value. Copyable value semantics throughout; a spec-sized
+/// tree is a few hundred bytes, so no COW cleverness.
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Uint, Double, String, Array,
+                              Object };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool B) {
+    Json V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static Json integer(int64_t I) {
+    Json V;
+    V.K = Kind::Int;
+    V.I = I;
+    return V;
+  }
+  static Json unsignedInt(uint64_t U) {
+    Json V;
+    V.K = Kind::Uint;
+    V.U = U;
+    return V;
+  }
+  static Json number(double D) {
+    Json V;
+    V.K = Kind::Double;
+    V.D = D;
+    return V;
+  }
+  static Json string(std::string S) {
+    Json V;
+    V.K = Kind::String;
+    V.S = std::move(S);
+    return V;
+  }
+  static Json array() {
+    Json V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Json object() {
+    Json V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::Uint || K == Kind::Double;
+  }
+
+  /// Scalar accessors with caller-chosen defaults: the spec-decoding
+  /// style is `V.get("seeds").asU64(50)`.
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  uint64_t asU64(uint64_t Default = 0) const;
+  int64_t asI64(int64_t Default = 0) const;
+  double asDouble(double Default = 0) const;
+  const std::string &asString() const { return S; }
+  std::string asString(const std::string &Default) const {
+    return K == Kind::String ? S : Default;
+  }
+
+  /// Array access.
+  const std::vector<Json> &items() const { return Items; }
+  Json &push(Json V) {
+    Items.push_back(std::move(V));
+    return Items.back();
+  }
+
+  /// Object access. get() returns a shared Null sentinel for a missing
+  /// key, so lookups chain without null checks: get("a").get("b").asU64().
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+  const Json &get(std::string_view Key) const;
+  bool has(std::string_view Key) const;
+  /// Sets (replacing an existing key — render order keeps the FIRST
+  /// insertion's position, so re-setting is stable).
+  Json &set(std::string_view Key, Json V);
+
+  size_t size() const {
+    return K == Kind::Array ? Items.size() : Members.size();
+  }
+
+  bool operator==(const Json &) const = default;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  uint64_t U = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Json> Items;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+/// Parses \p Text into \p Out. \returns false on malformed input, with a
+/// diagnostic (including byte offset) in \p Error. Trailing
+/// non-whitespace after the top-level value is an error.
+bool parseJson(std::string_view Text, Json &Out, std::string &Error);
+
+/// Renders \p V compactly (no whitespace). Deterministic for a tree.
+std::string renderJson(const Json &V);
+
+/// Renders \p V with 2-space indentation — the on-disk spec/result
+/// format (diffable, git-friendly). Equally deterministic.
+std::string renderJsonPretty(const Json &V);
+
+/// Appends \p Text to \p Out with JSON string escaping, without quotes.
+void appendJsonEscaped(std::string &Out, std::string_view Text);
+
+} // namespace support
+} // namespace grs
+
+#endif // GRS_SUPPORT_JSON_H

@@ -1,0 +1,102 @@
+//===- svc/Store.h - Crash-consistent on-disk job store ---------*- C++ -*-===//
+//
+// Part of the gorace-study project: a C++ reproduction of "A Study of
+// Real-World Data Races in Golang" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep service's durable state: one directory per job,
+///
+///   <root>/job-000017/spec.json   — the admitted spec (atomic write)
+///   <root>/job-000017/slots.ckpt  — the slot journal (sweep/Checkpoint.h,
+///                                   crash-consistent by construction)
+///   <root>/job-000017/result.json — the terminal verdict (atomic write;
+///                                   its EXISTENCE is the terminal flag)
+///
+/// Everything the recovery scan needs is derivable from which files
+/// exist: spec without result = in flight (resume it, journal first),
+/// spec with result = terminal (serve it), neither = garbage (ignore).
+/// There is deliberately NO queue file, NO state field, NO write-ahead
+/// log: the journal already IS a write-ahead log for slot work, and a
+/// one-file state machine can't be torn by kill -9.
+///
+/// Atomic writes go tmp + fsync + rename + fsync(dir): after a crash a
+/// path either holds its complete old content or its complete new
+/// content, never a prefix. The tmp name is deterministic per path, so
+/// crashed leftovers are overwritten, not accumulated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRS_SVC_STORE_H
+#define GRS_SVC_STORE_H
+
+#include "svc/Job.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+namespace svc {
+
+/// The fixed file layout of one job.
+struct JobPaths {
+  std::string Dir;
+  std::string Spec;    ///< spec.json
+  std::string Journal; ///< slots.ckpt
+  std::string Result;  ///< result.json
+};
+
+class JobStore {
+public:
+  explicit JobStore(std::string Root) : Root(std::move(Root)) {}
+
+  /// Creates the root directory (parents included). \returns false with
+  /// a message when the filesystem refuses.
+  bool init(std::string &Error);
+
+  const std::string &root() const { return Root; }
+
+  /// "job-%06llu" — zero-padded so lexical order IS admission order and
+  /// the recovery scan re-enqueues in the order clients were admitted.
+  static std::string idForSequence(uint64_t Seq);
+
+  JobPaths paths(const std::string &Id) const;
+
+  /// Atomic whole-file replace (see file comment). Creates the job dir
+  /// if needed.
+  bool writeAtomic(const std::string &Path, const std::string &Bytes,
+                   std::string &Error) const;
+
+  /// Reads a whole file. \returns false when absent or unreadable.
+  static bool readFile(const std::string &Path, std::string &Out);
+  static bool exists(const std::string &Path);
+
+  /// One recovered job dir.
+  struct Recovered {
+    std::string Id;
+    JobSpec Spec;
+    bool Terminal = false;     ///< result.json exists
+    std::string ResultText;    ///< its content when Terminal
+    std::string SpecError;     ///< nonempty: spec.json present but rotten
+  };
+
+  /// Scans the root in id order. Dirs whose spec.json does not parse are
+  /// returned with SpecError set (the service fails them loudly rather
+  /// than silently skipping state it once accepted). \returns false only
+  /// when the root itself cannot be read.
+  bool recover(std::vector<Recovered> &Out, std::string &Error) const;
+
+  /// Highest sequence number among existing job dirs (0 when none) — the
+  /// restart continues the id sequence instead of colliding.
+  uint64_t maxSequence() const;
+
+private:
+  std::string Root;
+};
+
+} // namespace svc
+} // namespace grs
+
+#endif // GRS_SVC_STORE_H

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <string>
 #include <thread>
@@ -27,6 +28,9 @@
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
 #else
 #define GRS_HAVE_FORK 0
 #endif
@@ -48,11 +52,14 @@ namespace {
 // One anonymous MAP_SHARED mapping, created before any fork so every
 // worker inherits it:
 //
-//   [ PoolControl | WorkEntry[MaxEntries] | WorkerShared[W] | arenas[W] ]
+//   [ PoolControl | JobDesc[JobCap] | WorkEntry[EntryCap]
+//     | WorkerShared[W] | spec arena | result arenas[W] ]
 //
 // WorkEntry slots are append-only (never reused): a slot republished for
-// a retry gets a NEW entry, so MaxEntries = pending * MaxAttempts bounds
-// the ring and claim cursors never wrap.
+// a retry gets a NEW entry, so the claim cursors never wrap. When a job
+// would not fit in what remains of the entry ring / spec arena / job
+// table, the host recycles — retires the workers and remaps — instead
+// of ever reusing an index.
 //===----------------------------------------------------------------------===//
 
 /// Parent -> workers. Epoch is the eventcount idle workers sleep on: the
@@ -68,10 +75,20 @@ struct PoolControl {
   std::atomic<uint32_t> Epoch;     ///< bumped+woken on publish/shutdown
 };
 
+/// One job recipe, as data a worker can resolve after the fork already
+/// happened. Written by the parent BEFORE the job's first entry is
+/// published (the Published release store covers it).
+struct JobDesc {
+  uint64_t SpecOff; ///< into the spec arena
+  uint64_t SpecLen;
+  uint32_t Traced; ///< nonzero -> record and ship timeline chunks
+};
+
 /// One published slot assignment.
 struct WorkEntry {
   uint64_t Slot;     ///< written by the parent before publishing
   uint32_t Attempt;  ///< process-level first-attempt number for the run
+  uint32_t Job;      ///< index into the JobDesc table
   std::atomic<int32_t> Owner; ///< -1 free; else claiming worker's index
 };
 
@@ -88,20 +105,24 @@ constexpr size_t alignUp(size_t V, size_t A) { return (V + A - 1) & ~(A - 1); }
 /// shared cache lines between workers).
 struct ShmLayout {
   size_t ControlOff = 0;
+  size_t JobsOff = 0;
   size_t EntriesOff = 0;
   size_t WorkersOff = 0;
+  size_t SpecOff = 0;
   size_t ArenaOff = 0;
   size_t ArenaBytes = 0;
   size_t Total = 0;
 
-  static ShmLayout compute(size_t MaxEntries, unsigned Workers,
-                           size_t ArenaBytes) {
+  static ShmLayout compute(size_t JobCap, size_t EntryCap, unsigned Workers,
+                           size_t SpecBytes, size_t ArenaBytes) {
     ShmLayout L;
     L.ControlOff = 0;
-    L.EntriesOff = alignUp(sizeof(PoolControl), 64);
-    L.WorkersOff = alignUp(L.EntriesOff + MaxEntries * sizeof(WorkEntry), 64);
-    L.ArenaOff =
+    L.JobsOff = alignUp(sizeof(PoolControl), 64);
+    L.EntriesOff = alignUp(L.JobsOff + JobCap * sizeof(JobDesc), 64);
+    L.WorkersOff = alignUp(L.EntriesOff + EntryCap * sizeof(WorkEntry), 64);
+    L.SpecOff =
         alignUp(L.WorkersOff + Workers * alignUp(sizeof(WorkerShared), 64), 64);
+    L.ArenaOff = alignUp(L.SpecOff + SpecBytes, 64);
     L.ArenaBytes = ArenaBytes;
     L.Total = L.ArenaOff + Workers * ArenaBytes;
     return L;
@@ -110,6 +131,9 @@ struct ShmLayout {
   PoolControl *control(uint8_t *Base) const {
     return reinterpret_cast<PoolControl *>(Base + ControlOff);
   }
+  JobDesc *job(uint8_t *Base, size_t I) const {
+    return reinterpret_cast<JobDesc *>(Base + JobsOff) + I;
+  }
   WorkEntry *entries(uint8_t *Base) const {
     return reinterpret_cast<WorkEntry *>(Base + EntriesOff);
   }
@@ -117,6 +141,7 @@ struct ShmLayout {
     return reinterpret_cast<WorkerShared *>(
         Base + WorkersOff + I * alignUp(sizeof(WorkerShared), 64));
   }
+  uint8_t *spec(uint8_t *Base) const { return Base + SpecOff; }
   uint8_t *arena(uint8_t *Base, unsigned I) const {
     return Base + ArenaOff + I * ArenaBytes;
   }
@@ -131,18 +156,26 @@ void setLimit(int Resource, uint64_t Value) {
   setrlimit(Resource, &RL);
 }
 
+/// Exit code for a worker whose resolver rejected the published spec
+/// bytes — a parent/worker disagreement that should be impossible (the
+/// parent resolved the same bytes before publishing). Distinct from
+/// inject::OomExitCode; classified PartialExit, so the attempt budget
+/// bounds the damage.
+constexpr int SpecResolveExitCode = 96;
+
 //===----------------------------------------------------------------------===//
 // Worker (child side)
 //===----------------------------------------------------------------------===//
 
 struct WorkerCtx {
-  const PoolOptions *Opts;
+  const PoolHostOptions *Opts;
   ShmLayout Layout;
   uint8_t *Shm;
   unsigned Index;
   int DoorbellFd; ///< write end; O_NONBLOCK (a full doorbell is still rung)
   bool UseFutex;
   bool SkipRlimitAs; ///< cgroup memory.max replaces RLIMIT_AS
+  pid_t HostPid;     ///< pre-fork getpid() of the host, for PDEATHSIG
 };
 
 /// Doorbell: one byte per arena advance. EAGAIN means the pipe already
@@ -154,15 +187,28 @@ void ringDoorbell(void *Arg) {
   (void)!write(Fd, &B, 1);
 }
 
-/// The pool worker: claim a published entry, run it through the SAME
+/// The pool worker: claim a published entry, resolve its job's recipe
+/// (cached until the job index changes), run it through the SAME
 /// runResilientSlot the in-process executor uses, frame the record (and
 /// traced timeline delta) into the shm arena, repeat until shutdown.
 /// Never returns; never calls exit() (inherited stdio buffers must not
-/// be flushed twice).
+/// be flushed twice). Opens NOTHING: every fd it touches was pre-opened
+/// by the parent — which is what lets DenyFileOpens drop open/openat
+/// from the seccomp surface entirely.
 [[noreturn]] void workerMain(const WorkerCtx &Ctx) {
   rt::prepareChildAfterFork();
   // The doorbell write must surface EPIPE, not kill the worker.
   signal(SIGPIPE, SIG_IGN);
+#if defined(__linux__)
+  // A worker without its host is garbage: if the host is SIGKILLed (the
+  // service's crash-recovery battery does exactly this), die with it
+  // instead of blocking forever on an eventcount nobody will ever bump.
+  // The prctl/getppid pair closes the fork-vs-death race: a host that
+  // died before the prctl armed leaves us reparented, and we exit now.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (getppid() != Ctx.HostPid)
+    _exit(0);
+#endif
   inject::enterSandbox();
   if (!Ctx.SkipRlimitAs)
     setLimit(RLIMIT_AS, Ctx.Opts->RlimitAsBytes);
@@ -176,28 +222,26 @@ void ringDoorbell(void *Arg) {
   WorkEntry *Entries = Ctx.Layout.entries(Ctx.Shm);
   WorkerShared *WS = Ctx.Layout.worker(Ctx.Shm, Ctx.Index);
   uint8_t *Arena = Ctx.Layout.arena(Ctx.Shm, Ctx.Index);
+  const uint8_t *SpecArena = Ctx.Layout.spec(Ctx.Shm);
   size_t Capacity = Ctx.Layout.ArenaBytes;
   int Doorbell = Ctx.DoorbellFd;
 
   // Optional hardening, applied LAST in the setup sequence (it may deny
   // syscalls the setup itself needs). The achieved tier is reported
   // through shared memory — no syscall required to tell the parent.
-  SandboxTier Tier = applyWorkerSandbox(Ctx.Opts->EnableSeccomp,
-                                        Ctx.Opts->EnableLandlock);
+  SandboxTier Tier =
+      applyWorkerSandbox(Ctx.Opts->EnableSeccomp, Ctx.Opts->EnableLandlock,
+                         Ctx.Opts->DenyFileOpens);
   WS->AppliedTier.store(static_cast<uint32_t>(Tier) + 1,
                         std::memory_order_release);
 
-  // Parent-owned machinery inherited across fork() stays with the
-  // parent; the worker reports ONLY through the arena.
-  bool Traced = Ctx.Opts->Base.Timeline != nullptr;
-  ResilientOptions Base = Ctx.Opts->Base;
-  Base.Metrics = nullptr;
-  Base.Run.Metrics = nullptr;
-  Base.Run.TimelineTrack = nullptr;
-  Base.Timeline = nullptr;
-  Base.CheckpointPath.clear();
-  obs::Timeline ChildTimeline(Traced);
-  obs::TimelineTrack *Track = Traced ? ChildTimeline.track("worker") : nullptr;
+  // Per-job recipe cache. Resolved from spec bytes on first claim of a
+  // new job index; the resolver itself crossed at fork time (it was
+  // fixed at host construction).
+  int64_t CurJob = -1;
+  ResilientOptions Base;
+  std::unique_ptr<obs::Timeline> ChildTimeline;
+  obs::TimelineTrack *Track = nullptr;
 
   std::vector<uint8_t> Frame;
   for (;;) {
@@ -228,6 +272,28 @@ void ringDoorbell(void *Arg) {
                                            std::memory_order_acq_rel);
     if (!Claimed)
       continue;
+
+    if (static_cast<int64_t>(E.Job) != CurJob) {
+      const JobDesc *JD = Ctx.Layout.job(Ctx.Shm, E.Job);
+      Base = ResilientOptions();
+      if (!Ctx.Opts->Resolve ||
+          !Ctx.Opts->Resolve(SpecArena + JD->SpecOff,
+                             static_cast<size_t>(JD->SpecLen), Base))
+        _exit(SpecResolveExitCode);
+      // Parent-owned machinery never crosses the fork; the worker
+      // reports ONLY through the arena.
+      Base.Metrics = nullptr;
+      Base.Run.Metrics = nullptr;
+      Base.Run.TimelineTrack = nullptr;
+      Base.Timeline = nullptr;
+      Base.CheckpointPath.clear();
+      Base.Resume = false;
+      Base.CancelFlag = nullptr;
+      Base.OnSlotDone = nullptr;
+      ChildTimeline = std::make_unique<obs::Timeline>(JD->Traced != 0);
+      Track = JD->Traced ? ChildTimeline->track("worker") : nullptr;
+      CurJob = static_cast<int64_t>(E.Job);
+    }
 
     SlotRecord R = runResilientSlot(Base, E.Slot, E.Attempt, Track);
     Frame.clear();
@@ -277,118 +343,268 @@ struct PubEntry {
 
 } // namespace
 
+#endif // GRS_HAVE_FORK
+
 //===----------------------------------------------------------------------===//
-// pooled()
+// PoolHost
 //===----------------------------------------------------------------------===//
 
-PoolResult sweep::pooled(const PoolOptions &Opts) {
-  using Clock = std::chrono::steady_clock;
+struct PoolHost::Impl {
+  PoolHostOptions Opts;
+  PoolHostStats Host;
+  unsigned Workers = 1;
+  bool UseFutex = false;
+#if GRS_HAVE_FORK
+  support::ShmRegion Shm;
+  ShmLayout Layout;
+  bool Mapped = false;
+  size_t EntryCap = 0;
+  size_t SpecCap = 0;
+  size_t JobCap = 0;
+  uint32_t JobCount = 0;
+  size_t SpecUsed = 0;
+  std::vector<PubEntry> Pub; ///< mirror of every published entry
+  std::vector<WorkerSup> Sup;
+  CgroupMemory Cg;
+
+  /// Drops the mapping and every per-mapping structure. Callers must
+  /// have retired (or killed and reaped) the workers first.
+  void resetMapping() {
+    Cg.teardown();
+    Shm.unmap();
+    Mapped = false;
+    JobCount = 0;
+    SpecUsed = 0;
+    Pub.clear();
+    Sup.clear();
+  }
+
+  /// Orderly worker retirement: wake everyone into the Shutdown check,
+  /// give a grace window, then SIGKILL stragglers. Teardown deaths are
+  /// not deaths — no job is in flight when this runs.
+  void retireWorkers() {
+    using Clock = std::chrono::steady_clock;
+    if (!Mapped)
+      return;
+    uint8_t *Base = Shm.data();
+    PoolControl *Control = Layout.control(Base);
+    Control->Shutdown.store(1, std::memory_order_release);
+    Control->Epoch.fetch_add(1, std::memory_order_release);
+    support::wakeU32(&Control->Epoch, UINT32_MAX, UseFutex);
+    for (unsigned W = 0; W < Sup.size(); ++W)
+      support::wakeU32(&Layout.worker(Base, W)->Ring.ConsumedW, UINT32_MAX,
+                       UseFutex);
+    Clock::time_point Grace = Clock::now() + std::chrono::seconds(2);
+    for (WorkerSup &S : Sup) {
+      if (!S.Alive)
+        continue;
+      int Status = 0;
+      for (;;) {
+        pid_t R = waitpid(S.Pid, &Status, WNOHANG);
+        if (R == S.Pid || (R < 0 && errno != EINTR))
+          break;
+        if (Clock::now() >= Grace) {
+          kill(S.Pid, SIGKILL);
+          while (waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR)
+            ;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (S.DoorR >= 0)
+        close(S.DoorR);
+      S.DoorR = -1;
+      S.Alive = false;
+    }
+  }
+
+  /// Makes the mapping able to take a job needing \p NeedEntries ring
+  /// entries and \p NeedSpec spec bytes, recycling (retire + remap) when
+  /// the append-only structures cannot fit it. \returns false only when
+  /// mmap itself refuses.
+  bool ensureCapacity(size_t NeedEntries, size_t NeedSpec) {
+    if (Mapped) {
+      uint32_t Published =
+          Layout.control(Shm.data())->Published.load(std::memory_order_relaxed);
+      bool Fits = JobCount < JobCap &&
+                  Published + NeedEntries <= EntryCap &&
+                  SpecUsed + NeedSpec <= SpecCap;
+      if (!Fits) {
+        retireWorkers();
+        resetMapping();
+        ++Host.Recycles;
+      }
+    }
+    if (Mapped)
+      return true;
+    EntryCap = std::max<size_t>(std::max<size_t>(Opts.RingEntries, 1),
+                                NeedEntries);
+    SpecCap = std::max<size_t>(std::max<uint64_t>(Opts.SpecArenaBytes, 8),
+                               NeedSpec);
+    JobCap = std::max<uint32_t>(Opts.MaxJobs, 1);
+    size_t ArenaBytes = std::max<uint64_t>(Opts.ArenaBytes, 256);
+    Layout = ShmLayout::compute(JobCap, EntryCap, Workers, SpecCap,
+                                ArenaBytes);
+    if (!Shm.map(Layout.Total))
+      return false;
+    uint8_t *Base = Shm.data();
+    new (Layout.control(Base)) PoolControl{};
+    WorkEntry *Entries = Layout.entries(Base);
+    for (size_t I = 0; I < EntryCap; ++I) {
+      Entries[I].Slot = 0;
+      Entries[I].Attempt = 1;
+      Entries[I].Job = 0;
+      new (&Entries[I].Owner) std::atomic<int32_t>(-1);
+    }
+    for (unsigned I = 0; I < Workers; ++I)
+      new (Layout.worker(Base, I)) WorkerShared{};
+    Sup.clear();
+    Sup.resize(Workers);
+    Pub.clear();
+    Pub.reserve(EntryCap);
+    JobCount = 0;
+    SpecUsed = 0;
+    Mapped = true;
+    // cgroup memory accounting (opt-in; transparent fallback), one
+    // cgroup set per mapping generation.
+    if (Opts.UseCgroupMemory)
+      Cg.setup(Workers, Opts.RlimitAsBytes);
+    return true;
+  }
+#endif // GRS_HAVE_FORK
+};
+
+PoolHost::PoolHost(PoolHostOptions Opts) : M(std::make_unique<Impl>()) {
+  M->Opts = std::move(Opts);
+  unsigned W = M->Opts.Workers ? M->Opts.Workers
+                               : std::thread::hardware_concurrency();
+  M->Workers = W ? W : 1;
+  M->UseFutex = !M->Opts.ForceNoFutex && support::futexAvailable();
+}
+
+PoolHost::~PoolHost() { shutdown(); }
+
+void PoolHost::shutdown() {
+#if GRS_HAVE_FORK
+  if (M->Mapped) {
+    M->retireWorkers();
+    M->resetMapping();
+  }
+#endif
+}
+
+const PoolHostStats &PoolHost::hostStats() const { return M->Host; }
+
+PoolResult PoolHost::run(const PoolRunRequest &Req) {
   PoolResult Result;
   PoolStats &Stats = Result.Stats;
+  Impl &I = *M;
+
+  //===--------------------------------------------------------------------===//
+  // Resolve the recipe parent-side: checkpoint meta, degradation rungs,
+  // and the in-process rescue paths all need it. Workers resolve the
+  // same bytes independently on their side of the fork.
+  //===--------------------------------------------------------------------===//
+  ResilientOptions Base;
+  if (!I.Opts.Resolve ||
+      !I.Opts.Resolve(Req.Spec.data(), Req.Spec.size(), Base)) {
+    Result.Res.CheckpointError = "job spec resolution failed";
+    return Result;
+  }
+  Base.Metrics = Req.Metrics;
+  Base.Timeline = Req.Timeline;
+  Base.CheckpointPath = Req.CheckpointPath;
+  Base.Resume = Req.Resume;
+  Base.CancelFlag = Req.CancelFlag;
+  Base.OnSlotDone = Req.OnSlotDone;
 
   //===--------------------------------------------------------------------===//
   // Degradation rungs
   //===--------------------------------------------------------------------===//
-  if (Opts.ForceForkFree || !forkAvailable()) {
-    Result.Res = resilient(Opts.Base);
+  bool WantPool = !(I.Opts.ForceForkFree || !forkAvailable()) &&
+                  !(I.Opts.ForceNoShm || !support::shmAvailable());
+  bool RanRung = false;
+  if (I.Opts.ForceForkFree || !forkAvailable()) {
+    Result.Res = resilient(Base);
     Stats.ForkFree = true;
-  } else if (Opts.ForceNoShm || !support::shmAvailable()) {
-    // Fork works but shared memory does not: run the pipe-based
-    // executor. Same slot code, same merge, same journals.
-    IsolatedOptions IO;
-    IO.Base = Opts.Base;
-    IO.RlimitAsBytes = Opts.RlimitAsBytes;
-    IO.RlimitCpuSeconds = Opts.RlimitCpuSeconds;
-    IO.RlimitStackBytes = Opts.RlimitStackBytes;
-    IO.ChildStallMillis = Opts.WorkerStallMillis;
-    IsolatedResult IR = isolated(IO);
-    Result.Res = std::move(IR.Res);
-    Stats.FellBackToIsolated = true;
-    Stats.WorkerSpawns = IR.ChildSpawns;
-    Stats.Respawns = IR.Respawns;
-    Stats.SupervisorKills = IR.SupervisorKills;
-    Stats.TimelineChunks = IR.TimelineChunks;
-    Stats.ForkFree = IR.ForkFree;
-    for (size_t C = 0; C < NumFaultClasses; ++C)
-      Stats.DeathsByClass[C] = IR.DeathsByClass[C];
-  } else {
-    //===------------------------------------------------------------------===//
-    // The real pool
-    //===------------------------------------------------------------------===//
-    bool UseFutex = !Opts.ForceNoFutex && support::futexAvailable();
-    Stats.FutexSignalled = UseFutex;
-    uint32_t MaxAttempts = Opts.Base.MaxAttempts ? Opts.Base.MaxAttempts : 1;
+    Stats.Cancelled = Result.Res.UnfinishedSlots != 0;
+    RanRung = true;
+  }
 
-    size_t N = static_cast<size_t>(Opts.Base.NumSeeds);
+#if GRS_HAVE_FORK
+  if (WantPool) {
+    using Clock = std::chrono::steady_clock;
+    bool UseFutex = I.UseFutex;
+    Stats.FutexSignalled = UseFutex;
+    uint32_t MaxAttempts = Base.MaxAttempts ? Base.MaxAttempts : 1;
+
+    size_t N = static_cast<size_t>(Base.NumSeeds);
     std::vector<SlotRecord> Slots(N);
     std::vector<uint8_t> Done(N, 0);
     CheckpointWriter Writer;
-    openResilientCheckpoint(Opts.Base, Writer, Slots, Done, Result.Res);
+    openResilientCheckpoint(Base, Writer, Slots, Done, Result.Res);
 
     std::vector<uint64_t> Pending;
-    for (size_t I = 0; I < N; ++I)
-      if (!Done[I])
-        Pending.push_back(I);
+    for (size_t S = 0; S < N; ++S)
+      if (!Done[S])
+        Pending.push_back(S);
 
-    unsigned Workers = Opts.Base.Threads ? Opts.Base.Threads
-                                         : std::thread::hardware_concurrency();
-    if (Workers == 0)
-      Workers = 1;
-    if (Workers > Pending.size())
-      Workers = static_cast<unsigned>(Pending.empty() ? 1 : Pending.size());
+    bool Cancelled =
+        Req.CancelFlag && Req.CancelFlag->load(std::memory_order_relaxed);
 
-    size_t MaxEntries = std::max<size_t>(
+    size_t NeedEntries = std::max<size_t>(
         1, Pending.size() * static_cast<size_t>(MaxAttempts));
-    size_t ArenaBytes = std::max<uint64_t>(Opts.ArenaBytes, 256);
-    ShmLayout Layout =
-        ShmLayout::compute(MaxEntries, Workers, static_cast<size_t>(ArenaBytes));
-
-    support::ShmRegion Shm;
-    if (!Pending.empty() && !Shm.map(Layout.Total)) {
-      // mmap refused at this size: same rung as no-shm, minus the probe.
-      PoolOptions Fallback = Opts;
-      Fallback.ForceNoShm = true;
-      return pooled(Fallback);
+    size_t NeedSpec = alignUp(std::max<size_t>(Req.Spec.size(), 1), 8);
+    bool PoolReady = Pending.empty() || Cancelled ||
+                     I.ensureCapacity(NeedEntries, NeedSpec);
+    if (!PoolReady) {
+      // mmap refused at this size: same rung as no-shm, minus the
+      // probe. Abandon the journal handle first; isolated() reopens it.
+      Writer.close();
+      WantPool = false;
     }
 
-    if (!Pending.empty()) {
-      uint8_t *Base = Shm.data();
-      PoolControl *Control = new (Layout.control(Base)) PoolControl{};
-      WorkEntry *Entries = Layout.entries(Base);
-      for (size_t I = 0; I < MaxEntries; ++I) {
-        Entries[I].Slot = 0;
-        Entries[I].Attempt = 1;
-        new (&Entries[I].Owner) std::atomic<int32_t>(-1);
-      }
-      for (unsigned I = 0; I < Workers; ++I)
-        new (Layout.worker(Base, I)) WorkerShared{};
-
-      // cgroup memory accounting (opt-in; transparent fallback).
-      CgroupMemory Cg;
-      if (Opts.UseCgroupMemory)
-        Cg.setup(Workers, Opts.RlimitAsBytes);
-      Stats.CgroupMemory = Cg.active();
+    if (PoolReady && !Pending.empty() && !Cancelled) {
+      ++I.Host.JobsRun;
+      Stats.CgroupMemory = I.Cg.active();
+      uint8_t *ShmBase = I.Shm.data();
+      PoolControl *Control = I.Layout.control(ShmBase);
+      WorkEntry *Entries = I.Layout.entries(ShmBase);
 
       //===----------------------------------------------------------------===//
-      // Parent-side bookkeeping
+      // Register the job: spec bytes into the arena, descriptor into the
+      // table. The first Published release-store covers both.
       //===----------------------------------------------------------------===//
-      std::vector<PubEntry> Pub;
-      Pub.reserve(MaxEntries);
+      uint32_t JobIdx = I.JobCount++;
+      JobDesc *JD = I.Layout.job(ShmBase, JobIdx);
+      if (!Req.Spec.empty())
+        std::memcpy(I.Layout.spec(ShmBase) + I.SpecUsed, Req.Spec.data(),
+                    Req.Spec.size());
+      JD->SpecOff = I.SpecUsed;
+      JD->SpecLen = Req.Spec.size();
+      JD->Traced = Req.Timeline ? 1 : 0;
+      I.SpecUsed += NeedSpec;
+
+      //===----------------------------------------------------------------===//
+      // Per-run bookkeeping
+      //===----------------------------------------------------------------===//
+      const uint32_t RunStart =
+          Control->Published.load(std::memory_order_relaxed);
       std::vector<int64_t> EntryOfSlot(N, -1); // slot -> live entry index
       std::vector<uint32_t> DeathsOfSlot(N, 0);
-      std::vector<WorkerSup> Sup(Workers);
       size_t Resolved = 0;
       const size_t Total = Pending.size();
       uint32_t RespawnStreak = 0;
       Clock::time_point RespawnReady = Clock::now();
       bool RespawnWaiting = false;
+      unsigned Seats = static_cast<unsigned>(
+          std::min<size_t>(I.Workers, std::max<size_t>(Total, 1)));
 
       obs::TimelineTrack *Track =
-          Opts.Base.Timeline ? Opts.Base.Timeline->track("pool-supervisor")
-                             : nullptr;
+          Req.Timeline ? Req.Timeline->track("pool-supervisor") : nullptr;
       obs::TimelineScope PoolSpan =
           Track ? obs::TimelineScope(Track, "pool",
-                                     "\"workers\":" + std::to_string(Workers) +
+                                     "\"workers\":" + std::to_string(Seats) +
                                          ",\"slots\":" + std::to_string(Total))
                 : obs::TimelineScope();
 
@@ -402,9 +618,11 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
         if (Writer.isOpen() && !Writer.append(R))
           Result.Res.CheckpointError =
               "journal append failed; checkpointing stopped";
+        if (Req.OnSlotDone)
+          Req.OnSlotDone(R);
         Slots[S] = std::move(R);
         if (EntryOfSlot[S] >= 0)
-          Pub[static_cast<size_t>(EntryOfSlot[S])].Resolved = true;
+          I.Pub[static_cast<size_t>(EntryOfSlot[S])].Resolved = true;
         ++Resolved;
         RespawnStreak = 0;
         RespawnWaiting = false;
@@ -413,13 +631,14 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
 
       auto Publish = [&](uint64_t Slot, uint32_t Attempt) {
         uint32_t Idx = Control->Published.load(std::memory_order_relaxed);
-        // MaxEntries bounds published work by construction; a slot is
-        // published at most MaxAttempts times.
+        // ensureCapacity bounded published work by construction; a slot
+        // is published at most MaxAttempts times.
         WorkEntry &E = Entries[Idx];
         E.Slot = Slot;
         E.Attempt = Attempt;
+        E.Job = JobIdx;
         E.Owner.store(-1, std::memory_order_relaxed);
-        Pub.push_back({Slot, Attempt, false});
+        I.Pub.push_back({Slot, Attempt, false});
         EntryOfSlot[Slot] = static_cast<int64_t>(Idx);
         Control->Published.store(Idx + 1, std::memory_order_release);
         Control->Epoch.fetch_add(1, std::memory_order_release);
@@ -427,12 +646,13 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
       };
 
       auto Spawn = [&](unsigned W) -> bool {
-        WorkerSup &S = Sup[W];
+        WorkerSup &S = I.Sup[W];
+        pid_t HostPid = getpid();
         // Fresh doorbell per spawn: created after every other live
         // worker forked, so no sibling can inherit (and hold open) its
         // write end — POLLHUP on death stays reliable.
         int Fds[2] = {-1, -1};
-        WorkerShared *WS = Layout.worker(Base, W);
+        WorkerShared *WS = I.Layout.worker(ShmBase, W);
         // The dead predecessor's stream is gone: drop any partial tail
         // and restart the ring at zero (no concurrent producer exists).
         WS->Ring.Produced.store(0, std::memory_order_relaxed);
@@ -451,17 +671,18 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
           if (Pid == 0) {
             close(Fds[0]);
             // Doorbell read ends of other workers belong to the parent.
-            for (unsigned J = 0; J < Workers; ++J)
-              if (J != W && Sup[J].DoorR >= 0)
-                close(Sup[J].DoorR);
+            for (unsigned J = 0; J < I.Workers; ++J)
+              if (J != W && I.Sup[J].DoorR >= 0)
+                close(I.Sup[J].DoorR);
             WorkerCtx Ctx;
-            Ctx.Opts = &Opts;
-            Ctx.Layout = Layout;
-            Ctx.Shm = Base;
+            Ctx.Opts = &I.Opts;
+            Ctx.Layout = I.Layout;
+            Ctx.Shm = ShmBase;
             Ctx.Index = W;
             Ctx.DoorbellFd = Fds[1];
             Ctx.UseFutex = UseFutex;
-            Ctx.SkipRlimitAs = Cg.active();
+            Ctx.SkipRlimitAs = I.Cg.active();
+            Ctx.HostPid = HostPid;
             workerMain(Ctx);
           }
           close(Fds[1]);
@@ -470,9 +691,9 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
             return false;
           }
         }
-        if (Cg.active()) {
-          Cg.attach(W, Pid);
-          uint64_t Kills = Cg.oomKills(W);
+        if (I.Cg.active()) {
+          I.Cg.attach(W, Pid);
+          uint64_t Kills = I.Cg.oomKills(W);
           S.OomKillBase = Kills == UINT64_MAX ? 0 : Kills;
         }
         S.Pid = Pid;
@@ -482,6 +703,7 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
         S.LastProgress = Clock::now();
         S.ObservedEntry = -1;
         ++Stats.WorkerSpawns;
+        ++I.Host.TotalSpawns;
         if (Track)
           Track->instant("spawn", "\"worker\":" + std::to_string(W) +
                                       ",\"pid\":" + std::to_string(Pid));
@@ -492,11 +714,12 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
       /// \returns false on a corrupt stream.
       std::vector<uint8_t> DrainBuf;
       auto DrainWorker = [&](unsigned W) -> bool {
-        WorkerSup &S = Sup[W];
-        WorkerShared *WS = Layout.worker(Base, W);
+        WorkerSup &S = I.Sup[W];
+        WorkerShared *WS = I.Layout.worker(ShmBase, W);
         DrainBuf.clear();
-        size_t Got = support::shmRingDrain(WS->Ring, Layout.arena(Base, W),
-                                           Layout.ArenaBytes, DrainBuf,
+        size_t Got = support::shmRingDrain(WS->Ring,
+                                           I.Layout.arena(ShmBase, W),
+                                           I.Layout.ArenaBytes, DrainBuf,
                                            UseFutex);
         if (Got == 0)
           return true;
@@ -513,7 +736,7 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
             return false;
           if (Kind == FrameKind::TimelineChunk) {
             size_t ChunkPos = 0;
-            obs::Timeline *Tl = Opts.Base.Timeline;
+            obs::Timeline *Tl = Req.Timeline;
             if (!Tl ||
                 !Tl->adoptTrackChunk(Payload, Len, ChunkPos,
                                      static_cast<uint32_t>(S.Pid), "") ||
@@ -537,7 +760,7 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
       /// salvage the arena, classify, charge the victim slot, maybe
       /// quarantine or republish.
       auto HandleDeath = [&](unsigned W, bool Reaped, int ReapedStatus) {
-        WorkerSup &S = Sup[W];
+        WorkerSup &S = I.Sup[W];
         // Salvage BEFORE classification: complete frames committed
         // below the Produced cursor are real results; only the partial
         // tail (a frame the worker died mid-write) is discarded.
@@ -556,14 +779,15 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
         // Find the victim: the (at most one) unresolved entry this
         // worker owned. A worker claims entry K+1 only after fully
         // committing entry K's frames, so after the salvage drain at
-        // most one owned entry can lack a record.
+        // most one owned entry can lack a record. Entries before this
+        // run's window were all resolved when their runs ended.
         int64_t Victim = -1;
         uint32_t Published = Control->Published.load(std::memory_order_acquire);
-        for (uint32_t I = 0; I < Published; ++I) {
-          if (Entries[I].Owner.load(std::memory_order_acquire) ==
+        for (uint32_t E = RunStart; E < Published; ++E) {
+          if (Entries[E].Owner.load(std::memory_order_acquire) ==
                   static_cast<int32_t>(W) &&
-              !Pub[I].Resolved) {
-            Victim = static_cast<int64_t>(I);
+              !I.Pub[E].Resolved) {
+            Victim = static_cast<int64_t>(E);
             break;
           }
         }
@@ -579,7 +803,7 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
             WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL) {
           // Real memory accounting: an external SIGKILL is the kernel
           // OOM killer only if this worker's cgroup says so.
-          uint64_t Kills = Cg.oomKills(W);
+          uint64_t Kills = I.Cg.oomKills(W);
           if (Kills != UINT64_MAX && Kills <= S.OomKillBase)
             D = {FaultClass::Signal,
                  "child killed by signal " + std::to_string(SIGKILL)};
@@ -593,17 +817,17 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
                              faultClassName(D.Class) + "\"");
         if (Victim < 0)
           return; // death between slots: no record was in flight
-        PubEntry &V = Pub[static_cast<size_t>(Victim)];
+        PubEntry &V = I.Pub[static_cast<size_t>(Victim)];
         uint64_t Slot = V.Slot;
         uint32_t Used = V.Attempt;
         V.Resolved = true; // this entry is spent either way
         ++DeathsOfSlot[Slot];
-        bool Poisoned = Opts.PoisonWorkerDeaths &&
-                        DeathsOfSlot[Slot] >= Opts.PoisonWorkerDeaths;
+        bool Poisoned = I.Opts.PoisonWorkerDeaths &&
+                        DeathsOfSlot[Slot] >= I.Opts.PoisonWorkerDeaths;
         if (Used >= MaxAttempts || Poisoned) {
           SlotRecord Q;
           Q.Slot = Slot;
-          Q.Seed = Opts.Base.FirstSeed + Slot;
+          Q.Seed = Base.FirstSeed + Slot;
           Q.Attempts = Used;
           Q.Quarantined = true;
           Q.Fault = D.Class;
@@ -619,40 +843,56 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
       };
 
       //===----------------------------------------------------------------===//
-      // Fill the work ring, spawn the pool, supervise to completion
+      // Fill the work ring, top up the pool, supervise to completion.
+      // A warm host re-enters here with its workers already alive and
+      // asleep on the epoch: the Publish wakes them and nothing forks.
       //===----------------------------------------------------------------===//
       for (uint64_t Slot : Pending)
         Publish(Slot, 1);
-      unsigned Spawned = 0;
-      for (unsigned W = 0; W < Workers; ++W)
-        if (Spawn(W))
-          ++Spawned;
-      if (Spawned == 0) {
+      unsigned Live = 0;
+      for (unsigned W = 0; W < I.Workers; ++W)
+        if (I.Sup[W].Alive)
+          ++Live;
+      for (unsigned W = 0; W < Seats && Live < Seats; ++W)
+        if (!I.Sup[W].Alive && Spawn(W))
+          ++Live;
+      if (Live == 0) {
         // Cannot fork at all right now: finish in-process rather than
         // losing the sweep (mirrors isolated's fork-failure fallback).
-        for (uint64_t Slot : Pending)
+        for (uint64_t Slot : Pending) {
+          if (Req.CancelFlag &&
+              Req.CancelFlag->load(std::memory_order_relaxed)) {
+            Cancelled = true;
+            break;
+          }
           if (!Done[Slot])
-            Deliver(runResilientSlot(Opts.Base, Slot, 1, Track));
+            Deliver(runResilientSlot(Base, Slot, 1, Track));
+        }
       }
 
       while (Resolved < Total) {
+        if (Req.CancelFlag &&
+            Req.CancelFlag->load(std::memory_order_relaxed)) {
+          Cancelled = true;
+          break;
+        }
         Clock::time_point Now = Clock::now();
         // Stall supervision: progress = a delivered record OR a claim
         // transition (a worker picking up new work resets its clock; a
         // worker with no owned unresolved entry is idle, never stalled).
-        if (Opts.WorkerStallMillis) {
-          for (unsigned W = 0; W < Workers; ++W) {
-            WorkerSup &S = Sup[W];
+        if (I.Opts.WorkerStallMillis) {
+          for (unsigned W = 0; W < I.Workers; ++W) {
+            WorkerSup &S = I.Sup[W];
             if (!S.Alive || S.KilledByUs)
               continue;
             int64_t Owned = -1;
             uint32_t Published =
                 Control->Published.load(std::memory_order_acquire);
-            for (uint32_t I = 0; I < Published; ++I)
-              if (Entries[I].Owner.load(std::memory_order_acquire) ==
+            for (uint32_t E = RunStart; E < Published; ++E)
+              if (Entries[E].Owner.load(std::memory_order_acquire) ==
                       static_cast<int32_t>(W) &&
-                  !Pub[I].Resolved)
-                Owned = static_cast<int64_t>(I);
+                  !I.Pub[E].Resolved)
+                Owned = static_cast<int64_t>(E);
             if (Owned != S.ObservedEntry) {
               S.ObservedEntry = Owned;
               S.LastProgress = Now;
@@ -663,7 +903,7 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
             auto Quiet = std::chrono::duration_cast<std::chrono::milliseconds>(
                              Now - S.LastProgress)
                              .count();
-            if (Quiet >= static_cast<int64_t>(Opts.WorkerStallMillis)) {
+            if (Quiet >= static_cast<int64_t>(I.Opts.WorkerStallMillis)) {
               kill(S.Pid, SIGKILL);
               S.KilledByUs = true;
               if (Track)
@@ -679,16 +919,16 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
         uint32_t Published = Control->Published.load(std::memory_order_acquire);
         bool UnclaimedWork = Claim < Published;
         unsigned LiveWorkers = 0;
-        for (unsigned W = 0; W < Workers; ++W)
-          if (Sup[W].Alive)
+        for (unsigned W = 0; W < I.Workers; ++W)
+          if (I.Sup[W].Alive)
             ++LiveWorkers;
-        if (UnclaimedWork && LiveWorkers < Workers) {
+        if (UnclaimedWork && LiveWorkers < Seats) {
           if (!RespawnWaiting && RespawnStreak > 0 &&
-              Opts.RespawnBackoffMicros) {
-            uint64_t Wait = Opts.RespawnBackoffMicros
+              I.Opts.RespawnBackoffMicros) {
+            uint64_t Wait = I.Opts.RespawnBackoffMicros
                             << std::min<uint32_t>(RespawnStreak - 1, 32);
-            Wait = std::min(Wait, Opts.RespawnBackoffMaxMicros
-                                      ? Opts.RespawnBackoffMaxMicros
+            Wait = std::min(Wait, I.Opts.RespawnBackoffMaxMicros
+                                      ? I.Opts.RespawnBackoffMaxMicros
                                       : Wait);
             RespawnReady = Now + std::chrono::microseconds(Wait);
             RespawnWaiting = true;
@@ -700,8 +940,8 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
           }
           if (!RespawnWaiting || Now >= RespawnReady) {
             RespawnWaiting = false;
-            for (unsigned W = 0; W < Workers; ++W)
-              if (!Sup[W].Alive) {
+            for (unsigned W = 0; W < I.Workers; ++W)
+              if (!I.Sup[W].Alive) {
                 if (Spawn(W)) {
                   ++Stats.Respawns;
                   ++RespawnStreak;
@@ -720,17 +960,17 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
           // instead of spinning forever.
           for (uint64_t Slot : Pending)
             if (!Done[Slot])
-              Deliver(runResilientSlot(Opts.Base, Slot, 1, Track));
+              Deliver(runResilientSlot(Base, Slot, 1, Track));
           break;
         }
 
         // Poll every live doorbell; timeout short enough to notice
-        // stalls and backoff expiries.
+        // stalls, backoff expiries, and cancellation.
         std::vector<struct pollfd> PFDs;
         std::vector<unsigned> PfdWorker;
-        for (unsigned W = 0; W < Workers; ++W)
-          if (Sup[W].Alive && Sup[W].DoorR >= 0) {
-            PFDs.push_back({Sup[W].DoorR, POLLIN, 0});
+        for (unsigned W = 0; W < I.Workers; ++W)
+          if (I.Sup[W].Alive && I.Sup[W].DoorR >= 0) {
+            PFDs.push_back({I.Sup[W].DoorR, POLLIN, 0});
             PfdWorker.push_back(W);
           }
         int TimeoutMs = 100;
@@ -751,12 +991,12 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
 
-        for (size_t I = 0; I < PFDs.size(); ++I) {
-          unsigned W = PfdWorker[I];
-          WorkerSup &S = Sup[W];
+        for (size_t P = 0; P < PFDs.size(); ++P) {
+          unsigned W = PfdWorker[P];
+          WorkerSup &S = I.Sup[W];
           if (!S.Alive)
             continue;
-          if (PFDs[I].revents & POLLIN) {
+          if (PFDs[P].revents & POLLIN) {
             uint8_t Junk[4096];
             while (read(S.DoorR, Junk, sizeof(Junk)) > 0)
               ;
@@ -768,77 +1008,124 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
               continue;
             }
           }
-          if (PFDs[I].revents & (POLLHUP | POLLERR))
+          if (PFDs[P].revents & (POLLHUP | POLLERR))
             HandleDeath(W, false, 0);
         }
         // Belt and braces: a worker that died without traffic on its
         // doorbell this pass (e.g. killed while idle) shows up here.
-        for (unsigned W = 0; W < Workers; ++W) {
-          if (!Sup[W].Alive)
+        for (unsigned W = 0; W < I.Workers; ++W) {
+          if (!I.Sup[W].Alive)
             continue;
           int Status = 0;
-          pid_t R = waitpid(Sup[W].Pid, &Status, WNOHANG);
-          if (R == Sup[W].Pid)
+          pid_t R = waitpid(I.Sup[W].Pid, &Status, WNOHANG);
+          if (R == I.Sup[W].Pid)
             HandleDeath(W, true, Status);
         }
       }
 
       //===----------------------------------------------------------------===//
-      // Orderly shutdown: wake everyone into the Shutdown check, give a
-      // grace window, then SIGKILL stragglers. Teardown deaths are not
-      // deaths — the work is done.
+      // Cancelled: SIGKILL the workers, reap, then salvage every frame
+      // committed before the kill into the journal — a cancelled run
+      // loses only uncommitted work. The mapping cannot be reused (ring
+      // entries for this job are still claimed), so reset it; the next
+      // run remaps and reforks. Teardown kills are not deaths.
       //===----------------------------------------------------------------===//
-      Control->Shutdown.store(1, std::memory_order_release);
-      Control->Epoch.fetch_add(1, std::memory_order_release);
-      support::wakeU32(&Control->Epoch, UINT32_MAX, UseFutex);
-      for (unsigned W = 0; W < Workers; ++W)
-        support::wakeU32(&Layout.worker(Base, W)->Ring.ConsumedW, UINT32_MAX,
-                         UseFutex);
-      Clock::time_point Grace = Clock::now() + std::chrono::seconds(2);
-      for (unsigned W = 0; W < Workers; ++W) {
-        WorkerSup &S = Sup[W];
-        if (!S.Alive)
-          continue;
-        int Status = 0;
-        for (;;) {
-          pid_t R = waitpid(S.Pid, &Status, WNOHANG);
-          if (R == S.Pid || (R < 0 && errno != EINTR))
-            break;
-          if (Clock::now() >= Grace) {
-            kill(S.Pid, SIGKILL);
-            while (waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR)
-              ;
-            break;
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (Cancelled) {
+        for (unsigned W = 0; W < I.Workers; ++W) {
+          WorkerSup &S = I.Sup[W];
+          if (!S.Alive)
+            continue;
+          kill(S.Pid, SIGKILL);
+          int Status = 0;
+          while (waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR)
+            ;
         }
-        if (S.DoorR >= 0)
-          close(S.DoorR);
-        S.Alive = false;
+        for (unsigned W = 0; W < I.Workers; ++W) {
+          WorkerSup &S = I.Sup[W];
+          if (S.Pid < 0)
+            continue;
+          (void)DrainWorker(W); // commit-cursor salvage; corruption just
+                                // ends that worker's stream early
+          if (S.DoorR >= 0)
+            close(S.DoorR);
+          S.DoorR = -1;
+          S.Alive = false;
+        }
+        Stats.Cancelled = true;
+        if (Track)
+          Track->instant("cancel", "\"resolved\":" + std::to_string(Resolved));
       }
+
       // Weakest tier any worker reported (unreported workers died
-      // before setup finished; they don't weaken the floor).
+      // before setup finished; they don't weaken the floor). Read
+      // before any reset unmaps the report words.
       uint32_t MinTier = UINT32_MAX;
-      for (unsigned W = 0; W < Workers; ++W) {
-        uint32_t T =
-            Layout.worker(Base, W)->AppliedTier.load(std::memory_order_acquire);
+      for (unsigned W = 0; W < I.Workers; ++W) {
+        uint32_t T = I.Layout.worker(ShmBase, W)
+                         ->AppliedTier.load(std::memory_order_acquire);
         if (T != 0)
           MinTier = std::min(MinTier, T - 1);
       }
       if (MinTier != UINT32_MAX)
         Stats.Tier = static_cast<SandboxTier>(MinTier);
-      Cg.teardown();
+
+      if (Cancelled) {
+        I.resetMapping();
+        ++I.Host.CancelTeardowns;
+      }
+    } else if (PoolReady && Cancelled) {
+      Stats.Cancelled = true;
     }
-    Writer.close();
-    mergeSlotRecords(Slots, Result.Res);
-    for (uint64_t Slot : Pending)
-      Result.Res.Retries += Slots[Slot].Attempts - 1;
+
+    if (WantPool) {
+      Writer.close();
+      for (size_t S = 0; S < N; ++S)
+        if (!Done[S])
+          ++Result.Res.UnfinishedSlots;
+      if (Result.Res.UnfinishedSlots == 0) {
+        mergeSlotRecords(Slots, Result.Res);
+      } else {
+        std::vector<SlotRecord> Finished;
+        Finished.reserve(N -
+                         static_cast<size_t>(Result.Res.UnfinishedSlots));
+        for (size_t S = 0; S < N; ++S)
+          if (Done[S])
+            Finished.push_back(Slots[S]);
+        mergeSlotRecords(Finished, Result.Res);
+      }
+      for (uint64_t Slot : Pending)
+        if (Done[Slot] && Slots[Slot].Attempts)
+          Result.Res.Retries += Slots[Slot].Attempts - 1;
+      RanRung = true;
+    }
+  }
+#endif // GRS_HAVE_FORK
+
+  if (!RanRung) {
+    // Fork works but shared memory does not (or mmap refused): run the
+    // pipe-based executor. Same slot code, same merge, same journals.
+    IsolatedOptions IO;
+    IO.Base = Base;
+    IO.RlimitAsBytes = I.Opts.RlimitAsBytes;
+    IO.RlimitCpuSeconds = I.Opts.RlimitCpuSeconds;
+    IO.RlimitStackBytes = I.Opts.RlimitStackBytes;
+    IO.ChildStallMillis = I.Opts.WorkerStallMillis;
+    IsolatedResult IR = isolated(IO);
+    Result.Res = std::move(IR.Res);
+    Stats.FellBackToIsolated = true;
+    Stats.WorkerSpawns = IR.ChildSpawns;
+    Stats.Respawns = IR.Respawns;
+    Stats.SupervisorKills = IR.SupervisorKills;
+    Stats.TimelineChunks = IR.TimelineChunks;
+    Stats.ForkFree = IR.ForkFree;
+    for (size_t C = 0; C < NumFaultClasses; ++C)
+      Stats.DeathsByClass[C] = IR.DeathsByClass[C];
   }
 
   //===--------------------------------------------------------------------===//
   // Instruments
   //===--------------------------------------------------------------------===//
-  if (obs::Registry *Reg = Opts.Base.Metrics) {
+  if (obs::Registry *Reg = Req.Metrics) {
     obs::inc(Reg->counter("grs_pool_worker_spawns_total"), Stats.WorkerSpawns);
     obs::inc(Reg->counter("grs_pool_respawns_total"), Stats.Respawns);
     obs::inc(Reg->counter("grs_pool_supervisor_kills_total"),
@@ -866,19 +1153,61 @@ PoolResult sweep::pooled(const PoolOptions &Opts) {
     obs::set(Reg->gauge("grs_pool_fork_free"), Stats.ForkFree ? 1.0 : 0.0);
     obs::set(Reg->gauge("grs_pool_fell_back_isolated"),
              Stats.FellBackToIsolated ? 1.0 : 0.0);
+    obs::set(Reg->gauge("grs_pool_recycles"),
+             static_cast<double>(I.Host.Recycles));
   }
   return Result;
 }
 
-#else // !GRS_HAVE_FORK
+//===----------------------------------------------------------------------===//
+// pooled(): the one-shot wrapper
+//===----------------------------------------------------------------------===//
 
 PoolResult sweep::pooled(const PoolOptions &Opts) {
-  PoolResult Result;
-  Result.Res = resilient(Opts.Base);
-  Result.Stats.ForkFree = true;
-  if (obs::Registry *Reg = Opts.Base.Metrics)
-    obs::set(Reg->gauge("grs_pool_fork_free"), 1.0);
-  return Result;
-}
+  PoolHostOptions H;
+  H.Workers = Opts.Base.Threads;
+  H.ArenaBytes = Opts.ArenaBytes;
+  H.RlimitAsBytes = Opts.RlimitAsBytes;
+  H.RlimitCpuSeconds = Opts.RlimitCpuSeconds;
+  H.RlimitStackBytes = Opts.RlimitStackBytes;
+  H.WorkerStallMillis = Opts.WorkerStallMillis;
+  H.PoisonWorkerDeaths = Opts.PoisonWorkerDeaths;
+  H.RespawnBackoffMicros = Opts.RespawnBackoffMicros;
+  H.RespawnBackoffMaxMicros = Opts.RespawnBackoffMaxMicros;
+  H.EnableSeccomp = Opts.EnableSeccomp;
+  H.EnableLandlock = Opts.EnableLandlock;
+  H.DenyFileOpens = Opts.DenyFileOpens;
+  H.UseCgroupMemory = Opts.UseCgroupMemory;
+  H.ForceForkFree = Opts.ForceForkFree;
+  H.ForceNoShm = Opts.ForceNoShm;
+  H.ForceNoFutex = Opts.ForceNoFutex;
+  // Single job: size the mapping to it exactly.
+  H.RingEntries = 1;
+  H.SpecArenaBytes = 8;
+  H.MaxJobs = 1;
+  // The body crosses the fork legally because the resolver (and its
+  // captured recipe) exists before PoolHost forks anything. Parent-side
+  // handles travel on the request instead, mirroring what a spec-born
+  // job would do.
+  ResilientOptions Captured = Opts.Base;
+  Captured.Metrics = nullptr;
+  Captured.Timeline = nullptr;
+  Captured.CheckpointPath.clear();
+  Captured.Resume = false;
+  Captured.CancelFlag = nullptr;
+  Captured.OnSlotDone = nullptr;
+  H.Resolve = [Captured](const uint8_t *, size_t, ResilientOptions &Out) {
+    Out = Captured;
+    return true;
+  };
 
-#endif // GRS_HAVE_FORK
+  PoolHost Host(std::move(H));
+  PoolRunRequest Req;
+  Req.CheckpointPath = Opts.Base.CheckpointPath;
+  Req.Resume = Opts.Base.Resume;
+  Req.Metrics = Opts.Base.Metrics;
+  Req.Timeline = Opts.Base.Timeline;
+  Req.CancelFlag = Opts.Base.CancelFlag;
+  Req.OnSlotDone = Opts.Base.OnSlotDone;
+  return Host.run(Req);
+}

@@ -25,6 +25,10 @@ uint64_t sweep::resilientOptionsHash(const ResilientOptions &Opts) {
   H.addU64(Opts.Run.MaxSteps);
   H.addU64(Opts.Run.DetectRaces ? 1 : 0);
   H.addU64(Opts.Run.WatchdogMillis);
+  // Salt only when set: zero keeps every pre-service journal hash (and
+  // the cross-executor resume contract) byte-identical.
+  if (Opts.OptionsSalt)
+    H.addU64(Opts.OptionsSalt);
   return H.digest();
 }
 
@@ -218,6 +222,7 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
 
   std::atomic<uint64_t> Next{0};
   std::mutex JournalMutex;
+  std::vector<uint8_t> Executed(N, 0);
   // Worker tracks are created up front so exported track order is
   // deterministic regardless of worker start order.
   std::vector<obs::TimelineTrack *> Tracks(Threads, nullptr);
@@ -227,6 +232,9 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
           Opts.Timeline->track("resilient-worker-" + std::to_string(I));
   auto Worker = [&](unsigned Wid) {
     for (;;) {
+      if (Opts.CancelFlag &&
+          Opts.CancelFlag->load(std::memory_order_relaxed))
+        break; // cancelled: claim nothing further, journal stays resumable
       uint64_t Slot = Next.fetch_add(1, std::memory_order_relaxed);
       if (Slot >= N)
         break;
@@ -237,7 +245,10 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
       if (Writer.isOpen() && !Writer.append(R))
         Result.CheckpointError =
             "journal append failed; checkpointing stopped";
+      if (Opts.OnSlotDone)
+        Opts.OnSlotDone(R);
       Slots[Slot] = std::move(R);
+      Executed[Slot] = 1;
     }
   };
   if (Threads <= 1) {
@@ -255,14 +266,29 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
   //===--------------------------------------------------------------------===//
   // Serial merge + instruments.
   //===--------------------------------------------------------------------===//
-  mergeSlotRecords(Slots, Result);
   for (size_t I = 0; I < N; ++I)
-    if (!Done[I])
+    if (!Done[I] && !Executed[I])
+      ++Result.UnfinishedSlots;
+  if (Result.UnfinishedSlots == 0) {
+    mergeSlotRecords(Slots, Result);
+  } else {
+    // Cancelled early: merge only what actually ran — default-constructed
+    // records for unclaimed slots must not count as clean seeds.
+    std::vector<SlotRecord> Finished;
+    Finished.reserve(N - static_cast<size_t>(Result.UnfinishedSlots));
+    for (size_t I = 0; I < N; ++I)
+      if (Done[I] || Executed[I])
+        Finished.push_back(Slots[I]);
+    mergeSlotRecords(Finished, Result);
+  }
+  for (size_t I = 0; I < N; ++I)
+    if (Executed[I])
       Result.Retries += Slots[I].Attempts - 1;
 
   if (obs::Registry *Reg = Opts.Metrics) {
     obs::inc(Reg->counter("grs_resilience_runs_total"),
-             N - static_cast<size_t>(Result.ResumedSlots));
+             N - static_cast<size_t>(Result.ResumedSlots) -
+                 static_cast<size_t>(Result.UnfinishedSlots));
     obs::inc(Reg->counter("grs_resilience_retries_total"), Result.Retries);
     obs::inc(Reg->counter("grs_resilience_resumed_slots_total"),
              Result.ResumedSlots);
@@ -277,7 +303,8 @@ ResilientResult sweep::resilient(const ResilientOptions &Opts) {
                  ByClass[C]);
     if (!Opts.CheckpointPath.empty() && Result.CheckpointError.empty())
       obs::inc(Reg->counter("grs_resilience_checkpoint_records_total"),
-               N - static_cast<size_t>(Result.ResumedSlots));
+               N - static_cast<size_t>(Result.ResumedSlots) -
+                   static_cast<size_t>(Result.UnfinishedSlots));
   }
   return Result;
 }

@@ -47,7 +47,9 @@
 #include "sweep/Adaptive.h"
 #include "sweep/Checkpoint.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,27 @@ struct ResilientOptions {
   /// (different recipe) disables journaling and reports CheckpointError
   /// rather than clobbering someone else's journal.
   bool Resume = false;
+  /// Extra caller-chosen entropy folded into resilientOptionsHash when
+  /// nonzero. The sweep service sets this to its job-spec hash (executor
+  /// + fault plan + body identity), so a journal is bound to the FULL
+  /// job recipe, not just the scheduler-visible RunOptions — a restarted
+  /// daemon then refuses to resume a job whose spec changed on disk via
+  /// the ordinary meta-mismatch path. Zero (the default) leaves every
+  /// pre-existing journal hash unchanged.
+  uint64_t OptionsSalt = 0;
+  /// Cooperative cancellation (borrowed; may be null). Checked between
+  /// slots: once set, workers claim no further slots and resilient()
+  /// returns with the journal intact — already-completed slots are
+  /// appended, unstarted ones are simply absent, so a Resume re-run
+  /// finishes the sweep bit-identically. Slot granularity only; a slot
+  /// mid-attempt completes (bound its latency with Run.WatchdogMillis).
+  std::atomic<bool> *CancelFlag = nullptr;
+  /// Per-slot completion hook (may be empty), called under the journal
+  /// lock AFTER the record is journaled, in completion order (not slot
+  /// order — parallel sweeps complete out of order). The service's
+  /// progress stream hangs off this. Must be cheap and must not call
+  /// back into the executor.
+  std::function<void(const SlotRecord &)> OnSlotDone;
 };
 
 struct ResilientResult {
@@ -105,6 +128,10 @@ struct ResilientResult {
   uint64_t Retries = 0;
   /// Slots satisfied from the checkpoint instead of executed.
   uint64_t ResumedSlots = 0;
+  /// Slots neither resumed nor executed — nonzero only when CancelFlag
+  /// stopped the sweep early. They are absent from the aggregate AND the
+  /// journal; a Resume re-run picks up exactly these.
+  uint64_t UnfinishedSlots = 0;
   /// Non-fatal checkpoint problem ("" when none): meta mismatch, I/O
   /// failure. The sweep itself still completes.
   std::string CheckpointError;

@@ -153,7 +153,7 @@ bool applyLandlock() {
 /// denied families are the ones a confined compute worker has no
 /// business in: spawning processes, tracing, networking, mounting,
 /// privilege changes, and opening files for writing.
-bool applySeccomp() {
+bool applySeccomp(bool DenyFileOpens) {
   if (prctl(PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) != 0)
     return false;
 
@@ -261,7 +261,15 @@ bool applySeccomp() {
   //   A &= WriteFlags
   //   if (A == 0) return Allow
   //   return Deny
+  // Under DenyFileOpens the gate collapses to an unconditional deny:
+  // the fd-passing pool hands workers every fd pre-opened, so any open
+  // at all is off-contract.
   auto FlagGate = [&](int Nr, int FlagArg) {
+    if (DenyFileOpens) {
+      Prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, (uint32_t)Nr, 0, 1));
+      Stmt(BPF_RET | BPF_K, Deny);
+      return;
+    }
     Prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, (uint32_t)Nr, 0, 5));
     Stmt(BPF_LD | BPF_W | BPF_ABS,
          (uint32_t)(offsetof(struct seccomp_data, args) +
@@ -313,13 +321,14 @@ bool sweep::seccompSupported() {
 
 bool sweep::landlockSupported() { return landlockAbiVersion() >= 1; }
 
-SandboxTier sweep::applyWorkerSandbox(bool EnableSeccomp,
-                                      bool EnableLandlock) {
+SandboxTier sweep::applyWorkerSandbox(bool EnableSeccomp, bool EnableLandlock,
+                                      bool DenyFileOpens) {
   bool LandlockOn = EnableLandlock && landlockSupported() && applyLandlock();
   // Seccomp last: once the filter is live every later syscall is subject
   // to it (landlock_restrict_self is not on the deny-list, but ordering
   // this way keeps the layers independent).
-  bool SeccompOn = EnableSeccomp && seccompSupported() && applySeccomp();
+  bool SeccompOn =
+      EnableSeccomp && seccompSupported() && applySeccomp(DenyFileOpens);
   if (SeccompOn && LandlockOn)
     return SandboxTier::SeccompLandlock;
   if (SeccompOn)
@@ -334,7 +343,7 @@ SandboxTier sweep::applyWorkerSandbox(bool EnableSeccomp,
 bool sweep::seccompSupported() { return false; }
 bool sweep::landlockSupported() { return false; }
 
-SandboxTier sweep::applyWorkerSandbox(bool, bool) {
+SandboxTier sweep::applyWorkerSandbox(bool, bool, bool) {
   return SandboxTier::RlimitOnly;
 }
 

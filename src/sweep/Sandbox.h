@@ -95,7 +95,15 @@ bool landlockSupported();
 /// (graceful fallback, never fatal); the returned tier reflects what
 /// actually took. With both flags false this is a no-op returning
 /// RlimitOnly — the PR-5 behavior, byte for byte.
-SandboxTier applyWorkerSandbox(bool EnableSeccomp, bool EnableLandlock);
+///
+/// \p DenyFileOpens tightens the seccomp tier from "no opening files
+/// for writing" to "no opening files at all" (open/openat join
+/// openat2/creat on the outright deny-list). Only sound when the parent
+/// pre-opened every fd the worker needs — shm mapped pre-fork, doorbell
+/// pipes passed at spawn, journal held parent-side — which is exactly
+/// the fork-server pool's fd-passing discipline.
+SandboxTier applyWorkerSandbox(bool EnableSeccomp, bool EnableLandlock,
+                               bool DenyFileOpens = false);
 
 } // namespace sweep
 } // namespace grs
